@@ -1,0 +1,83 @@
+"""E6 — kNN: coordinator-cohort + index vs MapReduce scan ([31]-[33]).
+
+"Our work [33] introduced performance improvements of three orders of
+magnitude utilising novel indexes and appropriate distribution processing
+paradigms."  Reproduced shape: the baseline scans every partition of the
+table for every query; the coordinator reads only candidate cells around
+the query point, so the gap grows with table size and shrinks only mildly
+with k.
+"""
+
+import numpy as np
+
+from repro.bigdataless import CoordinatorKNN, DistributedGridIndex, KNNBaseline
+from repro.cluster import ClusterTopology, DistributedStore
+from repro.data import gaussian_mixture_table
+
+from harness import format_table, write_result
+
+SIZES = (10_000, 40_000, 160_000)
+KS = (1, 10, 100)
+QUERIES_PER_CONFIG = 5
+
+
+def run_knn():
+    rows = []
+    rng = np.random.default_rng(0)
+    for n_rows in SIZES:
+        topo = ClusterTopology.single_datacenter(8)
+        store = DistributedStore(topo)
+        table = gaussian_mixture_table(
+            n_rows, dims=("x0", "x1"), seed=3, name="pts", value_bytes=128
+        )
+        store.put_table(table, partitions_per_node=2)
+        index = DistributedGridIndex(store, "pts", ("x0", "x1"), cells_per_dim=32)
+        index.build()
+        baseline = KNNBaseline(store, ("x0", "x1"))
+        coordinator = CoordinatorKNN(store, index)
+        points = table.matrix(("x0", "x1"))
+        for k in KS:
+            base_time, coord_time = [], []
+            base_bytes, coord_bytes = [], []
+            for _ in range(QUERIES_PER_CONFIG):
+                query_point = points[int(rng.integers(n_rows))] + rng.normal(
+                    scale=1.0, size=2
+                )
+                base_result, base_report = baseline.query("pts", query_point, k)
+                coord_result, coord_report = coordinator.query(
+                    "pts", query_point, k
+                )
+                assert np.allclose(
+                    np.sort(base_result.column("_dist")),
+                    np.sort(coord_result.column("_dist")),
+                )
+                base_time.append(base_report.elapsed_sec)
+                coord_time.append(coord_report.elapsed_sec)
+                base_bytes.append(base_report.bytes_scanned)
+                coord_bytes.append(coord_report.bytes_scanned)
+            rows.append(
+                [
+                    n_rows,
+                    k,
+                    float(np.mean(base_time)) / float(np.mean(coord_time)),
+                    float(np.mean(base_bytes)) / max(1.0, float(np.mean(coord_bytes))),
+                ]
+            )
+    return rows
+
+
+def test_e06_knn(benchmark):
+    rows = benchmark.pedantic(run_knn, rounds=1, iterations=1)
+    table = format_table(
+        "E6: kNN speedups (MapReduce baseline / coordinator-cohort)",
+        ["rows", "k", "time_x", "scan_bytes_x"],
+        rows,
+    )
+    write_result("e06_knn", table)
+    for row in rows:
+        assert row[2] > 1.0, f"coordinator must win: {row}"
+        assert row[3] > 1.0
+    # Gap grows with table size at fixed k.
+    k10 = {r[0]: r[3] for r in rows if r[1] == 10}
+    assert k10[SIZES[-1]] > k10[SIZES[0]]
+    benchmark.extra_info["bytes_ratio_at_largest_k10"] = k10[SIZES[-1]]

@@ -1,0 +1,69 @@
+"""E9 — MapReduce vs coordinator-cohort crossover (P4, RT3.2).
+
+"Sometimes applying a MapReduce based algorithm is beneficial, while
+other times a coordinator-cohort distributed processing model is more
+beneficial, depending on data distribution degrees and join
+selectivities."  Reproduced on subspace materialisation: sweeping the
+selection's selectivity, the surgical index path wins at low selectivity
+and the full MapReduce scan wins once the selection covers most of the
+table (row point-reads + round trips exceed one sequential pass).
+"""
+
+import numpy as np
+
+from repro.bigdataless import AdHocMLEngine, DistributedGridIndex
+from repro.queries import RangeSelection
+
+from conftest import build_world
+from harness import format_table, write_result
+
+WIDTHS = (2.0, 5.0, 12.0, 30.0, 70.0, 100.0)
+
+
+def run_crossover():
+    store, table = build_world(n_rows=60_000, value_bytes=2048)
+    index = DistributedGridIndex(store, "data", ("x0", "x1"), cells_per_dim=32)
+    index.build()
+    engine = AdHocMLEngine(store, index)
+    rows = []
+    for width in WIDTHS:
+        lo = max(0.0, 50.0 - width / 2)
+        hi = min(100.0, 50.0 + width / 2)
+        selection = RangeSelection(("x0", "x1"), [lo, lo], [hi, hi])
+        selectivity = float(selection.mask(table).mean())
+        _, full_report = engine.gather("data", selection, method="fullscan")
+        _, index_report = engine.gather("data", selection, method="index")
+        winner = (
+            "coordinator"
+            if index_report.elapsed_sec < full_report.elapsed_sec
+            else "mapreduce"
+        )
+        rows.append(
+            [
+                width,
+                selectivity,
+                full_report.elapsed_sec,
+                index_report.elapsed_sec,
+                winner,
+            ]
+        )
+    return rows
+
+
+def test_e09_crossover(benchmark):
+    rows = benchmark.pedantic(run_crossover, rounds=1, iterations=1)
+    table = format_table(
+        "E9: full-scan vs surgical-index cost across selectivities",
+        ["box_width", "selectivity", "mapreduce_sec", "coordinator_sec", "winner"],
+        rows,
+    )
+    write_result("e09_crossover", table)
+    winners = [r[4] for r in rows]
+    # Both paradigms win somewhere: the crossover exists.
+    assert "coordinator" in winners
+    assert "mapreduce" in winners
+    # And the winner flips monotonically: coordinator at low selectivity.
+    assert winners[0] == "coordinator"
+    assert winners[-1] == "mapreduce"
+    crossover_at = next(r[1] for r in rows if r[4] == "mapreduce")
+    benchmark.extra_info["crossover_selectivity"] = crossover_at

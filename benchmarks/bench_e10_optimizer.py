@@ -1,0 +1,142 @@
+"""E10 — the learned optimizer (G5/G6) and regression-model selection ([48]).
+
+Part A: log exhaustive executions of the E9-style task across random
+selectivities, train the CART selector on half, and evaluate accuracy and
+regret on the other half against the oracle and against both fixed
+policies ("always MapReduce" / "always coordinator").
+
+Part B: per-quantum regression model selection — after training a
+data-less predictor, cross-validate model families per quantum and
+re-fit each quantum with its winner; report the accuracy gained.
+"""
+
+import numpy as np
+
+from repro.bigdataless import AdHocMLEngine, DistributedGridIndex
+from repro.core import AnswerModelFactory, DatalessPredictor, QuerySpaceQuantizer
+from repro.optimizer import (
+    CostModelSelector,
+    ExecutionLog,
+    LearnedSelector,
+    TaskFeatures,
+    apply_per_quantum_selection,
+)
+from repro.queries import RangeSelection
+
+from conftest import build_world, standard_workload
+from harness import format_table, write_result
+
+N_LOGGED = 90
+
+
+def collect_log(store, table, engine, seed):
+    rng = np.random.default_rng(seed)
+    log = ExecutionLog()
+    n_nodes = len(store.topology)
+    for _ in range(N_LOGGED):
+        width = float(10 ** rng.uniform(0.3, 2.0))  # 2..100
+        lo = rng.uniform(0.0, max(0.1, 100.0 - width), size=2)
+        hi = np.minimum(lo + width, 100.0)
+        selection = RangeSelection(("x0", "x1"), lo, hi)
+        selectivity = float(selection.mask(table).mean())
+        _, full_report = engine.gather("data", selection, method="fullscan")
+        _, index_report = engine.gather("data", selection, method="index")
+        features = TaskFeatures.for_subspace_aggregate(
+            table.n_rows, selectivity, 2, n_nodes
+        )
+        log.record(
+            features,
+            {
+                "mapreduce": full_report.elapsed_sec,
+                "coordinator": index_report.elapsed_sec,
+            },
+        )
+    return log
+
+
+def run_optimizer():
+    store, table = build_world(n_rows=40_000, value_bytes=2048)
+    index = DistributedGridIndex(store, "data", ("x0", "x1"), cells_per_dim=32)
+    index.build()
+    engine = AdHocMLEngine(store, index)
+    train_log = collect_log(store, table, engine, seed=1)
+    test_log = collect_log(store, table, engine, seed=2)
+    selector = LearnedSelector(max_depth=4).fit(train_log)
+    metrics = selector.evaluate(test_log)
+    cost_model = CostModelSelector(max_depth=4).fit(train_log)
+    cost_metrics = cost_model.evaluate(test_log)
+
+    selector_rows = [
+        ["learned-classifier", metrics["accuracy"], metrics["mean_regret"]],
+        ["learned-cost-model", cost_metrics["accuracy"],
+         cost_metrics["mean_regret"]],
+        ["always_mapreduce", None, metrics["regret_always_mapreduce"]],
+        ["always_coordinator", None, metrics["regret_always_coordinator"]],
+    ]
+
+    # Part B: model selection per quantum.
+    workload = standard_workload(table, seed=17)
+    queries = workload.batch(900)
+    answers = [q.evaluate(table) for q in queries]
+
+    def eval_predictor(predictor, eval_queries, eval_answers):
+        errors = []
+        for query, answer in zip(eval_queries, eval_answers):
+            prediction = predictor.predict(query.vector())
+            errors.append(
+                abs(prediction.scalar - answer) / max(abs(answer), 1.0)
+            )
+        return float(np.median(errors))
+
+    family_rows = []
+    chosen = {}
+    for family in ("mean", "linear", "quadratic"):
+        predictor = DatalessPredictor(
+            quantizer=QuerySpaceQuantizer(n_quanta=8, grow_threshold=2.0,
+                                          max_quanta=32),
+            factory=AnswerModelFactory(family),
+        )
+        for query, answer in zip(queries[:700], answers[:700]):
+            predictor.observe(query.vector(), answer)
+        family_rows.append(
+            [f"fixed:{family}",
+             eval_predictor(predictor, queries[700:], answers[700:])]
+        )
+        if family == "mean":
+            # Upgrade the weakest fixed family with per-quantum selection.
+            chosen = apply_per_quantum_selection(
+                predictor, families=("mean", "linear", "quadratic")
+            )
+            family_rows.append(
+                ["auto-selected",
+                 eval_predictor(predictor, queries[700:], answers[700:])]
+            )
+    return selector_rows, family_rows, metrics, chosen
+
+
+def test_e10_learned_optimizer(benchmark):
+    selector_rows, family_rows, metrics, chosen = benchmark.pedantic(
+        run_optimizer, rounds=1, iterations=1
+    )
+    table_a = format_table(
+        "E10a: learned method selector vs fixed policies (held-out tasks)",
+        ["policy", "accuracy", "mean_regret"],
+        selector_rows,
+    )
+    table_b = format_table(
+        "E10b: per-quantum regression-model selection (median rel. error)",
+        ["predictor", "median_rel_err"],
+        family_rows,
+    )
+    write_result("e10_optimizer", table_a + "\n" + table_b)
+    assert metrics["accuracy"] > 0.8
+    assert metrics["mean_regret"] <= metrics["regret_always_mapreduce"]
+    assert metrics["mean_regret"] <= metrics["regret_always_coordinator"]
+    errors = dict(family_rows)
+    # Auto-selection rescues the weak constant-model configuration.
+    assert errors["auto-selected"] < errors["fixed:mean"]
+    # And lands within reach of the best fixed family.
+    best_fixed = min(v for k, v in errors.items() if k.startswith("fixed:"))
+    assert errors["auto-selected"] < best_fixed * 3
+    assert len(chosen) > 0
+    benchmark.extra_info["selector_accuracy"] = metrics["accuracy"]

@@ -1,0 +1,136 @@
+"""E12 — geo-distributed SEA (RT5, Fig. 3): WAN traffic and latency.
+
+Three deployments of the same multi-edge workload:
+
+* ``centralized``  — every edge query crosses the WAN to a core (the
+  pre-SEA world the Iridium line of work [45] fights);
+* ``edge-isolated`` — each edge trains its own models from its own
+  traffic (Fig. 3 without collaboration);
+* ``edge-collab``  — cores pool all edges' training queries, build shared
+  models and push them down (RT5.2).
+
+Reported per deployment: WAN bytes, mean response time, and the fraction
+of queries answered without leaving the edge.
+"""
+
+import numpy as np
+
+from repro.baselines import ExactEngine
+from repro.core import AgentConfig
+from repro.data import InterestProfile, WorkloadGenerator, gaussian_mixture_table
+from repro.geo import CoreCoordinator, EdgeAgent, GeoRouter, GeoSites
+from repro.queries import Count
+
+from harness import format_table, write_result
+
+N_EDGES = 6
+TRAIN_PER_EDGE = 60
+SERVE_PER_EDGE = 120
+
+
+def build_geo():
+    sites = GeoSites(n_cores=2, nodes_per_core=3, n_edges=N_EDGES)
+    table = gaussian_mixture_table(
+        30_000, dims=("x0", "x1"), seed=21, name="data", value_bytes=64
+    )
+    sites.put_table(table, partitions_per_node=1)
+    engine = ExactEngine(sites.store)
+    profile = InterestProfile.from_table(
+        table, ("x0", "x1"), 3, seed=22, hotspot_scale=2.5, extent_range=(3, 8)
+    )
+    generators = [
+        WorkloadGenerator("data", ("x0", "x1"), profile, aggregate=Count(),
+                          seed=30 + i)
+        for i in range(N_EDGES)
+    ]
+    return sites, engine, generators
+
+
+def config():
+    return AgentConfig(training_budget=0, error_threshold=0.2)
+
+
+def measure(served_records):
+    wan = sum(r.cost.bytes_shipped_wan for r in served_records)
+    latency = float(np.mean([r.cost.elapsed_sec for r in served_records]))
+    local = sum(1 for r in served_records if r.origin == "local")
+    return wan, latency, local / len(served_records)
+
+
+def run_geo():
+    rows = []
+
+    # Centralized: no edge intelligence at all.
+    sites, engine, generators = build_geo()
+    edges = [
+        EdgeAgent(n, sites.edge_node(n), engine, sites.core_gateway(),
+                  AgentConfig(training_budget=10**9))  # never serves locally
+        for n in sites.edge_names
+    ]
+    records = []
+    for _ in range(TRAIN_PER_EDGE + SERVE_PER_EDGE):
+        for edge, wg in zip(edges, generators):
+            records.append(edge.submit(wg.next_query()))
+    wan, latency, local = measure(records[-SERVE_PER_EDGE * N_EDGES:])
+    rows.append(["centralized", wan, latency, local, 0])
+
+    # Edge-isolated: each edge learns alone from its own fallbacks.
+    sites, engine, generators = build_geo()
+    edges = [
+        EdgeAgent(n, sites.edge_node(n), engine, sites.core_gateway(), config())
+        for n in sites.edge_names
+    ]
+    records = []
+    for _ in range(TRAIN_PER_EDGE):
+        for edge, wg in zip(edges, generators):
+            edge.submit(wg.next_query())
+    for _ in range(SERVE_PER_EDGE):
+        for edge, wg in zip(edges, generators):
+            records.append(edge.submit(wg.next_query()))
+    wan, latency, local = measure(records)
+    state = sum(e.state_bytes() for e in edges)
+    rows.append(["edge-isolated", wan, latency, local, state])
+
+    # Edge-collaborative: cores pool training, push shared models.
+    sites, engine, generators = build_geo()
+    edges = [
+        EdgeAgent(n, sites.edge_node(n), engine, sites.core_gateway(), config())
+        for n in sites.edge_names
+    ]
+    core = CoreCoordinator(engine, sites.core_gateway(), config())
+    for _ in range(TRAIN_PER_EDGE):
+        for edge, wg in zip(edges, generators):
+            core.train_from_edge(edge.name, wg.next_query())
+    push_report = core.push_models(edges)
+    router = GeoRouter(edges, core)
+    records = []
+    for _ in range(SERVE_PER_EDGE):
+        for edge, wg in zip(edges, generators):
+            records.append(router.submit(edge.name, wg.next_query()))
+    wan, latency, local = measure(records)
+    wan += push_report.bytes_shipped_wan  # model push is WAN traffic too
+    state = sum(e.state_bytes() for e in edges)
+    rows.append(["edge-collab", wan, latency, local, state])
+    return rows
+
+
+def test_e12_geo_distributed(benchmark):
+    rows = benchmark.pedantic(run_geo, rounds=1, iterations=1)
+    table = format_table(
+        "E12: geo-distributed serving (per-deployment totals over "
+        f"{SERVE_PER_EDGE * N_EDGES} served queries)",
+        ["deployment", "wan_bytes", "mean_latency_sec", "local_fraction",
+         "edge_state_bytes"],
+        rows,
+    )
+    write_result("e12_geo", table)
+    by_name = {r[0]: r for r in rows}
+    # Any edge intelligence beats centralized on WAN bytes and latency.
+    assert by_name["edge-isolated"][1] < by_name["centralized"][1]
+    assert by_name["edge-collab"][1] < by_name["centralized"][1]
+    assert by_name["edge-collab"][2] < by_name["centralized"][2]
+    # Collaboration serves at least as locally as isolation.
+    assert by_name["edge-collab"][3] >= by_name["edge-isolated"][3] * 0.9
+    benchmark.extra_info["wan_reduction_vs_centralized"] = (
+        by_name["centralized"][1] / max(1, by_name["edge-collab"][1])
+    )

@@ -1,0 +1,149 @@
+"""E13 — model maintenance under drift and data updates (RT1.4).
+
+Part A (query-pattern drift): the analyst interest profile shifts
+abruptly halfway through the stream.  With drift detection on, flagged
+quanta retrain and served accuracy recovers; with it off, the agent keeps
+serving from stale models.
+
+Part B (base-data updates): a batch of inserts lands inside the queried
+region.  An agent notified via ``notify_data_update`` invalidates the
+overlapping quanta and re-learns; an un-notified agent keeps serving
+pre-update answers.
+"""
+
+import numpy as np
+
+from repro.baselines import ExactEngine
+from repro.core import AgentConfig, SEAAgent
+from repro.data import (
+    InterestProfile,
+    WorkloadGenerator,
+    gaussian_mixture_table,
+)
+from repro.queries import Count
+
+from conftest import build_world, standard_workload
+from harness import format_table, write_result
+
+PHASE = 400
+
+
+def served_error(agent, table, records):
+    errors = []
+    for record in records:
+        if record.mode == "predicted":
+            truth = record.query.evaluate(table)
+            errors.append(
+                abs(record.answer - truth) / max(abs(truth), 1.0)
+            )
+    return float(np.median(errors)) if errors else float("nan"), len(errors)
+
+
+def run_drift(drift_detection):
+    store, table = build_world(n_rows=40_000)
+    agent = SEAAgent(
+        ExactEngine(store),
+        AgentConfig(
+            training_budget=PHASE // 2,
+            error_threshold=0.25,
+            drift_detection=drift_detection,
+        ),
+    )
+    profile = InterestProfile.from_table(
+        table, ("x0", "x1"), 3, seed=41, hotspot_scale=2.5, extent_range=(3, 8)
+    )
+    workload = WorkloadGenerator(
+        "data", ("x0", "x1"), profile, aggregate=Count(), seed=42
+    )
+    before = [agent.submit(q) for q in workload.batch(PHASE)]
+    # Interest shifts: hotspots jump to entirely new data regions.
+    drifted = workload.with_profile(
+        InterestProfile.from_table(
+            table, ("x0", "x1"), 3, seed=43, hotspot_scale=2.5,
+            extent_range=(3, 8),
+        )
+    )
+    after = [agent.submit(q) for q in drifted.batch(PHASE)]
+    err_before, n_before = served_error(agent, table, before)
+    err_after, n_after = served_error(agent, table, after)
+    return err_before, err_after, n_after
+
+
+def run_updates(notify):
+    store, table = build_world(n_rows=40_000, seed=44)
+    # Drift detection off: isolate the explicit update-notification path
+    # (with it on, prequential residual spikes self-heal stale quanta too).
+    agent = SEAAgent(
+        ExactEngine(store),
+        AgentConfig(
+            training_budget=300, error_threshold=0.35, drift_detection=False
+        ),
+    )
+    workload = standard_workload(table, seed=45)
+    for query in workload.batch(800):
+        agent.submit(query)
+    # Insert a dense blob of new rows right inside the hottest region.
+    hot = workload.profile.hotspots[0]
+    rng = np.random.default_rng(46)
+    from repro.data import Table
+
+    blob = Table(
+        {
+            "x0": rng.normal(hot[0], 2.0, size=8000),
+            "x1": rng.normal(hot[1], 2.0, size=8000),
+            "value": rng.normal(size=8000),
+        },
+        name="data",
+    )
+    store.append_rows("data", blob)
+    updated_table = store.table("data").full_table()
+    if notify:
+        agent.notify_data_update(
+            "data", hot - 8.0, hot + 8.0
+        )
+    records = [agent.submit(q) for q in workload.batch(600)]
+    # Measure where the update actually landed: queries whose subspace
+    # overlaps the inserted blob (elsewhere both agents are equally fine).
+    affected = [
+        r
+        for r in records
+        if np.linalg.norm(r.query.selection.center - hot) < 8.0
+    ]
+    err, n_served = served_error(agent, updated_table, affected)
+    return err, n_served
+
+
+def run_maintenance():
+    drift_on = run_drift(drift_detection=True)
+    drift_off = run_drift(drift_detection=False)
+    updates_on = run_updates(notify=True)
+    updates_off = run_updates(notify=False)
+    rows = [
+        ["drift", "detector on", drift_on[0], drift_on[1], drift_on[2]],
+        ["drift", "detector off", drift_off[0], drift_off[1], drift_off[2]],
+        ["data-update", "notified", None, updates_on[0], updates_on[1]],
+        ["data-update", "not notified", None, updates_off[0], updates_off[1]],
+    ]
+    return rows
+
+
+def test_e13_maintenance(benchmark):
+    rows = benchmark.pedantic(run_maintenance, rounds=1, iterations=1)
+    table = format_table(
+        "E13: served-query error around drift / data updates",
+        ["scenario", "mechanism", "err_before", "err_after", "n_served_after"],
+        rows,
+    )
+    write_result("e13_maintenance", table)
+    by_key = {(r[0], r[1]): r for r in rows}
+    # Notified agent ends up more accurate after the insert burst.
+    notified = by_key[("data-update", "notified")][3]
+    stale = by_key[("data-update", "not notified")][3]
+    assert notified < stale / 2  # invalidation clearly beats stale serving
+    # Drift detection must not be *worse* than ignoring drift, and the
+    # post-drift error with detection stays bounded.
+    on_after = by_key[("drift", "detector on")][3]
+    off_after = by_key[("drift", "detector off")][3]
+    if np.isfinite(on_after) and np.isfinite(off_after):
+        assert on_after <= off_after * 1.5
+    benchmark.extra_info["stale_vs_notified_err"] = (stale, notified)

@@ -1,0 +1,79 @@
+"""E14 — ablations over the agent's design choices (DESIGN.md section 4).
+
+Three sweeps on the same workload:
+
+* quantization granularity (``n_quanta``/``max_quanta``) — RT1.3 asks to
+  "concurrently optimize query space quantization and system-answer
+  error": too few quanta underfit, too many starve each quantum of
+  training pairs;
+* answer-model family — constant vs linear vs quadratic (RT3.3);
+* error threshold tau — the accuracy/coverage dial: how much of the
+  workload goes data-less vs how accurate the served answers are.
+"""
+
+import numpy as np
+
+from repro.baselines import ExactEngine
+from repro.core import AgentConfig, SEAAgent
+
+from conftest import build_world, standard_workload
+from harness import format_table, write_result
+
+N_QUERIES = 900
+BUDGET = 400
+
+
+def run_one(table, store, **config_kwargs):
+    defaults = dict(training_budget=BUDGET, error_threshold=0.2)
+    defaults.update(config_kwargs)
+    agent = SEAAgent(ExactEngine(store), AgentConfig(**defaults))
+    workload = standard_workload(table, seed=51)
+    errors = []
+    for query in workload.batch(N_QUERIES):
+        record = agent.submit(query)
+        if record.mode == "predicted":
+            truth = query.evaluate(table)
+            errors.append(abs(record.answer - truth) / max(abs(truth), 1.0))
+    stats = agent.stats()
+    med = float(np.median(errors)) if errors else float("nan")
+    return stats["dataless_fraction"], med, stats["state_bytes"]
+
+
+def run_ablations():
+    store, table = build_world(n_rows=40_000)
+    rows = []
+    for n_quanta, max_quanta in ((1, 1), (4, 8), (8, 32), (32, 128)):
+        frac, err, state = run_one(
+            table, store, n_quanta=n_quanta, max_quanta=max_quanta
+        )
+        rows.append([f"quanta={n_quanta}/{max_quanta}", frac, err, state])
+    for family in ("mean", "linear", "quadratic"):
+        frac, err, state = run_one(table, store, model_family=family)
+        rows.append([f"family={family}", frac, err, state])
+    for tau in (0.05, 0.1, 0.2, 0.4):
+        frac, err, state = run_one(table, store, error_threshold=tau)
+        rows.append([f"tau={tau}", frac, err, state])
+    return rows
+
+
+def test_e14_ablations(benchmark):
+    rows = benchmark.pedantic(run_ablations, rounds=1, iterations=1)
+    table = format_table(
+        "E14: agent ablations (coverage / served accuracy / state)",
+        ["configuration", "dataless_frac", "median_rel_err", "state_bytes"],
+        rows,
+    )
+    write_result("e14_ablations", table)
+    by_name = {r[0]: r for r in rows}
+    # Coverage rises monotonically with tau (looser gate serves more)...
+    taus = [by_name[f"tau={t}"][1] for t in (0.05, 0.1, 0.2, 0.4)]
+    assert all(b >= a - 1e-9 for a, b in zip(taus, taus[1:]))
+    # ...and the gate is honest: served median error stays within ~2x of
+    # the promised threshold at every tau that served anything.
+    for tau in (0.1, 0.2, 0.4):
+        frac, err = by_name[f"tau={tau}"][1], by_name[f"tau={tau}"][2]
+        if frac > 0 and np.isfinite(err):
+            assert err <= 2 * tau, (tau, err)
+    # ...and a moderate codebook beats a single global quantum on coverage.
+    assert by_name["quanta=8/32"][1] >= by_name["quanta=1/1"][1]
+    benchmark.extra_info["tau_coverage_curve"] = taus

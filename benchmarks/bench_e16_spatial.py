@@ -1,0 +1,105 @@
+"""E16 — spatial joins and kNN variants (RT2.1, extension).
+
+"kNN query processing (and its variants, such as Reverse kNN, kNN joins,
+all-pair and approximate kNN, etc.), spatial analytics operations (such
+as Spatial Joins ...)".
+
+Measured on a clustered S table with localized probe sets: scanned-byte
+and time ratios of the surgical (grid-index) operators over the
+MapReduce-style baselines, plus the approximate-kNN round savings.
+"""
+
+import numpy as np
+
+from repro.bigdataless import (
+    ApproximateKNN,
+    CoordinatorKNN,
+    DistanceJoinBaseline,
+    DistributedGridIndex,
+    IndexedDistanceJoin,
+    IndexedKNNJoin,
+    KNNJoinBaseline,
+)
+from repro.cluster import ClusterTopology, DistributedStore
+from repro.data import Table, gaussian_mixture_table
+
+from harness import format_table, write_result
+
+
+def build():
+    topo = ClusterTopology.single_datacenter(8)
+    store = DistributedStore(topo)
+    s_table = gaussian_mixture_table(
+        40_000, dims=("x0", "x1"), seed=61, name="S", value_bytes=64
+    )
+    store.put_table(s_table, partitions_per_node=2)
+    rng = np.random.default_rng(62)
+    anchor = s_table.matrix(("x0", "x1"))[rng.integers(40_000)]
+    r_table = Table(
+        {
+            "x0": rng.normal(anchor[0], 3.0, size=60),
+            "x1": rng.normal(anchor[1], 3.0, size=60),
+        },
+        name="R",
+    )
+    store.put_table(r_table, partitions_per_node=1)
+    index = DistributedGridIndex(store, "S", ("x0", "x1"), cells_per_dim=40)
+    index.build()
+    return store, s_table, r_table, index, anchor
+
+
+def run_spatial():
+    store, s_table, r_table, index, anchor = build()
+    rows = []
+
+    knn_base, base_report = KNNJoinBaseline(store, ("x0", "x1")).query("R", "S", 5)
+    knn_idx, idx_report = IndexedKNNJoin(store, index).query("R", "S", 5)
+    assert knn_base == knn_idx
+    rows.append(
+        [
+            "knn-join (k=5, 60 probes)",
+            base_report.elapsed_sec / idx_report.elapsed_sec,
+            base_report.bytes_scanned / max(1, idx_report.bytes_scanned),
+        ]
+    )
+
+    dist_base, base_report = DistanceJoinBaseline(store, ("x0", "x1")).query(
+        "R", "S", 1.5
+    )
+    dist_idx, idx_report = IndexedDistanceJoin(store, index).query("R", "S", 1.5)
+    assert dist_base == dist_idx
+    rows.append(
+        [
+            "distance-join (eps=1.5)",
+            base_report.elapsed_sec / idx_report.elapsed_sec,
+            base_report.bytes_scanned / max(1, idx_report.bytes_scanned),
+        ]
+    )
+
+    # Approximate kNN vs exact coordinator kNN in a sparse corner.
+    sparse = np.array([2.0, 2.0])
+    _, _, approx_report = ApproximateKNN(store, index).query("S", sparse, 10)
+    _, exact_report = CoordinatorKNN(store, index).query("S", sparse, 10)
+    rows.append(
+        [
+            "approx-knn vs exact (sparse corner)",
+            exact_report.elapsed_sec / max(1e-12, approx_report.elapsed_sec),
+            exact_report.bytes_scanned / max(1, approx_report.bytes_scanned),
+        ]
+    )
+    return rows
+
+
+def test_e16_spatial(benchmark):
+    rows = benchmark.pedantic(run_spatial, rounds=1, iterations=1)
+    table = format_table(
+        "E16: spatial joins and kNN variants (baseline / surgical ratios)",
+        ["operator", "time_x", "scan_bytes_x"],
+        rows,
+    )
+    write_result("e16_spatial", table)
+    by_name = {r[0]: r for r in rows}
+    assert by_name["knn-join (k=5, 60 probes)"][2] > 3.0
+    assert by_name["distance-join (eps=1.5)"][2] > 3.0
+    assert by_name["approx-knn vs exact (sparse corner)"][1] >= 1.0
+    benchmark.extra_info["knn_join_scan_ratio"] = rows[0][2]

@@ -1,0 +1,46 @@
+"""Shared fixtures for the experiment benchmarks."""
+
+import sys
+import os
+
+sys.path.insert(0, os.path.dirname(__file__))
+
+import pytest
+
+from repro.cluster import ClusterTopology, DistributedStore
+from repro.data import gaussian_mixture_table, InterestProfile, WorkloadGenerator
+from repro.queries import Count
+
+
+def build_world(n_rows=50_000, n_nodes=8, seed=1, partitions_per_node=2,
+                value_bytes=8):
+    """A standard single-datacenter world with one clustered table.
+
+    ``value_bytes`` widens the serialized rows (the cost model's view)
+    to emulate realistic analytical records that carry payload columns.
+    """
+    topo = ClusterTopology.single_datacenter(n_nodes)
+    store = DistributedStore(topo)
+    table = gaussian_mixture_table(
+        n_rows, dims=("x0", "x1"), seed=seed, name="data",
+        value_bytes=value_bytes,
+    )
+    store.put_table(table, partitions_per_node=partitions_per_node)
+    return store, table
+
+
+def standard_workload(table, seed=3, aggregate=None, hotspots=4,
+                      hotspot_scale=2.5, extent_range=(3.0, 8.0), kind="range"):
+    profile = InterestProfile.from_table(
+        table, ("x0", "x1"), hotspots, seed=seed + 1,
+        hotspot_scale=hotspot_scale, extent_range=extent_range,
+    )
+    return WorkloadGenerator(
+        "data", ("x0", "x1"), profile,
+        aggregate=aggregate or Count(), kind=kind, seed=seed,
+    )
+
+
+@pytest.fixture(scope="module")
+def medium_world():
+    return build_world(n_rows=50_000)

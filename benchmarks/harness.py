@@ -1,0 +1,49 @@
+"""Shared helpers for the experiment benchmarks.
+
+Every experiment module (bench_eNN_*.py) runs under
+``pytest benchmarks/ --benchmark-only``.  Besides the pytest-benchmark
+timing table, each experiment writes its result table — the rows the
+paper-style figures would plot — to ``benchmarks/results/<name>.txt`` and
+attaches headline numbers to ``benchmark.extra_info`` so they appear in
+the benchmark JSON.
+"""
+
+from __future__ import annotations
+
+import os
+from typing import Iterable, List, Sequence
+
+RESULTS_DIR = os.path.join(os.path.dirname(__file__), "results")
+
+
+def format_table(title: str, headers: Sequence[str], rows: Iterable[Sequence]) -> str:
+    rows = [[_fmt(cell) for cell in row] for row in rows]
+    widths = [len(h) for h in headers]
+    for row in rows:
+        for i, cell in enumerate(row):
+            widths[i] = max(widths[i], len(cell))
+    lines = [title, "=" * len(title)]
+    lines.append("  ".join(h.ljust(w) for h, w in zip(headers, widths)))
+    lines.append("  ".join("-" * w for w in widths))
+    for row in rows:
+        lines.append("  ".join(c.ljust(w) for c, w in zip(row, widths)))
+    return "\n".join(lines) + "\n"
+
+
+def write_result(name: str, table: str) -> str:
+    os.makedirs(RESULTS_DIR, exist_ok=True)
+    path = os.path.join(RESULTS_DIR, f"{name}.txt")
+    with open(path, "w") as handle:
+        handle.write(table)
+    print("\n" + table)
+    return path
+
+
+def _fmt(cell) -> str:
+    if isinstance(cell, float):
+        if cell == 0:
+            return "0"
+        if abs(cell) >= 1000 or abs(cell) < 0.01:
+            return f"{cell:.3g}"
+        return f"{cell:.3f}"
+    return str(cell)

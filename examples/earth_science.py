@@ -1,0 +1,123 @@
+"""Earth-science analytics: the paper's flagship higher-level query.
+
+Sec. III.A: analyses "may be used as building blocks for higher-level
+interrogations, such as 'return the data subspaces where the correlation
+coefficient between attributes is greater than a threshold value'."
+
+A synthetic sensor field over a (lat, lon) grid carries two measurements,
+``temperature`` and ``humidity``, whose coupling varies by region (they
+are strongly correlated inside a "monsoon belt" and decoupled elsewhere).
+The demo:
+
+1. trains the SEA agent on correlation queries as an analyst explores;
+2. answers the higher-level interrogation exactly (one query per
+   candidate subspace) and data-lessly (model predictions only);
+3. reports region agreement and the cost gap.
+
+Run:  python examples/earth_science.py
+"""
+
+import numpy as np
+
+from repro import (
+    AgentConfig,
+    AnalyticsQuery,
+    ClusterTopology,
+    Correlation,
+    DistributedStore,
+    ExactEngine,
+    HigherLevelEngine,
+    RangeSelection,
+    SEAAgent,
+    Table,
+    ThresholdRegionQuery,
+)
+
+
+def make_sensor_field(n_rows=60_000, seed=0):
+    """Sensor readings whose temp-humidity coupling is regional."""
+    rng = np.random.default_rng(seed)
+    lat = rng.uniform(0.0, 100.0, size=n_rows)
+    lon = rng.uniform(0.0, 100.0, size=n_rows)
+    temperature = 15.0 + 0.2 * lat + rng.normal(scale=3.0, size=n_rows)
+    # Inside the monsoon belt (lat 25..75), humidity tracks temperature;
+    # outside, it is independent weather noise.
+    coupled = (lat >= 25.0) & (lat < 75.0)
+    humidity = np.where(
+        coupled,
+        40.0 + 2.0 * (temperature - temperature.mean())
+        + rng.normal(scale=1.5, size=n_rows),
+        60.0 + rng.normal(scale=8.0, size=n_rows),
+    )
+    return Table(
+        {"lat": lat, "lon": lon, "temperature": temperature,
+         "humidity": humidity},
+        name="sensors",
+    )
+
+
+def main():
+    topology = ClusterTopology.single_datacenter(8)
+    store = DistributedStore(topology)
+    table = make_sensor_field()
+    store.put_table(table, partitions_per_node=2)
+    engine = ExactEngine(store)
+    agent = SEAAgent(
+        engine, AgentConfig(training_budget=10_000, error_threshold=0.2)
+    )
+
+    # The analyst's exploration: correlation queries over random boxes,
+    # shaped like the candidate lattice below.
+    print("analyst explores: 500 correlation queries over (lat, lon) boxes")
+    rng = np.random.default_rng(1)
+    aggregate = Correlation("temperature", "humidity")
+    for _ in range(500):
+        lo = rng.uniform(0.0, 75.0, size=2)
+        width = rng.uniform(20.0, 30.0, size=2)
+        agent.submit(
+            AnalyticsQuery(
+                "sensors",
+                RangeSelection(("lat", "lon"), lo, np.minimum(lo + width, 100.0)),
+                aggregate,
+            )
+        )
+
+    # The higher-level interrogation.
+    print("\ninterrogation: 'subspaces where corr(temperature, humidity) > 0.5'")
+    region_query = ThresholdRegionQuery(
+        table_name="sensors",
+        columns=("lat", "lon"),
+        aggregate=aggregate,
+        threshold=0.5,
+        lows=np.array([0.0, 0.0]),
+        highs=np.array([100.0, 100.0]),
+        cells_per_dim=4,  # 25x25-unit candidate subspaces
+    )
+    sample_query = region_query.candidate_queries()[0]
+    higher = HigherLevelEngine(
+        exact_engine=engine, predictor=agent.predictor(sample_query)
+    )
+    exact = higher.run_exact(region_query)
+    dataless = higher.run_dataless(region_query)
+    precision, recall = HigherLevelEngine.precision_recall(dataless, exact)
+
+    def describe(result):
+        belts = sorted(
+            (float(q.selection.lows[0]), float(q.selection.highs[0]))
+            for q in result.regions
+        )
+        return belts
+
+    print(f"  exact:     {len(exact.regions)}/{exact.n_candidates} regions, "
+          f"lat belts {describe(exact)}")
+    print(f"             cost {exact.cost.elapsed_sec:.2f} s, "
+          f"{exact.cost.bytes_scanned / 1e6:.1f} MB scanned")
+    print(f"  data-less: {len(dataless.regions)} regions, "
+          f"cost {dataless.cost.elapsed_sec * 1e3:.2f} ms, 0 bytes scanned")
+    print(f"  agreement: precision {precision:.0%}, recall {recall:.0%}")
+    print("\nthe found belts line up with the planted monsoon band "
+          "(lat 25..75), where humidity tracks temperature")
+
+
+if __name__ == "__main__":
+    main()

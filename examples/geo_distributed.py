@@ -1,0 +1,117 @@
+"""Geo-distributed SEA: edge agents, collaborative training, routing (Fig. 3).
+
+A global deployment: two core datacenters hold the data; six edge sites
+face analysts on different continents.  The demo runs the same workload
+through three deployments and prints the WAN traffic and latency each one
+pays:
+
+1. centralized — every edge query crosses the WAN to a core;
+2. edge agents — each edge learns models from its own traffic;
+3. collaborative — cores pool all edges' training queries (RT5.2), push
+   shared models down, and a router adds the peer-edge tier (RT5.4).
+
+Run:  python examples/geo_distributed.py
+"""
+
+import numpy as np
+
+from repro import (
+    AgentConfig,
+    CoreCoordinator,
+    Count,
+    EdgeAgent,
+    ExactEngine,
+    GeoRouter,
+    GeoSites,
+    InterestProfile,
+    WorkloadGenerator,
+    gaussian_mixture_table,
+)
+
+N_EDGES = 6
+TRAIN, SERVE = 60, 150
+
+
+def build():
+    sites = GeoSites(n_cores=2, nodes_per_core=3, n_edges=N_EDGES)
+    table = gaussian_mixture_table(
+        40_000, dims=("x0", "x1"), seed=11, name="data", value_bytes=64
+    )
+    sites.put_table(table, partitions_per_node=1)
+    engine = ExactEngine(sites.store)
+    profile = InterestProfile.from_table(
+        table, ("x0", "x1"), 3, seed=12, hotspot_scale=2.5, extent_range=(3, 8)
+    )
+    generators = [
+        WorkloadGenerator("data", ("x0", "x1"), profile, aggregate=Count(),
+                          seed=20 + i)
+        for i in range(N_EDGES)
+    ]
+    return sites, engine, generators
+
+
+def report(label, records, extra_wan=0):
+    wan = sum(r.cost.bytes_shipped_wan for r in records) + extra_wan
+    latency = np.mean([r.cost.elapsed_sec for r in records])
+    origins = {o: sum(1 for r in records if r.origin == o)
+               for o in ("local", "peer", "core")}
+    print(f"{label:14s} wan={wan / 1e6:8.2f} MB  "
+          f"latency={latency * 1e3:7.1f} ms  origins={origins}")
+
+
+def main():
+    config = AgentConfig(training_budget=0, error_threshold=0.2)
+
+    # 1. Centralized: edges are dumb WAN proxies.
+    sites, engine, generators = build()
+    edges = [
+        EdgeAgent(n, sites.edge_node(n), engine, sites.core_gateway(),
+                  AgentConfig(training_budget=10**9))
+        for n in sites.edge_names
+    ]
+    records = []
+    for _ in range(SERVE):
+        for edge, wg in zip(edges, generators):
+            records.append(edge.submit(wg.next_query()))
+    report("centralized", records)
+
+    # 2. Isolated edge agents: each learns alone from its fallbacks.
+    sites, engine, generators = build()
+    edges = [
+        EdgeAgent(n, sites.edge_node(n), engine, sites.core_gateway(), config)
+        for n in sites.edge_names
+    ]
+    for _ in range(TRAIN):
+        for edge, wg in zip(edges, generators):
+            edge.submit(wg.next_query())
+    records = []
+    for _ in range(SERVE):
+        for edge, wg in zip(edges, generators):
+            records.append(edge.submit(wg.next_query()))
+    report("edge agents", records)
+
+    # 3. Collaborative: the cores build shared models from all edges'
+    #    training queries and push them down; a router adds the peer tier.
+    sites, engine, generators = build()
+    edges = [
+        EdgeAgent(n, sites.edge_node(n), engine, sites.core_gateway(), config)
+        for n in sites.edge_names
+    ]
+    core = CoreCoordinator(engine, sites.core_gateway(), config)
+    for _ in range(TRAIN):
+        for edge, wg in zip(edges, generators):
+            core.train_from_edge(edge.name, wg.next_query())
+    push = core.push_models(edges)
+    router = GeoRouter(edges, core)
+    records = []
+    for _ in range(SERVE):
+        for edge, wg in zip(edges, generators):
+            records.append(router.submit(edge.name, wg.next_query()))
+    report("collaborative", records, extra_wan=push.bytes_shipped_wan)
+    print(f"\nmodel push-down cost: {push.bytes_shipped_wan / 1e3:.1f} KB "
+          f"over the WAN, once")
+    print(f"model registry: {core.registry.state_bytes()} bytes of state")
+
+
+if __name__ == "__main__":
+    main()

@@ -1,0 +1,5 @@
+"""Setup shim: enables legacy editable installs where the `wheel` package
+(required by PEP 660 builds on setuptools<70) is unavailable offline."""
+from setuptools import setup
+
+setup()

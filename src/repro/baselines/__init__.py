@@ -1,0 +1,27 @@
+"""Baseline analytics engines the paper positions SEA against (Sec. II).
+
+* :class:`repro.baselines.exact.ExactEngine` — the traditional path of
+  Fig. 1: every query is a full MapReduce job over the BDAS.
+* :class:`repro.baselines.sampling.SamplingAQPEngine` — a BlinkDB-like
+  stratified-sampling approximate engine [17].
+* :class:`repro.baselines.canopy.SegmentStatsCache` — a Data-Canopy-like
+  cache of chunk-level statistics [20].
+* :class:`repro.baselines.dbl.DBLEngine` — a DBL-like learner that starts
+  from the AQP engine's answers and learns to correct them [19].
+* :class:`repro.baselines.sketch.SketchAQPEngine` — a count-min-synopsis
+  engine for 1-d range counts [16].
+"""
+
+from repro.baselines.exact import ExactEngine
+from repro.baselines.sampling import SamplingAQPEngine
+from repro.baselines.canopy import SegmentStatsCache
+from repro.baselines.dbl import DBLEngine
+from repro.baselines.sketch import SketchAQPEngine
+
+__all__ = [
+    "ExactEngine",
+    "SamplingAQPEngine",
+    "SegmentStatsCache",
+    "DBLEngine",
+    "SketchAQPEngine",
+]

@@ -1,0 +1,115 @@
+"""DBL-like "database learning" on top of an AQP engine [19].
+
+DBL observes (query, approximate answer, exact answer) triples and learns
+to correct the AQP engine's error, so "the system can learn from past
+behavior and gradually improve performance".  The paper's criticisms,
+reproduced here by construction:
+
+* it inherits the AQP engine's storage and initial error ("they inherit
+  the aforementioned limitations ... and an initial (typically large)
+  error");
+* it "requires large storage space to manage previous queries and
+  answers" — the learner keeps every past (query vector, residual) pair,
+  so its footprint grows linearly with the workload (contrast
+  :meth:`repro.core.predictor.DatalessPredictor.state_bytes`, which is
+  bounded).
+"""
+
+from __future__ import annotations
+
+from typing import List, Optional, Tuple
+
+import numpy as np
+
+from repro.common.accounting import CostReport
+from repro.common.validation import require
+from repro.baselines.sampling import SamplingAQPEngine
+from repro.ml.linear import RidgeRegression
+from repro.queries.query import AnalyticsQuery, Answer
+
+
+_RATIO_FLOOR = 1.0
+
+
+def _log_ratio(exact: float, approx: float) -> float:
+    """Signed multiplicative residual, floored away from zero."""
+    return float(
+        np.log(max(exact, 0.0) + _RATIO_FLOOR)
+        - np.log(max(approx, 0.0) + _RATIO_FLOOR)
+    )
+
+
+def _apply_log_ratio(approx: float, log_ratio: float) -> float:
+    corrected = (max(approx, 0.0) + _RATIO_FLOOR) * np.exp(log_ratio) - _RATIO_FLOOR
+    return float(max(corrected, 0.0))
+
+
+class DBLEngine:
+    """Residual-learning wrapper over a sampling AQP engine."""
+
+    def __init__(
+        self,
+        aqp: SamplingAQPEngine,
+        min_training: int = 20,
+        ridge_alpha: float = 1.0,
+        refit_every: int = 10,
+    ) -> None:
+        require(min_training >= 3, "min_training must be >= 3")
+        self.aqp = aqp
+        self.min_training = min_training
+        self.refit_every = refit_every
+        self._vectors: List[np.ndarray] = []
+        self._residuals: List[float] = []
+        self._model: Optional[RidgeRegression] = None
+        self._alpha = ridge_alpha
+        self._since_fit = 0
+
+    # Learning ----------------------------------------------------------
+    def learn(self, query: AnalyticsQuery, exact_answer: float) -> None:
+        """Record one past (query, exact answer) to improve future answers.
+
+        The residual is the *log-ratio* of exact to approximate answer, so
+        the learned correction is multiplicative — additive corrections
+        would routinely drive small counts negative.
+        """
+        approx, _ = self.aqp.execute(query)
+        self._vectors.append(query.vector())
+        self._residuals.append(_log_ratio(float(exact_answer), float(approx)))
+        self._since_fit += 1
+        if (
+            len(self._vectors) >= self.min_training
+            and self._since_fit >= self.refit_every
+        ):
+            self._refit()
+
+    # Answering -----------------------------------------------------------
+    def execute(self, query: AnalyticsQuery) -> Tuple[Answer, CostReport]:
+        """AQP answer plus the learned correction (when trained)."""
+        approx, report = self.aqp.execute(query)
+        if self._model is None and len(self._vectors) >= self.min_training:
+            self._refit()
+        if self._model is not None:
+            log_ratio = float(
+                self._model.predict(query.vector().reshape(1, -1))[0]
+            )
+            approx = _apply_log_ratio(float(approx), log_ratio)
+        return approx, report
+
+    # Introspection ---------------------------------------------------------
+    def state_bytes(self) -> int:
+        """Learner footprint: every stored past query + the sample itself."""
+        history = sum(v.nbytes for v in self._vectors) + 8 * len(self._residuals)
+        samples = sum(
+            self.aqp.sample_bytes(name) for name in self.aqp._samples
+        )
+        return history + samples
+
+    @property
+    def n_observed(self) -> int:
+        return len(self._vectors)
+
+    def _refit(self) -> None:
+        x = np.asarray(self._vectors)
+        y = np.asarray(self._residuals)
+        self._model = RidgeRegression(alpha=self._alpha).fit(x, y)
+        self._since_fit = 0

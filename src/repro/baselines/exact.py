@@ -1,0 +1,63 @@
+"""The traditional exact path: every query is a full job over the BDAS.
+
+This is Fig. 1 made executable.  Each analytical query becomes a MapReduce
+job that scans *every* partition of the target table, computes per-partition
+aggregate partials (or raw values for holistic aggregates), shuffles them to
+a reducer and merges.  The answer is exact; the cost is what the paper
+complains about: proportional to data size and node count, through all the
+stack layers.
+"""
+
+from __future__ import annotations
+
+from typing import Optional, Tuple
+
+from repro.common.accounting import CostReport
+from repro.cluster.storage import DistributedStore
+from repro.data.tabular import Table
+from repro.engine.bdas import BDASStack
+from repro.engine.mapreduce import MapReduceEngine
+from repro.engine.resources import ResourceManager
+from repro.queries.query import AnalyticsQuery, Answer
+
+
+class ExactEngine:
+    """Exact analytical-query execution via MapReduce over the full table."""
+
+    def __init__(
+        self,
+        store: DistributedStore,
+        resources: Optional[ResourceManager] = None,
+        stack: Optional[BDASStack] = None,
+        rates=None,
+    ) -> None:
+        self.store = store
+        self._engine = MapReduceEngine(
+            store, resources=resources, stack=stack, rates=rates
+        )
+
+    def execute(self, query: AnalyticsQuery) -> Tuple[Answer, CostReport]:
+        """Run ``query`` exactly; returns (answer, cost report)."""
+        aggregate = query.aggregate
+        selection = query.selection
+
+        def map_fn(partition: Table):
+            selected = partition.select(selection.mask(partition))
+            return [(0, aggregate.partial(selected))]
+
+        def reduce_fn(key, partials):
+            return aggregate.merge(partials)
+
+        results, report = self._engine.run(
+            query.table_name, map_fn, reduce_fn, n_reducers=1
+        )
+        return results[0], report
+
+    def ground_truth(self, query: AnalyticsQuery) -> Answer:
+        """Answer without cost accounting (for evaluation harnesses)."""
+        stored = self.store.table(query.table_name)
+        partials = []
+        for partition in stored.partitions:
+            selected = partition.data.select(query.selection.mask(partition.data))
+            partials.append(query.aggregate.partial(selected))
+        return query.aggregate.merge(partials)

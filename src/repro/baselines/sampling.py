@@ -1,0 +1,145 @@
+"""BlinkDB-like stratified-sampling AQP engine [17].
+
+Offline, the engine draws a stratified row sample of each table: rows are
+binned by a coarse grid over the queried dimensions and each stratum is
+sampled at ``sample_rate`` (with a per-stratum minimum, so rare strata stay
+represented — the point of stratification).  The sample is itself stored
+across cluster nodes, "created and maintained over a distributed file
+system" exactly as Sec. II describes, so answering still costs a
+(smaller) distributed scan.
+
+Count/sum answers are scaled by the inverse sampling fraction of each
+stratum; mean/std/correlation use the sample directly.  Accuracy degrades
+for selective queries — few sampled rows fall inside a small subspace —
+which is the weakness the paper contrasts P2 against.
+"""
+
+from __future__ import annotations
+
+from typing import Dict, List, Optional, Tuple
+
+import numpy as np
+
+from repro.common.accounting import CostMeter, CostReport
+from repro.common.rng import SeedLike, make_rng
+from repro.common.validation import require, require_in_range
+from repro.cluster.storage import DistributedStore
+from repro.data.tabular import Table
+from repro.engine.bdas import BDASStack
+from repro.queries.query import AnalyticsQuery, Answer
+
+
+class SamplingAQPEngine:
+    """Approximate answers from a stratified sample of the base data."""
+
+    def __init__(
+        self,
+        store: DistributedStore,
+        sample_rate: float = 0.05,
+        strata_per_dim: int = 8,
+        min_stratum_rows: int = 4,
+        seed: SeedLike = 0,
+    ) -> None:
+        require_in_range(sample_rate, "sample_rate", 0.0, 1.0, inclusive=False)
+        require(strata_per_dim >= 1, "strata_per_dim must be >= 1")
+        self.store = store
+        self.sample_rate = sample_rate
+        self.strata_per_dim = strata_per_dim
+        self.min_stratum_rows = min_stratum_rows
+        self._rng = make_rng(seed)
+        self.stack = BDASStack()
+        # table -> (sample Table, per-row inverse inclusion weight)
+        self._samples: Dict[str, Tuple[Table, np.ndarray]] = {}
+
+    # Offline preparation -------------------------------------------------
+    def build_sample(self, table_name: str, stratify_on: List[str]) -> int:
+        """Draw and register the stratified sample; returns its row count."""
+        stored = self.store.table(table_name)
+        full = stored.full_table()
+        strata = self._stratum_ids(full, stratify_on)
+        keep = np.zeros(full.n_rows, dtype=bool)
+        weights = np.ones(full.n_rows)
+        for stratum in np.unique(strata):
+            members = np.flatnonzero(strata == stratum)
+            want = max(
+                self.min_stratum_rows, int(round(self.sample_rate * members.size))
+            )
+            want = min(want, members.size)
+            chosen = self._rng.choice(members, size=want, replace=False)
+            keep[chosen] = True
+            weights[chosen] = members.size / want
+        sample = full.select(keep)
+        self._samples[table_name] = (sample, weights[keep])
+        return sample.n_rows
+
+    def _stratum_ids(self, table: Table, stratify_on: List[str]) -> np.ndarray:
+        """Grid-cell id per row over the stratification columns."""
+        ids = np.zeros(table.n_rows, dtype=np.int64)
+        for name in stratify_on:
+            col = table.column(name).astype(float)
+            lo, hi = float(col.min()), float(col.max())
+            span = (hi - lo) or 1.0
+            bins = np.clip(
+                ((col - lo) / span * self.strata_per_dim).astype(int),
+                0,
+                self.strata_per_dim - 1,
+            )
+            ids = ids * self.strata_per_dim + bins
+        return ids
+
+    def sample_bytes(self, table_name: str) -> int:
+        """Storage footprint of the sample (the paper's size criticism)."""
+        sample, weights = self._samples[table_name]
+        return sample.n_bytes + int(weights.nbytes)
+
+    # Query answering -----------------------------------------------------
+    def execute(self, query: AnalyticsQuery) -> Tuple[Answer, CostReport]:
+        """Approximate answer from the sample, with a metered sample scan."""
+        require(
+            query.table_name in self._samples,
+            f"no sample built for table {query.table_name!r}; "
+            "call build_sample first",
+        )
+        sample, weights = self._samples[query.table_name]
+        meter = CostMeter()
+        # The sample lives distributed: scan it across the table's nodes.
+        stored = self.store.table(query.table_name)
+        nodes = stored.nodes
+        share = sample.n_bytes // max(1, len(nodes))
+        entry = self.store.topology.pick_coordinator()
+        meter.advance(self.stack.charge_submission(meter, entry, nodes))
+        slowest = 0.0
+        for node_id in nodes:
+            seconds = meter.charge_task_startup(node_id)
+            seconds += share / meter.rates.disk_bytes_per_sec
+            meter.charge_scan(node_id, share, rows=sample.n_rows // len(nodes))
+            slowest = max(slowest, seconds)
+        meter.advance(slowest)
+        meter.advance(self.stack.charge_result_return(meter, entry))
+        answer = self._estimate(query, sample, weights)
+        return answer, meter.freeze()
+
+    def _estimate(
+        self, query: AnalyticsQuery, sample: Table, weights: np.ndarray
+    ) -> Answer:
+        mask = query.selection.mask(sample)
+        hit = sample.select(mask)
+        w = weights[mask]
+        name = query.aggregate.name
+        if name.startswith("count"):
+            return float(w.sum())
+        if name.startswith("sum"):
+            column = query.aggregate.column
+            return float((hit.column(column) * w).sum()) if hit.n_rows else 0.0
+        # Non-scaled statistics straight off the sampled subset.
+        return query.aggregate.compute(hit)
+
+
+def uniform_sample_error_bound(n_sampled: int, confidence: float = 0.95) -> float:
+    """Hoeffding-style relative half-width for a uniform-sample count.
+
+    Used by tests to sanity-check that sampling error shrinks as 1/sqrt(n).
+    """
+    require(n_sampled >= 1, "n_sampled must be >= 1")
+    z = {0.9: 1.645, 0.95: 1.96, 0.99: 2.576}.get(confidence, 1.96)
+    return z / np.sqrt(n_sampled)

@@ -1,0 +1,104 @@
+"""Synopsis-based AQP baseline: distributed count-min range counts.
+
+The second classical AQP substrate Sec. II names (after sampling): "data
+synopses (e.g., [16])".  Each data node sketches its local rows of one
+numeric column into a dyadic count-min stack; a coordinator merges the
+(linear) sketches once and then answers 1-d range-count queries from the
+merged synopsis — no base data access per query, but biased-up answers
+whose error floor is fixed by the sketch width, and no support for other
+aggregates: the structural contrast with SEA's learned models.
+"""
+
+from __future__ import annotations
+
+from typing import Dict, Optional, Tuple
+
+import numpy as np
+
+from repro.common.accounting import CostMeter, CostReport
+from repro.common.validation import require
+from repro.cluster.storage import DistributedStore
+from repro.ml.sketches import DyadicCountMin
+from repro.queries.query import AnalyticsQuery
+from repro.queries.selections import RangeSelection
+
+
+class SketchAQPEngine:
+    """1-d range counts from a merged distributed count-min synopsis."""
+
+    def __init__(
+        self,
+        store: DistributedStore,
+        table_name: str,
+        column: str,
+        levels: int = 12,
+        width: int = 544,
+        depth: int = 5,
+    ) -> None:
+        self.store = store
+        self.table_name = table_name
+        self.column = column
+        self.levels = levels
+        self._synopsis = DyadicCountMin(levels=levels, width=width, depth=depth)
+        self._lo: Optional[float] = None
+        self._scale: Optional[float] = None
+        self.build_report: Optional[CostReport] = None
+
+    # Offline build ---------------------------------------------------------
+    def build(self) -> CostReport:
+        """One pass per node: sketch locally, ship sketches, merge."""
+        meter = CostMeter()
+        stored = self.store.table(self.table_name)
+        values = stored.full_table().column(self.column).astype(float)
+        self._lo = float(values.min())
+        span = float(values.max()) - self._lo
+        self._scale = (self._synopsis.domain - 1) / (span if span > 0 else 1.0)
+        slowest = 0.0
+        coordinator = self.store.topology.pick_coordinator()
+        sketch_bytes = self._synopsis.state_bytes()
+        for partition in stored.partitions:
+            data = self.store.read_partition(partition, meter)
+            seconds = data.n_bytes / meter.rates.disk_bytes_per_sec
+            seconds += meter.charge_cpu(partition.primary_node, data.n_bytes)
+            seconds += meter.charge_transfer(
+                partition.primary_node, coordinator, sketch_bytes
+            )
+            slowest = max(slowest, seconds)
+            for value in data.column(self.column).astype(float):
+                self._synopsis.add(self._bucket(value))
+        meter.advance(slowest)
+        self.build_report = meter.freeze()
+        return self.build_report
+
+    # Query answering -------------------------------------------------------
+    def execute(self, query: AnalyticsQuery) -> Tuple[float, CostReport]:
+        """Range-count estimate from the synopsis (upward-biased)."""
+        require(self._lo is not None, "build() the synopsis first")
+        selection = query.selection
+        require(
+            isinstance(selection, RangeSelection) and len(selection.columns) == 1,
+            "SketchAQPEngine answers 1-d range selections only",
+        )
+        require(
+            selection.columns[0] == self.column,
+            f"synopsis covers column {self.column!r}",
+        )
+        require(
+            query.aggregate.name == "count",
+            "count-min synopses answer count queries only",
+        )
+        lo = self._bucket(float(selection.lows[0]))
+        hi = self._bucket(float(selection.highs[0]))
+        meter = CostMeter()
+        seconds = meter.charge_cpu(
+            self.store.topology.pick_coordinator(), 64 * 2 * self.levels
+        )
+        meter.advance(seconds)
+        return float(self._synopsis.range_count(lo, hi)), meter.freeze()
+
+    def state_bytes(self) -> int:
+        return self._synopsis.state_bytes()
+
+    def _bucket(self, value: float) -> int:
+        bucket = int(round((value - self._lo) * self._scale))
+        return int(np.clip(bucket, 0, self._synopsis.domain - 1))

@@ -1,0 +1,83 @@
+"""Big-data-less big data analytics (P3, RT2): surgical data access.
+
+"Develop algorithms, structures, and models, which will process said
+analytics tasks via surgically accessing the smallest data subset that is
+required to compute the answers."
+
+* :mod:`repro.bigdataless.index` — distributed grid + per-node k-d
+  indexes with cell statistics.
+* :mod:`repro.bigdataless.rank_join` — rank-join via per-node sorted score
+  access and a threshold-algorithm coordinator (the "up to 6 orders of
+  magnitude" result of [30]) vs the MapReduce join-everything baseline.
+* :mod:`repro.bigdataless.knn` — coordinator-cohort kNN with
+  radius-estimate pruning (the "three orders of magnitude" of [33]) vs
+  the scan-everything MapReduce baseline [31], [32].
+* :mod:`repro.bigdataless.subgraph` — subgraph matching with a
+  GraphCache-like semantic cache (the "up to 40X" of [34], [35]).
+* :mod:`repro.bigdataless.imputation` — scalable missing-value imputation
+  via donor indexes [36].
+* :mod:`repro.bigdataless.adhoc` — ad hoc ML (cluster/classify/regress)
+  on index-selected subspaces (RT2.2).
+"""
+
+from repro.bigdataless.index import DistributedGridIndex, CellStats
+from repro.bigdataless.rank_join import (
+    RankJoinBaseline,
+    IndexedRankJoin,
+    rank_join_reference,
+)
+from repro.bigdataless.knn import KNNBaseline, CoordinatorKNN, knn_reference
+from repro.bigdataless.subgraph import GraphStore, SubgraphMatcher, SemanticGraphCache
+from repro.bigdataless.imputation import MapReduceImputer, SurgicalKNNImputer
+from repro.bigdataless.adhoc import AdHocMLEngine
+from repro.bigdataless.raw import (
+    RawDataStore,
+    ColdScanEngine,
+    EagerETLEngine,
+    AdaptiveCrackingEngine,
+)
+from repro.bigdataless.spatial import (
+    KNNJoinBaseline,
+    IndexedKNNJoin,
+    knn_join_reference,
+    DistanceJoinBaseline,
+    IndexedDistanceJoin,
+    distance_join_reference,
+)
+from repro.bigdataless.knn_variants import (
+    ReverseKNN,
+    ApproximateKNN,
+    AllPairKNN,
+    reverse_knn_reference,
+)
+
+__all__ = [
+    "RawDataStore",
+    "ColdScanEngine",
+    "EagerETLEngine",
+    "AdaptiveCrackingEngine",
+    "KNNJoinBaseline",
+    "IndexedKNNJoin",
+    "knn_join_reference",
+    "DistanceJoinBaseline",
+    "IndexedDistanceJoin",
+    "distance_join_reference",
+    "ReverseKNN",
+    "ApproximateKNN",
+    "AllPairKNN",
+    "reverse_knn_reference",
+    "DistributedGridIndex",
+    "CellStats",
+    "RankJoinBaseline",
+    "IndexedRankJoin",
+    "rank_join_reference",
+    "KNNBaseline",
+    "CoordinatorKNN",
+    "knn_reference",
+    "GraphStore",
+    "SubgraphMatcher",
+    "SemanticGraphCache",
+    "MapReduceImputer",
+    "SurgicalKNNImputer",
+    "AdHocMLEngine",
+]

@@ -1,0 +1,146 @@
+"""Ad hoc ML tasks on analyst-defined subspaces (RT2.2).
+
+"Analysts are to define (using selection operators ...) subspaces of
+interest and ask for the data items within these subspaces to be
+clustered, classified, or to perform regressions."
+
+:class:`AdHocMLEngine` runs k-means clustering, kNN classification or
+linear regression over the rows a selection picks, via two access paths:
+
+* ``fullscan`` — a MapReduce job collects the matching rows by scanning
+  every partition, then the ML runs centrally;
+* ``index``    — the grid index identifies candidate cells, only those
+  rows are surgically fetched (then filtered exactly).
+
+Both paths feed identical rows to the identical ML routine, so the
+fitted models agree; only the access cost differs.
+"""
+
+from __future__ import annotations
+
+from typing import Dict, Optional, Sequence, Tuple
+
+from repro.common.accounting import CostMeter, CostReport
+from repro.common.errors import QueryError
+from repro.common.validation import require
+from repro.cluster.storage import DistributedStore
+from repro.data.tabular import Table
+from repro.engine.coordinator import CoordinatorEngine
+from repro.engine.mapreduce import MapReduceEngine
+from repro.ml.kmeans import KMeans
+from repro.ml.knn import KNeighborsClassifier
+from repro.ml.linear import LinearRegression
+from repro.bigdataless.index import DistributedGridIndex
+from repro.queries.selections import Selection
+
+
+class AdHocMLEngine:
+    """Cluster / classify / regress over an ad hoc data subspace."""
+
+    def __init__(
+        self,
+        store: DistributedStore,
+        index: Optional[DistributedGridIndex] = None,
+    ) -> None:
+        self.store = store
+        self.index = index
+        self._mapreduce = MapReduceEngine(store)
+        self._coordinator = CoordinatorEngine(store)
+
+    # Data access ---------------------------------------------------------
+    def gather(
+        self, table_name: str, selection: Selection, method: str = "index"
+    ) -> Tuple[Table, CostReport]:
+        """Materialise the subspace rows via the chosen access path."""
+        require(method in ("fullscan", "index"), f"unknown method {method!r}")
+        if method == "fullscan" or self.index is None:
+            return self._gather_fullscan(table_name, selection)
+        return self._gather_index(table_name, selection)
+
+    def _gather_fullscan(self, table_name: str, selection: Selection):
+        def map_fn(partition: Table):
+            selected = partition.select(selection.mask(partition))
+            return [(0, selected)] if selected.n_rows else []
+
+        def reduce_fn(key, pieces):
+            return Table.concat(pieces)
+
+        results, report = self._mapreduce.run(
+            table_name, map_fn, reduce_fn, n_reducers=1
+        )
+        if 0 in results:
+            return results[0], report
+        stored = self.store.table(table_name)
+        return stored.partitions[0].data.slice_rows(0, 0), report
+
+    def _gather_index(self, table_name: str, selection: Selection):
+        require(
+            self.index is not None and self.index.table_name == table_name,
+            f"no grid index for table {table_name!r}",
+        )
+        meter = CostMeter()
+        keys = self.index.cells_for_selection(selection)
+        rows = self.index.rows_for_cells(keys)
+        stored = self.store.table(table_name)
+        data, _ = self._coordinator.fetch_rows(stored, rows, meter)
+        exact = data.select(selection.mask(data))
+        return exact, meter.freeze()
+
+    # ML operations -----------------------------------------------------------
+    def cluster(
+        self,
+        table_name: str,
+        selection: Selection,
+        feature_columns: Sequence[str],
+        n_clusters: int,
+        method: str = "index",
+        seed=0,
+    ) -> Tuple[KMeans, CostReport]:
+        """k-means over the subspace; returns (fitted model, access cost)."""
+        data, report = self.gather(table_name, selection, method)
+        if data.n_rows < n_clusters:
+            raise QueryError(
+                f"subspace has {data.n_rows} rows < n_clusters={n_clusters}"
+            )
+        model = KMeans(n_clusters=n_clusters, seed=seed).fit(
+            data.matrix(feature_columns)
+        )
+        return model, report
+
+    def classify(
+        self,
+        table_name: str,
+        selection: Selection,
+        feature_columns: Sequence[str],
+        label_column: str,
+        n_neighbors: int = 5,
+        method: str = "index",
+    ) -> Tuple[KNeighborsClassifier, CostReport]:
+        """kNN classifier trained on the subspace rows."""
+        data, report = self.gather(table_name, selection, method)
+        if data.n_rows == 0:
+            raise QueryError("subspace selected no rows to classify")
+        model = KNeighborsClassifier(n_neighbors=n_neighbors).fit(
+            data.matrix(feature_columns), data.column(label_column)
+        )
+        return model, report
+
+    def regress(
+        self,
+        table_name: str,
+        selection: Selection,
+        feature_columns: Sequence[str],
+        target_column: str,
+        method: str = "index",
+    ) -> Tuple[LinearRegression, CostReport]:
+        """OLS regression fitted within the subspace."""
+        data, report = self.gather(table_name, selection, method)
+        if data.n_rows <= len(feature_columns):
+            raise QueryError(
+                f"subspace has {data.n_rows} rows, too few for "
+                f"{len(feature_columns)} features"
+            )
+        model = LinearRegression().fit(
+            data.matrix(feature_columns), data.column(target_column)
+        )
+        return model, report

@@ -1,0 +1,412 @@
+"""Subgraph pattern matching with a semantic query cache ([34], [35]).
+
+The data graph is vertex-partitioned across cluster nodes; fetching a
+vertex's adjacency list is a metered point-read from the node that owns
+it.  :class:`SubgraphMatcher` finds all label-preserving subgraph
+isomorphism embeddings of a small query pattern by backtracking search
+(VF2-style candidate filtering on labels and degrees), fetching adjacency
+lazily.
+
+:class:`SemanticGraphCache` is the GraphCache idea: it remembers
+(query graph -> embeddings).  A new query is served by
+
+* an *exact hit* — an isomorphic cached query: zero graph access;
+* a *subsumption hit* — some cached query is a sub-pattern of the new
+  one: search restarts from the cached embeddings' neighbourhoods instead
+  of the whole graph, slashing adjacency fetches;
+* a *miss* — full matcher run, after which the result is cached.
+"""
+
+from __future__ import annotations
+
+from collections import defaultdict
+from typing import Dict, FrozenSet, List, Optional, Sequence, Tuple
+
+import numpy as np
+
+from repro.common.accounting import CostMeter, CostReport
+from repro.common.rng import SeedLike, make_rng
+from repro.common.validation import require
+from repro.cluster.topology import ClusterTopology
+
+_EDGE_BYTES = 16
+_VERTEX_BYTES = 24
+
+
+class QueryGraph:
+    """A small labelled pattern graph (undirected)."""
+
+    def __init__(self, labels: Sequence[str], edges: Sequence[Tuple[int, int]]) -> None:
+        require(len(labels) >= 1, "pattern needs at least one vertex")
+        self.labels = tuple(labels)
+        self.edges = tuple(
+            (min(u, v), max(u, v)) for u, v in edges if u != v
+        )
+        n = len(labels)
+        for u, v in self.edges:
+            require(0 <= u < n and 0 <= v < n, f"edge ({u},{v}) out of range")
+        self.adjacency: Dict[int, List[int]] = defaultdict(list)
+        for u, v in self.edges:
+            self.adjacency[u].append(v)
+            self.adjacency[v].append(u)
+
+    @property
+    def n_vertices(self) -> int:
+        return len(self.labels)
+
+    def degree(self, vertex: int) -> int:
+        return len(self.adjacency[vertex])
+
+    def canonical_key(self) -> str:
+        """Isomorphism-invariant key (exact for the small patterns used).
+
+        Combines sorted labels with sorted label-pair edge multiset and a
+        degree-label refinement — a practical canonical form for patterns
+        of <= ~8 vertices with labels.
+        """
+        label_degrees = sorted(
+            f"{self.labels[v]}#{self.degree(v)}" for v in range(self.n_vertices)
+        )
+        edge_labels = sorted(
+            "|".join(sorted((self.labels[u], self.labels[v])))
+            for u, v in self.edges
+        )
+        return ";".join(label_degrees) + "//" + ";".join(edge_labels)
+
+    def contains_pattern(self, other: "QueryGraph") -> Optional[Dict[int, int]]:
+        """If ``other`` embeds into self, return one vertex mapping."""
+        matcher = _PatternMatcher(self, other)
+        return matcher.first_embedding()
+
+
+class _PatternMatcher:
+    """Tiny in-memory pattern-in-pattern matcher (for subsumption checks)."""
+
+    def __init__(self, host: QueryGraph, pattern: QueryGraph) -> None:
+        self.host = host
+        self.pattern = pattern
+
+    def first_embedding(self) -> Optional[Dict[int, int]]:
+        order = sorted(
+            range(self.pattern.n_vertices),
+            key=lambda v: -self.pattern.degree(v),
+        )
+        return self._extend(order, 0, {})
+
+    def _extend(self, order, pos, mapping) -> Optional[Dict[int, int]]:
+        if pos == len(order):
+            return dict(mapping)
+        p_vertex = order[pos]
+        for h_vertex in range(self.host.n_vertices):
+            if h_vertex in mapping.values():
+                continue
+            if self.host.labels[h_vertex] != self.pattern.labels[p_vertex]:
+                continue
+            if self.host.degree(h_vertex) < self.pattern.degree(p_vertex):
+                continue
+            consistent = all(
+                (mapping[p_nb] in self.host.adjacency[h_vertex])
+                for p_nb in self.pattern.adjacency[p_vertex]
+                if p_nb in mapping
+            )
+            if not consistent:
+                continue
+            mapping[p_vertex] = h_vertex
+            found = self._extend(order, pos + 1, mapping)
+            if found is not None:
+                return found
+            del mapping[p_vertex]
+        return None
+
+
+class GraphStore:
+    """A labelled data graph vertex-partitioned across cluster nodes."""
+
+    def __init__(
+        self,
+        topology: ClusterTopology,
+        labels: Sequence[str],
+        edges: Sequence[Tuple[int, int]],
+    ) -> None:
+        self.topology = topology
+        self.labels = list(labels)
+        self.adjacency: Dict[int, List[int]] = defaultdict(list)
+        n = len(self.labels)
+        for u, v in edges:
+            require(0 <= u < n and 0 <= v < n, f"edge ({u},{v}) out of range")
+            if v not in self.adjacency[u]:
+                self.adjacency[u].append(v)
+            if u not in self.adjacency[v]:
+                self.adjacency[v].append(u)
+        node_ids = topology.node_ids
+        self._owner = {v: node_ids[v % len(node_ids)] for v in range(n)}
+        self._by_label: Dict[str, List[int]] = defaultdict(list)
+        for v, label in enumerate(self.labels):
+            self._by_label[label].append(v)
+
+    @classmethod
+    def from_networkx(
+        cls,
+        topology: ClusterTopology,
+        graph,
+        label_attribute: str = "label",
+        default_label: str = "A",
+    ) -> "GraphStore":
+        """Build a store from a ``networkx`` graph.
+
+        Node labels come from ``label_attribute`` (falling back to
+        ``default_label``); node identifiers may be arbitrary hashables
+        and are mapped to dense integer ids in sorted order.
+        """
+        nodes = sorted(graph.nodes, key=repr)
+        id_of = {node: i for i, node in enumerate(nodes)}
+        labels = [
+            str(graph.nodes[node].get(label_attribute, default_label))
+            for node in nodes
+        ]
+        edges = [(id_of[u], id_of[v]) for u, v in graph.edges]
+        return cls(topology, labels, edges)
+
+    def to_networkx(self):
+        """Export the data graph as a ``networkx.Graph`` (labels attached)."""
+        import networkx as nx
+
+        graph = nx.Graph()
+        for vertex, label in enumerate(self.labels):
+            graph.add_node(vertex, label=label)
+        for u, neighbors in self.adjacency.items():
+            for v in neighbors:
+                if u < v:
+                    graph.add_edge(u, v)
+        return graph
+
+    @classmethod
+    def random(
+        cls,
+        topology: ClusterTopology,
+        n_vertices: int,
+        avg_degree: float = 4.0,
+        label_alphabet: Sequence[str] = ("A", "B", "C", "D"),
+        seed: SeedLike = None,
+    ) -> "GraphStore":
+        """Random labelled graph with mild community structure."""
+        require(n_vertices >= 2, "need at least two vertices")
+        rng = make_rng(seed)
+        labels = [label_alphabet[int(i)] for i in rng.integers(len(label_alphabet), size=n_vertices)]
+        n_edges = int(n_vertices * avg_degree / 2)
+        # Mix of local (community-ish) and random edges.
+        edges = []
+        for _ in range(n_edges):
+            u = int(rng.integers(n_vertices))
+            if rng.uniform() < 0.5:
+                v = int(np.clip(u + rng.integers(-16, 17), 0, n_vertices - 1))
+            else:
+                v = int(rng.integers(n_vertices))
+            if u != v:
+                edges.append((u, v))
+        return cls(topology, labels, edges)
+
+    @property
+    def n_vertices(self) -> int:
+        return len(self.labels)
+
+    def vertices_with_label(self, label: str) -> List[int]:
+        return list(self._by_label.get(label, ()))
+
+    def owner(self, vertex: int) -> str:
+        return self._owner[vertex]
+
+    def fetch_adjacency(self, vertex: int, meter: CostMeter) -> List[int]:
+        """Metered adjacency-list read from the owning node."""
+        neighbors = self.adjacency.get(vertex, [])
+        num_bytes = _VERTEX_BYTES + _EDGE_BYTES * len(neighbors)
+        meter.charge_scan(self._owner[vertex], num_bytes, rows=1)
+        return list(neighbors)
+
+    def fetch_label(self, vertex: int, meter: CostMeter) -> str:
+        meter.charge_scan(self._owner[vertex], _VERTEX_BYTES, rows=1)
+        return self.labels[vertex]
+
+    def total_bytes(self) -> int:
+        edges = sum(len(nb) for nb in self.adjacency.values())
+        return self.n_vertices * _VERTEX_BYTES + edges * _EDGE_BYTES
+
+
+class SubgraphMatcher:
+    """Backtracking subgraph-isomorphism over the distributed graph."""
+
+    def __init__(self, store: GraphStore, max_embeddings: int = 1000) -> None:
+        require(max_embeddings >= 1, "max_embeddings must be >= 1")
+        self.store = store
+        self.max_embeddings = max_embeddings
+
+    def match(
+        self,
+        query: QueryGraph,
+        meter: Optional[CostMeter] = None,
+        seeds: Optional[List[int]] = None,
+    ) -> Tuple[List[Tuple[int, ...]], CostReport]:
+        """All embeddings (vertex tuples in query order), metered.
+
+        ``seeds`` optionally restricts the anchor vertex's candidates —
+        the hook the semantic cache uses for subsumption-accelerated runs.
+        """
+        meter = meter or CostMeter()
+        node_sec_before = meter.freeze().node_sec
+        order = self._matching_order(query)
+        anchor = order[0]
+        candidates = self.store.vertices_with_label(query.labels[anchor])
+        if seeds is not None:
+            seed_set = set(seeds)
+            candidates = [v for v in candidates if v in seed_set]
+        embeddings: List[Tuple[int, ...]] = []
+        adjacency_cache: Dict[int, List[int]] = {}
+        for candidate in candidates:
+            if len(embeddings) >= self.max_embeddings:
+                break
+            self._extend(
+                query, order, 1, {anchor: candidate}, embeddings, meter,
+                adjacency_cache,
+            )
+        # Critical path: the fetches above happen sequentially from the
+        # coordinator's perspective, so elapsed time equals the work done.
+        delta = meter.freeze().node_sec - node_sec_before
+        meter.advance(max(0.0, delta))
+        return embeddings, meter.freeze()
+
+    def _matching_order(self, query: QueryGraph) -> List[int]:
+        """Anchor at the rarest-label, highest-degree vertex; BFS outwards."""
+        def rarity(v: int) -> Tuple[int, int]:
+            label_count = len(self.store.vertices_with_label(query.labels[v]))
+            return (label_count, -query.degree(v))
+
+        anchor = min(range(query.n_vertices), key=rarity)
+        order = [anchor]
+        frontier = list(query.adjacency[anchor])
+        visited = {anchor}
+        while len(order) < query.n_vertices:
+            next_vertex = None
+            for v in frontier:
+                if v not in visited:
+                    next_vertex = v
+                    break
+            if next_vertex is None:
+                remaining = [v for v in range(query.n_vertices) if v not in visited]
+                next_vertex = remaining[0]
+            visited.add(next_vertex)
+            order.append(next_vertex)
+            frontier.extend(query.adjacency[next_vertex])
+        return order
+
+    def _extend(
+        self,
+        query: QueryGraph,
+        order: List[int],
+        pos: int,
+        mapping: Dict[int, int],
+        embeddings: List[Tuple[int, ...]],
+        meter: CostMeter,
+        adjacency_cache: Dict[int, List[int]],
+    ) -> None:
+        if len(embeddings) >= self.max_embeddings:
+            return
+        if pos == len(order):
+            embeddings.append(
+                tuple(mapping[v] for v in range(query.n_vertices))
+            )
+            return
+        q_vertex = order[pos]
+        mapped_neighbors = [
+            v for v in query.adjacency[q_vertex] if v in mapping
+        ]
+        if mapped_neighbors:
+            # Candidates must be graph-neighbours of an already mapped vertex.
+            pivot = mapping[mapped_neighbors[0]]
+            candidates = self._adjacency(pivot, meter, adjacency_cache)
+        else:
+            candidates = self.store.vertices_with_label(query.labels[q_vertex])
+        used = set(mapping.values())
+        for candidate in candidates:
+            if candidate in used:
+                continue
+            if self.store.labels[candidate] != query.labels[q_vertex]:
+                continue
+            ok = True
+            for q_nb in mapped_neighbors:
+                nb_adj = self._adjacency(mapping[q_nb], meter, adjacency_cache)
+                if candidate not in nb_adj:
+                    ok = False
+                    break
+            if not ok:
+                continue
+            mapping[q_vertex] = candidate
+            self._extend(
+                query, order, pos + 1, mapping, embeddings, meter, adjacency_cache
+            )
+            del mapping[q_vertex]
+
+    def _adjacency(self, vertex: int, meter: CostMeter, cache: Dict[int, List[int]]):
+        if vertex not in cache:
+            cache[vertex] = self.store.fetch_adjacency(vertex, meter)
+        return cache[vertex]
+
+
+class SemanticGraphCache:
+    """GraphCache-style semantic cache over subgraph query results."""
+
+    def __init__(self, matcher: SubgraphMatcher) -> None:
+        self.matcher = matcher
+        self._exact: Dict[str, List[Tuple[int, ...]]] = {}
+        self._patterns: List[Tuple[QueryGraph, List[Tuple[int, ...]]]] = []
+        self.exact_hits = 0
+        self.subsumption_hits = 0
+        self.misses = 0
+
+    def query(self, pattern: QueryGraph) -> Tuple[List[Tuple[int, ...]], CostReport]:
+        """Answer a pattern query through the cache."""
+        key = pattern.canonical_key()
+        if key in self._exact:
+            self.exact_hits += 1
+            meter = CostMeter()
+            meter.charge_cpu("graph-cache", 1024)
+            meter.advance(meter.freeze().node_sec)  # a hash lookup
+            return list(self._exact[key]), meter.freeze()
+        seeds = self._subsumption_seeds(pattern)
+        if seeds is not None:
+            self.subsumption_hits += 1
+            embeddings, report = self.matcher.match(pattern, seeds=seeds)
+        else:
+            self.misses += 1
+            embeddings, report = self.matcher.match(pattern)
+        self._exact[key] = list(embeddings)
+        self._patterns.append((pattern, list(embeddings)))
+        return embeddings, report
+
+    def _subsumption_seeds(self, pattern: QueryGraph) -> Optional[List[int]]:
+        """Anchor seeds from a cached sub-pattern of ``pattern``, if any.
+
+        If a cached pattern embeds into the new pattern, every embedding
+        of the new pattern must map some vertex onto a vertex used by a
+        cached embedding of the sub-pattern; we seed the anchor candidates
+        with the cached embeddings' vertices and their neighbourhoods.
+        """
+        for cached_pattern, cached_embeddings in self._patterns:
+            if cached_pattern.n_vertices >= pattern.n_vertices:
+                continue
+            mapping = pattern.contains_pattern(cached_pattern)
+            if mapping is None or not cached_embeddings:
+                continue
+            store = self.matcher.store
+            seed_vertices = set()
+            for embedding in cached_embeddings:
+                for vertex in embedding:
+                    seed_vertices.add(vertex)
+                    seed_vertices.update(store.adjacency.get(vertex, ()))
+            return sorted(seed_vertices)
+        return None
+
+    def state_bytes(self) -> int:
+        total = 0
+        for key, embeddings in self._exact.items():
+            total += len(key) + sum(8 * len(e) for e in embeddings)
+        return total

@@ -1,0 +1,30 @@
+"""Simulated distributed cluster substrate.
+
+The paper's architecture claims (Sec. II.A) are about *how much of the
+cluster* an analytics task touches: nodes accessed, bytes scanned, bytes
+shipped, stack layers crossed.  This package provides a deterministic
+cost-model simulator of such a cluster:
+
+* :class:`repro.cluster.node.DataNode` — a storage/compute node.
+* :class:`repro.cluster.topology.ClusterTopology` — nodes grouped into
+  datacenters with LAN/WAN links.
+* :class:`repro.cluster.storage.DistributedStore` — partitioned tables
+  (HBase/HDFS-like) spread over the nodes, with replication.
+* Cost accounting is charged against :class:`repro.common.CostMeter`.
+
+Executions compute *real answers* on real (numpy-backed) data while
+charging simulated costs, so accuracy results are genuine and performance
+results reflect the metered architecture rather than host-Python speed.
+"""
+
+from repro.cluster.node import DataNode
+from repro.cluster.topology import ClusterTopology
+from repro.cluster.storage import DistributedStore, TablePartition, StoredTable
+
+__all__ = [
+    "DataNode",
+    "ClusterTopology",
+    "DistributedStore",
+    "TablePartition",
+    "StoredTable",
+]

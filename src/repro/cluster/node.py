@@ -1,0 +1,45 @@
+"""Data/compute nodes of the simulated cluster."""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import Dict
+
+
+@dataclass
+class DataNode:
+    """One server node.
+
+    Nodes are intentionally thin: they have an identity, live in a
+    datacenter, and track how many bytes of table partitions and index
+    state they hold (for storage-footprint reporting).  All cost metering
+    happens at the engine layer against a :class:`~repro.common.CostMeter`.
+    """
+
+    node_id: str
+    datacenter: str = "dc0"
+    stored_bytes: int = 0
+    index_bytes: int = 0
+    partition_ids: set = field(default_factory=set)
+
+    def add_partition(self, partition_id: str, num_bytes: int) -> None:
+        if partition_id in self.partition_ids:
+            raise ValueError(f"partition {partition_id} already on {self.node_id}")
+        self.partition_ids.add(partition_id)
+        self.stored_bytes += num_bytes
+
+    def drop_partition(self, partition_id: str, num_bytes: int) -> None:
+        if partition_id not in self.partition_ids:
+            raise KeyError(f"partition {partition_id} not on {self.node_id}")
+        self.partition_ids.discard(partition_id)
+        self.stored_bytes -= num_bytes
+
+    def add_index_bytes(self, num_bytes: int) -> None:
+        self.index_bytes += num_bytes
+
+    @property
+    def total_bytes(self) -> int:
+        return self.stored_bytes + self.index_bytes
+
+    def __hash__(self) -> int:
+        return hash(self.node_id)

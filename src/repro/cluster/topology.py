@@ -1,0 +1,100 @@
+"""Cluster topology: nodes grouped into datacenters, LAN/WAN classification.
+
+A topology is pure structure: it knows which nodes exist, where they live,
+and whether a transfer between two nodes crosses a WAN boundary.  Engines
+consult it when charging network costs.
+"""
+
+from __future__ import annotations
+
+from typing import Dict, Iterable, List, Optional
+
+from repro.common.errors import ConfigurationError
+from repro.common.rng import SeedLike, make_rng
+from repro.common.validation import require
+from repro.cluster.node import DataNode
+
+
+class ClusterTopology:
+    """A set of named nodes partitioned into datacenters."""
+
+    def __init__(self) -> None:
+        self._nodes: Dict[str, DataNode] = {}
+        self._datacenters: Dict[str, List[str]] = {}
+
+    @classmethod
+    def single_datacenter(cls, n_nodes: int, datacenter: str = "dc0") -> "ClusterTopology":
+        """The common case: one datacenter with ``n_nodes`` data nodes."""
+        require(n_nodes >= 1, f"n_nodes must be >= 1, got {n_nodes}")
+        topo = cls()
+        for i in range(n_nodes):
+            topo.add_node(DataNode(node_id=f"{datacenter}-n{i}", datacenter=datacenter))
+        return topo
+
+    @classmethod
+    def geo_distributed(
+        cls, datacenters: Dict[str, int]
+    ) -> "ClusterTopology":
+        """Multiple datacenters, ``{name: node_count}``."""
+        require(len(datacenters) >= 1, "need at least one datacenter")
+        topo = cls()
+        for name, count in datacenters.items():
+            require(count >= 1, f"datacenter {name} needs >= 1 node")
+            for i in range(count):
+                topo.add_node(DataNode(node_id=f"{name}-n{i}", datacenter=name))
+        return topo
+
+    def add_node(self, node: DataNode) -> None:
+        if node.node_id in self._nodes:
+            raise ConfigurationError(f"duplicate node id {node.node_id}")
+        self._nodes[node.node_id] = node
+        self._datacenters.setdefault(node.datacenter, []).append(node.node_id)
+
+    def node(self, node_id: str) -> DataNode:
+        try:
+            return self._nodes[node_id]
+        except KeyError:
+            raise ConfigurationError(f"unknown node {node_id}") from None
+
+    @property
+    def node_ids(self) -> List[str]:
+        return list(self._nodes)
+
+    @property
+    def nodes(self) -> List[DataNode]:
+        return list(self._nodes.values())
+
+    @property
+    def datacenters(self) -> List[str]:
+        return list(self._datacenters)
+
+    def nodes_in(self, datacenter: str) -> List[str]:
+        try:
+            return list(self._datacenters[datacenter])
+        except KeyError:
+            raise ConfigurationError(f"unknown datacenter {datacenter}") from None
+
+    def is_wan(self, src: str, dst: str) -> bool:
+        """True when a transfer between the two nodes crosses datacenters."""
+        return self.node(src).datacenter != self.node(dst).datacenter
+
+    def pick_coordinator(self, datacenter: Optional[str] = None) -> str:
+        """A deterministic coordinator node (first node of the datacenter)."""
+        if datacenter is None:
+            datacenter = next(iter(self._datacenters))
+        return self.nodes_in(datacenter)[0]
+
+    def random_node(self, rng: SeedLike = None, datacenter: Optional[str] = None) -> str:
+        gen = make_rng(rng)
+        pool = self.nodes_in(datacenter) if datacenter else self.node_ids
+        return pool[int(gen.integers(len(pool)))]
+
+    def storage_bytes(self) -> int:
+        """Total table + index bytes stored across the cluster."""
+        return sum(node.total_bytes for node in self._nodes.values())
+
+    def __len__(self) -> int:
+        return len(self._nodes)
+
+    def __contains__(self, node_id: str) -> bool:
+        return node_id in self._nodes

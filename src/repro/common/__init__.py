@@ -1,0 +1,39 @@
+"""Shared utilities: errors, randomness, cost accounting, validation.
+
+Everything in :mod:`repro` builds on these primitives.  They are deliberately
+dependency-free (numpy only) so that every other subpackage can import them
+without cycles.
+"""
+
+from repro.common.errors import (
+    ReproError,
+    ConfigurationError,
+    NotTrainedError,
+    StorageError,
+    QueryError,
+)
+from repro.common.accounting import CostReport, CostMeter, CostRates
+from repro.common.rng import make_rng, spawn_rngs
+from repro.common.validation import (
+    require,
+    require_positive,
+    require_in_range,
+    require_matrix,
+)
+
+__all__ = [
+    "ReproError",
+    "ConfigurationError",
+    "NotTrainedError",
+    "StorageError",
+    "QueryError",
+    "CostReport",
+    "CostMeter",
+    "CostRates",
+    "make_rng",
+    "spawn_rngs",
+    "require",
+    "require_positive",
+    "require_in_range",
+    "require_matrix",
+]

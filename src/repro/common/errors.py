@@ -1,0 +1,34 @@
+"""Exception hierarchy for the SEA reproduction.
+
+All library exceptions derive from :class:`ReproError` so callers can catch
+one base class.  Subclasses signal *which layer* misbehaved rather than
+encoding error details in string matching.
+"""
+
+
+class ReproError(Exception):
+    """Base class for all errors raised by :mod:`repro`."""
+
+
+class ConfigurationError(ReproError):
+    """An object was constructed or configured with invalid parameters."""
+
+
+class NotTrainedError(ReproError):
+    """A learned model was asked to predict before being trained."""
+
+
+class StorageError(ReproError):
+    """A storage-layer operation failed (missing table, bad partition...)."""
+
+
+class QueryError(ReproError):
+    """A query was malformed or unsupported by the engine asked to run it."""
+
+
+class RoutingError(ReproError):
+    """A geo-distributed query could not be routed to any capable node."""
+
+
+class OptimizationError(ReproError):
+    """The optimizer could not produce an execution plan."""

@@ -1,0 +1,40 @@
+"""Deterministic randomness helpers.
+
+Every stochastic component in the library accepts either a seed or a
+:class:`numpy.random.Generator`.  Centralising the coercion here keeps
+experiments reproducible: the same seed always yields the same cluster
+layout, data set, workload and model initialisation.
+"""
+
+from __future__ import annotations
+
+from typing import Optional, Union
+
+import numpy as np
+
+SeedLike = Union[None, int, np.random.Generator]
+
+
+def make_rng(seed: SeedLike = None) -> np.random.Generator:
+    """Coerce ``seed`` into a :class:`numpy.random.Generator`.
+
+    ``None`` produces a nondeterministic generator; an ``int`` produces a
+    deterministic one; an existing generator is passed through untouched so
+    callers can share a stream.
+    """
+    if isinstance(seed, np.random.Generator):
+        return seed
+    return np.random.default_rng(seed)
+
+
+def spawn_rngs(seed: SeedLike, count: int) -> list:
+    """Derive ``count`` independent generators from one seed.
+
+    Uses numpy's ``spawn`` mechanism so the children are statistically
+    independent streams, which matters when e.g. each simulated data node
+    draws its own data.
+    """
+    if count < 0:
+        raise ValueError(f"count must be non-negative, got {count}")
+    parent = make_rng(seed)
+    return list(parent.spawn(count))

@@ -1,0 +1,60 @@
+"""Argument-validation helpers used across the library.
+
+These raise :class:`repro.common.errors.ConfigurationError` with uniform
+messages, keeping constructor bodies short and the failure mode consistent.
+"""
+
+from __future__ import annotations
+
+from typing import Any, Optional
+
+import numpy as np
+
+from repro.common.errors import ConfigurationError
+
+
+def require(condition: bool, message: str) -> None:
+    """Raise :class:`ConfigurationError` with ``message`` unless ``condition``."""
+    if not condition:
+        raise ConfigurationError(message)
+
+
+def require_positive(value: float, name: str) -> None:
+    """Require ``value > 0``."""
+    if not value > 0:
+        raise ConfigurationError(f"{name} must be positive, got {value!r}")
+
+
+def require_in_range(
+    value: float, name: str, low: float, high: float, inclusive: bool = True
+) -> None:
+    """Require ``low <= value <= high`` (or strict if ``inclusive=False``)."""
+    if inclusive:
+        ok = low <= value <= high
+    else:
+        ok = low < value < high
+    if not ok:
+        raise ConfigurationError(
+            f"{name} must be in {'[' if inclusive else '('}{low}, {high}"
+            f"{']' if inclusive else ')'}, got {value!r}"
+        )
+
+
+def require_matrix(
+    array: Any, name: str, n_cols: Optional[int] = None
+) -> np.ndarray:
+    """Coerce ``array`` to a 2-d float ndarray, checking the column count.
+
+    Returns the coerced array so callers can write
+    ``x = require_matrix(x, "x", n_cols=self.dim)``.
+    """
+    arr = np.asarray(array, dtype=float)
+    if arr.ndim == 1:
+        arr = arr.reshape(1, -1)
+    if arr.ndim != 2:
+        raise ConfigurationError(f"{name} must be 2-dimensional, got shape {arr.shape}")
+    if n_cols is not None and arr.shape[1] != n_cols:
+        raise ConfigurationError(
+            f"{name} must have {n_cols} columns, got {arr.shape[1]}"
+        )
+    return arr

@@ -1,0 +1,53 @@
+"""The paper's primary contribution: data-less big data analytics (P2, RT1).
+
+An intelligent agent sits between analysts and the BDAS (Fig. 2).  It
+
+1. *quantizes the query space* — learns where analyst queries concentrate
+   (:mod:`repro.core.quantization`, objective O1);
+2. *models the answer space* — learns, per query-space quantum, how answers
+   depend on query parameters (:mod:`repro.core.answer_models`, O2);
+3. *associates* the two to predict answers for unseen queries with
+   calibrated error estimates (:mod:`repro.core.predictor` and
+   :mod:`repro.core.error`, O3 / RT1.3);
+4. *maintains* the models under query-interest drift and base-data updates
+   (:mod:`repro.core.maintenance`, RT1.4);
+5. serves analysts *without touching base data* whenever the estimated
+   error is acceptable, falling back to the exact engine otherwise
+   (:class:`repro.core.agent.SEAAgent`);
+6. extends to polystores by exchanging models instead of data
+   (:mod:`repro.core.polystore`, RT1.5).
+"""
+
+from repro.core.quantization import QuerySpaceQuantizer
+from repro.core.answer_models import AnswerModelFactory, QuantumModel
+from repro.core.error import PrequentialErrorEstimator
+from repro.core.predictor import DatalessPredictor, Prediction
+from repro.core.agent import SEAAgent, AgentConfig, ServedQuery
+from repro.core.maintenance import DriftDetector, DataUpdateMonitor
+from repro.core.polystore import Polystore, PolystoreSystem
+from repro.core.persistence import (
+    save_predictor,
+    load_predictor,
+    save_agent_models,
+    load_agent_models,
+)
+
+__all__ = [
+    "QuerySpaceQuantizer",
+    "AnswerModelFactory",
+    "QuantumModel",
+    "PrequentialErrorEstimator",
+    "DatalessPredictor",
+    "Prediction",
+    "SEAAgent",
+    "AgentConfig",
+    "ServedQuery",
+    "DriftDetector",
+    "DataUpdateMonitor",
+    "Polystore",
+    "PolystoreSystem",
+    "save_predictor",
+    "load_predictor",
+    "save_agent_models",
+    "load_agent_models",
+]

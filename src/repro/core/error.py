@@ -1,0 +1,93 @@
+"""Error estimation for predicted answers (RT1.3).
+
+"Develop error estimation techniques, in order to accompany predicted
+answers with (accurate) error estimations so that the system (or analyst)
+can choose to proceed with the predicted answer or to obtain an exact
+answer by accessing the base data."
+
+The estimator is *prequential* (test-then-train): when a training pair
+arrives, the current model first predicts it, the absolute (relative)
+residual is recorded, and only then does the pair update the model.  The
+error estimate for a future query in the same quantum is a high quantile
+of that quantum's recent residuals — a split-conformal-style guarantee
+without distributional assumptions.  Residual windows are bounded, so the
+estimator also adapts when drift makes old residuals unrepresentative.
+"""
+
+from __future__ import annotations
+
+from collections import deque
+from typing import Deque, Dict, Optional
+
+import numpy as np
+
+from repro.common.validation import require, require_in_range
+
+
+class PrequentialErrorEstimator:
+    """Per-quantum windows of prequential residuals with quantile readout."""
+
+    def __init__(
+        self,
+        quantile: float = 0.9,
+        window: int = 64,
+        min_observations: int = 5,
+        relative_floor: float = 1.0,
+    ) -> None:
+        require_in_range(quantile, "quantile", 0.5, 1.0)
+        require(window >= 4, "window must be >= 4")
+        require(min_observations >= 1, "min_observations must be >= 1")
+        self.quantile = quantile
+        self.window = window
+        self.min_observations = min_observations
+        self.relative_floor = relative_floor
+        self._residuals: Dict[int, Deque[float]] = {}
+
+    def record(self, quantum_id: int, predicted, actual) -> float:
+        """Record one prequential residual; returns the relative error."""
+        pred = np.atleast_1d(np.asarray(predicted, dtype=float))
+        act = np.atleast_1d(np.asarray(actual, dtype=float))
+        denom = max(float(np.linalg.norm(act)), self.relative_floor)
+        rel = float(np.linalg.norm(act - pred)) / denom
+        bucket = self._residuals.setdefault(
+            quantum_id, deque(maxlen=self.window)
+        )
+        bucket.append(rel)
+        return rel
+
+    def estimate(self, quantum_id: int) -> Optional[float]:
+        """Estimated relative error for a new query in this quantum.
+
+        Returns ``None`` while the quantum has too few residuals for the
+        quantile to mean anything — callers must then treat the prediction
+        as unreliable (the agent falls back to exact execution).
+        """
+        bucket = self._residuals.get(quantum_id)
+        if bucket is None or len(bucket) < self.min_observations:
+            return None
+        return float(np.quantile(np.asarray(bucket), self.quantile))
+
+    def n_observations(self, quantum_id: int) -> int:
+        bucket = self._residuals.get(quantum_id)
+        return len(bucket) if bucket else 0
+
+    def recent_mean(self, quantum_id: int, last: int = 8) -> Optional[float]:
+        """Mean of the most recent residuals (drift detection input)."""
+        bucket = self._residuals.get(quantum_id)
+        if not bucket:
+            return None
+        values = list(bucket)[-last:]
+        return float(np.mean(values))
+
+    def historical_mean(self, quantum_id: int) -> Optional[float]:
+        bucket = self._residuals.get(quantum_id)
+        if not bucket:
+            return None
+        return float(np.mean(bucket))
+
+    def forget(self, quantum_id: int) -> None:
+        """Drop a quantum's residual history (model was reset/purged)."""
+        self._residuals.pop(quantum_id, None)
+
+    def state_bytes(self) -> int:
+        return sum(8 * len(bucket) for bucket in self._residuals.values())

@@ -1,0 +1,123 @@
+"""Model maintenance (RT1.4): query-pattern drift and base-data updates.
+
+Two mechanisms:
+
+* :class:`DriftDetector` — watches each quantum's prequential residual
+  stream.  When the recent mean residual exceeds the historical mean by a
+  multiplicative factor (plus an absolute floor, to ignore noise around
+  zero), the quantum is flagged; the agent then resets its model so the
+  next queries retrain it from fresh exact answers.  A flagged quantum is
+  un-flagged once it has re-accumulated enough fresh residuals.
+
+* :class:`DataUpdateMonitor` — when base data changes inside a bounding
+  box, every quantum whose *queried subspace* overlaps the box is
+  invalidated.  A quantum's subspace is reconstructed from its centroid in
+  query space using the centre+extent vector convention of
+  :mod:`repro.queries.selections`.
+"""
+
+from __future__ import annotations
+
+from typing import Dict, Set
+
+import numpy as np
+
+from repro.common.validation import require
+from repro.core.error import PrequentialErrorEstimator
+from repro.core.predictor import DatalessPredictor
+
+
+class DriftDetector:
+    """Flags quanta whose predictive error has degraded."""
+
+    def __init__(
+        self,
+        factor: float = 2.5,
+        absolute_floor: float = 0.05,
+        recent_window: int = 6,
+        min_history: int = 12,
+        recovery_observations: int = 6,
+    ) -> None:
+        require(factor > 1.0, "factor must exceed 1.0")
+        require(recent_window >= 2, "recent_window must be >= 2")
+        require(min_history > recent_window, "min_history must exceed recent_window")
+        self.factor = factor
+        self.absolute_floor = absolute_floor
+        self.recent_window = recent_window
+        self.min_history = min_history
+        self.recovery_observations = recovery_observations
+        self._flagged: Dict[int, int] = {}  # quantum -> observations since flag
+
+    def check(self, errors: PrequentialErrorEstimator, quantum_id: int) -> bool:
+        """Update flag state after a new residual; True if newly flagged.
+
+        Call after each prequential record for the quantum.
+        """
+        if quantum_id in self._flagged:
+            self._flagged[quantum_id] += 1
+            if self._flagged[quantum_id] >= self.recovery_observations:
+                del self._flagged[quantum_id]
+            return False
+        if errors.n_observations(quantum_id) < self.min_history:
+            return False
+        recent = errors.recent_mean(quantum_id, last=self.recent_window)
+        historical = errors.historical_mean(quantum_id)
+        if recent is None or historical is None:
+            return False
+        threshold = max(self.factor * historical, self.absolute_floor)
+        if recent > threshold:
+            self._flagged[quantum_id] = 0
+            return True
+        return False
+
+    def is_flagged(self, quantum_id: int) -> bool:
+        return quantum_id in self._flagged
+
+    @property
+    def flagged_quanta(self) -> Set[int]:
+        return set(self._flagged)
+
+
+class DataUpdateMonitor:
+    """Invalidates learned state overlapped by base-data changes."""
+
+    def invalidate_overlapping(
+        self, predictor: DatalessPredictor, lows: np.ndarray, highs: np.ndarray
+    ) -> int:
+        """Reset every quantum whose subspace box intersects [lows, highs].
+
+        Returns the number of quanta invalidated.  The quantum's subspace
+        box is decoded from its centroid under the (centre..., extent...)
+        query-vector convention; for radius queries the single trailing
+        extent applies to every dimension.
+        """
+        if not predictor.quantizer.is_warm:
+            # Nothing learned yet: be conservative and reset any buffers.
+            predictor.reset_all()
+            return len(predictor.quantum_ids())
+        lows = np.asarray(lows, dtype=float).ravel()
+        highs = np.asarray(highs, dtype=float).ravel()
+        d = lows.shape[0]
+        invalidated = 0
+        centroids = predictor.quantizer.centroids
+        for quantum_id in predictor.quantum_ids():
+            if quantum_id >= len(centroids):
+                continue
+            box_lo, box_hi = self._quantum_box(centroids[quantum_id], d)
+            if np.all(box_hi >= lows) and np.all(box_lo <= highs):
+                predictor.reset_quantum(quantum_id)
+                invalidated += 1
+        return invalidated
+
+    @staticmethod
+    def _quantum_box(centroid: np.ndarray, d: int):
+        """(lows, highs) of the subspace a quantum centroid describes."""
+        center = centroid[:d]
+        extents = centroid[d:]
+        if extents.shape[0] == d:  # range queries: per-dimension half-widths
+            half = np.abs(extents)
+        elif extents.shape[0] == 1:  # radius queries: one radius
+            half = np.full(d, abs(float(extents[0])))
+        else:  # kNN or unknown encoding: be conservative
+            half = np.full(d, np.inf)
+        return center - half, center + half

@@ -1,0 +1,86 @@
+"""Persistence of learned state: save and restore trained predictors.
+
+Two production needs drive this module:
+
+* an operator wants the agent's models to survive restarts without
+  re-intercepting hundreds of training queries;
+* the geo-distributed deployment ships model state between sites (RT5.2)
+  — what crosses the wire is exactly what these functions serialize.
+
+The format is a plain pickled payload wrapped with a magic header and a
+schema version, so stale files fail loudly instead of deserialising into
+silently incompatible objects.
+"""
+
+from __future__ import annotations
+
+import io
+import pickle
+from typing import BinaryIO, Union
+
+from repro.common.errors import ConfigurationError
+from repro.core.agent import SEAAgent
+from repro.core.predictor import DatalessPredictor
+
+_MAGIC = b"SEA-MODEL"
+_VERSION = 1
+
+PathOrFile = Union[str, BinaryIO]
+
+
+def save_predictor(predictor: DatalessPredictor, target: PathOrFile) -> int:
+    """Serialize one predictor; returns the payload size in bytes."""
+    return _write(("predictor", predictor), target)
+
+
+def load_predictor(source: PathOrFile) -> DatalessPredictor:
+    """Restore a predictor saved by :func:`save_predictor`."""
+    kind, payload = _read(source)
+    if kind != "predictor":
+        raise ConfigurationError(f"file holds a {kind!r}, not a predictor")
+    return payload
+
+
+def save_agent_models(agent: SEAAgent, target: PathOrFile) -> int:
+    """Serialize every predictor of an agent (keyed by query signature).
+
+    The engine/cluster wiring is *not* saved — models are portable across
+    deployments; reattach them to any agent fronting the same tables.
+    """
+    return _write(("agent-models", dict(agent._predictors)), target)
+
+
+def load_agent_models(agent: SEAAgent, source: PathOrFile) -> int:
+    """Install saved predictors into ``agent``; returns how many loaded."""
+    kind, payload = _read(source)
+    if kind != "agent-models":
+        raise ConfigurationError(f"file holds a {kind!r}, not agent models")
+    for signature, predictor in payload.items():
+        agent.adopt_predictor(signature, predictor)
+    return len(payload)
+
+
+def _write(payload, target: PathOrFile) -> int:
+    blob = _MAGIC + bytes([_VERSION]) + pickle.dumps(payload, protocol=4)
+    if isinstance(target, str):
+        with open(target, "wb") as handle:
+            handle.write(blob)
+    else:
+        target.write(blob)
+    return len(blob)
+
+
+def _read(source: PathOrFile):
+    if isinstance(source, str):
+        with open(source, "rb") as handle:
+            blob = handle.read()
+    else:
+        blob = source.read()
+    if not blob.startswith(_MAGIC):
+        raise ConfigurationError("not a SEA model file (bad magic header)")
+    version = blob[len(_MAGIC)]
+    if version != _VERSION:
+        raise ConfigurationError(
+            f"unsupported model-file version {version} (expected {_VERSION})"
+        )
+    return pickle.loads(blob[len(_MAGIC) + 1 :])

@@ -1,0 +1,172 @@
+"""Multi-system (polystore) data-less analytics (RT1.5).
+
+"Instead of migrating large volumes of data between constituent systems,
+either: (i) only approximate results of performing operators on the local
+data are sent, or (ii) the models themselves are migrated."
+
+A :class:`Polystore` federates several constituent systems, each with its
+own store and SEA agent.  A federated query (same schema across systems,
+union semantics — e.g. a fleet of per-region NoSQL stores) can be executed
+three ways:
+
+* ``migrate``  — the classical path: every remote system ships its *base
+  table* to the querying system, which then scans the union (Fig. 1 at
+  polystore scale);
+* ``partials`` — each system computes its exact local answer and ships
+  only the aggregate partial (decomposable aggregates);
+* ``models``   — each system's agent predicts its local answer from its
+  models; only scalars cross system boundaries, and no system touches its
+  base data.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import Dict, List, Optional, Tuple
+
+import numpy as np
+
+from repro.common.accounting import CostMeter, CostReport
+from repro.common.errors import ConfigurationError, QueryError
+from repro.common.validation import require
+from repro.core.agent import SEAAgent
+from repro.queries.query import AnalyticsQuery, Answer
+
+_PARTIAL_BYTES = 64
+_MODEL_ANSWER_BYTES = 16
+
+
+@dataclass
+class PolystoreSystem:
+    """One constituent system of the polystore."""
+
+    name: str
+    agent: SEAAgent
+    gateway_node: str  # the node that speaks to other systems (WAN)
+
+    @property
+    def store(self):
+        return self.agent.engine.store
+
+
+class Polystore:
+    """A federation of constituent systems with per-system SEA agents."""
+
+    def __init__(self, systems: List[PolystoreSystem]) -> None:
+        require(len(systems) >= 2, "a polystore needs at least two systems")
+        names = [s.name for s in systems]
+        if len(set(names)) != len(names):
+            raise ConfigurationError(f"duplicate system names: {names}")
+        self.systems = {s.name: s for s in systems}
+
+    def execute_union(
+        self, query: AnalyticsQuery, strategy: str = "models", home: Optional[str] = None
+    ) -> Tuple[Answer, CostReport]:
+        """Federated union-semantics aggregate across all systems."""
+        require(
+            strategy in ("migrate", "partials", "models"),
+            f"unknown strategy {strategy!r}",
+        )
+        home_system = self.systems[home] if home else next(iter(self.systems.values()))
+        if strategy == "migrate":
+            return self._run_migrate(query, home_system)
+        if strategy == "partials":
+            return self._run_partials(query, home_system)
+        return self._run_models(query, home_system)
+
+    # Strategies -------------------------------------------------------------
+    def _run_migrate(
+        self, query: AnalyticsQuery, home: PolystoreSystem
+    ) -> Tuple[Answer, CostReport]:
+        """Ship every remote base table to the home system, then aggregate."""
+        meter = CostMeter()
+        partials = []
+        slowest = 0.0
+        for system in self.systems.values():
+            stored = system.store.table(query.table_name)
+            seconds = 0.0
+            for partition in stored.partitions:
+                data = system.store.read_partition(partition, meter)
+                if system.name != home.name:
+                    seconds += meter.charge_transfer(
+                        system.gateway_node,
+                        home.gateway_node,
+                        data.n_bytes,
+                        wan=True,
+                    )
+                selected = data.select(query.selection.mask(data))
+                seconds += meter.charge_cpu(home.gateway_node, data.n_bytes)
+                partials.append(query.aggregate.partial(selected))
+            slowest = max(slowest, seconds)
+        meter.advance(slowest)
+        return query.aggregate.merge(partials), meter.freeze()
+
+    def _run_partials(
+        self, query: AnalyticsQuery, home: PolystoreSystem
+    ) -> Tuple[Answer, CostReport]:
+        """Each system answers exactly on local data; partials cross the WAN."""
+        if not query.aggregate.decomposable:
+            raise QueryError(
+                f"{query.aggregate.name} is holistic; partials strategy "
+                "requires a decomposable aggregate"
+            )
+        meter = CostMeter()
+        partials = []
+        reports = []
+        for system in self.systems.values():
+            answer, report = system.agent.engine.execute(query)
+            # Re-derive the partial from the exact local answer path.
+            stored = system.store.table(query.table_name)
+            local = []
+            for partition in stored.partitions:
+                selected = partition.data.select(query.selection.mask(partition.data))
+                local.append(query.aggregate.partial(selected))
+            partials.extend(local)
+            reports.append(report)
+            if system.name != home.name:
+                meter.charge_transfer(
+                    system.gateway_node, home.gateway_node, _PARTIAL_BYTES, wan=True
+                )
+        combined = CostMeter.total(reports, parallel=True).merged_parallel(
+            meter.freeze()
+        )
+        return query.aggregate.merge(partials), combined
+
+    def _run_models(
+        self, query: AnalyticsQuery, home: PolystoreSystem
+    ) -> Tuple[Answer, CostReport]:
+        """Each system's agent answers locally (Fig. 2); scalars cross the WAN.
+
+        Falls back per-system: a system whose agent cannot yet serve the
+        query data-lessly contributes its exact local partial instead.
+        """
+        meter = CostMeter()
+        values = []
+        reports = []
+        for system in self.systems.values():
+            record = system.agent.submit(query)
+            reports.append(record.cost)
+            values.append(record.answer)
+            if system.name != home.name:
+                meter.charge_transfer(
+                    system.gateway_node,
+                    home.gateway_node,
+                    _MODEL_ANSWER_BYTES * query.answer_dim,
+                    wan=True,
+                )
+        combined = CostMeter.total(reports, parallel=True).merged_parallel(
+            meter.freeze()
+        )
+        return self._combine_model_answers(query, values), combined
+
+    @staticmethod
+    def _combine_model_answers(query: AnalyticsQuery, values: List[Answer]) -> Answer:
+        """Union-combine per-system answers for the supported aggregates."""
+        name = query.aggregate.name
+        if name.startswith(("count", "sum")):
+            return float(np.sum(values))
+        # mean/std/correlation/regression: per-system sizes are unknown to
+        # the model path, so use the unweighted combination — adequate when
+        # systems hold comparably sized shards (documented limitation).
+        arr = np.asarray(values, dtype=float)
+        return float(arr.mean()) if arr.ndim == 1 else arr.mean(axis=0)

@@ -1,0 +1,33 @@
+"""Data sets and analyst workloads.
+
+* :mod:`repro.data.tabular` — the in-memory columnar :class:`Table`.
+* :mod:`repro.data.generators` — synthetic data sets (gaussian mixtures,
+  uniform/zipf-scored relations, graphs with community structure).
+* :mod:`repro.data.workload` — analyst workload generators with the
+  property the SEA paradigm rests on: overlapping, locality-heavy query
+  subspaces whose focus drifts over time (Sec. IV P2, RT1.4).
+"""
+
+from repro.data.tabular import Table
+from repro.data.generators import (
+    gaussian_mixture_table,
+    uniform_table,
+    scored_relation,
+    table_with_missing,
+)
+from repro.data.workload import (
+    InterestProfile,
+    WorkloadGenerator,
+    train_test_split_queries,
+)
+
+__all__ = [
+    "Table",
+    "gaussian_mixture_table",
+    "uniform_table",
+    "scored_relation",
+    "table_with_missing",
+    "InterestProfile",
+    "WorkloadGenerator",
+    "train_test_split_queries",
+]

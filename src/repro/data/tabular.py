@@ -1,0 +1,208 @@
+"""In-memory columnar tables.
+
+:class:`Table` is the base-data representation used throughout the
+simulator: a named set of equally long numpy columns.  It supports the
+minimum relational algebra the experiments need (mask selection,
+projection, slicing, vertical stacking) and knows its serialized size so
+the cost model can charge scans and transfers in bytes.
+"""
+
+from __future__ import annotations
+
+from typing import Dict, Iterable, List, Optional, Sequence
+
+import numpy as np
+
+from repro.common.errors import QueryError
+from repro.common.validation import require
+
+_BYTES_PER_VALUE = 8  # float64 / int64 storage
+
+
+class Table:
+    """A named collection of equally long numpy columns.
+
+    ``value_bytes`` sets the *serialized* width of one value for the cost
+    model (default 8, the in-memory float64 width).  Real analytical
+    records often carry wide payloads (strings, arrays) alongside the few
+    numeric columns a query touches; a larger ``value_bytes`` models such
+    tables without materialising the payload bytes in RAM.
+    """
+
+    def __init__(
+        self,
+        columns: Dict[str, np.ndarray],
+        name: str = "table",
+        value_bytes: int = _BYTES_PER_VALUE,
+    ) -> None:
+        require(len(columns) >= 1, "a table needs at least one column")
+        require(value_bytes >= 1, "value_bytes must be >= 1")
+        self.value_bytes = value_bytes
+        arrays = {key: np.asarray(value) for key, value in columns.items()}
+        lengths = {arr.shape[0] for arr in arrays.values()}
+        require(
+            len(lengths) == 1,
+            f"all columns must have equal length, got lengths {sorted(lengths)}",
+        )
+        for key, arr in arrays.items():
+            require(arr.ndim == 1, f"column {key!r} must be 1-dimensional")
+        self.name = name
+        self._columns = arrays
+
+    # Basic properties ----------------------------------------------------
+    @property
+    def column_names(self) -> List[str]:
+        return list(self._columns)
+
+    @property
+    def n_rows(self) -> int:
+        return next(iter(self._columns.values())).shape[0]
+
+    @property
+    def n_columns(self) -> int:
+        return len(self._columns)
+
+    @property
+    def n_bytes(self) -> int:
+        """Serialized size used by the cost model."""
+        return self.n_rows * self.n_columns * self.value_bytes
+
+    @property
+    def row_bytes(self) -> int:
+        return self.n_columns * self.value_bytes
+
+    def column(self, name: str) -> np.ndarray:
+        try:
+            return self._columns[name]
+        except KeyError:
+            raise QueryError(
+                f"table {self.name!r} has no column {name!r}; "
+                f"available: {self.column_names}"
+            ) from None
+
+    def __getitem__(self, name: str) -> np.ndarray:
+        return self.column(name)
+
+    def __contains__(self, name: str) -> bool:
+        return name in self._columns
+
+    def __len__(self) -> int:
+        return self.n_rows
+
+    def __repr__(self) -> str:
+        return (
+            f"Table({self.name!r}, rows={self.n_rows}, "
+            f"columns={self.column_names})"
+        )
+
+    # Relational operations -------------------------------------------------
+    def matrix(self, columns: Optional[Sequence[str]] = None) -> np.ndarray:
+        """Stack the named columns into an (n_rows, k) float matrix."""
+        names = list(columns) if columns is not None else self.column_names
+        return np.column_stack([self.column(c).astype(float) for c in names])
+
+    def select(self, mask: np.ndarray) -> "Table":
+        """Rows where ``mask`` is true, as a new table."""
+        mask = np.asarray(mask)
+        require(
+            mask.shape == (self.n_rows,),
+            f"mask shape {mask.shape} does not match {self.n_rows} rows",
+        )
+        return Table(
+            {key: arr[mask] for key, arr in self._columns.items()},
+            name=self.name,
+            value_bytes=self.value_bytes,
+        )
+
+    def take(self, indices) -> "Table":
+        """Rows at the given integer positions, as a new table."""
+        idx = np.asarray(indices, dtype=int)
+        return Table(
+            {key: arr[idx] for key, arr in self._columns.items()},
+            name=self.name,
+            value_bytes=self.value_bytes,
+        )
+
+    def project(self, columns: Sequence[str]) -> "Table":
+        """Keep only the named columns."""
+        return Table(
+            {c: self.column(c) for c in columns},
+            name=self.name,
+            value_bytes=self.value_bytes,
+        )
+
+    def slice_rows(self, start: int, stop: int) -> "Table":
+        """Rows in [start, stop), as a new table."""
+        return Table(
+            {key: arr[start:stop] for key, arr in self._columns.items()},
+            name=self.name,
+            value_bytes=self.value_bytes,
+        )
+
+    def with_column(self, name: str, values) -> "Table":
+        """Copy of this table with one column added or replaced."""
+        arr = np.asarray(values)
+        require(
+            arr.shape == (self.n_rows,),
+            f"new column length {arr.shape} does not match {self.n_rows} rows",
+        )
+        columns = dict(self._columns)
+        columns[name] = arr
+        return Table(columns, name=self.name, value_bytes=self.value_bytes)
+
+    @staticmethod
+    def concat(tables: Iterable["Table"], name: Optional[str] = None) -> "Table":
+        """Vertically stack tables with identical schemas."""
+        parts = list(tables)
+        require(len(parts) >= 1, "concat needs at least one table")
+        schema = parts[0].column_names
+        for t in parts[1:]:
+            require(
+                t.column_names == schema,
+                f"schema mismatch: {t.column_names} vs {schema}",
+            )
+        return Table(
+            {c: np.concatenate([t.column(c) for t in parts]) for c in schema},
+            name=name if name is not None else parts[0].name,
+            value_bytes=parts[0].value_bytes,
+        )
+
+    # I/O -----------------------------------------------------------------
+    def to_csv(self, path: str, float_format: str = "%.10g") -> None:
+        """Write the table as a header-first CSV file."""
+        matrix = np.column_stack(
+            [np.asarray(self._columns[c], dtype=float) for c in self.column_names]
+        )
+        np.savetxt(
+            path,
+            matrix,
+            delimiter=",",
+            header=",".join(self.column_names),
+            comments="",
+            fmt=float_format,
+        )
+
+    @classmethod
+    def from_csv(
+        cls, path: str, name: Optional[str] = None, value_bytes: int = _BYTES_PER_VALUE
+    ) -> "Table":
+        """Read a header-first numeric CSV file written by :meth:`to_csv`
+        (or any numeric CSV with a header row)."""
+        with open(path) as handle:
+            header = handle.readline().strip()
+        require(header, f"{path}: empty file")
+        names = [c.strip() for c in header.split(",")]
+        data = np.loadtxt(path, delimiter=",", skiprows=1, ndmin=2)
+        require(
+            data.shape[1] == len(names),
+            f"{path}: {data.shape[1]} data columns vs {len(names)} headers",
+        )
+        columns = {c: data[:, i] for i, c in enumerate(names)}
+        table_name = name if name is not None else path.rsplit("/", 1)[-1]
+        return cls(columns, name=table_name, value_bytes=value_bytes)
+
+    def split(self, n_parts: int) -> List["Table"]:
+        """Split into ``n_parts`` contiguous row ranges (sizes differ by <=1)."""
+        require(n_parts >= 1, "n_parts must be >= 1")
+        bounds = np.linspace(0, self.n_rows, n_parts + 1).astype(int)
+        return [self.slice_rows(bounds[i], bounds[i + 1]) for i in range(n_parts)]

@@ -1,0 +1,211 @@
+"""Analyst workload generation.
+
+P2's viability "rests on leveraging known and widely accepted workload
+characteristics, namely that queries define overlapping data subspaces
+[17]-[20], [25]".  A :class:`WorkloadGenerator` models a population of
+analysts whose interest concentrates around a small number of hotspots in
+the data domain; queries are ranges or radii drawn around those hotspots.
+Interest *drift* (RT1.4) is modelled by moving/replacing hotspots.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import Iterator, List, Optional, Sequence, Tuple
+
+import numpy as np
+
+from repro.common.rng import SeedLike, make_rng
+from repro.common.validation import require
+from repro.queries.aggregates import Aggregate, Count
+from repro.queries.query import AnalyticsQuery
+from repro.queries.selections import RadiusSelection, RangeSelection
+
+
+@dataclass
+class InterestProfile:
+    """Where analyst attention currently concentrates.
+
+    ``hotspots`` is (h, d): h interest centres in d dimensions;
+    ``hotspot_scale`` is how far query centres scatter around a hotspot;
+    ``extent_range`` bounds the query half-width / radius draws.
+    """
+
+    hotspots: np.ndarray
+    hotspot_scale: float = 4.0
+    extent_range: Tuple[float, float] = (2.0, 10.0)
+
+    def __post_init__(self) -> None:
+        self.hotspots = np.atleast_2d(np.asarray(self.hotspots, dtype=float))
+        require(self.hotspot_scale > 0, "hotspot_scale must be positive")
+        lo, hi = self.extent_range
+        require(0 < lo <= hi, "extent_range must satisfy 0 < lo <= hi")
+
+    @classmethod
+    def random(
+        cls,
+        n_hotspots: int,
+        dim: int,
+        domain: Tuple[float, float] = (0.0, 100.0),
+        hotspot_scale: float = 4.0,
+        extent_range: Tuple[float, float] = (2.0, 10.0),
+        seed: SeedLike = None,
+    ) -> "InterestProfile":
+        rng = make_rng(seed)
+        lo, hi = domain
+        margin = (hi - lo) * 0.1
+        hotspots = rng.uniform(lo + margin, hi - margin, size=(n_hotspots, dim))
+        return cls(hotspots, hotspot_scale, extent_range)
+
+    @classmethod
+    def from_table(
+        cls,
+        table,
+        columns: Sequence[str],
+        n_hotspots: int,
+        hotspot_scale: float = 4.0,
+        extent_range: Tuple[float, float] = (2.0, 10.0),
+        seed: SeedLike = None,
+    ) -> "InterestProfile":
+        """Hotspots located at random *data points* of ``table``.
+
+        Analysts explore where data actually lives (the overlapping-
+        subspace workload property of P2), so data-aligned hotspots are
+        the realistic default for experiments.
+        """
+        rng = make_rng(seed)
+        require(n_hotspots >= 1, "n_hotspots must be >= 1")
+        idx = rng.choice(table.n_rows, size=n_hotspots, replace=False)
+        points = table.matrix(columns)[idx]
+        return cls(points, hotspot_scale, extent_range)
+
+    def drifted(
+        self, shift: float, seed: SeedLike = None, replace_fraction: float = 0.0
+    ) -> "InterestProfile":
+        """A new profile whose hotspots moved by ~``shift`` in each coordinate.
+
+        ``replace_fraction`` of the hotspots jump to entirely new random
+        locations (interest in old subspaces disappears, RT5.3).
+        """
+        rng = make_rng(seed)
+        moved = self.hotspots + rng.normal(scale=shift, size=self.hotspots.shape)
+        if replace_fraction > 0:
+            n_replace = int(round(replace_fraction * len(moved)))
+            if n_replace:
+                lo = self.hotspots.min() - shift
+                hi = self.hotspots.max() + shift
+                idx = rng.choice(len(moved), size=n_replace, replace=False)
+                moved[idx] = rng.uniform(lo, hi, size=(n_replace, moved.shape[1]))
+        return InterestProfile(moved, self.hotspot_scale, self.extent_range)
+
+
+class WorkloadGenerator:
+    """Draws analyst queries concentrated around an interest profile."""
+
+    def __init__(
+        self,
+        table_name: str,
+        columns: Sequence[str],
+        profile: InterestProfile,
+        aggregate: Optional[Aggregate] = None,
+        kind: str = "range",
+        seed: SeedLike = None,
+    ) -> None:
+        require(kind in ("range", "radius"), f"unknown query kind {kind!r}")
+        require(
+            profile.hotspots.shape[1] == len(columns),
+            "profile dimensionality must match columns",
+        )
+        self.table_name = table_name
+        self.columns = tuple(columns)
+        self.profile = profile
+        self.aggregate = aggregate if aggregate is not None else Count()
+        self.kind = kind
+        self._rng = make_rng(seed)
+
+    def next_query(self) -> AnalyticsQuery:
+        """Draw one query near a random hotspot."""
+        hotspot = self.profile.hotspots[
+            int(self._rng.integers(len(self.profile.hotspots)))
+        ]
+        center = hotspot + self._rng.normal(
+            scale=self.profile.hotspot_scale, size=hotspot.shape[0]
+        )
+        lo, hi = self.profile.extent_range
+        if self.kind == "radius":
+            radius = float(self._rng.uniform(lo, hi))
+            selection = RadiusSelection(self.columns, center, radius)
+        else:
+            half = self._rng.uniform(lo, hi, size=hotspot.shape[0])
+            selection = RangeSelection.around(self.columns, center, half)
+        return AnalyticsQuery(self.table_name, selection, self.aggregate)
+
+    def batch(self, n: int) -> List[AnalyticsQuery]:
+        require(n >= 0, "n must be non-negative")
+        return [self.next_query() for _ in range(n)]
+
+    def stream(self) -> Iterator[AnalyticsQuery]:
+        while True:
+            yield self.next_query()
+
+    def zoom_session(self, depth: int = 5, shrink: float = 0.6) -> List[AnalyticsQuery]:
+        """A drill-down session: successive queries zoom into one region.
+
+        This is the exploratory pattern of Sec. III.A (Penny redefining
+        "the size of the queried data subspace to gain deeper
+        understanding"): each step keeps the centre near the previous one
+        and shrinks the extent by ``shrink``.  Such sessions are maximally
+        overlapping — the best case for caches and learned models alike.
+        """
+        require(depth >= 1, "depth must be >= 1")
+        require(0.0 < shrink < 1.0, "shrink must be in (0, 1)")
+        first = self.next_query()
+        session = [first]
+        center = np.array(
+            first.selection.center
+            if hasattr(first.selection, "center")
+            else first.selection.point,
+            dtype=float,
+        )
+        if self.kind == "radius":
+            extent = first.selection.radius
+        else:
+            extent = first.selection.half_widths.copy()
+        for _ in range(depth - 1):
+            center = center + self._rng.normal(
+                scale=float(np.max(extent)) * 0.2, size=center.shape[0]
+            )
+            extent = extent * shrink
+            if self.kind == "radius":
+                selection = RadiusSelection(self.columns, center, float(extent))
+            else:
+                selection = RangeSelection.around(self.columns, center, extent)
+            session.append(
+                AnalyticsQuery(self.table_name, selection, self.aggregate)
+            )
+        return session
+
+    def with_profile(self, profile: InterestProfile) -> "WorkloadGenerator":
+        """Same generator parameters under a new (e.g. drifted) profile."""
+        clone = WorkloadGenerator(
+            self.table_name,
+            self.columns,
+            profile,
+            aggregate=self.aggregate,
+            kind=self.kind,
+        )
+        clone._rng = self._rng
+        return clone
+
+
+def train_test_split_queries(
+    queries: Sequence[AnalyticsQuery], train_fraction: float, seed: SeedLike = None
+) -> Tuple[List[AnalyticsQuery], List[AnalyticsQuery]]:
+    """Shuffle and split a workload into training and evaluation queries."""
+    require(0.0 < train_fraction < 1.0, "train_fraction must be in (0, 1)")
+    rng = make_rng(seed)
+    order = rng.permutation(len(queries))
+    cut = int(round(train_fraction * len(queries)))
+    train = [queries[i] for i in order[:cut]]
+    test = [queries[i] for i in order[cut:]]
+    return train, test

@@ -1,0 +1,37 @@
+"""Distributed execution frameworks over the simulated cluster.
+
+Two processing paradigms, matching the distinction the paper draws in
+RT3.2:
+
+* :class:`repro.engine.mapreduce.MapReduceEngine` — the classic BDAS path:
+  a job fans out over *every* partition of a table, paying task startup,
+  full scans, a shuffle, and a reduce, all through the layered stack.
+* :class:`repro.engine.coordinator.CoordinatorEngine` — the
+  coordinator-cohort path: one coordinating node contacts only specific
+  nodes and surgically reads only specific rows.
+
+Both compute real answers on the stored numpy data while charging
+simulated costs to a :class:`~repro.common.CostMeter`.
+"""
+
+from repro.engine.bdas import BDASStack
+from repro.engine.resources import ResourceManager
+from repro.engine.mapreduce import MapReduceEngine
+from repro.engine.coordinator import CoordinatorEngine
+from repro.engine.simulation import (
+    OpenLoopSimulator,
+    ClosedLoopSimulator,
+    SimulationResult,
+    mdc_response_time,
+)
+
+__all__ = [
+    "BDASStack",
+    "ResourceManager",
+    "MapReduceEngine",
+    "CoordinatorEngine",
+    "OpenLoopSimulator",
+    "ClosedLoopSimulator",
+    "SimulationResult",
+    "mdc_response_time",
+]

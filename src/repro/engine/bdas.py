@@ -1,0 +1,68 @@
+"""Big Data Analytics Stack (BDAS) layering model.
+
+Sec. II.A, first bullet: "each analytical query passes through many layers
+of the BDAS, with each layer adding extra overheads at all nodes engaged in
+task processing."  We model that directly: a stack is an ordered list of
+layers, and submitting work through it charges one layer-crossing per layer
+per engaged node (plus the client-side entry).
+"""
+
+from __future__ import annotations
+
+from typing import Iterable, Sequence, Tuple
+
+from repro.common.accounting import CostMeter
+from repro.common.validation import require
+
+DEFAULT_LAYERS: Tuple[str, ...] = (
+    "client",
+    "query_interface",
+    "big_data_engine",
+    "resource_manager",
+    "storage_engine",
+)
+
+
+class BDASStack:
+    """An ordered stack of named layers with per-crossing overhead."""
+
+    def __init__(self, layers: Sequence[str] = DEFAULT_LAYERS) -> None:
+        require(len(layers) >= 1, "a stack needs at least one layer")
+        self.layers: Tuple[str, ...] = tuple(layers)
+
+    @property
+    def depth(self) -> int:
+        return len(self.layers)
+
+    def charge_submission(
+        self, meter: CostMeter, entry_node: str, engaged_nodes: Iterable[str]
+    ) -> float:
+        """Charge a query descending the stack and fanning out.
+
+        The full stack is crossed once at the entry node (query submission)
+        and the lower half (engine downwards) is crossed on every engaged
+        node, as each node's local daemons dispatch the work.  Returns the
+        critical-path seconds, which the caller adds to elapsed time.
+        """
+        entry_seconds = meter.charge_layers(entry_node, self.depth)
+        fanout_layers = max(1, self.depth // 2)
+        node_seconds = 0.0
+        for node_id in engaged_nodes:
+            node_seconds = max(
+                node_seconds, meter.charge_layers(node_id, fanout_layers)
+            )
+        return entry_seconds + node_seconds
+
+    def charge_result_return(self, meter: CostMeter, entry_node: str) -> float:
+        """Charge the answer ascending the stack back to the client."""
+        return meter.charge_layers(entry_node, self.depth)
+
+
+def agent_stack() -> BDASStack:
+    """The stack seen by the data-less agent: just the client-facing layer.
+
+    When the SEA agent answers from its models (Fig. 2), the query never
+    descends into the engine/storage layers — it is intercepted at the
+    interface.
+    """
+    return BDASStack(layers=("client", "sea_agent"))

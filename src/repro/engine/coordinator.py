@@ -1,0 +1,148 @@
+"""Coordinator-cohort execution: surgical access to specific rows.
+
+RT3.2: "having a coordinating node accessing the (typically distributed)
+index and then use it to surgically access small subsets of base data,
+directly from the back-end storage, may be preferable to having an all-out
+MapReduce processing of data nodes."
+
+The coordinator sends a request to each cohort node that holds relevant
+rows; each cohort performs point-reads of just those rows and ships them
+back.  Cohorts work in parallel, so elapsed time is the slowest cohort.
+"""
+
+from __future__ import annotations
+
+from typing import Dict, Iterable, List, Optional, Sequence, Tuple
+
+import numpy as np
+
+from repro.common.accounting import CostMeter, CostReport
+from repro.common.validation import require
+from repro.cluster.storage import DistributedStore, StoredTable, TablePartition
+from repro.data.tabular import Table
+from repro.engine.bdas import BDASStack
+
+_REQUEST_BYTES = 256
+
+
+class CoordinatorEngine:
+    """Direct, index-driven access through a coordinating node."""
+
+    def __init__(
+        self,
+        store: DistributedStore,
+        coordinator: Optional[str] = None,
+        stack: Optional[BDASStack] = None,
+        rates: Optional["CostRates"] = None,
+    ) -> None:
+        self.store = store
+        self.topology = store.topology
+        self.coordinator = coordinator or self.topology.pick_coordinator()
+        # Coordinator-cohort bypasses the engine layers: client -> storage.
+        self.stack = stack or BDASStack(layers=("client", "coordinator"))
+        self.rates = rates
+
+    def fetch_rows(
+        self,
+        stored: StoredTable,
+        rows_by_partition: Dict[int, Sequence[int]],
+        meter: Optional[CostMeter] = None,
+        charge_stack: bool = True,
+    ) -> Tuple[Table, CostReport]:
+        """Fetch the given ``{partition_index: row_indices}`` to the coordinator.
+
+        Returns the concatenated rows and the cost report.  Partitions not
+        mentioned are never touched — the essence of big-data-less access.
+
+        Iterative operators that issue many fetch rounds within one query
+        pass ``charge_stack=False`` after charging the stack once
+        themselves; the stack is a per-query cost, not per-round.
+        """
+        if meter is None:
+            meter = CostMeter(self.rates) if self.rates else CostMeter()
+        if charge_stack:
+            meter.advance(
+                self.stack.charge_submission(
+                    meter, self.coordinator, [self.coordinator]
+                )
+            )
+        pieces: List[Table] = []
+        slowest = 0.0
+        total_response_bytes = 0
+        for part_index, row_indices in sorted(rows_by_partition.items()):
+            partition = self._partition(stored, part_index)
+            idx = np.asarray(row_indices, dtype=int)
+            if idx.size == 0:
+                continue
+            # Read from the least-loaded replica (spreads hot partitions).
+            cohort = self.store.pick_replica(partition)
+            seconds = meter.charge_transfer(
+                self.coordinator,
+                cohort,
+                _REQUEST_BYTES,
+                wan=self.topology.is_wan(self.coordinator, cohort),
+            )
+            piece = self.store.read_rows(partition, idx, meter, node_id=cohort)
+            seconds += (
+                idx.size
+                * partition.data.row_bytes
+                * meter.rates.point_read_penalty
+                / meter.rates.disk_bytes_per_sec
+            )
+            seconds += meter.charge_transfer(
+                cohort,
+                self.coordinator,
+                piece.n_bytes,
+                wan=self.topology.is_wan(cohort, self.coordinator),
+            )
+            slowest = max(slowest, seconds)
+            total_response_bytes += piece.n_bytes
+            pieces.append(piece)
+        # The coordinator's NIC serialises all cohort responses: elapsed is
+        # at least the total ingest time, which is what makes fetching a
+        # large fraction of a table through one coordinator a losing plan.
+        ingest = total_response_bytes / meter.rates.lan_bytes_per_sec
+        meter.advance(max(slowest, ingest))
+        if charge_stack:
+            meter.advance(self.stack.charge_result_return(meter, self.coordinator))
+        if pieces:
+            result = Table.concat(pieces, name=stored.name)
+        else:
+            first = stored.partitions[0].data
+            result = first.slice_rows(0, 0)
+        return result, meter.freeze()
+
+    def scatter_gather(
+        self,
+        node_payloads: Dict[str, int],
+        response_bytes: Dict[str, int],
+        meter: Optional[CostMeter] = None,
+        compute_bytes: Optional[Dict[str, int]] = None,
+    ) -> CostReport:
+        """Generic parallel round-trip: request out, compute, response back.
+
+        Used by operators whose cohorts do local work (e.g. probe a local
+        index) rather than raw row reads.  ``node_payloads`` and
+        ``response_bytes`` give per-node request/response sizes;
+        ``compute_bytes`` optionally charges local CPU work.
+        """
+        if meter is None:
+            meter = CostMeter(self.rates) if self.rates else CostMeter()
+        slowest = 0.0
+        for node_id, req_bytes in node_payloads.items():
+            wan = self.topology.is_wan(self.coordinator, node_id)
+            seconds = meter.charge_transfer(self.coordinator, node_id, req_bytes, wan=wan)
+            if compute_bytes and node_id in compute_bytes:
+                seconds += meter.charge_cpu(node_id, compute_bytes[node_id])
+            resp = response_bytes.get(node_id, 0)
+            seconds += meter.charge_transfer(node_id, self.coordinator, resp, wan=wan)
+            slowest = max(slowest, seconds)
+        meter.advance(slowest)
+        return meter.freeze()
+
+    def _partition(self, stored: StoredTable, index: int) -> TablePartition:
+        require(
+            0 <= index < len(stored.partitions),
+            f"partition index {index} out of range for {stored.name}",
+        )
+        return stored.partitions[index]

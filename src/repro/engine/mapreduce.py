@@ -1,0 +1,210 @@
+"""MapReduce-style execution over the distributed store.
+
+This is the "traditional" path of Fig. 1: a job touches *every* partition
+of its input table.  Each map task pays container startup + a full scan +
+CPU over the partition; map outputs are shuffled (hash-partitioned by key)
+to reducer nodes; reduce tasks aggregate; results return to the driver.
+
+``map_fn`` and ``reduce_fn`` are real Python callables over the real data,
+so results are exact; only the *costs* are simulated.
+"""
+
+from __future__ import annotations
+
+import zlib
+from collections import defaultdict
+from typing import Any, Callable, Dict, Iterable, List, Optional, Tuple
+
+import numpy as np
+
+from repro.common.accounting import CostMeter, CostReport
+from repro.common.validation import require
+from repro.cluster.storage import DistributedStore, StoredTable
+from repro.data.tabular import Table
+from repro.engine.bdas import BDASStack
+from repro.engine.resources import ResourceManager
+
+MapFn = Callable[[Table], Iterable[Tuple[Any, Any]]]
+ReduceFn = Callable[[Any, List[Any]], Any]
+
+_KV_OVERHEAD_BYTES = 16
+
+
+def stable_hash(key: Any) -> int:
+    """Deterministic key hash (Python's ``hash`` is salted per process)."""
+    return zlib.crc32(repr(key).encode())
+
+
+def estimate_payload_bytes(value: Any) -> int:
+    """Serialized-size estimate for shuffle/result payloads."""
+    if isinstance(value, np.ndarray):
+        return int(value.nbytes)
+    if isinstance(value, Table):
+        return value.n_bytes
+    if isinstance(value, (list, tuple)):
+        return sum(estimate_payload_bytes(v) for v in value) + 8
+    if isinstance(value, dict):
+        return (
+            sum(
+                estimate_payload_bytes(k) + estimate_payload_bytes(v)
+                for k, v in value.items()
+            )
+            + 8
+        )
+    if isinstance(value, (bytes, str)):
+        return len(value)
+    return 8  # scalar
+
+
+class MapReduceEngine:
+    """Hadoop/Spark-style engine: full fan-out map, shuffle, reduce."""
+
+    def __init__(
+        self,
+        store: DistributedStore,
+        resources: Optional[ResourceManager] = None,
+        stack: Optional[BDASStack] = None,
+        rates: Optional["CostRates"] = None,
+    ) -> None:
+        self.store = store
+        self.topology = store.topology
+        self.resources = resources or ResourceManager(store.topology)
+        self.stack = stack or BDASStack()
+        self.rates = rates
+
+    def run(
+        self,
+        table_name: str,
+        map_fn: MapFn,
+        reduce_fn: ReduceFn,
+        n_reducers: int = 0,
+        driver_node: Optional[str] = None,
+        meter: Optional[CostMeter] = None,
+    ) -> Tuple[Dict[Any, Any], CostReport]:
+        """Execute one job; returns (results-by-key, cost report)."""
+        stored = self.store.table(table_name)
+        require(len(stored.partitions) >= 1, "table has no partitions")
+        if meter is None:
+            meter = CostMeter(self.rates) if self.rates else CostMeter()
+        driver = driver_node or self.topology.pick_coordinator()
+        reducers = self._reducer_nodes(stored, n_reducers)
+
+        engaged = {p.primary_node for p in stored.partitions} | set(reducers)
+        meter.advance(self.stack.charge_submission(meter, driver, engaged))
+
+        map_outputs, map_elapsed = self._map_phase(stored, map_fn, meter)
+        meter.advance(map_elapsed)
+
+        grouped, shuffle_elapsed = self._shuffle_phase(map_outputs, reducers, meter)
+        meter.advance(shuffle_elapsed)
+
+        results, reduce_elapsed = self._reduce_phase(
+            grouped, reduce_fn, reducers, meter
+        )
+        meter.advance(reduce_elapsed)
+
+        meter.advance(self._collect_phase(results, reducers, driver, meter))
+        meter.advance(self.stack.charge_result_return(meter, driver))
+        return results, meter.freeze()
+
+    # Phases ----------------------------------------------------------------
+    def _map_phase(
+        self, stored: StoredTable, map_fn: MapFn, meter: CostMeter
+    ) -> Tuple[List[Tuple[str, List[Tuple[Any, Any]]]], float]:
+        """Run one map task per partition; returns (per-node outputs, elapsed)."""
+        node_tasks: Dict[str, List[float]] = defaultdict(list)
+        outputs: List[Tuple[str, List[Tuple[Any, Any]]]] = []
+        for partition in stored.partitions:
+            node = partition.primary_node
+            seconds = meter.charge_task_startup(node)
+            data = self.store.read_partition(partition, meter)
+            seconds += data.n_bytes / meter.rates.disk_bytes_per_sec
+            seconds += meter.charge_cpu(node, data.n_bytes)
+            pairs = list(map_fn(data))
+            outputs.append((node, pairs))
+            node_tasks[node].append(seconds)
+        return outputs, self.resources.makespan_per_node(node_tasks)
+
+    def _shuffle_phase(
+        self,
+        map_outputs: List[Tuple[str, List[Tuple[Any, Any]]]],
+        reducers: List[str],
+        meter: CostMeter,
+    ) -> Tuple[Dict[str, Dict[Any, List[Any]]], float]:
+        """Hash-partition map outputs to reducer nodes; returns grouped data."""
+        grouped: Dict[str, Dict[Any, List[Any]]] = {r: defaultdict(list) for r in reducers}
+        transfer_seconds: Dict[str, float] = defaultdict(float)
+        ingest_bytes: Dict[str, int] = defaultdict(int)
+        for src_node, pairs in map_outputs:
+            by_reducer: Dict[str, int] = defaultdict(int)
+            for key, value in pairs:
+                reducer = reducers[stable_hash(key) % len(reducers)]
+                grouped[reducer][key].append(value)
+                by_reducer[reducer] += _KV_OVERHEAD_BYTES + estimate_payload_bytes(
+                    value
+                )
+            for reducer, num_bytes in by_reducer.items():
+                ingest_bytes[reducer] += num_bytes
+                if reducer == src_node:
+                    continue
+                wan = self.topology.is_wan(src_node, reducer)
+                transfer_seconds[src_node] += meter.charge_transfer(
+                    src_node, reducer, num_bytes, wan=wan
+                )
+        send = max(transfer_seconds.values()) if transfer_seconds else 0.0
+        # Each reducer's NIC serialises its incoming shuffle traffic.
+        ingest = (
+            max(ingest_bytes.values()) / meter.rates.lan_bytes_per_sec
+            if ingest_bytes
+            else 0.0
+        )
+        return grouped, max(send, ingest)
+
+    def _reduce_phase(
+        self,
+        grouped: Dict[str, Dict[Any, List[Any]]],
+        reduce_fn: ReduceFn,
+        reducers: List[str],
+        meter: CostMeter,
+    ) -> Tuple[Dict[Any, Any], float]:
+        results: Dict[Any, Any] = {}
+        node_tasks: Dict[str, List[float]] = defaultdict(list)
+        for reducer in reducers:
+            seconds = meter.charge_task_startup(reducer)
+            in_bytes = sum(
+                _KV_OVERHEAD_BYTES + estimate_payload_bytes(v)
+                for values in grouped[reducer].values()
+                for v in values
+            )
+            seconds += meter.charge_cpu(reducer, in_bytes)
+            for key, values in grouped[reducer].items():
+                results[key] = reduce_fn(key, values)
+            node_tasks[reducer].append(seconds)
+        return results, self.resources.makespan_per_node(node_tasks)
+
+    def _collect_phase(
+        self,
+        results: Dict[Any, Any],
+        reducers: List[str],
+        driver: str,
+        meter: CostMeter,
+    ) -> float:
+        elapsed = 0.0
+        result_bytes = sum(
+            _KV_OVERHEAD_BYTES + estimate_payload_bytes(v) for v in results.values()
+        )
+        share = result_bytes // max(1, len(reducers))
+        for reducer in reducers:
+            if reducer == driver:
+                continue
+            wan = self.topology.is_wan(reducer, driver)
+            elapsed = max(
+                elapsed, meter.charge_transfer(reducer, driver, share, wan=wan)
+            )
+        return elapsed
+
+    def _reducer_nodes(self, stored: StoredTable, n_reducers: int) -> List[str]:
+        if n_reducers <= 0:
+            n_reducers = max(1, len(stored.nodes) // 2)
+        nodes = self.topology.node_ids
+        return nodes[: min(n_reducers, len(nodes))]

@@ -1,0 +1,70 @@
+"""Resource management: task slots and makespan scheduling.
+
+A YARN-like resource manager with a fixed number of task slots per node.
+Engines hand it a bag of task durations; it returns the simulated makespan
+under greedy longest-processing-time-first assignment, which is how the
+simulator turns "run 64 map tasks on 8 nodes x 2 slots" into elapsed time.
+"""
+
+from __future__ import annotations
+
+import heapq
+from typing import Dict, Iterable, List, Sequence, Tuple
+
+from repro.common.validation import require
+from repro.cluster.topology import ClusterTopology
+
+
+class ResourceManager:
+    """Slot-based scheduler for the simulated cluster."""
+
+    def __init__(self, topology: ClusterTopology, slots_per_node: int = 2) -> None:
+        require(slots_per_node >= 1, "slots_per_node must be >= 1")
+        self.topology = topology
+        self.slots_per_node = slots_per_node
+
+    def total_slots(self, node_ids: Iterable[str] = None) -> int:
+        nodes = list(node_ids) if node_ids is not None else self.topology.node_ids
+        return len(nodes) * self.slots_per_node
+
+    def makespan(self, task_seconds: Sequence[float], n_slots: int = None) -> float:
+        """LPT-greedy makespan of the tasks over ``n_slots`` parallel slots."""
+        durations = [float(t) for t in task_seconds]
+        if not durations:
+            return 0.0
+        slots = n_slots if n_slots is not None else self.total_slots()
+        require(slots >= 1, "need at least one slot")
+        heap = [0.0] * min(slots, len(durations))
+        heapq.heapify(heap)
+        for duration in sorted(durations, reverse=True):
+            if duration < 0:
+                raise ValueError(f"negative task duration {duration}")
+            finish = heapq.heappop(heap)
+            heapq.heappush(heap, finish + duration)
+        return max(heap)
+
+    def makespan_per_node(
+        self, node_tasks: Dict[str, Sequence[float]]
+    ) -> float:
+        """Makespan when each task is pinned to a specific node.
+
+        Data-local tasks (e.g. map tasks) run where their partition lives;
+        each node runs its own tasks on its own slots.
+        """
+        worst = 0.0
+        for node_id, durations in node_tasks.items():
+            local = self.makespan(durations, n_slots=self.slots_per_node)
+            worst = max(worst, local)
+        return worst
+
+    def queueing_delay(self, pending_jobs: int, avg_job_seconds: float) -> float:
+        """Crude M/D/c-style delay for a backlog of whole jobs.
+
+        Used by the throughput experiment (E3): when jobs arrive faster
+        than the cluster drains them, each new job waits for the backlog.
+        """
+        require(pending_jobs >= 0, "pending_jobs must be >= 0")
+        if pending_jobs == 0:
+            return 0.0
+        concurrency = max(1, len(self.topology))
+        return pending_jobs * avg_job_seconds / concurrency

@@ -1,0 +1,207 @@
+"""Event-driven closed/open-loop query-arrival simulation.
+
+The throughput experiment (E3) uses an M/D/c approximation over measured
+per-query demands; this module provides the discrete-event counterpart so
+the approximation can be validated and richer scenarios (mixed query
+classes, finite analyst populations) can be simulated exactly.
+
+* :class:`OpenLoopSimulator` — Poisson arrivals at a fixed rate into a
+  ``c``-server FCFS queue; each job's service time is drawn from a given
+  per-class demand.
+* :class:`ClosedLoopSimulator` — ``m`` analysts, each submitting a new
+  query a fixed think time after receiving the previous answer (the
+  population model of Fig. 1/2).
+
+Both return per-job response times and utilisation summaries.
+"""
+
+from __future__ import annotations
+
+import heapq
+from dataclasses import dataclass, field
+from typing import Callable, List, Optional, Sequence, Tuple
+
+import numpy as np
+
+from repro.common.rng import SeedLike, make_rng
+from repro.common.validation import require
+
+
+def mdc_response_time(
+    arrival_rate: float, service_sec: float, servers: int
+) -> Tuple[float, float]:
+    """Approximate M/D/c mean response time; (inf, rho) when unstable.
+
+    Deterministic service halves the M/M/1-style wait; the experiment E3
+    uses this closed form, and :class:`OpenLoopSimulator` validates it.
+    """
+    utilisation = arrival_rate * service_sec / servers
+    if utilisation >= 1.0:
+        return float("inf"), utilisation
+    wait = (utilisation / (1 - utilisation)) * service_sec / (2 * servers)
+    return service_sec + wait, utilisation
+
+
+@dataclass
+class SimulationResult:
+    """Summary of one simulation run."""
+
+    response_times: np.ndarray
+    waits: np.ndarray
+    utilisation: float
+    completed: int
+    horizon: float
+
+    @property
+    def mean_response(self) -> float:
+        return float(self.response_times.mean()) if self.completed else float("inf")
+
+    @property
+    def p95_response(self) -> float:
+        return (
+            float(np.quantile(self.response_times, 0.95))
+            if self.completed
+            else float("inf")
+        )
+
+    @property
+    def throughput(self) -> float:
+        return self.completed / self.horizon if self.horizon > 0 else 0.0
+
+
+def _run_queue(
+    arrivals: List[float],
+    service_times: List[float],
+    n_servers: int,
+) -> Tuple[np.ndarray, np.ndarray, float]:
+    """FCFS multi-server queue; returns (responses, waits, busy_time)."""
+    free_at = [0.0] * n_servers
+    heapq.heapify(free_at)
+    responses, waits = [], []
+    busy = 0.0
+    for arrival, service in zip(arrivals, service_times):
+        server_free = heapq.heappop(free_at)
+        start = max(arrival, server_free)
+        finish = start + service
+        heapq.heappush(free_at, finish)
+        waits.append(start - arrival)
+        responses.append(finish - arrival)
+        busy += service
+    return np.asarray(responses), np.asarray(waits), busy
+
+
+class OpenLoopSimulator:
+    """Poisson arrivals into a c-server FCFS queue."""
+
+    def __init__(
+        self,
+        n_servers: int,
+        service_sampler: Callable[[np.random.Generator], float],
+        seed: SeedLike = 0,
+    ) -> None:
+        require(n_servers >= 1, "n_servers must be >= 1")
+        self.n_servers = n_servers
+        self.service_sampler = service_sampler
+        self._rng = make_rng(seed)
+
+    @classmethod
+    def deterministic(
+        cls, n_servers: int, service_sec: float, seed: SeedLike = 0
+    ) -> "OpenLoopSimulator":
+        require(service_sec > 0, "service_sec must be positive")
+        return cls(n_servers, lambda rng: service_sec, seed=seed)
+
+    @classmethod
+    def mixture(
+        cls,
+        n_servers: int,
+        demands: Sequence[float],
+        weights: Sequence[float],
+        seed: SeedLike = 0,
+    ) -> "OpenLoopSimulator":
+        """Service times drawn from a discrete mixture (e.g. data-less vs
+        fallback demands with the agent's serving fractions)."""
+        demands = np.asarray(demands, dtype=float)
+        weights = np.asarray(weights, dtype=float)
+        require(demands.shape == weights.shape, "demands/weights mismatch")
+        require(np.all(weights >= 0) and weights.sum() > 0, "bad weights")
+        probs = weights / weights.sum()
+
+        def sample(rng: np.random.Generator) -> float:
+            return float(demands[rng.choice(len(demands), p=probs)])
+
+        return cls(n_servers, sample, seed=seed)
+
+    def run(self, arrival_rate: float, n_jobs: int = 2000) -> SimulationResult:
+        require(arrival_rate > 0, "arrival_rate must be positive")
+        require(n_jobs >= 1, "n_jobs must be >= 1")
+        gaps = self._rng.exponential(1.0 / arrival_rate, size=n_jobs)
+        arrivals = np.cumsum(gaps).tolist()
+        services = [self.service_sampler(self._rng) for _ in range(n_jobs)]
+        responses, waits, busy = _run_queue(arrivals, services, self.n_servers)
+        horizon = arrivals[-1] + responses[-1]
+        return SimulationResult(
+            response_times=responses,
+            waits=waits,
+            utilisation=busy / (self.n_servers * horizon),
+            completed=n_jobs,
+            horizon=horizon,
+        )
+
+
+class ClosedLoopSimulator:
+    """m analysts with think time: submit, wait for answer, think, repeat."""
+
+    def __init__(
+        self,
+        n_servers: int,
+        service_sampler: Callable[[np.random.Generator], float],
+        think_time_sec: float = 1.0,
+        seed: SeedLike = 0,
+    ) -> None:
+        require(n_servers >= 1, "n_servers must be >= 1")
+        require(think_time_sec >= 0, "think_time_sec must be non-negative")
+        self.n_servers = n_servers
+        self.service_sampler = service_sampler
+        self.think_time = think_time_sec
+        self._rng = make_rng(seed)
+
+    def run(self, n_analysts: int, queries_per_analyst: int = 50) -> SimulationResult:
+        require(n_analysts >= 1, "n_analysts must be >= 1")
+        require(queries_per_analyst >= 1, "queries_per_analyst must be >= 1")
+        # Event-driven: each analyst alternates think -> queue -> served.
+        free_at = [0.0] * self.n_servers
+        heapq.heapify(free_at)
+        responses, waits = [], []
+        busy = 0.0
+        horizon = 0.0
+        # (next submission time, analyst remaining queries)
+        analysts = [
+            (float(self._rng.exponential(self.think_time + 1e-12)), queries_per_analyst)
+            for _ in range(n_analysts)
+        ]
+        pending = [(t, i) for i, (t, _) in enumerate(analysts)]
+        heapq.heapify(pending)
+        remaining = [queries_per_analyst] * n_analysts
+        while pending:
+            submit_time, analyst = heapq.heappop(pending)
+            service = self.service_sampler(self._rng)
+            server_free = heapq.heappop(free_at)
+            start = max(submit_time, server_free)
+            finish = start + service
+            heapq.heappush(free_at, finish)
+            waits.append(start - submit_time)
+            responses.append(finish - submit_time)
+            busy += service
+            horizon = max(horizon, finish)
+            remaining[analyst] -= 1
+            if remaining[analyst] > 0:
+                think = float(self._rng.exponential(self.think_time + 1e-12))
+                heapq.heappush(pending, (finish + think, analyst))
+        return SimulationResult(
+            response_times=np.asarray(responses),
+            waits=np.asarray(waits),
+            utilisation=busy / (self.n_servers * horizon) if horizon else 0.0,
+            completed=len(responses),
+            horizon=horizon,
+        )

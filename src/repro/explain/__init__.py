@@ -1,0 +1,24 @@
+"""New functionality: query-answer explanations and higher-level queries (RT4).
+
+* :mod:`repro.explain.explanations` — piecewise-linear models of how a
+  query's answer depends on a query parameter, computable either from the
+  SEA agent's learned models (data-lessly) or by probing the exact engine.
+* :mod:`repro.explain.higher` — higher-level interrogations such as
+  "return the data subspaces where the aggregate exceeds a threshold",
+  answered over candidate-subspace grids either exactly or data-lessly.
+"""
+
+from repro.explain.explanations import (
+    Explanation,
+    ExplanationBuilder,
+    PiecewiseLinearModel,
+)
+from repro.explain.higher import ThresholdRegionQuery, HigherLevelEngine
+
+__all__ = [
+    "Explanation",
+    "ExplanationBuilder",
+    "PiecewiseLinearModel",
+    "ThresholdRegionQuery",
+    "HigherLevelEngine",
+]

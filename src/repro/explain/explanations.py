@@ -1,0 +1,261 @@
+"""Query-answer explanations (RT4.2, [24]).
+
+"An explanation can be a (piecewise) linear regression model showing how
+count of ... a data subspace depends on the size of the subspace. ...
+the analyst will be able to simply plug in values for parameters to the
+explanation models."
+
+An :class:`Explanation` is a fitted :class:`PiecewiseLinearModel` of
+``answer ~ parameter`` around a base query, where the parameter is the
+selection's extent (radius / half-width scale).  It can be built two ways:
+
+* ``from_predictor`` — probe the SEA agent's learned models over the
+  parameter sweep: *zero* base-data access (explanations themselves are
+  computed "in a SEA fashion");
+* ``from_engine`` — probe the exact engine: exact but costly; this is the
+  baseline an analyst would effectively pay by issuing the probe queries
+  herself.
+
+Piecewise-linear fitting uses exact dynamic programming over breakpoint
+positions (optimal segmented least squares), tractable because sweeps are
+a few dozen points.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import Callable, List, Optional, Sequence, Tuple
+
+import numpy as np
+
+from repro.common.accounting import CostMeter, CostReport
+from repro.common.errors import QueryError
+from repro.common.validation import require
+from repro.ml.metrics import r2_score
+from repro.queries.query import AnalyticsQuery
+from repro.queries.selections import RadiusSelection, RangeSelection
+
+
+@dataclass
+class _Segment:
+    """One linear piece over [x_lo, x_hi]: y = intercept + slope * x."""
+
+    x_lo: float
+    x_hi: float
+    intercept: float
+    slope: float
+
+
+class PiecewiseLinearModel:
+    """Optimal segmented least-squares over a 1-d sweep."""
+
+    def __init__(self, segments: List[_Segment]) -> None:
+        require(len(segments) >= 1, "need at least one segment")
+        self.segments = segments
+
+    @classmethod
+    def fit(
+        cls, x: np.ndarray, y: np.ndarray, max_segments: int = 3
+    ) -> "PiecewiseLinearModel":
+        """Fit with at most ``max_segments`` pieces via dynamic programming."""
+        x = np.asarray(x, dtype=float).ravel()
+        y = np.asarray(y, dtype=float).ravel()
+        require(x.shape[0] == y.shape[0], "x and y must have equal length")
+        require(x.shape[0] >= 2, "need at least two sweep points")
+        require(max_segments >= 1, "max_segments must be >= 1")
+        order = np.argsort(x)
+        x, y = x[order], y[order]
+        n = x.shape[0]
+        k_max = min(max_segments, n // 2) or 1
+        # sse[i][j]: error of one line over points i..j inclusive.
+        sse = np.full((n, n), np.inf)
+        for i in range(n):
+            for j in range(i + 1, n):
+                sse[i, j] = _line_sse(x[i : j + 1], y[i : j + 1])
+            sse[i, i] = 0.0
+        # dp[k][j]: best error covering points 0..j with k segments.
+        dp = np.full((k_max + 1, n), np.inf)
+        parent = np.full((k_max + 1, n), -1, dtype=int)
+        dp[1] = sse[0]
+        for k in range(2, k_max + 1):
+            for j in range(n):
+                for split in range(k - 1, j):
+                    candidate = dp[k - 1][split] + sse[split + 1, j]
+                    if candidate < dp[k][j]:
+                        dp[k][j] = candidate
+                        parent[k][j] = split
+        # Pick the smallest k whose error is within 2% of the best k_max
+        # error (parsimonious explanations read better).
+        best_err = dp[k_max][n - 1]
+        chosen_k = k_max
+        for k in range(1, k_max + 1):
+            if dp[k][n - 1] <= best_err * 1.02 + 1e-12:
+                chosen_k = k
+                break
+        segments: List[_Segment] = []
+        j = n - 1
+        k = chosen_k
+        while k >= 1:
+            i = parent[k][j] + 1 if k > 1 else 0
+            seg_x, seg_y = x[i : j + 1], y[i : j + 1]
+            intercept, slope = _line_fit(seg_x, seg_y)
+            segments.append(
+                _Segment(float(seg_x[0]), float(seg_x[-1]), intercept, slope)
+            )
+            j = i - 1
+            k -= 1
+        segments.reverse()
+        return cls(segments)
+
+    @property
+    def n_segments(self) -> int:
+        return len(self.segments)
+
+    @property
+    def breakpoints(self) -> List[float]:
+        return [seg.x_lo for seg in self.segments[1:]]
+
+    def evaluate(self, value: float) -> float:
+        """The explanation's answer for one parameter value.
+
+        Values outside the fitted sweep extrapolate from the nearest
+        segment.
+        """
+        value = float(value)
+        for segment in self.segments:
+            if value <= segment.x_hi:
+                return segment.intercept + segment.slope * value
+        last = self.segments[-1]
+        return last.intercept + last.slope * value
+
+    def evaluate_many(self, values) -> np.ndarray:
+        return np.asarray([self.evaluate(v) for v in np.asarray(values).ravel()])
+
+    def describe(self) -> str:
+        """Human-readable rendering of the explanation model."""
+        parts = []
+        for seg in self.segments:
+            parts.append(
+                f"[{seg.x_lo:.3g}, {seg.x_hi:.3g}]: "
+                f"answer = {seg.intercept:.4g} + {seg.slope:.4g} * p"
+            )
+        return "; ".join(parts)
+
+
+def _line_fit(x: np.ndarray, y: np.ndarray) -> Tuple[float, float]:
+    if x.shape[0] == 1 or np.all(x == x[0]):
+        return float(y.mean()), 0.0
+    slope, intercept = np.polyfit(x, y, 1)
+    return float(intercept), float(slope)
+
+
+def _line_sse(x: np.ndarray, y: np.ndarray) -> float:
+    intercept, slope = _line_fit(x, y)
+    resid = y - (intercept + slope * x)
+    return float(resid @ resid)
+
+
+@dataclass
+class Explanation:
+    """The deliverable handed to the analyst along with her answer."""
+
+    query: AnalyticsQuery
+    parameter: str  # "radius" or "extent_scale"
+    model: PiecewiseLinearModel
+    sweep: np.ndarray
+    answers: np.ndarray
+    cost: CostReport
+
+    @property
+    def fidelity(self) -> float:
+        """R^2 of the explanation against the probed answers."""
+        return r2_score(self.answers, self.model.evaluate_many(self.sweep))
+
+    def answer_at(self, value: float) -> float:
+        """The answer the analyst gets by plugging in a parameter value —
+        without issuing another query (the "queries saved" of G2)."""
+        return self.model.evaluate(value)
+
+    def describe(self) -> str:
+        return (
+            f"{self.query.aggregate.name} as a function of {self.parameter}: "
+            f"{self.model.describe()}"
+        )
+
+
+class ExplanationBuilder:
+    """Builds explanations by sweeping a query's extent parameter."""
+
+    def __init__(
+        self, n_probes: int = 17, max_segments: int = 3, span: Tuple[float, float] = (0.25, 2.0)
+    ) -> None:
+        require(n_probes >= 4, "n_probes must be >= 4")
+        lo, hi = span
+        require(0 < lo < hi, "span must satisfy 0 < lo < hi")
+        self.n_probes = n_probes
+        self.max_segments = max_segments
+        self.span = span
+
+    def probe_queries(
+        self, query: AnalyticsQuery
+    ) -> Tuple[str, np.ndarray, List[AnalyticsQuery]]:
+        """(parameter name, sweep values, probe queries) for a base query."""
+        selection = query.selection
+        lo_scale, hi_scale = self.span
+        if isinstance(selection, RadiusSelection):
+            sweep = np.linspace(
+                selection.radius * lo_scale, selection.radius * hi_scale, self.n_probes
+            )
+            probes = [
+                AnalyticsQuery(
+                    query.table_name,
+                    RadiusSelection(selection.columns, selection.center, r),
+                    query.aggregate,
+                )
+                for r in sweep
+            ]
+            return "radius", sweep, probes
+        if isinstance(selection, RangeSelection):
+            scales = np.linspace(lo_scale, hi_scale, self.n_probes)
+            probes = [
+                AnalyticsQuery(
+                    query.table_name,
+                    RangeSelection.around(
+                        selection.columns,
+                        selection.center,
+                        selection.half_widths * s,
+                    ),
+                    query.aggregate,
+                )
+                for s in scales
+            ]
+            return "extent_scale", scales, probes
+        raise QueryError(
+            f"explanations support range/radius selections, not "
+            f"{type(selection).__name__}"
+        )
+
+    def from_engine(self, query: AnalyticsQuery, engine) -> Explanation:
+        """Probe the exact engine (the costly, pre-SEA way)."""
+        parameter, sweep, probes = self.probe_queries(query)
+        answers = []
+        reports = []
+        for probe in probes:
+            answer, report = engine.execute(probe)
+            answers.append(float(answer))
+            reports.append(report)
+        cost = CostMeter.total(reports, parallel=False)
+        model = PiecewiseLinearModel.fit(sweep, np.asarray(answers), self.max_segments)
+        return Explanation(query, parameter, model, sweep, np.asarray(answers), cost)
+
+    def from_predictor(self, query: AnalyticsQuery, predictor) -> Explanation:
+        """Probe the learned models: a data-less explanation (SEA-fashion)."""
+        parameter, sweep, probes = self.probe_queries(query)
+        answers = np.asarray(
+            [predictor.predict(p.vector()).scalar for p in probes]
+        )
+        meter = CostMeter()
+        meter.charge_cpu("sea-agent", 4096 * len(probes))
+        meter.advance(meter.freeze().node_sec)
+        model = PiecewiseLinearModel.fit(sweep, answers, self.max_segments)
+        return Explanation(query, parameter, model, sweep, answers, meter.freeze())

@@ -1,0 +1,30 @@
+"""Global-scale geo-distributed SEA (RT5, Fig. 3).
+
+Core datacenters store base data and can answer exactly; edge sites hold
+*only models* and answer approximately, reaching across the WAN only when
+a local prediction is unreliable:
+
+* :mod:`repro.geo.topology` — core + edge site layout over the cluster
+  substrate (RT5.1).
+* :mod:`repro.geo.edge` — :class:`EdgeAgent`, the query-facing agent at
+  one edge site.
+* :mod:`repro.geo.federation` — distributed model building at the cores
+  from multi-edge training streams, model push-down, and the shared
+  model-state registry (RT5.2, RT5.3).
+* :mod:`repro.geo.routing` — per-query routing: local model -> peer edge
+  -> core (RT5.4), driven by estimated model error (RT5.5).
+"""
+
+from repro.geo.topology import GeoSites
+from repro.geo.edge import EdgeAgent, EdgeServed
+from repro.geo.federation import CoreCoordinator, ModelRegistry
+from repro.geo.routing import GeoRouter
+
+__all__ = [
+    "GeoSites",
+    "EdgeAgent",
+    "EdgeServed",
+    "CoreCoordinator",
+    "ModelRegistry",
+    "GeoRouter",
+]

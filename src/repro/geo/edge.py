@@ -1,0 +1,174 @@
+"""The edge agent (RT5, Fig. 3).
+
+"The system (i.e., an agent at some edge node) accesses base data (stored
+at remote data centres) only when expected errors of local models at the
+edge node is high."
+
+:class:`EdgeAgent` mirrors :class:`~repro.core.agent.SEAAgent` but lives
+at a WAN edge: a fallback is not just a cluster job — it is a WAN round
+trip to a core plus the exact execution there.  Every served query is
+tagged with where it was answered (``local`` / ``peer`` / ``core``), and
+the agent keeps learning from every exact answer that comes back.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import Dict, Optional
+
+from repro.common.accounting import CostMeter, CostReport
+from repro.common.errors import NotTrainedError
+from repro.core.agent import AgentConfig
+from repro.core.answer_models import AnswerModelFactory
+from repro.core.error import PrequentialErrorEstimator
+from repro.core.predictor import DatalessPredictor, Prediction
+from repro.core.quantization import QuerySpaceQuantizer
+from repro.queries.query import AnalyticsQuery, Answer
+
+_QUERY_BYTES = 512
+_ANSWER_BYTES = 64
+
+
+@dataclass
+class EdgeServed:
+    """How one query was served at the edge."""
+
+    query: AnalyticsQuery
+    answer: Answer
+    origin: str  # "local" | "peer" | "core"
+    cost: CostReport
+    prediction: Optional[Prediction] = None
+
+
+class EdgeAgent:
+    """A model-holding, query-facing agent at one edge site."""
+
+    def __init__(
+        self,
+        name: str,
+        node_id: str,
+        core_engine,
+        core_gateway: str,
+        config: Optional[AgentConfig] = None,
+    ) -> None:
+        self.name = name
+        self.node_id = node_id
+        self.core_engine = core_engine
+        self.core_gateway = core_gateway
+        self.config = config or AgentConfig()
+        self._predictors: Dict[str, DatalessPredictor] = {}
+        self.n_queries = 0
+        self.n_local = 0
+        self.n_core = 0
+
+    # Serving ---------------------------------------------------------------
+    def submit(self, query: AnalyticsQuery) -> EdgeServed:
+        """Answer locally when the model is good enough; else go to core."""
+        self.n_queries += 1
+        predictor = self.predictor_for(query)
+        in_training = self.n_queries <= self.config.training_budget
+        if not in_training:
+            try:
+                prediction = predictor.predict(query.vector())
+            except NotTrainedError:
+                prediction = None
+            if (
+                prediction is not None
+                and prediction.reliable
+                and prediction.error_estimate <= self.config.error_threshold
+            ):
+                self.n_local += 1
+                return EdgeServed(
+                    query=query,
+                    answer=prediction.scalar
+                    if query.answer_dim == 1
+                    else prediction.value,
+                    origin="local",
+                    cost=self._local_cost(),
+                    prediction=prediction,
+                )
+        record = self._ask_core(query, predictor)
+        return record
+
+    def _ask_core(
+        self, query: AnalyticsQuery, predictor: DatalessPredictor
+    ) -> EdgeServed:
+        """WAN round trip to the core for an exact answer; keep learning."""
+        self.n_core += 1
+        answer, core_report = self.core_engine.execute(query)
+        meter = CostMeter()
+        seconds = meter.charge_transfer(
+            self.node_id, self.core_gateway, _QUERY_BYTES, wan=True
+        )
+        seconds += meter.charge_transfer(
+            self.core_gateway, self.node_id, _ANSWER_BYTES * query.answer_dim, wan=True
+        )
+        meter.advance(seconds)
+        predictor.observe(query.vector(), answer)
+        total = core_report.merged_sequential(meter.freeze())
+        return EdgeServed(query=query, answer=answer, origin="core", cost=total)
+
+    # Model management (used by the federation layer) -------------------------
+    def predictor_for(self, query: AnalyticsQuery) -> DatalessPredictor:
+        signature = query.signature()
+        if signature not in self._predictors:
+            self._predictors[signature] = self._new_predictor(query.answer_dim)
+        return self._predictors[signature]
+
+    def install_model(self, signature: str, predictor: DatalessPredictor) -> None:
+        """Adopt a model built elsewhere (core push-down, RT5.2).
+
+        The model is deep-copied: after the push, the edge's copy evolves
+        independently with local traffic — exactly what shipping
+        serialized model state over the WAN gives you (the transfer bytes
+        are charged by the caller).
+        """
+        import copy
+
+        self._predictors[signature] = copy.deepcopy(predictor)
+
+    def has_model(self, signature: str) -> bool:
+        predictor = self._predictors.get(signature)
+        if predictor is None:
+            return False
+        return any(
+            (m is not None and m.is_trained)
+            for m in (predictor.model_for(q) for q in predictor.quantum_ids())
+        )
+
+    def state_bytes(self) -> int:
+        return sum(p.state_bytes() for p in self._predictors.values())
+
+    def stats(self) -> Dict[str, float]:
+        return {
+            "queries": float(self.n_queries),
+            "local": float(self.n_local),
+            "core": float(self.n_core),
+            "local_fraction": self.n_local / self.n_queries if self.n_queries else 0.0,
+            "state_bytes": float(self.state_bytes()),
+        }
+
+    # Internals -------------------------------------------------------------
+    def _new_predictor(self, answer_dim: int) -> DatalessPredictor:
+        config = self.config
+        return DatalessPredictor(
+            answer_dim=answer_dim,
+            quantizer=QuerySpaceQuantizer(
+                n_quanta=config.n_quanta,
+                grow_threshold=config.grow_threshold,
+                max_quanta=config.max_quanta,
+                warmup=config.warmup,
+            ),
+            factory=AnswerModelFactory(config.model_family),
+            error_estimator=PrequentialErrorEstimator(
+                quantile=config.error_quantile
+            ),
+            novelty_limit=config.novelty_limit,
+        )
+
+    def _local_cost(self) -> CostReport:
+        """A locally answered query: edge-node inference only, no WAN."""
+        meter = CostMeter()
+        meter.charge_cpu(self.node_id, 4096)
+        meter.advance(1e-3)
+        return meter.freeze()

@@ -1,0 +1,186 @@
+"""Distributed model building, push-down, and the model registry (RT5.2/3).
+
+"The initial training queries will reach the core nodes, but this time
+from different edge nodes.  Said core nodes can then collaborate to train
+a model faster, by considering training queries from several different
+edge nodes.  Subsequently, the core nodes can then communicate the model
+to the edge nodes from where relevant queries originated."
+
+:class:`CoreCoordinator` sits at a core datacenter.  During the training
+window it records every (edge, query, exact answer) triple that flows
+through it into a *shared* predictor per query signature — so each edge
+benefits from every other edge's training queries.  ``push_models`` then
+ships the trained predictors over the WAN to the edges that contributed
+relevant queries, and registers who holds what in the
+:class:`ModelRegistry` (the "model state" that query routing consults).
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import Dict, List, Optional, Set, Tuple
+
+from repro.common.accounting import CostMeter, CostReport
+from repro.core.agent import AgentConfig
+from repro.core.answer_models import AnswerModelFactory
+from repro.core.error import PrequentialErrorEstimator
+from repro.core.predictor import DatalessPredictor
+from repro.core.quantization import QuerySpaceQuantizer
+from repro.geo.edge import EdgeAgent
+from repro.queries.query import AnalyticsQuery
+
+
+class ModelRegistry:
+    """Which sites hold a usable model for which query signature."""
+
+    def __init__(self) -> None:
+        self._holders: Dict[str, Set[str]] = {}
+
+    def register(self, signature: str, site: str) -> None:
+        self._holders.setdefault(signature, set()).add(site)
+
+    def unregister(self, signature: str, site: str) -> None:
+        self._holders.get(signature, set()).discard(site)
+
+    def holders(self, signature: str) -> List[str]:
+        return sorted(self._holders.get(signature, ()))
+
+    def state_bytes(self) -> int:
+        return sum(
+            len(sig) + 16 * len(sites) for sig, sites in self._holders.items()
+        )
+
+
+class CoreCoordinator:
+    """Core-side collaborative model builder and distributor."""
+
+    def __init__(
+        self,
+        exact_engine,
+        gateway_node: str,
+        config: Optional[AgentConfig] = None,
+    ) -> None:
+        self.engine = exact_engine
+        self.gateway_node = gateway_node
+        self.config = config or AgentConfig()
+        self.registry = ModelRegistry()
+        self._predictors: Dict[str, DatalessPredictor] = {}
+        self._contributors: Dict[str, Set[str]] = {}
+        self._clock = 0
+        self._last_used: Dict[str, int] = {}
+
+    # Training ------------------------------------------------------------
+    def train_from_edge(
+        self, edge_name: str, query: AnalyticsQuery
+    ) -> Tuple[float, CostReport]:
+        """Execute one training query for an edge; absorb the pair centrally.
+
+        Returns (exact answer, execution cost).  The WAN legs edge->core
+        are the caller's to charge (the edge knows its own node id).
+        """
+        answer, report = self.engine.execute(query)
+        signature = query.signature()
+        self.record_use(signature)
+        predictor = self._predictors.get(signature)
+        if predictor is None:
+            predictor = self._new_predictor(query.answer_dim)
+            self._predictors[signature] = predictor
+        predictor.observe(query.vector(), answer)
+        self._contributors.setdefault(signature, set()).add(edge_name)
+        return answer, report
+
+    # Distribution -----------------------------------------------------------
+    def push_models(self, edges: List[EdgeAgent]) -> CostReport:
+        """Ship each trained predictor to its contributing edges (WAN).
+
+        Every receiving edge installs the *shared* predictor built from
+        all edges' training queries — the collaborative speed-up of
+        RT5.2.  Model bytes crossing the WAN are metered.
+        """
+        meter = CostMeter()
+        slowest = 0.0
+        by_name = {edge.name: edge for edge in edges}
+        for signature, predictor in self._predictors.items():
+            payload = predictor.state_bytes()
+            for edge_name in sorted(self._contributors.get(signature, ())):
+                edge = by_name.get(edge_name)
+                if edge is None:
+                    continue
+                seconds = meter.charge_transfer(
+                    self.gateway_node, edge.node_id, payload, wan=True
+                )
+                slowest = max(slowest, seconds)
+                edge.install_model(signature, predictor)
+                self.registry.register(signature, edge_name)
+        meter.advance(slowest)
+        return meter.freeze()
+
+    # Interest tracking and cold-model purging (RT5.3) ----------------------
+    def record_use(self, signature: str) -> None:
+        """Note that queries for ``signature`` are still arriving.
+
+        Edges/routers call this as traffic flows; the core's logical clock
+        advances with every use, giving each signature an idle age.
+        """
+        self._clock += 1
+        self._last_used[signature] = self._clock
+
+    def idle_age(self, signature: str) -> int:
+        """Uses of *other* signatures since this one was last touched."""
+        last = self._last_used.get(signature)
+        if last is None:
+            return self._clock
+        return self._clock - last
+
+    def purge_cold(self, edges: List[EdgeAgent], max_idle: int) -> List[str]:
+        """Purge every model idle for more than ``max_idle`` uses (RT5.3).
+
+        "This detection should lead to purging 'older' models, referring
+        to data subspaces which are no longer of interest."  Returns the
+        purged signatures.
+        """
+        cold = [
+            signature
+            for signature in list(self._predictors)
+            if self.idle_age(signature) > max_idle
+        ]
+        for signature in cold:
+            self.purge_signature(signature, edges)
+            self._last_used.pop(signature, None)
+        return cold
+
+    def purge_signature(self, signature: str, edges: List[EdgeAgent]) -> None:
+        """Drop a no-longer-interesting model everywhere (RT5.3 purging)."""
+        self._predictors.pop(signature, None)
+        self._contributors.pop(signature, None)
+        for edge in edges:
+            edge._predictors.pop(signature, None)
+            self.registry.unregister(signature, edge.name)
+
+    def predictor(self, signature: str) -> Optional[DatalessPredictor]:
+        return self._predictors.get(signature)
+
+    @property
+    def signatures(self) -> List[str]:
+        return list(self._predictors)
+
+    def state_bytes(self) -> int:
+        return sum(p.state_bytes() for p in self._predictors.values())
+
+    # Internals ---------------------------------------------------------------
+    def _new_predictor(self, answer_dim: int) -> DatalessPredictor:
+        config = self.config
+        return DatalessPredictor(
+            answer_dim=answer_dim,
+            quantizer=QuerySpaceQuantizer(
+                n_quanta=config.n_quanta,
+                grow_threshold=config.grow_threshold,
+                max_quanta=config.max_quanta,
+                warmup=config.warmup,
+            ),
+            factory=AnswerModelFactory(config.model_family),
+            error_estimator=PrequentialErrorEstimator(
+                quantile=config.error_quantile
+            ),
+            novelty_limit=config.novelty_limit,
+        )

@@ -1,0 +1,128 @@
+"""Analytical query routing across the geo-distributed system (RT5.4).
+
+"Given an analytical query at some edge node, query routing refers to
+deciding where should the query be answered.  Should it answered at the
+local edge node?  Should it be sent to another edge node? ... Should it
+reach other nodes?"
+
+:class:`GeoRouter` implements the three-tier policy the paper sketches:
+
+1. **local** — the edge's own model, if its estimated error passes;
+2. **peer** — an edge that the model registry lists as holding a usable
+   model for this signature (one WAN hop to the peer, whose model answers
+   if *its* error estimate passes);
+3. **core** — the exact engine at a core datacenter (WAN hop + full job),
+   whose answer also trains the local model.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import Dict, List, Optional
+
+from repro.common.accounting import CostMeter
+from repro.common.errors import NotTrainedError, RoutingError
+from repro.geo.edge import EdgeAgent, EdgeServed
+from repro.geo.federation import CoreCoordinator
+from repro.queries.query import AnalyticsQuery
+
+_QUERY_BYTES = 512
+_ANSWER_BYTES = 64
+
+
+class GeoRouter:
+    """Routes queries arising at edges through local/peer/core tiers."""
+
+    def __init__(
+        self,
+        edges: List[EdgeAgent],
+        core: CoreCoordinator,
+        peer_routing: bool = True,
+    ) -> None:
+        if not edges:
+            raise RoutingError("router needs at least one edge")
+        self.edges = {edge.name: edge for edge in edges}
+        self.core = core
+        self.peer_routing = peer_routing
+
+    def submit(self, edge_name: str, query: AnalyticsQuery) -> EdgeServed:
+        """Serve a query arriving at ``edge_name``."""
+        edge = self._edge(edge_name)
+        edge.n_queries += 1
+        predictor = edge.predictor_for(query)
+        threshold = edge.config.error_threshold
+
+        # Tier 1: local model.
+        prediction = self._try_predict(predictor, query)
+        if (
+            prediction is not None
+            and prediction.reliable
+            and prediction.error_estimate <= threshold
+        ):
+            edge.n_local += 1
+            return EdgeServed(
+                query=query,
+                answer=prediction.scalar if query.answer_dim == 1 else prediction.value,
+                origin="local",
+                cost=edge._local_cost(),
+                prediction=prediction,
+            )
+
+        # Tier 2: a peer edge holding a registered model.
+        if self.peer_routing:
+            served = self._try_peer(edge, query)
+            if served is not None:
+                return served
+
+        # Tier 3: the core (exact; the local model learns from the answer).
+        return edge._ask_core(query, predictor)
+
+    def _try_peer(
+        self, edge: EdgeAgent, query: AnalyticsQuery
+    ) -> Optional[EdgeServed]:
+        signature = query.signature()
+        for holder_name in self.core.registry.holders(signature):
+            if holder_name == edge.name:
+                continue
+            peer = self.edges.get(holder_name)
+            if peer is None:
+                continue
+            prediction = self._try_predict(peer.predictor_for(query), query)
+            if (
+                prediction is None
+                or not prediction.reliable
+                or prediction.error_estimate > peer.config.error_threshold
+            ):
+                continue
+            meter = CostMeter()
+            seconds = meter.charge_transfer(
+                edge.node_id, peer.node_id, _QUERY_BYTES, wan=True
+            )
+            seconds += meter.charge_cpu(peer.node_id, 4096)
+            seconds += meter.charge_transfer(
+                peer.node_id, edge.node_id, _ANSWER_BYTES * query.answer_dim, wan=True
+            )
+            meter.advance(seconds)
+            return EdgeServed(
+                query=query,
+                answer=prediction.scalar if query.answer_dim == 1 else prediction.value,
+                origin="peer",
+                cost=meter.freeze(),
+                prediction=prediction,
+            )
+        return None
+
+    @staticmethod
+    def _try_predict(predictor, query):
+        try:
+            return predictor.predict(query.vector())
+        except NotTrainedError:
+            return None
+
+    def _edge(self, name: str) -> EdgeAgent:
+        try:
+            return self.edges[name]
+        except KeyError:
+            raise RoutingError(
+                f"unknown edge {name!r}; have {sorted(self.edges)}"
+            ) from None

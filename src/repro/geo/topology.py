@@ -1,0 +1,81 @@
+"""Core/edge network layout (RT5.1).
+
+"We envisage the network to contain core nodes and edge nodes.  The core
+nodes store the actual data. ... edge nodes typically maintain only models
+of the base data and can provide only approximate answers."
+
+:class:`GeoSites` wraps a :class:`~repro.cluster.topology.ClusterTopology`
+whose datacenters are split into *core* datacenters (multi-node, holding
+table partitions) and *edge* sites (one node each, holding model state
+only).  All core<->edge and edge<->edge traffic is WAN.
+"""
+
+from __future__ import annotations
+
+from typing import Dict, List, Tuple
+
+from repro.common.errors import ConfigurationError
+from repro.common.validation import require
+from repro.cluster.storage import DistributedStore
+from repro.cluster.topology import ClusterTopology
+
+
+class GeoSites:
+    """Named core datacenters plus single-node edge sites."""
+
+    def __init__(
+        self,
+        n_cores: int = 2,
+        nodes_per_core: int = 4,
+        n_edges: int = 8,
+        replication: int = 1,
+    ) -> None:
+        require(n_cores >= 1, "need at least one core datacenter")
+        require(nodes_per_core >= 1, "nodes_per_core must be >= 1")
+        require(n_edges >= 1, "need at least one edge site")
+        datacenters: Dict[str, int] = {}
+        self.core_names = [f"core{i}" for i in range(n_cores)]
+        self.edge_names = [f"edge{i}" for i in range(n_edges)]
+        for name in self.core_names:
+            datacenters[name] = nodes_per_core
+        for name in self.edge_names:
+            datacenters[name] = 1
+        self.topology = ClusterTopology.geo_distributed(datacenters)
+        core_nodes = [
+            node
+            for name in self.core_names
+            for node in self.topology.nodes_in(name)
+        ]
+        require(
+            replication <= len(core_nodes),
+            "replication exceeds total core nodes",
+        )
+        self.store = DistributedStore(self.topology, replication=replication)
+        self._core_nodes = core_nodes
+
+    @property
+    def core_nodes(self) -> List[str]:
+        """All data-holding nodes across core datacenters."""
+        return list(self._core_nodes)
+
+    def edge_node(self, edge_name: str) -> str:
+        """The single node of an edge site."""
+        if edge_name not in self.edge_names:
+            raise ConfigurationError(f"unknown edge site {edge_name!r}")
+        return self.topology.nodes_in(edge_name)[0]
+
+    def core_gateway(self, core_name: str = None) -> str:
+        """The node of a core datacenter that faces the WAN."""
+        name = core_name if core_name is not None else self.core_names[0]
+        if name not in self.core_names:
+            raise ConfigurationError(f"unknown core datacenter {name!r}")
+        return self.topology.nodes_in(name)[0]
+
+    def put_table(self, table, partitions_per_node: int = 1, seed=0):
+        """Place a table across the core nodes only (edges hold no data)."""
+        return self.store.put_table(
+            table,
+            partitions_per_node=partitions_per_node,
+            nodes=self.core_nodes,
+            seed=seed,
+        )

@@ -1,0 +1,64 @@
+"""From-scratch statistical machine-learning primitives on numpy.
+
+The SEA vision rests on "statistical machine learning (SML) models"
+(Sec. III.B).  No ML toolkit is available offline, so this package provides
+the models the rest of the library needs:
+
+* :mod:`repro.ml.linear` — ordinary least squares / ridge regression.
+* :mod:`repro.ml.kmeans` — batch and online k-means vector quantization
+  (the query-space quantizer of RT1.1 builds on the online variant).
+* :mod:`repro.ml.tree` — CART decision trees for regression and
+  classification (the learned optimizer of RT3 uses the classifier).
+* :mod:`repro.ml.boosting` — gradient-boosted regression trees
+  (the "boosting-based ensemble models [41], [42]" of RT3.3).
+* :mod:`repro.ml.knn` — k-nearest-neighbour regression/classification.
+* :mod:`repro.ml.kdtree` — an exact k-d tree used by kNN search and the
+  big-data-less spatial indexes.
+* :mod:`repro.ml.metrics` — error metrics shared by tests and benchmarks.
+"""
+
+from repro.ml.scaling import StandardScaler, MinMaxScaler
+from repro.ml.linear import LinearRegression, RidgeRegression, polynomial_features
+from repro.ml.kmeans import KMeans, OnlineKMeans
+from repro.ml.tree import DecisionTreeRegressor, DecisionTreeClassifier
+from repro.ml.boosting import GradientBoostingRegressor
+from repro.ml.knn import KNeighborsRegressor, KNeighborsClassifier
+from repro.ml.kdtree import KDTree
+from repro.ml.sketches import CountMinSketch, DyadicCountMin, ReservoirSample
+from repro.ml.metrics import (
+    mean_squared_error,
+    root_mean_squared_error,
+    mean_absolute_error,
+    median_absolute_error,
+    relative_error,
+    median_relative_error,
+    r2_score,
+    accuracy_score,
+)
+
+__all__ = [
+    "StandardScaler",
+    "MinMaxScaler",
+    "LinearRegression",
+    "RidgeRegression",
+    "polynomial_features",
+    "KMeans",
+    "OnlineKMeans",
+    "DecisionTreeRegressor",
+    "DecisionTreeClassifier",
+    "GradientBoostingRegressor",
+    "KNeighborsRegressor",
+    "KNeighborsClassifier",
+    "KDTree",
+    "CountMinSketch",
+    "DyadicCountMin",
+    "ReservoirSample",
+    "mean_squared_error",
+    "root_mean_squared_error",
+    "mean_absolute_error",
+    "median_absolute_error",
+    "relative_error",
+    "median_relative_error",
+    "r2_score",
+    "accuracy_score",
+]

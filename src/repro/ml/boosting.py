@@ -1,0 +1,96 @@
+"""Gradient-boosted regression trees.
+
+RT3.3 observes that for different data subspaces "different regression base
+models or boosting-based ensemble models [41], [42]" win; the model-selection
+experiments (E10) therefore need a boosted ensemble to select between.  This
+is classic least-squares gradient boosting [Friedman 2001]: fit shallow
+trees to residuals with shrinkage.
+"""
+
+from __future__ import annotations
+
+from typing import List, Optional
+
+import numpy as np
+
+from repro.common.errors import NotTrainedError
+from repro.common.validation import require, require_matrix
+from repro.ml.tree import DecisionTreeRegressor
+
+
+class GradientBoostingRegressor:
+    """Least-squares boosting with shallow CART base learners."""
+
+    def __init__(
+        self,
+        n_estimators: int = 50,
+        learning_rate: float = 0.1,
+        max_depth: int = 3,
+        min_samples_leaf: int = 1,
+        subsample: float = 1.0,
+        seed=None,
+    ) -> None:
+        require(n_estimators >= 1, "n_estimators must be >= 1")
+        require(0.0 < learning_rate <= 1.0, "learning_rate must be in (0, 1]")
+        require(0.0 < subsample <= 1.0, "subsample must be in (0, 1]")
+        self.n_estimators = n_estimators
+        self.learning_rate = learning_rate
+        self.max_depth = max_depth
+        self.min_samples_leaf = min_samples_leaf
+        self.subsample = subsample
+        self._rng = np.random.default_rng(seed)
+        self._init: float = 0.0
+        self._trees: List[DecisionTreeRegressor] = []
+
+    def fit(self, x, y) -> "GradientBoostingRegressor":
+        x = require_matrix(x, "x")
+        y = np.asarray(y, dtype=float).ravel()
+        require(x.shape[0] == y.shape[0], "x and y row counts differ")
+        require(y.shape[0] >= 1, "cannot fit on zero samples")
+        self._init = float(y.mean())
+        self._trees = []
+        prediction = np.full(y.shape[0], self._init)
+        n_rows = y.shape[0]
+        batch = max(1, int(round(self.subsample * n_rows)))
+        for _ in range(self.n_estimators):
+            residual = y - prediction
+            if self.subsample < 1.0:
+                idx = self._rng.choice(n_rows, size=batch, replace=False)
+            else:
+                idx = slice(None)
+            tree = DecisionTreeRegressor(
+                max_depth=self.max_depth, min_samples_leaf=self.min_samples_leaf
+            )
+            tree.fit(x[idx], residual[idx])
+            prediction = prediction + self.learning_rate * tree.predict(x)
+            self._trees.append(tree)
+            if np.allclose(residual, 0.0):
+                break
+        return self
+
+    def predict(self, x) -> np.ndarray:
+        if not self._trees:
+            raise NotTrainedError(
+                "GradientBoostingRegressor.predict called before fit"
+            )
+        x = require_matrix(x, "x")
+        out = np.full(x.shape[0], self._init)
+        for tree in self._trees:
+            out += self.learning_rate * tree.predict(x)
+        return out
+
+    @property
+    def n_trees(self) -> int:
+        return len(self._trees)
+
+    def staged_predict(self, x):
+        """Yield predictions after each boosting stage (for early-stop eval)."""
+        if not self._trees:
+            raise NotTrainedError(
+                "GradientBoostingRegressor.staged_predict called before fit"
+            )
+        x = require_matrix(x, "x")
+        out = np.full(x.shape[0], self._init)
+        for tree in self._trees:
+            out = out + self.learning_rate * tree.predict(x)
+            yield out.copy()

@@ -1,0 +1,178 @@
+"""An exact k-d tree for nearest-neighbour and range search.
+
+This is the workhorse access structure of the big-data-less suite (RT2):
+the distributed kNN operator builds one per data node, the imputation
+engine uses it to find donor rows, and :class:`repro.ml.knn` uses it when
+data is large enough to amortise construction.
+
+The implementation is array-based (no per-node Python objects for points):
+nodes store index ranges into a permutation of the input, median-split on
+the widest-spread dimension.
+"""
+
+from __future__ import annotations
+
+import heapq
+from dataclasses import dataclass
+from typing import List, Optional, Tuple
+
+import numpy as np
+
+from repro.common.validation import require, require_matrix
+
+_LEAF_SIZE = 16
+
+
+@dataclass
+class _KDNode:
+    lo: int
+    hi: int
+    dim: int = -1
+    split: float = 0.0
+    left: Optional["_KDNode"] = None
+    right: Optional["_KDNode"] = None
+    mins: Optional[np.ndarray] = None
+    maxs: Optional[np.ndarray] = None
+
+    @property
+    def is_leaf(self) -> bool:
+        return self.left is None
+
+
+class KDTree:
+    """Static k-d tree over an (n, d) point matrix."""
+
+    def __init__(self, points, leaf_size: int = _LEAF_SIZE) -> None:
+        points = require_matrix(points, "points")
+        require(points.shape[0] >= 1, "KDTree needs at least one point")
+        require(leaf_size >= 1, "leaf_size must be >= 1")
+        self._points = points
+        self._leaf_size = leaf_size
+        self._order = np.arange(points.shape[0])
+        self._root = self._build(0, points.shape[0])
+        self.n_nodes_visited = 0  # instrumentation for cost accounting
+
+    @property
+    def n_points(self) -> int:
+        return self._points.shape[0]
+
+    @property
+    def dim(self) -> int:
+        return self._points.shape[1]
+
+    def _build(self, lo: int, hi: int) -> _KDNode:
+        idx = self._order[lo:hi]
+        pts = self._points[idx]
+        node = _KDNode(lo=lo, hi=hi, mins=pts.min(axis=0), maxs=pts.max(axis=0))
+        if hi - lo <= self._leaf_size:
+            return node
+        spread = node.maxs - node.mins
+        dim = int(spread.argmax())
+        if spread[dim] == 0.0:
+            return node  # all points identical: keep as a leaf
+        values = pts[:, dim]
+        mid = (hi - lo) // 2
+        part = np.argpartition(values, mid)
+        self._order[lo:hi] = idx[part]
+        node.dim = dim
+        node.split = float(self._points[self._order[lo + mid], dim])
+        node.left = self._build(lo, lo + mid)
+        node.right = self._build(lo + mid, hi)
+        return node
+
+    # Nearest neighbours -------------------------------------------------
+    def query(self, point, k: int = 1) -> Tuple[np.ndarray, np.ndarray]:
+        """Return (distances, indices) of the ``k`` nearest points.
+
+        Distances are euclidean and sorted ascending.  ``k`` is clipped to
+        the number of stored points.
+        """
+        q = np.asarray(point, dtype=float).ravel()
+        require(q.shape[0] == self.dim, f"query must be {self.dim}-dimensional")
+        k = min(k, self.n_points)
+        require(k >= 1, "k must be >= 1")
+        # Max-heap of (-dist_sq, index) holding the best k so far.
+        heap: List[Tuple[float, int]] = []
+        self._search(self._root, q, k, heap)
+        best = sorted((-d, i) for d, i in heap)
+        dists = np.sqrt(np.array([d for d, _ in best]))
+        idxs = np.array([i for _, i in best], dtype=int)
+        return dists, idxs
+
+    def _search(self, node: _KDNode, q: np.ndarray, k: int, heap: list) -> None:
+        self.n_nodes_visited += 1
+        if node.is_leaf:
+            idx = self._order[node.lo : node.hi]
+            diff = self._points[idx] - q
+            dist_sq = np.einsum("ij,ij->i", diff, diff)
+            for d, i in zip(dist_sq, idx):
+                if len(heap) < k:
+                    heapq.heappush(heap, (-d, int(i)))
+                elif -d > heap[0][0]:
+                    heapq.heapreplace(heap, (-d, int(i)))
+            return
+        near, far = (
+            (node.left, node.right)
+            if q[node.dim] <= node.split
+            else (node.right, node.left)
+        )
+        self._search(near, q, k, heap)
+        worst = -heap[0][0] if len(heap) == k else np.inf
+        if self._box_dist_sq(far, q) < worst:
+            self._search(far, q, k, heap)
+
+    def _box_dist_sq(self, node: _KDNode, q: np.ndarray) -> float:
+        below = np.maximum(node.mins - q, 0.0)
+        above = np.maximum(q - node.maxs, 0.0)
+        gap = below + above
+        return float(gap @ gap)
+
+    # Range search --------------------------------------------------------
+    def query_radius(self, point, radius: float) -> np.ndarray:
+        """Indices of all points within euclidean ``radius`` of ``point``."""
+        q = np.asarray(point, dtype=float).ravel()
+        require(q.shape[0] == self.dim, f"query must be {self.dim}-dimensional")
+        require(radius >= 0, "radius must be non-negative")
+        hits: List[int] = []
+        self._radius_search(self._root, q, radius * radius, hits)
+        return np.asarray(sorted(hits), dtype=int)
+
+    def _radius_search(
+        self, node: _KDNode, q: np.ndarray, radius_sq: float, hits: list
+    ) -> None:
+        self.n_nodes_visited += 1
+        if self._box_dist_sq(node, q) > radius_sq:
+            return
+        if node.is_leaf:
+            idx = self._order[node.lo : node.hi]
+            diff = self._points[idx] - q
+            dist_sq = np.einsum("ij,ij->i", diff, diff)
+            hits.extend(int(i) for i, d in zip(idx, dist_sq) if d <= radius_sq)
+            return
+        self._radius_search(node.left, q, radius_sq, hits)
+        self._radius_search(node.right, q, radius_sq, hits)
+
+    def query_box(self, lows, highs) -> np.ndarray:
+        """Indices of points inside the closed axis-aligned box [lows, highs]."""
+        lows = np.asarray(lows, dtype=float).ravel()
+        highs = np.asarray(highs, dtype=float).ravel()
+        require(lows.shape[0] == self.dim, "box must match tree dimensionality")
+        require(highs.shape[0] == self.dim, "box must match tree dimensionality")
+        hits: List[int] = []
+        self._box_search(self._root, lows, highs, hits)
+        return np.asarray(sorted(hits), dtype=int)
+
+    def _box_search(
+        self, node: _KDNode, lows: np.ndarray, highs: np.ndarray, hits: list
+    ) -> None:
+        self.n_nodes_visited += 1
+        if np.any(node.maxs < lows) or np.any(node.mins > highs):
+            return
+        if node.is_leaf:
+            idx = self._order[node.lo : node.hi]
+            pts = self._points[idx]
+            inside = np.all((pts >= lows) & (pts <= highs), axis=1)
+            hits.extend(int(i) for i in idx[inside])
+            return
+        self._box_search(node.left, lows, highs, hits)
+        self._box_search(node.right, lows, highs, hits)

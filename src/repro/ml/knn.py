@@ -1,0 +1,103 @@
+"""k-nearest-neighbour regression and classification.
+
+RT2.2 calls out "kNN regression and kNN classification" as fundamental
+operations.  These estimators back both the ad-hoc ML-on-subspace operators
+and the missing-value imputation engine.  Search is k-d-tree-based with a
+brute-force fallback for tiny data.
+"""
+
+from __future__ import annotations
+
+from collections import Counter
+from typing import Optional
+
+import numpy as np
+
+from repro.common.errors import NotTrainedError
+from repro.common.validation import require, require_matrix
+from repro.ml.kdtree import KDTree
+
+_BRUTE_FORCE_LIMIT = 64
+
+
+class _BaseKNN:
+    def __init__(self, n_neighbors: int = 5, weights: str = "uniform") -> None:
+        require(n_neighbors >= 1, "n_neighbors must be >= 1")
+        require(weights in ("uniform", "distance"), f"unknown weights {weights!r}")
+        self.n_neighbors = n_neighbors
+        self.weights = weights
+        self._x: Optional[np.ndarray] = None
+        self._tree: Optional[KDTree] = None
+
+    def _fit_points(self, x) -> np.ndarray:
+        x = require_matrix(x, "x")
+        self._x = x
+        self._tree = KDTree(x) if x.shape[0] > _BRUTE_FORCE_LIMIT else None
+        return x
+
+    def _neighbors(self, q: np.ndarray):
+        """(distances, indices) of the nearest k stored points to ``q``."""
+        k = min(self.n_neighbors, self._x.shape[0])
+        if self._tree is not None:
+            return self._tree.query(q, k=k)
+        diff = self._x - q
+        dist = np.sqrt(np.einsum("ij,ij->i", diff, diff))
+        idx = np.argsort(dist)[:k]
+        return dist[idx], idx
+
+    def _neighbor_weights(self, dists: np.ndarray) -> np.ndarray:
+        if self.weights == "uniform":
+            return np.ones_like(dists)
+        # Inverse-distance weights; an exact match dominates entirely.
+        if np.any(dists == 0.0):
+            w = np.zeros_like(dists)
+            w[dists == 0.0] = 1.0
+            return w
+        return 1.0 / dists
+
+
+class KNeighborsRegressor(_BaseKNN):
+    """Predict the (weighted) mean target of the k nearest training rows."""
+
+    def fit(self, x, y) -> "KNeighborsRegressor":
+        x = self._fit_points(x)
+        y = np.asarray(y, dtype=float).ravel()
+        require(x.shape[0] == y.shape[0], "x and y row counts differ")
+        self._y = y
+        return self
+
+    def predict(self, x) -> np.ndarray:
+        if self._x is None:
+            raise NotTrainedError("KNeighborsRegressor.predict called before fit")
+        x = require_matrix(x, "x", n_cols=self._x.shape[1])
+        out = np.empty(x.shape[0])
+        for i, q in enumerate(x):
+            dists, idx = self._neighbors(q)
+            w = self._neighbor_weights(dists)
+            out[i] = float(np.average(self._y[idx], weights=w))
+        return out
+
+
+class KNeighborsClassifier(_BaseKNN):
+    """Predict the (weighted) majority label of the k nearest training rows."""
+
+    def fit(self, x, y) -> "KNeighborsClassifier":
+        x = self._fit_points(x)
+        labels = np.asarray(y).ravel()
+        require(x.shape[0] == labels.shape[0], "x and y row counts differ")
+        self._y = labels
+        return self
+
+    def predict(self, x) -> np.ndarray:
+        if self._x is None:
+            raise NotTrainedError("KNeighborsClassifier.predict called before fit")
+        x = require_matrix(x, "x", n_cols=self._x.shape[1])
+        out = []
+        for q in x:
+            dists, idx = self._neighbors(q)
+            w = self._neighbor_weights(dists)
+            votes: Counter = Counter()
+            for label, weight in zip(self._y[idx], w):
+                votes[label] += weight
+            out.append(max(votes.items(), key=lambda item: item[1])[0])
+        return np.asarray(out)

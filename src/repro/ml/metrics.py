@@ -1,0 +1,75 @@
+"""Error metrics used by models, tests and benchmarks.
+
+All functions accept array-likes, coerce to float ndarrays and validate that
+shapes agree, raising ``ValueError`` on mismatch (the numpy broadcast rules
+would otherwise silently produce nonsense for e.g. (n,) vs (n,1) inputs).
+"""
+
+from __future__ import annotations
+
+import numpy as np
+
+
+def _paired(y_true, y_pred):
+    true = np.asarray(y_true, dtype=float).ravel()
+    pred = np.asarray(y_pred, dtype=float).ravel()
+    if true.shape != pred.shape:
+        raise ValueError(f"shape mismatch: {true.shape} vs {pred.shape}")
+    if true.size == 0:
+        raise ValueError("metrics are undefined for empty inputs")
+    return true, pred
+
+
+def mean_squared_error(y_true, y_pred) -> float:
+    true, pred = _paired(y_true, y_pred)
+    return float(np.mean((true - pred) ** 2))
+
+
+def root_mean_squared_error(y_true, y_pred) -> float:
+    return float(np.sqrt(mean_squared_error(y_true, y_pred)))
+
+
+def mean_absolute_error(y_true, y_pred) -> float:
+    true, pred = _paired(y_true, y_pred)
+    return float(np.mean(np.abs(true - pred)))
+
+
+def median_absolute_error(y_true, y_pred) -> float:
+    true, pred = _paired(y_true, y_pred)
+    return float(np.median(np.abs(true - pred)))
+
+
+def relative_error(y_true, y_pred, floor: float = 1.0) -> np.ndarray:
+    """Per-query relative error ``|true - pred| / max(|true|, floor)``.
+
+    The ``floor`` guards against division by (near-)zero true answers, the
+    standard convention in the AQP literature where e.g. a count of 0 would
+    otherwise make any prediction infinitely wrong.
+    """
+    true, pred = _paired(y_true, y_pred)
+    denom = np.maximum(np.abs(true), floor)
+    return np.abs(true - pred) / denom
+
+
+def median_relative_error(y_true, y_pred, floor: float = 1.0) -> float:
+    return float(np.median(relative_error(y_true, y_pred, floor=floor)))
+
+
+def r2_score(y_true, y_pred) -> float:
+    """Coefficient of determination; 1.0 is perfect, 0.0 matches the mean."""
+    true, pred = _paired(y_true, y_pred)
+    ss_res = np.sum((true - pred) ** 2)
+    ss_tot = np.sum((true - np.mean(true)) ** 2)
+    if ss_tot == 0.0:
+        return 1.0 if ss_res == 0.0 else 0.0
+    return float(1.0 - ss_res / ss_tot)
+
+
+def accuracy_score(y_true, y_pred) -> float:
+    true = np.asarray(y_true).ravel()
+    pred = np.asarray(y_pred).ravel()
+    if true.shape != pred.shape:
+        raise ValueError(f"shape mismatch: {true.shape} vs {pred.shape}")
+    if true.size == 0:
+        raise ValueError("accuracy is undefined for empty inputs")
+    return float(np.mean(true == pred))

@@ -1,0 +1,87 @@
+"""Feature scalers.
+
+Learned models in :mod:`repro.core` operate on query vectors whose
+coordinates mix very different magnitudes (e.g. a centre coordinate in
+[0, 1000] next to a radius in [0, 1]).  Scaling them to comparable ranges is
+a precondition for distance-based quantization to be meaningful.
+"""
+
+from __future__ import annotations
+
+from typing import Optional
+
+import numpy as np
+
+from repro.common.errors import NotTrainedError
+from repro.common.validation import require_matrix
+
+
+class StandardScaler:
+    """Shift to zero mean and scale to unit variance, column-wise.
+
+    Constant columns get a scale of 1 so they map to exactly 0 instead of
+    producing NaNs.
+    """
+
+    def __init__(self) -> None:
+        self.mean_: Optional[np.ndarray] = None
+        self.scale_: Optional[np.ndarray] = None
+
+    def fit(self, x) -> "StandardScaler":
+        x = require_matrix(x, "x")
+        self.mean_ = x.mean(axis=0)
+        std = x.std(axis=0)
+        std[std == 0.0] = 1.0
+        self.scale_ = std
+        return self
+
+    def transform(self, x) -> np.ndarray:
+        if self.mean_ is None or self.scale_ is None:
+            raise NotTrainedError("StandardScaler.transform called before fit")
+        x = require_matrix(x, "x", n_cols=self.mean_.shape[0])
+        return (x - self.mean_) / self.scale_
+
+    def fit_transform(self, x) -> np.ndarray:
+        return self.fit(x).transform(x)
+
+    def inverse_transform(self, x) -> np.ndarray:
+        if self.mean_ is None or self.scale_ is None:
+            raise NotTrainedError("StandardScaler.inverse_transform called before fit")
+        x = require_matrix(x, "x", n_cols=self.mean_.shape[0])
+        return x * self.scale_ + self.mean_
+
+
+class MinMaxScaler:
+    """Scale each column to the [0, 1] range seen at fit time.
+
+    Constant columns map to 0.  Values outside the fitted range extrapolate
+    linearly (no clipping), which online quantizers rely on to notice
+    out-of-distribution queries.
+    """
+
+    def __init__(self) -> None:
+        self.min_: Optional[np.ndarray] = None
+        self.range_: Optional[np.ndarray] = None
+
+    def fit(self, x) -> "MinMaxScaler":
+        x = require_matrix(x, "x")
+        self.min_ = x.min(axis=0)
+        span = x.max(axis=0) - self.min_
+        span[span == 0.0] = 1.0
+        self.range_ = span
+        return self
+
+    def transform(self, x) -> np.ndarray:
+        if self.min_ is None or self.range_ is None:
+            raise NotTrainedError("MinMaxScaler.transform called before fit")
+        x = require_matrix(x, "x", n_cols=self.min_.shape[0])
+        return (x - self.min_) / self.range_
+
+    def fit_transform(self, x) -> np.ndarray:
+        return self.fit(x).transform(x)
+
+    def inverse_transform(self, x) -> np.ndarray:
+        if self.min_ is None or self.range_ is None:
+            raise NotTrainedError("MinMaxScaler.inverse_transform called before fit")
+        x = require_matrix(x, "x", n_cols=self.min_.shape[0])
+        return x * self.range_ + self.min_

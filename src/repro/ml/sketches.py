@@ -1,0 +1,179 @@
+"""Streaming summaries: count-min sketch and reservoir sampling.
+
+Sec. II cites "data synopses (e.g., [16])" — the count-min sketch — as
+one of the two classical AQP substrates (with sampling).  This module
+provides both primitives:
+
+* :class:`CountMinSketch` — point-frequency estimation with the classic
+  (epsilon, delta) guarantee, plus *dyadic range counts* for integer
+  domains (a stack of sketches, one per resolution level), which turns it
+  into a 1-d range-count synopsis.
+* :class:`ReservoirSample` — uniform k-out-of-n sampling over a stream.
+
+Both are deliberately small, dependency-free and fully deterministic
+given a seed.
+"""
+
+from __future__ import annotations
+
+from typing import List, Optional, Tuple
+
+import numpy as np
+
+from repro.common.rng import SeedLike, make_rng
+from repro.common.validation import require
+
+_MERSENNE_PRIME = (1 << 61) - 1
+
+
+class CountMinSketch:
+    """The Cormode-Muthukrishnan count-min sketch.
+
+    With ``width = ceil(e / epsilon)`` and ``depth = ceil(ln(1 / delta))``,
+    point estimates overcount by at most ``epsilon * N`` with probability
+    at least ``1 - delta`` (never undercount).
+    """
+
+    def __init__(
+        self, width: int = 272, depth: int = 5, seed: SeedLike = 0
+    ) -> None:
+        require(width >= 2, "width must be >= 2")
+        require(depth >= 1, "depth must be >= 1")
+        self.width = width
+        self.depth = depth
+        rng = make_rng(seed)
+        self._a = rng.integers(1, _MERSENNE_PRIME, size=depth, dtype=np.int64)
+        self._b = rng.integers(0, _MERSENNE_PRIME, size=depth, dtype=np.int64)
+        self._table = np.zeros((depth, width), dtype=np.int64)
+        self.total = 0
+
+    @classmethod
+    def from_error_bounds(
+        cls, epsilon: float, delta: float, seed: SeedLike = 0
+    ) -> "CountMinSketch":
+        require(0 < epsilon < 1, "epsilon must be in (0, 1)")
+        require(0 < delta < 1, "delta must be in (0, 1)")
+        width = int(np.ceil(np.e / epsilon))
+        depth = int(np.ceil(np.log(1.0 / delta)))
+        return cls(width=width, depth=max(1, depth), seed=seed)
+
+    def _rows(self, key: int) -> np.ndarray:
+        hashed = (self._a * np.int64(key) + self._b) % _MERSENNE_PRIME
+        return (hashed % self.width).astype(int)
+
+    def add(self, key: int, count: int = 1) -> None:
+        require(count >= 0, "count must be non-negative")
+        columns = self._rows(int(key))
+        for row, col in enumerate(columns):
+            self._table[row, col] += count
+        self.total += count
+
+    def estimate(self, key: int) -> int:
+        """Point-frequency estimate (never an undercount)."""
+        columns = self._rows(int(key))
+        return int(min(self._table[row, col] for row, col in enumerate(columns)))
+
+    def state_bytes(self) -> int:
+        return int(self._table.nbytes) + int(self._a.nbytes + self._b.nbytes)
+
+    def merge(self, other: "CountMinSketch") -> "CountMinSketch":
+        """Combine two sketches built with identical parameters/seed.
+
+        Count-min is a linear sketch, so distributed nodes can sketch
+        locally and a coordinator merges by addition — the property that
+        makes it a *distributed* synopsis.
+        """
+        require(
+            self.width == other.width and self.depth == other.depth,
+            "sketch shapes differ",
+        )
+        require(
+            np.array_equal(self._a, other._a) and np.array_equal(self._b, other._b),
+            "sketch hash families differ (construct with the same seed)",
+        )
+        merged = CountMinSketch(self.width, self.depth)
+        merged._a, merged._b = self._a, self._b
+        merged._table = self._table + other._table
+        merged.total = self.total + other.total
+        return merged
+
+
+class DyadicCountMin:
+    """Range-count synopsis over an integer domain [0, 2^levels).
+
+    Keeps one count-min sketch per dyadic level; any range decomposes into
+    at most ``2 * levels`` dyadic intervals, each a point query on its
+    level's sketch.
+    """
+
+    def __init__(
+        self, levels: int = 16, width: int = 272, depth: int = 5, seed: SeedLike = 0
+    ) -> None:
+        require(1 <= levels <= 40, "levels must be in [1, 40]")
+        self.levels = levels
+        self.domain = 1 << levels
+        self._sketches = [
+            CountMinSketch(width=width, depth=depth, seed=seed)
+            for _ in range(levels + 1)
+        ]
+
+    def add(self, value: int, count: int = 1) -> None:
+        require(0 <= value < self.domain, f"value {value} out of domain")
+        for level in range(self.levels + 1):
+            self._sketches[level].add(value >> level, count)
+
+    def range_count(self, lo: int, hi: int) -> int:
+        """Estimated count of values in [lo, hi] (inclusive)."""
+        require(0 <= lo and hi < self.domain, "range out of domain")
+        if lo > hi:
+            return 0
+        total = 0
+        for level, start, length in self._decompose(lo, hi + 1):
+            total += self._sketches[level].estimate(start >> level)
+        return total
+
+    def _decompose(self, lo: int, hi: int):
+        """Dyadic intervals covering [lo, hi) exactly."""
+        while lo < hi:
+            level = 0
+            # Largest aligned block starting at lo that fits in [lo, hi).
+            while level < self.levels:
+                size = 1 << (level + 1)
+                if lo % size != 0 or lo + size > hi:
+                    break
+                level += 1
+            yield level, lo, 1 << level
+            lo += 1 << level
+
+    def state_bytes(self) -> int:
+        return sum(s.state_bytes() for s in self._sketches)
+
+
+class ReservoirSample:
+    """Uniform k-sample over a stream (Vitter's algorithm R)."""
+
+    def __init__(self, capacity: int, seed: SeedLike = 0) -> None:
+        require(capacity >= 1, "capacity must be >= 1")
+        self.capacity = capacity
+        self._rng = make_rng(seed)
+        self._items: List = []
+        self.n_seen = 0
+
+    def add(self, item) -> None:
+        self.n_seen += 1
+        if len(self._items) < self.capacity:
+            self._items.append(item)
+            return
+        j = int(self._rng.integers(self.n_seen))
+        if j < self.capacity:
+            self._items[j] = item
+
+    @property
+    def sample(self) -> List:
+        return list(self._items)
+
+    def scale_up(self, sample_statistic: float) -> float:
+        """Scale a sample count/sum to the stream (n_seen / |sample|)."""
+        if not self._items:
+            return 0.0
+        return sample_statistic * self.n_seen / len(self._items)

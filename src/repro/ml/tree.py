@@ -1,0 +1,201 @@
+"""CART decision trees (regression and classification).
+
+The learned optimizer of RT3 trains a classifier over logged execution
+features to pick MapReduce vs coordinator-cohort on the fly, and the
+boosted ensembles of RT3.3 stack shallow regression trees.  Both are plain
+CART with variance / Gini impurity and exhaustive threshold search over
+(sub-sampled) split candidates — simple, deterministic, dependency-free.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import Optional
+
+import numpy as np
+
+from repro.common.errors import NotTrainedError
+from repro.common.validation import require, require_matrix
+
+_MAX_SPLIT_CANDIDATES = 64
+
+
+@dataclass
+class _Node:
+    """One tree node; leaves have ``feature = -1``."""
+
+    feature: int = -1
+    threshold: float = 0.0
+    value: float = 0.0
+    left: Optional["_Node"] = None
+    right: Optional["_Node"] = None
+
+    @property
+    def is_leaf(self) -> bool:
+        return self.feature < 0
+
+    def count(self) -> int:
+        if self.is_leaf:
+            return 1
+        return 1 + self.left.count() + self.right.count()
+
+
+def _split_candidates(column: np.ndarray) -> np.ndarray:
+    """Midpoints between consecutive distinct values, subsampled."""
+    unique = np.unique(column)
+    if unique.shape[0] < 2:
+        return np.empty(0)
+    midpoints = (unique[:-1] + unique[1:]) / 2.0
+    if midpoints.shape[0] > _MAX_SPLIT_CANDIDATES:
+        idx = np.linspace(0, midpoints.shape[0] - 1, _MAX_SPLIT_CANDIDATES)
+        midpoints = midpoints[idx.astype(int)]
+    return midpoints
+
+
+class _BaseTree:
+    def __init__(
+        self, max_depth: int = 6, min_samples_leaf: int = 1, min_samples_split: int = 2
+    ) -> None:
+        require(max_depth >= 1, f"max_depth must be >= 1, got {max_depth}")
+        require(min_samples_leaf >= 1, "min_samples_leaf must be >= 1")
+        require(min_samples_split >= 2, "min_samples_split must be >= 2")
+        self.max_depth = max_depth
+        self.min_samples_leaf = min_samples_leaf
+        self.min_samples_split = min_samples_split
+        self._root: Optional[_Node] = None
+        self._n_features = 0
+
+    @property
+    def n_nodes(self) -> int:
+        if self._root is None:
+            return 0
+        return self._root.count()
+
+    def _predict_values(self, x) -> np.ndarray:
+        if self._root is None:
+            raise NotTrainedError(f"{type(self).__name__}.predict called before fit")
+        x = require_matrix(x, "x", n_cols=self._n_features)
+        out = np.empty(x.shape[0])
+        for i, row in enumerate(x):
+            node = self._root
+            while not node.is_leaf:
+                node = node.left if row[node.feature] <= node.threshold else node.right
+            out[i] = node.value
+        return out
+
+    def _grow(self, x: np.ndarray, y: np.ndarray, depth: int) -> _Node:
+        leaf_value = self._leaf_value(y)
+        if (
+            depth >= self.max_depth
+            or y.shape[0] < self.min_samples_split
+            or self._is_pure(y)
+        ):
+            return _Node(value=leaf_value)
+        best = self._best_split(x, y)
+        if best is None:
+            return _Node(value=leaf_value)
+        feature, threshold = best
+        mask = x[:, feature] <= threshold
+        left = self._grow(x[mask], y[mask], depth + 1)
+        right = self._grow(x[~mask], y[~mask], depth + 1)
+        return _Node(feature=feature, threshold=threshold, value=leaf_value,
+                     left=left, right=right)
+
+    def _best_split(self, x: np.ndarray, y: np.ndarray):
+        best_score = self._impurity(y) * y.shape[0]
+        best = None
+        for feature in range(x.shape[1]):
+            column = x[:, feature]
+            for threshold in _split_candidates(column):
+                mask = column <= threshold
+                n_left = int(mask.sum())
+                n_right = y.shape[0] - n_left
+                if n_left < self.min_samples_leaf or n_right < self.min_samples_leaf:
+                    continue
+                score = (
+                    self._impurity(y[mask]) * n_left
+                    + self._impurity(y[~mask]) * n_right
+                )
+                if score < best_score - 1e-12:
+                    best_score = score
+                    best = (feature, float(threshold))
+        return best
+
+    # Subclass hooks -----------------------------------------------------
+    def _impurity(self, y: np.ndarray) -> float:
+        raise NotImplementedError
+
+    def _leaf_value(self, y: np.ndarray) -> float:
+        raise NotImplementedError
+
+    def _is_pure(self, y: np.ndarray) -> bool:
+        raise NotImplementedError
+
+
+class DecisionTreeRegressor(_BaseTree):
+    """CART regression tree minimising within-leaf variance."""
+
+    def fit(self, x, y) -> "DecisionTreeRegressor":
+        x = require_matrix(x, "x")
+        y = np.asarray(y, dtype=float).ravel()
+        require(x.shape[0] == y.shape[0], "x and y row counts differ")
+        require(y.shape[0] >= 1, "cannot fit a tree on zero samples")
+        self._n_features = x.shape[1]
+        self._root = self._grow(x, y, depth=0)
+        return self
+
+    def predict(self, x) -> np.ndarray:
+        return self._predict_values(x)
+
+    def _impurity(self, y: np.ndarray) -> float:
+        return float(y.var()) if y.shape[0] else 0.0
+
+    def _leaf_value(self, y: np.ndarray) -> float:
+        return float(y.mean())
+
+    def _is_pure(self, y: np.ndarray) -> bool:
+        return bool(np.all(y == y[0]))
+
+
+class DecisionTreeClassifier(_BaseTree):
+    """CART classification tree minimising Gini impurity.
+
+    Labels may be arbitrary hashables; they are mapped to integer codes
+    internally and mapped back on prediction.
+    """
+
+    def __init__(
+        self, max_depth: int = 6, min_samples_leaf: int = 1, min_samples_split: int = 2
+    ) -> None:
+        super().__init__(max_depth, min_samples_leaf, min_samples_split)
+        self.classes_: Optional[np.ndarray] = None
+
+    def fit(self, x, y) -> "DecisionTreeClassifier":
+        x = require_matrix(x, "x")
+        labels = np.asarray(y).ravel()
+        require(x.shape[0] == labels.shape[0], "x and y row counts differ")
+        require(labels.shape[0] >= 1, "cannot fit a tree on zero samples")
+        self.classes_, codes = np.unique(labels, return_inverse=True)
+        self._n_features = x.shape[1]
+        self._root = self._grow(x, codes.astype(float), depth=0)
+        return self
+
+    def predict(self, x) -> np.ndarray:
+        if self.classes_ is None:
+            raise NotTrainedError("DecisionTreeClassifier.predict called before fit")
+        codes = self._predict_values(x).astype(int)
+        return self.classes_[codes]
+
+    def _impurity(self, y: np.ndarray) -> float:
+        if y.shape[0] == 0:
+            return 0.0
+        _, counts = np.unique(y, return_counts=True)
+        p = counts / y.shape[0]
+        return float(1.0 - np.sum(p**2))
+
+    def _leaf_value(self, y: np.ndarray) -> float:
+        codes, counts = np.unique(y, return_counts=True)
+        return float(codes[counts.argmax()])
+
+    def _is_pure(self, y: np.ndarray) -> bool:
+        return bool(np.all(y == y[0]))

@@ -1,0 +1,34 @@
+"""On-the-fly optimized processing strategy selection (P4, RT3).
+
+* :mod:`repro.optimizer.features` — numeric feature extraction for an
+  analytics task (data sizes, selectivities, k, cluster shape).
+* :mod:`repro.optimizer.alternatives` — execution alternatives as
+  first-class objects that can be run and cost-measured (O5).
+* :mod:`repro.optimizer.selector` — the learned optimizer (O6): logs
+  (features, method, cost) triples from past executions and trains a
+  decision tree that predicts the cheapest method for a new task.
+* :mod:`repro.optimizer.model_selection` — query-driven regression model
+  selection [48]: per data subspace, cross-validate candidate inference
+  model families and adopt the best (RT3.3).
+"""
+
+from repro.optimizer.features import TaskFeatures
+from repro.optimizer.alternatives import ExecutionAlternative, AlternativeSet
+from repro.optimizer.selector import ExecutionLog, LearnedSelector, CostModelSelector
+from repro.optimizer.model_selection import (
+    ModelSelector,
+    select_family_cv,
+    apply_per_quantum_selection,
+)
+
+__all__ = [
+    "TaskFeatures",
+    "ExecutionAlternative",
+    "AlternativeSet",
+    "ExecutionLog",
+    "LearnedSelector",
+    "CostModelSelector",
+    "ModelSelector",
+    "select_family_cv",
+    "apply_per_quantum_selection",
+]

@@ -1,0 +1,90 @@
+"""Execution alternatives as first-class, cost-measurable objects (O5).
+
+"Identify and evaluate key alternative algorithms, methods, and models
+for key analytics tasks."  An :class:`ExecutionAlternative` wraps one way
+of running a task; an :class:`AlternativeSet` runs them all on the same
+instance and reports each one's cost, producing the training data the
+learned selector consumes.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import Any, Callable, Dict, List, Optional, Tuple
+
+from repro.common.accounting import CostReport
+from repro.common.errors import OptimizationError
+from repro.common.validation import require
+
+# An alternative's runner returns (result, CostReport).
+Runner = Callable[..., Tuple[Any, CostReport]]
+
+METRICS = ("elapsed_sec", "node_sec", "bytes_scanned", "dollars")
+
+
+def metric_of(report: CostReport, metric: str) -> float:
+    """Read one optimization metric off a cost report."""
+    require(metric in METRICS, f"unknown metric {metric!r}; choose {METRICS}")
+    if metric == "dollars":
+        return report.dollars()
+    return float(getattr(report, metric))
+
+
+@dataclass
+class ExecutionAlternative:
+    """One named way to execute a task."""
+
+    name: str
+    runner: Runner
+
+    def run(self, *args, **kwargs) -> Tuple[Any, CostReport]:
+        return self.runner(*args, **kwargs)
+
+
+@dataclass
+class AlternativeOutcome:
+    """Result of trying one alternative on one task instance."""
+
+    name: str
+    result: Any
+    report: CostReport
+
+    def cost(self, metric: str) -> float:
+        return metric_of(self.report, metric)
+
+
+class AlternativeSet:
+    """The candidate methods for a task family."""
+
+    def __init__(self, alternatives: List[ExecutionAlternative]) -> None:
+        require(len(alternatives) >= 2, "need at least two alternatives")
+        names = [a.name for a in alternatives]
+        require(len(set(names)) == len(names), f"duplicate names: {names}")
+        self.alternatives = {a.name: a for a in alternatives}
+
+    @property
+    def names(self) -> List[str]:
+        return list(self.alternatives)
+
+    def run_all(self, *args, **kwargs) -> List[AlternativeOutcome]:
+        """Execute every alternative on the same task instance."""
+        outcomes = []
+        for alternative in self.alternatives.values():
+            result, report = alternative.run(*args, **kwargs)
+            outcomes.append(
+                AlternativeOutcome(alternative.name, result, report)
+            )
+        return outcomes
+
+    def run_one(self, name: str, *args, **kwargs) -> AlternativeOutcome:
+        if name not in self.alternatives:
+            raise OptimizationError(
+                f"unknown alternative {name!r}; have {self.names}"
+            )
+        result, report = self.alternatives[name].run(*args, **kwargs)
+        return AlternativeOutcome(name, result, report)
+
+    @staticmethod
+    def best(outcomes: List[AlternativeOutcome], metric: str) -> AlternativeOutcome:
+        require(len(outcomes) >= 1, "no outcomes to compare")
+        return min(outcomes, key=lambda o: o.cost(metric))

@@ -1,0 +1,112 @@
+"""Feature extraction for execution-method selection (RT3).
+
+The learned optimizer needs a numeric description of the task at hand.
+:class:`TaskFeatures` is an ordered, named feature vector; builders for
+the tasks studied in the experiments (distributed joins, kNN, subspace
+aggregates) keep feature names consistent between training logs and
+prediction time.
+
+Log-scaled size features keep the decision-tree splits meaningful across
+the orders-of-magnitude sweeps the experiments run.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import Dict, List, Sequence, Tuple
+
+import numpy as np
+
+from repro.common.validation import require
+
+
+@dataclass(frozen=True)
+class TaskFeatures:
+    """An ordered named feature vector describing one task instance."""
+
+    names: Tuple[str, ...]
+    values: Tuple[float, ...]
+
+    def __post_init__(self) -> None:
+        require(
+            len(self.names) == len(self.values),
+            "names and values must have equal length",
+        )
+
+    def as_array(self) -> np.ndarray:
+        return np.asarray(self.values, dtype=float)
+
+    def as_dict(self) -> Dict[str, float]:
+        return dict(zip(self.names, self.values))
+
+    def __getitem__(self, name: str) -> float:
+        try:
+            return self.values[self.names.index(name)]
+        except ValueError:
+            raise KeyError(name) from None
+
+    # Builders ---------------------------------------------------------------
+    @staticmethod
+    def for_join(
+        rows_r: int,
+        rows_s: int,
+        key_space: int,
+        k: int,
+        n_nodes: int,
+    ) -> "TaskFeatures":
+        """Features of a distributed (rank-)join task.
+
+        ``expected_matches_per_key`` ~ rows/key_space drives the join
+        fan-out, the quantity the MapReduce-vs-coordinator crossover
+        depends on (Sec. IV P4).
+        """
+        return TaskFeatures(
+            names=(
+                "log_rows_r",
+                "log_rows_s",
+                "log_key_space",
+                "log_k",
+                "n_nodes",
+                "match_rate",
+            ),
+            values=(
+                float(np.log10(max(1, rows_r))),
+                float(np.log10(max(1, rows_s))),
+                float(np.log10(max(1, key_space))),
+                float(np.log10(max(1, k))),
+                float(n_nodes),
+                float(rows_r / max(1, key_space)),
+            ),
+        )
+
+    @staticmethod
+    def for_knn(
+        rows: int, dim: int, k: int, n_nodes: int, density_cv: float = 0.0
+    ) -> "TaskFeatures":
+        """Features of a kNN task; ``density_cv`` is the index histogram's
+        coefficient of variation (skewed data favours index pruning)."""
+        return TaskFeatures(
+            names=("log_rows", "dim", "log_k", "n_nodes", "density_cv"),
+            values=(
+                float(np.log10(max(1, rows))),
+                float(dim),
+                float(np.log10(max(1, k))),
+                float(n_nodes),
+                float(density_cv),
+            ),
+        )
+
+    @staticmethod
+    def for_subspace_aggregate(
+        rows: int, selectivity: float, dim: int, n_nodes: int
+    ) -> "TaskFeatures":
+        """Features of a selection+aggregate task (fullscan vs index)."""
+        return TaskFeatures(
+            names=("log_rows", "log_selectivity", "dim", "n_nodes"),
+            values=(
+                float(np.log10(max(1, rows))),
+                float(np.log10(max(selectivity, 1e-12))),
+                float(dim),
+                float(n_nodes),
+            ),
+        )

@@ -1,0 +1,116 @@
+"""Query-driven regression model selection (RT3.3, [48]).
+
+"Even if said models derive from the same family (e.g., regression-based),
+different models have been found to be best for different data subspaces:
+e.g., when considering using different regression base models or
+boosting-based ensemble models [41], [42]."
+
+:func:`select_family_cv` cross-validates candidate answer-model families
+on one quantum's (query vector, answer) buffer and returns the family with
+the lowest validation error.  :func:`apply_per_quantum_selection` re-fits
+an already-trained :class:`~repro.core.predictor.DatalessPredictor` so
+each quantum uses its individually best family — the ablation of E10/E14.
+"""
+
+from __future__ import annotations
+
+from typing import Dict, List, Optional, Sequence, Tuple
+
+import numpy as np
+
+from repro.common.validation import require
+from repro.core.answer_models import FAMILIES, AnswerModelFactory
+from repro.core.predictor import DatalessPredictor
+from repro.ml.metrics import mean_absolute_error
+
+
+def select_family_cv(
+    x: np.ndarray,
+    y: np.ndarray,
+    families: Sequence[str] = FAMILIES,
+    n_folds: int = 3,
+    seed: int = 0,
+) -> Tuple[str, Dict[str, float]]:
+    """K-fold-validated family choice for one quantum's training buffer.
+
+    Returns (best family, per-family mean absolute validation error).
+    Families whose minimum sample requirement exceeds the fold size are
+    skipped; with very small buffers this degenerates gracefully to the
+    constant model.
+    """
+    x = np.atleast_2d(np.asarray(x, dtype=float))
+    y = np.asarray(y, dtype=float).ravel()
+    require(x.shape[0] == y.shape[0], "x and y row counts differ")
+    require(n_folds >= 2, "n_folds must be >= 2")
+    n = x.shape[0]
+    rng = np.random.default_rng(seed)
+    order = rng.permutation(n)
+    folds = np.array_split(order, min(n_folds, n))
+    scores: Dict[str, float] = {}
+    for family in families:
+        factory = AnswerModelFactory(family)
+        fold_errors: List[float] = []
+        for i, hold in enumerate(folds):
+            train = np.concatenate([f for j, f in enumerate(folds) if j != i])
+            if train.shape[0] < factory.min_samples() or hold.shape[0] == 0:
+                continue
+            model = factory.build()
+            model.fit(x[train], y[train])
+            fold_errors.append(
+                mean_absolute_error(y[hold], model.predict(x[hold]))
+            )
+        if fold_errors:
+            scores[family] = float(np.mean(fold_errors))
+    if not scores:
+        return "mean", {"mean": float(np.abs(y - y.mean()).mean())}
+    best = min(scores, key=scores.get)
+    return best, scores
+
+
+class ModelSelector:
+    """Stateful wrapper tracking which family each quantum adopted."""
+
+    def __init__(
+        self, families: Sequence[str] = FAMILIES, n_folds: int = 3
+    ) -> None:
+        self.families = tuple(families)
+        self.n_folds = n_folds
+        self.choices: Dict[int, str] = {}
+        self.scores: Dict[int, Dict[str, float]] = {}
+
+    def select_for_quantum(
+        self, quantum_id: int, x: np.ndarray, y: np.ndarray
+    ) -> str:
+        best, scores = select_family_cv(
+            x, y, families=self.families, n_folds=self.n_folds
+        )
+        self.choices[quantum_id] = best
+        self.scores[quantum_id] = scores
+        return best
+
+
+def apply_per_quantum_selection(
+    predictor: DatalessPredictor,
+    families: Sequence[str] = FAMILIES,
+    n_folds: int = 3,
+) -> Dict[int, str]:
+    """Re-fit each quantum of a trained predictor with its best family.
+
+    Returns {quantum_id: chosen family}.  Quanta with insufficient data
+    keep their current factory.  Only scalar-answer predictors are
+    supported (vector answers would need per-dimension selection).
+    """
+    require(predictor.answer_dim == 1, "per-quantum selection is scalar-only")
+    selector = ModelSelector(families=families, n_folds=n_folds)
+    chosen: Dict[int, str] = {}
+    for quantum_id in predictor.quantum_ids():
+        model = predictor.model_for(quantum_id)
+        if model is None or model.n_samples < 6:
+            continue
+        x = np.asarray(model._x)
+        y = np.asarray(model._y)[:, 0]
+        family = selector.select_for_quantum(quantum_id, x, y)
+        model.factory = AnswerModelFactory(family)
+        model._dirty = True
+        chosen[quantum_id] = family
+    return chosen

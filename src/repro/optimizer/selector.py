@@ -1,0 +1,207 @@
+"""The learned method selector (G6/O6).
+
+"Train models which learn from past task executions and build optimising
+modules, which, on-the-fly, adopt the best execution method for the task
+at hand."
+
+:class:`ExecutionLog` accumulates (features, method, cost) observations —
+typically produced by running an :class:`~repro.optimizer.alternatives.
+AlternativeSet` exhaustively on a training workload.  :class:`
+LearnedSelector` trains a CART classifier labelling each feature vector
+with its cheapest method, then predicts methods for unseen tasks.
+``regret`` quantifies how much the selector's choices cost over the
+oracle, the metric reported in experiment E10.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import Dict, List, Optional, Sequence, Tuple
+
+import numpy as np
+
+from repro.common.errors import NotTrainedError, OptimizationError
+from repro.common.validation import require
+from repro.ml.tree import DecisionTreeClassifier
+from repro.optimizer.features import TaskFeatures
+
+
+@dataclass
+class LogEntry:
+    """Costs of every tried method on one task instance."""
+
+    features: TaskFeatures
+    costs: Dict[str, float]
+
+    @property
+    def best_method(self) -> str:
+        return min(self.costs, key=self.costs.get)
+
+    def regret_of(self, method: str) -> float:
+        """Relative extra cost of ``method`` over the instance's best."""
+        best = self.costs[self.best_method]
+        if best <= 0:
+            return 0.0
+        return self.costs[method] / best - 1.0
+
+
+class ExecutionLog:
+    """Training data for the learned selector."""
+
+    def __init__(self) -> None:
+        self.entries: List[LogEntry] = []
+
+    def record(self, features: TaskFeatures, costs: Dict[str, float]) -> None:
+        require(len(costs) >= 2, "need costs for at least two methods")
+        self.entries.append(LogEntry(features, dict(costs)))
+
+    def __len__(self) -> int:
+        return len(self.entries)
+
+    @property
+    def methods(self) -> List[str]:
+        if not self.entries:
+            return []
+        return sorted(self.entries[0].costs)
+
+    def design_matrix(self) -> Tuple[np.ndarray, np.ndarray]:
+        """(features, best-method labels) over all entries."""
+        require(len(self.entries) >= 1, "empty execution log")
+        x = np.vstack([e.features.as_array() for e in self.entries])
+        y = np.asarray([e.best_method for e in self.entries])
+        return x, y
+
+
+class CostModelSelector:
+    """Per-method cost regressors; choose the predicted-cheapest method.
+
+    The alternative learned-optimizer design RT3 suggests: instead of
+    classifying "which method wins", *predict each method's cost* from
+    the task features (a CART regressor per method over log-cost, since
+    costs span orders of magnitude) and take the argmin.  Unlike the
+    classifier, this also yields calibrated cost estimates a scheduler
+    can budget with.
+    """
+
+    def __init__(self, max_depth: int = 5, min_samples_leaf: int = 2) -> None:
+        self.max_depth = max_depth
+        self.min_samples_leaf = min_samples_leaf
+        self._models: Dict[str, object] = {}
+
+    def fit(self, log: ExecutionLog) -> "CostModelSelector":
+        require(len(log) >= 4, f"need >= 4 logged executions, got {len(log)}")
+        from repro.ml.tree import DecisionTreeRegressor
+
+        x = np.vstack([e.features.as_array() for e in log.entries])
+        self._models = {}
+        for method in log.methods:
+            y = np.log10(
+                np.maximum(
+                    1e-9, [e.costs[method] for e in log.entries]
+                )
+            )
+            model = DecisionTreeRegressor(
+                max_depth=self.max_depth,
+                min_samples_leaf=self.min_samples_leaf,
+            )
+            model.fit(x, np.asarray(y))
+            self._models[method] = model
+        return self
+
+    def predict_costs(self, features: TaskFeatures) -> Dict[str, float]:
+        """Estimated cost (seconds) of every method on this task."""
+        if not self._models:
+            raise NotTrainedError("CostModelSelector.predict_costs before fit")
+        x = features.as_array().reshape(1, -1)
+        return {
+            method: float(10 ** model.predict(x)[0])
+            for method, model in self._models.items()
+        }
+
+    def choose(self, features: TaskFeatures) -> str:
+        costs = self.predict_costs(features)
+        return min(costs, key=costs.get)
+
+    def evaluate(self, log: ExecutionLog) -> Dict[str, float]:
+        """Accuracy/regret on a held-out log (same contract as
+        :meth:`LearnedSelector.evaluate`), plus cost-prediction error."""
+        require(len(log) >= 1, "empty evaluation log")
+        correct = 0
+        regrets: List[float] = []
+        prediction_errors: List[float] = []
+        for entry in log.entries:
+            chosen = self.choose(entry.features)
+            if chosen == entry.best_method:
+                correct += 1
+            regrets.append(entry.regret_of(chosen))
+            predicted = self.predict_costs(entry.features)
+            for method, actual in entry.costs.items():
+                prediction_errors.append(
+                    abs(np.log10(max(1e-9, predicted[method]))
+                        - np.log10(max(1e-9, actual)))
+                )
+        return {
+            "accuracy": correct / len(log.entries),
+            "mean_regret": float(np.mean(regrets)),
+            "mean_log10_cost_error": float(np.mean(prediction_errors)),
+        }
+
+
+class LearnedSelector:
+    """CART classifier from task features to the cheapest method."""
+
+    def __init__(self, max_depth: int = 5, min_samples_leaf: int = 2) -> None:
+        self._tree = DecisionTreeClassifier(
+            max_depth=max_depth, min_samples_leaf=min_samples_leaf
+        )
+        self._trained = False
+        self._default: Optional[str] = None
+
+    def fit(self, log: ExecutionLog) -> "LearnedSelector":
+        require(len(log) >= 4, f"need >= 4 logged executions, got {len(log)}")
+        x, y = log.design_matrix()
+        self._tree.fit(x, y)
+        # Majority method as a fallback default.
+        labels, counts = np.unique(y, return_counts=True)
+        self._default = str(labels[counts.argmax()])
+        self._trained = True
+        return self
+
+    def choose(self, features: TaskFeatures) -> str:
+        """Pick the method for a new task instance."""
+        if not self._trained:
+            raise NotTrainedError("LearnedSelector.choose called before fit")
+        return str(self._tree.predict(features.as_array().reshape(1, -1))[0])
+
+    def evaluate(
+        self, log: ExecutionLog
+    ) -> Dict[str, float]:
+        """Accuracy and regret of the selector on a (held-out) log.
+
+        Also reports the regret of each fixed single-method policy, so
+        experiments can show the learned selector beating "always X".
+        """
+        if not self._trained:
+            raise NotTrainedError("LearnedSelector.evaluate called before fit")
+        require(len(log) >= 1, "empty evaluation log")
+        correct = 0
+        regrets: List[float] = []
+        fixed: Dict[str, List[float]] = {m: [] for m in log.methods}
+        for entry in log.entries:
+            chosen = self.choose(entry.features)
+            if chosen not in entry.costs:
+                raise OptimizationError(
+                    f"selector chose unknown method {chosen!r}"
+                )
+            if chosen == entry.best_method:
+                correct += 1
+            regrets.append(entry.regret_of(chosen))
+            for method in fixed:
+                fixed[method].append(entry.regret_of(method))
+        out = {
+            "accuracy": correct / len(log.entries),
+            "mean_regret": float(np.mean(regrets)),
+        }
+        for method, values in fixed.items():
+            out[f"regret_always_{method}"] = float(np.mean(values))
+        return out

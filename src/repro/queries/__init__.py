@@ -1,0 +1,58 @@
+"""Analytical query algebra.
+
+Sec. III.A: queries "consist of (a) selection operators, which identify a
+data subspace of interest and (b) an analytical operator over the data
+items within this data subspace."
+
+* :mod:`repro.queries.selections` — range (hyper-rectangle), radius
+  (hyper-sphere) and kNN selections.
+* :mod:`repro.queries.aggregates` — descriptive statistics (count, sum,
+  mean, std, median, quantile) and dependence statistics (correlation,
+  linear-regression coefficients).
+* :mod:`repro.queries.query` — :class:`AnalyticsQuery` combining the two,
+  with the vector encoding the learned models quantize (RT1.1).
+"""
+
+from repro.queries.selections import (
+    Selection,
+    RangeSelection,
+    RadiusSelection,
+    KNNSelection,
+)
+from repro.queries.aggregates import (
+    Aggregate,
+    Count,
+    Sum,
+    Mean,
+    Std,
+    Variance,
+    Min,
+    Max,
+    Median,
+    Quantile,
+    Correlation,
+    RegressionCoefficients,
+)
+from repro.queries.query import AnalyticsQuery
+from repro.queries.sql import parse_query
+
+__all__ = [
+    "Selection",
+    "RangeSelection",
+    "RadiusSelection",
+    "KNNSelection",
+    "Aggregate",
+    "Count",
+    "Sum",
+    "Mean",
+    "Std",
+    "Variance",
+    "Min",
+    "Max",
+    "Median",
+    "Quantile",
+    "Correlation",
+    "RegressionCoefficients",
+    "AnalyticsQuery",
+    "parse_query",
+]

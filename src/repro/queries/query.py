@@ -1,0 +1,57 @@
+"""The analytical query object: selection + aggregate.
+
+:class:`AnalyticsQuery` is what analysts submit (Fig. 1/2), what engines
+execute, and what the learned stack featurizes: its :meth:`vector` is the
+point in "query space" that RT1.1 quantizes.
+"""
+
+from __future__ import annotations
+
+from typing import Optional, Union
+
+import numpy as np
+
+from repro.data.tabular import Table
+from repro.queries.aggregates import Aggregate
+from repro.queries.selections import Selection
+
+Answer = Union[float, np.ndarray]
+
+
+class AnalyticsQuery:
+    """One analytical query over one table."""
+
+    def __init__(
+        self, table_name: str, selection: Selection, aggregate: Aggregate
+    ) -> None:
+        self.table_name = table_name
+        self.selection = selection
+        self.aggregate = aggregate
+
+    @property
+    def answer_dim(self) -> int:
+        return self.aggregate.answer_dim
+
+    def vector(self) -> np.ndarray:
+        """The query's position in query space (selection features only).
+
+        Queries with different aggregates live in *separate* query spaces —
+        the agent keeps one predictor per (table, aggregate) pair — so the
+        aggregate is deliberately not encoded here.
+        """
+        return self.selection.vector()
+
+    def evaluate(self, table: Table) -> Answer:
+        """Ground-truth answer on a materialised table."""
+        selected = table.select(self.selection.mask(table))
+        return self.aggregate.compute(selected)
+
+    def signature(self) -> str:
+        """Key identifying which predictor serves this query."""
+        return f"{self.table_name}:{self.aggregate.name}:{len(self.vector())}"
+
+    def __repr__(self) -> str:
+        return (
+            f"Query({self.aggregate!r} over {self.selection!r} "
+            f"on {self.table_name!r})"
+        )

@@ -1,0 +1,167 @@
+"""Selection operators: the "data subspace of interest" part of a query.
+
+Each selection can (a) produce a boolean row mask over a
+:class:`~repro.data.tabular.Table` — the ground-truth semantics — and
+(b) encode itself as a fixed-length feature vector, which is what the
+query-space quantizer and answer-space models consume (RT1).
+
+The vector convention is ``(centre..., extent...)``: a hyper-rectangle is
+encoded by its centre and half-widths, a hyper-sphere by its centre and
+radius.  Centre/extent encodings make nearby, overlapping queries —
+exactly the workload property P2 leverages — land close in vector space.
+"""
+
+from __future__ import annotations
+
+from typing import List, Sequence, Tuple
+
+import numpy as np
+
+from repro.common.errors import QueryError
+from repro.common.validation import require
+from repro.data.tabular import Table
+
+
+class Selection:
+    """Interface for selection operators."""
+
+    columns: Tuple[str, ...]
+
+    def mask(self, table: Table) -> np.ndarray:
+        """Boolean mask of the rows this selection picks from ``table``."""
+        raise NotImplementedError
+
+    def vector(self) -> np.ndarray:
+        """Fixed-length feature encoding for learned models."""
+        raise NotImplementedError
+
+    def bounding_box(self) -> Tuple[np.ndarray, np.ndarray]:
+        """(lows, highs) box enclosing the selected subspace."""
+        raise NotImplementedError
+
+    @property
+    def dim(self) -> int:
+        return len(self.columns)
+
+
+class RangeSelection(Selection):
+    """Axis-aligned hyper-rectangle: ``lows[i] <= col_i <= highs[i]``."""
+
+    def __init__(self, columns: Sequence[str], lows, highs) -> None:
+        self.columns = tuple(columns)
+        self.lows = np.asarray(lows, dtype=float).ravel()
+        self.highs = np.asarray(highs, dtype=float).ravel()
+        require(
+            len(self.columns) == self.lows.shape[0] == self.highs.shape[0],
+            "columns, lows and highs must have equal length",
+        )
+        if np.any(self.lows > self.highs):
+            raise QueryError(
+                f"empty range selection: lows {self.lows} exceed highs {self.highs}"
+            )
+
+    @classmethod
+    def around(cls, columns: Sequence[str], center, half_widths) -> "RangeSelection":
+        """Build from centre and half-widths (the vector encoding inverse)."""
+        center = np.asarray(center, dtype=float).ravel()
+        half = np.asarray(half_widths, dtype=float).ravel()
+        return cls(columns, center - half, center + half)
+
+    @property
+    def center(self) -> np.ndarray:
+        return (self.lows + self.highs) / 2.0
+
+    @property
+    def half_widths(self) -> np.ndarray:
+        return (self.highs - self.lows) / 2.0
+
+    def mask(self, table: Table) -> np.ndarray:
+        out = np.ones(table.n_rows, dtype=bool)
+        for name, lo, hi in zip(self.columns, self.lows, self.highs):
+            col = table.column(name)
+            out &= (col >= lo) & (col <= hi)
+        return out
+
+    def vector(self) -> np.ndarray:
+        return np.concatenate([self.center, self.half_widths])
+
+    def bounding_box(self) -> Tuple[np.ndarray, np.ndarray]:
+        return self.lows.copy(), self.highs.copy()
+
+    def volume(self) -> float:
+        return float(np.prod(self.highs - self.lows))
+
+    def __repr__(self) -> str:
+        parts = ", ".join(
+            f"{lo:.3g}<={c}<={hi:.3g}"
+            for c, lo, hi in zip(self.columns, self.lows, self.highs)
+        )
+        return f"Range({parts})"
+
+
+class RadiusSelection(Selection):
+    """Hyper-sphere: euclidean distance to ``center`` at most ``radius``."""
+
+    def __init__(self, columns: Sequence[str], center, radius: float) -> None:
+        self.columns = tuple(columns)
+        self.center = np.asarray(center, dtype=float).ravel()
+        require(
+            len(self.columns) == self.center.shape[0],
+            "columns and center must have equal length",
+        )
+        require(radius >= 0, f"radius must be non-negative, got {radius}")
+        self.radius = float(radius)
+
+    def mask(self, table: Table) -> np.ndarray:
+        points = table.matrix(self.columns)
+        diff = points - self.center
+        return np.einsum("ij,ij->i", diff, diff) <= self.radius**2
+
+    def vector(self) -> np.ndarray:
+        return np.concatenate([self.center, [self.radius]])
+
+    def bounding_box(self) -> Tuple[np.ndarray, np.ndarray]:
+        return self.center - self.radius, self.center + self.radius
+
+    def __repr__(self) -> str:
+        return f"Radius(center={np.round(self.center, 3)}, r={self.radius:.3g})"
+
+
+class KNNSelection(Selection):
+    """The ``k`` rows nearest to ``point`` (euclidean over ``columns``).
+
+    kNN is not mask-expressible without a global sort, so :meth:`mask`
+    computes the exact answer by ranking all rows — the semantics used to
+    validate the distributed kNN operators of RT2.
+    """
+
+    def __init__(self, columns: Sequence[str], point, k: int) -> None:
+        self.columns = tuple(columns)
+        self.point = np.asarray(point, dtype=float).ravel()
+        require(
+            len(self.columns) == self.point.shape[0],
+            "columns and point must have equal length",
+        )
+        require(k >= 1, f"k must be >= 1, got {k}")
+        self.k = int(k)
+
+    def mask(self, table: Table) -> np.ndarray:
+        points = table.matrix(self.columns)
+        diff = points - self.point
+        dist = np.einsum("ij,ij->i", diff, diff)
+        k = min(self.k, table.n_rows)
+        idx = np.argpartition(dist, k - 1)[:k]
+        out = np.zeros(table.n_rows, dtype=bool)
+        out[idx] = True
+        return out
+
+    def vector(self) -> np.ndarray:
+        return np.concatenate([self.point, [float(self.k)]])
+
+    def bounding_box(self) -> Tuple[np.ndarray, np.ndarray]:
+        # Unbounded a priori; callers that need a box must estimate a radius.
+        inf = np.full(self.point.shape[0], np.inf)
+        return self.point - inf, self.point + inf
+
+    def __repr__(self) -> str:
+        return f"KNN(point={np.round(self.point, 3)}, k={self.k})"

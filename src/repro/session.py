@@ -1,0 +1,157 @@
+"""A high-level session facade: the whole SEA system behind three calls.
+
+For downstream users who want the paper's behaviour without wiring the
+subsystems by hand::
+
+    from repro.session import SEASession
+
+    session = SEASession(n_nodes=8)
+    session.load_table(my_table)              # or load_csv("data.csv")
+    answer = session.sql("SELECT COUNT(*) FROM data "
+                         "WHERE x0 BETWEEN 10 AND 20 AND x1 BETWEEN 5 AND 9")
+    answer.value        # the analytical answer
+    answer.mode         # "train" | "predicted" | "fallback"
+    answer.explanation  # lazily built piecewise-linear explanation
+
+The session owns a simulated cluster, a store, the exact engine and one
+SEA agent; it exposes SQL in, answers out, with per-query provenance and
+cumulative savings statistics.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import Dict, Optional
+
+import numpy as np
+
+from repro.baselines.exact import ExactEngine
+from repro.cluster.storage import DistributedStore
+from repro.cluster.topology import ClusterTopology
+from repro.common.accounting import CostReport
+from repro.common.validation import require
+from repro.core.agent import AgentConfig, SEAAgent, ServedQuery
+from repro.core.persistence import load_agent_models, save_agent_models
+from repro.data.tabular import Table
+from repro.explain.explanations import Explanation, ExplanationBuilder
+from repro.queries.query import AnalyticsQuery
+from repro.queries.sql import parse_query
+
+
+@dataclass
+class SessionAnswer:
+    """What the analyst gets back for one SQL statement."""
+
+    query: AnalyticsQuery
+    value: object
+    mode: str
+    cost: CostReport
+    _session: "SEASession" = None
+
+    @property
+    def explanation(self) -> Explanation:
+        """A piecewise-linear explanation of answer vs query extent.
+
+        Built from the agent's models when they cover the query (zero
+        data access), from the exact engine otherwise.
+        """
+        return self._session.explain(self.query)
+
+    def __repr__(self) -> str:
+        return (
+            f"SessionAnswer(value={self.value!r}, mode={self.mode!r}, "
+            f"elapsed={self.cost.elapsed_sec:.4f}s)"
+        )
+
+
+class SEASession:
+    """One analyst-facing session over a simulated SEA deployment."""
+
+    def __init__(
+        self,
+        n_nodes: int = 8,
+        replication: int = 1,
+        config: Optional[AgentConfig] = None,
+        partitions_per_node: int = 2,
+    ) -> None:
+        require(n_nodes >= 1, "n_nodes must be >= 1")
+        self.topology = ClusterTopology.single_datacenter(n_nodes)
+        self.store = DistributedStore(self.topology, replication=replication)
+        self.engine = ExactEngine(self.store)
+        self.agent = SEAAgent(self.engine, config or AgentConfig())
+        self.partitions_per_node = partitions_per_node
+        self._explainer = ExplanationBuilder(n_probes=13, span=(0.6, 1.4))
+
+    # Data management -------------------------------------------------------
+    def load_table(self, table: Table) -> None:
+        """Place a table across the session's cluster."""
+        self.store.put_table(
+            table, partitions_per_node=self.partitions_per_node
+        )
+
+    def load_csv(self, path: str, name: Optional[str] = None) -> Table:
+        """Load a numeric CSV (header row) and place it."""
+        table = Table.from_csv(path, name=name)
+        self.load_table(table)
+        return table
+
+    def notify_update(self, table_name: str, lows, highs) -> int:
+        """Tell the agent base data changed inside the box (RT1.4-ii)."""
+        return self.agent.notify_data_update(table_name, lows, highs)
+
+    # Querying ---------------------------------------------------------------
+    def sql(self, statement: str) -> SessionAnswer:
+        """Run one SQL-like statement through the agent."""
+        return self.submit(parse_query(statement))
+
+    def submit(self, query: AnalyticsQuery) -> SessionAnswer:
+        """Run one already-built query through the agent."""
+        record: ServedQuery = self.agent.submit(query)
+        return SessionAnswer(
+            query=query,
+            value=record.answer,
+            mode=record.mode,
+            cost=record.cost,
+            _session=self,
+        )
+
+    def explain(self, query: AnalyticsQuery) -> Explanation:
+        """An explanation for ``query`` (data-less when models cover it)."""
+        predictor = self.agent.predictor(query)
+        try:
+            prediction = predictor.predict(query.vector())
+        except Exception:
+            prediction = None
+        if prediction is not None and prediction.reliable:
+            return self._explainer.from_predictor(query, predictor)
+        return self._explainer.from_engine(query, self.engine)
+
+    # Persistence ------------------------------------------------------------
+    def save_models(self, path: str) -> int:
+        """Persist the agent's learned models (bytes written)."""
+        return save_agent_models(self.agent, path)
+
+    def load_models(self, path: str) -> int:
+        """Restore models saved by :meth:`save_models` (count loaded)."""
+        return load_agent_models(self.agent, path)
+
+    # Introspection ------------------------------------------------------------
+    def stats(self) -> Dict[str, float]:
+        """Serving statistics plus cumulative resource savings."""
+        stats = self.agent.stats()
+        history = self.agent.history
+        if history:
+            exact_costs = [
+                r.cost.elapsed_sec for r in history if r.mode != "predicted"
+            ]
+            mean_exact = float(np.mean(exact_costs)) if exact_costs else 0.0
+            saved = sum(
+                mean_exact - r.cost.elapsed_sec
+                for r in history
+                if r.mode == "predicted"
+            )
+            stats["estimated_seconds_saved"] = float(max(0.0, saved))
+            stats["bytes_scanned_total"] = float(
+                sum(r.cost.bytes_scanned for r in history)
+            )
+        return stats

@@ -1,0 +1,42 @@
+"""Shared fixtures: a small cluster, stored tables, and workloads."""
+
+import numpy as np
+import pytest
+
+from repro.cluster import ClusterTopology, DistributedStore
+from repro.data import gaussian_mixture_table, InterestProfile, WorkloadGenerator
+from repro.queries import Count
+
+
+@pytest.fixture
+def topology():
+    return ClusterTopology.single_datacenter(4)
+
+
+@pytest.fixture
+def store(topology):
+    return DistributedStore(topology)
+
+
+@pytest.fixture
+def small_table():
+    return gaussian_mixture_table(
+        5000, dims=("x0", "x1"), seed=7, name="data"
+    )
+
+
+@pytest.fixture
+def stored_table(store, small_table):
+    store.put_table(small_table, partitions_per_node=2)
+    return store.table("data")
+
+
+@pytest.fixture
+def workload(small_table):
+    profile = InterestProfile.from_table(
+        small_table, ("x0", "x1"), 3, seed=11, hotspot_scale=2.5,
+        extent_range=(3.0, 8.0),
+    )
+    return WorkloadGenerator(
+        "data", ("x0", "x1"), profile, aggregate=Count(), seed=13
+    )

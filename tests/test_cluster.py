@@ -1,0 +1,221 @@
+"""Unit tests for repro.cluster: nodes, topology, distributed storage."""
+
+import numpy as np
+import pytest
+
+from repro.common import CostMeter
+from repro.common.errors import ConfigurationError, StorageError
+from repro.cluster import ClusterTopology, DataNode, DistributedStore
+from repro.data import Table, uniform_table
+
+
+class TestDataNode:
+    def test_partition_accounting(self):
+        node = DataNode("n0")
+        node.add_partition("t/p0", 1000)
+        assert node.stored_bytes == 1000
+        node.drop_partition("t/p0", 1000)
+        assert node.stored_bytes == 0
+
+    def test_duplicate_partition_rejected(self):
+        node = DataNode("n0")
+        node.add_partition("t/p0", 10)
+        with pytest.raises(ValueError):
+            node.add_partition("t/p0", 10)
+
+    def test_drop_unknown_partition_rejected(self):
+        with pytest.raises(KeyError):
+            DataNode("n0").drop_partition("t/p0", 10)
+
+    def test_index_bytes(self):
+        node = DataNode("n0")
+        node.add_index_bytes(256)
+        assert node.total_bytes == 256
+
+
+class TestTopology:
+    def test_single_datacenter(self):
+        topo = ClusterTopology.single_datacenter(4)
+        assert len(topo) == 4
+        assert topo.datacenters == ["dc0"]
+        assert not topo.is_wan(topo.node_ids[0], topo.node_ids[1])
+
+    def test_geo_distributed_wan_detection(self):
+        topo = ClusterTopology.geo_distributed({"eu": 2, "us": 2})
+        eu = topo.nodes_in("eu")
+        us = topo.nodes_in("us")
+        assert topo.is_wan(eu[0], us[0])
+        assert not topo.is_wan(eu[0], eu[1])
+
+    def test_duplicate_node_rejected(self):
+        topo = ClusterTopology()
+        topo.add_node(DataNode("n0"))
+        with pytest.raises(ConfigurationError):
+            topo.add_node(DataNode("n0"))
+
+    def test_unknown_lookups_raise(self):
+        topo = ClusterTopology.single_datacenter(2)
+        with pytest.raises(ConfigurationError):
+            topo.node("zzz")
+        with pytest.raises(ConfigurationError):
+            topo.nodes_in("nowhere")
+
+    def test_pick_coordinator_deterministic(self):
+        topo = ClusterTopology.single_datacenter(3)
+        assert topo.pick_coordinator() == topo.pick_coordinator()
+
+    def test_storage_bytes_totals_nodes(self):
+        topo = ClusterTopology.single_datacenter(2)
+        topo.node(topo.node_ids[0]).add_index_bytes(100)
+        assert topo.storage_bytes() == 100
+
+
+class TestDistributedStore:
+    def test_put_table_spreads_partitions(self):
+        topo = ClusterTopology.single_datacenter(4)
+        store = DistributedStore(topo)
+        table = uniform_table(1000, seed=0, name="t")
+        stored = store.put_table(table, partitions_per_node=2)
+        assert len(stored.partitions) == 8
+        assert stored.n_rows == 1000
+        assert len(set(stored.nodes)) == 4
+
+    def test_replication_places_copies(self):
+        topo = ClusterTopology.single_datacenter(4)
+        store = DistributedStore(topo, replication=2)
+        stored = store.put_table(uniform_table(100, seed=1, name="t"))
+        for partition in stored.partitions:
+            assert len(partition.all_nodes) == 2
+
+    def test_replication_exceeding_nodes_rejected(self):
+        topo = ClusterTopology.single_datacenter(2)
+        with pytest.raises(ConfigurationError):
+            DistributedStore(topo, replication=3)
+
+    def test_duplicate_table_rejected(self):
+        topo = ClusterTopology.single_datacenter(2)
+        store = DistributedStore(topo)
+        store.put_table(uniform_table(10, seed=2, name="t"))
+        with pytest.raises(StorageError):
+            store.put_table(uniform_table(10, seed=3, name="t"))
+
+    def test_unknown_table_rejected(self):
+        store = DistributedStore(ClusterTopology.single_datacenter(1))
+        with pytest.raises(StorageError):
+            store.table("nope")
+
+    def test_drop_table_frees_node_bytes(self):
+        topo = ClusterTopology.single_datacenter(2)
+        store = DistributedStore(topo)
+        store.put_table(uniform_table(100, seed=4, name="t"))
+        assert topo.storage_bytes() > 0
+        store.drop_table("t")
+        assert topo.storage_bytes() == 0
+        assert "t" not in store
+
+    def test_full_table_roundtrip(self):
+        topo = ClusterTopology.single_datacenter(3)
+        store = DistributedStore(topo)
+        table = uniform_table(500, seed=5, name="t")
+        stored = store.put_table(table, partitions_per_node=2)
+        merged = stored.full_table()
+        assert np.array_equal(np.sort(merged["x0"]), np.sort(table["x0"]))
+
+    def test_read_partition_charges_meter(self):
+        topo = ClusterTopology.single_datacenter(2)
+        store = DistributedStore(topo)
+        stored = store.put_table(uniform_table(100, seed=6, name="t"))
+        meter = CostMeter()
+        data = store.read_partition(stored.partitions[0], meter)
+        report = meter.freeze()
+        assert report.bytes_scanned == data.n_bytes
+        assert report.nodes_touched == 1
+
+    def test_read_rows_charges_proportionally(self):
+        topo = ClusterTopology.single_datacenter(2)
+        store = DistributedStore(topo)
+        stored = store.put_table(uniform_table(100, seed=7, name="t"))
+        partition = stored.partitions[0]
+        meter = CostMeter()
+        rows = store.read_rows(partition, [0, 1, 2], meter)
+        assert rows.n_rows == 3
+        assert meter.freeze().bytes_scanned == 3 * partition.data.row_bytes
+
+    def test_read_from_wrong_replica_rejected(self):
+        topo = ClusterTopology.single_datacenter(3)
+        store = DistributedStore(topo)
+        stored = store.put_table(uniform_table(30, seed=8, name="t"))
+        partition = stored.partitions[0]
+        other = next(
+            n for n in topo.node_ids if n not in partition.all_nodes
+        )
+        with pytest.raises(StorageError):
+            store.read_partition(partition, CostMeter(), node_id=other)
+
+    def test_append_rows_grows_table(self):
+        topo = ClusterTopology.single_datacenter(2)
+        store = DistributedStore(topo)
+        store.put_table(uniform_table(100, seed=9, name="t"))
+        extra = uniform_table(50, seed=10, name="t")
+        store.append_rows("t", extra)
+        assert store.table("t").n_rows == 150
+
+    def test_append_schema_mismatch_rejected(self):
+        topo = ClusterTopology.single_datacenter(2)
+        store = DistributedStore(topo)
+        store.put_table(uniform_table(10, seed=11, name="t"))
+        bad = Table({"zzz": np.zeros(5)}, name="t")
+        with pytest.raises(ConfigurationError):
+            store.append_rows("t", bad)
+
+    def test_delete_rows_by_predicate(self):
+        topo = ClusterTopology.single_datacenter(2)
+        store = DistributedStore(topo)
+        store.put_table(uniform_table(200, seed=12, name="t"))
+        deleted = store.delete_rows("t", lambda t: t["x0"] < 50.0)
+        assert deleted > 0
+        assert store.table("t").n_rows == 200 - deleted
+        assert np.all(store.table("t").full_table()["x0"] >= 50.0)
+
+    def test_put_table_on_subset_of_nodes(self):
+        topo = ClusterTopology.single_datacenter(4)
+        store = DistributedStore(topo)
+        targets = topo.node_ids[:2]
+        stored = store.put_table(
+            uniform_table(100, seed=13, name="t"), nodes=targets
+        )
+        assert set(stored.nodes) <= set(targets)
+
+
+class TestReplicaLoadBalancing:
+    def test_reads_spread_across_replicas(self):
+        topo = ClusterTopology.single_datacenter(4)
+        store = DistributedStore(topo, replication=2)
+        stored = store.put_table(uniform_table(4000, seed=20, name="t"))
+        partition = stored.partitions[0]
+        meter = CostMeter()
+        for _ in range(10):
+            node = store.pick_replica(partition)
+            store.read_rows(partition, [0, 1, 2], meter, node_id=node)
+        served = [store.served_bytes(n) for n in partition.all_nodes]
+        # Both replicas served work; neither hoards it all.
+        assert all(s > 0 for s in served)
+        assert max(served) <= sum(served) * 0.7
+
+    def test_pick_replica_prefers_idle_node(self):
+        topo = ClusterTopology.single_datacenter(3)
+        store = DistributedStore(topo, replication=2)
+        stored = store.put_table(uniform_table(300, seed=21, name="t"))
+        partition = stored.partitions[0]
+        meter = CostMeter()
+        primary = partition.primary_node
+        store.read_partition(partition, meter, node_id=primary)
+        assert store.pick_replica(partition) != primary
+
+    def test_served_bytes_tracks_scans(self):
+        topo = ClusterTopology.single_datacenter(2)
+        store = DistributedStore(topo)
+        stored = store.put_table(uniform_table(100, seed=22, name="t"))
+        partition = stored.partitions[0]
+        store.read_partition(partition, CostMeter())
+        assert store.served_bytes(partition.primary_node) == partition.n_bytes

@@ -1,0 +1,159 @@
+"""Unit tests for repro.common: accounting, rng, validation."""
+
+import numpy as np
+import pytest
+
+from repro.common import (
+    ConfigurationError,
+    CostMeter,
+    CostRates,
+    CostReport,
+    make_rng,
+    require,
+    require_in_range,
+    require_matrix,
+    require_positive,
+    spawn_rngs,
+)
+
+
+class TestCostRates:
+    def test_defaults_positive(self):
+        rates = CostRates()
+        assert rates.disk_bytes_per_sec > 0
+
+    def test_invalid_rate_rejected(self):
+        with pytest.raises(ConfigurationError):
+            CostRates(disk_bytes_per_sec=0)
+
+
+class TestCostMeter:
+    def test_scan_charges_bytes_and_time(self):
+        meter = CostMeter()
+        seconds = meter.charge_scan("n1", 100_000_000, rows=10)
+        assert seconds == pytest.approx(1.0)
+        report = meter.freeze()
+        assert report.bytes_scanned == 100_000_000
+        assert report.rows_examined == 10
+        assert report.node_sec == pytest.approx(1.0)
+
+    def test_nodes_touched_counts_unique(self):
+        meter = CostMeter()
+        meter.charge_scan("n1", 10)
+        meter.charge_scan("n1", 10)
+        meter.charge_scan("n2", 10)
+        assert meter.freeze().nodes_touched == 2
+
+    def test_wan_vs_lan_transfer(self):
+        meter = CostMeter()
+        lan = meter.charge_transfer("a", "b", 10**9, wan=False)
+        wan = meter.charge_transfer("a", "b", 10**9, wan=True)
+        assert wan > lan
+        report = meter.freeze()
+        assert report.bytes_shipped_lan == 10**9
+        assert report.bytes_shipped_wan == 10**9
+        assert report.messages == 2
+
+    def test_advance_rejects_negative(self):
+        meter = CostMeter()
+        with pytest.raises(ValueError):
+            meter.advance(-1.0)
+
+    def test_elapsed_accumulates(self):
+        meter = CostMeter()
+        meter.advance(1.0)
+        meter.advance(0.5)
+        assert meter.freeze().elapsed_sec == pytest.approx(1.5)
+
+    def test_layers_and_tasks(self):
+        meter = CostMeter()
+        meter.charge_layers("n1", 5)
+        meter.charge_task_startup("n1", count=3)
+        report = meter.freeze()
+        assert report.layers_crossed == 5
+        assert report.tasks_launched == 3
+
+    def test_freeze_is_snapshot(self):
+        meter = CostMeter()
+        meter.charge_scan("n1", 100)
+        first = meter.freeze()
+        meter.charge_scan("n2", 100)
+        assert first.bytes_scanned == 100
+        assert meter.freeze().bytes_scanned == 200
+
+
+class TestCostReport:
+    def test_parallel_merge_takes_max_elapsed(self):
+        a = CostReport(elapsed_sec=2.0, node_sec=2.0, bytes_scanned=10)
+        b = CostReport(elapsed_sec=3.0, node_sec=3.0, bytes_scanned=20)
+        merged = a.merged_parallel(b)
+        assert merged.elapsed_sec == 3.0
+        assert merged.node_sec == 5.0
+        assert merged.bytes_scanned == 30
+
+    def test_sequential_merge_adds_elapsed(self):
+        a = CostReport(elapsed_sec=2.0)
+        b = CostReport(elapsed_sec=3.0)
+        assert a.merged_sequential(b).elapsed_sec == 5.0
+
+    def test_dollars_includes_wan_egress(self):
+        report = CostReport(node_sec=3600.0, bytes_shipped_wan=10**9)
+        rates = CostRates()
+        expected = 0.10 + rates.dollars_per_wan_gb
+        assert report.dollars(rates) == pytest.approx(expected)
+
+    def test_total_folds_reports(self):
+        reports = [CostReport(elapsed_sec=1.0, node_sec=1.0)] * 3
+        seq = CostMeter.total(reports, parallel=False)
+        par = CostMeter.total(reports, parallel=True)
+        assert seq.elapsed_sec == 3.0
+        assert par.elapsed_sec == 1.0
+        assert seq.node_sec == par.node_sec == 3.0
+
+    def test_as_dict_fields(self):
+        d = CostReport().as_dict()
+        assert "elapsed_sec" in d and "bytes_scanned" in d
+
+
+class TestRng:
+    def test_same_seed_same_stream(self):
+        assert make_rng(7).integers(1000) == make_rng(7).integers(1000)
+
+    def test_generator_passthrough(self):
+        gen = np.random.default_rng(0)
+        assert make_rng(gen) is gen
+
+    def test_spawn_independent_streams(self):
+        a, b = spawn_rngs(0, 2)
+        assert a.integers(10**9) != b.integers(10**9)
+
+    def test_spawn_negative_rejected(self):
+        with pytest.raises(ValueError):
+            spawn_rngs(0, -1)
+
+
+class TestValidation:
+    def test_require(self):
+        require(True, "fine")
+        with pytest.raises(ConfigurationError, match="broken"):
+            require(False, "broken")
+
+    def test_require_positive(self):
+        require_positive(1.0, "x")
+        with pytest.raises(ConfigurationError):
+            require_positive(0.0, "x")
+
+    def test_require_in_range(self):
+        require_in_range(0.5, "q", 0.0, 1.0)
+        with pytest.raises(ConfigurationError):
+            require_in_range(1.5, "q", 0.0, 1.0)
+        with pytest.raises(ConfigurationError):
+            require_in_range(0.0, "q", 0.0, 1.0, inclusive=False)
+
+    def test_require_matrix_promotes_1d(self):
+        out = require_matrix([1.0, 2.0], "v")
+        assert out.shape == (1, 2)
+
+    def test_require_matrix_checks_columns(self):
+        with pytest.raises(ConfigurationError):
+            require_matrix(np.zeros((3, 2)), "m", n_cols=3)

@@ -1,0 +1,156 @@
+"""Unit tests for repro.core.maintenance (RT1.4)."""
+
+import numpy as np
+import pytest
+
+from repro.common.errors import ConfigurationError
+from repro.core import (
+    AnswerModelFactory,
+    DatalessPredictor,
+    DriftDetector,
+    DataUpdateMonitor,
+    PrequentialErrorEstimator,
+    QuerySpaceQuantizer,
+)
+
+
+def estimator_with_residuals(good=20, bad=0):
+    est = PrequentialErrorEstimator(window=64, min_observations=1)
+    for _ in range(good):
+        est.record(0, 100.0, 100.0)
+    for _ in range(bad):
+        est.record(0, 0.0, 100.0)
+    return est
+
+
+class TestDriftDetector:
+    def test_stable_errors_never_flag(self):
+        detector = DriftDetector()
+        est = PrequentialErrorEstimator(min_observations=1)
+        flagged = False
+        for _ in range(50):
+            est.record(0, 95.0, 100.0)
+            flagged = flagged or detector.check(est, 0)
+        assert not flagged
+
+    def test_degradation_flags_quantum(self):
+        detector = DriftDetector(factor=2.0, min_history=10, recent_window=4)
+        est = PrequentialErrorEstimator(window=64, min_observations=1)
+        flagged = False
+        for _ in range(20):
+            est.record(0, 99.0, 100.0)  # 1% error regime
+        for _ in range(6):
+            est.record(0, 20.0, 100.0)  # 80% error regime
+            flagged = flagged or detector.check(est, 0)
+        assert flagged
+        assert detector.is_flagged(0)
+
+    def test_no_flag_before_min_history(self):
+        detector = DriftDetector(min_history=30)
+        est = estimator_with_residuals(good=5, bad=5)
+        assert not detector.check(est, 0)
+
+    def test_flag_recovers_after_observations(self):
+        detector = DriftDetector(
+            factor=2.0, min_history=10, recent_window=4, recovery_observations=3
+        )
+        est = PrequentialErrorEstimator(window=64, min_observations=1)
+        for _ in range(20):
+            est.record(0, 99.0, 100.0)
+        for _ in range(6):
+            est.record(0, 20.0, 100.0)
+            detector.check(est, 0)
+        assert detector.is_flagged(0)
+        for _ in range(4):
+            est.record(0, 99.0, 100.0)
+            detector.check(est, 0)
+        assert not detector.is_flagged(0)
+
+    def test_absolute_floor_ignores_noise_near_zero(self):
+        detector = DriftDetector(factor=2.0, absolute_floor=0.5, min_history=10)
+        est = PrequentialErrorEstimator(min_observations=1)
+        for _ in range(20):
+            est.record(0, 100.0, 100.0)  # 0 error history
+        est.record(0, 99.0, 100.0)  # tiny recent error; > 2 * 0 historical
+        assert not detector.check(est, 0)  # floor suppresses the flag
+
+    def test_invalid_factor_rejected(self):
+        with pytest.raises(ConfigurationError):
+            DriftDetector(factor=1.0)
+
+    def test_flagged_quanta_set(self):
+        detector = DriftDetector(factor=2.0, min_history=10, recent_window=4)
+        est = PrequentialErrorEstimator(min_observations=1)
+        for _ in range(20):
+            est.record(3, 99.0, 100.0)
+        for _ in range(6):
+            est.record(3, 10.0, 100.0)
+            detector.check(est, 3)
+        assert detector.flagged_quanta == {3}
+
+
+class TestDataUpdateMonitor:
+    def trained_predictor(self):
+        predictor = DatalessPredictor(
+            quantizer=QuerySpaceQuantizer(n_quanta=2, warmup=8, grow_threshold=2.0),
+            factory=AnswerModelFactory("linear"),
+        )
+        rng = np.random.default_rng(0)
+        # Range-query vectors: (cx, cy, hwx, hwy) near two interest regions.
+        for _ in range(60):
+            c = rng.normal(loc=(10.0, 10.0), scale=1.0, size=2)
+            predictor.observe(np.concatenate([c, [2.0, 2.0]]), c.sum())
+        for _ in range(60):
+            c = rng.normal(loc=(80.0, 80.0), scale=1.0, size=2)
+            predictor.observe(np.concatenate([c, [2.0, 2.0]]), c.sum())
+        return predictor
+
+    def test_overlapping_update_invalidates_only_that_region(self):
+        predictor = self.trained_predictor()
+        monitor = DataUpdateMonitor()
+        n = monitor.invalidate_overlapping(
+            predictor, np.array([5.0, 5.0]), np.array([15.0, 15.0])
+        )
+        assert n >= 1
+        # The far region's quanta survive with their samples.
+        survivors = [
+            predictor.model_for(q).n_samples for q in predictor.quantum_ids()
+        ]
+        assert max(survivors) > 0
+
+    def test_disjoint_update_invalidates_nothing(self):
+        predictor = self.trained_predictor()
+        monitor = DataUpdateMonitor()
+        n = monitor.invalidate_overlapping(
+            predictor, np.array([500.0, 500.0]), np.array([600.0, 600.0])
+        )
+        assert n == 0
+
+    def test_cold_predictor_resets_conservatively(self):
+        predictor = DatalessPredictor()
+        monitor = DataUpdateMonitor()
+        # Not warm yet: no centroids to reason about; must not crash.
+        monitor.invalidate_overlapping(
+            predictor, np.zeros(2), np.ones(2)
+        )
+
+    def test_quantum_box_radius_encoding(self):
+        # (cx, cy, radius) vectors: box = center +- radius in each dim.
+        lo, hi = DataUpdateMonitor._quantum_box(
+            np.array([10.0, 20.0, 3.0]), d=2
+        )
+        assert lo.tolist() == [7.0, 17.0]
+        assert hi.tolist() == [13.0, 23.0]
+
+    def test_quantum_box_range_encoding(self):
+        lo, hi = DataUpdateMonitor._quantum_box(
+            np.array([10.0, 20.0, 1.0, 2.0]), d=2
+        )
+        assert lo.tolist() == [9.0, 18.0]
+        assert hi.tolist() == [11.0, 22.0]
+
+    def test_quantum_box_unknown_encoding_is_conservative(self):
+        lo, hi = DataUpdateMonitor._quantum_box(
+            np.array([10.0, 20.0, 1.0, 2.0, 3.0]), d=2
+        )
+        assert np.all(np.isinf(lo)) and np.all(np.isinf(hi))

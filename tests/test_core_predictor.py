@@ -1,0 +1,134 @@
+"""Unit tests for repro.core.predictor (objective O3)."""
+
+import numpy as np
+import pytest
+
+from repro.common.errors import NotTrainedError
+from repro.core import AnswerModelFactory, DatalessPredictor, QuerySpaceQuantizer
+
+
+def linear_world(v):
+    """Ground truth: answer is a linear function of the query vector."""
+    return 2.0 * v[0] + 0.5 * v[1] + 10.0
+
+
+def train_predictor(n=200, seed=0, **kwargs):
+    predictor = DatalessPredictor(
+        quantizer=QuerySpaceQuantizer(n_quanta=4, warmup=16, grow_threshold=2.0),
+        factory=AnswerModelFactory("linear"),
+        **kwargs,
+    )
+    rng = np.random.default_rng(seed)
+    for _ in range(n):
+        v = rng.normal(loc=(10.0, 5.0), scale=2.0, size=2)
+        predictor.observe(v, linear_world(v))
+    return predictor
+
+
+class TestTrainingAndPrediction:
+    def test_predicts_learned_function(self):
+        predictor = train_predictor()
+        v = np.array([10.0, 5.0])
+        prediction = predictor.predict(v)
+        assert prediction.scalar == pytest.approx(linear_world(v), rel=0.05)
+
+    def test_prediction_before_any_training_raises(self):
+        predictor = DatalessPredictor()
+        with pytest.raises(NotTrainedError):
+            predictor.predict([0.0, 0.0])
+
+    def test_error_estimate_populated_after_training(self):
+        predictor = train_predictor()
+        prediction = predictor.predict([10.0, 5.0])
+        assert prediction.error_estimate is not None
+        assert prediction.error_estimate < 0.1
+        assert prediction.reliable
+
+    def test_unreliable_far_from_training(self):
+        predictor = train_predictor()
+        prediction = predictor.predict([1000.0, -1000.0])
+        assert prediction.novelty > predictor.novelty_limit
+        assert not prediction.reliable
+
+    def test_observe_returns_quantum_id(self):
+        predictor = train_predictor(n=50)
+        qid = predictor.observe([10.0, 5.0], linear_world([10.0, 5.0]))
+        assert qid in predictor.quantum_ids()
+
+    def test_vector_answers(self):
+        predictor = DatalessPredictor(
+            answer_dim=2,
+            quantizer=QuerySpaceQuantizer(n_quanta=2, warmup=8),
+        )
+        rng = np.random.default_rng(1)
+        for _ in range(60):
+            v = rng.normal(size=2)
+            predictor.observe(v, [v[0], v[1] * 3.0])
+        prediction = predictor.predict([0.5, 0.5])
+        assert prediction.value.shape == (2,)
+        assert prediction.value[1] == pytest.approx(1.5, abs=0.15)
+
+    def test_nearest_trained_quantum_serves_untrained_one(self):
+        predictor = DatalessPredictor(
+            quantizer=QuerySpaceQuantizer(
+                n_quanta=2, warmup=8, grow_threshold=0.5, max_quanta=16
+            ),
+        )
+        rng = np.random.default_rng(2)
+        # Train heavily in one region only.
+        for _ in range(80):
+            v = rng.normal(loc=(0.0, 0.0), scale=0.5, size=2)
+            predictor.observe(v, linear_world(v))
+        # A fresh far-away quantum exists but is untrained after one sample.
+        predictor.observe([50.0, 50.0], linear_world([50.0, 50.0]))
+        prediction = predictor.predict([50.0, 50.0])
+        assert np.isfinite(prediction.scalar)
+
+
+class TestMaintenanceHooks:
+    def test_reset_quantum_clears_model_and_errors(self):
+        predictor = train_predictor()
+        qid = predictor.quantizer.assign(
+            predictor._scale_probe([10.0, 5.0])
+            if hasattr(predictor, "_scale_probe")
+            else [10.0, 5.0]
+        )
+        qid = predictor.predict([10.0, 5.0]).quantum_id
+        predictor.reset_quantum(qid)
+        model = predictor.model_for(qid)
+        assert model.n_samples == 0
+        assert predictor.errors.estimate(qid) is None
+
+    def test_reset_all(self):
+        predictor = train_predictor(n=60)
+        predictor.reset_all()
+        with pytest.raises(NotTrainedError):
+            predictor.predict([10.0, 5.0])
+
+    def test_set_decay_applies_to_all_models(self):
+        predictor = train_predictor(n=60)
+        predictor.set_decay(0.1)
+        for qid in predictor.quantum_ids():
+            assert predictor.model_for(qid).decay_rate == 0.1
+
+
+class TestFootprint:
+    def test_state_bounded_as_stream_grows(self):
+        # Per-quantum buffers are bounded, so once they saturate, 4x the
+        # stream adds almost no state (contrast DBL's linear growth).
+        large = train_predictor(n=2000, seed=3)
+        xlarge = train_predictor(n=8000, seed=3)
+        # 4x the stream may still spawn a few new quanta (bounded by
+        # max_quanta), but growth is sublinear: < 3x state for 4x data.
+        assert xlarge.state_bytes() < large.state_bytes() * 3
+
+    def test_centroid_of_valid_quantum(self):
+        predictor = train_predictor()
+        qid = predictor.predict([10.0, 5.0]).quantum_id
+        centroid = predictor.centroid_of(qid)
+        assert centroid.shape == (2,)
+
+    def test_centroid_of_invalid_quantum_rejected(self):
+        predictor = train_predictor()
+        with pytest.raises(Exception):
+            predictor.centroid_of(999)

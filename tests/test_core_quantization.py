@@ -1,0 +1,103 @@
+"""Unit tests for repro.core.quantization (RT1.1)."""
+
+import numpy as np
+import pytest
+
+from repro.common.errors import NotTrainedError
+from repro.core import QuerySpaceQuantizer
+
+
+def feed(quantizer, vectors):
+    return [quantizer.observe(v) for v in vectors]
+
+
+def two_cluster_stream(n=100, seed=0):
+    rng = np.random.default_rng(seed)
+    a = rng.normal(loc=(0, 0, 1), scale=0.3, size=(n, 3))
+    b = rng.normal(loc=(50, 50, 2), scale=0.3, size=(n, 3))
+    out = np.empty((2 * n, 3))
+    out[0::2] = a
+    out[1::2] = b
+    return out
+
+
+class TestWarmup:
+    def test_not_warm_before_warmup_queries(self):
+        q = QuerySpaceQuantizer(warmup=10)
+        for v in np.random.default_rng(0).normal(size=(9, 3)):
+            q.observe(v)
+        assert not q.is_warm
+        assert q.n_quanta == 0
+
+    def test_warm_after_warmup(self):
+        q = QuerySpaceQuantizer(warmup=10)
+        feed(q, np.random.default_rng(1).normal(size=(10, 3)))
+        assert q.is_warm
+        assert q.n_quanta >= 1
+
+    def test_centroids_raise_before_warm(self):
+        with pytest.raises(NotTrainedError):
+            QuerySpaceQuantizer().centroids
+
+    def test_novelty_infinite_before_warm(self):
+        q = QuerySpaceQuantizer()
+        assert q.novelty([0.0, 0.0]) == float("inf")
+
+
+class TestQuantization:
+    def test_separated_interests_get_distinct_quanta(self):
+        q = QuerySpaceQuantizer(n_quanta=2, warmup=16, grow_threshold=1.0)
+        stream = two_cluster_stream()
+        feed(q, stream)
+        a_id = q.assign(np.array([0.0, 0.0, 1.0]))
+        b_id = q.assign(np.array([50.0, 50.0, 2.0]))
+        assert a_id != b_id
+
+    def test_assign_does_not_learn(self):
+        q = QuerySpaceQuantizer(warmup=8)
+        feed(q, two_cluster_stream(n=20))
+        before = q.centroids.copy()
+        q.assign(np.array([100.0, 100.0, 100.0]))
+        assert np.array_equal(q.centroids, before)
+
+    def test_growth_bounded_by_max_quanta(self):
+        q = QuerySpaceQuantizer(
+            n_quanta=2, max_quanta=4, warmup=8, grow_threshold=0.1
+        )
+        rng = np.random.default_rng(3)
+        feed(q, rng.uniform(-100, 100, size=(200, 2)))
+        assert q.n_quanta <= 4
+
+    def test_novelty_small_near_training_large_far(self):
+        q = QuerySpaceQuantizer(warmup=16)
+        feed(q, two_cluster_stream(n=50, seed=4))
+        near = q.novelty(np.array([0.0, 0.0, 1.0]))
+        far = q.novelty(np.array([500.0, -500.0, 99.0]))
+        assert near < 1.0 < far
+
+    def test_centroids_in_original_units(self):
+        q = QuerySpaceQuantizer(n_quanta=2, warmup=16, grow_threshold=1.0)
+        feed(q, two_cluster_stream(n=50, seed=5))
+        centroids = q.centroids
+        # One centroid near (0,0,1), another near (50,50,2).
+        dists_a = np.linalg.norm(centroids - [0, 0, 1], axis=1)
+        dists_b = np.linalg.norm(centroids - [50, 50, 2], axis=1)
+        assert dists_a.min() < 2.0
+        assert dists_b.min() < 2.0
+
+    def test_state_bytes_positive_and_bounded(self):
+        q = QuerySpaceQuantizer(n_quanta=4, max_quanta=8, warmup=8)
+        feed(q, two_cluster_stream(n=100, seed=6))
+        bytes_1 = q.state_bytes()
+        feed(q, two_cluster_stream(n=100, seed=7))
+        bytes_2 = q.state_bytes()
+        assert 0 < bytes_1
+        # Codebook is bounded: more data does not blow up state.
+        assert bytes_2 <= bytes_1 * 2
+
+    def test_remove_quantum_shrinks(self):
+        q = QuerySpaceQuantizer(n_quanta=2, warmup=8, grow_threshold=1.0)
+        feed(q, two_cluster_stream(n=20, seed=8))
+        n = q.n_quanta
+        q.remove_quantum(0)
+        assert q.n_quanta == n - 1

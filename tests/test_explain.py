@@ -1,0 +1,298 @@
+"""Tests for explanations and higher-level queries (RT4)."""
+
+import numpy as np
+import pytest
+
+from repro.baselines import ExactEngine
+from repro.cluster import ClusterTopology, DistributedStore
+from repro.core import AgentConfig, SEAAgent
+from repro.data import InterestProfile, WorkloadGenerator, gaussian_mixture_table
+from repro.explain import (
+    ExplanationBuilder,
+    HigherLevelEngine,
+    PiecewiseLinearModel,
+    ThresholdRegionQuery,
+)
+from repro.queries import (
+    AnalyticsQuery,
+    Count,
+    Mean,
+    RadiusSelection,
+    RangeSelection,
+)
+
+
+class TestPiecewiseLinearModel:
+    def test_single_line_fits_exactly(self):
+        x = np.linspace(0, 10, 20)
+        y = 3 * x + 1
+        model = PiecewiseLinearModel.fit(x, y, max_segments=3)
+        assert model.n_segments == 1
+        assert model.evaluate(5.0) == pytest.approx(16.0, abs=1e-6)
+
+    def test_two_regimes_need_two_segments(self):
+        x = np.linspace(0, 10, 40)
+        y = np.where(x < 5, x, 5 + 10 * (x - 5))
+        model = PiecewiseLinearModel.fit(x, y, max_segments=3)
+        assert model.n_segments >= 2
+        assert model.evaluate(2.0) == pytest.approx(2.0, abs=0.5)
+        assert model.evaluate(8.0) == pytest.approx(35.0, abs=2.0)
+
+    def test_extrapolates_beyond_sweep(self):
+        x = np.linspace(1, 5, 10)
+        model = PiecewiseLinearModel.fit(x, 2 * x, max_segments=1)
+        assert model.evaluate(10.0) == pytest.approx(20.0, abs=1e-6)
+
+    def test_describe_mentions_segments(self):
+        x = np.linspace(0, 1, 6)
+        model = PiecewiseLinearModel.fit(x, x, max_segments=1)
+        assert "answer =" in model.describe()
+
+    def test_unsorted_input_handled(self):
+        x = np.array([3.0, 1.0, 2.0, 0.0])
+        y = 4 * x
+        model = PiecewiseLinearModel.fit(x, y)
+        assert model.evaluate(1.5) == pytest.approx(6.0, abs=1e-6)
+
+    def test_too_few_points_rejected(self):
+        with pytest.raises(Exception):
+            PiecewiseLinearModel.fit([1.0], [1.0])
+
+
+@pytest.fixture(scope="module")
+def explain_world():
+    topo = ClusterTopology.single_datacenter(4)
+    store = DistributedStore(topo)
+    table = gaussian_mixture_table(15000, dims=("x0", "x1"), seed=6, name="data")
+    store.put_table(table, partitions_per_node=2)
+    return store, table
+
+
+class TestExplanationFromEngine:
+    def test_radius_explanation_high_fidelity(self, explain_world):
+        store, table = explain_world
+        engine = ExactEngine(store)
+        center = table.matrix(("x0", "x1")).mean(axis=0)
+        query = AnalyticsQuery(
+            "data", RadiusSelection(("x0", "x1"), center, 8.0), Count()
+        )
+        builder = ExplanationBuilder(n_probes=13, max_segments=3)
+        explanation = builder.from_engine(query, engine)
+        assert explanation.parameter == "radius"
+        assert explanation.fidelity > 0.95
+
+    def test_range_explanation_parameter_is_scale(self, explain_world):
+        store, table = explain_world
+        engine = ExactEngine(store)
+        query = AnalyticsQuery(
+            "data",
+            RangeSelection.around(("x0", "x1"), [50.0, 50.0], [10.0, 10.0]),
+            Count(),
+        )
+        explanation = ExplanationBuilder(n_probes=9).from_engine(query, engine)
+        assert explanation.parameter == "extent_scale"
+        assert explanation.sweep.shape == (9,)
+
+    def test_answer_at_interpolates(self, explain_world):
+        store, table = explain_world
+        engine = ExactEngine(store)
+        center = table.matrix(("x0", "x1")).mean(axis=0)
+        query = AnalyticsQuery(
+            "data", RadiusSelection(("x0", "x1"), center, 8.0), Count()
+        )
+        explanation = ExplanationBuilder(n_probes=13).from_engine(query, engine)
+        probe = AnalyticsQuery(
+            "data", RadiusSelection(("x0", "x1"), center, 7.0), Count()
+        )
+        truth = probe.evaluate(table)
+        assert explanation.answer_at(7.0) == pytest.approx(truth, rel=0.25)
+
+    def test_count_grows_with_radius(self, explain_world):
+        store, table = explain_world
+        engine = ExactEngine(store)
+        center = table.matrix(("x0", "x1")).mean(axis=0)
+        query = AnalyticsQuery(
+            "data", RadiusSelection(("x0", "x1"), center, 8.0), Count()
+        )
+        explanation = ExplanationBuilder().from_engine(query, engine)
+        assert explanation.answer_at(12.0) > explanation.answer_at(4.0)
+
+    def test_engine_explanation_cost_scales_with_probes(self, explain_world):
+        store, _ = explain_world
+        engine = ExactEngine(store)
+        query = AnalyticsQuery(
+            "data",
+            RangeSelection.around(("x0", "x1"), [50.0, 50.0], [10.0, 10.0]),
+            Count(),
+        )
+        few = ExplanationBuilder(n_probes=5).from_engine(query, engine)
+        many = ExplanationBuilder(n_probes=17).from_engine(query, engine)
+        assert many.cost.bytes_scanned > few.cost.bytes_scanned * 3
+
+
+class TestExplanationFromPredictor:
+    def test_dataless_explanation_touches_no_data(self, explain_world):
+        store, table = explain_world
+        agent = SEAAgent(
+            ExactEngine(store),
+            AgentConfig(training_budget=10_000, error_threshold=0.2),
+        )
+        profile = InterestProfile.from_table(
+            table, ("x0", "x1"), 2, seed=7, hotspot_scale=2.0,
+            extent_range=(4, 10),
+        )
+        workload = WorkloadGenerator(
+            "data", ("x0", "x1"), profile, kind="radius", seed=8
+        )
+        queries = workload.batch(250)
+        for query in queries:
+            agent.submit(query)
+        predictor = agent.predictor(queries[0])
+        base = queries[0]
+        explanation = ExplanationBuilder(n_probes=9).from_predictor(
+            base, predictor
+        )
+        assert explanation.cost.bytes_scanned == 0
+        assert explanation.cost.elapsed_sec < 0.01
+        # Shape sanity: counts should not decrease as the radius grows.
+        answers = explanation.model.evaluate_many(explanation.sweep)
+        assert answers[-1] >= answers[0]
+
+
+class TestHigherLevelQueries:
+    def region_query(self, threshold=100.0):
+        return ThresholdRegionQuery(
+            table_name="data",
+            columns=("x0", "x1"),
+            aggregate=Count(),
+            threshold=threshold,
+            lows=np.array([0.0, 0.0]),
+            highs=np.array([100.0, 100.0]),
+            cells_per_dim=5,
+        )
+
+    def test_candidate_grid_size(self):
+        assert len(self.region_query().candidate_queries()) == 25
+
+    def test_exact_regions_match_manual(self, explain_world):
+        store, table = explain_world
+        engine = HigherLevelEngine(exact_engine=ExactEngine(store))
+        region_query = self.region_query(threshold=200.0)
+        result = engine.run_exact(region_query)
+        for query in result.regions:
+            assert query.evaluate(table) > 200.0
+        # Every candidate above threshold is found.
+        found = result.region_keys()
+        for query in region_query.candidate_queries():
+            if query.evaluate(table) > 200.0:
+                sel = query.selection
+                key = tuple(np.round(sel.lows, 9)) + tuple(np.round(sel.highs, 9))
+                assert key in found
+
+    def test_dataless_regions_approximate_exact(self, explain_world):
+        store, table = explain_world
+        agent = SEAAgent(
+            ExactEngine(store),
+            AgentConfig(training_budget=10_000),
+        )
+        # Train on queries shaped like the candidate cells.
+        rng = np.random.default_rng(9)
+        for _ in range(400):
+            lo = rng.uniform(0, 80, size=2)
+            width = rng.uniform(15, 25, size=2)
+            query = AnalyticsQuery(
+                "data",
+                RangeSelection(("x0", "x1"), lo, lo + width),
+                Count(),
+            )
+            agent.submit(query)
+        predictor = agent.predictor(query)
+        engine = HigherLevelEngine(
+            exact_engine=ExactEngine(store), predictor=predictor
+        )
+        region_query = self.region_query(threshold=500.0)
+        exact = engine.run_exact(region_query)
+        dataless = engine.run_dataless(region_query)
+        precision, recall = HigherLevelEngine.precision_recall(dataless, exact)
+        assert precision > 0.5
+        assert recall > 0.5
+        assert dataless.cost.bytes_scanned == 0
+        assert exact.cost.bytes_scanned > 0
+
+    def test_direction_below(self, explain_world):
+        store, table = explain_world
+        engine = HigherLevelEngine(exact_engine=ExactEngine(store))
+        query = ThresholdRegionQuery(
+            table_name="data",
+            columns=("x0", "x1"),
+            aggregate=Count(),
+            threshold=50.0,
+            lows=np.array([0.0, 0.0]),
+            highs=np.array([100.0, 100.0]),
+            cells_per_dim=4,
+            direction="below",
+        )
+        result = engine.run_exact(query)
+        for region in result.regions:
+            assert region.evaluate(table) < 50.0
+
+    def test_invalid_direction_rejected(self):
+        with pytest.raises(Exception):
+            ThresholdRegionQuery(
+                table_name="data",
+                columns=("x0",),
+                aggregate=Count(),
+                threshold=1.0,
+                lows=np.array([0.0]),
+                highs=np.array([1.0]),
+                direction="sideways",
+            )
+
+
+class TestHierarchicalRegionSearch:
+    def region_query(self, threshold, cells=8):
+        return ThresholdRegionQuery(
+            table_name="data",
+            columns=("x0", "x1"),
+            aggregate=Count(),
+            threshold=threshold,
+            lows=np.array([0.0, 0.0]),
+            highs=np.array([100.0, 100.0]),
+            cells_per_dim=cells,
+        )
+
+    def test_matches_flat_exact_search(self, explain_world):
+        store, table = explain_world
+        engine = HigherLevelEngine(exact_engine=ExactEngine(store))
+        region_query = self.region_query(threshold=400.0)
+        flat = engine.run_exact(region_query)
+        hierarchical = engine.run_hierarchical(region_query)
+        assert hierarchical.region_keys() == flat.region_keys()
+
+    def test_issues_fewer_queries_when_sparse(self, explain_world):
+        store, table = explain_world
+        engine = HigherLevelEngine(exact_engine=ExactEngine(store))
+        # High threshold: few matching regions -> aggressive pruning.
+        region_query = self.region_query(threshold=800.0)
+        flat = engine.run_exact(region_query)
+        hierarchical = engine.run_hierarchical(region_query)
+        assert hierarchical.region_keys() == flat.region_keys()
+        assert hierarchical.n_candidates < flat.n_candidates
+
+    def test_non_monotone_direction_falls_back(self, explain_world):
+        store, table = explain_world
+        engine = HigherLevelEngine(exact_engine=ExactEngine(store))
+        below = ThresholdRegionQuery(
+            table_name="data",
+            columns=("x0", "x1"),
+            aggregate=Count(),
+            threshold=100.0,
+            lows=np.array([0.0, 0.0]),
+            highs=np.array([100.0, 100.0]),
+            cells_per_dim=4,
+            direction="below",
+        )
+        flat = engine.run_exact(below)
+        hierarchical = engine.run_hierarchical(below)
+        assert hierarchical.region_keys() == flat.region_keys()
+        assert hierarchical.n_candidates == flat.n_candidates

@@ -1,0 +1,340 @@
+"""Tests for geo-distributed SEA (RT5): topology, edges, federation, routing."""
+
+import numpy as np
+import pytest
+
+from repro.baselines import ExactEngine
+from repro.common.errors import ConfigurationError, RoutingError
+from repro.core import AgentConfig
+from repro.data import InterestProfile, WorkloadGenerator, gaussian_mixture_table
+from repro.geo import CoreCoordinator, EdgeAgent, GeoRouter, GeoSites, ModelRegistry
+from repro.queries import Count
+
+
+@pytest.fixture(scope="module")
+def geo_world():
+    sites = GeoSites(n_cores=2, nodes_per_core=2, n_edges=3)
+    table = gaussian_mixture_table(10000, dims=("x0", "x1"), seed=1, name="data")
+    sites.put_table(table, partitions_per_node=1)
+    engine = ExactEngine(sites.store)
+    profile = InterestProfile.from_table(
+        table, ("x0", "x1"), 2, seed=2, hotspot_scale=2.0, extent_range=(4, 9)
+    )
+    return sites, table, engine, profile
+
+
+def make_edges(sites, engine, config):
+    return [
+        EdgeAgent(name, sites.edge_node(name), engine, sites.core_gateway(), config)
+        for name in sites.edge_names
+    ]
+
+
+def edge_config(**kwargs):
+    defaults = dict(training_budget=0, error_threshold=0.2)
+    defaults.update(kwargs)
+    return AgentConfig(**defaults)
+
+
+class TestGeoSites:
+    def test_layout(self, geo_world):
+        sites, *_ = geo_world
+        assert len(sites.core_nodes) == 4
+        assert len(sites.edge_names) == 3
+        for name in sites.edge_names:
+            node = sites.edge_node(name)
+            assert sites.topology.is_wan(node, sites.core_gateway())
+
+    def test_data_only_on_core_nodes(self, geo_world):
+        sites, *_ = geo_world
+        stored = sites.store.table("data")
+        assert set(stored.nodes) <= set(sites.core_nodes)
+        for name in sites.edge_names:
+            assert sites.topology.node(sites.edge_node(name)).stored_bytes == 0
+
+    def test_unknown_edge_rejected(self, geo_world):
+        sites, *_ = geo_world
+        with pytest.raises(ConfigurationError):
+            sites.edge_node("edge99")
+
+
+class TestEdgeAgent:
+    def test_untrained_edge_goes_to_core(self, geo_world):
+        sites, table, engine, profile = geo_world
+        edge = make_edges(sites, engine, edge_config())[0]
+        workload = WorkloadGenerator(
+            "data", ("x0", "x1"), profile, aggregate=Count(), seed=3
+        )
+        served = edge.submit(workload.next_query())
+        assert served.origin == "core"
+        assert served.cost.bytes_shipped_wan > 0
+
+    def test_edge_learns_and_serves_locally(self, geo_world):
+        sites, table, engine, profile = geo_world
+        edge = make_edges(sites, engine, edge_config())[0]
+        workload = WorkloadGenerator(
+            "data", ("x0", "x1"), profile, aggregate=Count(), seed=4
+        )
+        for query in workload.batch(250):
+            edge.submit(query)
+        stats = edge.stats()
+        assert stats["local"] > 0
+        assert 0 < stats["local_fraction"] < 1
+
+    def test_local_answers_have_zero_wan(self, geo_world):
+        sites, table, engine, profile = geo_world
+        edge = make_edges(sites, engine, edge_config())[0]
+        workload = WorkloadGenerator(
+            "data", ("x0", "x1"), profile, aggregate=Count(), seed=5
+        )
+        local = None
+        for query in workload.batch(300):
+            served = edge.submit(query)
+            if served.origin == "local":
+                local = served
+        assert local is not None
+        assert local.cost.bytes_shipped_wan == 0
+        assert local.cost.bytes_scanned == 0
+
+    def test_local_answers_accurate(self, geo_world):
+        sites, table, engine, profile = geo_world
+        edge = make_edges(sites, engine, edge_config())[0]
+        workload = WorkloadGenerator(
+            "data", ("x0", "x1"), profile, aggregate=Count(), seed=6
+        )
+        errors = []
+        for query in workload.batch(300):
+            served = edge.submit(query)
+            if served.origin == "local":
+                truth = query.evaluate(table)
+                errors.append(abs(served.answer - truth) / max(truth, 1.0))
+        assert errors and np.median(errors) < 0.25
+
+
+class TestFederation:
+    def test_collaborative_training_and_push(self, geo_world):
+        sites, table, engine, profile = geo_world
+        config = edge_config()
+        edges = make_edges(sites, engine, config)
+        core = CoreCoordinator(engine, sites.core_gateway(), config)
+        generators = [
+            WorkloadGenerator("data", ("x0", "x1"), profile, aggregate=Count(), seed=10 + i)
+            for i in range(len(edges))
+        ]
+        for _ in range(80):
+            for edge, wg in zip(edges, generators):
+                core.train_from_edge(edge.name, wg.next_query())
+        report = core.push_models(edges)
+        assert report.bytes_shipped_wan > 0
+        # All contributing edges received the shared model.
+        signature = generators[0].next_query().signature()
+        for edge in edges:
+            assert core.registry.holders(signature)
+            assert edge.has_model(signature)
+
+    def test_shared_model_beats_isolated_training(self, geo_world):
+        """RT5.2: edges training together reach local serving faster."""
+        sites, table, engine, profile = geo_world
+        config = edge_config()
+        per_edge_budget = 60  # too few alone, enough when pooled x3
+
+        # Isolated: each edge trains only on its own 60 queries.
+        isolated = make_edges(sites, engine, config)[0]
+        wg = WorkloadGenerator("data", ("x0", "x1"), profile, aggregate=Count(), seed=20)
+        for query in wg.batch(per_edge_budget):
+            isolated.predictor_for(query).observe(
+                query.vector(), query.evaluate(table)
+            )
+
+        # Collaborative: core pools 3 edges' queries then pushes.
+        edges = make_edges(sites, engine, config)
+        core = CoreCoordinator(engine, sites.core_gateway(), config)
+        generators = [
+            WorkloadGenerator("data", ("x0", "x1"), profile, aggregate=Count(), seed=21 + i)
+            for i in range(3)
+        ]
+        for _ in range(per_edge_budget):
+            for edge, wg in zip(edges, generators):
+                core.train_from_edge(edge.name, wg.next_query())
+        core.push_models(edges)
+
+        eval_wg = WorkloadGenerator(
+            "data", ("x0", "x1"), profile, aggregate=Count(), seed=30
+        )
+        queries = eval_wg.batch(120)
+
+        def local_fraction(agent):
+            served = 0
+            for query in queries:
+                predictor = agent.predictor_for(query)
+                try:
+                    prediction = predictor.predict(query.vector())
+                except Exception:
+                    continue
+                if (
+                    prediction.reliable
+                    and prediction.error_estimate is not None
+                    and prediction.error_estimate <= config.error_threshold
+                ):
+                    served += 1
+            return served / len(queries)
+
+        assert local_fraction(edges[0]) >= local_fraction(isolated)
+
+    def test_purge_signature(self, geo_world):
+        sites, table, engine, profile = geo_world
+        config = edge_config()
+        edges = make_edges(sites, engine, config)
+        core = CoreCoordinator(engine, sites.core_gateway(), config)
+        wg = WorkloadGenerator("data", ("x0", "x1"), profile, aggregate=Count(), seed=40)
+        query = wg.next_query()
+        core.train_from_edge(edges[0].name, query)
+        core.push_models(edges)
+        signature = query.signature()
+        core.purge_signature(signature, edges)
+        assert core.predictor(signature) is None
+        assert core.registry.holders(signature) == []
+
+    def test_registry_roundtrip(self):
+        registry = ModelRegistry()
+        registry.register("sig", "edge0")
+        registry.register("sig", "edge1")
+        assert registry.holders("sig") == ["edge0", "edge1"]
+        registry.unregister("sig", "edge0")
+        assert registry.holders("sig") == ["edge1"]
+        assert registry.state_bytes() > 0
+
+
+class TestGeoRouter:
+    def test_routes_through_tiers(self, geo_world):
+        sites, table, engine, profile = geo_world
+        config = edge_config()
+        edges = make_edges(sites, engine, config)
+        core = CoreCoordinator(engine, sites.core_gateway(), config)
+        generators = [
+            WorkloadGenerator("data", ("x0", "x1"), profile, aggregate=Count(), seed=50 + i)
+            for i in range(3)
+        ]
+        # Train only edge0's model via the core, then push to edge0.
+        for _ in range(150):
+            core.train_from_edge(edges[0].name, generators[0].next_query())
+        core.push_models(edges)
+        router = GeoRouter(edges, core)
+        # Queries at edge1 (no local model) should hit edge0 as a peer.
+        origins = []
+        for query in generators[1].batch(60):
+            origins.append(router.submit(edges[1].name, query).origin)
+        assert "peer" in origins or "core" in origins
+        if "peer" in origins:
+            served = [o for o in origins if o == "peer"]
+            assert served
+
+    def test_peer_answers_cost_less_wan_than_core(self, geo_world):
+        sites, table, engine, profile = geo_world
+        config = edge_config()
+        edges = make_edges(sites, engine, config)
+        core = CoreCoordinator(engine, sites.core_gateway(), config)
+        wg = WorkloadGenerator("data", ("x0", "x1"), profile, aggregate=Count(), seed=60)
+        for _ in range(200):
+            core.train_from_edge(edges[0].name, wg.next_query())
+        core.push_models(edges)
+        router = GeoRouter(edges, core)
+        peer_costs, core_costs = [], []
+        for query in wg.batch(100):
+            served = router.submit(edges[1].name, query)
+            if served.origin == "peer":
+                peer_costs.append(served.cost.bytes_shipped_wan)
+            elif served.origin == "core":
+                core_costs.append(served.cost.bytes_shipped_wan)
+        if peer_costs and core_costs:
+            assert np.mean(peer_costs) <= np.mean(core_costs)
+
+    def test_unknown_edge_rejected(self, geo_world):
+        sites, table, engine, profile = geo_world
+        edges = make_edges(sites, engine, edge_config())
+        core = CoreCoordinator(engine, sites.core_gateway())
+        router = GeoRouter(edges, core)
+        wg = WorkloadGenerator("data", ("x0", "x1"), profile, aggregate=Count(), seed=70)
+        with pytest.raises(RoutingError):
+            router.submit("edge99", wg.next_query())
+
+    def test_no_edges_rejected(self, geo_world):
+        sites, *_ = geo_world
+        core = CoreCoordinator(ExactEngine(sites.store), sites.core_gateway())
+        with pytest.raises(RoutingError):
+            GeoRouter([], core)
+
+
+class TestColdModelPurging:
+    """RT5.3: models for no-longer-queried subspaces get purged."""
+
+    def test_idle_models_purged_active_kept(self, geo_world):
+        sites, table, engine, profile = geo_world
+        config = edge_config()
+        edges = make_edges(sites, engine, config)
+        core = CoreCoordinator(engine, sites.core_gateway(), config)
+        count_wl = WorkloadGenerator(
+            "data", ("x0", "x1"), profile, aggregate=Count(), seed=80
+        )
+        from repro.queries import Mean
+
+        mean_wl = WorkloadGenerator(
+            "data", ("x0", "x1"), profile, aggregate=Mean("value"), seed=81
+        )
+        # Both signatures trained; then only count queries keep arriving.
+        for _ in range(40):
+            core.train_from_edge(edges[0].name, count_wl.next_query())
+            core.train_from_edge(edges[0].name, mean_wl.next_query())
+        core.push_models(edges)
+        mean_signature = mean_wl.next_query().signature()
+        count_signature = count_wl.next_query().signature()
+        for _ in range(60):
+            core.record_use(count_signature)
+        purged = core.purge_cold(edges, max_idle=50)
+        assert mean_signature in purged
+        assert count_signature not in purged
+        assert core.predictor(mean_signature) is None
+        assert core.predictor(count_signature) is not None
+        assert core.registry.holders(mean_signature) == []
+
+    def test_fresh_core_purges_nothing(self, geo_world):
+        sites, table, engine, profile = geo_world
+        core = CoreCoordinator(engine, sites.core_gateway())
+        assert core.purge_cold([], max_idle=10) == []
+
+    def test_idle_age_tracks_clock(self, geo_world):
+        sites, table, engine, profile = geo_world
+        core = CoreCoordinator(engine, sites.core_gateway())
+        core.record_use("sig-a")
+        core.record_use("sig-b")
+        core.record_use("sig-b")
+        assert core.idle_age("sig-a") == 2
+        assert core.idle_age("sig-b") == 0
+        assert core.idle_age("never-seen") == core._clock
+
+
+class TestModelPushIsolation:
+    def test_pushed_models_are_independent_copies(self, geo_world):
+        """After push-down, an edge's local learning must not mutate the
+        core's master model (the WAN shipped state, not a reference)."""
+        sites, table, engine, profile = geo_world
+        config = edge_config()
+        edges = make_edges(sites, engine, config)
+        core = CoreCoordinator(engine, sites.core_gateway(), config)
+        wg = WorkloadGenerator(
+            "data", ("x0", "x1"), profile, aggregate=Count(), seed=90
+        )
+        for _ in range(60):
+            core.train_from_edge(edges[0].name, wg.next_query())
+        core.push_models(edges)
+        signature = wg.next_query().signature()
+        master = core.predictor(signature)
+        copy_at_edge = edges[0]._predictors[signature]
+        assert copy_at_edge is not master
+        before = master.n_observed
+        # The edge keeps learning locally...
+        query = wg.next_query()
+        copy_at_edge.observe(query.vector(), query.evaluate(table))
+        # ...without touching the core's model.
+        assert master.n_observed == before
+        assert copy_at_edge.n_observed == before + 1

@@ -1,0 +1,121 @@
+"""Unit tests for repro.bigdataless.index (DistributedGridIndex)."""
+
+import numpy as np
+import pytest
+
+from repro.bigdataless import DistributedGridIndex
+from repro.cluster import ClusterTopology, DistributedStore
+from repro.common.errors import ConfigurationError
+from repro.data import gaussian_mixture_table, uniform_table
+from repro.queries import RadiusSelection, RangeSelection
+
+
+@pytest.fixture(scope="module")
+def indexed_world():
+    topo = ClusterTopology.single_datacenter(4)
+    store = DistributedStore(topo)
+    table = uniform_table(10000, dims=("x0", "x1"), seed=0, name="pts")
+    store.put_table(table, partitions_per_node=2)
+    index = DistributedGridIndex(store, "pts", ("x0", "x1"), cells_per_dim=16)
+    index.build()
+    return store, table, index
+
+
+class TestBuild:
+    def test_build_scans_table_once(self, indexed_world):
+        store, table, index = indexed_world
+        assert index.build_report.bytes_scanned == store.table("pts").n_bytes
+
+    def test_unbuilt_index_rejects_lookups(self):
+        topo = ClusterTopology.single_datacenter(2)
+        store = DistributedStore(topo)
+        store.put_table(uniform_table(100, seed=1, name="pts"))
+        index = DistributedGridIndex(store, "pts", ("x0", "x1"))
+        with pytest.raises(ConfigurationError):
+            index.cells_for_box([0, 0], [1, 1])
+
+    def test_cell_counts_total_to_rows(self, indexed_world):
+        _, table, index = indexed_world
+        hist = index.density_histogram()
+        assert sum(hist.values()) == table.n_rows
+
+    def test_nodes_carry_index_bytes(self, indexed_world):
+        store, *_ = indexed_world
+        assert any(n.index_bytes > 0 for n in store.topology.nodes)
+
+
+class TestLookups:
+    def test_box_cells_cover_all_matching_rows(self, indexed_world):
+        _, table, index = indexed_world
+        selection = RangeSelection(("x0", "x1"), [20.0, 30.0], [45.0, 55.0])
+        keys = index.cells_for_selection(selection)
+        rows = index.rows_for_cells(keys)
+        fetched = sum(len(v) for v in rows.values())
+        truth = int(selection.mask(table).sum())
+        assert fetched >= truth  # superset (cells overlap the boundary)
+        assert fetched <= table.n_rows
+
+    def test_radius_cells_prune_corners(self, indexed_world):
+        _, table, index = indexed_world
+        radius = RadiusSelection(("x0", "x1"), [50.0, 50.0], 10.0)
+        box = RangeSelection(("x0", "x1"), [40.0, 40.0], [60.0, 60.0])
+        radius_cells = index.cells_for_selection(radius)
+        box_cells = index.cells_for_selection(box)
+        assert len(radius_cells) <= len(box_cells)
+
+    def test_count_in_cells_upper_bounds_selection(self, indexed_world):
+        _, table, index = indexed_world
+        selection = RangeSelection(("x0", "x1"), [10.0, 10.0], [30.0, 30.0])
+        keys = index.cells_for_selection(selection)
+        assert index.count_in_cells(keys) >= selection.mask(table).sum()
+
+    def test_selective_query_touches_few_partitions(self, indexed_world):
+        store, _, index = indexed_world
+        selection = RangeSelection(("x0", "x1"), [1.0, 1.0], [3.0, 3.0])
+        rows = index.rows_for_cells(index.cells_for_selection(selection))
+        touched_rows = sum(len(v) for v in rows.values())
+        assert touched_rows < store.table("pts").n_rows / 10
+
+
+class TestKNNRadiusEstimate:
+    def test_estimate_covers_k_neighbours(self, indexed_world):
+        _, table, index = indexed_world
+        point = np.array([50.0, 50.0])
+        k = 20
+        radius = index.estimate_knn_radius(point, k)
+        pts = table.matrix(("x0", "x1"))
+        dist = np.linalg.norm(pts - point, axis=1)
+        # The estimated radius should cover at least k points.
+        assert (dist <= radius).sum() >= k
+
+    def test_estimate_grows_with_k(self, indexed_world):
+        _, _, index = indexed_world
+        point = np.array([50.0, 50.0])
+        assert index.estimate_knn_radius(point, 500) >= index.estimate_knn_radius(
+            point, 5
+        )
+
+    def test_sparse_region_returns_large_radius(self):
+        topo = ClusterTopology.single_datacenter(2)
+        store = DistributedStore(topo)
+        table = gaussian_mixture_table(
+            2000, dims=("x0", "x1"), n_components=1, seed=2, name="pts"
+        )
+        store.put_table(table)
+        index = DistributedGridIndex(store, "pts", ("x0", "x1"), cells_per_dim=16)
+        index.build()
+        dense = table.matrix(("x0", "x1")).mean(axis=0)
+        sparse = np.array([0.5, 0.5])
+        assert index.estimate_knn_radius(sparse, 10) > index.estimate_knn_radius(
+            dense, 10
+        )
+
+
+class TestFootprint:
+    def test_coordinator_state_much_smaller_than_data(self, indexed_world):
+        store, _, index = indexed_world
+        assert index.coordinator_state_bytes() < store.table("pts").n_bytes / 10
+
+    def test_total_state_includes_row_directory(self, indexed_world):
+        _, table, index = indexed_world
+        assert index.total_state_bytes() > index.coordinator_state_bytes()

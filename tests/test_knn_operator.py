@@ -1,0 +1,109 @@
+"""Tests for the distributed kNN operators (reproducing [33])."""
+
+import numpy as np
+import pytest
+
+from repro.bigdataless import (
+    CoordinatorKNN,
+    DistributedGridIndex,
+    KNNBaseline,
+    knn_reference,
+)
+from repro.cluster import ClusterTopology, DistributedStore
+from repro.common.errors import ConfigurationError
+from repro.data import gaussian_mixture_table, uniform_table
+
+
+@pytest.fixture(scope="module")
+def knn_world():
+    topo = ClusterTopology.single_datacenter(4)
+    store = DistributedStore(topo)
+    table = gaussian_mixture_table(20000, dims=("x0", "x1"), seed=5, name="pts")
+    store.put_table(table, partitions_per_node=2)
+    index = DistributedGridIndex(store, "pts", ("x0", "x1"), cells_per_dim=24)
+    index.build()
+    return store, table, index
+
+
+def distances_of(result):
+    return np.sort(result.column("_dist"))
+
+
+class TestCorrectness:
+    @pytest.mark.parametrize("k", [1, 10, 50])
+    def test_baseline_matches_reference(self, knn_world, k):
+        store, table, _ = knn_world
+        point = np.array([48.0, 52.0])
+        result, _ = KNNBaseline(store, ("x0", "x1")).query("pts", point, k)
+        ref_idx = knn_reference(table, ("x0", "x1"), point, k)
+        ref_dists = np.linalg.norm(
+            table.matrix(("x0", "x1"))[ref_idx] - point, axis=1
+        )
+        assert np.allclose(distances_of(result), np.sort(ref_dists))
+
+    @pytest.mark.parametrize("k", [1, 10, 50])
+    def test_coordinator_matches_baseline(self, knn_world, k):
+        store, table, index = knn_world
+        point = np.array([48.0, 52.0])
+        base, _ = KNNBaseline(store, ("x0", "x1")).query("pts", point, k)
+        coord, _ = CoordinatorKNN(store, index).query("pts", point, k)
+        assert np.allclose(distances_of(base), distances_of(coord))
+
+    def test_query_in_sparse_region_still_exact(self, knn_world):
+        store, table, index = knn_world
+        point = np.array([1.0, 1.0])  # likely sparse corner
+        base, _ = KNNBaseline(store, ("x0", "x1")).query("pts", point, 5)
+        coord, _ = CoordinatorKNN(store, index).query("pts", point, 5)
+        assert np.allclose(distances_of(base), distances_of(coord))
+
+    def test_k_larger_than_table(self):
+        topo = ClusterTopology.single_datacenter(2)
+        store = DistributedStore(topo)
+        table = uniform_table(20, dims=("x0", "x1"), seed=1, name="tiny")
+        store.put_table(table)
+        index = DistributedGridIndex(store, "tiny", ("x0", "x1"), cells_per_dim=4)
+        index.build()
+        result, _ = CoordinatorKNN(store, index).query("tiny", [50.0, 50.0], 100)
+        assert result.n_rows == 20
+
+    def test_unbuilt_index_rejected(self, knn_world):
+        store, *_ = knn_world
+        fresh = DistributedGridIndex(store, "pts", ("x0", "x1"))
+        with pytest.raises(ConfigurationError):
+            CoordinatorKNN(store, fresh)
+
+    def test_wrong_table_rejected(self, knn_world):
+        store, _, index = knn_world
+        operator = CoordinatorKNN(store, index)
+        with pytest.raises(ConfigurationError):
+            operator.query("other", [0.0, 0.0], 5)
+
+
+class TestCosts:
+    def test_baseline_scans_everything(self, knn_world):
+        store, *_ = knn_world
+        _, report = KNNBaseline(store, ("x0", "x1")).query("pts", [50.0, 50.0], 10)
+        assert report.bytes_scanned == store.table("pts").n_bytes
+
+    def test_coordinator_touches_small_fraction(self, knn_world):
+        store, table, index = knn_world
+        dense = table.matrix(("x0", "x1")).mean(axis=0)
+        _, report = CoordinatorKNN(store, index).query("pts", dense, 10)
+        assert report.bytes_scanned < store.table("pts").n_bytes / 20
+
+    def test_coordinator_is_faster(self, knn_world):
+        store, table, index = knn_world
+        dense = table.matrix(("x0", "x1")).mean(axis=0)
+        _, base = KNNBaseline(store, ("x0", "x1")).query("pts", dense, 10)
+        _, coord = CoordinatorKNN(store, index).query("pts", dense, 10)
+        assert coord.elapsed_sec < base.elapsed_sec
+
+    def test_cost_grows_mildly_with_k(self, knn_world):
+        store, table, index = knn_world
+        operator = CoordinatorKNN(store, index)
+        dense = table.matrix(("x0", "x1")).mean(axis=0)
+        _, small = operator.query("pts", dense, 1)
+        _, large = operator.query("pts", dense, 100)
+        assert large.bytes_scanned >= small.bytes_scanned
+        # Even k=100 remains far below a full scan.
+        assert large.bytes_scanned < store.table("pts").n_bytes / 5

@@ -1,0 +1,163 @@
+"""Unit + property tests for repro.ml.kdtree and repro.ml.knn."""
+
+import numpy as np
+import pytest
+from hypothesis import given, settings
+from hypothesis import strategies as st
+from hypothesis.extra import numpy as hnp
+
+from repro.common.errors import ConfigurationError, NotTrainedError
+from repro.ml import KDTree, KNeighborsClassifier, KNeighborsRegressor
+
+
+def brute_knn(points, q, k):
+    diff = points - q
+    dist = np.sqrt(np.einsum("ij,ij->i", diff, diff))
+    idx = np.argsort(dist)[:k]
+    return dist[idx], idx
+
+
+finite_points = hnp.arrays(
+    dtype=float,
+    shape=st.tuples(
+        st.integers(min_value=1, max_value=80), st.integers(min_value=1, max_value=4)
+    ),
+    elements=st.floats(-1e3, 1e3, allow_nan=False),
+)
+
+
+class TestKDTree:
+    def test_query_matches_brute_force(self):
+        rng = np.random.default_rng(0)
+        points = rng.normal(size=(300, 3))
+        tree = KDTree(points)
+        for q in rng.normal(size=(20, 3)):
+            d_tree, i_tree = tree.query(q, k=5)
+            d_bf, _ = brute_knn(points, q, 5)
+            assert np.allclose(np.sort(d_tree), d_bf)
+
+    def test_k_clipped_to_population(self):
+        tree = KDTree(np.array([[0.0], [1.0]]))
+        dists, idx = tree.query([0.5], k=10)
+        assert len(idx) == 2
+
+    def test_query_radius_matches_brute_force(self):
+        rng = np.random.default_rng(1)
+        points = rng.uniform(0, 10, size=(500, 2))
+        tree = KDTree(points)
+        q = np.array([5.0, 5.0])
+        hits = tree.query_radius(q, 1.5)
+        diff = points - q
+        expected = np.flatnonzero(np.einsum("ij,ij->i", diff, diff) <= 1.5**2)
+        assert np.array_equal(hits, expected)
+
+    def test_query_box_matches_brute_force(self):
+        rng = np.random.default_rng(2)
+        points = rng.uniform(0, 10, size=(400, 2))
+        tree = KDTree(points)
+        hits = tree.query_box([2.0, 3.0], [4.0, 6.0])
+        inside = np.all((points >= [2, 3]) & (points <= [4, 6]), axis=1)
+        assert np.array_equal(hits, np.flatnonzero(inside))
+
+    def test_identical_points(self):
+        tree = KDTree(np.zeros((100, 2)))
+        dists, idx = tree.query([0.0, 0.0], k=3)
+        assert np.allclose(dists, 0.0)
+        assert len(set(idx.tolist())) == 3
+
+    def test_wrong_dimension_query_rejected(self):
+        tree = KDTree(np.zeros((10, 2)))
+        with pytest.raises(ConfigurationError):
+            tree.query([0.0, 0.0, 0.0])
+
+    def test_negative_radius_rejected(self):
+        tree = KDTree(np.zeros((10, 2)))
+        with pytest.raises(ConfigurationError):
+            tree.query_radius([0.0, 0.0], -1.0)
+
+    @given(finite_points, st.integers(min_value=1, max_value=5))
+    @settings(max_examples=40, deadline=None)
+    def test_nearest_distances_match_brute_force_property(self, points, k):
+        tree = KDTree(points)
+        q = points[0] + 0.5
+        d_tree, _ = tree.query(q, k=min(k, len(points)))
+        d_bf, _ = brute_knn(points, q, min(k, len(points)))
+        assert np.allclose(np.sort(d_tree), np.sort(d_bf), rtol=1e-9, atol=1e-9)
+
+    @given(finite_points, st.floats(0.0, 100.0))
+    @settings(max_examples=40, deadline=None)
+    def test_radius_search_is_exact_property(self, points, radius):
+        tree = KDTree(points)
+        q = points[len(points) // 2]
+        hits = set(tree.query_radius(q, radius).tolist())
+        diff = points - q
+        dist = np.sqrt(np.einsum("ij,ij->i", diff, diff))
+        expected = set(np.flatnonzero(dist <= radius).tolist())
+        assert hits == expected
+
+
+class TestKNNRegressor:
+    def test_exact_match_returns_training_target(self):
+        x = np.array([[0.0], [1.0], [2.0]])
+        y = np.array([10.0, 20.0, 30.0])
+        model = KNeighborsRegressor(n_neighbors=1).fit(x, y)
+        assert model.predict([[1.0]])[0] == pytest.approx(20.0)
+
+    def test_uniform_weights_average(self):
+        x = np.array([[0.0], [2.0]])
+        y = np.array([0.0, 10.0])
+        model = KNeighborsRegressor(n_neighbors=2).fit(x, y)
+        assert model.predict([[1.0]])[0] == pytest.approx(5.0)
+
+    def test_distance_weights_favor_closer(self):
+        x = np.array([[0.0], [10.0]])
+        y = np.array([0.0, 10.0])
+        model = KNeighborsRegressor(n_neighbors=2, weights="distance").fit(x, y)
+        assert model.predict([[1.0]])[0] < 5.0
+
+    def test_distance_weight_exact_match_dominates(self):
+        x = np.array([[0.0], [1.0]])
+        y = np.array([7.0, 100.0])
+        model = KNeighborsRegressor(n_neighbors=2, weights="distance").fit(x, y)
+        assert model.predict([[0.0]])[0] == pytest.approx(7.0)
+
+    def test_large_data_uses_tree_and_agrees_with_small(self):
+        rng = np.random.default_rng(5)
+        x = rng.normal(size=(500, 2))
+        y = x[:, 0] * 2
+        big = KNeighborsRegressor(n_neighbors=3).fit(x, y)
+        small = KNeighborsRegressor(n_neighbors=3).fit(x[:50], y[:50])
+        assert big._tree is not None
+        assert small._tree is None
+        probe = np.array([[0.1, 0.2]])
+        d_big, i_big = big._neighbors(probe[0])
+        d_bf, i_bf = brute_knn(x, probe[0], 3)
+        assert np.allclose(np.sort(d_big), d_bf)
+
+    def test_predict_before_fit_raises(self):
+        with pytest.raises(NotTrainedError):
+            KNeighborsRegressor().predict([[0.0]])
+
+    def test_invalid_weights_rejected(self):
+        with pytest.raises(ConfigurationError):
+            KNeighborsRegressor(weights="gaussian")
+
+
+class TestKNNClassifier:
+    def test_majority_vote(self):
+        x = np.array([[0.0], [0.1], [0.2], [5.0]])
+        y = np.array(["a", "a", "a", "b"])
+        model = KNeighborsClassifier(n_neighbors=3).fit(x, y)
+        assert model.predict([[0.05]])[0] == "a"
+
+    def test_distance_weighted_vote_breaks_ties(self):
+        x = np.array([[0.0], [1.0]])
+        y = np.array(["near", "far"])
+        model = KNeighborsClassifier(n_neighbors=2, weights="distance").fit(x, y)
+        assert model.predict([[0.1]])[0] == "near"
+
+    def test_integer_labels_preserved(self):
+        x = np.random.rand(20, 2)
+        y = np.arange(20) % 2
+        model = KNeighborsClassifier(n_neighbors=1).fit(x, y)
+        assert model.predict(x[:3]).dtype == y.dtype

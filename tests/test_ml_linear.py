@@ -1,0 +1,139 @@
+"""Unit tests for repro.ml.linear."""
+
+import numpy as np
+import pytest
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from repro.common.errors import ConfigurationError, NotTrainedError
+from repro.ml import (
+    LinearRegression,
+    RidgeRegression,
+    polynomial_features,
+    r2_score,
+)
+
+
+def make_linear_data(n=100, d=3, noise=0.0, seed=0):
+    rng = np.random.default_rng(seed)
+    x = rng.normal(size=(n, d))
+    coef = np.arange(1, d + 1, dtype=float)
+    y = x @ coef + 2.5 + noise * rng.normal(size=n)
+    return x, y, coef
+
+
+class TestLinearRegression:
+    def test_recovers_exact_coefficients(self):
+        x, y, coef = make_linear_data()
+        model = LinearRegression().fit(x, y)
+        assert np.allclose(model.coef_, coef, atol=1e-8)
+        assert model.intercept_ == pytest.approx(2.5, abs=1e-8)
+
+    def test_predict_matches_truth(self):
+        x, y, _ = make_linear_data()
+        model = LinearRegression().fit(x, y)
+        assert r2_score(y, model.predict(x)) == pytest.approx(1.0)
+
+    def test_predict_before_fit_raises(self):
+        with pytest.raises(NotTrainedError):
+            LinearRegression().predict([[1.0, 2.0]])
+
+    def test_sample_weight_downweights_outlier(self):
+        x, y, _ = make_linear_data(n=50, d=1)
+        x_bad = np.vstack([x, [[0.0]]])
+        y_bad = np.append(y, 1000.0)
+        weights = np.append(np.ones(50), 1e-9)
+        model = LinearRegression().fit(x_bad, y_bad, sample_weight=weights)
+        clean = LinearRegression().fit(x, y)
+        assert np.allclose(model.coef_, clean.coef_, atol=1e-3)
+
+    def test_mismatched_rows_raises(self):
+        with pytest.raises(ConfigurationError):
+            LinearRegression().fit(np.zeros((5, 2)), np.zeros(4))
+
+    def test_n_params_counts_intercept(self):
+        x, y, _ = make_linear_data(d=4)
+        model = LinearRegression().fit(x, y)
+        assert model.n_params == 5
+
+    def test_single_feature_1d_input_promoted(self):
+        model = LinearRegression().fit([[1.0], [2.0], [3.0]], [2.0, 4.0, 6.0])
+        pred = model.predict([[4.0]])
+        assert pred[0] == pytest.approx(8.0)
+
+
+class TestRidgeRegression:
+    def test_zero_alpha_matches_ols(self):
+        x, y, _ = make_linear_data(noise=0.1, seed=3)
+        ols = LinearRegression().fit(x, y)
+        ridge = RidgeRegression(alpha=0.0).fit(x, y)
+        assert np.allclose(ridge.coef_, ols.coef_, atol=1e-6)
+
+    def test_large_alpha_shrinks_coefficients(self):
+        x, y, _ = make_linear_data(seed=4)
+        small = RidgeRegression(alpha=0.01).fit(x, y)
+        large = RidgeRegression(alpha=1e6).fit(x, y)
+        assert np.linalg.norm(large.coef_) < np.linalg.norm(small.coef_) / 10
+
+    def test_intercept_not_penalised(self):
+        # Constant-shifted targets must shift the intercept, not the slopes.
+        x, y, _ = make_linear_data(seed=5)
+        base = RidgeRegression(alpha=10.0).fit(x, y)
+        shifted = RidgeRegression(alpha=10.0).fit(x, y + 100.0)
+        assert np.allclose(base.coef_, shifted.coef_, atol=1e-8)
+        assert shifted.intercept_ - base.intercept_ == pytest.approx(100.0)
+
+    def test_negative_alpha_rejected(self):
+        with pytest.raises(ConfigurationError):
+            RidgeRegression(alpha=-1.0)
+
+    def test_predict_before_fit_raises(self):
+        with pytest.raises(NotTrainedError):
+            RidgeRegression().predict([[0.0]])
+
+    def test_sample_weights_respected(self):
+        x = np.array([[0.0], [1.0], [2.0], [3.0]])
+        y = np.array([0.0, 1.0, 2.0, 100.0])
+        w = np.array([1.0, 1.0, 1.0, 1e-9])
+        model = RidgeRegression(alpha=1e-9).fit(x, y, sample_weight=w)
+        assert model.predict([[4.0]])[0] == pytest.approx(4.0, abs=1e-3)
+
+    @given(
+        st.integers(min_value=5, max_value=40),
+        st.integers(min_value=1, max_value=4),
+    )
+    @settings(max_examples=25, deadline=None)
+    def test_prediction_is_finite_for_random_data(self, n, d):
+        rng = np.random.default_rng(n * 10 + d)
+        x = rng.normal(size=(n, d))
+        y = rng.normal(size=n)
+        model = RidgeRegression(alpha=1.0).fit(x, y)
+        assert np.all(np.isfinite(model.predict(x)))
+
+
+class TestPolynomialFeatures:
+    def test_degree_two_with_interactions(self):
+        x = np.array([[2.0, 3.0]])
+        out = polynomial_features(x, degree=2, interaction=True)
+        assert out.tolist() == [[2.0, 3.0, 4.0, 9.0, 6.0]]
+
+    def test_degree_two_without_interactions(self):
+        x = np.array([[2.0, 3.0]])
+        out = polynomial_features(x, degree=2, interaction=False)
+        assert out.tolist() == [[2.0, 3.0, 4.0, 9.0]]
+
+    def test_degree_one_is_identity(self):
+        x = np.array([[1.0, 2.0], [3.0, 4.0]])
+        assert np.array_equal(polynomial_features(x, degree=1), x)
+
+    def test_degree_zero_rejected(self):
+        with pytest.raises(ConfigurationError):
+            polynomial_features(np.ones((2, 2)), degree=0)
+
+    def test_quadratic_fit_captures_curvature(self):
+        rng = np.random.default_rng(0)
+        x = rng.uniform(-2, 2, size=(200, 1))
+        y = 3 * x[:, 0] ** 2 - x[:, 0] + 1
+        model = LinearRegression().fit(polynomial_features(x, 2), y)
+        pred = model.predict(polynomial_features(x, 2))
+        assert r2_score(y, pred) > 0.999

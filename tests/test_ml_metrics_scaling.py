@@ -1,0 +1,120 @@
+"""Unit tests for repro.ml.metrics and repro.ml.scaling."""
+
+import numpy as np
+import pytest
+from hypothesis import given, settings
+from hypothesis import strategies as st
+from hypothesis.extra import numpy as hnp
+
+from repro.common.errors import NotTrainedError
+from repro.ml import (
+    MinMaxScaler,
+    StandardScaler,
+    accuracy_score,
+    mean_absolute_error,
+    mean_squared_error,
+    median_relative_error,
+    r2_score,
+    relative_error,
+    root_mean_squared_error,
+)
+
+
+class TestMetrics:
+    def test_mse_known_value(self):
+        assert mean_squared_error([1, 2, 3], [1, 2, 5]) == pytest.approx(4 / 3)
+
+    def test_rmse_is_sqrt_mse(self):
+        y, p = [0, 0, 0], [3, 4, 0]
+        assert root_mean_squared_error(y, p) == pytest.approx(
+            np.sqrt(mean_squared_error(y, p))
+        )
+
+    def test_mae_known_value(self):
+        assert mean_absolute_error([1, 2], [2, 4]) == pytest.approx(1.5)
+
+    def test_relative_error_floor_guards_zero(self):
+        errs = relative_error([0.0], [5.0], floor=1.0)
+        assert errs[0] == pytest.approx(5.0)
+
+    def test_median_relative_error(self):
+        assert median_relative_error([10, 100], [11, 110]) == pytest.approx(0.1)
+
+    def test_r2_perfect_and_mean(self):
+        y = np.array([1.0, 2.0, 3.0])
+        assert r2_score(y, y) == pytest.approx(1.0)
+        assert r2_score(y, np.full(3, 2.0)) == pytest.approx(0.0)
+
+    def test_r2_constant_truth(self):
+        assert r2_score([5, 5, 5], [5, 5, 5]) == 1.0
+        assert r2_score([5, 5, 5], [5, 5, 6]) == 0.0
+
+    def test_accuracy(self):
+        assert accuracy_score(["a", "b", "c"], ["a", "b", "x"]) == pytest.approx(
+            2 / 3
+        )
+
+    def test_shape_mismatch_rejected(self):
+        with pytest.raises(ValueError):
+            mean_squared_error([1, 2], [1])
+        with pytest.raises(ValueError):
+            accuracy_score([1], [1, 2])
+
+    def test_empty_rejected(self):
+        with pytest.raises(ValueError):
+            mean_squared_error([], [])
+
+    @given(
+        hnp.arrays(
+            dtype=float, shape=st.integers(2, 50), elements=st.floats(-100, 100)
+        )
+    )
+    @settings(max_examples=30, deadline=None)
+    def test_r2_of_self_is_one(self, y):
+        assert r2_score(y, y) == pytest.approx(1.0)
+
+
+class TestStandardScaler:
+    def test_transform_standardises(self):
+        rng = np.random.default_rng(0)
+        x = rng.normal(loc=5, scale=3, size=(200, 2))
+        z = StandardScaler().fit_transform(x)
+        assert np.allclose(z.mean(axis=0), 0.0, atol=1e-9)
+        assert np.allclose(z.std(axis=0), 1.0, atol=1e-9)
+
+    def test_inverse_roundtrip(self):
+        rng = np.random.default_rng(1)
+        x = rng.normal(size=(50, 3)) * [1, 10, 100]
+        scaler = StandardScaler().fit(x)
+        assert np.allclose(scaler.inverse_transform(scaler.transform(x)), x)
+
+    def test_constant_column_maps_to_zero(self):
+        x = np.column_stack([np.ones(10), np.arange(10.0)])
+        z = StandardScaler().fit_transform(x)
+        assert np.allclose(z[:, 0], 0.0)
+        assert np.all(np.isfinite(z))
+
+    def test_transform_before_fit_raises(self):
+        with pytest.raises(NotTrainedError):
+            StandardScaler().transform([[1.0]])
+
+
+class TestMinMaxScaler:
+    def test_maps_to_unit_interval(self):
+        x = np.array([[0.0], [5.0], [10.0]])
+        z = MinMaxScaler().fit_transform(x)
+        assert z.ravel().tolist() == [0.0, 0.5, 1.0]
+
+    def test_extrapolates_outside_fitted_range(self):
+        scaler = MinMaxScaler().fit(np.array([[0.0], [10.0]]))
+        assert scaler.transform([[20.0]])[0, 0] == pytest.approx(2.0)
+
+    def test_inverse_roundtrip(self):
+        rng = np.random.default_rng(2)
+        x = rng.uniform(-5, 5, size=(30, 2))
+        scaler = MinMaxScaler().fit(x)
+        assert np.allclose(scaler.inverse_transform(scaler.transform(x)), x)
+
+    def test_constant_column_finite(self):
+        z = MinMaxScaler().fit_transform(np.full((5, 1), 7.0))
+        assert np.allclose(z, 0.0)

@@ -1,0 +1,145 @@
+"""Unit tests for repro.ml.tree and repro.ml.boosting."""
+
+import numpy as np
+import pytest
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from repro.common.errors import ConfigurationError, NotTrainedError
+from repro.ml import (
+    DecisionTreeClassifier,
+    DecisionTreeRegressor,
+    GradientBoostingRegressor,
+    accuracy_score,
+    r2_score,
+)
+
+
+def step_data(seed=0, n=200):
+    rng = np.random.default_rng(seed)
+    x = rng.uniform(-1, 1, size=(n, 2))
+    y = np.where(x[:, 0] > 0.0, 5.0, -5.0)
+    return x, y
+
+
+class TestDecisionTreeRegressor:
+    def test_learns_axis_aligned_step(self):
+        x, y = step_data()
+        # Split candidates are subsampled, so the cut may be slightly off
+        # the exact boundary; depth 3 recovers the residual strip.
+        model = DecisionTreeRegressor(max_depth=3).fit(x, y)
+        assert r2_score(y, model.predict(x)) > 0.99
+
+    def test_depth_one_is_single_split(self):
+        x, y = step_data(seed=1)
+        model = DecisionTreeRegressor(max_depth=1).fit(x, y)
+        assert model.n_nodes == 3  # root + two leaves
+
+    def test_constant_target_yields_leaf(self):
+        model = DecisionTreeRegressor().fit(np.random.rand(30, 3), np.ones(30))
+        assert model.n_nodes == 1
+        assert np.allclose(model.predict(np.random.rand(5, 3)), 1.0)
+
+    def test_min_samples_leaf_enforced(self):
+        x, y = step_data(seed=2, n=20)
+        model = DecisionTreeRegressor(max_depth=8, min_samples_leaf=10).fit(x, y)
+        # With leaves >= 10 of 20 samples, at most one split is possible.
+        assert model.n_nodes <= 3
+
+    def test_predict_before_fit_raises(self):
+        with pytest.raises(NotTrainedError):
+            DecisionTreeRegressor().predict([[0.0]])
+
+    def test_deeper_trees_fit_better(self):
+        rng = np.random.default_rng(3)
+        x = rng.uniform(0, 1, size=(300, 1))
+        y = np.sin(8 * x[:, 0])
+        shallow = DecisionTreeRegressor(max_depth=2).fit(x, y)
+        deep = DecisionTreeRegressor(max_depth=8).fit(x, y)
+        assert r2_score(y, deep.predict(x)) > r2_score(y, shallow.predict(x))
+
+    def test_invalid_params_rejected(self):
+        with pytest.raises(ConfigurationError):
+            DecisionTreeRegressor(max_depth=0)
+        with pytest.raises(ConfigurationError):
+            DecisionTreeRegressor(min_samples_leaf=0)
+
+    @given(st.integers(min_value=1, max_value=6))
+    @settings(max_examples=10, deadline=None)
+    def test_training_error_never_worse_than_mean_model(self, depth):
+        rng = np.random.default_rng(depth)
+        x = rng.normal(size=(80, 2))
+        y = rng.normal(size=80)
+        model = DecisionTreeRegressor(max_depth=depth).fit(x, y)
+        tree_sse = np.sum((y - model.predict(x)) ** 2)
+        mean_sse = np.sum((y - y.mean()) ** 2)
+        assert tree_sse <= mean_sse + 1e-9
+
+
+class TestDecisionTreeClassifier:
+    def test_learns_quadrant_labels(self):
+        rng = np.random.default_rng(0)
+        x = rng.uniform(-1, 1, size=(400, 2))
+        y = (x[:, 0] > 0).astype(int) + 2 * (x[:, 1] > 0).astype(int)
+        model = DecisionTreeClassifier(max_depth=3).fit(x, y)
+        assert accuracy_score(y, model.predict(x)) > 0.98
+
+    def test_string_labels_roundtrip(self):
+        x = np.array([[0.0], [1.0], [2.0], [3.0]])
+        y = np.array(["lo", "lo", "hi", "hi"])
+        model = DecisionTreeClassifier(max_depth=2).fit(x, y)
+        assert model.predict([[0.5]])[0] == "lo"
+        assert model.predict([[2.5]])[0] == "hi"
+
+    def test_single_class(self):
+        model = DecisionTreeClassifier().fit(np.random.rand(10, 2), ["a"] * 10)
+        assert model.predict([[0.5, 0.5]])[0] == "a"
+
+    def test_predict_before_fit_raises(self):
+        with pytest.raises(NotTrainedError):
+            DecisionTreeClassifier().predict([[0.0]])
+
+
+class TestGradientBoosting:
+    def test_fits_nonlinear_function(self):
+        rng = np.random.default_rng(1)
+        x = rng.uniform(-2, 2, size=(300, 1))
+        y = np.sin(3 * x[:, 0]) * 5
+        model = GradientBoostingRegressor(n_estimators=80, seed=0).fit(x, y)
+        assert r2_score(y, model.predict(x)) > 0.9
+
+    def test_more_stages_reduce_training_error(self):
+        rng = np.random.default_rng(2)
+        x = rng.uniform(-2, 2, size=(200, 2))
+        y = x[:, 0] * x[:, 1]
+        model = GradientBoostingRegressor(n_estimators=40, seed=0).fit(x, y)
+        staged = [np.mean((y - p) ** 2) for p in model.staged_predict(x)]
+        assert staged[-1] < staged[0]
+        # Loss is monotone non-increasing on the training set.
+        assert all(b <= a + 1e-9 for a, b in zip(staged, staged[1:]))
+
+    def test_constant_target_converges_immediately(self):
+        model = GradientBoostingRegressor(n_estimators=50, seed=0).fit(
+            np.random.rand(20, 2), np.full(20, 3.0)
+        )
+        assert model.n_trees == 1  # residuals hit zero after the init
+        assert np.allclose(model.predict(np.random.rand(4, 2)), 3.0)
+
+    def test_subsample_trains_and_predicts(self):
+        rng = np.random.default_rng(3)
+        x = rng.normal(size=(100, 2))
+        y = x[:, 0]
+        model = GradientBoostingRegressor(
+            n_estimators=20, subsample=0.5, seed=1
+        ).fit(x, y)
+        assert np.all(np.isfinite(model.predict(x)))
+
+    def test_predict_before_fit_raises(self):
+        with pytest.raises(NotTrainedError):
+            GradientBoostingRegressor().predict([[0.0]])
+
+    def test_invalid_learning_rate_rejected(self):
+        with pytest.raises(ConfigurationError):
+            GradientBoostingRegressor(learning_rate=0.0)
+        with pytest.raises(ConfigurationError):
+            GradientBoostingRegressor(subsample=1.5)

@@ -1,0 +1,241 @@
+"""Tests for the learned optimizer (RT3) and model selection ([48])."""
+
+import numpy as np
+import pytest
+
+from repro.common import CostReport
+from repro.common.errors import NotTrainedError, OptimizationError
+from repro.core import AnswerModelFactory, DatalessPredictor, QuerySpaceQuantizer
+from repro.optimizer import (
+    AlternativeSet,
+    ExecutionAlternative,
+    ExecutionLog,
+    LearnedSelector,
+    ModelSelector,
+    TaskFeatures,
+    apply_per_quantum_selection,
+    select_family_cv,
+)
+from repro.optimizer.alternatives import metric_of
+
+
+class TestTaskFeatures:
+    def test_join_features_log_scaled(self):
+        f = TaskFeatures.for_join(10**6, 10**6, 10**4, 10, 8)
+        assert f["log_rows_r"] == pytest.approx(6.0)
+        assert f["log_key_space"] == pytest.approx(4.0)
+        assert f["match_rate"] == pytest.approx(100.0)
+
+    def test_knn_features(self):
+        f = TaskFeatures.for_knn(10**5, 3, 10, 16, density_cv=2.5)
+        assert f["dim"] == 3.0
+        assert f["density_cv"] == 2.5
+
+    def test_subspace_features_floor_selectivity(self):
+        f = TaskFeatures.for_subspace_aggregate(1000, 0.0, 2, 4)
+        assert f["log_selectivity"] == pytest.approx(-12.0)
+
+    def test_array_and_dict_views(self):
+        f = TaskFeatures(names=("a", "b"), values=(1.0, 2.0))
+        assert f.as_array().tolist() == [1.0, 2.0]
+        assert f.as_dict() == {"a": 1.0, "b": 2.0}
+
+    def test_unknown_name_raises(self):
+        f = TaskFeatures(names=("a",), values=(1.0,))
+        with pytest.raises(KeyError):
+            f["zzz"]
+
+
+class TestAlternatives:
+    def make_set(self):
+        def cheap(x):
+            return x * 2, CostReport(elapsed_sec=1.0, node_sec=1.0)
+
+        def costly(x):
+            return x * 2, CostReport(elapsed_sec=10.0, node_sec=10.0)
+
+        return AlternativeSet(
+            [
+                ExecutionAlternative("cheap", cheap),
+                ExecutionAlternative("costly", costly),
+            ]
+        )
+
+    def test_run_all_produces_outcomes(self):
+        outcomes = self.make_set().run_all(21)
+        assert [o.result for o in outcomes] == [42, 42]
+
+    def test_best_by_metric(self):
+        outcomes = self.make_set().run_all(1)
+        best = AlternativeSet.best(outcomes, "elapsed_sec")
+        assert best.name == "cheap"
+
+    def test_run_one_unknown_rejected(self):
+        with pytest.raises(OptimizationError):
+            self.make_set().run_one("teleport", 1)
+
+    def test_duplicate_names_rejected(self):
+        alt = ExecutionAlternative("x", lambda: (0, CostReport()))
+        with pytest.raises(Exception):
+            AlternativeSet([alt, alt])
+
+    def test_metric_of_dollars(self):
+        report = CostReport(node_sec=3600.0)
+        assert metric_of(report, "dollars") == pytest.approx(0.10)
+        with pytest.raises(Exception):
+            metric_of(report, "fame")
+
+
+def synthetic_log(n=120, seed=0, noise=0.0):
+    """Tasks where method A wins below a selectivity threshold, B above."""
+    rng = np.random.default_rng(seed)
+    log = ExecutionLog()
+    for _ in range(n):
+        selectivity = 10 ** rng.uniform(-6, -0.5)
+        features = TaskFeatures.for_subspace_aggregate(
+            10**6, selectivity, 2, 8
+        )
+        index_cost = 1.0 + 1e6 * selectivity  # grows with matched rows
+        scan_cost = 50.0 * (1 + noise * rng.normal())
+        log.record(features, {"index": index_cost, "fullscan": scan_cost})
+    return log
+
+
+class TestLearnedSelector:
+    def test_learns_crossover_rule(self):
+        train = synthetic_log(n=150, seed=1)
+        test = synthetic_log(n=80, seed=2)
+        selector = LearnedSelector().fit(train)
+        metrics = selector.evaluate(test)
+        assert metrics["accuracy"] > 0.9
+        assert metrics["mean_regret"] < 0.5
+
+    def test_beats_fixed_policies(self):
+        train = synthetic_log(n=150, seed=3)
+        test = synthetic_log(n=80, seed=4)
+        selector = LearnedSelector().fit(train)
+        metrics = selector.evaluate(test)
+        assert metrics["mean_regret"] < metrics["regret_always_index"]
+        assert metrics["mean_regret"] < metrics["regret_always_fullscan"]
+
+    def test_choose_returns_known_method(self):
+        selector = LearnedSelector().fit(synthetic_log(n=50, seed=5))
+        choice = selector.choose(
+            TaskFeatures.for_subspace_aggregate(10**6, 1e-5, 2, 8)
+        )
+        assert choice in ("index", "fullscan")
+
+    def test_choose_before_fit_raises(self):
+        with pytest.raises(NotTrainedError):
+            LearnedSelector().choose(
+                TaskFeatures.for_subspace_aggregate(10, 0.5, 1, 1)
+            )
+
+    def test_tiny_log_rejected(self):
+        log = ExecutionLog()
+        features = TaskFeatures.for_subspace_aggregate(10, 0.5, 1, 1)
+        log.record(features, {"a": 1.0, "b": 2.0})
+        with pytest.raises(Exception):
+            LearnedSelector().fit(log)
+
+    def test_log_entry_regret(self):
+        log = synthetic_log(n=10, seed=6)
+        entry = log.entries[0]
+        assert entry.regret_of(entry.best_method) == 0.0
+        other = next(m for m in entry.costs if m != entry.best_method)
+        assert entry.regret_of(other) > 0.0
+
+
+class TestModelSelectionCV:
+    def test_picks_quadratic_for_curvature(self):
+        rng = np.random.default_rng(0)
+        x = rng.uniform(-3, 3, size=(80, 1))
+        y = x[:, 0] ** 2 + 0.01 * rng.normal(size=80)
+        best, scores = select_family_cv(x, y, families=("linear", "quadratic"))
+        assert best == "quadratic"
+        assert scores["quadratic"] < scores["linear"]
+
+    def test_picks_simple_model_for_constant(self):
+        rng = np.random.default_rng(1)
+        x = rng.normal(size=(40, 2))
+        y = np.full(40, 5.0)
+        best, scores = select_family_cv(x, y, families=("mean", "gbm"))
+        assert best == "mean"
+
+    def test_tiny_buffer_degrades_to_mean(self):
+        best, _ = select_family_cv(np.ones((2, 1)), np.ones(2), n_folds=2)
+        assert best in ("mean", "linear")
+
+    def test_model_selector_tracks_choices(self):
+        selector = ModelSelector(families=("mean", "linear"))
+        rng = np.random.default_rng(2)
+        x = rng.normal(size=(40, 1))
+        y = 2 * x[:, 0]
+        assert selector.select_for_quantum(3, x, y) == "linear"
+        assert selector.choices[3] == "linear"
+        assert "linear" in selector.scores[3]
+
+    def test_apply_per_quantum_selection(self):
+        predictor = DatalessPredictor(
+            quantizer=QuerySpaceQuantizer(n_quanta=2, warmup=8, grow_threshold=3.0),
+            factory=AnswerModelFactory("mean"),
+        )
+        rng = np.random.default_rng(3)
+        # Quantum near origin: linear world; far quantum: constant world.
+        for _ in range(60):
+            v = rng.normal(loc=(0, 0), scale=1.0, size=2)
+            predictor.observe(v, 5.0 * v[0])
+        for _ in range(60):
+            v = rng.normal(loc=(100, 100), scale=1.0, size=2)
+            predictor.observe(v, 7.0)
+        chosen = apply_per_quantum_selection(
+            predictor, families=("mean", "linear")
+        )
+        assert len(chosen) >= 2
+        assert "linear" in chosen.values()
+        # After re-selection the predictor still answers sensibly.
+        assert predictor.predict([0.0, 0.0]).scalar == pytest.approx(0.0, abs=2.0)
+
+
+class TestCostModelSelector:
+    def test_learns_crossover_and_predicts_costs(self):
+        from repro.optimizer import CostModelSelector
+
+        train = synthetic_log(n=150, seed=7)
+        test = synthetic_log(n=80, seed=8)
+        selector = CostModelSelector().fit(train)
+        metrics = selector.evaluate(test)
+        assert metrics["accuracy"] > 0.85
+        assert metrics["mean_regret"] < 1.0
+        # Cost predictions land within about half an order of magnitude.
+        assert metrics["mean_log10_cost_error"] < 0.5
+
+    def test_predicted_costs_cover_all_methods(self):
+        from repro.optimizer import CostModelSelector
+
+        selector = CostModelSelector().fit(synthetic_log(n=60, seed=9))
+        costs = selector.predict_costs(
+            TaskFeatures.for_subspace_aggregate(10**6, 1e-4, 2, 8)
+        )
+        assert set(costs) == {"index", "fullscan"}
+        assert all(v > 0 for v in costs.values())
+
+    def test_agrees_with_classifier_on_clear_cases(self):
+        from repro.optimizer import CostModelSelector
+
+        log = synthetic_log(n=150, seed=10)
+        regressor = CostModelSelector().fit(log)
+        classifier = LearnedSelector().fit(log)
+        for selectivity in (1e-6, 1e-1):
+            features = TaskFeatures.for_subspace_aggregate(
+                10**6, selectivity, 2, 8
+            )
+            assert regressor.choose(features) == classifier.choose(features)
+
+    def test_predict_before_fit_raises(self):
+        from repro.optimizer import CostModelSelector
+
+        with pytest.raises(NotTrainedError):
+            CostModelSelector().choose(
+                TaskFeatures.for_subspace_aggregate(10, 0.5, 1, 1)
+            )

@@ -1,0 +1,127 @@
+"""Tests for learned-state persistence (repro.core.persistence)."""
+
+import io
+
+import numpy as np
+import pytest
+
+from repro.baselines import ExactEngine
+from repro.cluster import ClusterTopology, DistributedStore
+from repro.common.errors import ConfigurationError
+from repro.core import (
+    AgentConfig,
+    SEAAgent,
+    load_agent_models,
+    load_predictor,
+    save_agent_models,
+    save_predictor,
+)
+from repro.core.predictor import DatalessPredictor
+from repro.core.quantization import QuerySpaceQuantizer
+from repro.data import InterestProfile, WorkloadGenerator, gaussian_mixture_table
+from repro.queries import Count
+
+
+def trained_predictor(seed=0):
+    predictor = DatalessPredictor(
+        quantizer=QuerySpaceQuantizer(n_quanta=4, warmup=16)
+    )
+    rng = np.random.default_rng(seed)
+    for _ in range(120):
+        v = rng.normal(loc=(5.0, 5.0), size=2)
+        predictor.observe(v, 3.0 * v[0] + v[1])
+    return predictor
+
+
+class TestPredictorRoundtrip:
+    def test_roundtrip_preserves_predictions(self, tmp_path):
+        predictor = trained_predictor()
+        path = str(tmp_path / "model.sea")
+        n_bytes = save_predictor(predictor, path)
+        assert n_bytes > 100
+        restored = load_predictor(path)
+        probe = np.array([5.0, 5.0])
+        original = predictor.predict(probe)
+        loaded = restored.predict(probe)
+        assert loaded.scalar == pytest.approx(original.scalar)
+        assert loaded.error_estimate == pytest.approx(original.error_estimate)
+        assert loaded.quantum_id == original.quantum_id
+
+    def test_roundtrip_via_file_object(self):
+        predictor = trained_predictor(seed=1)
+        buffer = io.BytesIO()
+        save_predictor(predictor, buffer)
+        buffer.seek(0)
+        restored = load_predictor(buffer)
+        assert restored.n_observed == predictor.n_observed
+
+    def test_restored_predictor_keeps_learning(self, tmp_path):
+        predictor = trained_predictor(seed=2)
+        path = str(tmp_path / "model.sea")
+        save_predictor(predictor, path)
+        restored = load_predictor(path)
+        before = restored.n_observed
+        restored.observe([5.0, 5.0], 20.0)
+        assert restored.n_observed == before + 1
+
+    def test_bad_magic_rejected(self, tmp_path):
+        path = tmp_path / "junk.sea"
+        path.write_bytes(b"NOT-A-MODEL-FILE")
+        with pytest.raises(ConfigurationError, match="magic"):
+            load_predictor(str(path))
+
+    def test_wrong_kind_rejected(self, tmp_path):
+        topo = ClusterTopology.single_datacenter(2)
+        store = DistributedStore(topo)
+        store.put_table(gaussian_mixture_table(500, seed=3, name="data"))
+        agent = SEAAgent(ExactEngine(store))
+        path = str(tmp_path / "agent.sea")
+        save_agent_models(agent, path)
+        with pytest.raises(ConfigurationError, match="predictor"):
+            load_predictor(path)
+
+
+class TestAgentModelsRoundtrip:
+    def test_new_agent_serves_from_restored_models(self, tmp_path):
+        topo = ClusterTopology.single_datacenter(4)
+        store = DistributedStore(topo)
+        table = gaussian_mixture_table(15000, dims=("x0", "x1"), seed=4,
+                                       name="data")
+        store.put_table(table, partitions_per_node=2)
+        profile = InterestProfile.from_table(
+            table, ("x0", "x1"), 2, seed=5, hotspot_scale=2.0,
+            extent_range=(4, 9),
+        )
+        workload = WorkloadGenerator(
+            "data", ("x0", "x1"), profile, aggregate=Count(), seed=6
+        )
+        veteran = SEAAgent(
+            ExactEngine(store),
+            AgentConfig(training_budget=300, error_threshold=0.25),
+        )
+        for query in workload.batch(500):
+            veteran.submit(query)
+        path = str(tmp_path / "models.sea")
+        save_agent_models(veteran, path)
+
+        # A fresh agent (zero training budget) restores and serves.
+        rookie = SEAAgent(
+            ExactEngine(store),
+            AgentConfig(training_budget=0, error_threshold=0.25),
+        )
+        n_loaded = load_agent_models(rookie, path)
+        assert n_loaded == 1
+        served = [rookie.submit(q) for q in workload.batch(150)]
+        assert any(r.mode == "predicted" for r in served)
+
+    def test_restored_models_keep_drift_protection(self, tmp_path):
+        topo = ClusterTopology.single_datacenter(2)
+        store = DistributedStore(topo)
+        store.put_table(gaussian_mixture_table(2000, seed=7, name="data"))
+        agent = SEAAgent(ExactEngine(store))
+        path = str(tmp_path / "m.sea")
+        save_agent_models(agent, path)
+        fresh = SEAAgent(ExactEngine(store))
+        load_agent_models(fresh, path)
+        # Drift detectors exist for every restored signature.
+        assert set(fresh._drift) >= set(fresh._predictors)

@@ -1,0 +1,159 @@
+"""Tests for multi-system (polystore) data-less analytics (RT1.5)."""
+
+import numpy as np
+import pytest
+
+from repro.baselines import ExactEngine
+from repro.cluster import ClusterTopology, DistributedStore
+from repro.common.errors import ConfigurationError, QueryError
+from repro.core import AgentConfig, Polystore, PolystoreSystem, SEAAgent
+from repro.data import InterestProfile, WorkloadGenerator, gaussian_mixture_table
+from repro.queries import AnalyticsQuery, Count, Median, RangeSelection
+
+
+def build_system(name, seed, table):
+    topo = ClusterTopology.single_datacenter(3, datacenter=name)
+    store = DistributedStore(topo)
+    store.put_table(table, partitions_per_node=1)
+    agent = SEAAgent(
+        ExactEngine(store),
+        AgentConfig(training_budget=200, error_threshold=0.2),
+    )
+    return PolystoreSystem(name=name, agent=agent, gateway_node=topo.node_ids[0])
+
+
+@pytest.fixture(scope="module")
+def polystore_world():
+    table_a = gaussian_mixture_table(8000, dims=("x0", "x1"), seed=1, name="data")
+    table_b = gaussian_mixture_table(8000, dims=("x0", "x1"), seed=2, name="data")
+    sys_a = build_system("sysA", 1, table_a)
+    sys_b = build_system("sysB", 2, table_b)
+    poly = Polystore([sys_a, sys_b])
+    union = np.concatenate([table_a["x0"], table_b["x0"]])
+    return poly, table_a, table_b
+
+
+def count_query(lo=30.0, hi=60.0):
+    return AnalyticsQuery(
+        "data",
+        RangeSelection(("x0", "x1"), [lo, lo], [hi, hi]),
+        Count(),
+    )
+
+
+class TestStrategiesAgree:
+    def test_migrate_and_partials_are_exact(self, polystore_world):
+        poly, a, b = polystore_world
+        query = count_query()
+        truth = query.evaluate(a) + query.evaluate(b)
+        for strategy in ("migrate", "partials"):
+            answer, _ = poly.execute_union(query, strategy=strategy)
+            assert answer == pytest.approx(truth)
+
+    def test_models_strategy_close_after_training(self, polystore_world):
+        poly, a, b = polystore_world
+        # Train both agents on overlapping workloads.
+        profile = InterestProfile(
+            np.array([[45.0, 45.0]]), hotspot_scale=2.0, extent_range=(8, 15)
+        )
+        wg = WorkloadGenerator("data", ("x0", "x1"), profile, aggregate=Count(), seed=3)
+        for query in wg.batch(300):
+            poly.execute_union(query, strategy="models")
+        query = AnalyticsQuery(
+            "data",
+            RangeSelection.around(("x0", "x1"), [45.0, 45.0], [10.0, 10.0]),
+            Count(),
+        )
+        answer, _ = poly.execute_union(query, strategy="models")
+        truth = query.evaluate(a) + query.evaluate(b)
+        assert answer == pytest.approx(truth, rel=0.3)
+
+
+class TestCosts:
+    def test_migrate_ships_base_data_over_wan(self, polystore_world):
+        poly, a, b = polystore_world
+        _, report = poly.execute_union(count_query(), strategy="migrate")
+        assert report.bytes_shipped_wan >= b.n_bytes
+
+    def test_partials_ship_constant_bytes(self, polystore_world):
+        poly, *_ = polystore_world
+        _, report = poly.execute_union(count_query(), strategy="partials")
+        assert report.bytes_shipped_wan < 1024
+
+    def test_models_cheapest_wan_when_trained(self, polystore_world):
+        poly, *_ = polystore_world
+        _, migrate = poly.execute_union(count_query(), strategy="migrate")
+        _, models = poly.execute_union(count_query(), strategy="models")
+        assert models.bytes_shipped_wan < migrate.bytes_shipped_wan / 1000
+
+
+class TestValidation:
+    def test_unknown_strategy_rejected(self, polystore_world):
+        poly, *_ = polystore_world
+        with pytest.raises(ConfigurationError):
+            poly.execute_union(count_query(), strategy="teleport")
+
+    def test_holistic_aggregate_rejected_for_partials(self, polystore_world):
+        poly, *_ = polystore_world
+        query = AnalyticsQuery(
+            "data",
+            RangeSelection(("x0",), [0.0], [100.0]),
+            Median("value"),
+        )
+        with pytest.raises(QueryError):
+            poly.execute_union(query, strategy="partials")
+
+    def test_single_system_rejected(self, polystore_world):
+        poly, *_ = polystore_world
+        only = next(iter(poly.systems.values()))
+        with pytest.raises(ConfigurationError):
+            Polystore([only])
+
+    def test_duplicate_names_rejected(self, polystore_world):
+        poly, *_ = polystore_world
+        systems = list(poly.systems.values())
+        with pytest.raises(ConfigurationError):
+            Polystore([systems[0], systems[0]])
+
+
+class TestModelAnswerCombination:
+    def test_count_and_sum_add(self):
+        from repro.core.polystore import Polystore
+        from repro.queries import AnalyticsQuery, Count, RangeSelection, Sum
+
+        sel = RangeSelection(("x0",), [0.0], [1.0])
+        count_query = AnalyticsQuery("data", sel, Count())
+        assert Polystore._combine_model_answers(
+            count_query, [10.0, 20.0, 5.0]
+        ) == pytest.approx(35.0)
+        sum_query = AnalyticsQuery("data", sel, Sum("value"))
+        assert Polystore._combine_model_answers(
+            sum_query, [1.5, -0.5]
+        ) == pytest.approx(1.0)
+
+    def test_mean_like_answers_average(self):
+        from repro.core.polystore import Polystore
+        from repro.queries import AnalyticsQuery, Mean, RangeSelection
+
+        sel = RangeSelection(("x0",), [0.0], [1.0])
+        query = AnalyticsQuery("data", sel, Mean("value"))
+        assert Polystore._combine_model_answers(
+            query, [2.0, 4.0]
+        ) == pytest.approx(3.0)
+
+    def test_vector_answers_average_elementwise(self):
+        from repro.core.polystore import Polystore
+        from repro.queries import (
+            AnalyticsQuery,
+            RangeSelection,
+            RegressionCoefficients,
+        )
+
+        sel = RangeSelection(("x0",), [0.0], [1.0])
+        query = AnalyticsQuery(
+            "data", sel, RegressionCoefficients("value", ["x0"])
+        )
+        combined = Polystore._combine_model_answers(
+            query, [np.array([1.0, 2.0]), np.array([3.0, 4.0])]
+        )
+        assert np.allclose(combined, [2.0, 3.0])

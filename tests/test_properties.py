@@ -1,0 +1,206 @@
+"""Cross-module property-based invariants (hypothesis).
+
+Each property pins an invariant two or more subsystems rely on jointly:
+cost-report algebra, index-vs-bruteforce agreement, selection algebra,
+and the exactness of the surgical operators under random inputs.
+"""
+
+import numpy as np
+import pytest
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from repro.common import CostMeter, CostReport
+from repro.cluster import ClusterTopology, DistributedStore
+from repro.data import Table
+from repro.queries import Count, RangeSelection, AnalyticsQuery
+
+
+reports = st.builds(
+    CostReport,
+    elapsed_sec=st.floats(0, 100),
+    node_sec=st.floats(0, 100),
+    bytes_scanned=st.integers(0, 10**9),
+    bytes_shipped_lan=st.integers(0, 10**9),
+    bytes_shipped_wan=st.integers(0, 10**9),
+    nodes_touched=st.integers(0, 64),
+    tasks_launched=st.integers(0, 100),
+    layers_crossed=st.integers(0, 100),
+    rows_examined=st.integers(0, 10**6),
+    messages=st.integers(0, 1000),
+)
+
+
+class TestCostReportAlgebra:
+    @given(reports, reports)
+    @settings(max_examples=50, deadline=None)
+    def test_parallel_merge_is_commutative_in_totals(self, a, b):
+        ab = a.merged_parallel(b)
+        ba = b.merged_parallel(a)
+        assert ab.as_dict() == ba.as_dict()
+
+    @given(reports, reports, reports)
+    @settings(max_examples=50, deadline=None)
+    def test_sequential_merge_is_associative(self, a, b, c):
+        left = a.merged_sequential(b).merged_sequential(c)
+        right = a.merged_sequential(b.merged_sequential(c))
+        assert left.as_dict() == pytest.approx(right.as_dict())
+
+    @given(reports, reports)
+    @settings(max_examples=50, deadline=None)
+    def test_parallel_elapsed_never_exceeds_sequential(self, a, b):
+        par = a.merged_parallel(b)
+        seq = a.merged_sequential(b)
+        assert par.elapsed_sec <= seq.elapsed_sec + 1e-12
+        assert par.node_sec == pytest.approx(seq.node_sec)
+
+    @given(reports)
+    @settings(max_examples=30, deadline=None)
+    def test_dollars_non_negative_and_monotone_in_wan(self, r):
+        assert r.dollars() >= 0
+        more_wan = CostReport(**{**r.as_dict(),
+                                 "bytes_shipped_wan": r.bytes_shipped_wan + 10**9})
+        assert more_wan.dollars() >= r.dollars()
+
+
+points_tables = st.integers(50, 400).flatmap(
+    lambda n: st.builds(
+        lambda seed: _make_table(n, seed),
+        st.integers(0, 10_000),
+    )
+)
+
+
+def _make_table(n, seed):
+    rng = np.random.default_rng(seed)
+    return Table(
+        {
+            "x0": rng.uniform(0, 100, n),
+            "x1": rng.uniform(0, 100, n),
+            "value": rng.normal(size=n),
+        },
+        name="t",
+    )
+
+
+class TestIndexAgainstBruteForce:
+    @given(
+        st.integers(0, 5000),
+        st.floats(5, 95),
+        st.floats(5, 95),
+        st.floats(1, 30),
+    )
+    @settings(max_examples=25, deadline=None)
+    def test_grid_gather_equals_mask_count(self, seed, cx, cy, half):
+        from repro.bigdataless import AdHocMLEngine, DistributedGridIndex
+
+        table = _make_table(300, seed)
+        topo = ClusterTopology.single_datacenter(2)
+        store = DistributedStore(topo)
+        store.put_table(table, partitions_per_node=2)
+        index = DistributedGridIndex(store, "t", ("x0", "x1"), cells_per_dim=8)
+        index.build()
+        engine = AdHocMLEngine(store, index)
+        selection = RangeSelection.around(
+            ("x0", "x1"), [cx, cy], [half, half]
+        )
+        gathered, _ = engine.gather("t", selection, method="index")
+        assert gathered.n_rows == int(selection.mask(table).sum())
+
+    @given(st.integers(0, 5000), st.integers(1, 12))
+    @settings(max_examples=20, deadline=None)
+    def test_coordinator_knn_matches_reference(self, seed, k):
+        from repro.bigdataless import (
+            CoordinatorKNN,
+            DistributedGridIndex,
+            knn_reference,
+        )
+
+        table = _make_table(250, seed)
+        topo = ClusterTopology.single_datacenter(2)
+        store = DistributedStore(topo)
+        store.put_table(table, partitions_per_node=2)
+        index = DistributedGridIndex(store, "t", ("x0", "x1"), cells_per_dim=6)
+        index.build()
+        rng = np.random.default_rng(seed + 1)
+        q = rng.uniform(0, 100, size=2)
+        result, _ = CoordinatorKNN(store, index).query("t", q, k)
+        ref_idx = knn_reference(table, ("x0", "x1"), q, k)
+        ref_dists = np.sort(
+            np.linalg.norm(table.matrix(("x0", "x1"))[ref_idx] - q, axis=1)
+        )
+        assert np.allclose(np.sort(result.column("_dist")), ref_dists)
+
+
+class TestSelectionAlgebra:
+    @given(
+        st.floats(0, 100), st.floats(0, 100),
+        st.floats(0.1, 40), st.floats(0.1, 40),
+        st.integers(0, 3000),
+    )
+    @settings(max_examples=40, deadline=None)
+    def test_nested_ranges_select_subsets(self, cx, cy, big, shrink, seed):
+        table = _make_table(200, seed)
+        small = min(big, shrink)
+        outer = RangeSelection.around(("x0", "x1"), [cx, cy], [big, big])
+        inner = RangeSelection.around(("x0", "x1"), [cx, cy], [small, small])
+        outer_mask = outer.mask(table)
+        inner_mask = inner.mask(table)
+        assert np.all(outer_mask | ~inner_mask)  # inner => outer
+
+    @given(st.integers(0, 3000), st.floats(0.5, 30))
+    @settings(max_examples=30, deadline=None)
+    def test_radius_inside_its_bounding_box(self, seed, radius):
+        from repro.queries import RadiusSelection
+
+        table = _make_table(200, seed)
+        sphere = RadiusSelection(("x0", "x1"), [50.0, 50.0], radius)
+        lows, highs = sphere.bounding_box()
+        box = RangeSelection(("x0", "x1"), lows, highs)
+        sphere_mask = sphere.mask(table)
+        box_mask = box.mask(table)
+        assert np.all(box_mask | ~sphere_mask)  # sphere => box
+
+
+class TestExactEngineProperty:
+    @given(
+        st.floats(5, 95), st.floats(5, 95), st.floats(0.5, 40),
+        st.integers(0, 3000),
+    )
+    @settings(max_examples=15, deadline=None)
+    def test_distributed_count_equals_local_count(self, cx, cy, half, seed):
+        from repro.baselines import ExactEngine
+
+        table = _make_table(300, seed)
+        topo = ClusterTopology.single_datacenter(3)
+        store = DistributedStore(topo)
+        store.put_table(table, partitions_per_node=2)
+        query = AnalyticsQuery(
+            "t",
+            RangeSelection.around(("x0", "x1"), [cx, cy], [half, half]),
+            Count(),
+        )
+        answer, _ = ExactEngine(store).execute(query)
+        assert answer == query.evaluate(table)
+
+
+class TestCrackerSequenceProperty:
+    @given(
+        st.integers(0, 2000),
+        st.lists(
+            st.tuples(st.floats(0, 900), st.floats(1, 100)),
+            min_size=1,
+            max_size=8,
+        ),
+    )
+    @settings(max_examples=20, deadline=None)
+    def test_cracking_exact_across_random_sequences(self, seed, queries):
+        from repro.bigdataless import AdaptiveCrackingEngine, RawDataStore
+
+        topo = ClusterTopology.single_datacenter(2)
+        store = RawDataStore.synthetic(topo, 2000, seed=seed)
+        engine = AdaptiveCrackingEngine(store)
+        for lo, width in queries:
+            hi = lo + width
+            count, _ = engine.range_count(lo, hi)
+            assert count == store.true_range_count(lo, hi)

@@ -1,0 +1,118 @@
+"""Tests for distributed rank-join (reproducing the claims of [30])."""
+
+import numpy as np
+import pytest
+
+from repro.bigdataless import IndexedRankJoin, RankJoinBaseline, rank_join_reference
+from repro.cluster import ClusterTopology, DistributedStore
+from repro.common.errors import ConfigurationError
+from repro.data import Table, scored_relation
+
+
+@pytest.fixture(scope="module")
+def join_world():
+    topo = ClusterTopology.single_datacenter(4)
+    store = DistributedStore(topo)
+    r = scored_relation(20000, key_space=2000, seed=1, name="R")
+    s = scored_relation(20000, key_space=2000, seed=2, name="S")
+    store.put_table(r, partitions_per_node=2)
+    store.put_table(s, partitions_per_node=2)
+    indexed = IndexedRankJoin(store)
+    indexed.build_index("R")
+    indexed.build_index("S")
+    return store, r, s, indexed
+
+
+class TestReference:
+    def test_tiny_join_by_hand(self):
+        r = Table({"key": np.array([1, 2, 3]), "score": np.array([0.9, 0.5, 0.1])})
+        s = Table({"key": np.array([1, 2, 9]), "score": np.array([0.2, 0.8, 1.0])})
+        top = rank_join_reference(r, s, 2)
+        assert top[0] == (pytest.approx(1.3), 2)
+        assert top[1] == (pytest.approx(1.1), 1)
+
+    def test_no_matches_returns_empty(self):
+        r = Table({"key": np.array([1]), "score": np.array([1.0])})
+        s = Table({"key": np.array([2]), "score": np.array([1.0])})
+        assert rank_join_reference(r, s, 5) == []
+
+    def test_duplicate_keys_multiply(self):
+        r = Table({"key": np.array([1, 1]), "score": np.array([0.5, 0.4])})
+        s = Table({"key": np.array([1, 1]), "score": np.array([0.3, 0.2])})
+        top = rank_join_reference(r, s, 10)
+        assert len(top) == 4
+
+    def test_k_bounds_result(self):
+        r = scored_relation(100, key_space=10, seed=3)
+        s = scored_relation(100, key_space=10, seed=4)
+        assert len(rank_join_reference(r, s, 7)) == 7
+
+
+class TestCorrectness:
+    @pytest.mark.parametrize("k", [1, 5, 25])
+    def test_both_engines_match_reference(self, join_world, k):
+        store, r, s, indexed = join_world
+        expected = [round(score, 9) for score, _ in rank_join_reference(r, s, k)]
+        got_base, _ = RankJoinBaseline(store).query("R", "S", k)
+        got_index, _ = indexed.query("R", "S", k)
+        assert [round(score, 9) for score, _ in got_base] == expected
+        assert [round(score, 9) for score, _ in got_index] == expected
+
+    def test_scores_descending(self, join_world):
+        *_, indexed = join_world
+        results, _ = indexed.query("R", "S", 20)
+        scores = [s for s, _ in results]
+        assert scores == sorted(scores, reverse=True)
+
+    def test_unindexed_table_rejected(self, join_world):
+        store, *_ = join_world
+        fresh = IndexedRankJoin(store)
+        with pytest.raises(ConfigurationError):
+            fresh.query("R", "S", 5)
+
+    def test_invalid_k_rejected(self, join_world):
+        *_, indexed = join_world
+        with pytest.raises(ConfigurationError):
+            indexed.query("R", "S", 0)
+
+
+class TestCosts:
+    def test_indexed_reads_tiny_fraction(self, join_world):
+        store, r, s, indexed = join_world
+        _, base_report = RankJoinBaseline(store).query("R", "S", 10)
+        _, index_report = indexed.query("R", "S", 10)
+        assert index_report.bytes_scanned < base_report.bytes_scanned / 20
+        assert index_report.rows_examined < (r.n_rows + s.n_rows) / 20
+
+    def test_indexed_faster_and_cheaper(self, join_world):
+        store, *_ , indexed = join_world
+        _, base_report = RankJoinBaseline(store).query("R", "S", 10)
+        _, index_report = indexed.query("R", "S", 10)
+        assert index_report.elapsed_sec < base_report.elapsed_sec
+        assert index_report.dollars() < base_report.dollars()
+
+    def test_gap_grows_with_scale(self):
+        """The 'orders of magnitude' shape: speedup widens with data size."""
+        ratios = []
+        for n_rows in (2000, 20000):
+            topo = ClusterTopology.single_datacenter(4)
+            store = DistributedStore(topo)
+            store.put_table(
+                scored_relation(n_rows, key_space=n_rows // 10, seed=5, name="R"),
+                partitions_per_node=2,
+            )
+            store.put_table(
+                scored_relation(n_rows, key_space=n_rows // 10, seed=6, name="S"),
+                partitions_per_node=2,
+            )
+            indexed = IndexedRankJoin(store)
+            indexed.build_index("R")
+            indexed.build_index("S")
+            _, base = RankJoinBaseline(store).query("R", "S", 10)
+            _, idx = indexed.query("R", "S", 10)
+            ratios.append(base.bytes_scanned / max(1, idx.bytes_scanned))
+        assert ratios[1] > ratios[0]
+
+    def test_build_cost_reported(self, join_world):
+        *_, indexed = join_world
+        assert indexed.build_reports["R"].bytes_scanned > 0

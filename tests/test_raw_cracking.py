@@ -1,0 +1,172 @@
+"""Tests for raw-data analytics via adaptive cracking (RT2.3)."""
+
+import numpy as np
+import pytest
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from repro.bigdataless import (
+    AdaptiveCrackingEngine,
+    ColdScanEngine,
+    EagerETLEngine,
+    RawDataStore,
+)
+from repro.bigdataless.raw import _CrackedFile, RawFile
+from repro.cluster import ClusterTopology
+from repro.common import CostMeter
+
+
+@pytest.fixture(scope="module")
+def raw_world():
+    topo = ClusterTopology.single_datacenter(4)
+    store = RawDataStore.synthetic(topo, 20_000, files_per_node=2, seed=0)
+    return topo, store
+
+
+class TestRawStore:
+    def test_synthetic_layout(self, raw_world):
+        topo, store = raw_world
+        assert len(store.files) == 8
+        assert store.n_rows == 20_000
+        assert store.n_bytes > store.n_rows * 8  # raw encoding is wide
+
+    def test_true_range_count(self, raw_world):
+        _, store = raw_world
+        assert store.true_range_count(0.0, 1000.0) == store.n_rows
+        assert store.true_range_count(500.0, 500.0) == 0
+
+
+class TestColdScan:
+    def test_exact_and_expensive(self, raw_world):
+        _, store = raw_world
+        engine = ColdScanEngine(store)
+        count, report = engine.range_count(100.0, 300.0)
+        assert count == store.true_range_count(100.0, 300.0)
+        assert report.bytes_scanned == store.n_bytes
+
+    def test_every_query_pays_again(self, raw_world):
+        _, store = raw_world
+        engine = ColdScanEngine(store)
+        _, first = engine.range_count(100.0, 300.0)
+        _, second = engine.range_count(100.0, 300.0)
+        assert second.bytes_scanned == first.bytes_scanned
+
+
+class TestEagerETL:
+    def test_queries_fast_after_etl(self, raw_world):
+        _, store = raw_world
+        engine = EagerETLEngine(store)
+        etl_report = engine.etl()
+        assert etl_report.bytes_scanned == store.n_bytes
+        count, report = engine.range_count(100.0, 300.0)
+        assert count == store.true_range_count(100.0, 300.0)
+        assert report.bytes_scanned == 0
+        assert report.elapsed_sec < etl_report.elapsed_sec / 100
+
+    def test_query_before_etl_rejected(self, raw_world):
+        _, store = raw_world
+        with pytest.raises(Exception):
+            EagerETLEngine(store).range_count(0.0, 1.0)
+
+
+class TestCrackedFile:
+    def make_file(self, values):
+        return _CrackedFile(
+            RawFile("f", "n0", np.asarray(values, dtype=float))
+        )
+
+    def test_crack_partitions_rows(self):
+        cracked = self.make_file([5.0, 1.0, 9.0, 3.0, 7.0])
+        cracked.crack(5.0, CostMeter())
+        keys = cracked.raw.values[cracked.order]
+        split = cracked.positions[cracked.bounds.index(5.0)]
+        assert np.all(keys[:split] < 5.0)
+        assert np.all(keys[split:] >= 5.0)
+
+    def test_count_between_matches_truth(self):
+        rng = np.random.default_rng(1)
+        values = rng.uniform(0, 100, size=500)
+        cracked = self.make_file(values)
+        count, _ = cracked.count_between(20.0, 60.0, CostMeter())
+        assert count == int(((values >= 20.0) & (values < 60.0)).sum())
+
+    def test_repeated_cracks_idempotent(self):
+        cracked = self.make_file([1.0, 2.0, 3.0])
+        meter = CostMeter()
+        cracked.crack(2.0, meter)
+        pieces = cracked.n_pieces
+        assert cracked.crack(2.0, meter) == 0.0
+        assert cracked.n_pieces == pieces
+
+    def test_pieces_shrink_costs(self):
+        rng = np.random.default_rng(2)
+        cracked = self.make_file(rng.uniform(0, 100, size=2000))
+        meter = CostMeter()
+        first = cracked.count_between(10.0, 90.0, meter)[1]
+        later = cracked.count_between(40.0, 60.0, meter)[1]
+        assert later < first
+
+    @given(st.lists(st.floats(0, 100), min_size=2, max_size=60),
+           st.floats(10, 90), st.floats(10, 90))
+    @settings(max_examples=40, deadline=None)
+    def test_count_always_exact_property(self, values, a, b):
+        lo, hi = min(a, b), max(a, b)
+        cracked = self.make_file(values)
+        count, _ = cracked.count_between(lo, hi, CostMeter())
+        expected = int(
+            ((np.asarray(values) >= lo) & (np.asarray(values) < hi)).sum()
+        )
+        assert count == expected
+
+
+class TestAdaptiveCracking:
+    def test_exactness_across_query_sequence(self, raw_world):
+        _, store = raw_world
+        engine = AdaptiveCrackingEngine(store)
+        rng = np.random.default_rng(3)
+        for _ in range(25):
+            lo = float(rng.uniform(0, 900))
+            hi = lo + float(rng.uniform(1, 100))
+            count, _ = engine.range_count(lo, hi)
+            assert count == store.true_range_count(lo, hi)
+
+    def test_costs_decline_over_time(self, raw_world):
+        _, store = raw_world
+        engine = AdaptiveCrackingEngine(store)
+        rng = np.random.default_rng(4)
+        costs = []
+        for _ in range(30):
+            lo = float(rng.uniform(200, 700))
+            costs.append(engine.range_count(lo, lo + 50.0)[1].elapsed_sec)
+        assert np.mean(costs[-10:]) < np.mean(costs[:3]) / 5
+
+    def test_time_to_first_insight_beats_etl_pipeline(self, raw_world):
+        """Data-to-insight: cracking's first answer lands before the
+        eager pipeline (wrangle everything, then query) delivers one."""
+        _, store = raw_world
+        cracking = AdaptiveCrackingEngine(store)
+        _, first = cracking.range_count(100.0, 200.0)
+        eager = EagerETLEngine(store)
+        etl = eager.etl()
+        _, first_eager = eager.range_count(100.0, 200.0)
+        time_to_insight_eager = etl.elapsed_sec + first_eager.elapsed_sec
+        assert first.elapsed_sec < time_to_insight_eager
+
+    def test_pieces_accumulate(self, raw_world):
+        _, store = raw_world
+        engine = AdaptiveCrackingEngine(store)
+        engine.range_count(100.0, 200.0)
+        before = engine.n_pieces
+        engine.range_count(300.0, 400.0)
+        assert engine.n_pieces > before
+
+    def test_state_bytes_reported(self, raw_world):
+        _, store = raw_world
+        engine = AdaptiveCrackingEngine(store)
+        engine.range_count(100.0, 200.0)
+        assert engine.state_bytes() > 0
+
+    def test_inverted_range_rejected(self, raw_world):
+        _, store = raw_world
+        with pytest.raises(Exception):
+            AdaptiveCrackingEngine(store).range_count(10.0, 5.0)

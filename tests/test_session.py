@@ -1,0 +1,97 @@
+"""Tests for the high-level SEASession facade."""
+
+import numpy as np
+import pytest
+
+from repro import SEASession
+from repro.core import AgentConfig
+from repro.data import Table, gaussian_mixture_table
+
+
+@pytest.fixture(scope="module")
+def session_world():
+    session = SEASession(
+        n_nodes=4,
+        config=AgentConfig(training_budget=200, error_threshold=0.25),
+    )
+    table = gaussian_mixture_table(
+        20_000, dims=("x0", "x1"), seed=9, name="data"
+    )
+    session.load_table(table)
+    return session, table
+
+
+def sql_around(center, width):
+    return (
+        f"SELECT COUNT(*) FROM data "
+        f"WHERE x0 BETWEEN {center[0]-width:.4f} AND {center[0]+width:.4f} "
+        f"AND x1 BETWEEN {center[1]-width:.4f} AND {center[1]+width:.4f}"
+    )
+
+
+class TestSession:
+    def test_sql_roundtrip_answers_exactly_in_training(self, session_world):
+        session, table = session_world
+        answer = session.sql(sql_around([50.0, 50.0], 20.0))
+        assert answer.mode in ("train", "fallback", "predicted")
+        if answer.mode != "predicted":
+            from repro.queries import parse_query
+
+            truth = parse_query(sql_around([50.0, 50.0], 20.0)).evaluate(table)
+            assert answer.value == truth
+
+    def test_session_learns_to_serve_datalessly(self, session_world):
+        session, table = session_world
+        rng = np.random.default_rng(10)
+        anchor = table.matrix(("x0", "x1"))[5]
+        for _ in range(400):
+            center = anchor + rng.normal(scale=2.0, size=2)
+            session.sql(sql_around(center, float(rng.uniform(5, 9))))
+        stats = session.stats()
+        assert stats["dataless_fraction"] > 0.05
+        assert stats["estimated_seconds_saved"] > 0.0
+        assert stats["bytes_scanned_total"] > 0.0
+
+    def test_explanation_available(self, session_world):
+        session, table = session_world
+        answer = session.sql(sql_around([50.0, 50.0], 10.0))
+        explanation = answer.explanation
+        assert explanation.sweep.shape[0] >= 4
+        assert np.all(np.isfinite(explanation.answers))
+
+    def test_model_persistence_roundtrip(self, session_world, tmp_path):
+        session, table = session_world
+        path = str(tmp_path / "session.sea")
+        n_bytes = session.save_models(path)
+        assert n_bytes > 0
+        fresh = SEASession(
+            n_nodes=4,
+            config=AgentConfig(training_budget=0, error_threshold=0.25),
+        )
+        fresh.load_table(
+            gaussian_mixture_table(20_000, dims=("x0", "x1"), seed=9,
+                                   name="data")
+        )
+        assert fresh.load_models(path) >= 1
+
+    def test_csv_roundtrip(self, tmp_path):
+        session = SEASession(n_nodes=2)
+        original = gaussian_mixture_table(500, seed=11, name="data")
+        path = str(tmp_path / "data.csv")
+        original.to_csv(path)
+        loaded = session.load_csv(path, name="data")
+        assert loaded.n_rows == 500
+        assert set(loaded.column_names) == set(original.column_names)
+        assert np.allclose(
+            np.sort(loaded["x0"]), np.sort(original["x0"]), rtol=1e-9
+        )
+        answer = session.sql(
+            "SELECT COUNT(*) FROM data WHERE x0 BETWEEN 0 AND 100 "
+            "AND x1 BETWEEN 0 AND 100"
+        )
+        assert answer.value == 500.0
+
+    def test_notify_update_reaches_agent(self, session_world):
+        session, _ = session_world
+        # Outside every queried region: nothing to invalidate.
+        assert session.notify_update("data", [1e6, 1e6], [2e6, 2e6]) == 0

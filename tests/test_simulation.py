@@ -1,0 +1,105 @@
+"""Tests for the event-driven arrival simulators (repro.engine.simulation)."""
+
+import numpy as np
+import pytest
+
+from repro.common.errors import ConfigurationError
+from repro.engine import ClosedLoopSimulator, OpenLoopSimulator
+
+
+class TestOpenLoop:
+    def test_low_load_response_near_service_time(self):
+        sim = OpenLoopSimulator.deterministic(n_servers=4, service_sec=0.1, seed=0)
+        result = sim.run(arrival_rate=1.0, n_jobs=2000)
+        assert result.mean_response == pytest.approx(0.1, rel=0.1)
+        assert result.utilisation < 0.1
+
+    def test_utilisation_matches_theory(self):
+        # rho = lambda * s / c
+        sim = OpenLoopSimulator.deterministic(n_servers=2, service_sec=0.1, seed=1)
+        result = sim.run(arrival_rate=10.0, n_jobs=5000)
+        assert result.utilisation == pytest.approx(0.5, abs=0.05)
+
+    def test_response_time_blows_up_past_saturation(self):
+        sim = OpenLoopSimulator.deterministic(n_servers=1, service_sec=0.1, seed=2)
+        stable = sim.run(arrival_rate=5.0, n_jobs=3000).mean_response
+        overloaded = OpenLoopSimulator.deterministic(
+            n_servers=1, service_sec=0.1, seed=2
+        ).run(arrival_rate=20.0, n_jobs=3000).mean_response
+        assert overloaded > stable * 10
+
+    def test_matches_mdc_approximation_moderate_load(self):
+        """The analytic shortcut used by E3 agrees with the exact queue."""
+        from repro.engine import mdc_response_time
+
+        service, servers, rate = 0.2, 4, 10.0
+        sim = OpenLoopSimulator.deterministic(servers, service, seed=3)
+        simulated = sim.run(rate, n_jobs=20000).mean_response
+        approx, _ = mdc_response_time(rate, service, servers)
+        assert simulated == pytest.approx(approx, rel=0.5)
+
+    def test_mixture_sampler(self):
+        sim = OpenLoopSimulator.mixture(
+            n_servers=2, demands=[0.001, 0.1], weights=[0.9, 0.1], seed=4
+        )
+        result = sim.run(arrival_rate=5.0, n_jobs=5000)
+        expected_mean_service = 0.9 * 0.001 + 0.1 * 0.1
+        assert result.mean_response == pytest.approx(
+            expected_mean_service, rel=0.5
+        )
+
+    def test_throughput_equals_arrival_rate_when_stable(self):
+        sim = OpenLoopSimulator.deterministic(n_servers=4, service_sec=0.05, seed=5)
+        result = sim.run(arrival_rate=10.0, n_jobs=5000)
+        assert result.throughput == pytest.approx(10.0, rel=0.1)
+
+    def test_invalid_parameters_rejected(self):
+        with pytest.raises(ConfigurationError):
+            OpenLoopSimulator.deterministic(0, 0.1)
+        sim = OpenLoopSimulator.deterministic(1, 0.1)
+        with pytest.raises(ConfigurationError):
+            sim.run(arrival_rate=0.0)
+
+
+class TestClosedLoop:
+    def test_all_queries_complete(self):
+        sim = ClosedLoopSimulator(
+            n_servers=2,
+            service_sampler=lambda rng: 0.05,
+            think_time_sec=0.5,
+            seed=6,
+        )
+        result = sim.run(n_analysts=8, queries_per_analyst=20)
+        assert result.completed == 8 * 20
+
+    def test_more_analysts_raise_utilisation(self):
+        def run(m):
+            sim = ClosedLoopSimulator(
+                n_servers=2,
+                service_sampler=lambda rng: 0.1,
+                think_time_sec=0.2,
+                seed=7,
+            )
+            return sim.run(n_analysts=m, queries_per_analyst=30).utilisation
+
+        assert run(16) > run(2)
+
+    def test_fast_service_keeps_waits_negligible(self):
+        sim = ClosedLoopSimulator(
+            n_servers=4,
+            service_sampler=lambda rng: 0.001,  # the data-less agent
+            think_time_sec=0.1,
+            seed=8,
+        )
+        result = sim.run(n_analysts=64, queries_per_analyst=20)
+        assert result.mean_response < 0.01
+
+    def test_slow_service_queues_large_populations(self):
+        sim = ClosedLoopSimulator(
+            n_servers=4,
+            service_sampler=lambda rng: 0.15,  # the exact engine
+            think_time_sec=0.1,
+            seed=9,
+        )
+        result = sim.run(n_analysts=64, queries_per_analyst=20)
+        assert result.waits.mean() > 0.1  # analysts visibly queue

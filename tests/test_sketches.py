@@ -1,0 +1,221 @@
+"""Tests for count-min sketches, dyadic range counts, reservoir sampling,
+and the sketch-based AQP baseline ([16])."""
+
+import numpy as np
+import pytest
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from repro.baselines import SketchAQPEngine
+from repro.cluster import ClusterTopology, DistributedStore
+from repro.common.errors import ConfigurationError
+from repro.data import Table, uniform_table
+from repro.ml import CountMinSketch, DyadicCountMin, ReservoirSample
+from repro.queries import AnalyticsQuery, Count, Mean, RangeSelection
+
+
+class TestCountMinSketch:
+    def test_never_undercounts(self):
+        sketch = CountMinSketch(width=64, depth=4, seed=0)
+        rng = np.random.default_rng(1)
+        keys = rng.integers(0, 1000, size=2000)
+        truth = {}
+        for key in keys:
+            sketch.add(int(key))
+            truth[int(key)] = truth.get(int(key), 0) + 1
+        for key, count in truth.items():
+            assert sketch.estimate(key) >= count
+
+    def test_epsilon_bound_holds_mostly(self):
+        epsilon, delta = 0.01, 0.01
+        sketch = CountMinSketch.from_error_bounds(epsilon, delta, seed=2)
+        rng = np.random.default_rng(3)
+        keys = rng.zipf(1.5, size=5000) % 500
+        truth = {}
+        for key in keys:
+            sketch.add(int(key))
+            truth[int(key)] = truth.get(int(key), 0) + 1
+        overshoots = [
+            sketch.estimate(k) - c for k, c in truth.items()
+        ]
+        bound = epsilon * sketch.total
+        violations = sum(1 for o in overshoots if o > bound)
+        assert violations <= max(2, delta * len(truth) * 3)
+
+    def test_unseen_key_estimate_small(self):
+        sketch = CountMinSketch(width=512, depth=5, seed=4)
+        for key in range(100):
+            sketch.add(key)
+        assert sketch.estimate(99_999) <= 2
+
+    def test_weighted_add(self):
+        sketch = CountMinSketch(seed=5)
+        sketch.add(7, count=42)
+        assert sketch.estimate(7) >= 42
+
+    def test_merge_is_additive(self):
+        a = CountMinSketch(width=128, depth=4, seed=6)
+        b = CountMinSketch(width=128, depth=4, seed=6)
+        a.add(1, 10)
+        b.add(1, 5)
+        b.add(2, 7)
+        merged = a.merge(b)
+        assert merged.estimate(1) >= 15
+        assert merged.total == 22
+
+    def test_merge_mismatched_rejected(self):
+        a = CountMinSketch(width=128, depth=4, seed=7)
+        b = CountMinSketch(width=64, depth=4, seed=7)
+        with pytest.raises(ConfigurationError):
+            a.merge(b)
+        c = CountMinSketch(width=128, depth=4, seed=8)
+        with pytest.raises(ConfigurationError):
+            a.merge(c)
+
+    def test_state_bytes(self):
+        assert CountMinSketch(width=100, depth=3).state_bytes() >= 100 * 3 * 8
+
+
+class TestDyadicCountMin:
+    def test_range_count_never_undercounts(self):
+        synopsis = DyadicCountMin(levels=10, width=512, seed=9)
+        rng = np.random.default_rng(10)
+        values = rng.integers(0, 1024, size=3000)
+        for value in values:
+            synopsis.add(int(value))
+        for lo, hi in ((0, 1023), (100, 200), (512, 600), (7, 7)):
+            truth = int(((values >= lo) & (values <= hi)).sum())
+            assert synopsis.range_count(lo, hi) >= truth
+
+    def test_full_domain_matches_total(self):
+        synopsis = DyadicCountMin(levels=8, width=512, seed=11)
+        for value in range(200):
+            synopsis.add(value)
+        assert synopsis.range_count(0, 255) >= 200
+
+    def test_empty_and_inverted_ranges(self):
+        synopsis = DyadicCountMin(levels=6, seed=12)
+        synopsis.add(10)
+        assert synopsis.range_count(20, 10) == 0
+
+    def test_out_of_domain_rejected(self):
+        synopsis = DyadicCountMin(levels=4, seed=13)
+        with pytest.raises(ConfigurationError):
+            synopsis.add(16)
+        with pytest.raises(ConfigurationError):
+            synopsis.range_count(0, 16)
+
+    @given(st.lists(st.integers(0, 255), min_size=1, max_size=200),
+           st.integers(0, 255), st.integers(0, 255))
+    @settings(max_examples=40, deadline=None)
+    def test_range_upper_bound_property(self, values, a, b):
+        lo, hi = min(a, b), max(a, b)
+        synopsis = DyadicCountMin(levels=8, width=256, seed=14)
+        for value in values:
+            synopsis.add(value)
+        truth = sum(1 for v in values if lo <= v <= hi)
+        assert synopsis.range_count(lo, hi) >= truth
+
+    def test_decomposition_covers_range_exactly(self):
+        synopsis = DyadicCountMin(levels=6, seed=15)
+        covered = []
+        for level, start, length in synopsis._decompose(13, 47):
+            covered.extend(range(start, start + length))
+        assert covered == list(range(13, 47))
+
+
+class TestReservoirSample:
+    def test_keeps_everything_up_to_capacity(self):
+        reservoir = ReservoirSample(capacity=10, seed=0)
+        for i in range(7):
+            reservoir.add(i)
+        assert sorted(reservoir.sample) == list(range(7))
+
+    def test_capacity_bounded(self):
+        reservoir = ReservoirSample(capacity=10, seed=1)
+        for i in range(1000):
+            reservoir.add(i)
+        assert len(reservoir.sample) == 10
+        assert reservoir.n_seen == 1000
+
+    def test_sampling_is_approximately_uniform(self):
+        hits = np.zeros(100)
+        for seed in range(300):
+            reservoir = ReservoirSample(capacity=10, seed=seed)
+            for i in range(100):
+                reservoir.add(i)
+            for item in reservoir.sample:
+                hits[item] += 1
+        # Every position sampled sometimes; no position hoards.
+        assert hits.min() > 0
+        assert hits.max() < hits.mean() * 3
+
+    def test_scale_up(self):
+        reservoir = ReservoirSample(capacity=10, seed=2)
+        for i in range(100):
+            reservoir.add(i)
+        assert reservoir.scale_up(5.0) == pytest.approx(50.0)
+
+
+class TestSketchAQPEngine:
+    @pytest.fixture(scope="class")
+    def engine_world(self):
+        topo = ClusterTopology.single_datacenter(4)
+        store = DistributedStore(topo)
+        table = uniform_table(20_000, dims=("x0",), seed=16, name="data")
+        store.put_table(table, partitions_per_node=2)
+        engine = SketchAQPEngine(store, "data", "x0", levels=12)
+        engine.build()
+        return store, table, engine
+
+    def query(self, lo, hi):
+        return AnalyticsQuery(
+            "data", RangeSelection(("x0",), [lo], [hi]), Count()
+        )
+
+    def test_estimates_close_and_biased_up(self, engine_world):
+        store, table, engine = engine_world
+        rng = np.random.default_rng(17)
+        rel_errors = []
+        for _ in range(20):
+            lo = float(rng.uniform(0, 60))
+            hi = lo + float(rng.uniform(5, 40))
+            query = self.query(lo, hi)
+            truth = query.evaluate(table)
+            estimate, _ = engine.execute(query)
+            assert estimate >= truth * 0.95  # upward-biased (bucket edges)
+            rel_errors.append(abs(estimate - truth) / max(truth, 1.0))
+        assert np.median(rel_errors) < 0.1
+
+    def test_query_cost_is_negligible(self, engine_world):
+        store, table, engine = engine_world
+        _, report = engine.execute(self.query(10.0, 50.0))
+        assert report.bytes_scanned == 0
+        assert report.elapsed_sec < 1e-3
+
+    def test_build_scans_table_once(self, engine_world):
+        store, _, engine = engine_world
+        assert engine.build_report.bytes_scanned == store.table("data").n_bytes
+
+    def test_rejects_unsupported_queries(self, engine_world):
+        _, _, engine = engine_world
+        with pytest.raises(ConfigurationError):
+            engine.execute(
+                AnalyticsQuery(
+                    "data", RangeSelection(("x0",), [0.0], [1.0]), Mean("value")
+                )
+            )
+        with pytest.raises(ConfigurationError):
+            engine.execute(
+                AnalyticsQuery(
+                    "data",
+                    RangeSelection(("x0", "value"), [0, 0], [1, 1]),
+                    Count(),
+                )
+            )
+
+    def test_state_far_smaller_than_data(self, engine_world):
+        store, _, engine = engine_world
+        # A synopsis trades accuracy for a compact, mergeable summary.
+        assert engine.state_bytes() < store.table("data").n_bytes * 60
+        assert engine.state_bytes() > 0

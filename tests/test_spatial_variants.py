@@ -1,0 +1,235 @@
+"""Tests for spatial joins and kNN variants (RT2.1)."""
+
+import numpy as np
+import pytest
+
+from repro.bigdataless import (
+    ApproximateKNN,
+    DistanceJoinBaseline,
+    DistributedGridIndex,
+    IndexedDistanceJoin,
+    IndexedKNNJoin,
+    KNNJoinBaseline,
+    ReverseKNN,
+    distance_join_reference,
+    knn_join_reference,
+    reverse_knn_reference,
+)
+from repro.cluster import ClusterTopology, DistributedStore
+from repro.common.errors import ConfigurationError
+from repro.data import Table, gaussian_mixture_table, uniform_table
+
+
+@pytest.fixture(scope="module")
+def join_world():
+    topo = ClusterTopology.single_datacenter(4)
+    store = DistributedStore(topo)
+    s_table = gaussian_mixture_table(5000, dims=("x0", "x1"), seed=1, name="S")
+    r_table = uniform_table(50, dims=("x0", "x1"), seed=2, name="R")
+    store.put_table(s_table, partitions_per_node=2)
+    store.put_table(r_table, partitions_per_node=1)
+    index = DistributedGridIndex(store, "S", ("x0", "x1"), cells_per_dim=20)
+    index.build()
+    return store, s_table, r_table, index
+
+
+class TestKNNJoin:
+    @pytest.mark.parametrize("k", [1, 5])
+    def test_both_engines_match_reference(self, join_world, k):
+        store, s_table, r_table, index = join_world
+        reference = knn_join_reference(r_table, s_table, ("x0", "x1"), k)
+        baseline, _ = KNNJoinBaseline(store, ("x0", "x1")).query("R", "S", k)
+        indexed, _ = IndexedKNNJoin(store, index).query("R", "S", k)
+        assert baseline == reference
+        assert indexed == reference
+
+    def test_every_probe_answered(self, join_world):
+        store, s_table, r_table, index = join_world
+        results, _ = IndexedKNNJoin(store, index).query("R", "S", 3)
+        assert set(results) == set(range(r_table.n_rows))
+        assert all(len(v) == 3 for v in results.values())
+
+    def test_localized_probes_read_far_less(self):
+        """Probes clustered in one corner touch only that corner of S."""
+        topo = ClusterTopology.single_datacenter(4)
+        store = DistributedStore(topo)
+        s_table = uniform_table(8000, dims=("x0", "x1"), seed=3, name="S")
+        rng = np.random.default_rng(4)
+        r_table = Table(
+            {
+                "x0": rng.uniform(10, 20, size=30),
+                "x1": rng.uniform(10, 20, size=30),
+            },
+            name="R",
+        )
+        store.put_table(s_table, partitions_per_node=2)
+        store.put_table(r_table, partitions_per_node=1)
+        index = DistributedGridIndex(store, "S", ("x0", "x1"), cells_per_dim=24)
+        index.build()
+        _, base_report = KNNJoinBaseline(store, ("x0", "x1")).query("R", "S", 5)
+        _, index_report = IndexedKNNJoin(store, index).query("R", "S", 5)
+        assert index_report.bytes_scanned < base_report.bytes_scanned / 3
+
+    def test_wrong_index_table_rejected(self, join_world):
+        store, *_ , index = join_world
+        with pytest.raises(ConfigurationError):
+            IndexedKNNJoin(store, index).query("R", "R", 3)
+
+
+class TestDistanceJoin:
+    @pytest.mark.parametrize("epsilon", [0.5, 2.0])
+    def test_both_engines_match_reference(self, join_world, epsilon):
+        store, s_table, r_table, index = join_world
+        reference = distance_join_reference(
+            r_table, s_table, ("x0", "x1"), epsilon
+        )
+        baseline, _ = DistanceJoinBaseline(store, ("x0", "x1")).query(
+            "R", "S", epsilon
+        )
+        indexed, _ = IndexedDistanceJoin(store, index).query("R", "S", epsilon)
+        assert baseline == reference
+        assert indexed == reference
+
+    def test_zero_epsilon_matches_exact_points(self, join_world):
+        store, s_table, r_table, index = join_world
+        pairs, _ = IndexedDistanceJoin(store, index).query("R", "S", 0.0)
+        for r_id, s_id in pairs:
+            r_point = r_table.matrix(("x0", "x1"))[r_id]
+            s_point = s_table.matrix(("x0", "x1"))[s_id]
+            assert np.allclose(r_point, s_point)
+
+    def test_indexed_reads_less(self, join_world):
+        store, *_ , index = join_world
+        _, base_report = DistanceJoinBaseline(store, ("x0", "x1")).query(
+            "R", "S", 1.0
+        )
+        _, index_report = IndexedDistanceJoin(store, index).query("R", "S", 1.0)
+        assert index_report.bytes_scanned < base_report.bytes_scanned
+
+    def test_larger_epsilon_finds_superset(self, join_world):
+        store, *_ , index = join_world
+        small, _ = IndexedDistanceJoin(store, index).query("R", "S", 0.5)
+        large, _ = IndexedDistanceJoin(store, index).query("R", "S", 2.0)
+        assert small <= large
+
+
+class TestReverseKNN:
+    @pytest.mark.parametrize("k", [1, 4])
+    def test_matches_reference(self, join_world, k):
+        store, s_table, _, index = join_world
+        operator = ReverseKNN(store, index)
+        rng = np.random.default_rng(5)
+        points = s_table.matrix(("x0", "x1"))
+        for _ in range(4):
+            q = points[int(rng.integers(s_table.n_rows))] + rng.normal(
+                scale=0.5, size=2
+            )
+            got, _ = operator.query("S", q, k)
+            want = reverse_knn_reference(s_table, ("x0", "x1"), q, k)
+            assert got == want
+
+    def test_point_in_dense_region_has_reverse_neighbours(self, join_world):
+        store, s_table, _, index = join_world
+        operator = ReverseKNN(store, index)
+        dense = s_table.matrix(("x0", "x1")).mean(axis=0)
+        # A query in empty space is rarely anyone's near neighbour; one
+        # sitting on a data point usually is.
+        on_point = s_table.matrix(("x0", "x1"))[0]
+        got, _ = operator.query("S", on_point, 8)
+        assert len(got) >= 1
+
+    def test_non_2d_index_rejected(self):
+        topo = ClusterTopology.single_datacenter(2)
+        store = DistributedStore(topo)
+        table = uniform_table(500, dims=("a", "b", "c"), seed=6, name="T")
+        store.put_table(table)
+        index = DistributedGridIndex(store, "T", ("a", "b", "c"), cells_per_dim=8)
+        index.build()
+        with pytest.raises(ConfigurationError):
+            ReverseKNN(store, index)
+
+
+class TestApproximateKNN:
+    def test_dense_region_matches_exact(self, join_world):
+        store, s_table, _, index = join_world
+        from repro.bigdataless import CoordinatorKNN
+
+        approx = ApproximateKNN(store, index)
+        exact = CoordinatorKNN(store, index)
+        dense = s_table.matrix(("x0", "x1")).mean(axis=0)
+        a_rows, radius, a_report = approx.query("S", dense, 10)
+        e_rows, e_report = exact.query("S", dense, 10)
+        # In dense regions the single round already covers the answer.
+        if a_rows.n_rows == 10 and float(a_rows["_dist"].max()) <= radius:
+            assert np.allclose(
+                np.sort(a_rows["_dist"]), np.sort(e_rows["_dist"])
+            )
+
+    def test_returned_distances_within_certified_radius_are_exact(
+        self, join_world
+    ):
+        store, s_table, _, index = join_world
+        approx = ApproximateKNN(store, index)
+        q = s_table.matrix(("x0", "x1"))[42]
+        rows, radius, _ = approx.query("S", q, 5)
+        # Every candidate inside the radius is genuinely among the nearest
+        # within that radius (verified against the full table).
+        points = s_table.matrix(("x0", "x1"))
+        dist = np.linalg.norm(points - q, axis=1)
+        truth_within = np.sort(dist[dist <= radius])[: rows.n_rows]
+        got = np.sort(rows["_dist"])
+        within = got <= radius
+        assert np.allclose(got[within], truth_within[: within.sum()])
+
+    def test_single_round_cheaper_than_exact_in_sparse_corner(self):
+        topo = ClusterTopology.single_datacenter(4)
+        store = DistributedStore(topo)
+        table = gaussian_mixture_table(
+            6000, dims=("x0", "x1"), n_components=1, seed=7, name="S"
+        )
+        store.put_table(table, partitions_per_node=2)
+        index = DistributedGridIndex(store, "S", ("x0", "x1"), cells_per_dim=20)
+        index.build()
+        from repro.bigdataless import CoordinatorKNN
+
+        sparse = np.array([1.0, 1.0])
+        _, _, approx_report = ApproximateKNN(store, index).query("S", sparse, 10)
+        _, exact_report = CoordinatorKNN(store, index).query("S", sparse, 10)
+        assert approx_report.elapsed_sec <= exact_report.elapsed_sec
+
+
+class TestAllPairKNN:
+    def test_matches_per_row_reference(self):
+        from repro.bigdataless import AllPairKNN
+
+        topo = ClusterTopology.single_datacenter(2)
+        store = DistributedStore(topo)
+        table = gaussian_mixture_table(600, dims=("x0", "x1"), seed=8, name="P")
+        store.put_table(table, partitions_per_node=2)
+        index = DistributedGridIndex(store, "P", ("x0", "x1"), cells_per_dim=12)
+        index.build()
+        results, report = AllPairKNN(store, index).query("P", 3)
+        assert set(results) == set(range(600))
+        points = table.matrix(("x0", "x1"))
+        rng = np.random.default_rng(9)
+        for row in rng.choice(600, size=15, replace=False):
+            diff = points - points[row]
+            dist = np.sqrt(np.einsum("ij,ij->i", diff, diff))
+            dist[row] = np.inf  # exclude self
+            expected = sorted(int(j) for j in np.argsort(dist)[:3])
+            assert results[int(row)] == expected
+        assert report.bytes_scanned > 0
+
+    def test_self_excluded(self):
+        from repro.bigdataless import AllPairKNN
+
+        topo = ClusterTopology.single_datacenter(2)
+        store = DistributedStore(topo)
+        table = uniform_table(100, dims=("x0", "x1"), seed=10, name="P")
+        store.put_table(table)
+        index = DistributedGridIndex(store, "P", ("x0", "x1"), cells_per_dim=8)
+        index.build()
+        results, _ = AllPairKNN(store, index).query("P", 2)
+        for row, neighbours in results.items():
+            assert row not in neighbours
+            assert len(neighbours) == 2

@@ -1,0 +1,210 @@
+"""Tests for the SQL-like front end (repro.queries.sql)."""
+
+import numpy as np
+import pytest
+
+from repro.common.errors import QueryError
+from repro.data import Table
+from repro.queries import parse_query
+from repro.queries.aggregates import (
+    Correlation,
+    Count,
+    Max,
+    Mean,
+    Median,
+    Min,
+    Quantile,
+    RegressionCoefficients,
+    Std,
+    Sum,
+    Variance,
+)
+
+
+@pytest.fixture
+def table():
+    rng = np.random.default_rng(0)
+    return Table(
+        {
+            "x0": rng.uniform(0, 100, 2000),
+            "x1": rng.uniform(0, 100, 2000),
+            "value": rng.normal(size=2000),
+        },
+        name="sensors",
+    )
+
+
+class TestParsing:
+    def test_count_star(self):
+        query = parse_query("SELECT COUNT(*) FROM sensors WHERE x0 BETWEEN 0 AND 10")
+        assert isinstance(query.aggregate, Count)
+        assert query.table_name == "sensors"
+
+    def test_between_bounds(self):
+        query = parse_query(
+            "SELECT COUNT(*) FROM t WHERE x0 BETWEEN 10 AND 20"
+        )
+        sel = query.selection
+        assert sel.columns == ("x0",)
+        assert sel.lows.tolist() == [10.0]
+        assert sel.highs.tolist() == [20.0]
+
+    def test_comparison_pairs_form_box(self):
+        query = parse_query(
+            "SELECT COUNT(*) FROM t WHERE x0 >= 10 AND x0 <= 20 AND x1 > 5 AND x1 < 8"
+        )
+        sel = query.selection
+        assert sel.columns == ("x0", "x1")
+        assert sel.lows.tolist() == [10.0, 5.0]
+        assert sel.highs.tolist() == [20.0, 8.0]
+
+    def test_open_ended_comparison_clamps(self):
+        query = parse_query("SELECT COUNT(*) FROM t WHERE x0 >= 42")
+        sel = query.selection
+        assert sel.lows[0] == 42.0
+        assert sel.highs[0] > 1e17
+
+    def test_mixed_between_and_compare(self):
+        query = parse_query(
+            "SELECT SUM(value) FROM t WHERE x0 BETWEEN 1 AND 2 AND x1 <= 9"
+        )
+        assert isinstance(query.aggregate, Sum)
+        assert query.selection.columns == ("x0", "x1")
+
+    @pytest.mark.parametrize(
+        "sql,kind",
+        [
+            ("SELECT SUM(value) FROM t WHERE x0 >= 0", Sum),
+            ("SELECT AVG(value) FROM t WHERE x0 >= 0", Mean),
+            ("SELECT MEAN(value) FROM t WHERE x0 >= 0", Mean),
+            ("SELECT MIN(value) FROM t WHERE x0 >= 0", Min),
+            ("SELECT MAX(value) FROM t WHERE x0 >= 0", Max),
+            ("SELECT STD(value) FROM t WHERE x0 >= 0", Std),
+            ("SELECT VAR(value) FROM t WHERE x0 >= 0", Variance),
+            ("SELECT MEDIAN(value) FROM t WHERE x0 >= 0", Median),
+        ],
+    )
+    def test_single_column_aggregates(self, sql, kind):
+        assert isinstance(parse_query(sql).aggregate, kind)
+
+    def test_quantile(self):
+        query = parse_query(
+            "SELECT QUANTILE(value, 0.75) FROM t WHERE x0 >= 0"
+        )
+        assert isinstance(query.aggregate, Quantile)
+        assert query.aggregate.q == 0.75
+
+    def test_corr(self):
+        query = parse_query("SELECT CORR(x0, value) FROM t WHERE x1 >= 0")
+        assert isinstance(query.aggregate, Correlation)
+
+    def test_regr(self):
+        query = parse_query(
+            "SELECT REGR(value; x0, x1) FROM t WHERE x0 BETWEEN 0 AND 1"
+        )
+        assert isinstance(query.aggregate, RegressionCoefficients)
+        assert query.aggregate.features == ("x0", "x1")
+        assert query.answer_dim == 3
+
+    def test_case_insensitive_and_trailing_semicolon(self):
+        query = parse_query(
+            "select count(*) from t where x0 between 1 and 2;"
+        )
+        assert isinstance(query.aggregate, Count)
+
+    def test_contradictory_bounds_rejected(self):
+        with pytest.raises(QueryError, match="contradictory"):
+            parse_query("SELECT COUNT(*) FROM t WHERE x0 >= 10 AND x0 <= 5")
+
+    def test_missing_where_rejected(self):
+        with pytest.raises(QueryError):
+            parse_query("SELECT COUNT(*) FROM t")
+
+    def test_garbage_rejected(self):
+        with pytest.raises(QueryError):
+            parse_query("DROP TABLE students")
+
+    def test_unsupported_aggregate_rejected(self):
+        with pytest.raises(QueryError):
+            parse_query("SELECT MODE(value) FROM t WHERE x0 >= 0")
+
+    def test_count_of_column_rejected(self):
+        with pytest.raises(QueryError):
+            parse_query("SELECT COUNT(value) FROM t WHERE x0 >= 0")
+
+    def test_dangling_between_rejected(self):
+        with pytest.raises(QueryError):
+            parse_query("SELECT COUNT(*) FROM t WHERE x0 BETWEEN 5")
+
+    def test_corr_arity_rejected(self):
+        with pytest.raises(QueryError):
+            parse_query("SELECT CORR(x0) FROM t WHERE x0 >= 0")
+
+
+class TestSemantics:
+    def test_count_matches_manual(self, table):
+        query = parse_query(
+            "SELECT COUNT(*) FROM sensors WHERE x0 BETWEEN 10 AND 60 "
+            "AND x1 BETWEEN 20 AND 80"
+        )
+        manual = (
+            (table["x0"] >= 10)
+            & (table["x0"] <= 60)
+            & (table["x1"] >= 20)
+            & (table["x1"] <= 80)
+        ).sum()
+        assert query.evaluate(table) == float(manual)
+
+    def test_avg_matches_numpy(self, table):
+        query = parse_query(
+            "SELECT AVG(value) FROM sensors WHERE x0 <= 50"
+        )
+        expected = table["value"][table["x0"] <= 50].mean()
+        assert query.evaluate(table) == pytest.approx(expected)
+
+    def test_parsed_query_works_with_agent(self, table):
+        """SQL text all the way through the data-less agent."""
+        from repro.baselines import ExactEngine
+        from repro.cluster import ClusterTopology, DistributedStore
+        from repro.core import AgentConfig, SEAAgent
+
+        topo = ClusterTopology.single_datacenter(2)
+        store = DistributedStore(topo)
+        store.put_table(table)
+        agent = SEAAgent(ExactEngine(store), AgentConfig(training_budget=10))
+        record = agent.submit(
+            parse_query(
+                "SELECT COUNT(*) FROM sensors WHERE x0 BETWEEN 20 AND 60 "
+                "AND x1 BETWEEN 20 AND 60"
+            )
+        )
+        assert record.answer == parse_query(
+            "SELECT COUNT(*) FROM sensors WHERE x0 BETWEEN 20 AND 60 "
+            "AND x1 BETWEEN 20 AND 60"
+        ).evaluate(table)
+
+
+class TestSQLProperty:
+    from hypothesis import given, settings
+    from hypothesis import strategies as st
+
+    @given(
+        st.floats(-1000, 1000),
+        st.floats(0.001, 500),
+        st.floats(-1000, 1000),
+        st.floats(0.001, 500),
+    )
+    @settings(max_examples=50, deadline=None)
+    def test_between_roundtrip_property(self, lo0, w0, lo1, w1):
+        """Any generated BETWEEN statement parses back to its own bounds."""
+        sql = (
+            f"SELECT COUNT(*) FROM t WHERE a BETWEEN {lo0!r} AND {lo0 + w0!r} "
+            f"AND b BETWEEN {lo1!r} AND {lo1 + w1!r}"
+        )
+        query = parse_query(sql)
+        sel = query.selection
+        bounds = dict(zip(sel.columns, zip(sel.lows, sel.highs)))
+        assert bounds["a"][0] == pytest.approx(lo0)
+        assert bounds["a"][1] == pytest.approx(lo0 + w0)
+        assert bounds["b"][0] == pytest.approx(lo1)
+        assert bounds["b"][1] == pytest.approx(lo1 + w1)

@@ -1,0 +1,225 @@
+"""Tests for subgraph matching and the semantic graph cache ([34], [35])."""
+
+import numpy as np
+import pytest
+
+from repro.bigdataless import GraphStore, SemanticGraphCache, SubgraphMatcher
+from repro.bigdataless.subgraph import QueryGraph
+from repro.cluster import ClusterTopology
+from repro.common import CostMeter
+
+
+def triangle_store():
+    """A small hand-built graph: one labelled triangle plus a path."""
+    topo = ClusterTopology.single_datacenter(2)
+    labels = ["A", "B", "C", "A", "B"]
+    edges = [(0, 1), (1, 2), (2, 0), (3, 4)]
+    return GraphStore(topo, labels, edges)
+
+
+class TestQueryGraph:
+    def test_canonical_key_isomorphism_invariant(self):
+        a = QueryGraph(["A", "B"], [(0, 1)])
+        b = QueryGraph(["B", "A"], [(0, 1)])
+        assert a.canonical_key() == b.canonical_key()
+
+    def test_canonical_key_distinguishes_structures(self):
+        path = QueryGraph(["A", "A", "A"], [(0, 1), (1, 2)])
+        triangle = QueryGraph(["A", "A", "A"], [(0, 1), (1, 2), (2, 0)])
+        assert path.canonical_key() != triangle.canonical_key()
+
+    def test_contains_pattern_finds_embedding(self):
+        host = QueryGraph(["A", "B", "C"], [(0, 1), (1, 2), (2, 0)])
+        pattern = QueryGraph(["A", "B"], [(0, 1)])
+        mapping = host.contains_pattern(pattern)
+        assert mapping is not None
+        assert host.labels[mapping[0]] == "A"
+        assert host.labels[mapping[1]] == "B"
+
+    def test_contains_pattern_rejects_missing(self):
+        host = QueryGraph(["A", "B"], [(0, 1)])
+        pattern = QueryGraph(["C"], [])
+        assert host.contains_pattern(pattern) is None
+
+    def test_self_loops_dropped(self):
+        g = QueryGraph(["A"], [(0, 0)])
+        assert g.edges == ()
+
+
+class TestGraphStore:
+    def test_random_graph_properties(self):
+        topo = ClusterTopology.single_datacenter(4)
+        store = GraphStore.random(topo, 500, avg_degree=4.0, seed=0)
+        assert store.n_vertices == 500
+        degrees = [len(store.adjacency[v]) for v in range(500)]
+        assert 2.0 < np.mean(degrees) < 8.0
+
+    def test_fetch_adjacency_charges_owner(self):
+        store = triangle_store()
+        meter = CostMeter()
+        neighbors = store.fetch_adjacency(0, meter)
+        assert set(neighbors) == {1, 2}
+        assert meter.freeze().bytes_scanned > 0
+
+    def test_vertices_with_label(self):
+        store = triangle_store()
+        assert store.vertices_with_label("A") == [0, 3]
+        assert store.vertices_with_label("Z") == []
+
+
+class TestSubgraphMatcher:
+    def test_finds_labelled_edge(self):
+        store = triangle_store()
+        matcher = SubgraphMatcher(store)
+        query = QueryGraph(["A", "B"], [(0, 1)])
+        embeddings, _ = matcher.match(query)
+        assert set(embeddings) == {(0, 1), (3, 4)}
+
+    def test_finds_triangle(self):
+        store = triangle_store()
+        matcher = SubgraphMatcher(store)
+        query = QueryGraph(["A", "B", "C"], [(0, 1), (1, 2), (2, 0)])
+        embeddings, _ = matcher.match(query)
+        assert (0, 1, 2) in embeddings
+
+    def test_no_match_for_absent_pattern(self):
+        store = triangle_store()
+        matcher = SubgraphMatcher(store)
+        query = QueryGraph(["C", "C"], [(0, 1)])
+        embeddings, _ = matcher.match(query)
+        assert embeddings == []
+
+    def test_match_on_random_graph_verified_bruteforce(self):
+        topo = ClusterTopology.single_datacenter(2)
+        store = GraphStore.random(topo, 60, avg_degree=3.0, seed=3)
+        matcher = SubgraphMatcher(store)
+        query = QueryGraph(["A", "B"], [(0, 1)])
+        embeddings, _ = matcher.match(query)
+        expected = {
+            (u, v)
+            for u in range(60)
+            for v in store.adjacency[u]
+            if store.labels[u] == "A" and store.labels[v] == "B"
+        }
+        assert set(embeddings) == expected
+
+    def test_max_embeddings_cap(self):
+        topo = ClusterTopology.single_datacenter(2)
+        store = GraphStore.random(topo, 300, avg_degree=6.0, seed=4)
+        matcher = SubgraphMatcher(store, max_embeddings=5)
+        query = QueryGraph(["A", "B"], [(0, 1)])
+        embeddings, _ = matcher.match(query)
+        assert len(embeddings) <= 5
+
+    def test_seeds_restrict_anchor(self):
+        store = triangle_store()
+        matcher = SubgraphMatcher(store)
+        query = QueryGraph(["A", "B"], [(0, 1)])
+        embeddings, _ = matcher.match(query, seeds=[0])
+        assert set(embeddings) == {(0, 1)}
+
+    def test_cost_metered(self):
+        store = triangle_store()
+        matcher = SubgraphMatcher(store)
+        query = QueryGraph(["A", "B", "C"], [(0, 1), (1, 2)])
+        _, report = matcher.match(query)
+        assert report.bytes_scanned > 0
+        assert report.elapsed_sec > 0
+
+
+class TestSemanticGraphCache:
+    def make_world(self, seed=5, n=400):
+        topo = ClusterTopology.single_datacenter(4)
+        store = GraphStore.random(topo, n, avg_degree=4.0, seed=seed)
+        return SemanticGraphCache(SubgraphMatcher(store))
+
+    def test_exact_hit_costs_almost_nothing(self):
+        cache = self.make_world()
+        query = QueryGraph(["A", "B", "C"], [(0, 1), (1, 2)])
+        first, cold = cache.query(query)
+        second, warm = cache.query(query)
+        assert first == second
+        assert cache.exact_hits == 1
+        assert warm.bytes_scanned == 0
+        assert warm.elapsed_sec < cold.elapsed_sec / 10
+
+    def test_isomorphic_query_is_exact_hit(self):
+        cache = self.make_world(seed=6)
+        a = QueryGraph(["A", "B"], [(0, 1)])
+        b = QueryGraph(["B", "A"], [(0, 1)])  # same pattern, renumbered
+        cache.query(a)
+        result_b, _ = cache.query(b)
+        assert cache.exact_hits == 1
+        assert set(result_b) == set(cache.query(a)[0])
+
+    def test_subsumption_reduces_cost(self):
+        cache = self.make_world(seed=7)
+        edge = QueryGraph(["A", "B"], [(0, 1)])
+        path = QueryGraph(["A", "B", "C"], [(0, 1), (1, 2)])
+        cache.query(edge)
+        _, with_cache = cache.query(path)
+        fresh = self.make_world(seed=7)
+        _, without = fresh.query(path)
+        assert cache.subsumption_hits == 1
+        assert with_cache.bytes_scanned <= without.bytes_scanned
+
+    def test_subsumption_answers_match_cold_run(self):
+        cache = self.make_world(seed=8)
+        edge = QueryGraph(["A", "B"], [(0, 1)])
+        path = QueryGraph(["A", "B", "A"], [(0, 1), (1, 2)])
+        cache.query(edge)
+        via_cache, _ = cache.query(path)
+        fresh = self.make_world(seed=8)
+        cold, _ = fresh.query(path)
+        assert set(via_cache) == set(cold)
+
+    def test_state_bytes_grow_with_entries(self):
+        cache = self.make_world(seed=9)
+        cache.query(QueryGraph(["A", "B"], [(0, 1)]))
+        small = cache.state_bytes()
+        cache.query(QueryGraph(["C", "D"], [(0, 1)]))
+        assert cache.state_bytes() >= small
+
+    def test_miss_counter(self):
+        cache = self.make_world(seed=10)
+        cache.query(QueryGraph(["A", "B"], [(0, 1)]))
+        assert cache.misses == 1
+
+
+class TestNetworkxInterop:
+    def test_from_networkx_roundtrip(self):
+        import networkx as nx
+
+        graph = nx.Graph()
+        graph.add_node("u", label="A")
+        graph.add_node("v", label="B")
+        graph.add_node("w", label="C")
+        graph.add_edge("u", "v")
+        graph.add_edge("v", "w")
+        topo = ClusterTopology.single_datacenter(2)
+        store = GraphStore.from_networkx(topo, graph)
+        assert store.n_vertices == 3
+        assert sorted(store.labels) == ["A", "B", "C"]
+        back = store.to_networkx()
+        assert back.number_of_edges() == 2
+        assert {d["label"] for _, d in back.nodes(data=True)} == {"A", "B", "C"}
+
+    def test_missing_labels_get_default(self):
+        import networkx as nx
+
+        graph = nx.path_graph(4)
+        topo = ClusterTopology.single_datacenter(2)
+        store = GraphStore.from_networkx(topo, graph, default_label="X")
+        assert store.labels == ["X"] * 4
+
+    def test_matcher_runs_on_imported_graph(self):
+        import networkx as nx
+
+        graph = nx.complete_graph(5)
+        nx.set_node_attributes(graph, "A", "label")
+        topo = ClusterTopology.single_datacenter(2)
+        store = GraphStore.from_networkx(topo, graph)
+        matcher = SubgraphMatcher(store)
+        query = QueryGraph(["A", "A"], [(0, 1)])
+        embeddings, _ = matcher.match(query)
+        assert len(embeddings) == 5 * 4  # ordered pairs of a K5

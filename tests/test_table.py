@@ -1,0 +1,157 @@
+"""Unit + property tests for repro.data.tabular.Table."""
+
+import numpy as np
+import pytest
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from repro.common.errors import ConfigurationError, QueryError
+from repro.data import Table
+
+
+def sample_table(n=10):
+    return Table(
+        {"a": np.arange(n, dtype=float), "b": np.arange(n, dtype=float) * 2},
+        name="t",
+    )
+
+
+class TestConstruction:
+    def test_basic_properties(self):
+        t = sample_table(10)
+        assert t.n_rows == 10
+        assert t.n_columns == 2
+        assert t.column_names == ["a", "b"]
+        assert t.n_bytes == 10 * 2 * 8
+        assert t.row_bytes == 16
+        assert len(t) == 10
+
+    def test_unequal_columns_rejected(self):
+        with pytest.raises(ConfigurationError):
+            Table({"a": np.zeros(3), "b": np.zeros(4)})
+
+    def test_empty_schema_rejected(self):
+        with pytest.raises(ConfigurationError):
+            Table({})
+
+    def test_2d_column_rejected(self):
+        with pytest.raises(ConfigurationError):
+            Table({"a": np.zeros((3, 2))})
+
+    def test_missing_column_raises_query_error(self):
+        t = sample_table()
+        with pytest.raises(QueryError, match="no column"):
+            t.column("zzz")
+
+    def test_contains_and_getitem(self):
+        t = sample_table()
+        assert "a" in t and "zzz" not in t
+        assert np.array_equal(t["a"], t.column("a"))
+
+
+class TestOperations:
+    def test_select_by_mask(self):
+        t = sample_table(10)
+        out = t.select(t["a"] >= 5)
+        assert out.n_rows == 5
+        assert out["a"].min() == 5
+
+    def test_select_wrong_mask_length_rejected(self):
+        with pytest.raises(ConfigurationError):
+            sample_table(10).select(np.ones(5, dtype=bool))
+
+    def test_take_preserves_order(self):
+        t = sample_table(10)
+        out = t.take([3, 1, 4])
+        assert out["a"].tolist() == [3.0, 1.0, 4.0]
+
+    def test_project(self):
+        out = sample_table().project(["b"])
+        assert out.column_names == ["b"]
+
+    def test_matrix_column_order(self):
+        t = sample_table(3)
+        m = t.matrix(["b", "a"])
+        assert m[:, 0].tolist() == [0.0, 2.0, 4.0]
+
+    def test_with_column_adds_and_replaces(self):
+        t = sample_table(3)
+        t2 = t.with_column("c", [1.0, 2.0, 3.0])
+        assert t2.column_names == ["a", "b", "c"]
+        t3 = t2.with_column("a", [9.0, 9.0, 9.0])
+        assert t3["a"].tolist() == [9.0] * 3
+        assert t["a"].tolist() == [0.0, 1.0, 2.0]  # original untouched
+
+    def test_with_column_wrong_length_rejected(self):
+        with pytest.raises(ConfigurationError):
+            sample_table(3).with_column("c", [1.0])
+
+    def test_concat_schema_mismatch_rejected(self):
+        a = Table({"x": np.zeros(2)})
+        b = Table({"y": np.zeros(2)})
+        with pytest.raises(ConfigurationError):
+            Table.concat([a, b])
+
+    def test_slice_rows(self):
+        out = sample_table(10).slice_rows(2, 5)
+        assert out["a"].tolist() == [2.0, 3.0, 4.0]
+
+    @given(
+        st.integers(min_value=1, max_value=100),
+        st.integers(min_value=1, max_value=12),
+    )
+    @settings(max_examples=50, deadline=None)
+    def test_split_concat_roundtrip_property(self, n_rows, n_parts):
+        t = sample_table(n_rows)
+        parts = t.split(n_parts)
+        assert len(parts) == n_parts
+        assert sum(p.n_rows for p in parts) == n_rows
+        # Sizes differ by at most one.
+        sizes = [p.n_rows for p in parts]
+        assert max(sizes) - min(sizes) <= 1
+        merged = Table.concat(parts)
+        assert np.array_equal(merged["a"], t["a"])
+        assert np.array_equal(merged["b"], t["b"])
+
+
+class TestCsvIO:
+    def test_roundtrip(self, tmp_path):
+        t = sample_table(25)
+        path = str(tmp_path / "t.csv")
+        t.to_csv(path)
+        back = Table.from_csv(path, name="t")
+        assert back.column_names == t.column_names
+        assert np.allclose(back["a"], t["a"])
+        assert np.allclose(back["b"], t["b"])
+
+    def test_from_csv_preserves_value_bytes(self, tmp_path):
+        t = sample_table(5)
+        path = str(tmp_path / "t.csv")
+        t.to_csv(path)
+        wide = Table.from_csv(path, value_bytes=128)
+        assert wide.row_bytes == 2 * 128
+
+    def test_from_csv_default_name_is_filename(self, tmp_path):
+        t = sample_table(3)
+        path = str(tmp_path / "mydata.csv")
+        t.to_csv(path)
+        assert Table.from_csv(path).name == "mydata.csv"
+
+    def test_empty_file_rejected(self, tmp_path):
+        path = tmp_path / "empty.csv"
+        path.write_text("")
+        with pytest.raises(ConfigurationError):
+            Table.from_csv(str(path))
+
+    def test_header_mismatch_rejected(self, tmp_path):
+        path = tmp_path / "bad.csv"
+        path.write_text("a,b,c\n1.0,2.0\n")
+        with pytest.raises(Exception):
+            Table.from_csv(str(path))
+
+    def test_single_row_csv(self, tmp_path):
+        path = tmp_path / "one.csv"
+        path.write_text("a,b\n1.5,2.5\n")
+        t = Table.from_csv(str(path))
+        assert t.n_rows == 1
+        assert t["a"][0] == 1.5
