@@ -11,14 +11,17 @@ import numpy as np
 from repro.baselines import ExactEngine
 from repro.core import AgentConfig, SEAAgent
 
+from repro.obs import StackObserver
+
 from conftest import build_world, standard_workload
-from harness import format_table, write_result
+from harness import format_table, metrics_snapshot, write_result
 
 SIZES = (10_000, 50_000, 400_000)
 
 
 def run_scalability():
     rows = []
+    snapshot = {}
     for n_rows in SIZES:
         # 512-byte values model wide analytical records (payload columns
         # ride along with the queried dimensions).
@@ -27,6 +30,10 @@ def run_scalability():
             ExactEngine(store),
             AgentConfig(training_budget=300, error_threshold=0.2),
         )
+        if n_rows == SIZES[-1]:
+            # Per-query phase/byte telemetry for the largest deployment
+            # rides along in the machine-readable result.
+            agent.attach_observer(StackObserver())
         workload = standard_workload(table)
         for query in workload.batch(700):
             agent.submit(query)
@@ -47,26 +54,32 @@ def run_scalability():
                 0.0,
             ]
         )
-    return rows
+        snapshot = metrics_snapshot(agent.observer) or snapshot
+    return rows, snapshot
 
 
 def test_e01_dataless_scalability(benchmark):
-    rows = benchmark.pedantic(run_scalability, rounds=1, iterations=1)
+    rows, snapshot = benchmark.pedantic(run_scalability, rounds=1, iterations=1)
+    headers = [
+        "rows",
+        "exact_sec",
+        "dataless_sec",
+        "speedup",
+        "exact_nodes",
+        "dataless_nodes",
+        "exact_bytes",
+        "dataless_bytes",
+    ]
     table = format_table(
         "E1: exact (Fig.1) vs data-less (Fig.2) per-query cost vs data size",
-        [
-            "rows",
-            "exact_sec",
-            "dataless_sec",
-            "speedup",
-            "exact_nodes",
-            "dataless_nodes",
-            "exact_bytes",
-            "dataless_bytes",
-        ],
+        headers,
         rows,
     )
-    write_result("e01_dataless_scalability", table)
+    write_result(
+        "e01_dataless_scalability", table, headers=headers, rows=rows,
+        extra={"metrics": snapshot},
+    )
+    benchmark.extra_info["metrics"] = snapshot
     assert len(rows) == len(SIZES)
     # Exact latency grows with data; data-less latency stays flat.
     exact_latencies = [r[1] for r in rows]

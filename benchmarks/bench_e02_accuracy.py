@@ -62,12 +62,13 @@ def run_accuracy():
 
 def test_e02_accuracy_vs_training(benchmark):
     rows = benchmark.pedantic(run_accuracy, rounds=1, iterations=1)
+    headers = ["aggregate", "train_n", "dataless_frac", "median_rel_err", "p90_rel_err"]
     table = format_table(
         "E2: data-less accuracy and coverage vs training queries",
-        ["aggregate", "train_n", "dataless_frac", "median_rel_err", "p90_rel_err"],
+        headers,
         rows,
     )
-    write_result("e02_accuracy", table)
+    write_result("e02_accuracy", table, headers=headers, rows=rows)
     by_agg = {}
     for label, budget, frac, med, p90 in rows:
         by_agg.setdefault(label, []).append((budget, frac, med))

@@ -52,12 +52,13 @@ def test_e03_throughput(benchmark):
     rows, dataless_fraction = benchmark.pedantic(
         run_throughput, rounds=1, iterations=1
     )
+    headers = ["arrivals_per_sec", "util_trad", "resp_trad_sec", "util_sea", "resp_sea_sec"]
     table = format_table(
         "E3: response time vs offered load (M/D/c on measured demands)",
-        ["arrivals_per_sec", "util_trad", "resp_trad_sec", "util_sea", "resp_sea_sec"],
+        headers,
         rows,
     )
-    write_result("e03_throughput", table)
+    write_result("e03_throughput", table, headers=headers, rows=rows)
     # The traditional system saturates at a load the SEA system absorbs.
     saturated_trad = [r for r in rows if not np.isfinite(r[2])]
     assert saturated_trad, "traditional path should saturate in the sweep"

@@ -123,12 +123,13 @@ def run_baselines():
 
 def test_e04_baseline_comparison(benchmark):
     rows, table_bytes = benchmark.pedantic(run_baselines, rounds=1, iterations=1)
+    headers = ["system", "median_rel_err", "mean_sec_per_query", "state_bytes"]
     formatted = format_table(
         f"E4: baselines on unseen queries (base table = {table_bytes} bytes)",
-        ["system", "median_rel_err", "mean_sec_per_query", "state_bytes"],
+        headers,
         rows,
     )
-    write_result("e04_baselines", formatted)
+    write_result("e04_baselines", formatted, headers=headers, rows=rows)
     by_name = {r[0]: r for r in rows}
     # SEA's learned state is far smaller than the sample the AQP engine keeps.
     assert by_name["sea-agent"][3] < by_name["blinkdb-like"][3]

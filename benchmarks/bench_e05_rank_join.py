@@ -58,13 +58,14 @@ def run_rank_join():
 
 def test_e05_rank_join(benchmark):
     rows = benchmark.pedantic(run_rank_join, rounds=1, iterations=1)
+    headers = ["rows_per_relation", "time_x", "scan_bytes_x", "shuffle_bytes_x",
+               "dollars_x", "indexed_rows_read"]
     table = format_table(
         "E5: rank-join speedups (MapReduce baseline / indexed TA), k=10",
-        ["rows_per_relation", "time_x", "scan_bytes_x", "shuffle_bytes_x",
-         "dollars_x", "indexed_rows_read"],
+        headers,
         rows,
     )
-    write_result("e05_rank_join", table)
+    write_result("e05_rank_join", table, headers=headers, rows=rows)
     # Indexed wins on every metric at every size.
     for row in rows:
         assert row[1] > 1.0 and row[2] > 1.0 and row[4] > 1.0

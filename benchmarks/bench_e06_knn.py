@@ -68,12 +68,13 @@ def run_knn():
 
 def test_e06_knn(benchmark):
     rows = benchmark.pedantic(run_knn, rounds=1, iterations=1)
+    headers = ["rows", "k", "time_x", "scan_bytes_x"]
     table = format_table(
         "E6: kNN speedups (MapReduce baseline / coordinator-cohort)",
-        ["rows", "k", "time_x", "scan_bytes_x"],
+        headers,
         rows,
     )
-    write_result("e06_knn", table)
+    write_result("e06_knn", table, headers=headers, rows=rows)
     for row in rows:
         assert row[2] > 1.0, f"coordinator must win: {row}"
         assert row[3] > 1.0

@@ -82,13 +82,14 @@ def run_subgraph():
 
 def test_e07_subgraph_cache(benchmark):
     rows = benchmark.pedantic(run_subgraph, rounds=1, iterations=1)
+    headers = ["workload", "cold_runs", "exact_hits", "subsumption_hits",
+               "mean_sec_per_query", "workload_speedup"]
     table = format_table(
         "E7: subgraph matching with the semantic cache",
-        ["workload", "cold_runs", "exact_hits", "subsumption_hits",
-         "mean_sec_per_query", "workload_speedup"],
+        headers,
         rows,
     )
-    write_result("e07_subgraph", table)
+    write_result("e07_subgraph", table, headers=headers, rows=rows)
     exploratory, dashboard = rows
     assert exploratory[2] > 0  # exact hits happened
     assert exploratory[5] > 3.0  # the workload sped up substantially

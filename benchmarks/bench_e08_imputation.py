@@ -63,12 +63,13 @@ def run_imputation():
 
 def test_e08_imputation(benchmark):
     rows = benchmark.pedantic(run_imputation, rounds=1, iterations=1)
+    headers = ["table_rows", "n_missing", "time_x", "scan_bytes_x", "shuffle_bytes_x"]
     table = format_table(
         "E8: missing-value imputation (MapReduce / surgical ratios)",
-        ["table_rows", "n_missing", "time_x", "scan_bytes_x", "shuffle_bytes_x"],
+        headers,
         rows,
     )
-    write_result("e08_imputation", table)
+    write_result("e08_imputation", table, headers=headers, rows=rows)
     for row in rows:
         assert row[3] > 1.0, f"surgical must read less: {row}"
     # Fixed missing count, growing table: the gap widens.

@@ -52,12 +52,13 @@ def run_crossover():
 
 def test_e09_crossover(benchmark):
     rows = benchmark.pedantic(run_crossover, rounds=1, iterations=1)
+    headers = ["box_width", "selectivity", "mapreduce_sec", "coordinator_sec", "winner"]
     table = format_table(
         "E9: full-scan vs surgical-index cost across selectivities",
-        ["box_width", "selectivity", "mapreduce_sec", "coordinator_sec", "winner"],
+        headers,
         rows,
     )
-    write_result("e09_crossover", table)
+    write_result("e09_crossover", table, headers=headers, rows=rows)
     winners = [r[4] for r in rows]
     # Both paradigms win somewhere: the crossover exists.
     assert "coordinator" in winners

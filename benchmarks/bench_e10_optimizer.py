@@ -128,7 +128,20 @@ def test_e10_learned_optimizer(benchmark):
         ["predictor", "median_rel_err"],
         family_rows,
     )
-    write_result("e10_optimizer", table_a + "\n" + table_b)
+    write_result(
+        "e10_optimizer",
+        table_a + "\n" + table_b,
+        extra={
+            "selector": {
+                "headers": ["policy", "accuracy", "mean_regret"],
+                "rows": selector_rows,
+            },
+            "families": {
+                "headers": ["predictor", "median_rel_err"],
+                "rows": family_rows,
+            },
+        },
+    )
     assert metrics["accuracy"] > 0.8
     assert metrics["mean_regret"] <= metrics["regret_always_mapreduce"]
     assert metrics["mean_regret"] <= metrics["regret_always_coordinator"]

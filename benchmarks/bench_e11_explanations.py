@@ -87,12 +87,13 @@ def run_explanations():
 
 def test_e11_explanations(benchmark):
     rows, saved = benchmark.pedantic(run_explanations, rounds=1, iterations=1)
+    headers = ["builder", "mean_fidelity_r2", "build_sec", "sec_per_answered_value"]
     table = format_table(
         f"E11: explanations (each replaces ~{saved} exploratory queries)",
-        ["builder", "mean_fidelity_r2", "build_sec", "sec_per_answered_value"],
+        headers,
         rows,
     )
-    write_result("e11_explanations", table)
+    write_result("e11_explanations", table, headers=headers, rows=rows)
     exact_row, dataless_row = rows
     assert exact_row[1] > 0.9  # piecewise-linear models explain the curve
     assert dataless_row[1] > 0.6  # model-built explanations track the truth

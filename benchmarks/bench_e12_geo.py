@@ -116,14 +116,15 @@ def run_geo():
 
 def test_e12_geo_distributed(benchmark):
     rows = benchmark.pedantic(run_geo, rounds=1, iterations=1)
+    headers = ["deployment", "wan_bytes", "mean_latency_sec", "local_fraction",
+               "edge_state_bytes"]
     table = format_table(
         "E12: geo-distributed serving (per-deployment totals over "
         f"{SERVE_PER_EDGE * N_EDGES} served queries)",
-        ["deployment", "wan_bytes", "mean_latency_sec", "local_fraction",
-         "edge_state_bytes"],
+        headers,
         rows,
     )
-    write_result("e12_geo", table)
+    write_result("e12_geo", table, headers=headers, rows=rows)
     by_name = {r[0]: r for r in rows}
     # Any edge intelligence beats centralized on WAN bytes and latency.
     assert by_name["edge-isolated"][1] < by_name["centralized"][1]

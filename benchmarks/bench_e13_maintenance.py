@@ -129,12 +129,13 @@ def run_maintenance():
 
 def test_e13_maintenance(benchmark):
     rows = benchmark.pedantic(run_maintenance, rounds=1, iterations=1)
+    headers = ["scenario", "mechanism", "err_before", "err_after", "n_served_after"]
     table = format_table(
         "E13: served-query error around drift / data updates",
-        ["scenario", "mechanism", "err_before", "err_after", "n_served_after"],
+        headers,
         rows,
     )
-    write_result("e13_maintenance", table)
+    write_result("e13_maintenance", table, headers=headers, rows=rows)
     by_key = {(r[0], r[1]): r for r in rows}
     # Notified agent ends up more accurate after the insert burst.
     notified = by_key[("data-update", "notified")][3]

@@ -58,12 +58,13 @@ def run_ablations():
 
 def test_e14_ablations(benchmark):
     rows = benchmark.pedantic(run_ablations, rounds=1, iterations=1)
+    headers = ["configuration", "dataless_frac", "median_rel_err", "state_bytes"]
     table = format_table(
         "E14: agent ablations (coverage / served accuracy / state)",
-        ["configuration", "dataless_frac", "median_rel_err", "state_bytes"],
+        headers,
         rows,
     )
-    write_result("e14_ablations", table)
+    write_result("e14_ablations", table, headers=headers, rows=rows)
     by_name = {r[0]: r for r in rows}
     # Coverage rises monotonically with tau (looser gate serves more)...
     taus = [by_name[f"tau={t}"][1] for t in (0.05, 0.1, 0.2, 0.4)]

@@ -86,13 +86,14 @@ def run_raw():
 
 def test_e15_raw_cracking(benchmark):
     rows, crack_costs = benchmark.pedantic(run_raw, rounds=1, iterations=1)
+    headers = ["engine", "time_to_first_insight_s", "total_s", "last_query_s",
+               "index_state_bytes"]
     table = format_table(
         f"E15: raw-data analytics, {N_QUERIES}-query exploration",
-        ["engine", "time_to_first_insight_s", "total_s", "last_query_s",
-         "index_state_bytes"],
+        headers,
         rows,
     )
-    write_result("e15_raw_cracking", table)
+    write_result("e15_raw_cracking", table, headers=headers, rows=rows)
     by_name = {r[0]: r for r in rows}
     # Cracking reaches the first insight before the eager pipeline.
     assert (

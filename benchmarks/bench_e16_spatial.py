@@ -92,12 +92,13 @@ def run_spatial():
 
 def test_e16_spatial(benchmark):
     rows = benchmark.pedantic(run_spatial, rounds=1, iterations=1)
+    headers = ["operator", "time_x", "scan_bytes_x"]
     table = format_table(
         "E16: spatial joins and kNN variants (baseline / surgical ratios)",
-        ["operator", "time_x", "scan_bytes_x"],
+        headers,
         rows,
     )
-    write_result("e16_spatial", table)
+    write_result("e16_spatial", table, headers=headers, rows=rows)
     by_name = {r[0]: r for r in rows}
     assert by_name["knn-join (k=5, 60 probes)"][2] > 3.0
     assert by_name["distance-join (eps=1.5)"][2] > 3.0

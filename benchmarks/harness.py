@@ -3,15 +3,18 @@
 Every experiment module (bench_eNN_*.py) runs under
 ``pytest benchmarks/ --benchmark-only``.  Besides the pytest-benchmark
 timing table, each experiment writes its result table — the rows the
-paper-style figures would plot — to ``benchmarks/results/<name>.txt`` and
-attaches headline numbers to ``benchmark.extra_info`` so they appear in
-the benchmark JSON.
+paper-style figures would plot — to ``benchmarks/results/<name>.txt``,
+a machine-readable twin to ``benchmarks/results/<name>.json`` (so perf
+trajectories can be assembled without re-parsing aligned-text tables),
+and attaches headline numbers to ``benchmark.extra_info`` so they appear
+in the benchmark JSON.
 """
 
 from __future__ import annotations
 
+import json
 import os
-from typing import Iterable, List, Sequence
+from typing import Any, Dict, Iterable, List, Optional, Sequence
 
 RESULTS_DIR = os.path.join(os.path.dirname(__file__), "results")
 
@@ -30,13 +33,66 @@ def format_table(title: str, headers: Sequence[str], rows: Iterable[Sequence]) -
     return "\n".join(lines) + "\n"
 
 
-def write_result(name: str, table: str) -> str:
+def write_result(
+    name: str,
+    table: str,
+    headers: Optional[Sequence[str]] = None,
+    rows: Optional[Iterable[Sequence]] = None,
+    extra: Optional[Dict[str, Any]] = None,
+) -> str:
+    """Write the human-readable table; mirror structured data as JSON.
+
+    ``headers``/``rows`` (and/or ``extra``) also produce
+    ``results/<name>.json`` with the same rows as plain values, so the
+    perf trajectory across commits can be diffed mechanically.
+    """
     os.makedirs(RESULTS_DIR, exist_ok=True)
     path = os.path.join(RESULTS_DIR, f"{name}.txt")
     with open(path, "w") as handle:
         handle.write(table)
+    if headers is not None or rows is not None or extra is not None:
+        payload: Dict[str, Any] = {"name": name}
+        if headers is not None:
+            payload["headers"] = list(headers)
+        if rows is not None:
+            payload["rows"] = [[_plain(cell) for cell in row] for row in rows]
+        if extra is not None:
+            payload["extra"] = {k: _plain(v) for k, v in extra.items()}
+        json_path = os.path.join(RESULTS_DIR, f"{name}.json")
+        with open(json_path, "w") as handle:
+            json.dump(payload, handle, indent=2)
+            handle.write("\n")
     print("\n" + table)
     return path
+
+
+def metrics_snapshot(observer) -> Dict[str, float]:
+    """Flat metrics dict from a ``StackObserver`` for ``benchmark.extra_info``.
+
+    Returns ``{}`` for a null/absent observer so callers can attach
+    unconditionally.
+    """
+    snapshot = getattr(observer, "snapshot", None)
+    if observer is None or not getattr(observer, "enabled", False):
+        return {}
+    return snapshot() if callable(snapshot) else {}
+
+
+def _plain(value: Any) -> Any:
+    """JSON-safe plain value (numpy scalars -> python builtins)."""
+    if isinstance(value, (str, bool, int, float)) or value is None:
+        return value
+    item = getattr(value, "item", None)
+    if callable(item):
+        try:
+            return item()
+        except Exception:
+            pass
+    if isinstance(value, (list, tuple)):
+        return [_plain(v) for v in value]
+    if isinstance(value, dict):
+        return {str(k): _plain(v) for k, v in value.items()}
+    return str(value)
 
 
 def _fmt(cell) -> str:

@@ -92,6 +92,7 @@ from repro.optimizer import (
     ExecutionAlternative,
     AlternativeSet,
     ExecutionLog,
+    CostModelSelector,
     LearnedSelector,
 )
 from repro.explain import (
@@ -101,6 +102,14 @@ from repro.explain import (
     HigherLevelEngine,
 )
 from repro.geo import GeoSites, EdgeAgent, CoreCoordinator, GeoRouter
+from repro.obs import (
+    EventLog,
+    MetricsRegistry,
+    NULL_OBSERVER,
+    Observer,
+    StackObserver,
+    TraceRecorder,
+)
 from repro.session import SEASession, SessionAnswer
 
 __version__ = "1.0.0"
@@ -160,6 +169,7 @@ __all__ = [
     "ExecutionAlternative",
     "AlternativeSet",
     "ExecutionLog",
+    "CostModelSelector",
     "LearnedSelector",
     "Explanation",
     "ExplanationBuilder",
@@ -169,6 +179,12 @@ __all__ = [
     "EdgeAgent",
     "CoreCoordinator",
     "GeoRouter",
+    "EventLog",
+    "MetricsRegistry",
+    "NULL_OBSERVER",
+    "Observer",
+    "StackObserver",
+    "TraceRecorder",
     "SEASession",
     "SessionAnswer",
     "__version__",

@@ -30,11 +30,20 @@ class ExactEngine:
         resources: Optional[ResourceManager] = None,
         stack: Optional[BDASStack] = None,
         rates=None,
+        observer=None,
     ) -> None:
         self.store = store
         self._engine = MapReduceEngine(
-            store, resources=resources, stack=stack, rates=rates
+            store, resources=resources, stack=stack, rates=rates, observer=observer
         )
+
+    @property
+    def observer(self):
+        return self._engine.observer
+
+    def attach_observer(self, observer) -> None:
+        """Record traces/metrics for subsequent executions on ``observer``."""
+        self._engine.attach_observer(observer)
 
     def execute(self, query: AnalyticsQuery) -> Tuple[Answer, CostReport]:
         """Run ``query`` exactly; returns (answer, cost report)."""

@@ -110,10 +110,19 @@ class CostMeter:
     into a :class:`CostReport`.  The meter tracks the set of distinct nodes
     it has touched so ``nodes_touched`` counts unique nodes, matching the
     paper's "number of data server nodes accessed" notion.
+
+    ``observer`` is an optional :class:`repro.obs.Observer`: when set, every
+    charge is mirrored to ``observer.on_charge(kind, node, bytes, seconds)``
+    and components downstream of the meter (the BDAS stack, engines) can
+    reach the observer through :attr:`observer`.  The default ``None`` keeps
+    the hot path to a single identity check — no allocations per charge.
     """
 
-    def __init__(self, rates: CostRates = CostRates()) -> None:
+    def __init__(
+        self, rates: CostRates = CostRates(), observer=None
+    ) -> None:
         self.rates = rates
+        self.observer = observer if (observer is not None and observer.enabled) else None
         self._report = CostReport()
         self._touched: set = set()
 
@@ -128,6 +137,8 @@ class CostMeter:
         self._report.bytes_scanned += num_bytes
         self._report.rows_examined += rows
         self._report.node_sec += seconds
+        if self.observer is not None:
+            self.observer.on_charge("scan", node_id, num_bytes, seconds)
         return seconds
 
     def charge_point_read(self, node_id: str, num_bytes: int, rows: int = 0) -> float:
@@ -144,6 +155,8 @@ class CostMeter:
         self._report.bytes_scanned += num_bytes
         self._report.rows_examined += rows
         self._report.node_sec += seconds
+        if self.observer is not None:
+            self.observer.on_charge("point_read", node_id, num_bytes, seconds)
         return seconds
 
     def charge_cpu(self, node_id: str, num_bytes: int) -> float:
@@ -151,6 +164,8 @@ class CostMeter:
         seconds = num_bytes / self.rates.cpu_bytes_per_sec
         self._touch(node_id)
         self._report.node_sec += seconds
+        if self.observer is not None:
+            self.observer.on_charge("cpu", node_id, num_bytes, seconds)
         return seconds
 
     def charge_transfer(
@@ -167,6 +182,10 @@ class CostMeter:
         self._touch(dst)
         self._report.messages += 1
         self._report.node_sec += seconds
+        if self.observer is not None:
+            self.observer.on_charge(
+                "transfer_wan" if wan else "transfer_lan", src, num_bytes, seconds
+            )
         return seconds
 
     def charge_task_startup(self, node_id: str, count: int = 1) -> float:
@@ -175,6 +194,8 @@ class CostMeter:
         self._touch(node_id)
         self._report.tasks_launched += count
         self._report.node_sec += seconds
+        if self.observer is not None:
+            self.observer.on_charge("task_startup", node_id, 0, seconds)
         return seconds
 
     def charge_layers(self, node_id: str, layers: int) -> float:
@@ -183,6 +204,8 @@ class CostMeter:
         self._touch(node_id)
         self._report.layers_crossed += layers
         self._report.node_sec += seconds
+        if self.observer is not None:
+            self.observer.on_charge("layers", node_id, 0, seconds)
         return seconds
 
     def advance(self, seconds: float) -> None:

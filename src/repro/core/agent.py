@@ -37,6 +37,7 @@ from repro.core.error import PrequentialErrorEstimator
 from repro.core.maintenance import DriftDetector, DataUpdateMonitor
 from repro.core.predictor import DatalessPredictor, Prediction
 from repro.core.quantization import QuerySpaceQuantizer
+from repro.obs.observer import NULL_OBSERVER, Observer
 from repro.queries.query import AnalyticsQuery, Answer
 
 AGENT_NODE = "sea-agent"
@@ -81,26 +82,63 @@ class ServedQuery:
 class SEAAgent:
     """Intercepting agent between analysts and the exact engine."""
 
-    def __init__(self, exact_engine, config: Optional[AgentConfig] = None) -> None:
+    def __init__(
+        self,
+        exact_engine,
+        config: Optional[AgentConfig] = None,
+        observer: Optional[Observer] = None,
+    ) -> None:
         self.engine = exact_engine
         self.config = config or AgentConfig()
+        self.observer = observer or NULL_OBSERVER
         self._predictors: Dict[str, DatalessPredictor] = {}
         self._drift: Dict[str, DriftDetector] = {}
         self.updates = DataUpdateMonitor()
         self.history: List[ServedQuery] = []
         self.n_queries = 0
 
+    def attach_observer(self, observer: Observer) -> None:
+        """Record traces/metrics/events on ``observer`` (engine included)."""
+        self.observer = observer
+        hook = getattr(self.engine, "attach_observer", None)
+        if callable(hook):
+            hook(observer)
+
     # Serving ---------------------------------------------------------------
     def submit(self, query: AnalyticsQuery) -> ServedQuery:
         """Serve one analyst query through the Fig. 2 lifecycle."""
         self.n_queries += 1
-        predictor = self._predictor_for(query)
-        if self.n_queries <= self.config.training_budget:
-            record = self._execute_and_learn(query, predictor, mode="train")
+        obs = self.observer
+        if obs.enabled:
+            with obs.span(
+                "query", category="query", signature=query.signature()
+            ):
+                record = self._serve(query)
+            obs.inc("sea_queries_total", mode=record.mode)
+            obs.observe("sea_query_latency_seconds", record.cost.elapsed_sec)
+            error = (
+                record.prediction.error_estimate
+                if record.prediction is not None
+                else None
+            )
+            obs.event(
+                record.mode,  # "train" | "predicted" | "fallback"
+                signature=query.signature(),
+                error_estimate=error,
+                elapsed_sec=record.cost.elapsed_sec,
+                bytes_scanned=record.cost.bytes_scanned,
+                nodes_touched=record.cost.nodes_touched,
+            )
         else:
-            record = self._serve_trained(query, predictor)
+            record = self._serve(query)
         self.history.append(record)
         return record
+
+    def _serve(self, query: AnalyticsQuery) -> ServedQuery:
+        predictor = self._predictor_for(query)
+        if self.n_queries <= self.config.training_budget:
+            return self._execute_and_learn(query, predictor, mode="train")
+        return self._serve_trained(query, predictor)
 
     def _serve_trained(
         self, query: AnalyticsQuery, predictor: DatalessPredictor
@@ -163,6 +201,11 @@ class SEAAgent:
                 continue
             invalidated += self.updates.invalidate_overlapping(
                 predictor, np.asarray(lows, float), np.asarray(highs, float)
+            )
+        if self.observer.enabled:
+            self.observer.inc("sea_quanta_invalidated_total", invalidated)
+            self.observer.event(
+                "data_update", table=table_name, invalidated_quanta=invalidated
             )
         return invalidated
 
@@ -228,6 +271,14 @@ class SEAAgent:
         detector = self._drift[query.signature()]
         if detector.check(predictor.errors, quantum_id):
             predictor.reset_quantum(quantum_id)
+            if self.observer.enabled:
+                self.observer.inc("sea_drift_detections_total")
+                self.observer.event(
+                    "drift",
+                    signature=query.signature(),
+                    quantum_id=quantum_id,
+                    action="reset_quantum",
+                )
 
     def _quantum_flagged(self, query: AnalyticsQuery, quantum_id: int) -> bool:
         detector = self._drift.get(query.signature())
@@ -241,7 +292,9 @@ class SEAAgent:
         client<->agent dispatch plus model inference — in line with the
         "de facto insensitive to data sizes" claim of Sec. III.B.
         """
-        meter = CostMeter()
-        meter.charge_cpu(AGENT_NODE, 4096)  # model inference
-        meter.advance(1e-3)
+        obs = self.observer
+        meter = CostMeter(observer=obs if obs.enabled else None)
+        with obs.span("agent_inference", meter=meter, category="agent"):
+            meter.charge_cpu(AGENT_NODE, 4096)  # model inference
+            meter.advance(1e-3)
         return meter.freeze()

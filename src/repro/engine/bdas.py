@@ -47,15 +47,34 @@ class BDASStack:
         entry_seconds = meter.charge_layers(entry_node, self.depth)
         fanout_layers = max(1, self.depth // 2)
         node_seconds = 0.0
+        n_engaged = 0
         for node_id in engaged_nodes:
+            n_engaged += 1
             node_seconds = max(
                 node_seconds, meter.charge_layers(node_id, fanout_layers)
             )
-        return entry_seconds + node_seconds
+        total = entry_seconds + node_seconds
+        obs = meter.observer
+        if obs is not None:
+            obs.record_span(
+                "stack:submit",
+                obs.now,
+                total,
+                category="stack",
+                layers=self.depth,
+                engaged_nodes=n_engaged,
+            )
+        return total
 
     def charge_result_return(self, meter: CostMeter, entry_node: str) -> float:
         """Charge the answer ascending the stack back to the client."""
-        return meter.charge_layers(entry_node, self.depth)
+        seconds = meter.charge_layers(entry_node, self.depth)
+        obs = meter.observer
+        if obs is not None:
+            obs.record_span(
+                "stack:return", obs.now, seconds, category="stack", layers=self.depth
+            )
+        return seconds
 
 
 def agent_stack() -> BDASStack:

@@ -21,6 +21,7 @@ from repro.common.validation import require
 from repro.cluster.storage import DistributedStore, StoredTable, TablePartition
 from repro.data.tabular import Table
 from repro.engine.bdas import BDASStack
+from repro.obs.observer import NULL_OBSERVER, Observer
 
 _REQUEST_BYTES = 256
 
@@ -34,6 +35,7 @@ class CoordinatorEngine:
         coordinator: Optional[str] = None,
         stack: Optional[BDASStack] = None,
         rates: Optional["CostRates"] = None,
+        observer: Optional[Observer] = None,
     ) -> None:
         self.store = store
         self.topology = store.topology
@@ -41,6 +43,25 @@ class CoordinatorEngine:
         # Coordinator-cohort bypasses the engine layers: client -> storage.
         self.stack = stack or BDASStack(layers=("client", "coordinator"))
         self.rates = rates
+        self.observer = observer or NULL_OBSERVER
+
+    def attach_observer(self, observer: Observer) -> None:
+        """Record traces/metrics/events for subsequent fetches on ``observer``."""
+        self.observer = observer
+
+    def _meter(self, meter: Optional[CostMeter]) -> Tuple[CostMeter, Observer]:
+        """(meter, observer) for one call, creating/wiring as needed."""
+        obs = self.observer
+        if meter is None:
+            watcher = obs if obs.enabled else None
+            meter = (
+                CostMeter(self.rates, observer=watcher)
+                if self.rates
+                else CostMeter(observer=watcher)
+            )
+        elif not obs.enabled and meter.observer is not None:
+            obs = meter.observer
+        return meter, obs
 
     def fetch_rows(
         self,
@@ -58,53 +79,70 @@ class CoordinatorEngine:
         pass ``charge_stack=False`` after charging the stack once
         themselves; the stack is a per-query cost, not per-round.
         """
-        if meter is None:
-            meter = CostMeter(self.rates) if self.rates else CostMeter()
-        if charge_stack:
-            meter.advance(
-                self.stack.charge_submission(
-                    meter, self.coordinator, [self.coordinator]
+        meter, obs = self._meter(meter)
+        with obs.span(
+            "coordinator_fetch", meter=meter, category="job", table=stored.name
+        ):
+            if charge_stack:
+                meter.advance(
+                    self.stack.charge_submission(
+                        meter, self.coordinator, [self.coordinator]
+                    )
                 )
-            )
-        pieces: List[Table] = []
-        slowest = 0.0
-        total_response_bytes = 0
-        for part_index, row_indices in sorted(rows_by_partition.items()):
-            partition = self._partition(stored, part_index)
-            idx = np.asarray(row_indices, dtype=int)
-            if idx.size == 0:
-                continue
-            # Read from the least-loaded replica (spreads hot partitions).
-            cohort = self.store.pick_replica(partition)
-            seconds = meter.charge_transfer(
-                self.coordinator,
-                cohort,
-                _REQUEST_BYTES,
-                wan=self.topology.is_wan(self.coordinator, cohort),
-            )
-            piece = self.store.read_rows(partition, idx, meter, node_id=cohort)
-            seconds += (
-                idx.size
-                * partition.data.row_bytes
-                * meter.rates.point_read_penalty
-                / meter.rates.disk_bytes_per_sec
-            )
-            seconds += meter.charge_transfer(
-                cohort,
-                self.coordinator,
-                piece.n_bytes,
-                wan=self.topology.is_wan(cohort, self.coordinator),
-            )
-            slowest = max(slowest, seconds)
-            total_response_bytes += piece.n_bytes
-            pieces.append(piece)
-        # The coordinator's NIC serialises all cohort responses: elapsed is
-        # at least the total ingest time, which is what makes fetching a
-        # large fraction of a table through one coordinator a losing plan.
-        ingest = total_response_bytes / meter.rates.lan_bytes_per_sec
-        meter.advance(max(slowest, ingest))
-        if charge_stack:
-            meter.advance(self.stack.charge_result_return(meter, self.coordinator))
+            pieces: List[Table] = []
+            slowest = 0.0
+            total_response_bytes = 0
+            tracing = obs.enabled
+            fan_start = obs.now if tracing else 0.0
+            for part_index, row_indices in sorted(rows_by_partition.items()):
+                partition = self._partition(stored, part_index)
+                idx = np.asarray(row_indices, dtype=int)
+                if idx.size == 0:
+                    continue
+                # Read from the least-loaded replica (spreads hot partitions).
+                cohort = self.store.pick_replica(partition)
+                seconds = meter.charge_transfer(
+                    self.coordinator,
+                    cohort,
+                    _REQUEST_BYTES,
+                    wan=self.topology.is_wan(self.coordinator, cohort),
+                )
+                piece = self.store.read_rows(partition, idx, meter, node_id=cohort)
+                seconds += (
+                    idx.size
+                    * partition.data.row_bytes
+                    * meter.rates.point_read_penalty
+                    / meter.rates.disk_bytes_per_sec
+                )
+                seconds += meter.charge_transfer(
+                    cohort,
+                    self.coordinator,
+                    piece.n_bytes,
+                    wan=self.topology.is_wan(cohort, self.coordinator),
+                )
+                if tracing:
+                    # Cohorts fetch in parallel: one trace track per cohort.
+                    obs.record_span(
+                        f"fetch:{partition.partition_id}",
+                        fan_start,
+                        seconds,
+                        category="task",
+                        track=cohort,
+                        rows=int(idx.size),
+                        bytes=piece.n_bytes,
+                    )
+                slowest = max(slowest, seconds)
+                total_response_bytes += piece.n_bytes
+                pieces.append(piece)
+            # The coordinator's NIC serialises all cohort responses: elapsed is
+            # at least the total ingest time, which is what makes fetching a
+            # large fraction of a table through one coordinator a losing plan.
+            ingest = total_response_bytes / meter.rates.lan_bytes_per_sec
+            meter.advance(max(slowest, ingest))
+            if charge_stack:
+                meter.advance(
+                    self.stack.charge_result_return(meter, self.coordinator)
+                )
         if pieces:
             result = Table.concat(pieces, name=stored.name)
         else:
@@ -126,18 +164,33 @@ class CoordinatorEngine:
         ``response_bytes`` give per-node request/response sizes;
         ``compute_bytes`` optionally charges local CPU work.
         """
-        if meter is None:
-            meter = CostMeter(self.rates) if self.rates else CostMeter()
-        slowest = 0.0
-        for node_id, req_bytes in node_payloads.items():
-            wan = self.topology.is_wan(self.coordinator, node_id)
-            seconds = meter.charge_transfer(self.coordinator, node_id, req_bytes, wan=wan)
-            if compute_bytes and node_id in compute_bytes:
-                seconds += meter.charge_cpu(node_id, compute_bytes[node_id])
-            resp = response_bytes.get(node_id, 0)
-            seconds += meter.charge_transfer(node_id, self.coordinator, resp, wan=wan)
-            slowest = max(slowest, seconds)
-        meter.advance(slowest)
+        meter, obs = self._meter(meter)
+        with obs.span("scatter_gather", meter=meter, category="job"):
+            slowest = 0.0
+            tracing = obs.enabled
+            fan_start = obs.now if tracing else 0.0
+            for node_id, req_bytes in node_payloads.items():
+                wan = self.topology.is_wan(self.coordinator, node_id)
+                seconds = meter.charge_transfer(
+                    self.coordinator, node_id, req_bytes, wan=wan
+                )
+                if compute_bytes and node_id in compute_bytes:
+                    seconds += meter.charge_cpu(node_id, compute_bytes[node_id])
+                resp = response_bytes.get(node_id, 0)
+                seconds += meter.charge_transfer(
+                    node_id, self.coordinator, resp, wan=wan
+                )
+                if tracing:
+                    obs.record_span(
+                        f"gather:{node_id}",
+                        fan_start,
+                        seconds,
+                        category="task",
+                        track=node_id,
+                        bytes=resp,
+                    )
+                slowest = max(slowest, seconds)
+            meter.advance(slowest)
         return meter.freeze()
 
     def _partition(self, stored: StoredTable, index: int) -> TablePartition:

@@ -11,6 +11,7 @@ so results are exact; only the *costs* are simulated.
 
 from __future__ import annotations
 
+import heapq
 import zlib
 from collections import defaultdict
 from typing import Any, Callable, Dict, Iterable, List, Optional, Tuple
@@ -23,6 +24,7 @@ from repro.cluster.storage import DistributedStore, StoredTable
 from repro.data.tabular import Table
 from repro.engine.bdas import BDASStack
 from repro.engine.resources import ResourceManager
+from repro.obs.observer import NULL_OBSERVER, Observer
 
 MapFn = Callable[[Table], Iterable[Tuple[Any, Any]]]
 ReduceFn = Callable[[Any, List[Any]], Any]
@@ -65,12 +67,18 @@ class MapReduceEngine:
         resources: Optional[ResourceManager] = None,
         stack: Optional[BDASStack] = None,
         rates: Optional["CostRates"] = None,
+        observer: Optional[Observer] = None,
     ) -> None:
         self.store = store
         self.topology = store.topology
         self.resources = resources or ResourceManager(store.topology)
         self.stack = stack or BDASStack()
         self.rates = rates
+        self.observer = observer or NULL_OBSERVER
+
+    def attach_observer(self, observer: Observer) -> None:
+        """Record traces/metrics/events for subsequent jobs on ``observer``."""
+        self.observer = observer
 
     def run(
         self,
@@ -84,36 +92,63 @@ class MapReduceEngine:
         """Execute one job; returns (results-by-key, cost report)."""
         stored = self.store.table(table_name)
         require(len(stored.partitions) >= 1, "table has no partitions")
+        obs = self.observer
         if meter is None:
-            meter = CostMeter(self.rates) if self.rates else CostMeter()
+            watcher = obs if obs.enabled else None
+            meter = (
+                CostMeter(self.rates, observer=watcher)
+                if self.rates
+                else CostMeter(observer=watcher)
+            )
+        elif not obs.enabled and meter.observer is not None:
+            obs = meter.observer  # caller-attached observer travels with the meter
         driver = driver_node or self.topology.pick_coordinator()
         reducers = self._reducer_nodes(stored, n_reducers)
 
         engaged = {p.primary_node for p in stored.partitions} | set(reducers)
-        meter.advance(self.stack.charge_submission(meter, driver, engaged))
+        with obs.span(
+            "mapreduce", meter=meter, category="job", table=table_name
+        ):
+            with obs.span("submit", meter=meter, category="phase"):
+                meter.advance(self.stack.charge_submission(meter, driver, engaged))
 
-        map_outputs, map_elapsed = self._map_phase(stored, map_fn, meter)
-        meter.advance(map_elapsed)
+            with obs.span("map", meter=meter, category="phase"):
+                map_outputs, map_elapsed = self._map_phase(
+                    stored, map_fn, meter, obs
+                )
+                meter.advance(map_elapsed)
 
-        grouped, shuffle_elapsed = self._shuffle_phase(map_outputs, reducers, meter)
-        meter.advance(shuffle_elapsed)
+            with obs.span("shuffle", meter=meter, category="phase"):
+                grouped, shuffle_elapsed = self._shuffle_phase(
+                    map_outputs, reducers, meter
+                )
+                meter.advance(shuffle_elapsed)
 
-        results, reduce_elapsed = self._reduce_phase(
-            grouped, reduce_fn, reducers, meter
-        )
-        meter.advance(reduce_elapsed)
+            with obs.span("reduce", meter=meter, category="phase"):
+                results, reduce_elapsed = self._reduce_phase(
+                    grouped, reduce_fn, reducers, meter, obs
+                )
+                meter.advance(reduce_elapsed)
 
-        meter.advance(self._collect_phase(results, reducers, driver, meter))
-        meter.advance(self.stack.charge_result_return(meter, driver))
+            with obs.span("collect", meter=meter, category="phase"):
+                meter.advance(self._collect_phase(results, reducers, driver, meter))
+                meter.advance(self.stack.charge_result_return(meter, driver))
         return results, meter.freeze()
 
     # Phases ----------------------------------------------------------------
     def _map_phase(
-        self, stored: StoredTable, map_fn: MapFn, meter: CostMeter
+        self,
+        stored: StoredTable,
+        map_fn: MapFn,
+        meter: CostMeter,
+        obs: Observer = NULL_OBSERVER,
     ) -> Tuple[List[Tuple[str, List[Tuple[Any, Any]]]], float]:
         """Run one map task per partition; returns (per-node outputs, elapsed)."""
         node_tasks: Dict[str, List[float]] = defaultdict(list)
         outputs: List[Tuple[str, List[Tuple[Any, Any]]]] = []
+        tracing = obs.enabled
+        phase_start = obs.now if tracing else 0.0
+        spans: List[Tuple[str, str, float, Dict[str, Any]]] = []
         for partition in stored.partitions:
             node = partition.primary_node
             seconds = meter.charge_task_startup(node)
@@ -122,8 +157,54 @@ class MapReduceEngine:
             seconds += meter.charge_cpu(node, data.n_bytes)
             pairs = list(map_fn(data))
             outputs.append((node, pairs))
+            if tracing:
+                spans.append(
+                    (
+                        f"map:{partition.partition_id}",
+                        node,
+                        seconds,
+                        {"rows": data.n_rows, "bytes": data.n_bytes},
+                    )
+                )
             node_tasks[node].append(seconds)
+        if tracing:
+            self._record_task_spans(obs, phase_start, spans)
         return outputs, self.resources.makespan_per_node(node_tasks)
+
+    def _record_task_spans(
+        self,
+        obs: Observer,
+        phase_start: float,
+        tasks: List[Tuple[str, str, float, Dict[str, Any]]],
+    ) -> None:
+        """Lay per-node task spans out on slot tracks.
+
+        Replays the same LPT-greedy schedule as
+        :meth:`ResourceManager.makespan`, so the last task span ends
+        exactly when the phase's simulated elapsed time says it does.
+        """
+        per_node: Dict[str, List[Tuple[str, float, Dict[str, Any]]]] = (
+            defaultdict(list)
+        )
+        for name, node, seconds, extra in tasks:
+            per_node[node].append((name, seconds, extra))
+        for node, node_tasks in per_node.items():
+            n_slots = min(self.resources.slots_per_node, len(node_tasks))
+            slots = [(0.0, i) for i in range(n_slots)]
+            for name, seconds, extra in sorted(
+                node_tasks, key=lambda t: t[1], reverse=True
+            ):
+                busy_until, slot = heapq.heappop(slots)
+                track = node if slot == 0 else f"{node}#{slot + 1}"
+                obs.record_span(
+                    name,
+                    phase_start + busy_until,
+                    seconds,
+                    category="task",
+                    track=track,
+                    **extra,
+                )
+                heapq.heappush(slots, (busy_until + seconds, slot))
 
     def _shuffle_phase(
         self,
@@ -166,9 +247,13 @@ class MapReduceEngine:
         reduce_fn: ReduceFn,
         reducers: List[str],
         meter: CostMeter,
+        obs: Observer = NULL_OBSERVER,
     ) -> Tuple[Dict[Any, Any], float]:
         results: Dict[Any, Any] = {}
         node_tasks: Dict[str, List[float]] = defaultdict(list)
+        tracing = obs.enabled
+        phase_start = obs.now if tracing else 0.0
+        spans: List[Tuple[str, str, float, Dict[str, Any]]] = []
         for reducer in reducers:
             seconds = meter.charge_task_startup(reducer)
             in_bytes = sum(
@@ -179,7 +264,18 @@ class MapReduceEngine:
             seconds += meter.charge_cpu(reducer, in_bytes)
             for key, values in grouped[reducer].items():
                 results[key] = reduce_fn(key, values)
+            if tracing:
+                spans.append(
+                    (
+                        f"reduce:{reducer}",
+                        reducer,
+                        seconds,
+                        {"keys": len(grouped[reducer]), "bytes": in_bytes},
+                    )
+                )
             node_tasks[reducer].append(seconds)
+        if tracing:
+            self._record_task_spans(obs, phase_start, spans)
         return results, self.resources.makespan_per_node(node_tasks)
 
     def _collect_phase(

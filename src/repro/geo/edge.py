@@ -23,6 +23,7 @@ from repro.core.answer_models import AnswerModelFactory
 from repro.core.error import PrequentialErrorEstimator
 from repro.core.predictor import DatalessPredictor, Prediction
 from repro.core.quantization import QuerySpaceQuantizer
+from repro.obs.observer import NULL_OBSERVER, Observer
 from repro.queries.query import AnalyticsQuery, Answer
 
 _QUERY_BYTES = 512
@@ -56,10 +57,15 @@ class EdgeAgent:
         self.core_engine = core_engine
         self.core_gateway = core_gateway
         self.config = config or AgentConfig()
+        self.observer: Observer = NULL_OBSERVER
         self._predictors: Dict[str, DatalessPredictor] = {}
         self.n_queries = 0
         self.n_local = 0
         self.n_core = 0
+
+    def attach_observer(self, observer: Observer) -> None:
+        """Record this edge's serving costs on ``observer``."""
+        self.observer = observer
 
     # Serving ---------------------------------------------------------------
     def submit(self, query: AnalyticsQuery) -> EdgeServed:
@@ -95,15 +101,22 @@ class EdgeAgent:
     ) -> EdgeServed:
         """WAN round trip to the core for an exact answer; keep learning."""
         self.n_core += 1
+        obs = self.observer
         answer, core_report = self.core_engine.execute(query)
-        meter = CostMeter()
-        seconds = meter.charge_transfer(
-            self.node_id, self.core_gateway, _QUERY_BYTES, wan=True
-        )
-        seconds += meter.charge_transfer(
-            self.core_gateway, self.node_id, _ANSWER_BYTES * query.answer_dim, wan=True
-        )
-        meter.advance(seconds)
+        meter = CostMeter(observer=obs if obs.enabled else None)
+        with obs.span(
+            "wan_round_trip", meter=meter, category="geo", edge=self.name
+        ):
+            seconds = meter.charge_transfer(
+                self.node_id, self.core_gateway, _QUERY_BYTES, wan=True
+            )
+            seconds += meter.charge_transfer(
+                self.core_gateway,
+                self.node_id,
+                _ANSWER_BYTES * query.answer_dim,
+                wan=True,
+            )
+            meter.advance(seconds)
         predictor.observe(query.vector(), answer)
         total = core_report.merged_sequential(meter.freeze())
         return EdgeServed(query=query, answer=answer, origin="core", cost=total)
@@ -168,7 +181,11 @@ class EdgeAgent:
 
     def _local_cost(self) -> CostReport:
         """A locally answered query: edge-node inference only, no WAN."""
-        meter = CostMeter()
-        meter.charge_cpu(self.node_id, 4096)
-        meter.advance(1e-3)
+        obs = self.observer
+        meter = CostMeter(observer=obs if obs.enabled else None)
+        with obs.span(
+            "edge_inference", meter=meter, category="geo", edge=self.name
+        ):
+            meter.charge_cpu(self.node_id, 4096)
+            meter.advance(1e-3)
         return meter.freeze()

@@ -24,6 +24,7 @@ from repro.common.accounting import CostMeter
 from repro.common.errors import NotTrainedError, RoutingError
 from repro.geo.edge import EdgeAgent, EdgeServed
 from repro.geo.federation import CoreCoordinator
+from repro.obs.observer import NULL_OBSERVER, Observer
 from repro.queries.query import AnalyticsQuery
 
 _QUERY_BYTES = 512
@@ -38,15 +39,58 @@ class GeoRouter:
         edges: List[EdgeAgent],
         core: CoreCoordinator,
         peer_routing: bool = True,
+        observer: Optional[Observer] = None,
     ) -> None:
         if not edges:
             raise RoutingError("router needs at least one edge")
         self.edges = {edge.name: edge for edge in edges}
         self.core = core
         self.peer_routing = peer_routing
+        self.observer = observer or NULL_OBSERVER
+
+    def attach_observer(self, observer: Observer) -> None:
+        """Record routing decisions (and core executions) on ``observer``."""
+        self.observer = observer
+        for edge in self.edges.values():
+            edge.attach_observer(observer)
+            hook = getattr(edge.core_engine, "attach_observer", None)
+            if callable(hook):
+                hook(observer)
 
     def submit(self, edge_name: str, query: AnalyticsQuery) -> EdgeServed:
         """Serve a query arriving at ``edge_name``."""
+        obs = self.observer
+        if not obs.enabled:
+            return self._route(edge_name, query)
+        with obs.span(
+            "geo_query", category="query", edge=edge_name,
+            signature=query.signature(),
+        ) as args:
+            served = self._route(edge_name, query)
+            args["origin"] = served.origin
+        obs.inc("sea_geo_routes_total", origin=served.origin)
+        if served.origin == "core":
+            obs.inc("sea_geo_wan_fallbacks_total")
+        obs.observe(
+            "sea_geo_latency_seconds", served.cost.elapsed_sec, origin=served.origin
+        )
+        obs.event(
+            "geo_route",
+            edge=edge_name,
+            origin=served.origin,
+            local_hit=served.origin == "local",
+            wan_fallback=served.origin == "core",
+            signature=query.signature(),
+            elapsed_sec=served.cost.elapsed_sec,
+            error_estimate=(
+                served.prediction.error_estimate
+                if served.prediction is not None
+                else None
+            ),
+        )
+        return served
+
+    def _route(self, edge_name: str, query: AnalyticsQuery) -> EdgeServed:
         edge = self._edge(edge_name)
         edge.n_queries += 1
         predictor = edge.predictor_for(query)
@@ -94,15 +138,21 @@ class GeoRouter:
                 or prediction.error_estimate > peer.config.error_threshold
             ):
                 continue
-            meter = CostMeter()
-            seconds = meter.charge_transfer(
-                edge.node_id, peer.node_id, _QUERY_BYTES, wan=True
-            )
-            seconds += meter.charge_cpu(peer.node_id, 4096)
-            seconds += meter.charge_transfer(
-                peer.node_id, edge.node_id, _ANSWER_BYTES * query.answer_dim, wan=True
-            )
-            meter.advance(seconds)
+            obs = self.observer
+            meter = CostMeter(observer=obs if obs.enabled else None)
+            with obs.span(
+                "peer_hop", meter=meter, category="geo",
+                peer=peer.name, edge=edge.name,
+            ):
+                seconds = meter.charge_transfer(
+                    edge.node_id, peer.node_id, _QUERY_BYTES, wan=True
+                )
+                seconds += meter.charge_cpu(peer.node_id, 4096)
+                seconds += meter.charge_transfer(
+                    peer.node_id, edge.node_id,
+                    _ANSWER_BYTES * query.answer_dim, wan=True,
+                )
+                meter.advance(seconds)
             return EdgeServed(
                 query=query,
                 answer=prediction.scalar if query.answer_dim == 1 else prediction.value,

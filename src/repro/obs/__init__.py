@@ -1,0 +1,49 @@
+"""Observability for the SEA stack: traces, metrics, and events.
+
+Three surfaces, all on the *simulated* clock of the cost model:
+
+* :mod:`repro.obs.trace` — hierarchical spans (query → engine phase →
+  per-node task) exported as Chrome trace-event JSON for Perfetto;
+* :mod:`repro.obs.metrics` — counters, gauges and reservoir-backed
+  latency histograms with Prometheus text exposition;
+* :mod:`repro.obs.events` — a structured JSONL log of the decisions the
+  stack makes (train/predict/fallback, drift, optimizer choices,
+  geo routing).
+
+:class:`~repro.obs.observer.Observer` is the null default every
+instrumented component carries — attaching a
+:class:`~repro.obs.observer.StackObserver` turns recording on; leaving
+the default keeps the hot paths allocation-free.
+"""
+
+from repro.obs.events import Event, EventLog
+from repro.obs.metrics import (
+    Counter,
+    Gauge,
+    Histogram,
+    MetricFamily,
+    MetricsRegistry,
+)
+from repro.obs.observer import (
+    NULL_OBSERVER,
+    Observer,
+    StackObserver,
+    attach_observer,
+)
+from repro.obs.trace import Span, TraceRecorder
+
+__all__ = [
+    "Event",
+    "EventLog",
+    "Counter",
+    "Gauge",
+    "Histogram",
+    "MetricFamily",
+    "MetricsRegistry",
+    "NULL_OBSERVER",
+    "Observer",
+    "StackObserver",
+    "attach_observer",
+    "Span",
+    "TraceRecorder",
+]

@@ -1,0 +1,86 @@
+"""Structured event log: the *decisions* the SEA stack makes, as data.
+
+Where the trace answers "where did simulated time go", the event log
+answers "what did the system decide and why": train/predict/fallback
+choices with their estimated errors, drift detections, model
+invalidations and retrains, learned-optimizer choices with predicted vs
+actual cost, and geo-routing tier decisions (edge hit / peer / WAN
+fallback).  Every event carries its simulated timestamp, so events line
+up with trace spans.
+
+Export is JSON Lines — one event per line — which greps, tails and loads
+into any dataframe tool without a schema registry.
+"""
+
+from __future__ import annotations
+
+import json
+from dataclasses import dataclass, field
+from typing import Any, Dict, Iterator, List, Optional
+
+from repro.obs.trace import _jsonable
+
+
+@dataclass
+class Event:
+    """One structured event on the simulated timeline."""
+
+    ts: float
+    type: str
+    fields: Dict[str, Any] = field(default_factory=dict)
+
+    def as_dict(self) -> Dict[str, Any]:
+        out: Dict[str, Any] = {"ts": round(self.ts, 9), "type": self.type}
+        out.update(_jsonable(self.fields))
+        return out
+
+
+class EventLog:
+    """Append-only in-memory event log with JSONL export."""
+
+    def __init__(self, capacity: Optional[int] = None) -> None:
+        self.capacity = capacity
+        self.events: List[Event] = []
+        self.n_dropped = 0
+
+    def emit(self, type: str, ts: float = 0.0, **fields: Any) -> Optional[Event]:
+        """Record one event; returns it (or None if over capacity)."""
+        if self.capacity is not None and len(self.events) >= self.capacity:
+            self.n_dropped += 1
+            return None
+        event = Event(ts=ts, type=type, fields=fields)
+        self.events.append(event)
+        return event
+
+    def of_type(self, *types: str) -> List[Event]:
+        wanted = set(types)
+        return [e for e in self.events if e.type in wanted]
+
+    def __len__(self) -> int:
+        return len(self.events)
+
+    def __iter__(self) -> Iterator[Event]:
+        return iter(self.events)
+
+    # Export -----------------------------------------------------------------
+    def to_jsonl(self) -> str:
+        return "\n".join(json.dumps(e.as_dict()) for e in self.events) + (
+            "\n" if self.events else ""
+        )
+
+    def export(self, path: str) -> str:
+        """Write the log as JSON Lines to ``path``; returns the path."""
+        with open(path, "w") as handle:
+            handle.write(self.to_jsonl())
+        return path
+
+    @staticmethod
+    def load_jsonl(path: str) -> List[Dict[str, Any]]:
+        """Parse a JSONL file back into plain dicts (for round-trip tests)."""
+        out: List[Dict[str, Any]] = []
+        with open(path) as handle:
+            for line in handle:
+                line = line.strip()
+                if line:
+                    out.append(json.loads(line))
+        return out

@@ -1,0 +1,216 @@
+"""The observer interface the SEA stack is instrumented against.
+
+Instrumented code (engines, agents, routers, the cost meter) talks to an
+:class:`Observer`.  The base class *is* the null implementation: every
+hook is a no-op, ``enabled`` is False, and ``span`` returns a shared
+no-op context manager — so the uninstrumented path costs one attribute
+check and zero allocations per charge.  Hot loops additionally guard
+with ``if observer.enabled:`` so even argument packing is skipped.
+
+:class:`StackObserver` is the recording implementation, bundling the
+three surfaces of :mod:`repro.obs`:
+
+* ``trace`` — a :class:`~repro.obs.trace.TraceRecorder` (Chrome trace);
+* ``metrics`` — a :class:`~repro.obs.metrics.MetricsRegistry`
+  (Prometheus text exposition);
+* ``events`` — an :class:`~repro.obs.events.EventLog` (JSONL).
+
+It also implements ``on_charge``, turning every simulated cost charge
+into metric increments, so byte/second accounting shows up in the
+metrics without the engines doing anything beyond carrying the observer
+on their :class:`~repro.common.accounting.CostMeter`.
+"""
+
+from __future__ import annotations
+
+from typing import Any, Dict, Optional
+
+from repro.obs.events import EventLog
+from repro.obs.metrics import MetricsRegistry
+from repro.obs.trace import Span, TraceRecorder
+
+
+class _NullSpan:
+    """Reusable no-op context manager (one shared instance, no state)."""
+
+    __slots__ = ()
+
+    def __enter__(self) -> Dict[str, Any]:
+        return {}
+
+    def __exit__(self, *exc) -> bool:
+        return False
+
+
+_NULL_SPAN = _NullSpan()
+
+
+class Observer:
+    """Null observer: every hook is free.  Subclass to record."""
+
+    __slots__ = ()
+
+    enabled = False
+
+    @property
+    def now(self) -> float:
+        """Current global simulated time (always 0 when not recording)."""
+        return 0.0
+
+    # Tracing ----------------------------------------------------------------
+    def span(
+        self,
+        name: str,
+        meter: Any = None,
+        category: str = "span",
+        track: str = "main",
+        **args: Any,
+    ):
+        """A no-op context manager; :class:`StackObserver` records a span."""
+        return _NULL_SPAN
+
+    def record_span(
+        self,
+        name: str,
+        start: float,
+        duration: float,
+        category: str = "task",
+        track: str = "main",
+        **args: Any,
+    ) -> Optional[Span]:
+        return None
+
+    # Cost charges (called by CostMeter on every charge) ---------------------
+    def on_charge(
+        self, kind: str, node_id: str, num_bytes: int, seconds: float
+    ) -> None:
+        pass
+
+    # Metrics ----------------------------------------------------------------
+    def inc(self, name: str, amount: float = 1.0, **labels: str) -> None:
+        pass
+
+    def set_gauge(self, name: str, value: float, **labels: str) -> None:
+        pass
+
+    def observe(self, name: str, value: float, **labels: str) -> None:
+        pass
+
+    # Events -----------------------------------------------------------------
+    def event(self, type: str, **fields: Any) -> None:
+        pass
+
+
+NULL_OBSERVER = Observer()
+
+
+class StackObserver(Observer):
+    """Recording observer: simulated-clock trace + metrics + event log."""
+
+    enabled = True
+
+    def __init__(
+        self,
+        trace: Optional[TraceRecorder] = None,
+        metrics: Optional[MetricsRegistry] = None,
+        events: Optional[EventLog] = None,
+        event_capacity: Optional[int] = None,
+    ) -> None:
+        self.trace = trace or TraceRecorder()
+        self.metrics = metrics or MetricsRegistry()
+        self.events = events or EventLog(capacity=event_capacity)
+
+    @property
+    def now(self) -> float:
+        return self.trace.now
+
+    # Tracing ----------------------------------------------------------------
+    def span(
+        self,
+        name: str,
+        meter: Any = None,
+        category: str = "span",
+        track: str = "main",
+        **args: Any,
+    ):
+        return self.trace.span(
+            name, meter=meter, category=category, track=track, **args
+        )
+
+    def record_span(
+        self,
+        name: str,
+        start: float,
+        duration: float,
+        category: str = "task",
+        track: str = "main",
+        **args: Any,
+    ) -> Optional[Span]:
+        return self.trace.record(
+            name, start, duration, category=category, track=track, **args
+        )
+
+    # Cost charges -----------------------------------------------------------
+    def on_charge(
+        self, kind: str, node_id: str, num_bytes: int, seconds: float
+    ) -> None:
+        metrics = self.metrics
+        metrics.counter(
+            "sea_charges_total", "Simulated cost charges by kind"
+        ).labels(kind=kind).inc()
+        if num_bytes:
+            metrics.counter(
+                "sea_charge_bytes_total", "Simulated bytes by charge kind"
+            ).labels(kind=kind).inc(num_bytes)
+        metrics.counter(
+            "sea_node_seconds_total", "Simulated node-occupancy seconds"
+        ).inc(seconds)
+
+    # Metrics ----------------------------------------------------------------
+    def inc(self, name: str, amount: float = 1.0, **labels: str) -> None:
+        self.metrics.counter(name).labels(**labels).inc(amount)
+
+    def set_gauge(self, name: str, value: float, **labels: str) -> None:
+        self.metrics.gauge(name).labels(**labels).set(value)
+
+    def observe(self, name: str, value: float, **labels: str) -> None:
+        self.metrics.histogram(name).labels(**labels).observe(value)
+
+    # Events -----------------------------------------------------------------
+    def event(self, type: str, **fields: Any) -> None:
+        self.events.emit(type, ts=self.now, **fields)
+
+    # Exports ----------------------------------------------------------------
+    def export_trace(self, path: str) -> str:
+        return self.trace.export(path)
+
+    def export_metrics(self, path: str) -> str:
+        return self.metrics.export(path)
+
+    def export_events(self, path: str) -> str:
+        return self.events.export(path)
+
+    def snapshot(self) -> Dict[str, float]:
+        """Flat metrics snapshot plus trace/event volumes.
+
+        The shape benchmarks attach to ``benchmark.extra_info``.
+        """
+        out = self.metrics.as_dict()
+        out["obs_spans_recorded"] = float(len(self.trace.spans))
+        out["obs_events_recorded"] = float(len(self.events))
+        out["obs_simulated_seconds"] = float(self.trace.now)
+        return out
+
+
+def attach_observer(component: Any, observer: Observer) -> Any:
+    """Attach ``observer`` to any component that supports observation.
+
+    Prefers the component's own ``attach_observer`` method; falls back to
+    setting an ``observer`` attribute.  Returns the observer for chaining.
+    """
+    hook = getattr(component, "attach_observer", None)
+    if callable(hook) and hook is not attach_observer:
+        hook(observer)
+    else:
+        component.observer = observer
+    return observer

@@ -1,0 +1,247 @@
+"""Hierarchical spans on the simulated clock, exportable as a Chrome trace.
+
+The repo's cost model (:mod:`repro.common.accounting`) produces *simulated*
+seconds — host wall time measures Python, not the architecture.  A
+:class:`TraceRecorder` therefore keeps its own simulated timeline and lets
+instrumentation open nested spans against it:
+
+* a span opened **with a meter** anchors that meter's ``elapsed_sec`` onto
+  the global timeline, so everything charged inside the span lands at the
+  right simulated instant;
+* a span opened **without a meter** (e.g. one analyst query) brackets its
+  children: when an inner anchored meter closes, the recorder folds the
+  elapsed simulated time back into the global clock, so the outer span's
+  duration is the sum of its children's simulated time.
+
+Parallel work (map tasks fanning out across nodes) is recorded with
+:meth:`TraceRecorder.record` on per-node *tracks*, which export as separate
+threads so overlapping tasks render side by side.
+
+Export is the Chrome trace-event JSON format (``ph: "X"`` complete events
+plus thread-name metadata), loadable in Perfetto / ``chrome://tracing``.
+Simulated seconds map to trace microseconds.
+"""
+
+from __future__ import annotations
+
+import json
+from contextlib import contextmanager
+from dataclasses import dataclass, field
+from typing import Any, Dict, Iterator, List, Optional, Tuple
+
+_DEFAULT_TRACK = "main"
+
+
+@dataclass
+class Span:
+    """One completed span on the simulated timeline."""
+
+    name: str
+    category: str
+    track: str
+    start: float  # simulated seconds since session start
+    duration: float
+    depth: int  # nesting depth at open time (0 = top level)
+    args: Dict[str, Any] = field(default_factory=dict)
+
+    @property
+    def end(self) -> float:
+        return self.start + self.duration
+
+    def contains(self, other: "Span") -> bool:
+        """Whether ``other`` nests inside this span on the timeline."""
+        eps = 1e-12
+        return (
+            other.start >= self.start - eps and other.end <= self.end + eps
+        )
+
+
+class TraceRecorder:
+    """Collects spans against a global simulated clock."""
+
+    def __init__(self) -> None:
+        self.spans: List[Span] = []
+        self._base = 0.0  # global simulated time with no meter anchored
+        # Stack of (meter, offset): global now = offset + meter.elapsed_sec.
+        self._anchors: List[Tuple[Any, float]] = []
+        self._depth = 0
+
+    @property
+    def now(self) -> float:
+        """Current global simulated time."""
+        if self._anchors:
+            meter, offset = self._anchors[-1]
+            return offset + meter.elapsed_sec
+        return self._base
+
+    @contextmanager
+    def span(
+        self,
+        name: str,
+        meter: Any = None,
+        category: str = "span",
+        track: str = _DEFAULT_TRACK,
+        **args: Any,
+    ) -> Iterator[Dict[str, Any]]:
+        """Open a nested span; yields the mutable ``args`` dict.
+
+        When ``meter`` is a :class:`~repro.common.accounting.CostMeter`,
+        the span's duration follows the meter's simulated ``elapsed_sec``
+        and the span records the cost *deltas* accrued inside it
+        (``bytes_scanned``, ``bytes_shipped``, ``nodes_touched``, ...).
+        """
+        anchored = meter is not None and (
+            not self._anchors or self._anchors[-1][0] is not meter
+        )
+        if anchored:
+            self._anchors.append((meter, self.now - meter.elapsed_sec))
+        start = self.now
+        before = meter.freeze() if meter is not None else None
+        depth = self._depth
+        self._depth += 1
+        try:
+            yield args
+        finally:
+            self._depth -= 1
+            end = self.now
+            if meter is not None:
+                after = meter.freeze()
+                args.setdefault("bytes_scanned", after.bytes_scanned - before.bytes_scanned)
+                args.setdefault(
+                    "bytes_shipped",
+                    (after.bytes_shipped_lan + after.bytes_shipped_wan)
+                    - (before.bytes_shipped_lan + before.bytes_shipped_wan),
+                )
+                args.setdefault("nodes_touched", after.nodes_touched - before.nodes_touched)
+                args.setdefault("node_sec", after.node_sec - before.node_sec)
+            if anchored:
+                self._pop_anchor(end)
+            elif not self._anchors:
+                self._base = max(self._base, end)
+            self.spans.append(
+                Span(
+                    name=name,
+                    category=category,
+                    track=track,
+                    start=start,
+                    duration=max(0.0, end - start),
+                    depth=depth,
+                    args=args,
+                )
+            )
+
+    def record(
+        self,
+        name: str,
+        start: float,
+        duration: float,
+        category: str = "task",
+        track: str = _DEFAULT_TRACK,
+        **args: Any,
+    ) -> Span:
+        """Record an already-timed span (e.g. one parallel node-task).
+
+        ``start`` is in global simulated seconds — callers typically take
+        :attr:`now` at the beginning of a parallel phase and lay tasks out
+        from there on per-node tracks.
+        """
+        span = Span(
+            name=name,
+            category=category,
+            track=track,
+            start=start,
+            duration=max(0.0, duration),
+            depth=self._depth,
+            args=args,
+        )
+        self.spans.append(span)
+        return span
+
+    def _pop_anchor(self, end: float) -> None:
+        """Close an anchored meter, folding its elapsed time outward."""
+        self._anchors.pop()
+        if self._anchors:
+            meter, offset = self._anchors[-1]
+            # Push the outer local clock forward so time stays monotonic
+            # even though the outer meter never saw the inner one's work.
+            self._anchors[-1] = (meter, max(offset, end - meter.elapsed_sec))
+        else:
+            self._base = max(self._base, end)
+
+    # Introspection ----------------------------------------------------------
+    def __len__(self) -> int:
+        return len(self.spans)
+
+    def find(self, name_prefix: str) -> List[Span]:
+        """All spans whose name starts with ``name_prefix``."""
+        return [s for s in self.spans if s.name.startswith(name_prefix)]
+
+    def children_of(self, parent: Span) -> List[Span]:
+        """Spans strictly nested inside ``parent`` (same or other tracks)."""
+        return [
+            s
+            for s in self.spans
+            if s is not parent and parent.contains(s) and s.depth >= parent.depth
+        ]
+
+    # Export -----------------------------------------------------------------
+    def to_chrome_trace(self) -> Dict[str, Any]:
+        """The Chrome trace-event JSON document (dict, ready to dump)."""
+        events: List[Dict[str, Any]] = []
+        tids: Dict[str, int] = {}
+
+        def tid_for(track: str) -> int:
+            if track not in tids:
+                tids[track] = len(tids)
+                events.append(
+                    {
+                        "name": "thread_name",
+                        "ph": "M",
+                        "pid": 1,
+                        "tid": tids[track],
+                        "args": {"name": track},
+                    }
+                )
+            return tids[track]
+
+        tid_for(_DEFAULT_TRACK)  # keep the main track first
+        for span in self.spans:
+            events.append(
+                {
+                    "name": span.name,
+                    "cat": span.category,
+                    "ph": "X",
+                    "pid": 1,
+                    "tid": tid_for(span.track),
+                    "ts": span.start * 1e6,  # simulated sec -> trace "us"
+                    "dur": span.duration * 1e6,
+                    "args": _jsonable(span.args),
+                }
+            )
+        return {"traceEvents": events, "displayTimeUnit": "ms"}
+
+    def export(self, path: str) -> str:
+        """Write the Chrome trace JSON to ``path``; returns the path."""
+        with open(path, "w") as handle:
+            json.dump(self.to_chrome_trace(), handle, indent=None)
+        return path
+
+
+def _jsonable(value: Any) -> Any:
+    """Best-effort conversion to JSON-serializable builtins."""
+    if isinstance(value, dict):
+        return {str(k): _jsonable(v) for k, v in value.items()}
+    if isinstance(value, (list, tuple)):
+        return [_jsonable(v) for v in value]
+    if isinstance(value, (str, bool)) or value is None:
+        return value
+    if isinstance(value, (int, float)):
+        return value
+    # numpy scalars and anything else with an item()/float view
+    item = getattr(value, "item", None)
+    if callable(item):
+        try:
+            return item()
+        except Exception:
+            pass
+    return str(value)

@@ -23,6 +23,7 @@ import numpy as np
 from repro.common.errors import NotTrainedError, OptimizationError
 from repro.common.validation import require
 from repro.ml.tree import DecisionTreeClassifier
+from repro.obs.observer import NULL_OBSERVER, Observer
 from repro.optimizer.features import TaskFeatures
 
 
@@ -83,10 +84,20 @@ class CostModelSelector:
     can budget with.
     """
 
-    def __init__(self, max_depth: int = 5, min_samples_leaf: int = 2) -> None:
+    def __init__(
+        self,
+        max_depth: int = 5,
+        min_samples_leaf: int = 2,
+        observer: Optional[Observer] = None,
+    ) -> None:
         self.max_depth = max_depth
         self.min_samples_leaf = min_samples_leaf
+        self.observer = observer or NULL_OBSERVER
         self._models: Dict[str, object] = {}
+
+    def attach_observer(self, observer: Observer) -> None:
+        """Emit ``optimizer_choice`` events on ``observer``."""
+        self.observer = observer
 
     def fit(self, log: ExecutionLog) -> "CostModelSelector":
         require(len(log) >= 4, f"need >= 4 logged executions, got {len(log)}")
@@ -120,7 +131,16 @@ class CostModelSelector:
 
     def choose(self, features: TaskFeatures) -> str:
         costs = self.predict_costs(features)
-        return min(costs, key=costs.get)
+        chosen = min(costs, key=costs.get)
+        if self.observer.enabled:
+            self.observer.inc("sea_optimizer_choices_total", method=chosen)
+            self.observer.event(
+                "optimizer_choice",
+                selector="cost_model",
+                chosen=chosen,
+                predicted_costs={k: float(v) for k, v in costs.items()},
+            )
+        return chosen
 
     def evaluate(self, log: ExecutionLog) -> Dict[str, float]:
         """Accuracy/regret on a held-out log (same contract as
@@ -135,6 +155,16 @@ class CostModelSelector:
                 correct += 1
             regrets.append(entry.regret_of(chosen))
             predicted = self.predict_costs(entry.features)
+            if self.observer.enabled:
+                self.observer.event(
+                    "optimizer_outcome",
+                    selector="cost_model",
+                    chosen=chosen,
+                    best=entry.best_method,
+                    predicted_cost=float(predicted[chosen]),
+                    actual_cost=float(entry.costs[chosen]),
+                    regret=float(entry.regret_of(chosen)),
+                )
             for method, actual in entry.costs.items():
                 prediction_errors.append(
                     abs(np.log10(max(1e-9, predicted[method]))
@@ -150,12 +180,22 @@ class CostModelSelector:
 class LearnedSelector:
     """CART classifier from task features to the cheapest method."""
 
-    def __init__(self, max_depth: int = 5, min_samples_leaf: int = 2) -> None:
+    def __init__(
+        self,
+        max_depth: int = 5,
+        min_samples_leaf: int = 2,
+        observer: Optional[Observer] = None,
+    ) -> None:
         self._tree = DecisionTreeClassifier(
             max_depth=max_depth, min_samples_leaf=min_samples_leaf
         )
         self._trained = False
         self._default: Optional[str] = None
+        self.observer = observer or NULL_OBSERVER
+
+    def attach_observer(self, observer: Observer) -> None:
+        """Emit ``optimizer_choice`` events on ``observer``."""
+        self.observer = observer
 
     def fit(self, log: ExecutionLog) -> "LearnedSelector":
         require(len(log) >= 4, f"need >= 4 logged executions, got {len(log)}")
@@ -171,7 +211,13 @@ class LearnedSelector:
         """Pick the method for a new task instance."""
         if not self._trained:
             raise NotTrainedError("LearnedSelector.choose called before fit")
-        return str(self._tree.predict(features.as_array().reshape(1, -1))[0])
+        chosen = str(self._tree.predict(features.as_array().reshape(1, -1))[0])
+        if self.observer.enabled:
+            self.observer.inc("sea_optimizer_choices_total", method=chosen)
+            self.observer.event(
+                "optimizer_choice", selector="classifier", chosen=chosen
+            )
+        return chosen
 
     def evaluate(
         self, log: ExecutionLog

@@ -29,11 +29,13 @@ from repro.baselines.exact import ExactEngine
 from repro.cluster.storage import DistributedStore
 from repro.cluster.topology import ClusterTopology
 from repro.common.accounting import CostReport
+from repro.common.errors import ConfigurationError
 from repro.common.validation import require
 from repro.core.agent import AgentConfig, SEAAgent, ServedQuery
 from repro.core.persistence import load_agent_models, save_agent_models
 from repro.data.tabular import Table
 from repro.explain.explanations import Explanation, ExplanationBuilder
+from repro.obs.observer import Observer, StackObserver
 from repro.queries.query import AnalyticsQuery
 from repro.queries.sql import parse_query
 
@@ -46,7 +48,7 @@ class SessionAnswer:
     value: object
     mode: str
     cost: CostReport
-    _session: "SEASession" = None
+    _session: Optional["SEASession"] = None
 
     @property
     def explanation(self) -> Explanation:
@@ -55,6 +57,12 @@ class SessionAnswer:
         Built from the agent's models when they cover the query (zero
         data access), from the exact engine otherwise.
         """
+        if self._session is None:
+            raise ConfigurationError(
+                "this SessionAnswer is detached from its SEASession "
+                "(e.g. it was unpickled); call session.explain(answer.query) "
+                "on a live session instead"
+            )
         return self._session.explain(self.query)
 
     def __repr__(self) -> str:
@@ -73,6 +81,7 @@ class SEASession:
         replication: int = 1,
         config: Optional[AgentConfig] = None,
         partitions_per_node: int = 2,
+        observer: Optional[Observer] = None,
     ) -> None:
         require(n_nodes >= 1, "n_nodes must be >= 1")
         self.topology = ClusterTopology.single_datacenter(n_nodes)
@@ -81,6 +90,45 @@ class SEASession:
         self.agent = SEAAgent(self.engine, config or AgentConfig())
         self.partitions_per_node = partitions_per_node
         self._explainer = ExplanationBuilder(n_probes=13, span=(0.6, 1.4))
+        self.observer: Optional[Observer] = None
+        if observer is not None:
+            self.attach_observer(observer)
+
+    # Observability ----------------------------------------------------------
+    def attach_observer(
+        self, observer: Optional[Observer] = None
+    ) -> Observer:
+        """Turn on observability for this session.
+
+        Creates a :class:`~repro.obs.StackObserver` when none is given,
+        wires it through the agent and the exact engine (spans, metrics,
+        events for every subsequent query), and returns it.
+        """
+        if observer is None:
+            observer = StackObserver()
+        self.observer = observer
+        self.agent.attach_observer(observer)
+        return observer
+
+    def _require_observer(self) -> Observer:
+        if self.observer is None or not self.observer.enabled:
+            raise ConfigurationError(
+                "no observer attached; call session.attach_observer() "
+                "before running the workload you want to export"
+            )
+        return self.observer
+
+    def export_trace(self, path: str) -> str:
+        """Write the Chrome-trace JSON (Perfetto-viewable) to ``path``."""
+        return self._require_observer().export_trace(path)
+
+    def export_metrics(self, path: str) -> str:
+        """Write the Prometheus-style metrics exposition to ``path``."""
+        return self._require_observer().export_metrics(path)
+
+    def export_events(self, path: str) -> str:
+        """Write the structured decision log as JSON Lines to ``path``."""
+        return self._require_observer().export_events(path)
 
     # Data management -------------------------------------------------------
     def load_table(self, table: Table) -> None:
@@ -137,8 +185,17 @@ class SEASession:
 
     # Introspection ------------------------------------------------------------
     def stats(self) -> Dict[str, float]:
-        """Serving statistics plus cumulative resource savings."""
+        """Serving statistics plus cumulative resource savings.
+
+        ``estimated_seconds_saved`` and ``bytes_scanned_total`` are always
+        present (0.0 on an empty history), so downstream tabulation never
+        has to guard against missing keys.  When an observer is attached,
+        its flat metrics snapshot (span/event volumes, charge counters,
+        latency quantiles) is merged in under its exposition names.
+        """
         stats = self.agent.stats()
+        stats["estimated_seconds_saved"] = 0.0
+        stats["bytes_scanned_total"] = 0.0
         history = self.agent.history
         if history:
             exact_costs = [
@@ -154,4 +211,8 @@ class SEASession:
             stats["bytes_scanned_total"] = float(
                 sum(r.cost.bytes_scanned for r in history)
             )
+        if self.observer is not None and self.observer.enabled:
+            snapshot = getattr(self.observer, "snapshot", None)
+            if callable(snapshot):
+                stats.update(snapshot())
         return stats

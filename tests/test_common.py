@@ -114,6 +114,62 @@ class TestCostReport:
         d = CostReport().as_dict()
         assert "elapsed_sec" in d and "bytes_scanned" in d
 
+    def test_total_of_empty_iterable_is_zero_report(self):
+        for parallel in (False, True):
+            report = CostMeter.total([], parallel=parallel)
+            assert report.elapsed_sec == 0.0
+            assert report.node_sec == 0.0
+            assert report.bytes_scanned == 0
+
+    def test_total_of_single_report_is_identity(self):
+        one = CostReport(
+            elapsed_sec=2.5, node_sec=4.0, bytes_scanned=7, nodes_touched=3
+        )
+        for parallel in (False, True):
+            total = CostMeter.total([one], parallel=parallel)
+            assert total.as_dict() == one.as_dict()
+
+    def test_total_accepts_any_iterable(self):
+        gen = (CostReport(elapsed_sec=1.0) for _ in range(4))
+        assert CostMeter.total(gen).elapsed_sec == 4.0
+
+    def test_parallel_total_elapsed_is_max_of_branches(self):
+        reports = [
+            CostReport(elapsed_sec=float(i), node_sec=float(i))
+            for i in (3, 1, 2)
+        ]
+        par = CostMeter.total(reports, parallel=True)
+        assert par.elapsed_sec == 3.0  # critical path, order-independent
+        assert par.node_sec == 6.0  # occupancy always adds
+
+    def test_merge_does_not_mutate_operands(self):
+        a = CostReport(elapsed_sec=1.0, bytes_scanned=5)
+        b = CostReport(elapsed_sec=2.0, bytes_scanned=6)
+        a.merged_parallel(b)
+        a.merged_sequential(b)
+        assert a.bytes_scanned == 5 and b.bytes_scanned == 6
+        assert a.elapsed_sec == 1.0 and b.elapsed_sec == 2.0
+
+    def test_merge_sums_every_consumption_field(self):
+        a = CostReport(
+            elapsed_sec=1.0,
+            node_sec=1.0,
+            bytes_scanned=1,
+            bytes_shipped_lan=2,
+            bytes_shipped_wan=3,
+            nodes_touched=4,
+            tasks_launched=5,
+            layers_crossed=6,
+            rows_examined=7,
+            messages=8,
+        )
+        merged = a.merged_sequential(a)
+        for field, value in merged.as_dict().items():
+            if field == "elapsed_sec":
+                assert value == 2.0
+            else:
+                assert value == 2 * a.as_dict()[field], field
+
 
 class TestRng:
     def test_same_seed_same_stream(self):

@@ -1,0 +1,211 @@
+"""Worked example: full observability of a mixed SEA workload.
+
+Runs a train/serve workload through :class:`SEASession` with a
+``StackObserver`` attached, exports all three artefacts, and asserts the
+acceptance shape: a Chrome trace with nested spans (query -> engine
+phase -> per-node task), a Prometheus exposition with serve-mode
+counters and a latency histogram, and a JSONL event log containing at
+least one fallback and at least one optimizer event.  Also asserts the
+null-observer hot path allocates nothing in ``repro.obs``.
+"""
+
+import json
+import tracemalloc
+
+import pytest
+
+from repro import (
+    AgentConfig,
+    CostModelSelector,
+    Count,
+    ExecutionLog,
+    InterestProfile,
+    SEASession,
+    TaskFeatures,
+    WorkloadGenerator,
+    gaussian_mixture_table,
+)
+from repro.common.errors import ConfigurationError
+from repro.obs import EventLog
+
+
+def _make_session():
+    session = SEASession(
+        n_nodes=4,
+        config=AgentConfig(training_budget=6, error_threshold=0.05, warmup=4),
+    )
+    table = gaussian_mixture_table(
+        4_000, dims=("x0", "x1"), seed=7, name="data"
+    )
+    session.load_table(table)
+    return session, table
+
+
+def _workload(table, n=24):
+    profile = InterestProfile.from_table(table, ("x0", "x1"), 3, seed=11)
+    gen = WorkloadGenerator(
+        "data", ("x0", "x1"), profile, aggregate=Count(), seed=13
+    )
+    return gen.batch(n)
+
+
+def _attach_optimizer(session):
+    """A learned optimizer sharing the session's event stream."""
+    log = ExecutionLog()
+    for scale in (1, 2, 4, 8):
+        features = TaskFeatures.for_subspace_aggregate(
+            1000 * scale, 0.1 / scale, 2, 4
+        )
+        log.record(
+            features,
+            {"mapreduce": 1.0 / scale, "coordinator": 0.2 * scale},
+        )
+    selector = CostModelSelector(max_depth=2).fit(log)
+    selector.attach_observer(session.observer)
+    return selector, log
+
+
+@pytest.fixture(scope="module")
+def observed_run(tmp_path_factory):
+    out = tmp_path_factory.mktemp("obs")
+    session, table = _make_session()
+    observer = session.attach_observer()
+    modes = [session.submit(q).mode for q in _workload(table)]
+
+    selector, log = _attach_optimizer(session)
+    for entry in log.entries[:2]:
+        selector.choose(entry.features)
+
+    trace_path = session.export_trace(str(out / "trace.json"))
+    metrics_path = session.export_metrics(str(out / "metrics.prom"))
+    events_path = session.export_events(str(out / "events.jsonl"))
+    return {
+        "session": session,
+        "observer": observer,
+        "modes": modes,
+        "trace": json.load(open(trace_path)),
+        "metrics": open(metrics_path).read(),
+        "events": EventLog.load_jsonl(events_path),
+    }
+
+
+class TestWorkedExample:
+    def test_workload_mixed_modes(self, observed_run):
+        modes = observed_run["modes"]
+        assert "train" in modes
+        assert "fallback" in modes  # tight error_threshold forces these
+
+    def test_trace_has_nested_query_phase_task_spans(self, observed_run):
+        spans = observed_run["observer"].trace.spans
+        queries = [s for s in spans if s.name == "query"]
+        jobs = [s for s in spans if s.name == "mapreduce"]
+        phases = [s for s in spans if s.category == "phase"]
+        tasks = [s for s in spans if s.category == "task"]
+        assert queries and jobs and phases and tasks
+
+        # Every engine job nests inside some query span, map phases
+        # inside a job, and per-node tasks inside the map phase.
+        assert all(any(q.contains(j) for q in queries) for j in jobs)
+        map_phases = [p for p in phases if p.name == "map"]
+        assert all(any(j.contains(p) for j in jobs) for p in map_phases)
+        map_tasks = [t for t in tasks if t.name.startswith("map:")]
+        assert map_tasks
+        assert all(
+            any(p.contains(t) for p in map_phases) for t in map_tasks
+        )
+        # Parallel tasks run on per-node tracks, not the main track.
+        assert {t.track for t in map_tasks} != {"main"}
+        assert len({t.track for t in map_tasks}) > 1
+
+    def test_chrome_trace_document_is_perfetto_shaped(self, observed_run):
+        doc = observed_run["trace"]
+        events = doc["traceEvents"]
+        complete = [e for e in events if e.get("ph") == "X"]
+        meta = [e for e in events if e.get("ph") == "M"]
+        assert complete and meta
+        for event in complete:
+            assert event["ts"] >= 0
+            assert event["dur"] >= 0
+            assert isinstance(event["pid"], int)
+            assert isinstance(event["tid"], int)
+        assert any(e["name"] == "query" for e in complete)
+        assert any(e["name"].startswith("map:") for e in complete)
+
+    def test_metrics_exposition_has_serve_counters_and_histogram(
+        self, observed_run
+    ):
+        text = observed_run["metrics"]
+        assert "# TYPE sea_queries_total counter" in text
+        assert 'sea_queries_total{mode="train"}' in text
+        assert 'sea_queries_total{mode="fallback"}' in text
+        assert "# TYPE sea_query_latency_seconds summary" in text
+        assert 'sea_query_latency_seconds{quantile="0.5"}' in text
+        assert "sea_query_latency_seconds_count" in text
+        assert 'sea_charges_total{kind="scan"}' in text
+
+    def test_events_jsonl_has_fallback_and_optimizer_events(
+        self, observed_run
+    ):
+        events = observed_run["events"]
+        fallbacks = [e for e in events if e["type"] == "fallback"]
+        assert fallbacks
+        for event in fallbacks:
+            assert "error_estimate" in event
+            assert "signature" in event
+            assert event["ts"] >= 0
+        decisions = [
+            e
+            for e in events
+            if e["type"] in ("optimizer_choice", "drift", "data_update")
+        ]
+        assert decisions
+        choices = [e for e in events if e["type"] == "optimizer_choice"]
+        assert choices
+        assert all("chosen" in e and "predicted_costs" in e for e in choices)
+
+    def test_stats_merges_observer_snapshot(self, observed_run):
+        stats = observed_run["session"].stats()
+        assert stats["estimated_seconds_saved"] >= 0.0
+        assert stats["bytes_scanned_total"] > 0.0
+        assert stats["obs_spans_recorded"] > 0
+        assert stats["obs_events_recorded"] > 0
+        assert stats["obs_simulated_seconds"] > 0
+
+
+class TestSessionObservabilitySurface:
+    def test_export_without_observer_raises(self, tmp_path):
+        session, _ = _make_session()
+        with pytest.raises(ConfigurationError):
+            session.export_trace(str(tmp_path / "t.json"))
+
+    def test_stats_keys_present_on_fresh_session(self):
+        session, _ = _make_session()
+        stats = session.stats()
+        assert stats["estimated_seconds_saved"] == 0.0
+        assert stats["bytes_scanned_total"] == 0.0
+
+    def test_detached_answer_explanation_raises_clearly(self):
+        session, table = _make_session()
+        answer = session.submit(_workload(table, n=1)[0])
+        assert answer.explanation is not None  # attached: works
+        answer._session = None
+        with pytest.raises(ConfigurationError, match="detached"):
+            answer.explanation
+
+    def test_null_observer_adds_no_obs_allocations(self):
+        session, table = _make_session()  # no observer attached
+        queries = _workload(table, n=6)
+        session.submit(queries[0])  # warm caches outside the window
+        tracemalloc.start()
+        try:
+            for query in queries[1:]:
+                session.submit(query)
+            snapshot = tracemalloc.take_snapshot()
+        finally:
+            tracemalloc.stop()
+        obs_allocs = [
+            stat
+            for stat in snapshot.statistics("filename")
+            if "repro/obs" in stat.traceback[0].filename
+        ]
+        assert obs_allocs == []
