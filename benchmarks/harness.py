@@ -14,9 +14,52 @@ from __future__ import annotations
 
 import json
 import os
-from typing import Any, Dict, Iterable, List, Optional, Sequence
+import time
+from typing import Any, Callable, Dict, Iterable, List, Optional, Sequence, Tuple
 
 RESULTS_DIR = os.path.join(os.path.dirname(__file__), "results")
+REPO_ROOT = os.path.abspath(os.path.join(os.path.dirname(__file__), ".."))
+BENCH_SERVING_PATH = os.path.join(REPO_ROOT, "BENCH_serving.json")
+
+
+def wallclock(fn: Callable[[], Any]) -> Tuple[Any, float]:
+    """(result, real seconds) of one call, via ``time.perf_counter``.
+
+    The simulated cost model measures what the *modelled* cluster would
+    spend; this measures what the benchmark process actually spent, which
+    is the number the serving-throughput trajectory tracks.
+    """
+    start = time.perf_counter()
+    result = fn()
+    return result, time.perf_counter() - start
+
+
+def record_serving_benchmark(experiment: str, **fields: Any) -> str:
+    """Append one wall-clock serving measurement to ``BENCH_serving.json``.
+
+    The file lives at the repo root and is cumulative — one entry per
+    recorded run — so the sequential-vs-batched queries/sec trajectory
+    can be charted across commits.  Returns the file path.
+    """
+    payload: Dict[str, Any] = {"entries": []}
+    if os.path.exists(BENCH_SERVING_PATH):
+        try:
+            with open(BENCH_SERVING_PATH) as handle:
+                payload = json.load(handle)
+        except (OSError, ValueError):
+            payload = {"entries": []}
+        if not isinstance(payload.get("entries"), list):
+            payload = {"entries": []}
+    entry: Dict[str, Any] = {
+        "experiment": experiment,
+        "recorded_at": time.strftime("%Y-%m-%dT%H:%M:%S"),
+    }
+    entry.update({key: _plain(value) for key, value in fields.items()})
+    payload["entries"].append(entry)
+    with open(BENCH_SERVING_PATH, "w") as handle:
+        json.dump(payload, handle, indent=2)
+        handle.write("\n")
+    return BENCH_SERVING_PATH
 
 
 def format_table(title: str, headers: Sequence[str], rows: Iterable[Sequence]) -> str:

@@ -63,6 +63,7 @@ from repro.engine import (
 from repro.core import (
     SEAAgent,
     AgentConfig,
+    AnswerCache,
     DatalessPredictor,
     QuerySpaceQuantizer,
     Polystore,
@@ -146,6 +147,7 @@ __all__ = [
     "CoordinatorEngine",
     "SEAAgent",
     "AgentConfig",
+    "AnswerCache",
     "DatalessPredictor",
     "QuerySpaceQuantizer",
     "Polystore",

@@ -10,7 +10,7 @@ stack layers.
 
 from __future__ import annotations
 
-from typing import Optional, Tuple
+from typing import Dict, List, Optional, Sequence, Tuple
 
 from repro.common.accounting import CostReport
 from repro.cluster.storage import DistributedStore
@@ -19,6 +19,7 @@ from repro.engine.bdas import BDASStack
 from repro.engine.mapreduce import MapReduceEngine
 from repro.engine.resources import ResourceManager
 from repro.queries.query import AnalyticsQuery, Answer
+from repro.queries.selections import batch_masks
 
 
 class ExactEngine:
@@ -61,6 +62,46 @@ class ExactEngine:
             query.table_name, map_fn, reduce_fn, n_reducers=1
         )
         return results[0], report
+
+    def execute_many(
+        self, queries: Sequence[AnalyticsQuery]
+    ) -> List[Tuple[Answer, CostReport]]:
+        """Run many queries exactly as one shared-scan group per table.
+
+        One real pass over each stored partition evaluates every query's
+        selection mask and aggregate partial together (homogeneous range
+        selections vectorize into one broadcast per column); the cost
+        model still charges each query a full independent job, so query
+        ``i``'s (answer, report) is identical to ``execute(queries[i])``.
+        """
+        out: List[Optional[Tuple[Answer, CostReport]]] = [None] * len(queries)
+        by_table: Dict[str, List[int]] = {}
+        for index, query in enumerate(queries):
+            by_table.setdefault(query.table_name, []).append(index)
+        for table_name, indices in by_table.items():
+            group = [queries[i] for i in indices]
+            selections = [q.selection for q in group]
+            aggregates = [q.aggregate for q in group]
+
+            def multi_map_fn(
+                partition: Table, selections=selections, aggregates=aggregates
+            ):
+                masks = batch_masks(selections, partition)
+                return [
+                    [(0, aggregate.partial_from_mask(partition, mask))]
+                    for aggregate, mask in zip(aggregates, masks)
+                ]
+
+            reduce_fns = [
+                (lambda key, partials, agg=aggregate: agg.merge(partials))
+                for aggregate in aggregates
+            ]
+            job_results = self._engine.run_many(
+                table_name, multi_map_fn, reduce_fns, n_reducers=1
+            )
+            for index, (results, report) in zip(indices, job_results):
+                out[index] = (results[0], report)
+        return out  # type: ignore[return-value]
 
     def ground_truth(self, query: AnalyticsQuery) -> Answer:
         """Answer without cost accounting (for evaluation harnesses)."""

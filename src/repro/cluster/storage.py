@@ -211,12 +211,17 @@ class DistributedStore:
         row_indices,
         meter: CostMeter,
         node_id: Optional[str] = None,
-    ) -> Table:
+        materialize: bool = True,
+    ) -> Optional[Table]:
         """Surgical point-reads of specific rows, charged per row.
 
         This is the primitive the big-data-less suite (RT2) relies on: the
         cost is proportional to the rows actually fetched, not to the
         partition size.
+
+        ``materialize=False`` applies the charges and load accounting but
+        returns ``None`` — used by batched fetches that already hold the
+        rows from a shared read and only need the cost replayed.
         """
         serving = node_id if node_id is not None else partition.primary_node
         if serving not in partition.all_nodes:
@@ -229,6 +234,8 @@ class DistributedStore:
         self._served_bytes[serving] = (
             self._served_bytes.get(serving, 0) + num_bytes
         )
+        if not materialize:
+            return None
         return partition.data.take(idx)
 
     # Mutation (model-maintenance experiments) ------------------------------

@@ -19,6 +19,7 @@ An intelligent agent sits between analysts and the BDAS (Fig. 2).  It
 """
 
 from repro.core.quantization import QuerySpaceQuantizer
+from repro.core.answer_cache import AnswerCache, CachedAnswer
 from repro.core.answer_models import AnswerModelFactory, QuantumModel
 from repro.core.error import PrequentialErrorEstimator
 from repro.core.predictor import DatalessPredictor, Prediction
@@ -33,6 +34,8 @@ from repro.core.persistence import (
 )
 
 __all__ = [
+    "AnswerCache",
+    "CachedAnswer",
     "QuerySpaceQuantizer",
     "AnswerModelFactory",
     "QuantumModel",

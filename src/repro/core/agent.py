@@ -32,6 +32,7 @@ import numpy as np
 from repro.common.accounting import CostMeter, CostReport
 from repro.common.errors import NotTrainedError
 from repro.common.validation import require, require_in_range
+from repro.core.answer_cache import AnswerCache
 from repro.core.answer_models import AnswerModelFactory
 from repro.core.error import PrequentialErrorEstimator
 from repro.core.maintenance import DriftDetector, DataUpdateMonitor
@@ -58,10 +59,12 @@ class AgentConfig:
     novelty_limit: float = 3.0
     keep_learning_on_fallback: bool = True
     drift_detection: bool = True
+    answer_cache_size: int = 2048  # 0 disables the answer cache
 
     def __post_init__(self) -> None:
         require(self.training_budget >= 0, "training_budget must be >= 0")
         require_in_range(self.error_threshold, "error_threshold", 0.0, 1.0)
+        require(self.answer_cache_size >= 0, "answer_cache_size must be >= 0")
 
 
 @dataclass
@@ -96,6 +99,11 @@ class SEAAgent:
         self.updates = DataUpdateMonitor()
         self.history: List[ServedQuery] = []
         self.n_queries = 0
+        self.cache: Optional[AnswerCache] = (
+            AnswerCache(self.config.answer_cache_size)
+            if self.config.answer_cache_size > 0
+            else None
+        )
 
     def attach_observer(self, observer: Observer) -> None:
         """Record traces/metrics/events on ``observer`` (engine included)."""
@@ -134,6 +142,203 @@ class SEAAgent:
         self.history.append(record)
         return record
 
+    # Batched serving ---------------------------------------------------------
+    def submit_batch(self, queries) -> List[ServedQuery]:
+        """Serve many queries at once; equivalent to N :meth:`submit` calls.
+
+        Every answer, mode, and per-query cost report is identical to the
+        sequential path — only the real (wall-clock) work is amortised:
+
+        * training-phase and learning-free fallback queries execute as a
+          shared-scan group through ``engine.execute_many``;
+        * serving-phase predictions evaluate vectorized per signature
+          (:meth:`DatalessPredictor.predict_batch`), recomputed only for a
+          signature whose state a learning fallback just changed;
+        * the answer cache is consulted/filled in the same per-query order
+          as sequential serving, so hit/miss/eviction sequences match.
+        """
+        queries = list(queries)
+        obs = self.observer
+        if obs.enabled:
+            with obs.span("batch", category="batch", n=len(queries)):
+                records = self._submit_batch_inner(queries)
+            obs.observe("sea_batch_size", float(len(queries)))
+        else:
+            records = self._submit_batch_inner(queries)
+        for record in records:
+            if obs.enabled:
+                obs.inc("sea_queries_total", mode=record.mode)
+                obs.observe(
+                    "sea_query_latency_seconds", record.cost.elapsed_sec
+                )
+                error = (
+                    record.prediction.error_estimate
+                    if record.prediction is not None
+                    else None
+                )
+                obs.event(
+                    record.mode,
+                    signature=record.query.signature(),
+                    error_estimate=error,
+                    elapsed_sec=record.cost.elapsed_sec,
+                    bytes_scanned=record.cost.bytes_scanned,
+                    nodes_touched=record.cost.nodes_touched,
+                )
+            self.history.append(record)
+        return records
+
+    def _submit_batch_inner(self, queries: List[AnalyticsQuery]) -> List[ServedQuery]:
+        n_train = max(
+            0, min(len(queries), self.config.training_budget - self.n_queries)
+        )
+        records: List[Optional[ServedQuery]] = [None] * len(queries)
+        if n_train:
+            self._train_group(queries[:n_train], records, 0)
+        if n_train < len(queries):
+            self._serve_group(queries, records, n_train)
+        return records  # type: ignore[return-value]
+
+    def _train_group(
+        self,
+        group: List[AnalyticsQuery],
+        records: List[Optional[ServedQuery]],
+        offset: int,
+    ) -> None:
+        """Execute a training prefix as one shared-scan group, then learn.
+
+        Exact execution never reads learned state, so running the scans
+        first and replaying the observes in query order reproduces the
+        sequential interleaving exactly.
+        """
+        results = self._execute_group(group)
+        for position, (query, (answer, cost)) in enumerate(zip(group, results)):
+            self.n_queries += 1
+            predictor = self._predictor_for(query)
+            self._learn_from(query, predictor, answer)
+            records[offset + position] = ServedQuery(
+                query=query, answer=answer, mode="train", cost=cost
+            )
+
+    def _serve_group(
+        self,
+        queries: List[AnalyticsQuery],
+        records: List[Optional[ServedQuery]],
+        start: int,
+    ) -> None:
+        """Serve queries[start:] (all past the training budget) in order."""
+        indices = list(range(start, len(queries)))
+        signatures = {i: queries[i].signature() for i in indices}
+        vectors = {i: queries[i].vector() for i in indices}
+        predictions: Dict[int, Optional[Prediction]] = {}
+        computed: set = set()
+        deferred: List[int] = []  # learning-free fallbacks, grouped at the end
+        # Eager lookahead per signature: doubles while predictions survive,
+        # resets after a learning event invalidates them — so a stable
+        # serving run amortizes to a handful of matrix calls while a
+        # learning-heavy run wastes at most CHUNK_MIN predictions per
+        # fallback (prediction values are chunking-invariant either way).
+        CHUNK_MIN, CHUNK_MAX = 1, 1024
+        chunk_size: Dict[str, int] = {}
+        obs = self.observer
+        for position, i in enumerate(indices):
+            query = queries[i]
+            self.n_queries += 1
+            predictor = self._predictor_for(query)
+            if self.cache is not None:
+                entry = self.cache.lookup(query)
+                if obs.enabled:
+                    obs.inc(
+                        "sea_answer_cache_hits_total"
+                        if entry is not None
+                        else "sea_answer_cache_misses_total"
+                    )
+                if entry is not None:
+                    records[i] = ServedQuery(
+                        query=query,
+                        answer=entry.answer,
+                        mode="predicted",
+                        cost=self._agent_cost(),
+                        prediction=entry.prediction,
+                    )
+                    continue
+            if i not in computed:
+                # Vectorize over the next not-yet-served queries of this
+                # signature; the predictor is frozen until its next
+                # learning event, so these match sequential predicts.
+                chunk = chunk_size.get(signatures[i], CHUNK_MIN)
+                peers = []
+                for j in indices[position:]:
+                    if signatures[j] == signatures[i] and j not in computed:
+                        peers.append(j)
+                        if len(peers) >= chunk:
+                            break
+                chunk_size[signatures[i]] = min(chunk * 2, CHUNK_MAX)
+                batch = predictor.predict_batch(
+                    np.stack([vectors[j] for j in peers])
+                )
+                for j, prediction in zip(peers, batch):
+                    predictions[j] = prediction
+                    computed.add(j)
+            prediction = predictions.pop(i)
+            if prediction is not None:
+                acceptable = (
+                    prediction.reliable
+                    and prediction.error_estimate <= self.config.error_threshold
+                    and not self._quantum_flagged(query, prediction.quantum_id)
+                )
+                if acceptable:
+                    answer = (
+                        prediction.scalar
+                        if query.answer_dim == 1
+                        else prediction.value
+                    )
+                    if self.cache is not None:
+                        self.cache.store(query, prediction, answer)
+                    records[i] = ServedQuery(
+                        query=query,
+                        answer=answer,
+                        mode="predicted",
+                        cost=self._agent_cost(),
+                        prediction=prediction,
+                    )
+                    continue
+            # Fallback. Without learning it has no state effects, so the
+            # exact job can join the shared scan at the end of the batch;
+            # with learning it must run now, and this signature's
+            # outstanding predictions go stale.
+            if not self.config.keep_learning_on_fallback:
+                records[i] = ServedQuery(
+                    query=query,
+                    answer=None,
+                    mode="fallback",
+                    cost=None,  # filled by the shared scan below
+                    prediction=prediction,
+                )
+                deferred.append(i)
+                continue
+            records[i] = self._execute_and_learn(
+                query, predictor, mode="fallback", prediction=prediction
+            )
+            stale = [
+                j for j in computed if signatures[j] == signatures[i]
+            ]
+            for j in stale:
+                computed.discard(j)
+                predictions.pop(j, None)
+            chunk_size[signatures[i]] = CHUNK_MIN
+        if deferred:
+            results = self._execute_group([queries[i] for i in deferred])
+            for i, (answer, cost) in zip(deferred, results):
+                records[i].answer = answer
+                records[i].cost = cost
+
+    def _execute_group(self, group: List[AnalyticsQuery]):
+        """(answer, cost) per query, shared-scan when the engine supports it."""
+        many = getattr(self.engine, "execute_many", None)
+        if callable(many) and len(group) > 1:
+            return many(group)
+        return [self.engine.execute(query) for query in group]
+
     def _serve(self, query: AnalyticsQuery) -> ServedQuery:
         predictor = self._predictor_for(query)
         if self.n_queries <= self.config.training_budget:
@@ -143,6 +348,22 @@ class SEAAgent:
     def _serve_trained(
         self, query: AnalyticsQuery, predictor: DatalessPredictor
     ) -> ServedQuery:
+        if self.cache is not None:
+            entry = self.cache.lookup(query)
+            if self.observer.enabled:
+                self.observer.inc(
+                    "sea_answer_cache_hits_total"
+                    if entry is not None
+                    else "sea_answer_cache_misses_total"
+                )
+            if entry is not None:
+                return ServedQuery(
+                    query=query,
+                    answer=entry.answer,
+                    mode="predicted",
+                    cost=self._agent_cost(),
+                    prediction=entry.prediction,
+                )
         vector = query.vector()
         try:
             prediction = predictor.predict(vector)
@@ -161,6 +382,8 @@ class SEAAgent:
         answer = (
             prediction.scalar if query.answer_dim == 1 else prediction.value
         )
+        if self.cache is not None:
+            self.cache.store(query, prediction, answer)
         return ServedQuery(
             query=query,
             answer=answer,
@@ -179,12 +402,22 @@ class SEAAgent:
         answer, cost = self.engine.execute(query)
         learn = mode == "train" or self.config.keep_learning_on_fallback
         if learn:
-            quantum_id = predictor.observe(query.vector(), answer)
-            if self.config.drift_detection:
-                self._drift_check(query, predictor, quantum_id)
+            self._learn_from(query, predictor, answer)
         return ServedQuery(
             query=query, answer=answer, mode=mode, cost=cost, prediction=prediction
         )
+
+    def _learn_from(
+        self, query: AnalyticsQuery, predictor: DatalessPredictor, answer: Answer
+    ) -> None:
+        """One learning step; any observation can shift the predictor's
+        quanta, models, or error estimates, so the signature's cached
+        answers can no longer be trusted to match a fresh prediction."""
+        quantum_id = predictor.observe(query.vector(), answer)
+        if self.config.drift_detection:
+            self._drift_check(query, predictor, quantum_id)
+        if self.cache is not None:
+            self.cache.invalidate_signature(query.signature())
 
     # Data-update notifications (RT1.4-ii) ------------------------------------
     def notify_data_update(self, table_name: str, lows, highs) -> int:
@@ -199,9 +432,12 @@ class SEAAgent:
         for signature, predictor in self._predictors.items():
             if not signature.startswith(f"{table_name}:"):
                 continue
-            invalidated += self.updates.invalidate_overlapping(
+            quantum_ids = self.updates.invalidate_overlapping_ids(
                 predictor, np.asarray(lows, float), np.asarray(highs, float)
             )
+            invalidated += len(quantum_ids)
+            if self.cache is not None and quantum_ids:
+                self.cache.evict_quanta(signature, quantum_ids)
         if self.observer.enabled:
             self.observer.inc("sea_quanta_invalidated_total", invalidated)
             self.observer.event(
@@ -228,13 +464,15 @@ class SEAAgent:
         """
         self._predictors[signature] = predictor
         self._drift[signature] = DriftDetector()
+        if self.cache is not None:
+            self.cache.invalidate_signature(signature)
 
     def stats(self) -> Dict[str, float]:
         """Aggregate serving statistics over the agent's history."""
         total = len(self.history)
         predicted = sum(1 for r in self.history if r.mode == "predicted")
         fallback = sum(1 for r in self.history if r.mode == "fallback")
-        return {
+        stats = {
             "queries": float(total),
             "predicted": float(predicted),
             "fallback": float(fallback),
@@ -242,6 +480,9 @@ class SEAAgent:
             "dataless_fraction": predicted / total if total else 0.0,
             "state_bytes": float(self.state_bytes()),
         }
+        if self.cache is not None:
+            stats.update(self.cache.stats())
+        return stats
 
     # Internals ---------------------------------------------------------------
     def _predictor_for(self, query: AnalyticsQuery) -> DatalessPredictor:

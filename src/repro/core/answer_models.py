@@ -185,6 +185,23 @@ class QuantumModel:
         v = np.asarray(vector, dtype=float).reshape(1, -1)
         return np.array([model.predict(v)[0] for model in self._models])
 
+    def predict_batch(self, vectors) -> np.ndarray:
+        """Predicted answers (shape ``(n, answer_dim)``) for ``n`` vectors.
+
+        One fitted-model call per answer dimension serves the whole batch;
+        every model family's ``predict`` is row-stable, so row ``i`` equals
+        ``predict(vectors[i])`` bit for bit.
+        """
+        if not self.is_trained:
+            raise NotTrainedError(
+                f"quantum model has {self.n_samples} samples, needs "
+                f"{self.factory.min_samples()}"
+            )
+        if self._dirty:
+            self._refit()
+        x = np.atleast_2d(np.asarray(vectors, dtype=float))
+        return np.stack([model.predict(x) for model in self._models], axis=1)
+
     def reset(self) -> None:
         """Discard everything (maintenance: invalidated by data updates)."""
         self._x = []

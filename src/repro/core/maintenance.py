@@ -18,7 +18,7 @@ Two mechanisms:
 
 from __future__ import annotations
 
-from typing import Dict, Set
+from typing import Dict, List, Set
 
 import numpy as np
 
@@ -91,14 +91,25 @@ class DataUpdateMonitor:
         query-vector convention; for radius queries the single trailing
         extent applies to every dimension.
         """
+        return len(self.invalidate_overlapping_ids(predictor, lows, highs))
+
+    def invalidate_overlapping_ids(
+        self, predictor: DatalessPredictor, lows: np.ndarray, highs: np.ndarray
+    ) -> List[int]:
+        """Like :meth:`invalidate_overlapping`, returning the quantum ids.
+
+        The id list lets callers cascade the invalidation to derived
+        state — notably evicting exactly these quanta's entries from the
+        agent's answer cache.
+        """
         if not predictor.quantizer.is_warm:
             # Nothing learned yet: be conservative and reset any buffers.
             predictor.reset_all()
-            return len(predictor.quantum_ids())
+            return list(predictor.quantum_ids())
         lows = np.asarray(lows, dtype=float).ravel()
         highs = np.asarray(highs, dtype=float).ravel()
         d = lows.shape[0]
-        invalidated = 0
+        invalidated: List[int] = []
         centroids = predictor.quantizer.centroids
         for quantum_id in predictor.quantum_ids():
             if quantum_id >= len(centroids):
@@ -106,7 +117,7 @@ class DataUpdateMonitor:
             box_lo, box_hi = self._quantum_box(centroids[quantum_id], d)
             if np.all(box_hi >= lows) and np.all(box_lo <= highs):
                 predictor.reset_quantum(quantum_id)
-                invalidated += 1
+                invalidated.append(quantum_id)
         return invalidated
 
     @staticmethod

@@ -13,7 +13,7 @@ wires it to an exact engine and a cost model.
 from __future__ import annotations
 
 from dataclasses import dataclass
-from typing import Dict, Optional
+from typing import Dict, List, Optional
 
 import numpy as np
 
@@ -114,6 +114,69 @@ class DatalessPredictor:
             novelty=novelty,
             reliable=reliable,
         )
+
+    def predict_batch(self, vectors) -> List[Optional[Prediction]]:
+        """Predict answers for ``n`` query vectors in vectorized calls.
+
+        Equivalent to ``[predict(v) for v in vectors]`` bit for bit, but
+        quantum assignment and novelty run as one broadcast each, and each
+        quantum's answer model evaluates its whole row group in a single
+        matrix call.  Rows no quantum can serve (where :meth:`predict`
+        raises :class:`NotTrainedError`) come back as ``None`` instead, so
+        one cold row does not poison the batch.
+        """
+        x = np.atleast_2d(np.asarray(vectors, dtype=float))
+        n = x.shape[0]
+        if n == 0:
+            return []
+        assigned, novelty = self.quantizer.assign_novelty_batch(x)
+        # Resolve each row's effective (model, quantum) — borrowing from
+        # the nearest trained quantum exactly as predict() does.
+        effective: List[Optional[int]] = [None] * n
+        borrowed_flags = np.zeros(n, dtype=bool)
+        groups: Dict[int, List[int]] = {}
+        for i in range(n):
+            quantum_id = int(assigned[i])
+            model = self._models.get(quantum_id)
+            if model is None or not model.is_trained:
+                try:
+                    _, quantum_id = self._nearest_trained(x[i], quantum_id)
+                except NotTrainedError:
+                    continue
+                borrowed_flags[i] = True
+            effective[i] = quantum_id
+            groups.setdefault(quantum_id, []).append(i)
+        values = np.empty((n, self.answer_dim))
+        for quantum_id, rows in groups.items():
+            model = self._models[quantum_id]
+            values[rows] = model.predict_batch(x[rows])
+        # The estimator is read-only here, so one quantile per distinct
+        # quantum covers every row routed to it.
+        error_by_quantum = {
+            quantum_id: self.errors.estimate(quantum_id) for quantum_id in groups
+        }
+        out: List[Optional[Prediction]] = []
+        for i in range(n):
+            quantum_id = effective[i]
+            if quantum_id is None:
+                out.append(None)
+                continue
+            error = error_by_quantum[quantum_id]
+            reliable = (
+                not borrowed_flags[i]
+                and error is not None
+                and novelty[i] <= self.novelty_limit
+            )
+            out.append(
+                Prediction(
+                    value=values[i],
+                    quantum_id=quantum_id,
+                    error_estimate=error,
+                    novelty=float(novelty[i]),
+                    reliable=reliable,
+                )
+            )
+        return out
 
     def _nearest_trained(self, v: np.ndarray, preferred: int):
         """Fallback: serve from the nearest quantum that has a usable model."""

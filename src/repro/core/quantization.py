@@ -13,7 +13,7 @@ from a warm-up buffer before the online phase begins.
 
 from __future__ import annotations
 
-from typing import List, Optional
+from typing import List, Optional, Tuple
 
 import numpy as np
 
@@ -104,6 +104,45 @@ class QuerySpaceQuantizer:
         if not self.is_warm:
             return 0
         return self._codebook.assign(self._scale(v))
+
+    def assign_batch(self, vectors) -> np.ndarray:
+        """Quantum ids for ``n`` vectors without updating the codebook.
+
+        Row ``i`` equals ``assign(vectors[i])`` exactly: scaling is
+        elementwise and the batched distance matrix is row-stable.
+        """
+        x = np.atleast_2d(np.asarray(vectors, dtype=float))
+        if not self.is_warm:
+            return np.zeros(x.shape[0], dtype=int)
+        return self._codebook.assign_batch(self._scaler.transform(x))
+
+    def assign_novelty_batch(self, vectors) -> Tuple[np.ndarray, np.ndarray]:
+        """(quantum ids, novelty distances) for ``n`` vectors in one pass.
+
+        Scaling and assignment run once and feed both outputs; row ``i``
+        equals ``(assign(vectors[i]), novelty(vectors[i]))`` exactly — the
+        distance is recomputed with the same 1-D norm :meth:`novelty` uses
+        so every value is bitwise identical to the sequential calls.
+        """
+        x = np.atleast_2d(np.asarray(vectors, dtype=float))
+        if not self.is_warm:
+            return (
+                np.zeros(x.shape[0], dtype=int),
+                np.full(x.shape[0], float("inf")),
+            )
+        scaled = self._scaler.transform(x)
+        assigned = self._codebook.assign_batch(scaled)
+        novelty = np.array(
+            [
+                self._codebook.distance_to(row, int(quantum))
+                for row, quantum in zip(scaled, assigned)
+            ]
+        )
+        return assigned, novelty
+
+    def novelty_batch(self, vectors) -> np.ndarray:
+        """Standardised nearest-quantum distance per vector (batched)."""
+        return self.assign_novelty_batch(vectors)[1]
 
     def novelty(self, vector) -> float:
         """Standardised distance from the vector to its nearest quantum.

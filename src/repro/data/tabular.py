@@ -48,6 +48,10 @@ class Table:
             require(arr.ndim == 1, f"column {key!r} must be 1-dimensional")
         self.name = name
         self._columns = arrays
+        # Columns never change after construction, so the shape-derived
+        # sizes are fixed; the cost model queries them on every charge.
+        self._n_rows = lengths.pop()
+        self._n_columns = len(arrays)
 
     # Basic properties ----------------------------------------------------
     @property
@@ -56,11 +60,11 @@ class Table:
 
     @property
     def n_rows(self) -> int:
-        return next(iter(self._columns.values())).shape[0]
+        return self._n_rows
 
     @property
     def n_columns(self) -> int:
-        return len(self._columns)
+        return self._n_columns
 
     @property
     def n_bytes(self) -> int:

@@ -80,6 +80,51 @@ class CoordinatorEngine:
         themselves; the stack is a per-query cost, not per-round.
         """
         meter, obs = self._meter(meter)
+        return self._fetch_one(stored, rows_by_partition, meter, obs, charge_stack)
+
+    def fetch_rows_many(
+        self,
+        stored: StoredTable,
+        plans: Sequence[Dict[int, Sequence[int]]],
+        charge_stack: bool = True,
+    ) -> List[Tuple[Table, CostReport]]:
+        """Fetch many row plans, sharing each partition's point reads.
+
+        The union of every plan's requested rows is materialised once per
+        partition; each plan then replays its own charges (replica
+        choice, transfers, point-read accounting) in plan order with a
+        fresh meter, so entry ``i`` — rows and cost report — is identical
+        to ``fetch_rows(stored, plans[i])``.
+        """
+        union: Dict[int, List[np.ndarray]] = {}
+        for plan in plans:
+            for part_index, rows in plan.items():
+                idx = np.asarray(rows, dtype=int)
+                if idx.size:
+                    union.setdefault(part_index, []).append(idx)
+        cache: Dict[int, Tuple[np.ndarray, Table]] = {}
+        for part_index, chunks in union.items():
+            partition = self._partition(stored, part_index)
+            all_idx = np.unique(np.concatenate(chunks))
+            cache[part_index] = (all_idx, partition.data.take(all_idx))
+        out: List[Tuple[Table, CostReport]] = []
+        for plan in plans:
+            meter, obs = self._meter(None)
+            out.append(
+                self._fetch_one(stored, plan, meter, obs, charge_stack, cache)
+            )
+        return out
+
+    def _fetch_one(
+        self,
+        stored: StoredTable,
+        rows_by_partition: Dict[int, Sequence[int]],
+        meter: CostMeter,
+        obs: Observer,
+        charge_stack: bool,
+        cache: Optional[Dict[int, Tuple[np.ndarray, Table]]] = None,
+    ) -> Tuple[Table, CostReport]:
+        """One fetch round; with ``cache`` the rows come from a shared read."""
         with obs.span(
             "coordinator_fetch", meter=meter, category="job", table=stored.name
         ):
@@ -107,7 +152,16 @@ class CoordinatorEngine:
                     _REQUEST_BYTES,
                     wan=self.topology.is_wan(self.coordinator, cohort),
                 )
-                piece = self.store.read_rows(partition, idx, meter, node_id=cohort)
+                if cache is None:
+                    piece = self.store.read_rows(
+                        partition, idx, meter, node_id=cohort
+                    )
+                else:
+                    self.store.read_rows(
+                        partition, idx, meter, node_id=cohort, materialize=False
+                    )
+                    all_idx, union_table = cache[part_index]
+                    piece = union_table.take(np.searchsorted(all_idx, idx))
                 seconds += (
                     idx.size
                     * partition.data.row_bytes

@@ -119,14 +119,14 @@ class MapReduceEngine:
                 meter.advance(map_elapsed)
 
             with obs.span("shuffle", meter=meter, category="phase"):
-                grouped, shuffle_elapsed = self._shuffle_phase(
+                grouped, ingest_bytes, shuffle_elapsed = self._shuffle_phase(
                     map_outputs, reducers, meter
                 )
                 meter.advance(shuffle_elapsed)
 
             with obs.span("reduce", meter=meter, category="phase"):
                 results, reduce_elapsed = self._reduce_phase(
-                    grouped, reduce_fn, reducers, meter, obs
+                    grouped, reduce_fn, reducers, meter, obs, ingest_bytes
                 )
                 meter.advance(reduce_elapsed)
 
@@ -135,27 +135,114 @@ class MapReduceEngine:
                 meter.advance(self.stack.charge_result_return(meter, driver))
         return results, meter.freeze()
 
+    def run_many(
+        self,
+        table_name: str,
+        multi_map_fn: Callable[[Table], List[List[Tuple[Any, Any]]]],
+        reduce_fns: List[ReduceFn],
+        n_reducers: int = 0,
+        driver_node: Optional[str] = None,
+    ) -> List[Tuple[Dict[Any, Any], CostReport]]:
+        """Execute many jobs over one table, sharing the real partition pass.
+
+        ``multi_map_fn(partition)`` returns one pair-list per job, computed
+        in a single pass over the partition's data; each job's simulated
+        charges are then replayed with a fresh meter through exactly the
+        phase sequence :meth:`run` uses, so job ``j``'s (results, report)
+        is identical to ``run(table_name, map_fn_j, reduce_fns[j], ...)``.
+        Only real wall-clock work is shared — the cost model still sees
+        every job pay its own scan.
+        """
+        stored = self.store.table(table_name)
+        require(len(stored.partitions) >= 1, "table has no partitions")
+        n_jobs = len(reduce_fns)
+        if n_jobs == 0:
+            return []
+        # Shared real pass: every job's map outputs from one read of each
+        # partition, computed before any charging so the replay below can
+        # interleave charges per job in sequential order.
+        outputs_per_job: List[List[List[Tuple[Any, Any]]]] = [
+            [] for _ in range(n_jobs)
+        ]
+        for partition in stored.partitions:
+            per_job = multi_map_fn(partition.data)
+            require(
+                len(per_job) == n_jobs,
+                f"multi_map_fn returned {len(per_job)} outputs for {n_jobs} jobs",
+            )
+            for j in range(n_jobs):
+                outputs_per_job[j].append(list(per_job[j]))
+        obs = self.observer
+        out: List[Tuple[Dict[Any, Any], CostReport]] = []
+        for j in range(n_jobs):
+            watcher = obs if obs.enabled else None
+            meter = (
+                CostMeter(self.rates, observer=watcher)
+                if self.rates
+                else CostMeter(observer=watcher)
+            )
+            driver = driver_node or self.topology.pick_coordinator()
+            reducers = self._reducer_nodes(stored, n_reducers)
+            engaged = {p.primary_node for p in stored.partitions} | set(reducers)
+            with obs.span(
+                "mapreduce", meter=meter, category="job", table=table_name
+            ):
+                with obs.span("submit", meter=meter, category="phase"):
+                    meter.advance(
+                        self.stack.charge_submission(meter, driver, engaged)
+                    )
+                with obs.span("map", meter=meter, category="phase"):
+                    map_outputs, map_elapsed = self._map_phase(
+                        stored, None, meter, obs, precomputed=outputs_per_job[j]
+                    )
+                    meter.advance(map_elapsed)
+                with obs.span("shuffle", meter=meter, category="phase"):
+                    grouped, ingest_bytes, shuffle_elapsed = self._shuffle_phase(
+                        map_outputs, reducers, meter
+                    )
+                    meter.advance(shuffle_elapsed)
+                with obs.span("reduce", meter=meter, category="phase"):
+                    results, reduce_elapsed = self._reduce_phase(
+                        grouped, reduce_fns[j], reducers, meter, obs, ingest_bytes
+                    )
+                    meter.advance(reduce_elapsed)
+                with obs.span("collect", meter=meter, category="phase"):
+                    meter.advance(
+                        self._collect_phase(results, reducers, driver, meter)
+                    )
+                    meter.advance(self.stack.charge_result_return(meter, driver))
+            out.append((results, meter.freeze()))
+        return out
+
     # Phases ----------------------------------------------------------------
     def _map_phase(
         self,
         stored: StoredTable,
-        map_fn: MapFn,
+        map_fn: Optional[MapFn],
         meter: CostMeter,
         obs: Observer = NULL_OBSERVER,
+        precomputed: Optional[List[List[Tuple[Any, Any]]]] = None,
     ) -> Tuple[List[Tuple[str, List[Tuple[Any, Any]]]], float]:
-        """Run one map task per partition; returns (per-node outputs, elapsed)."""
+        """Run one map task per partition; returns (per-node outputs, elapsed).
+
+        With ``precomputed`` (one pair-list per partition, from a shared
+        batch pass) the per-partition charges are identical but the map
+        function is not re-run.
+        """
         node_tasks: Dict[str, List[float]] = defaultdict(list)
         outputs: List[Tuple[str, List[Tuple[Any, Any]]]] = []
         tracing = obs.enabled
         phase_start = obs.now if tracing else 0.0
         spans: List[Tuple[str, str, float, Dict[str, Any]]] = []
-        for partition in stored.partitions:
+        for index, partition in enumerate(stored.partitions):
             node = partition.primary_node
             seconds = meter.charge_task_startup(node)
             data = self.store.read_partition(partition, meter)
             seconds += data.n_bytes / meter.rates.disk_bytes_per_sec
             seconds += meter.charge_cpu(node, data.n_bytes)
-            pairs = list(map_fn(data))
+            pairs = (
+                precomputed[index] if precomputed is not None else list(map_fn(data))
+            )
             outputs.append((node, pairs))
             if tracing:
                 spans.append(
@@ -211,15 +298,26 @@ class MapReduceEngine:
         map_outputs: List[Tuple[str, List[Tuple[Any, Any]]]],
         reducers: List[str],
         meter: CostMeter,
-    ) -> Tuple[Dict[str, Dict[Any, List[Any]]], float]:
-        """Hash-partition map outputs to reducer nodes; returns grouped data."""
+    ) -> Tuple[Dict[str, Dict[Any, List[Any]]], Dict[str, int], float]:
+        """Hash-partition map outputs to reducer nodes.
+
+        Returns (grouped data, per-reducer ingest bytes, elapsed).  The
+        ingest-byte totals double as the reduce phase's input-byte
+        accounting, so payload sizes are estimated once per emitted pair
+        for the whole job.  ``stable_hash`` is memoized per key — map
+        outputs repeat the same few keys across every partition.
+        """
         grouped: Dict[str, Dict[Any, List[Any]]] = {r: defaultdict(list) for r in reducers}
         transfer_seconds: Dict[str, float] = defaultdict(float)
         ingest_bytes: Dict[str, int] = defaultdict(int)
+        hash_memo: Dict[Any, int] = {}
         for src_node, pairs in map_outputs:
             by_reducer: Dict[str, int] = defaultdict(int)
             for key, value in pairs:
-                reducer = reducers[stable_hash(key) % len(reducers)]
+                key_hash = hash_memo.get(key)
+                if key_hash is None:
+                    key_hash = hash_memo[key] = stable_hash(key)
+                reducer = reducers[key_hash % len(reducers)]
                 grouped[reducer][key].append(value)
                 by_reducer[reducer] += _KV_OVERHEAD_BYTES + estimate_payload_bytes(
                     value
@@ -239,7 +337,7 @@ class MapReduceEngine:
             if ingest_bytes
             else 0.0
         )
-        return grouped, max(send, ingest)
+        return grouped, dict(ingest_bytes), max(send, ingest)
 
     def _reduce_phase(
         self,
@@ -248,6 +346,7 @@ class MapReduceEngine:
         reducers: List[str],
         meter: CostMeter,
         obs: Observer = NULL_OBSERVER,
+        ingest_bytes: Optional[Dict[str, int]] = None,
     ) -> Tuple[Dict[Any, Any], float]:
         results: Dict[Any, Any] = {}
         node_tasks: Dict[str, List[float]] = defaultdict(list)
@@ -256,11 +355,15 @@ class MapReduceEngine:
         spans: List[Tuple[str, str, float, Dict[str, Any]]] = []
         for reducer in reducers:
             seconds = meter.charge_task_startup(reducer)
-            in_bytes = sum(
-                _KV_OVERHEAD_BYTES + estimate_payload_bytes(v)
-                for values in grouped[reducer].values()
-                for v in values
-            )
+            if ingest_bytes is not None:
+                # The shuffle already summed this reducer's input payloads.
+                in_bytes = ingest_bytes.get(reducer, 0)
+            else:
+                in_bytes = sum(
+                    _KV_OVERHEAD_BYTES + estimate_payload_bytes(v)
+                    for values in grouped[reducer].values()
+                    for v in values
+                )
             seconds += meter.charge_cpu(reducer, in_bytes)
             for key, values in grouped[reducer].items():
                 results[key] = reduce_fn(key, values)

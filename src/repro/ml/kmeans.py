@@ -188,6 +188,18 @@ class OnlineKMeans:
         v = np.asarray(vector, dtype=float).ravel()
         return int(np.linalg.norm(centers - v, axis=1).argmin())
 
+    def assign_batch(self, x) -> np.ndarray:
+        """Nearest-quantum index per row of ``x``, without updating the model.
+
+        Computes the full distance matrix in one broadcast; each row's
+        norms (and therefore its argmin) are bitwise equal to what
+        :meth:`assign` computes for that row alone.
+        """
+        centers = self.cluster_centers_
+        x = require_matrix(x, "x", n_cols=centers.shape[1])
+        distances = np.linalg.norm(x[:, None, :] - centers[None, :, :], axis=2)
+        return distances.argmin(axis=1)
+
     def distance_to(self, vector, index: int) -> float:
         """Euclidean distance from ``vector`` to centroid ``index``."""
         centers = self.cluster_centers_

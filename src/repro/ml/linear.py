@@ -17,6 +17,18 @@ from repro.common.errors import NotTrainedError
 from repro.common.validation import require, require_matrix
 
 
+def _row_stable_matvec(x: np.ndarray, coef: np.ndarray) -> np.ndarray:
+    """``x @ coef`` with each row's result independent of the batch size.
+
+    BLAS matvec kernels may pick different accumulation orders depending on
+    the number of rows, so ``(X @ c)[i]`` is not always bitwise equal to
+    ``X[i:i+1] @ c``.  Batched serving promises byte-identical answers to
+    the sequential path, so predictions go through einsum, whose per-row
+    accumulation depends only on the feature count.
+    """
+    return np.einsum("ij,j->i", x, coef)
+
+
 def polynomial_features(x, degree: int = 2, interaction: bool = True) -> np.ndarray:
     """Expand features with powers (and optionally pairwise interactions).
 
@@ -66,7 +78,7 @@ class LinearRegression:
         if self.coef_ is None:
             raise NotTrainedError("LinearRegression.predict called before fit")
         x = require_matrix(x, "x", n_cols=self.coef_.shape[0])
-        return x @ self.coef_ + self.intercept_
+        return _row_stable_matvec(x, self.coef_) + self.intercept_
 
     @property
     def n_params(self) -> int:
@@ -117,7 +129,7 @@ class RidgeRegression:
         if self.coef_ is None:
             raise NotTrainedError("RidgeRegression.predict called before fit")
         x = require_matrix(x, "x", n_cols=self.coef_.shape[0])
-        return x @ self.coef_ + self.intercept_
+        return _row_stable_matvec(x, self.coef_) + self.intercept_
 
     @property
     def n_params(self) -> int:

@@ -18,6 +18,7 @@ from repro.queries.selections import (
     RangeSelection,
     RadiusSelection,
     KNNSelection,
+    batch_masks,
 )
 from repro.queries.aggregates import (
     Aggregate,
@@ -55,4 +56,5 @@ __all__ = [
     "RegressionCoefficients",
     "AnalyticsQuery",
     "parse_query",
+    "batch_masks",
 ]

@@ -39,6 +39,16 @@ class Aggregate:
         """Partial state from one partition (decomposable aggregates)."""
         raise NotImplementedError
 
+    def partial_from_mask(self, table: Table, mask: np.ndarray) -> Any:
+        """Partial state of the masked rows of ``table``.
+
+        Always equal to ``partial(table.select(mask))``.  The base
+        implementation materialises the selected sub-table; column
+        aggregates override it to mask only the columns they read, which
+        is what makes shared-scan batched execution cheap.
+        """
+        return self.partial(table.select(mask))
+
     def merge(self, partials: List[Any]) -> float:
         """Combine partition states into the final value."""
         raise NotImplementedError
@@ -57,6 +67,9 @@ class Count(Aggregate):
 
     def partial(self, table: Table) -> float:
         return float(table.n_rows)
+
+    def partial_from_mask(self, table: Table, mask: np.ndarray) -> float:
+        return float(np.count_nonzero(mask))
 
     def merge(self, partials: List[float]) -> float:
         return float(sum(partials))
@@ -77,6 +90,12 @@ class Sum(_ColumnAggregate):
     def partial(self, table: Table) -> float:
         return self.compute(table)
 
+    def partial_from_mask(self, table: Table, mask: np.ndarray) -> float:
+        col = table.column(self.column)[mask]
+        if col.size == 0:
+            return 0.0
+        return float(col.sum())
+
     def merge(self, partials: List[float]) -> float:
         return float(sum(partials))
 
@@ -91,6 +110,12 @@ class Mean(_ColumnAggregate):
         if table.n_rows == 0:
             return (0.0, 0)
         return (float(table.column(self.column).sum()), table.n_rows)
+
+    def partial_from_mask(self, table: Table, mask: np.ndarray) -> Tuple[float, int]:
+        col = table.column(self.column)[mask]
+        if col.size == 0:
+            return (0.0, 0)
+        return (float(col.sum()), int(col.size))
 
     def merge(self, partials: List[Tuple[float, int]]) -> float:
         total = sum(p[0] for p in partials)
@@ -109,6 +134,12 @@ class Std(_ColumnAggregate):
     def partial(self, table: Table) -> Tuple[float, float, int]:
         col = table.column(self.column).astype(float)
         return (float(col.sum()), float((col**2).sum()), table.n_rows)
+
+    def partial_from_mask(
+        self, table: Table, mask: np.ndarray
+    ) -> Tuple[float, float, int]:
+        col = table.column(self.column)[mask].astype(float)
+        return (float(col.sum()), float((col**2).sum()), int(col.size))
 
     def merge(self, partials: List[Tuple[float, float, int]]) -> float:
         total = sum(p[0] for p in partials)
@@ -131,6 +162,12 @@ class Min(_ColumnAggregate):
     def partial(self, table: Table) -> float:
         return self.compute(table)
 
+    def partial_from_mask(self, table: Table, mask: np.ndarray) -> float:
+        col = table.column(self.column)[mask]
+        if col.size == 0:
+            return float("inf")
+        return float(col.min())
+
     def merge(self, partials: List[float]) -> float:
         return float(min(partials)) if partials else float("inf")
 
@@ -145,6 +182,12 @@ class Max(_ColumnAggregate):
 
     def partial(self, table: Table) -> float:
         return self.compute(table)
+
+    def partial_from_mask(self, table: Table, mask: np.ndarray) -> float:
+        col = table.column(self.column)[mask]
+        if col.size == 0:
+            return float("-inf")
+        return float(col.max())
 
     def merge(self, partials: List[float]) -> float:
         return float(max(partials)) if partials else float("-inf")
@@ -161,6 +204,12 @@ class Variance(_ColumnAggregate):
     def partial(self, table: Table) -> Tuple[float, float, int]:
         col = table.column(self.column).astype(float)
         return (float(col.sum()), float((col**2).sum()), table.n_rows)
+
+    def partial_from_mask(
+        self, table: Table, mask: np.ndarray
+    ) -> Tuple[float, float, int]:
+        col = table.column(self.column)[mask].astype(float)
+        return (float(col.sum()), float((col**2).sum()), int(col.size))
 
     def merge(self, partials: List[Tuple[float, float, int]]) -> float:
         total = sum(p[0] for p in partials)
@@ -183,6 +232,9 @@ class Median(_ColumnAggregate):
 
     def partial(self, table: Table) -> np.ndarray:
         return table.column(self.column).astype(float)
+
+    def partial_from_mask(self, table: Table, mask: np.ndarray) -> np.ndarray:
+        return table.column(self.column)[mask].astype(float)
 
     def merge(self, partials: List[np.ndarray]) -> float:
         values = np.concatenate(partials) if partials else np.empty(0)
@@ -207,6 +259,9 @@ class Quantile(_ColumnAggregate):
 
     def partial(self, table: Table) -> np.ndarray:
         return table.column(self.column).astype(float)
+
+    def partial_from_mask(self, table: Table, mask: np.ndarray) -> np.ndarray:
+        return table.column(self.column)[mask].astype(float)
 
     def merge(self, partials: List[np.ndarray]) -> float:
         values = np.concatenate(partials) if partials else np.empty(0)
@@ -238,6 +293,20 @@ class Correlation(Aggregate):
             float((b * b).sum()),
             float((a * b).sum()),
             table.n_rows,
+        )
+
+    def partial_from_mask(
+        self, table: Table, mask: np.ndarray
+    ) -> Tuple[float, float, float, float, float, int]:
+        a = table.column(self.column_a)[mask].astype(float)
+        b = table.column(self.column_b)[mask].astype(float)
+        return (
+            float(a.sum()),
+            float(b.sum()),
+            float((a * a).sum()),
+            float((b * b).sum()),
+            float((a * b).sum()),
+            int(a.size),
         )
 
     def merge(self, partials: List[Tuple]) -> float:

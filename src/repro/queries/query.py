@@ -27,6 +27,11 @@ class AnalyticsQuery:
         self.table_name = table_name
         self.selection = selection
         self.aggregate = aggregate
+        # The agent asks for these on every routing / caching decision;
+        # both are pure functions of the (immutable-by-convention)
+        # selection, so compute once.  Treat the vector as read-only.
+        self._vector_cache: Optional[np.ndarray] = None
+        self._signature_cache: Optional[str] = None
 
     @property
     def answer_dim(self) -> int:
@@ -39,7 +44,9 @@ class AnalyticsQuery:
         the agent keeps one predictor per (table, aggregate) pair — so the
         aggregate is deliberately not encoded here.
         """
-        return self.selection.vector()
+        if self._vector_cache is None:
+            self._vector_cache = self.selection.vector()
+        return self._vector_cache
 
     def evaluate(self, table: Table) -> Answer:
         """Ground-truth answer on a materialised table."""
@@ -48,7 +55,11 @@ class AnalyticsQuery:
 
     def signature(self) -> str:
         """Key identifying which predictor serves this query."""
-        return f"{self.table_name}:{self.aggregate.name}:{len(self.vector())}"
+        if self._signature_cache is None:
+            self._signature_cache = (
+                f"{self.table_name}:{self.aggregate.name}:{len(self.vector())}"
+            )
+        return self._signature_cache
 
     def __repr__(self) -> str:
         return (

@@ -127,6 +127,38 @@ class RadiusSelection(Selection):
         return f"Radius(center={np.round(self.center, 3)}, r={self.radius:.3g})"
 
 
+def batch_masks(selections: Sequence[Selection], table: Table) -> List[np.ndarray]:
+    """Boolean masks for many selections over one table, sharing the scan.
+
+    A homogeneous batch of :class:`RangeSelection` over the same columns
+    evaluates as one broadcast comparison per column, reading each column
+    once for the whole batch; floating-point comparisons are exact, so
+    every mask is bitwise equal to ``selection.mask(table)``.  Mixed
+    batches fall back to the per-selection loop.
+    """
+    if len(selections) >= 2 and all(
+        type(s) is RangeSelection for s in selections
+    ):
+        columns = selections[0].columns
+        if all(s.columns == columns for s in selections[1:]):
+            lows = np.stack([s.lows for s in selections])
+            highs = np.stack([s.highs for s in selections])
+            shape = (len(selections), table.n_rows)
+            out = np.empty(shape, dtype=bool)
+            scratch = np.empty(shape, dtype=bool)
+            for j, name in enumerate(columns):
+                col = table.column(name)[None, :]
+                if j == 0:
+                    np.greater_equal(col, lows[:, j, None], out=out)
+                else:
+                    np.greater_equal(col, lows[:, j, None], out=scratch)
+                    out &= scratch
+                np.less_equal(col, highs[:, j, None], out=scratch)
+                out &= scratch
+            return list(out)
+    return [s.mask(table) for s in selections]
+
+
 class KNNSelection(Selection):
     """The ``k`` rows nearest to ``point`` (euclidean over ``columns``).
 

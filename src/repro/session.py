@@ -21,7 +21,7 @@ cumulative savings statistics.
 from __future__ import annotations
 
 from dataclasses import dataclass
-from typing import Dict, Optional
+from typing import Dict, List, Optional, Sequence
 
 import numpy as np
 
@@ -162,6 +162,31 @@ class SEASession:
             cost=record.cost,
             _session=self,
         )
+
+    def sql_many(self, statements: Sequence[str]) -> List[SessionAnswer]:
+        """Run many SQL-like statements as one batch.
+
+        Answers, modes and per-query costs are identical to calling
+        :meth:`sql` once per statement; the batch path amortises the real
+        work (vectorized predictions, shared scans, answer cache).
+        """
+        return self.submit_batch([parse_query(s) for s in statements])
+
+    def submit_batch(
+        self, queries: Sequence[AnalyticsQuery]
+    ) -> List[SessionAnswer]:
+        """Run many already-built queries through the agent's batch path."""
+        records = self.agent.submit_batch(queries)
+        return [
+            SessionAnswer(
+                query=record.query,
+                value=record.answer,
+                mode=record.mode,
+                cost=record.cost,
+                _session=self,
+            )
+            for record in records
+        ]
 
     def explain(self, query: AnalyticsQuery) -> Explanation:
         """An explanation for ``query`` (data-less when models cover it)."""

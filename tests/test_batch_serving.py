@@ -1,0 +1,430 @@
+"""Batched serving: equivalence with the sequential path, and the cache.
+
+The batch path's whole contract is *observational equivalence*: answers,
+modes, and per-query simulated cost reports from one ``submit_batch``
+must be byte-identical to N sequential ``submit`` calls, whatever mix of
+training, prediction, learning fallback, and cache traffic the batch
+straddles.  These tests pin that contract (property-based over batch
+shape and agent configuration), plus the cache's invalidation rules and
+the shared-scan building blocks underneath (``run_many``, shuffle byte
+accounting, ``batch_masks``, ``predict_batch``, ``fetch_rows_many``).
+"""
+
+import numpy as np
+import pytest
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from repro.baselines import ExactEngine
+from repro.cluster import ClusterTopology, DistributedStore
+from repro.core import AgentConfig, SEAAgent
+from repro.core.answer_cache import AnswerCache, cache_key
+from repro.data import InterestProfile, WorkloadGenerator, gaussian_mixture_table
+from repro.engine import CoordinatorEngine, MapReduceEngine
+from repro.engine.mapreduce import (
+    _KV_OVERHEAD_BYTES,
+    estimate_payload_bytes,
+    stable_hash,
+)
+from repro.common import CostMeter
+from repro.queries import (
+    Count,
+    Mean,
+    Median,
+    RadiusSelection,
+    RangeSelection,
+    AnalyticsQuery,
+    batch_masks,
+)
+from repro.session import SEASession
+
+
+def build_world(n_rows=2000, n_nodes=4, seed=5):
+    topo = ClusterTopology.single_datacenter(n_nodes)
+    store = DistributedStore(topo)
+    table = gaussian_mixture_table(
+        n_rows, dims=("x0", "x1"), seed=seed, name="data"
+    )
+    store.put_table(table, partitions_per_node=2)
+    return store, table
+
+
+def query_pool(table, n, seed=13, aggregate=None):
+    profile = InterestProfile.from_table(
+        table, ("x0", "x1"), 3, seed=seed + 1, hotspot_scale=2.5,
+        extent_range=(3.0, 8.0),
+    )
+    workload = WorkloadGenerator(
+        "data", ("x0", "x1"), profile,
+        aggregate=aggregate or Count(), seed=seed,
+    )
+    return workload.batch(n)
+
+
+@pytest.fixture(scope="module")
+def world():
+    return build_world()
+
+
+@pytest.fixture(scope="module")
+def pool(world):
+    _, table = world
+    return query_pool(table, 40)
+
+
+def fresh_agent(store, budget, learn=True, cache=True):
+    return SEAAgent(
+        ExactEngine(store),
+        AgentConfig(
+            training_budget=budget,
+            error_threshold=0.5,
+            keep_learning_on_fallback=learn,
+            answer_cache_size=64 if cache else 0,
+        ),
+    )
+
+
+def assert_equivalent(seq_records, bat_records):
+    assert len(seq_records) == len(bat_records)
+    for a, b in zip(seq_records, bat_records):
+        assert a.mode == b.mode
+        assert np.array_equal(
+            np.asarray(a.answer, dtype=float), np.asarray(b.answer, dtype=float)
+        )
+        assert a.cost.__dict__ == b.cost.__dict__
+
+
+class TestSubmitBatchEquivalence:
+    @given(
+        n_queries=st.integers(4, 28),
+        budget=st.integers(0, 12),
+        learn=st.booleans(),
+        cache=st.booleans(),
+    )
+    @settings(max_examples=12, deadline=None)
+    def test_batch_equals_sequential(self, n_queries, budget, learn, cache):
+        # The shared store makes this also exercise interleaving with
+        # prior runs — answers never depend on engine-internal stats.
+        store, table = build_world()
+        queries = query_pool(table, n_queries)
+        seq_agent = fresh_agent(store, budget, learn, cache)
+        bat_agent = fresh_agent(store, budget, learn, cache)
+        seq_records = [seq_agent.submit(q) for q in queries]
+        bat_records = bat_agent.submit_batch(queries)
+        assert_equivalent(seq_records, bat_records)
+
+    def test_batch_straddles_training_boundary(self, world, pool):
+        store, _ = world
+        seq_agent = fresh_agent(store, budget=10)
+        bat_agent = fresh_agent(store, budget=10)
+        seq_records = [seq_agent.submit(q) for q in pool]
+        bat_records = bat_agent.submit_batch(pool)
+        assert {r.mode for r in bat_records} >= {"train"}
+        assert_equivalent(seq_records, bat_records)
+
+    def test_chunked_batches_equal_one_batch(self, world, pool):
+        store, _ = world
+        whole = fresh_agent(store, budget=8)
+        chunked = fresh_agent(store, budget=8)
+        whole_records = whole.submit_batch(pool)
+        chunked_records = []
+        for i in range(0, len(pool), 7):
+            chunked_records.extend(chunked.submit_batch(pool[i : i + 7]))
+        assert_equivalent(whole_records, chunked_records)
+
+    def test_repeated_queries_cache_agrees_with_sequential(self, world):
+        store, table = world
+        distinct = query_pool(table, 8, seed=29)
+        rng = np.random.default_rng(3)
+        repeats = [distinct[i] for i in rng.integers(0, len(distinct), 60)]
+        seq_agent = fresh_agent(store, budget=6)
+        bat_agent = fresh_agent(store, budget=6)
+        seq_records = [seq_agent.submit(q) for q in repeats]
+        bat_records = bat_agent.submit_batch(repeats)
+        assert_equivalent(seq_records, bat_records)
+        # Both walks issue the identical lookup/store sequence.
+        assert seq_agent.cache.stats() == bat_agent.cache.stats()
+
+    def test_cache_is_transparent(self, world):
+        """Cache on vs off changes costs paid, never answers or modes."""
+        store, table = world
+        distinct = query_pool(table, 8, seed=31)
+        rng = np.random.default_rng(4)
+        repeats = [distinct[i] for i in rng.integers(0, len(distinct), 50)]
+        cached = fresh_agent(store, budget=6, cache=True)
+        uncached = fresh_agent(store, budget=6, cache=False)
+        cached_records = [cached.submit(q) for q in repeats]
+        uncached_records = [uncached.submit(q) for q in repeats]
+        for a, b in zip(cached_records, uncached_records):
+            assert a.mode == b.mode
+            assert np.array_equal(
+                np.asarray(a.answer, dtype=float),
+                np.asarray(b.answer, dtype=float),
+            )
+
+    def test_empty_batch(self, world):
+        store, _ = world
+        assert fresh_agent(store, budget=4).submit_batch([]) == []
+
+    def test_session_sql_many(self):
+        table = gaussian_mixture_table(
+            1500, dims=("x0", "x1"), seed=9, name="data"
+        )
+        statements = [
+            f"SELECT COUNT(*) FROM data WHERE x0 BETWEEN {lo!r} AND {hi!r}"
+            for lo, hi in [(-5.0, 20.0), (0.0, 30.0), (-5.0, 20.0), (10.0, 45.0)]
+        ]
+        one = SEASession(n_nodes=4, config=AgentConfig(training_budget=2))
+        one.load_table(table)
+        many = SEASession(n_nodes=4, config=AgentConfig(training_budget=2))
+        many.load_table(table)
+        seq_answers = [one.sql(s) for s in statements]
+        bat_answers = many.sql_many(statements)
+        for a, b in zip(seq_answers, bat_answers):
+            assert a.mode == b.mode and a.value == b.value
+            assert a.cost.__dict__ == b.cost.__dict__
+
+
+class TestAnswerCacheInvalidation:
+    def _cached_agent(self, store, table):
+        """An agent with a populated answer cache (predicted entries)."""
+        distinct = query_pool(table, 20, seed=37)
+        rng = np.random.default_rng(6)
+        repeats = [distinct[i] for i in rng.integers(0, len(distinct), 240)]
+        agent = fresh_agent(store, budget=12)
+        agent.submit_batch(repeats)
+        agent.config.keep_learning_on_fallback = False
+        agent.submit_batch(repeats)  # refill after the last learning step
+        return agent
+
+    def test_notify_update_evicts_exactly_overlapping_quanta(self):
+        store, table = build_world(seed=21)
+        agent = self._cached_agent(store, table)
+        cache = agent.cache
+        assert len(cache) > 0
+        entries_before = dict(cache._entries)
+        # A box over the lower-left quadrant invalidates some quanta.
+        lows = np.asarray(
+            [float(np.min(table.column(c))) for c in ("x0", "x1")]
+        )
+        mids = np.asarray(
+            [float(np.median(table.column(c))) for c in ("x0", "x1")]
+        )
+        predictor = next(iter(agent._predictors.values()))
+        # The overlap rule is pure geometry on the quantizer centroids, so
+        # the expected set is computable before the (mutating) update.
+        centroids = predictor.quantizer.centroids
+        overlapping = set()
+        for quantum_id in predictor.quantum_ids():
+            if quantum_id >= len(centroids):
+                continue
+            box_lo, box_hi = agent.updates._quantum_box(
+                centroids[quantum_id], len(lows)
+            )
+            if np.all(box_hi >= lows) and np.all(box_lo <= mids):
+                overlapping.add(quantum_id)
+        invalidated = agent.notify_data_update("data", lows, mids)
+        assert invalidated == len(overlapping) > 0
+        surviving = set(cache._entries)
+        # Non-vacuous on both sides: some entries go, some stay.
+        assert 0 < len(surviving) < len(entries_before)
+        for key, entry in entries_before.items():
+            if entry.quantum_id in overlapping:
+                assert key not in surviving
+            else:
+                assert key in surviving
+
+    def test_update_outside_data_evicts_nothing(self):
+        store, table = build_world(seed=23)
+        agent = self._cached_agent(store, table)
+        before = len(agent.cache)
+        assert before > 0
+        invalidated = agent.notify_data_update("data", [1e6, 1e6], [2e6, 2e6])
+        assert invalidated == 0
+        assert len(agent.cache) == before
+
+    def test_learning_step_invalidates_signature(self):
+        store, table = build_world(seed=25)
+        agent = self._cached_agent(store, table)
+        assert len(agent.cache) > 0
+        agent.config.keep_learning_on_fallback = True
+        query = query_pool(table, 1, seed=41)[0]
+        predictor = agent.predictor(query)
+        agent._learn_from(query, predictor, np.asarray([1.0]))
+        assert len(agent.cache) == 0
+
+    def test_lru_eviction_bounds_size(self, world):
+        _, table = world
+        cache = AnswerCache(capacity=4)
+        queries = query_pool(table, 10, seed=43)
+        from repro.core.predictor import Prediction
+
+        for i, query in enumerate(queries):
+            prediction = Prediction(
+                value=np.asarray([float(i)]),
+                quantum_id=i,
+                error_estimate=0.0,
+                novelty=0.0,
+                reliable=True,
+            )
+            cache.store(query, prediction, float(i))
+        assert len(cache) == 4
+        assert cache.evictions == 6
+        # The four most recent stay, oldest first evicted.
+        assert cache.lookup(queries[-1]) is not None
+        assert cache.lookup(queries[0]) is None
+
+
+class TestSharedScanEngine:
+    def test_run_many_equals_run(self, world):
+        store, _ = world
+        engine = MapReduceEngine(store)
+
+        def mean_map(part):
+            col = part.column("x0").astype(float)
+            return [(0, (float(col.sum()), int(col.size)))]
+
+        def mean_reduce(key, partials):
+            total = sum(p[0] for p in partials)
+            count = sum(p[1] for p in partials)
+            return total / count
+
+        def median_map(part):
+            return [(0, part.column("x1").astype(float))]
+
+        def median_reduce(key, partials):
+            return float(np.median(np.concatenate(partials)))
+
+        seq = [
+            engine.run("data", mean_map, mean_reduce),
+            engine.run("data", median_map, median_reduce),
+        ]
+
+        def multi_map(part):
+            return [mean_map(part), median_map(part)]
+
+        batch = engine.run_many("data", multi_map, [mean_reduce, median_reduce])
+        for (r_seq, c_seq), (r_bat, c_bat) in zip(seq, batch):
+            assert set(r_seq) == set(r_bat)
+            for key in r_seq:
+                assert np.array_equal(
+                    np.asarray(r_seq[key]), np.asarray(r_bat[key])
+                )
+            assert c_seq.__dict__ == c_bat.__dict__
+
+    def test_shuffle_byte_accounting_matches_naive(self, world):
+        """Memoized hashing/payload sizing must not change the accounting."""
+        store, _ = world
+        engine = MapReduceEngine(store)
+        reducers = engine._reducer_nodes(store.table("data"), 2)
+        map_outputs = []
+        for i, partition in enumerate(store.table("data").partitions):
+            pairs = [
+                (key, np.full(3 + key, float(i)))
+                for key in (0, 1, 2, 0, 1)  # repeated keys exercise the memo
+            ]
+            map_outputs.append((partition.primary_node, pairs))
+        meter = CostMeter()
+        grouped, ingest_bytes, elapsed = engine._shuffle_phase(
+            map_outputs, reducers, meter
+        )
+        # Naive per-pair reference, no memoization.
+        expected = {}
+        for _, pairs in map_outputs:
+            for key, value in pairs:
+                reducer = reducers[stable_hash(key) % len(reducers)]
+                expected[reducer] = expected.get(reducer, 0) + (
+                    _KV_OVERHEAD_BYTES + estimate_payload_bytes(value)
+                )
+        assert ingest_bytes == expected
+        shipped = meter.freeze().bytes_shipped_lan
+        local = sum(
+            _KV_OVERHEAD_BYTES + estimate_payload_bytes(v)
+            for node, pairs in map_outputs
+            for k, v in pairs
+            if reducers[stable_hash(k) % len(reducers)] == node
+        )
+        assert shipped == sum(expected.values()) - local
+
+    def test_batch_masks_equals_per_selection(self, world):
+        _, table = world
+        rng = np.random.default_rng(17)
+        homogeneous = [
+            RangeSelection(
+                ("x0", "x1"),
+                lows=rng.uniform(-30, 0, 2),
+                highs=rng.uniform(0, 30, 2),
+            )
+            for _ in range(9)
+        ]
+        for selections in (
+            homogeneous,
+            homogeneous[:1],
+            homogeneous[:4]
+            + [RadiusSelection(("x0", "x1"), center=[0.0, 0.0], radius=9.0)],
+        ):
+            masks = batch_masks(selections, table)
+            assert len(masks) == len(selections)
+            for mask, selection in zip(masks, selections):
+                assert np.array_equal(mask, selection.mask(table))
+
+    def test_predict_batch_equals_predict(self, world):
+        store, table = world
+        agent = fresh_agent(store, budget=25)
+        for query in query_pool(table, 30, seed=47):
+            agent.submit(query)
+        predictor = next(iter(agent._predictors.values()))
+        vectors = np.stack([q.vector() for q in query_pool(table, 12, seed=49)])
+        batch = predictor.predict_batch(vectors)
+        for vector, from_batch in zip(vectors, batch):
+            one = predictor.predict(vector)
+            assert from_batch is not None
+            assert np.array_equal(one.value, from_batch.value)
+            assert one.quantum_id == from_batch.quantum_id
+            assert one.error_estimate == from_batch.error_estimate
+            assert one.novelty == from_batch.novelty
+            assert one.reliable == from_batch.reliable
+
+    def test_fetch_rows_many_equals_fetch_rows(self, world):
+        store, _ = world
+        stored = store.table("data")
+        engine_seq = CoordinatorEngine(store)
+        engine_bat = CoordinatorEngine(store)
+        rng = np.random.default_rng(19)
+        plans = []
+        for _ in range(5):
+            plan = {}
+            for part_index in rng.choice(
+                len(stored.partitions), size=3, replace=False
+            ):
+                n = int(rng.integers(1, 40))
+                rows = rng.choice(
+                    stored.partitions[part_index].n_rows, size=n, replace=False
+                )
+                plan[int(part_index)] = np.sort(rows)
+            plans.append(plan)
+        seq = [engine_seq.fetch_rows(stored, plan) for plan in plans]
+        batch = engine_bat.fetch_rows_many(stored, plans)
+        for (t_seq, c_seq), (t_bat, c_bat) in zip(seq, batch):
+            assert t_seq.n_rows == t_bat.n_rows
+            for name in t_seq.column_names:
+                assert np.array_equal(t_seq.column(name), t_bat.column(name))
+            assert c_seq.__dict__ == c_bat.__dict__
+
+
+class TestCacheKey:
+    def test_key_disambiguates_selection_classes(self):
+        range_query = AnalyticsQuery(
+            "data", RangeSelection(("x0",), [0.0], [4.0]), Count()
+        )
+        radius_query = AnalyticsQuery(
+            "data", RadiusSelection(("x0",), center=[2.0], radius=2.0), Count()
+        )
+        # Same vector length and (table, aggregate) — different keys.
+        assert len(range_query.vector()) == len(radius_query.vector())
+        assert cache_key(range_query) != cache_key(radius_query)
+
+    def test_key_equal_for_identical_extents(self):
+        a = AnalyticsQuery("data", RangeSelection(("x0",), [0.0], [4.0]), Count())
+        b = AnalyticsQuery("data", RangeSelection(("x0",), [0.0], [4.0]), Count())
+        assert cache_key(a) == cache_key(b)
