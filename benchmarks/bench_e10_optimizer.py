@@ -20,6 +20,7 @@ from repro.optimizer import (
     LearnedSelector,
     TaskFeatures,
     apply_per_quantum_selection,
+    synopsis_estimates,
 )
 from repro.queries import RangeSelection
 
@@ -33,16 +34,23 @@ def collect_log(store, table, engine, seed):
     rng = np.random.default_rng(seed)
     log = ExecutionLog()
     n_nodes = len(store.topology)
+    synopses = store.synopses("data")
     for _ in range(N_LOGGED):
         width = float(10 ** rng.uniform(0.3, 2.0))  # 2..100
         lo = rng.uniform(0.0, max(0.1, 100.0 - width), size=2)
         hi = np.minimum(lo + width, 100.0)
         selection = RangeSelection(("x0", "x1"), lo, hi)
         selectivity = float(selection.mask(table).mean())
+        est_sel, scan_frac = synopsis_estimates(synopses, selection)
         _, full_report = engine.gather("data", selection, method="fullscan")
         _, index_report = engine.gather("data", selection, method="index")
         features = TaskFeatures.for_subspace_aggregate(
-            table.n_rows, selectivity, 2, n_nodes
+            table.n_rows,
+            selectivity,
+            2,
+            n_nodes,
+            est_selectivity=est_sel,
+            scan_fraction=scan_frac,
         )
         log.record(
             features,

@@ -1,0 +1,194 @@
+"""E17 — zone-map partition pruning: bytes scanned and wall-clock vs selectivity.
+
+The table is clustered (sorted) on ``x0`` before loading, so contiguous
+partitions hold contiguous ``x0`` ranges and their synopses are tight —
+the regime where zone maps shine.  For each target selectivity a centred
+range on ``x0`` runs through two otherwise identical exact engines, one
+with pruning on and one with it off, and we record:
+
+* simulated bytes scanned and elapsed time (the metered cluster's view);
+* real wall-clock of serving the whole query set (the host's view);
+* per-trial answer equality — pruning must be *invisible* in the answers.
+
+Two aggregates cover both pruning modes: ``Sum`` short-circuits fully
+covered partitions from synopsis statistics (zero scan bytes), while the
+holistic ``Median`` can only *skip* disjoint partitions, showing the
+floor that skipping alone buys.
+
+Scale via env vars (reduced in CI): ``E17_ROWS``, ``E17_NODES``,
+``E17_PARTS_PER_NODE``, ``E17_REPEATS``.
+"""
+
+import os
+
+import numpy as np
+
+from repro.baselines import ExactEngine
+from repro.cluster import ClusterTopology, DistributedStore
+from repro.data import gaussian_mixture_table
+from repro.queries import AnalyticsQuery, Median, RangeSelection, Sum
+
+from harness import (
+    format_table,
+    record_pruning_benchmark,
+    wallclock,
+    write_result,
+)
+
+N_ROWS = int(os.environ.get("E17_ROWS", 60_000))
+N_NODES = int(os.environ.get("E17_NODES", 8))
+PARTS_PER_NODE = int(os.environ.get("E17_PARTS_PER_NODE", 2))
+REPEATS = int(os.environ.get("E17_REPEATS", 3))
+VALUE_BYTES = 2048  # realistic wide analytical records
+SELECTIVITIES = (0.01, 0.05, 0.10, 0.25, 0.50, 1.00)
+
+
+def build_clustered_world():
+    """Store with one table sorted on ``x0`` (tight per-partition zone maps)."""
+    topo = ClusterTopology.single_datacenter(N_NODES)
+    store = DistributedStore(topo)
+    table = gaussian_mixture_table(
+        N_ROWS, dims=("x0", "x1"), seed=7, name="data", value_bytes=VALUE_BYTES
+    )
+    clustered = table.take(np.argsort(table.column("x0"), kind="stable"))
+    store.put_table(clustered, partitions_per_node=PARTS_PER_NODE)
+    return store, clustered
+
+
+def centred_queries(table, fraction):
+    """Sum + Median queries over the centred ``fraction`` of ``x0``'s mass."""
+    x0 = np.sort(table.column("x0"))
+    lo_q, hi_q = (1.0 - fraction) / 2.0, (1.0 + fraction) / 2.0
+    lo = float(x0[int(lo_q * (len(x0) - 1))])
+    hi = float(x0[int(hi_q * (len(x0) - 1))])
+    selection = RangeSelection(("x0",), [lo], [hi])
+    return [
+        AnalyticsQuery("data", selection, Sum("x1")),
+        AnalyticsQuery("data", selection, Median("x1")),
+    ]
+
+
+def run_pruning_sweep():
+    store, table = build_clustered_world()
+    pruned_engine = ExactEngine(store)
+    unpruned_engine = ExactEngine(store, pruning=False)
+    rows = []
+    sweep = []
+    for fraction in SELECTIVITIES:
+        queries = centred_queries(table, fraction)
+        for query in queries:
+            pruned_answer, pruned_report = pruned_engine.execute(query)
+            unpruned_answer, unpruned_report = unpruned_engine.execute(query)
+            # Pruning must be invisible in the answer — exact comparison.
+            assert pruned_answer == unpruned_answer, (
+                f"answer drift at selectivity {fraction}: "
+                f"{pruned_answer!r} != {unpruned_answer!r}"
+            )
+            # The batched path must agree with the sequential one too.
+            (batched_answer, batched_report), = pruned_engine.execute_many(
+                [query]
+            )
+            assert batched_answer == pruned_answer
+            assert batched_report.bytes_scanned == pruned_report.bytes_scanned
+            ratio = unpruned_report.bytes_scanned / max(
+                1, pruned_report.bytes_scanned
+            )
+            rows.append(
+                [
+                    fraction,
+                    query.aggregate.name,
+                    unpruned_report.bytes_scanned,
+                    pruned_report.bytes_scanned,
+                    ratio,
+                    unpruned_report.elapsed_sec,
+                    pruned_report.elapsed_sec,
+                ]
+            )
+            sweep.append(
+                {
+                    "selectivity": fraction,
+                    "aggregate": query.aggregate.name,
+                    "unpruned_bytes": unpruned_report.bytes_scanned,
+                    "pruned_bytes": pruned_report.bytes_scanned,
+                    "bytes_ratio": ratio,
+                    "unpruned_sim_sec": unpruned_report.elapsed_sec,
+                    "pruned_sim_sec": pruned_report.elapsed_sec,
+                }
+            )
+    # Real wall-clock: serve every sweep query REPEATS times per engine,
+    # min-of-runs to damp host noise.  Skipped partitions never compute
+    # masks or partials, so the pruned engine does strictly less work.
+    wave = [q for f in SELECTIVITIES for q in centred_queries(table, f)]
+    low = [q for f in SELECTIVITIES if f <= 0.10 for q in centred_queries(table, f)]
+    for engine in (pruned_engine, unpruned_engine):  # warm-up
+        for query in low:
+            engine.execute(query)
+    pruned_wall = min(
+        wallclock(lambda: [pruned_engine.execute(q) for q in low])[1]
+        for _ in range(REPEATS)
+    )
+    unpruned_wall = min(
+        wallclock(lambda: [unpruned_engine.execute(q) for q in low])[1]
+        for _ in range(REPEATS)
+    )
+    wave_pruned_wall = min(
+        wallclock(lambda: pruned_engine.execute_many(wave))[1]
+        for _ in range(REPEATS)
+    )
+    wave_unpruned_wall = min(
+        wallclock(lambda: unpruned_engine.execute_many(wave))[1]
+        for _ in range(REPEATS)
+    )
+    walls = {
+        "pruned_wall_sec_low_sel": pruned_wall,
+        "unpruned_wall_sec_low_sel": unpruned_wall,
+        "pruned_wall_sec_batched": wave_pruned_wall,
+        "unpruned_wall_sec_batched": wave_unpruned_wall,
+    }
+    return rows, sweep, walls
+
+
+def test_e17_pruning(benchmark):
+    rows, sweep, walls = benchmark.pedantic(
+        run_pruning_sweep, rounds=1, iterations=1
+    )
+    table = format_table(
+        "E17: zone-map pruning, bytes scanned & time vs selectivity",
+        [
+            "selectivity",
+            "aggregate",
+            "unpruned_bytes",
+            "pruned_bytes",
+            "ratio",
+            "unpruned_sim_s",
+            "pruned_sim_s",
+        ],
+        rows,
+    )
+    write_result("e17_pruning", table, extra={"sweep": sweep, "walls": walls})
+    # Pruned never scans more than unpruned, at any selectivity (CI gate).
+    for entry in sweep:
+        assert entry["pruned_bytes"] <= entry["unpruned_bytes"], entry
+    # At <=10% selectivity the clustered table prunes >=5x the bytes and
+    # the simulated elapsed time improves with it.
+    for entry in sweep:
+        if entry["selectivity"] <= 0.10:
+            assert entry["bytes_ratio"] >= 5.0, entry
+            assert entry["pruned_sim_sec"] < entry["unpruned_sim_sec"], entry
+    # Real wall-clock improves too: the pruned engine does strictly less
+    # host work (fewer masks, fewer partials, fewer charges).
+    assert walls["pruned_wall_sec_low_sel"] < walls["unpruned_wall_sec_low_sel"]
+    record_pruning_benchmark(
+        "e17_pruning",
+        n_rows=N_ROWS,
+        n_nodes=N_NODES,
+        partitions=N_NODES * PARTS_PER_NODE,
+        value_bytes=VALUE_BYTES,
+        sweep=sweep,
+        **walls,
+    )
+    low_sum = [
+        e for e in sweep if e["selectivity"] <= 0.10 and e["aggregate"] == "sum(x1)"
+    ]
+    if low_sum:
+        benchmark.extra_info["bytes_ratio_at_10pct"] = low_sum[-1]["bytes_ratio"]

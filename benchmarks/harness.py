@@ -20,6 +20,7 @@ from typing import Any, Callable, Dict, Iterable, List, Optional, Sequence, Tupl
 RESULTS_DIR = os.path.join(os.path.dirname(__file__), "results")
 REPO_ROOT = os.path.abspath(os.path.join(os.path.dirname(__file__), ".."))
 BENCH_SERVING_PATH = os.path.join(REPO_ROOT, "BENCH_serving.json")
+BENCH_PRUNING_PATH = os.path.join(REPO_ROOT, "BENCH_pruning.json")
 
 
 def wallclock(fn: Callable[[], Any]) -> Tuple[Any, float]:
@@ -34,17 +35,17 @@ def wallclock(fn: Callable[[], Any]) -> Tuple[Any, float]:
     return result, time.perf_counter() - start
 
 
-def record_serving_benchmark(experiment: str, **fields: Any) -> str:
-    """Append one wall-clock serving measurement to ``BENCH_serving.json``.
+def record_cumulative_benchmark(path: str, experiment: str, **fields: Any) -> str:
+    """Append one measurement entry to a cumulative repo-root JSON file.
 
-    The file lives at the repo root and is cumulative — one entry per
-    recorded run — so the sequential-vs-batched queries/sec trajectory
-    can be charted across commits.  Returns the file path.
+    The file keeps one entry per recorded run (``{"entries": [...]}``) so
+    a metric's trajectory can be charted across commits.  Corrupt or
+    foreign content is replaced rather than crashed on.  Returns ``path``.
     """
     payload: Dict[str, Any] = {"entries": []}
-    if os.path.exists(BENCH_SERVING_PATH):
+    if os.path.exists(path):
         try:
-            with open(BENCH_SERVING_PATH) as handle:
+            with open(path) as handle:
                 payload = json.load(handle)
         except (OSError, ValueError):
             payload = {"entries": []}
@@ -56,10 +57,20 @@ def record_serving_benchmark(experiment: str, **fields: Any) -> str:
     }
     entry.update({key: _plain(value) for key, value in fields.items()})
     payload["entries"].append(entry)
-    with open(BENCH_SERVING_PATH, "w") as handle:
+    with open(path, "w") as handle:
         json.dump(payload, handle, indent=2)
         handle.write("\n")
-    return BENCH_SERVING_PATH
+    return path
+
+
+def record_serving_benchmark(experiment: str, **fields: Any) -> str:
+    """Append one wall-clock serving measurement to ``BENCH_serving.json``."""
+    return record_cumulative_benchmark(BENCH_SERVING_PATH, experiment, **fields)
+
+
+def record_pruning_benchmark(experiment: str, **fields: Any) -> str:
+    """Append one zone-map pruning measurement to ``BENCH_pruning.json``."""
+    return record_cumulative_benchmark(BENCH_PRUNING_PATH, experiment, **fields)
 
 
 def format_table(title: str, headers: Sequence[str], rows: Iterable[Sequence]) -> str:

@@ -113,7 +113,11 @@ class SegmentStatsCache:
                 rows_by_partition.setdefault(part_idx, []).append(row_idx)
         if rows_by_partition:
             stored = self.store.table(self.table_name)
-            data, _ = self.coordinator.fetch_rows(stored, rows_by_partition, meter)
+            # The fetched rows are filtered by the selection below, so
+            # zone-map pruning of the fetch plan is answer-preserving.
+            data, _ = self.coordinator.fetch_rows(
+                stored, rows_by_partition, meter, selection=selection
+            )
             selected = data.select(selection.mask(data))
             partials.append(query.aggregate.partial(selected))
         answer = query.aggregate.merge(partials)

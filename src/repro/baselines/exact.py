@@ -6,6 +6,13 @@ aggregate partials (or raw values for holistic aggregates), shuffles them to
 a reducer and merges.  The answer is exact; the cost is what the paper
 complains about: proportional to data size and node count, through all the
 stack layers.
+
+Zone-map pruning (on by default, ``pruning=False`` restores the seed
+behaviour) intersects each query's bounding box with the stored table's
+partition synopses before the fan-out: disjoint partitions are skipped,
+fully covered range-selected partitions short-circuit decomposable
+aggregates from synopsis statistics, and everything else scans.  Answers
+are bit-identical either way — only the cost changes.
 """
 
 from __future__ import annotations
@@ -13,10 +20,12 @@ from __future__ import annotations
 from typing import Dict, List, Optional, Sequence, Tuple
 
 from repro.common.accounting import CostReport
+from repro.common.errors import StorageError
 from repro.cluster.storage import DistributedStore
 from repro.data.tabular import Table
 from repro.engine.bdas import BDASStack
 from repro.engine.mapreduce import MapReduceEngine
+from repro.engine.pruning import ScanPlan, plan_scan
 from repro.engine.resources import ResourceManager
 from repro.queries.query import AnalyticsQuery, Answer
 from repro.queries.selections import batch_masks
@@ -32,8 +41,10 @@ class ExactEngine:
         stack: Optional[BDASStack] = None,
         rates=None,
         observer=None,
+        pruning: bool = True,
     ) -> None:
         self.store = store
+        self.pruning = pruning
         self._engine = MapReduceEngine(
             store, resources=resources, stack=stack, rates=rates, observer=observer
         )
@@ -45,6 +56,37 @@ class ExactEngine:
     def attach_observer(self, observer) -> None:
         """Record traces/metrics for subsequent executions on ``observer``."""
         self._engine.attach_observer(observer)
+
+    def plan_for(self, query: AnalyticsQuery) -> Optional[ScanPlan]:
+        """Zone-map scan plan for one query, or None when pruning is off
+        or the table's synopses are unavailable/misaligned."""
+        if not self.pruning:
+            return None
+        try:
+            synopses = self.store.synopses(query.table_name)
+            stored = self.store.table(query.table_name)
+        except StorageError:
+            return None
+        if len(synopses) != len(stored.partitions):
+            return None
+        return plan_scan(synopses, query.selection, query.aggregate, emit_key=0)
+
+    def _note_plan(self, query: AnalyticsQuery, plan: Optional[ScanPlan]) -> None:
+        obs = self._engine.observer
+        if plan is None or not obs.enabled:
+            return
+        labels = {"table": query.table_name}
+        obs.inc("prune_partitions_scanned_total", plan.n_scanned, **labels)
+        obs.inc("prune_partitions_skipped_total", plan.n_skipped, **labels)
+        obs.inc("prune_partitions_covered_total", plan.n_covered, **labels)
+        obs.event(
+            "pruning",
+            table=query.table_name,
+            aggregate=type(query.aggregate).__name__,
+            scanned=plan.n_scanned,
+            skipped=plan.n_skipped,
+            covered=plan.n_covered,
+        )
 
     def execute(self, query: AnalyticsQuery) -> Tuple[Answer, CostReport]:
         """Run ``query`` exactly; returns (answer, cost report)."""
@@ -58,10 +100,16 @@ class ExactEngine:
         def reduce_fn(key, partials):
             return aggregate.merge(partials)
 
+        plan = self.plan_for(query)
+        self._note_plan(query, plan)
         results, report = self._engine.run(
-            query.table_name, map_fn, reduce_fn, n_reducers=1
+            query.table_name, map_fn, reduce_fn, n_reducers=1, plan=plan
         )
-        return results[0], report
+        # Every partition pruned -> no map output reached the reducer; the
+        # merge of zero partials is the same neutral answer the unpruned
+        # job assembles from its all-empty selections.
+        answer = results[0] if 0 in results else aggregate.merge([])
+        return answer, report
 
     def execute_many(
         self, queries: Sequence[AnalyticsQuery]
@@ -82,14 +130,24 @@ class ExactEngine:
             group = [queries[i] for i in indices]
             selections = [q.selection for q in group]
             aggregates = [q.aggregate for q in group]
+            plans = [self.plan_for(q) for q in group]
+            for query, plan in zip(group, plans):
+                self._note_plan(query, plan)
+            if all(p is None for p in plans):
+                plans = None
 
             def multi_map_fn(
-                partition: Table, selections=selections, aggregates=aggregates
+                partition: Table,
+                active=None,
+                selections=selections,
+                aggregates=aggregates,
             ):
-                masks = batch_masks(selections, partition)
+                if active is None:
+                    active = range(len(selections))
+                masks = batch_masks([selections[j] for j in active], partition)
                 return [
-                    [(0, aggregate.partial_from_mask(partition, mask))]
-                    for aggregate, mask in zip(aggregates, masks)
+                    [(0, aggregates[j].partial_from_mask(partition, mask))]
+                    for j, mask in zip(active, masks)
                 ]
 
             reduce_fns = [
@@ -97,10 +155,17 @@ class ExactEngine:
                 for aggregate in aggregates
             ]
             job_results = self._engine.run_many(
-                table_name, multi_map_fn, reduce_fns, n_reducers=1
+                table_name, multi_map_fn, reduce_fns, n_reducers=1, plans=plans
             )
-            for index, (results, report) in zip(indices, job_results):
-                out[index] = (results[0], report)
+            for position, (index, (results, report)) in enumerate(
+                zip(indices, job_results)
+            ):
+                answer = (
+                    results[0]
+                    if 0 in results
+                    else aggregates[position].merge([])
+                )
+                out[index] = (answer, report)
         return out  # type: ignore[return-value]
 
     def ground_truth(self, query: AnalyticsQuery) -> Answer:

@@ -20,6 +20,12 @@ results reflect the metered architecture rather than host-Python speed.
 from repro.cluster.node import DataNode
 from repro.cluster.topology import ClusterTopology
 from repro.cluster.storage import DistributedStore, TablePartition, StoredTable
+from repro.cluster.synopsis import (
+    ColumnStats,
+    PartitionSynopsis,
+    estimate_selectivity,
+    synopses_consistent,
+)
 
 __all__ = [
     "DataNode",
@@ -27,4 +33,8 @@ __all__ = [
     "DistributedStore",
     "TablePartition",
     "StoredTable",
+    "ColumnStats",
+    "PartitionSynopsis",
+    "estimate_selectivity",
+    "synopses_consistent",
 ]

@@ -19,6 +19,7 @@ from repro.common.accounting import CostMeter
 from repro.common.errors import StorageError
 from repro.common.rng import SeedLike, make_rng
 from repro.common.validation import require
+from repro.cluster.synopsis import PartitionSynopsis
 from repro.cluster.topology import ClusterTopology
 from repro.data.tabular import Table
 
@@ -91,6 +92,8 @@ class DistributedStore:
         self.topology = topology
         self.replication = replication
         self._catalog: Dict[str, StoredTable] = {}
+        # Per-table zone-map synopses, index-aligned with the partitions.
+        self._synopses: Dict[str, List[PartitionSynopsis]] = {}
         # Cumulative bytes served per node, for replica load balancing.
         self._served_bytes: Dict[str, int] = {}
 
@@ -158,6 +161,11 @@ class DistributedStore:
             partitions.append(partition)
         stored = StoredTable(name=table.name, partitions=partitions)
         self._catalog[table.name] = stored
+        # Zone maps are written at ingest (like ORC/Parquet block footers),
+        # so building them here is storage-side work, not query-time cost.
+        self._synopses[table.name] = [
+            PartitionSynopsis.from_table(p.data) for p in partitions
+        ]
         return stored
 
     def drop_table(self, name: str) -> None:
@@ -168,6 +176,7 @@ class DistributedStore:
                     partition.partition_id, partition.n_bytes
                 )
         del self._catalog[name]
+        self._synopses.pop(name, None)
 
     # Catalog -------------------------------------------------------------
     def table(self, name: str) -> StoredTable:
@@ -181,6 +190,15 @@ class DistributedStore:
     @property
     def table_names(self) -> List[str]:
         return list(self._catalog)
+
+    def synopses(self, name: str) -> List[PartitionSynopsis]:
+        """The table's zone-map synopses, index-aligned with its partitions."""
+        self.table(name)  # raises StorageError for unknown tables
+        return self._synopses[name]
+
+    def synopsis_bytes(self, name: str) -> int:
+        """Total serialized footprint of one table's synopses."""
+        return sum(s.n_bytes for s in self.synopses(name))
 
     def __contains__(self, name: str) -> bool:
         return name in self._catalog
@@ -240,32 +258,64 @@ class DistributedStore:
 
     # Mutation (model-maintenance experiments) ------------------------------
     def append_rows(self, name: str, rows: Table, seed: SeedLike = 0) -> None:
-        """Append ``rows`` to a stored table, spread over its partitions."""
+        """Append ``rows`` to a stored table, spread over its partitions.
+
+        Zero-row pieces (more partitions than appended rows) leave their
+        partition — data, node byte accounting, and synopsis — untouched;
+        grown partitions update all three together so the bookkeeping
+        cannot diverge on degenerate shapes.
+        """
         stored = self.table(name)
         require(
             rows.column_names == stored.column_names,
             f"schema mismatch: {rows.column_names} vs {stored.column_names}",
         )
+        if rows.n_rows == 0:
+            return
+        synopses = self._synopses[name]
         pieces = rows.split(len(stored.partitions))
-        for partition, piece in zip(stored.partitions, pieces):
+        for index, (partition, piece) in enumerate(zip(stored.partitions, pieces)):
             if piece.n_rows == 0:
                 continue
             grown = Table.concat([partition.data, piece], name=name)
-            delta = grown.n_bytes - partition.n_bytes
-            partition.data = grown
-            for node_id in partition.all_nodes:
-                self.topology.node(node_id).stored_bytes += delta
+            synopses[index] = synopses[index].appended(piece, grown)
+            self._replace_partition_data(partition, grown)
 
     def delete_rows(self, name: str, predicate) -> int:
-        """Delete rows matching ``predicate(table) -> bool mask``; returns count."""
+        """Delete rows matching ``predicate(table) -> bool mask``; returns count.
+
+        Partitions the predicate does not touch keep their data object
+        (and synopsis) untouched; partitions left empty keep consistent
+        accounting (zero stored bytes, an always-prunable synopsis).
+        Minima/maxima are not decrementable, so a shrunk partition's
+        synopsis is rebuilt from the surviving rows.
+        """
         stored = self.table(name)
+        synopses = self._synopses[name]
         deleted = 0
-        for partition in stored.partitions:
+        for index, partition in enumerate(stored.partitions):
             mask = np.asarray(predicate(partition.data), dtype=bool)
+            require(
+                mask.shape == (partition.n_rows,),
+                f"predicate mask shape {mask.shape} does not match "
+                f"{partition.n_rows} rows of {partition.partition_id}",
+            )
+            hit = int(np.count_nonzero(mask))
+            if hit == 0:
+                continue
             keep = partition.data.select(~mask)
-            deleted += int(mask.sum())
-            delta = keep.n_bytes - partition.n_bytes
-            partition.data = keep
-            for node_id in partition.all_nodes:
-                self.topology.node(node_id).stored_bytes += delta
+            deleted += hit
+            synopses[index] = PartitionSynopsis.from_table(keep)
+            self._replace_partition_data(partition, keep)
         return deleted
+
+    def _replace_partition_data(
+        self, partition: TablePartition, new_data: Table
+    ) -> None:
+        """Swap a partition's data, keeping every replica's bytes exact."""
+        delta = new_data.n_bytes - partition.n_bytes
+        partition.data = new_data
+        if delta == 0:
+            return
+        for node_id in partition.all_nodes:
+            self.topology.node(node_id).stored_bytes += delta

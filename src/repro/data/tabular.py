@@ -101,9 +101,21 @@ class Table:
 
     # Relational operations -------------------------------------------------
     def matrix(self, columns: Optional[Sequence[str]] = None) -> np.ndarray:
-        """Stack the named columns into an (n_rows, k) float matrix."""
+        """Stack the named columns into an (n_rows, k) float matrix.
+
+        Columns already stored as float64 feed ``column_stack`` directly —
+        the stack itself copies, so the per-column ``astype`` would be a
+        second, redundant copy on this hot path (radius/kNN masks,
+        predictor featurization).
+        """
         names = list(columns) if columns is not None else self.column_names
-        return np.column_stack([self.column(c).astype(float) for c in names])
+        parts = []
+        for c in names:
+            arr = self.column(c)
+            if arr.dtype != np.float64:
+                arr = arr.astype(float)
+            parts.append(arr)
+        return np.column_stack(parts)
 
     def select(self, mask: np.ndarray) -> "Table":
         """Rows where ``mask`` is true, as a new table."""

@@ -18,6 +18,12 @@ from repro.engine.bdas import BDASStack
 from repro.engine.resources import ResourceManager
 from repro.engine.mapreduce import MapReduceEngine
 from repro.engine.coordinator import CoordinatorEngine
+from repro.engine.pruning import (
+    ScanPlan,
+    plan_scan,
+    prune_row_plan,
+    synopsis_partial,
+)
 from repro.engine.simulation import (
     OpenLoopSimulator,
     ClosedLoopSimulator,
@@ -30,6 +36,10 @@ __all__ = [
     "ResourceManager",
     "MapReduceEngine",
     "CoordinatorEngine",
+    "ScanPlan",
+    "plan_scan",
+    "prune_row_plan",
+    "synopsis_partial",
     "OpenLoopSimulator",
     "ClosedLoopSimulator",
     "SimulationResult",

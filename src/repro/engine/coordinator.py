@@ -21,7 +21,9 @@ from repro.common.validation import require
 from repro.cluster.storage import DistributedStore, StoredTable, TablePartition
 from repro.data.tabular import Table
 from repro.engine.bdas import BDASStack
+from repro.engine.pruning import prune_row_plan
 from repro.obs.observer import NULL_OBSERVER, Observer
+from repro.queries.selections import Selection
 
 _REQUEST_BYTES = 256
 
@@ -63,12 +65,39 @@ class CoordinatorEngine:
             obs = meter.observer
         return meter, obs
 
+    def _pruned(
+        self,
+        stored: StoredTable,
+        rows_by_partition: Dict[int, Sequence[int]],
+        selection: Optional[Selection],
+        obs: Observer,
+    ) -> Dict[int, Sequence[int]]:
+        """Drop fetch requests against partitions disjoint from ``selection``.
+
+        Callers opt in by passing the selection they will re-apply to the
+        fetched rows — only then is dropping provably-non-matching rows
+        answer-preserving.  Without synopses (or with stale ones) the plan
+        passes through unchanged.
+        """
+        if selection is None:
+            return rows_by_partition
+        synopses = self.store.synopses(stored.name)
+        if len(synopses) != len(stored.partitions):
+            return rows_by_partition
+        kept, pruned = prune_row_plan(synopses, rows_by_partition, selection)
+        if pruned and obs.enabled:
+            obs.inc(
+                "prune_fetch_partitions_skipped_total", pruned, table=stored.name
+            )
+        return kept
+
     def fetch_rows(
         self,
         stored: StoredTable,
         rows_by_partition: Dict[int, Sequence[int]],
         meter: Optional[CostMeter] = None,
         charge_stack: bool = True,
+        selection: Optional[Selection] = None,
     ) -> Tuple[Table, CostReport]:
         """Fetch the given ``{partition_index: row_indices}`` to the coordinator.
 
@@ -78,8 +107,14 @@ class CoordinatorEngine:
         Iterative operators that issue many fetch rounds within one query
         pass ``charge_stack=False`` after charging the stack once
         themselves; the stack is a per-query cost, not per-round.
+
+        ``selection`` enables zone-map pruning of the plan itself: requests
+        against partitions provably disjoint from the selection's bounding
+        box are dropped before any cohort is contacted.  Pass it only when
+        the fetched rows are filtered by the same selection afterwards.
         """
         meter, obs = self._meter(meter)
+        rows_by_partition = self._pruned(stored, rows_by_partition, selection, obs)
         return self._fetch_one(stored, rows_by_partition, meter, obs, charge_stack)
 
     def fetch_rows_many(
@@ -87,6 +122,7 @@ class CoordinatorEngine:
         stored: StoredTable,
         plans: Sequence[Dict[int, Sequence[int]]],
         charge_stack: bool = True,
+        selections: Optional[Sequence[Optional[Selection]]] = None,
     ) -> List[Tuple[Table, CostReport]]:
         """Fetch many row plans, sharing each partition's point reads.
 
@@ -95,7 +131,22 @@ class CoordinatorEngine:
         choice, transfers, point-read accounting) in plan order with a
         fresh meter, so entry ``i`` — rows and cost report — is identical
         to ``fetch_rows(stored, plans[i])``.
+
+        ``selections`` (one per plan, None entries allowed) applies the
+        same zone-map plan pruning as :meth:`fetch_rows`, *before* the
+        shared union read, so a partition every plan pruned is never
+        materialised at all.
         """
+        if selections is not None:
+            require(
+                len(selections) == len(plans),
+                f"{len(selections)} selections for {len(plans)} plans",
+            )
+            obs = self.observer
+            plans = [
+                self._pruned(stored, plan, sel, obs)
+                for plan, sel in zip(plans, selections)
+            ]
         union: Dict[int, List[np.ndarray]] = {}
         for plan in plans:
             for part_index, rows in plan.items():

@@ -23,6 +23,7 @@ from repro.common.validation import require
 from repro.cluster.storage import DistributedStore, StoredTable
 from repro.data.tabular import Table
 from repro.engine.bdas import BDASStack
+from repro.engine.pruning import SCAN, SKIP, SYNOPSIS, ScanPlan
 from repro.engine.resources import ResourceManager
 from repro.obs.observer import NULL_OBSERVER, Observer
 
@@ -88,10 +89,24 @@ class MapReduceEngine:
         n_reducers: int = 0,
         driver_node: Optional[str] = None,
         meter: Optional[CostMeter] = None,
+        plan: Optional[ScanPlan] = None,
     ) -> Tuple[Dict[Any, Any], CostReport]:
-        """Execute one job; returns (results-by-key, cost report)."""
+        """Execute one job; returns (results-by-key, cost report).
+
+        ``plan`` (a zone-map :class:`~repro.engine.pruning.ScanPlan`)
+        restricts the fan-out: skipped partitions are never read, never
+        charged, and their nodes are never engaged; covered partitions
+        emit their precomputed synopsis partials for the price of a
+        metadata read.  Without a plan every partition is scanned.
+        """
         stored = self.store.table(table_name)
         require(len(stored.partitions) >= 1, "table has no partitions")
+        if plan is not None:
+            require(
+                len(plan.actions) == len(stored.partitions),
+                f"plan covers {len(plan.actions)} partitions, "
+                f"table has {len(stored.partitions)}",
+            )
         obs = self.observer
         if meter is None:
             watcher = obs if obs.enabled else None
@@ -105,7 +120,7 @@ class MapReduceEngine:
         driver = driver_node or self.topology.pick_coordinator()
         reducers = self._reducer_nodes(stored, n_reducers)
 
-        engaged = {p.primary_node for p in stored.partitions} | set(reducers)
+        engaged = self._engaged_nodes(stored, reducers, plan)
         with obs.span(
             "mapreduce", meter=meter, category="job", table=table_name
         ):
@@ -114,7 +129,7 @@ class MapReduceEngine:
 
             with obs.span("map", meter=meter, category="phase"):
                 map_outputs, map_elapsed = self._map_phase(
-                    stored, map_fn, meter, obs
+                    stored, map_fn, meter, obs, plan=plan
                 )
                 meter.advance(map_elapsed)
 
@@ -138,10 +153,11 @@ class MapReduceEngine:
     def run_many(
         self,
         table_name: str,
-        multi_map_fn: Callable[[Table], List[List[Tuple[Any, Any]]]],
+        multi_map_fn: Callable[..., List[List[Tuple[Any, Any]]]],
         reduce_fns: List[ReduceFn],
         n_reducers: int = 0,
         driver_node: Optional[str] = None,
+        plans: Optional[List[Optional[ScanPlan]]] = None,
     ) -> List[Tuple[Dict[Any, Any], CostReport]]:
         """Execute many jobs over one table, sharing the real partition pass.
 
@@ -152,29 +168,57 @@ class MapReduceEngine:
         is identical to ``run(table_name, map_fn_j, reduce_fns[j], ...)``.
         Only real wall-clock work is shared — the cost model still sees
         every job pay its own scan.
+
+        With ``plans`` (one zone-map :class:`ScanPlan` per job, or None
+        for scan-everything), a partition is read once iff *some* job in
+        the wave scans it, and ``multi_map_fn(partition, active)`` is
+        called with the indices of those jobs, returning their outputs
+        only; skipped and synopsis-covered partitions never touch the
+        real data.
         """
         stored = self.store.table(table_name)
         require(len(stored.partitions) >= 1, "table has no partitions")
         n_jobs = len(reduce_fns)
         if n_jobs == 0:
             return []
+        if plans is not None:
+            require(
+                len(plans) == n_jobs,
+                f"{len(plans)} plans for {n_jobs} jobs",
+            )
         # Shared real pass: every job's map outputs from one read of each
         # partition, computed before any charging so the replay below can
-        # interleave charges per job in sequential order.
-        outputs_per_job: List[List[List[Tuple[Any, Any]]]] = [
-            [] for _ in range(n_jobs)
+        # interleave charges per job in sequential order.  Outputs are
+        # indexed by partition position; entries a job never scans stay
+        # None (its plan covers them from the synopsis or skips them).
+        n_parts = len(stored.partitions)
+        outputs_per_job: List[List[Optional[List[Tuple[Any, Any]]]]] = [
+            [None] * n_parts for _ in range(n_jobs)
         ]
-        for partition in stored.partitions:
-            per_job = multi_map_fn(partition.data)
+        for index, partition in enumerate(stored.partitions):
+            if plans is None:
+                active = list(range(n_jobs))
+                per_job = multi_map_fn(partition.data)
+            else:
+                active = [
+                    j
+                    for j in range(n_jobs)
+                    if plans[j] is None or plans[j].actions[index] == SCAN
+                ]
+                if not active:
+                    continue
+                per_job = multi_map_fn(partition.data, active)
             require(
-                len(per_job) == n_jobs,
-                f"multi_map_fn returned {len(per_job)} outputs for {n_jobs} jobs",
+                len(per_job) == len(active),
+                f"multi_map_fn returned {len(per_job)} outputs "
+                f"for {len(active)} active jobs",
             )
-            for j in range(n_jobs):
-                outputs_per_job[j].append(list(per_job[j]))
+            for j, pairs in zip(active, per_job):
+                outputs_per_job[j][index] = list(pairs)
         obs = self.observer
         out: List[Tuple[Dict[Any, Any], CostReport]] = []
         for j in range(n_jobs):
+            plan = plans[j] if plans is not None else None
             watcher = obs if obs.enabled else None
             meter = (
                 CostMeter(self.rates, observer=watcher)
@@ -183,7 +227,7 @@ class MapReduceEngine:
             )
             driver = driver_node or self.topology.pick_coordinator()
             reducers = self._reducer_nodes(stored, n_reducers)
-            engaged = {p.primary_node for p in stored.partitions} | set(reducers)
+            engaged = self._engaged_nodes(stored, reducers, plan)
             with obs.span(
                 "mapreduce", meter=meter, category="job", table=table_name
             ):
@@ -193,7 +237,12 @@ class MapReduceEngine:
                     )
                 with obs.span("map", meter=meter, category="phase"):
                     map_outputs, map_elapsed = self._map_phase(
-                        stored, None, meter, obs, precomputed=outputs_per_job[j]
+                        stored,
+                        None,
+                        meter,
+                        obs,
+                        precomputed=outputs_per_job[j],
+                        plan=plan,
                     )
                     meter.advance(map_elapsed)
                 with obs.span("shuffle", meter=meter, category="phase"):
@@ -215,19 +264,44 @@ class MapReduceEngine:
         return out
 
     # Phases ----------------------------------------------------------------
+    def _engaged_nodes(
+        self,
+        stored: StoredTable,
+        reducers: List[str],
+        plan: Optional[ScanPlan],
+    ) -> set:
+        """Nodes the job touches: mappers surviving the plan + reducers.
+
+        Zone-map-skipped partitions drop out entirely — their nodes never
+        see the job, which is the paper's "touch only the data that can
+        matter" at the stack-submission layer too.
+        """
+        if plan is None:
+            mappers = {p.primary_node for p in stored.partitions}
+        else:
+            mappers = {
+                p.primary_node
+                for index, p in enumerate(stored.partitions)
+                if plan.actions[index] != SKIP
+            }
+        return mappers | set(reducers)
+
     def _map_phase(
         self,
         stored: StoredTable,
         map_fn: Optional[MapFn],
         meter: CostMeter,
         obs: Observer = NULL_OBSERVER,
-        precomputed: Optional[List[List[Tuple[Any, Any]]]] = None,
+        precomputed: Optional[List[Optional[List[Tuple[Any, Any]]]]] = None,
+        plan: Optional[ScanPlan] = None,
     ) -> Tuple[List[Tuple[str, List[Tuple[Any, Any]]]], float]:
         """Run one map task per partition; returns (per-node outputs, elapsed).
 
-        With ``precomputed`` (one pair-list per partition, from a shared
-        batch pass) the per-partition charges are identical but the map
-        function is not re-run.
+        With ``precomputed`` (pair-lists indexed by partition position,
+        from a shared batch pass) the per-partition charges are identical
+        but the map function is not re-run.  With ``plan``, skipped
+        partitions charge nothing and synopsis-covered partitions charge
+        only the metadata read while emitting the plan's partials.
         """
         node_tasks: Dict[str, List[float]] = defaultdict(list)
         outputs: List[Tuple[str, List[Tuple[Any, Any]]]] = []
@@ -235,7 +309,29 @@ class MapReduceEngine:
         phase_start = obs.now if tracing else 0.0
         spans: List[Tuple[str, str, float, Dict[str, Any]]] = []
         for index, partition in enumerate(stored.partitions):
+            action = SCAN if plan is None else plan.actions[index]
+            if action == SKIP:
+                continue
             node = partition.primary_node
+            if action == SYNOPSIS:
+                # The region server answers from block metadata: no task
+                # container, no scan bytes — just a tiny statistics read.
+                seconds = meter.charge_cpu(
+                    node, plan.synopsis_bytes.get(index, 0)
+                )
+                pairs = list(plan.pairs[index])
+                outputs.append((node, pairs))
+                if tracing:
+                    spans.append(
+                        (
+                            f"synopsis:{partition.partition_id}",
+                            node,
+                            seconds,
+                            {"rows": 0, "bytes": 0},
+                        )
+                    )
+                node_tasks[node].append(seconds)
+                continue
             seconds = meter.charge_task_startup(node)
             data = self.store.read_partition(partition, meter)
             seconds += data.n_bytes / meter.rates.disk_bytes_per_sec

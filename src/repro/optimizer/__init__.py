@@ -12,7 +12,7 @@
   model families and adopt the best (RT3.3).
 """
 
-from repro.optimizer.features import TaskFeatures
+from repro.optimizer.features import TaskFeatures, synopsis_estimates
 from repro.optimizer.alternatives import ExecutionAlternative, AlternativeSet
 from repro.optimizer.selector import ExecutionLog, LearnedSelector, CostModelSelector
 from repro.optimizer.model_selection import (
@@ -23,6 +23,7 @@ from repro.optimizer.model_selection import (
 
 __all__ = [
     "TaskFeatures",
+    "synopsis_estimates",
     "ExecutionAlternative",
     "AlternativeSet",
     "ExecutionLog",

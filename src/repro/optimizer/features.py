@@ -13,11 +13,35 @@ the orders-of-magnitude sweeps the experiments run.
 from __future__ import annotations
 
 from dataclasses import dataclass
-from typing import Dict, List, Sequence, Tuple
+from typing import Dict, List, Optional, Sequence, Tuple
 
 import numpy as np
 
+from repro.cluster.synopsis import PartitionSynopsis, estimate_selectivity
 from repro.common.validation import require
+from repro.queries.selections import Selection
+
+
+def synopsis_estimates(
+    synopses: Sequence[PartitionSynopsis], selection: Selection
+) -> Tuple[float, float]:
+    """(estimated selectivity, scan fraction) from zone maps alone.
+
+    Both come from partition synopses — no data is read — so the
+    optimizer can be fed workload-aware features at planning time for
+    the cost of a metadata pass.  ``scan fraction`` is the fraction of
+    partitions whose zone map intersects the selection's bounding box,
+    i.e. what a pruned execution would actually touch.
+    """
+    if not synopses:
+        return 1.0, 1.0
+    lows, highs = selection.bounding_box()
+    columns = selection.columns
+    est = estimate_selectivity(synopses, columns, lows, highs)
+    overlapping = sum(
+        0 if s.disjoint(columns, lows, highs) else 1 for s in synopses
+    )
+    return est, overlapping / len(synopses)
 
 
 @dataclass(frozen=True)
@@ -98,15 +122,39 @@ class TaskFeatures:
 
     @staticmethod
     def for_subspace_aggregate(
-        rows: int, selectivity: float, dim: int, n_nodes: int
+        rows: int,
+        selectivity: float,
+        dim: int,
+        n_nodes: int,
+        est_selectivity: Optional[float] = None,
+        scan_fraction: Optional[float] = None,
     ) -> "TaskFeatures":
-        """Features of a selection+aggregate task (fullscan vs index)."""
+        """Features of a selection+aggregate task (fullscan vs index).
+
+        ``est_selectivity`` and ``scan_fraction`` are the zone-map-derived
+        estimates from :func:`synopsis_estimates`; they default to the
+        measured selectivity and a full scan, so feature vectors keep one
+        fixed shape whether or not synopses were consulted.
+        """
+        if est_selectivity is None:
+            est_selectivity = selectivity
+        if scan_fraction is None:
+            scan_fraction = 1.0
         return TaskFeatures(
-            names=("log_rows", "log_selectivity", "dim", "n_nodes"),
+            names=(
+                "log_rows",
+                "log_selectivity",
+                "dim",
+                "n_nodes",
+                "log_est_selectivity",
+                "scan_fraction",
+            ),
             values=(
                 float(np.log10(max(1, rows))),
                 float(np.log10(max(selectivity, 1e-12))),
                 float(dim),
                 float(n_nodes),
+                float(np.log10(max(est_selectivity, 1e-12))),
+                float(scan_fraction),
             ),
         )

@@ -27,6 +27,12 @@ class Selection:
 
     columns: Tuple[str, ...]
 
+    #: True when :meth:`bounding_box` *is* the selection's semantics (every
+    #: row inside the box is selected).  Zone-map pruning uses the box
+    #: conservatively for any selection, but only box-exact selections can
+    #: short-circuit fully covered partitions from synopsis statistics.
+    box_is_exact: bool = False
+
     def mask(self, table: Table) -> np.ndarray:
         """Boolean mask of the rows this selection picks from ``table``."""
         raise NotImplementedError
@@ -46,6 +52,8 @@ class Selection:
 
 class RangeSelection(Selection):
     """Axis-aligned hyper-rectangle: ``lows[i] <= col_i <= highs[i]``."""
+
+    box_is_exact = True
 
     def __init__(self, columns: Sequence[str], lows, highs) -> None:
         self.columns = tuple(columns)
