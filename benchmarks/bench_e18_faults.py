@@ -1,0 +1,332 @@
+"""E18 — fault injection: availability, degraded accuracy, retry overhead.
+
+The fault-injection sweep crashes a growing fraction of nodes at two
+replication factors and measures, on the same query wave, how each
+serving path behaves:
+
+* ``ExactEngine`` in ``fail`` mode — availability drops as partitions
+  lose their last replica (every answer it *does* give is exact);
+* ``ExactEngine`` in ``degrade`` mode — answers 100% of queries,
+  reporting exact coverage and sound error bounds for the rest
+  (bound containment is asserted per query);
+* the SEA agent — must serve **100%** of the workload at every failure
+  fraction (the paper's availability claim: predictions need no data).
+
+Two targeted scenarios complete the picture: at replication 2 a single
+node crash must be *byte-identical* to the no-fault run (dead nodes
+serve zero bytes; replicas serve the same bytes), with the failovers
+visible as ``fault_*`` metrics; and a flaky node's transient errors
+must show up as retry byte overhead while answers stay exact.
+
+Results land in ``results/e18_faults.*`` and the cumulative repo-root
+``BENCH_faults.json``.  Scale via env vars (reduced in CI):
+``E18_ROWS``, ``E18_NODES``, ``E18_QUERIES``, ``E18_WARM``.
+"""
+
+import os
+
+from repro.baselines import ExactEngine
+from repro.cluster import ClusterTopology, DistributedStore
+from repro.common.errors import PartitionLostError
+from repro.core import AgentConfig, SEAAgent
+from repro.data import gaussian_mixture_table
+from repro.faults import DegradedAnswer, FaultInjector, FaultSchedule
+from repro.obs import StackObserver
+
+from conftest import standard_workload
+from harness import (
+    format_table,
+    record_faults_benchmark,
+    wallclock,
+    write_result,
+)
+
+N_ROWS = int(os.environ.get("E18_ROWS", "40000"))
+N_NODES = int(os.environ.get("E18_NODES", "8"))
+N_QUERIES = int(os.environ.get("E18_QUERIES", "200"))
+N_WARM = int(os.environ.get("E18_WARM", str(3 * N_QUERIES)))
+TRAINING_BUDGET = min(400, max(40, N_WARM // 7))
+REPLICATIONS = (1, 2)
+FAILURE_FRACTIONS = (0.0, 0.125, 0.25, 0.375)
+FLAKY_RATE = 0.3
+
+
+def build_replicated_world(replication):
+    topo = ClusterTopology.single_datacenter(N_NODES)
+    store = DistributedStore(topo, replication=replication)
+    table = gaussian_mixture_table(
+        N_ROWS, dims=("x0", "x1"), seed=1, name="data", value_bytes=64
+    )
+    store.put_table(table, partitions_per_node=2)
+    return store, table
+
+
+def rel_error(value, truth):
+    return abs(float(value) - float(truth)) / max(1.0, abs(float(truth)))
+
+
+def metric_total(metrics, name):
+    """Sum a counter across its labelled series (``name{node=...}``)."""
+    return sum(
+        value
+        for key, value in metrics.items()
+        if key == name or key.startswith(name + "{")
+    )
+
+
+def sweep_failure_fractions():
+    """Availability / coverage / error across failure fraction x replication."""
+    scenarios = []
+    for replication in REPLICATIONS:
+        store, table = build_replicated_world(replication)
+        workload = standard_workload(table, seed=13)
+        truth_engine = ExactEngine(store)
+
+        agent = SEAAgent(
+            ExactEngine(store),
+            AgentConfig(training_budget=TRAINING_BUDGET, error_threshold=0.2),
+        )
+        agent.submit_batch(workload.batch(N_WARM))
+        agent.config.keep_learning_on_fallback = False
+
+        for fraction in FAILURE_FRACTIONS:
+            wave = workload.batch(N_QUERIES)
+            # Ground truth while the store is still fault-free.
+            truths = [truth_engine.execute(q)[0] for q in wave]
+
+            obs = StackObserver()
+            schedule = FaultSchedule.crash_fraction(
+                store.topology.node_ids, fraction
+            )
+            store.attach_faults(FaultInjector(schedule, seed=5, observer=obs))
+            try:
+                fail_engine = ExactEngine(store, observer=obs)
+                fail_served = 0
+                for query, truth in zip(wave, truths):
+                    try:
+                        answer, _ = fail_engine.execute(query)
+                    except PartitionLostError:
+                        continue
+                    # Fail mode never fabricates: survivors stay exact.
+                    assert answer == truth, (fraction, replication, query)
+                    fail_served += 1
+
+                degrade_engine = ExactEngine(
+                    store, observer=obs, failure_mode="degrade"
+                )
+                coverages, errors = [], []
+                n_degraded = n_bounded = 0
+                for query, truth in zip(wave, truths):
+                    answer, _ = degrade_engine.execute(query)
+                    if isinstance(answer, DegradedAnswer):
+                        n_degraded += 1
+                        assert 0.0 <= answer.coverage <= 1.0
+                        coverages.append(answer.coverage)
+                        errors.append(rel_error(answer.value, truth))
+                        if answer.bounded:
+                            n_bounded += 1
+                            # The bound must be sound: it contains truth.
+                            assert answer.contains(truth), (answer, truth)
+                    else:
+                        assert answer == truth
+                        coverages.append(1.0)
+                        errors.append(0.0)
+
+                agent_records, agent_wall = wallclock(
+                    lambda: [agent.submit(q) for q in wave]
+                )
+            finally:
+                store.clear_faults()
+
+            modes = {}
+            for record in agent_records:
+                modes[record.mode] = modes.get(record.mode, 0) + 1
+            # Every served prediction is data-free — loss cannot slow it.
+            data_free = sum(
+                1
+                for r in agent_records
+                if r.mode == "predicted" and r.cost.bytes_scanned == 0
+            )
+            assert data_free == modes.get("predicted", 0)
+
+            scenarios.append(
+                {
+                    "replication": replication,
+                    "failure_fraction": fraction,
+                    "nodes_down": len(schedule.nodes_down_at(0.0)),
+                    "fail_availability": fail_served / len(wave),
+                    "degrade_availability": 1.0,
+                    "agent_availability": len(agent_records) / len(wave),
+                    "degraded_queries": n_degraded,
+                    "bounded_degraded": n_bounded,
+                    "mean_coverage": sum(coverages) / len(coverages),
+                    "mean_rel_error": sum(errors) / len(errors),
+                    "agent_modes": modes,
+                    "agent_wall_sec": agent_wall,
+                }
+            )
+    return scenarios
+
+
+def byte_identity_check():
+    """Replication 2 + one crashed node == no-fault run, byte for byte."""
+    store, table = build_replicated_world(2)
+    workload = standard_workload(table, seed=29)
+    wave = workload.batch(40)
+    obs = StackObserver()
+    engine = ExactEngine(store, observer=obs)
+    clean = [engine.execute(q) for q in wave]
+
+    store.attach_faults(
+        FaultInjector(
+            FaultSchedule().crash(store.topology.node_ids[0], at=0.0),
+            seed=7,
+            observer=obs,
+        )
+    )
+    try:
+        faulty = [engine.execute(q) for q in wave]
+    finally:
+        store.clear_faults()
+
+    for (a_clean, r_clean), (a_faulty, r_faulty) in zip(clean, faulty):
+        assert a_faulty == a_clean, (a_faulty, a_clean)
+        assert r_faulty.bytes_scanned == r_clean.bytes_scanned
+    metrics = obs.metrics.as_dict()
+    failovers = metric_total(metrics, "fault_failovers_total")
+    probes = metric_total(metrics, "fault_probes_total")
+    # The crash is invisible in answers and bytes but not in the metrics.
+    assert failovers + probes > 0, metrics
+    return {
+        "queries": len(wave),
+        "bytes_scanned": sum(r.bytes_scanned for _, r in clean),
+        "fault_failovers_total": failovers,
+        "fault_probes_total": probes,
+    }
+
+
+def retry_overhead_check():
+    """A flaky node's transient errors cost visible retry bytes, not accuracy."""
+    store, table = build_replicated_world(2)
+    workload = standard_workload(table, seed=31)
+    wave = workload.batch(40)
+    obs = StackObserver()
+    engine = ExactEngine(store, observer=obs)
+    clean = [engine.execute(q) for q in wave]
+    clean_bytes = sum(r.bytes_scanned for _, r in clean)
+
+    store.attach_faults(
+        FaultInjector(
+            FaultSchedule().flaky(store.topology.node_ids[0], FLAKY_RATE),
+            seed=11,
+            observer=obs,
+        )
+    )
+    try:
+        faulty = [engine.execute(q) for q in wave]
+    finally:
+        store.clear_faults()
+
+    for (a_clean, _), (a_faulty, _) in zip(clean, faulty):
+        assert a_faulty == a_clean
+    faulty_bytes = sum(r.bytes_scanned for _, r in faulty)
+    metrics = obs.metrics.as_dict()
+    retries = metric_total(metrics, "fault_retries_total")
+    assert retries > 0, metrics
+    # Failed attempts were charged: retry overhead is visible in bytes.
+    assert faulty_bytes >= clean_bytes
+    return {
+        "queries": len(wave),
+        "clean_bytes": clean_bytes,
+        "faulty_bytes": faulty_bytes,
+        "bytes_overhead_ratio": faulty_bytes / max(1, clean_bytes),
+        "fault_retries_total": retries,
+        "fault_transient_errors_total": metric_total(
+            metrics, "fault_transient_errors_total"
+        ),
+    }
+
+
+def run_fault_benchmark():
+    scenarios = sweep_failure_fractions()
+    identity = byte_identity_check()
+    overhead = retry_overhead_check()
+    return scenarios, identity, overhead
+
+
+def test_e18_faults(benchmark):
+    scenarios, identity, overhead = benchmark.pedantic(
+        run_fault_benchmark, rounds=1, iterations=1
+    )
+    rows = [
+        [
+            s["replication"],
+            s["failure_fraction"],
+            s["nodes_down"],
+            s["fail_availability"],
+            s["agent_availability"],
+            s["degraded_queries"],
+            s["mean_coverage"],
+            s["mean_rel_error"],
+        ]
+        for s in scenarios
+    ]
+    table = format_table(
+        "E18: availability & degraded accuracy vs node-failure fraction",
+        [
+            "replication",
+            "fail_frac",
+            "down",
+            "exact_avail",
+            "agent_avail",
+            "degraded_q",
+            "coverage",
+            "rel_err",
+        ],
+        rows,
+    )
+    write_result(
+        "e18_faults",
+        table,
+        extra={
+            "scenarios": scenarios,
+            "byte_identity": identity,
+            "retry_overhead": overhead,
+        },
+    )
+    # The paper's availability claim, as a hard CI gate: the agent serves
+    # every query at every failure fraction and replication factor.
+    for s in scenarios:
+        assert s["agent_availability"] == 1.0, s
+    # Degrade mode also answers everything, and replication can only help
+    # the fail-mode engine.
+    for s in scenarios:
+        assert s["degrade_availability"] == 1.0, s
+    by_fraction = {}
+    for s in scenarios:
+        by_fraction.setdefault(s["failure_fraction"], {})[
+            s["replication"]
+        ] = s["fail_availability"]
+    for fraction, by_rep in by_fraction.items():
+        assert by_rep[2] >= by_rep[1], (fraction, by_rep)
+    # No faults -> nothing degraded, full coverage, everywhere exact.
+    for s in scenarios:
+        if s["failure_fraction"] == 0.0:
+            assert s["fail_availability"] == 1.0, s
+            assert s["degraded_queries"] == 0, s
+            assert s["mean_coverage"] == 1.0, s
+    record_faults_benchmark(
+        "e18_faults",
+        n_rows=N_ROWS,
+        n_nodes=N_NODES,
+        n_queries=N_QUERIES,
+        scenarios=scenarios,
+        byte_identity=identity,
+        retry_overhead=overhead,
+    )
+    worst = min(s["fail_availability"] for s in scenarios)
+    benchmark.extra_info["worst_exact_availability"] = worst
+    benchmark.extra_info["agent_availability"] = 1.0
+    benchmark.extra_info["retry_bytes_overhead_ratio"] = overhead[
+        "bytes_overhead_ratio"
+    ]

@@ -21,6 +21,7 @@ RESULTS_DIR = os.path.join(os.path.dirname(__file__), "results")
 REPO_ROOT = os.path.abspath(os.path.join(os.path.dirname(__file__), ".."))
 BENCH_SERVING_PATH = os.path.join(REPO_ROOT, "BENCH_serving.json")
 BENCH_PRUNING_PATH = os.path.join(REPO_ROOT, "BENCH_pruning.json")
+BENCH_FAULTS_PATH = os.path.join(REPO_ROOT, "BENCH_faults.json")
 
 
 def wallclock(fn: Callable[[], Any]) -> Tuple[Any, float]:
@@ -71,6 +72,11 @@ def record_serving_benchmark(experiment: str, **fields: Any) -> str:
 def record_pruning_benchmark(experiment: str, **fields: Any) -> str:
     """Append one zone-map pruning measurement to ``BENCH_pruning.json``."""
     return record_cumulative_benchmark(BENCH_PRUNING_PATH, experiment, **fields)
+
+
+def record_faults_benchmark(experiment: str, **fields: Any) -> str:
+    """Append one fault-injection measurement to ``BENCH_faults.json``."""
+    return record_cumulative_benchmark(BENCH_FAULTS_PATH, experiment, **fields)
 
 
 def format_table(title: str, headers: Sequence[str], rows: Iterable[Sequence]) -> str:

@@ -102,6 +102,17 @@ from repro.explain import (
     ThresholdRegionQuery,
     HigherLevelEngine,
 )
+from repro.faults import (
+    CrashWindow,
+    DegradedAnswer,
+    FailoverPolicy,
+    FaultInjector,
+    FaultSchedule,
+    InjectionPlan,
+    NodeUnavailableError,
+    PartitionLostError,
+    TransientReadError,
+)
 from repro.geo import GeoSites, EdgeAgent, CoreCoordinator, GeoRouter
 from repro.obs import (
     EventLog,
@@ -177,6 +188,15 @@ __all__ = [
     "ExplanationBuilder",
     "ThresholdRegionQuery",
     "HigherLevelEngine",
+    "CrashWindow",
+    "DegradedAnswer",
+    "FailoverPolicy",
+    "FaultInjector",
+    "FaultSchedule",
+    "InjectionPlan",
+    "NodeUnavailableError",
+    "PartitionLostError",
+    "TransientReadError",
     "GeoSites",
     "EdgeAgent",
     "CoreCoordinator",

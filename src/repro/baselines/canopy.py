@@ -24,9 +24,11 @@ from typing import Dict, List, Optional, Sequence, Tuple
 import numpy as np
 
 from repro.common.accounting import CostMeter, CostReport
+from repro.common.errors import StorageError
 from repro.common.validation import require
 from repro.cluster.storage import DistributedStore
 from repro.engine.coordinator import CoordinatorEngine
+from repro.faults.degraded import UnknownChunk, build_degraded_answer
 from repro.queries.query import AnalyticsQuery, Answer
 from repro.queries.selections import RangeSelection
 
@@ -43,10 +45,16 @@ class SegmentStatsCache:
         table_name: str,
         grid_columns: Sequence[str],
         cells_per_dim: int = 32,
+        failure_mode: str = "fail",
     ) -> None:
         require(cells_per_dim >= 2, "cells_per_dim must be >= 2")
+        require(
+            failure_mode in ("fail", "degrade"),
+            f"unknown failure_mode {failure_mode!r}",
+        )
         self.store = store
         self.table_name = table_name
+        self.failure_mode = failure_mode
         self.grid_columns = tuple(grid_columns)
         self.cells_per_dim = cells_per_dim
         self.coordinator = CoordinatorEngine(store)
@@ -86,23 +94,50 @@ class SegmentStatsCache:
         The first query over a region pays (a) a one-time directory build
         (full scan, amortised across all future queries) and (b) cell-stat
         materialisation for the cells it covers.  Later queries reuse them.
+
+        Under fault injection reads go through the coordinator's failover
+        policy.  With ``failure_mode="degrade"``, rows that cannot be
+        reached from any replica are dropped from the value and accounted
+        as unknown chunks in a returned
+        :class:`~repro.faults.DegradedAnswer`; partial cell reads are
+        never cached.  The one-time directory build cannot degrade — it
+        needs every row's location — so a partition lost during the build
+        always raises :class:`~repro.common.errors.PartitionLostError`.
         """
         selection = query.selection
         require(
             isinstance(selection, RangeSelection),
             "SegmentStatsCache answers range selections only",
         )
+        faults = self.store.faults
+        degrade = (
+            faults is not None and faults.active and self.failure_mode == "degrade"
+        )
         meter = CostMeter()
         if not self._directory_built:
             self._build_directory(meter)
         inner, boundary = self._classify_cells(selection)
         partials = []
+        unknown: List[UnknownChunk] = []
+        lost_partitions: set = set()
         # Fully covered cells: cached statistics (materialise on miss).
         for key in inner:
             stats = self._stats.get(key)
             if stats is None:
                 self.misses += 1
-                stats = self._materialise_cell(key, meter)
+                if degrade:
+                    cell_lost: List[Tuple[int, int]] = []
+                    stats = self._materialise_cell(key, meter, lost=cell_lost)
+                    if cell_lost:
+                        lost_partitions.update(p for p, _ in cell_lost)
+                        unknown.append(
+                            UnknownChunk(
+                                n_rows=sum(n for _, n in cell_lost),
+                                stats=self._cell_box(key),
+                            )
+                        )
+                else:
+                    stats = self._materialise_cell(key, meter)
             else:
                 self.hits += 1
             partials.append(self._stats_to_partial(query, stats))
@@ -115,21 +150,64 @@ class SegmentStatsCache:
             stored = self.store.table(self.table_name)
             # The fetched rows are filtered by the selection below, so
             # zone-map pruning of the fetch plan is answer-preserving.
+            boundary_lost: List[Tuple[int, int]] = []
             data, _ = self.coordinator.fetch_rows(
-                stored, rows_by_partition, meter, selection=selection
+                stored,
+                rows_by_partition,
+                meter,
+                selection=selection,
+                on_lost="skip" if degrade else "raise",
+                lost=boundary_lost,
             )
+            for part_idx, n_rows in boundary_lost:
+                lost_partitions.add(part_idx)
+                unknown.append(self._unknown_chunk(part_idx, n_rows))
             selected = data.select(selection.mask(data))
             partials.append(query.aggregate.partial(selected))
         answer = query.aggregate.merge(partials)
+        if degrade and lost_partitions:
+            answer = build_degraded_answer(
+                query.aggregate,
+                selection,
+                answer,
+                unknown,
+                lost_partitions=sorted(lost_partitions),
+                unknown_partitions=sorted(lost_partitions),
+                total_rows=self.store.table(self.table_name).n_rows,
+            )
         return answer, meter.freeze()
 
     # Internals -------------------------------------------------------------
     def _build_directory(self, meter: CostMeter) -> None:
-        """One-time full scan building the cell -> rows directory."""
+        """One-time full scan building the cell -> rows directory.
+
+        The directory must locate *every* row, so under faults the scan
+        retries/fails over per partition and a partition with no live
+        replica propagates :class:`PartitionLostError` — even in degrade
+        mode, where a silently incomplete directory would corrupt every
+        later answer.
+        """
         stored = self.store.table(self.table_name)
+        faults = self.store.faults
+        faulty = faults is not None and faults.active
         for part_idx, partition in enumerate(stored.partitions):
-            data = self.store.read_partition(partition, meter)
-            meter.advance(data.n_bytes / meter.rates.disk_bytes_per_sec)
+            if faulty:
+                data, node, extra = self.coordinator.failover.read_partition(
+                    self.store,
+                    partition,
+                    meter,
+                    requester=self.coordinator.coordinator,
+                    obs=self.coordinator.observer,
+                )
+                meter.advance(
+                    extra
+                    + data.n_bytes
+                    * self.store.read_slowdown(node)
+                    / meter.rates.disk_bytes_per_sec
+                )
+            else:
+                data = self.store.read_partition(partition, meter)
+                meter.advance(data.n_bytes / meter.rates.disk_bytes_per_sec)
             cells = self._cell_of_rows(data)
             for row_idx, key in enumerate(map(tuple, cells)):
                 self._rows.setdefault(key, []).append((part_idx, row_idx))
@@ -164,15 +242,32 @@ class SegmentStatsCache:
                 boundary.append(key)
         return inner, boundary
 
-    def _materialise_cell(self, key: Tuple[int, ...], meter: CostMeter):
-        """Read the cell's rows once and cache their sufficient statistics."""
+    def _materialise_cell(
+        self,
+        key: Tuple[int, ...],
+        meter: CostMeter,
+        lost: Optional[List[Tuple[int, int]]] = None,
+    ):
+        """Read the cell's rows once and cache their sufficient statistics.
+
+        With ``lost`` (degrade mode) unreachable partitions are skipped
+        and reported there; statistics over a *partial* cell read are
+        returned for this answer but never cached — the cache only ever
+        holds complete cells.
+        """
         rows_by_partition: Dict[int, List[int]] = {}
         for part_idx, row_idx in self._rows.get(key, ()):
             rows_by_partition.setdefault(part_idx, []).append(row_idx)
         stats: Dict[str, Tuple[float, float, float]] = {}
         if rows_by_partition:
             stored = self.store.table(self.table_name)
-            data, _ = self.coordinator.fetch_rows(stored, rows_by_partition, meter)
+            data, _ = self.coordinator.fetch_rows(
+                stored,
+                rows_by_partition,
+                meter,
+                on_lost="raise" if lost is None else "skip",
+                lost=lost,
+            )
             for column in data.column_names:
                 col = data.column(column).astype(float)
                 stats[column] = (
@@ -182,8 +277,35 @@ class SegmentStatsCache:
                 )
         else:
             stats = {}
+        if lost:
+            return stats
         self._stats[key] = stats
         return stats
+
+    def _cell_box(self, key: Tuple[int, ...]) -> Dict[str, Tuple[float, float]]:
+        """Grid-column value bounds of one cell (for unknown chunks)."""
+        lo = self._lows + np.asarray(key) / self.cells_per_dim * self._span
+        hi = self._lows + (np.asarray(key) + 1) / self.cells_per_dim * self._span
+        return {
+            column: (float(lo[i]), float(hi[i]))
+            for i, column in enumerate(self.grid_columns)
+        }
+
+    def _unknown_chunk(self, part_idx: int, n_rows: int) -> UnknownChunk:
+        """Unknown chunk for ``n_rows`` unreachable rows of one partition,
+        bounded by the partition's zone map when one is available."""
+        stats: Dict[str, Tuple[float, float]] = {}
+        try:
+            synopses = self.store.synopses(self.table_name)
+        except StorageError:
+            synopses = []
+        if 0 <= part_idx < len(synopses):
+            synopsis = synopses[part_idx]
+            stats = {
+                name: (s.minimum, s.maximum)
+                for name, s in synopsis.columns.items()
+            }
+        return UnknownChunk(n_rows=n_rows, stats=stats)
 
     def _stats_to_partial(self, query: AnalyticsQuery, stats):
         """Convert cached cell statistics into the aggregate's partial form."""

@@ -13,20 +13,32 @@ partition synopses before the fan-out: disjoint partitions are skipped,
 fully covered range-selected partitions short-circuit decomposable
 aggregates from synopsis statistics, and everything else scans.  Answers
 are bit-identical either way — only the cost changes.
+
+Under fault injection the engine reads through its
+:class:`~repro.faults.FailoverPolicy` (retry, then replica failover).
+When every replica of a needed partition is down, ``failure_mode``
+decides the outcome: ``"fail"`` raises
+:class:`~repro.common.errors.PartitionLostError`; ``"degrade"`` answers
+from the survivors plus the lost partitions' zone-map synopses and
+returns a :class:`~repro.faults.DegradedAnswer` carrying the exact
+coverage fraction and deterministic error bounds.
 """
 
 from __future__ import annotations
 
-from typing import Dict, List, Optional, Sequence, Tuple
+from typing import Dict, List, Optional, Sequence, Set, Tuple
 
 from repro.common.accounting import CostReport
 from repro.common.errors import StorageError
+from repro.common.validation import require
 from repro.cluster.storage import DistributedStore
 from repro.data.tabular import Table
 from repro.engine.bdas import BDASStack
 from repro.engine.mapreduce import MapReduceEngine
-from repro.engine.pruning import ScanPlan, plan_scan
+from repro.engine.pruning import SCAN, SKIP, SYNOPSIS, ScanPlan, plan_scan, synopsis_partial
 from repro.engine.resources import ResourceManager
+from repro.faults.degraded import UnknownChunk, build_degraded_answer
+from repro.faults.policy import FailoverPolicy
 from repro.queries.query import AnalyticsQuery, Answer
 from repro.queries.selections import batch_masks
 
@@ -42,11 +54,23 @@ class ExactEngine:
         rates=None,
         observer=None,
         pruning: bool = True,
+        failure_mode: str = "fail",
+        failover: Optional[FailoverPolicy] = None,
     ) -> None:
+        require(
+            failure_mode in ("fail", "degrade"),
+            f"unknown failure_mode {failure_mode!r}",
+        )
         self.store = store
         self.pruning = pruning
+        self.failure_mode = failure_mode
         self._engine = MapReduceEngine(
-            store, resources=resources, stack=stack, rates=rates, observer=observer
+            store,
+            resources=resources,
+            stack=stack,
+            rates=rates,
+            observer=observer,
+            failover=failover,
         )
 
     @property
@@ -88,8 +112,7 @@ class ExactEngine:
             covered=plan.n_covered,
         )
 
-    def execute(self, query: AnalyticsQuery) -> Tuple[Answer, CostReport]:
-        """Run ``query`` exactly; returns (answer, cost report)."""
+    def _job_fns(self, query: AnalyticsQuery):
         aggregate = query.aggregate
         selection = query.selection
 
@@ -100,6 +123,22 @@ class ExactEngine:
         def reduce_fn(key, partials):
             return aggregate.merge(partials)
 
+        return map_fn, reduce_fn
+
+    def execute(self, query: AnalyticsQuery) -> Tuple[Answer, CostReport]:
+        """Run ``query`` exactly; returns (answer, cost report).
+
+        Under active fault injection with ``failure_mode="degrade"``,
+        partitions with no live replica are answered from their zone-map
+        synopses where that is exact and otherwise bounded, yielding a
+        :class:`~repro.faults.DegradedAnswer` instead of an exact value.
+        With ``failure_mode="fail"`` (the default) a lost partition
+        raises :class:`~repro.common.errors.PartitionLostError`.
+        """
+        faults = self.store.faults
+        if faults is not None and faults.active and self.failure_mode == "degrade":
+            return self._execute_degraded(query)
+        map_fn, reduce_fn = self._job_fns(query)
         plan = self.plan_for(query)
         self._note_plan(query, plan)
         results, report = self._engine.run(
@@ -108,7 +147,118 @@ class ExactEngine:
         # Every partition pruned -> no map output reached the reducer; the
         # merge of zero partials is the same neutral answer the unpruned
         # job assembles from its all-empty selections.
-        answer = results[0] if 0 in results else aggregate.merge([])
+        answer = results[0] if 0 in results else query.aggregate.merge([])
+        return answer, report
+
+    def _aligned_synopses(self, stored) -> Optional[Sequence]:
+        try:
+            synopses = self.store.synopses(stored.name)
+        except StorageError:
+            return None
+        if len(synopses) != len(stored.partitions):
+            return None
+        return synopses
+
+    def _execute_degraded(self, query: AnalyticsQuery) -> Tuple[Answer, CostReport]:
+        """Degrade-mode execution: survivors + synopses of the dead.
+
+        Partitions whose every replica is down are reclassified before
+        the fan-out: provably disjoint from the selection -> exact skip;
+        fully covered by a box-exact selection with a decomposable
+        aggregate -> the synopsis recovers the partial exactly;
+        everything else -> skipped and accounted as an *unknown chunk*
+        that widens the returned bounds.  Partitions lost mid-job (every
+        replica exhausted its retries) are absorbed the same way.
+        """
+        aggregate = query.aggregate
+        selection = query.selection
+        faults = self.store.faults
+        stored = self.store.table(query.table_name)
+        synopses = self._aligned_synopses(stored)
+        plan = self.plan_for(query)
+        self._note_plan(query, plan)
+        if plan is None:
+            plan = ScanPlan.scan_everything(len(stored.partitions))
+
+        lows, highs = selection.bounding_box()
+        columns = selection.columns
+        lost: Set[int] = set()
+        unknown: Dict[int, UnknownChunk] = {}
+
+        def absorb(index: int, statically: bool) -> None:
+            """Reclassify one lost partition; exact where provable."""
+            lost.add(index)
+            synopsis = synopses[index] if synopses is not None else None
+            if synopsis is not None:
+                if synopsis.disjoint(columns, lows, highs):
+                    # No selected row lives there: the skip is exact.
+                    if statically:
+                        plan.actions[index] = SKIP
+                    return
+                if (
+                    statically
+                    and selection.box_is_exact
+                    and synopsis.covered_by(columns, lows, highs)
+                ):
+                    supported, partial = synopsis_partial(aggregate, synopsis)
+                    if supported:
+                        # Metadata recovers the partial bitwise.
+                        plan.actions[index] = SYNOPSIS
+                        plan.pairs[index] = [(0, partial)]
+                        plan.synopsis_bytes[index] = synopsis.n_bytes
+                        return
+            if statically:
+                plan.actions[index] = SKIP
+            if synopsis is not None:
+                unknown[index] = UnknownChunk.from_synopsis(synopsis)
+            else:
+                unknown[index] = UnknownChunk(
+                    n_rows=stored.partitions[index].n_rows, stats={}
+                )
+
+        for index, partition in enumerate(stored.partitions):
+            if plan.actions[index] != SCAN:
+                continue  # the plan never touches this partition's data
+            if all(faults.is_down(n) for n in partition.all_nodes):
+                absorb(index, statically=True)
+
+        map_fn, reduce_fn = self._job_fns(query)
+        lost_mid_job: List[int] = []
+        results, report = self._engine.run(
+            query.table_name,
+            map_fn,
+            reduce_fn,
+            n_reducers=1,
+            plan=plan,
+            on_lost="skip",
+            lost=lost_mid_job,
+        )
+        for index in lost_mid_job:
+            absorb(index, statically=False)
+        value = results[0] if 0 in results else aggregate.merge([])
+        if not lost:
+            return value, report
+        answer = build_degraded_answer(
+            aggregate,
+            selection,
+            value,
+            [unknown[i] for i in sorted(unknown)],
+            lost_partitions=sorted(lost),
+            unknown_partitions=sorted(unknown),
+            total_rows=stored.n_rows,
+        )
+        obs = self._engine.observer
+        if obs.enabled:
+            obs.inc("fault_degraded_answers_total", table=stored.name)
+            obs.event(
+                "degraded_answer",
+                table=stored.name,
+                aggregate=type(aggregate).__name__,
+                coverage=answer.coverage,
+                bounded=answer.bounded,
+                lost=list(answer.lost_partitions),
+                unknown=list(answer.unknown_partitions),
+            )
         return answer, report
 
     def execute_many(
@@ -121,7 +271,14 @@ class ExactEngine:
         selections vectorize into one broadcast per column); the cost
         model still charges each query a full independent job, so query
         ``i``'s (answer, report) is identical to ``execute(queries[i])``.
+
+        While faults are active the shared pass cannot replay each
+        query's per-attempt fault draws, so the group falls back to
+        sequential failure-aware :meth:`execute` calls.
         """
+        faults = self.store.faults
+        if faults is not None and faults.active:
+            return [self.execute(query) for query in queries]
         out: List[Optional[Tuple[Answer, CostReport]]] = [None] * len(queries)
         by_table: Dict[str, List[int]] = {}
         for index, query in enumerate(queries):

@@ -18,6 +18,7 @@ import numpy as np
 from repro.common.accounting import CostMeter, CostReport
 from repro.common.validation import require
 from repro.cluster.storage import DistributedStore
+from repro.faults.policy import FailoverPolicy
 from repro.ml.sketches import DyadicCountMin
 from repro.queries.query import AnalyticsQuery
 from repro.queries.selections import RangeSelection
@@ -34,8 +35,10 @@ class SketchAQPEngine:
         levels: int = 12,
         width: int = 544,
         depth: int = 5,
+        failover: Optional[FailoverPolicy] = None,
     ) -> None:
         self.store = store
+        self.failover = failover or FailoverPolicy()
         self.table_name = table_name
         self.column = column
         self.levels = levels
@@ -46,7 +49,15 @@ class SketchAQPEngine:
 
     # Offline build ---------------------------------------------------------
     def build(self) -> CostReport:
-        """One pass per node: sketch locally, ship sketches, merge."""
+        """One pass per node: sketch locally, ship sketches, merge.
+
+        Under faults each partition's scan retries and fails over between
+        replicas; a partition with no live replica raises
+        :class:`~repro.common.errors.PartitionLostError` — a sketch built
+        from partial data would be silently biased for its whole
+        lifetime.  Once built, query answering never touches base data,
+        so the synopsis keeps serving through any later failures.
+        """
         meter = CostMeter()
         stored = self.store.table(self.table_name)
         values = stored.full_table().column(self.column).astype(float)
@@ -56,13 +67,24 @@ class SketchAQPEngine:
         slowest = 0.0
         coordinator = self.store.topology.pick_coordinator()
         sketch_bytes = self._synopsis.state_bytes()
+        faults = self.store.faults
+        faulty = faults is not None and faults.active
         for partition in stored.partitions:
-            data = self.store.read_partition(partition, meter)
-            seconds = data.n_bytes / meter.rates.disk_bytes_per_sec
-            seconds += meter.charge_cpu(partition.primary_node, data.n_bytes)
-            seconds += meter.charge_transfer(
-                partition.primary_node, coordinator, sketch_bytes
-            )
+            if faulty:
+                data, serving, extra = self.failover.read_partition(
+                    self.store, partition, meter, requester=coordinator
+                )
+                seconds = extra + (
+                    data.n_bytes
+                    * self.store.read_slowdown(serving)
+                    / meter.rates.disk_bytes_per_sec
+                )
+            else:
+                serving = partition.primary_node
+                data = self.store.read_partition(partition, meter)
+                seconds = data.n_bytes / meter.rates.disk_bytes_per_sec
+            seconds += meter.charge_cpu(serving, data.n_bytes)
+            seconds += meter.charge_transfer(serving, coordinator, sketch_bytes)
             slowest = max(slowest, seconds)
             for value in data.column(self.column).astype(float):
                 self._synopsis.add(self._bucket(value))

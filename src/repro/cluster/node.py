@@ -31,6 +31,13 @@ class DataNode:
     def drop_partition(self, partition_id: str, num_bytes: int) -> None:
         if partition_id not in self.partition_ids:
             raise KeyError(f"partition {partition_id} not on {self.node_id}")
+        if num_bytes > self.stored_bytes:
+            # A stale byte count would silently drive stored_bytes negative
+            # and corrupt every footprint report downstream.
+            raise ValueError(
+                f"dropping {partition_id} with {num_bytes} bytes would leave "
+                f"{self.node_id} at {self.stored_bytes - num_bytes} stored bytes"
+            )
         self.partition_ids.discard(partition_id)
         self.stored_bytes -= num_bytes
 

@@ -16,7 +16,7 @@ from typing import Dict, Iterable, List, Optional
 import numpy as np
 
 from repro.common.accounting import CostMeter
-from repro.common.errors import StorageError
+from repro.common.errors import PartitionLostError, StorageError
 from repro.common.rng import SeedLike, make_rng
 from repro.common.validation import require
 from repro.cluster.synopsis import PartitionSynopsis
@@ -63,13 +63,19 @@ class StoredTable:
     def n_bytes(self) -> int:
         return sum(p.n_bytes for p in self.partitions)
 
+    def _require_partitions(self) -> None:
+        if not self.partitions:
+            raise StorageError(f"table {self.name!r} has no partitions")
+
     @property
     def column_names(self) -> List[str]:
+        self._require_partitions()
         return self.partitions[0].data.column_names
 
     @property
     def nodes(self) -> List[str]:
         """Distinct primary nodes holding some partition of this table."""
+        self._require_partitions()
         seen: Dict[str, None] = {}
         for p in self.partitions:
             seen.setdefault(p.primary_node, None)
@@ -77,6 +83,7 @@ class StoredTable:
 
     def full_table(self) -> Table:
         """Materialise the whole table (test/verification use only)."""
+        self._require_partitions()
         return Table.concat([p.data for p in self.partitions], name=self.name)
 
 
@@ -96,15 +103,47 @@ class DistributedStore:
         self._synopses: Dict[str, List[PartitionSynopsis]] = {}
         # Cumulative bytes served per node, for replica load balancing.
         self._served_bytes: Dict[str, int] = {}
+        # Optional fault injector (see repro.faults); None = healthy cluster.
+        self._faults = None
+
+    # Fault injection -------------------------------------------------------
+    @property
+    def faults(self):
+        """The attached :class:`~repro.faults.FaultInjector`, or ``None``."""
+        return self._faults
+
+    def attach_faults(self, injector) -> None:
+        """Route every metered read through ``injector`` from now on."""
+        self._faults = injector
+
+    def clear_faults(self) -> None:
+        """Detach the injector: the cluster is healthy again."""
+        self._faults = None
+
+    def read_slowdown(self, node_id: str) -> float:
+        """Straggler multiplier for disk time on ``node_id`` (1.0 healthy)."""
+        if self._faults is None:
+            return 1.0
+        return self._faults.slowdown(node_id)
 
     def pick_replica(self, partition: TablePartition) -> str:
-        """The least-loaded replica of a partition (read load balancing).
+        """The least-loaded *live* replica of a partition (read balancing).
 
         With replication > 1, spreading reads across replicas keeps hot
         partitions from turning their primary node into a bottleneck.
+        With a fault injector attached, crashed replicas are never
+        returned; raises :class:`PartitionLostError` when every replica
+        is down.
         """
+        candidates = partition.all_nodes
+        if self._faults is not None and self._faults.active:
+            candidates = [n for n in candidates if not self._faults.is_down(n)]
+            if not candidates:
+                raise PartitionLostError(
+                    partition.partition_id, tried=partition.all_nodes
+                )
         return min(
-            partition.all_nodes,
+            candidates,
             key=lambda node: self._served_bytes.get(node, 0),
         )
 
@@ -217,10 +256,19 @@ class DistributedStore:
             raise StorageError(
                 f"node {serving} holds no replica of {partition.partition_id}"
             )
+        faults = self._faults
+        if faults is not None:
+            # A dead node refuses the connection: nothing is charged, so
+            # failover to a live replica stays byte-identical to no-fault.
+            faults.check_available(serving, partition.partition_id)
         meter.charge_scan(serving, partition.n_bytes, rows=partition.n_rows)
         self._served_bytes[serving] = (
             self._served_bytes.get(serving, 0) + partition.n_bytes
         )
+        if faults is not None:
+            # Transient failures strike after the bytes were served: the
+            # wasted attempt's charge is the retry overhead made visible.
+            faults.maybe_fail_read(serving, partition.partition_id)
         return partition.data
 
     def read_rows(
@@ -246,12 +294,17 @@ class DistributedStore:
             raise StorageError(
                 f"node {serving} holds no replica of {partition.partition_id}"
             )
+        faults = self._faults
+        if faults is not None:
+            faults.check_available(serving, partition.partition_id)
         idx = np.asarray(row_indices, dtype=int)
         num_bytes = idx.shape[0] * partition.data.row_bytes
         meter.charge_point_read(serving, num_bytes, rows=idx.shape[0])
         self._served_bytes[serving] = (
             self._served_bytes.get(serving, 0) + num_bytes
         )
+        if faults is not None:
+            faults.maybe_fail_read(serving, partition.partition_id)
         if not materialize:
             return None
         return partition.data.take(idx)

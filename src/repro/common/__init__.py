@@ -11,6 +11,10 @@ from repro.common.errors import (
     NotTrainedError,
     StorageError,
     QueryError,
+    FaultError,
+    NodeUnavailableError,
+    TransientReadError,
+    PartitionLostError,
 )
 from repro.common.accounting import CostReport, CostMeter, CostRates
 from repro.common.rng import make_rng, spawn_rngs
@@ -27,6 +31,10 @@ __all__ = [
     "NotTrainedError",
     "StorageError",
     "QueryError",
+    "FaultError",
+    "NodeUnavailableError",
+    "TransientReadError",
+    "PartitionLostError",
     "CostReport",
     "CostMeter",
     "CostRates",

@@ -26,6 +26,49 @@ class QueryError(ReproError):
     """A query was malformed or unsupported by the engine asked to run it."""
 
 
+class FaultError(ReproError):
+    """Base class for injected-fault conditions (see :mod:`repro.faults`)."""
+
+
+class NodeUnavailableError(FaultError):
+    """A read was routed to a node that is currently crashed.
+
+    Raised *before* any cost is charged: a dead node refuses the
+    connection, it does not serve bytes.
+    """
+
+    def __init__(self, node_id: str, partition_id: str = "") -> None:
+        self.node_id = node_id
+        self.partition_id = partition_id
+        detail = f" serving {partition_id}" if partition_id else ""
+        super().__init__(f"node {node_id} is down{detail}")
+
+
+class TransientReadError(FaultError):
+    """A read attempt failed after the node served (and charged) the bytes.
+
+    Retryable: the next attempt draws fresh from the injector's seeded
+    stream.  The failed attempt's scan bytes remain charged — that is the
+    visible retry overhead.
+    """
+
+    def __init__(self, node_id: str, partition_id: str = "") -> None:
+        self.node_id = node_id
+        self.partition_id = partition_id
+        detail = f" of {partition_id}" if partition_id else ""
+        super().__init__(f"transient read error on {node_id}{detail}")
+
+
+class PartitionLostError(FaultError):
+    """Every replica of a partition is down (or exhausted its retries)."""
+
+    def __init__(self, partition_id: str, tried=()) -> None:
+        self.partition_id = partition_id
+        self.tried = tuple(tried)
+        detail = f" (tried {list(self.tried)})" if self.tried else ""
+        super().__init__(f"all replicas of {partition_id} unavailable{detail}")
+
+
 class RoutingError(ReproError):
     """A geo-distributed query could not be routed to any capable node."""
 

@@ -30,7 +30,7 @@ from typing import Dict, List, Optional
 import numpy as np
 
 from repro.common.accounting import CostMeter, CostReport
-from repro.common.errors import NotTrainedError
+from repro.common.errors import NotTrainedError, PartitionLostError
 from repro.common.validation import require, require_in_range
 from repro.core.answer_cache import AnswerCache
 from repro.core.answer_models import AnswerModelFactory
@@ -38,6 +38,7 @@ from repro.core.error import PrequentialErrorEstimator
 from repro.core.maintenance import DriftDetector, DataUpdateMonitor
 from repro.core.predictor import DatalessPredictor, Prediction
 from repro.core.quantization import QuerySpaceQuantizer
+from repro.faults.degraded import DegradedAnswer
 from repro.obs.observer import NULL_OBSERVER, Observer
 from repro.queries.query import AnalyticsQuery, Answer
 
@@ -214,7 +215,9 @@ class SEAAgent:
         for position, (query, (answer, cost)) in enumerate(zip(group, results)):
             self.n_queries += 1
             predictor = self._predictor_for(query)
-            self._learn_from(query, predictor, answer)
+            learn, target = self._learn_target(answer)
+            if learn:
+                self._learn_from(query, predictor, target)
             records[offset + position] = ServedQuery(
                 query=query, answer=answer, mode="train", cost=cost
             )
@@ -327,10 +330,28 @@ class SEAAgent:
                 predictions.pop(j, None)
             chunk_size[signatures[i]] = CHUNK_MIN
         if deferred:
-            results = self._execute_group([queries[i] for i in deferred])
-            for i, (answer, cost) in zip(deferred, results):
+            try:
+                results = self._execute_group([queries[i] for i in deferred])
+            except PartitionLostError:
+                # The shared scan hit a lost partition: re-run per query so
+                # only the genuinely lost ones serve their predictions.
+                results = [self._try_execute(queries[i]) for i in deferred]
+            for i, result in zip(deferred, results):
+                if isinstance(result, PartitionLostError):
+                    records[i] = self._predicted_despite_loss(
+                        queries[i], records[i].prediction, result
+                    )
+                    continue
+                answer, cost = result
                 records[i].answer = answer
                 records[i].cost = cost
+
+    def _try_execute(self, query: AnalyticsQuery):
+        """One exact execution; a lost partition is returned, not raised."""
+        try:
+            return self.engine.execute(query)
+        except PartitionLostError as error:
+            return error
 
     def _execute_group(self, group: List[AnalyticsQuery]):
         """(answer, cost) per query, shared-scan when the engine supports it."""
@@ -399,13 +420,66 @@ class SEAAgent:
         mode: str,
         prediction: Optional[Prediction] = None,
     ) -> ServedQuery:
-        answer, cost = self.engine.execute(query)
+        try:
+            answer, cost = self.engine.execute(query)
+        except PartitionLostError as error:
+            if mode == "fallback":
+                # The exact fallback lost its base data; the model is the
+                # best — and only — remaining source of an answer (the
+                # paper's availability claim).  Without even a prediction
+                # (untrained signature) the loss propagates.
+                return self._predicted_despite_loss(query, prediction, error)
+            raise
         learn = mode == "train" or self.config.keep_learning_on_fallback
         if learn:
-            self._learn_from(query, predictor, answer)
+            learn, target = self._learn_target(answer)
+            if learn:
+                self._learn_from(query, predictor, target)
         return ServedQuery(
             query=query, answer=answer, mode=mode, cost=cost, prediction=prediction
         )
+
+    def _predicted_despite_loss(
+        self,
+        query: AnalyticsQuery,
+        prediction: Optional[Prediction],
+        error: PartitionLostError,
+    ) -> ServedQuery:
+        """Serve the model's prediction when exact fallback lost its data."""
+        if prediction is None:
+            raise error
+        if self.observer.enabled:
+            self.observer.inc("sea_served_despite_loss_total")
+            self.observer.event(
+                "served_despite_loss",
+                signature=query.signature(),
+                partition=error.partition_id,
+            )
+        answer = prediction.scalar if query.answer_dim == 1 else prediction.value
+        return ServedQuery(
+            query=query,
+            answer=answer,
+            mode="predicted",
+            cost=self._agent_cost(),
+            prediction=prediction,
+        )
+
+    def _learn_target(self, answer: Answer):
+        """(should_learn, target) for one exact-engine answer.
+
+        A :class:`~repro.faults.DegradedAnswer` at full coverage is an
+        exactly recovered value — safe to learn from.  Below full
+        coverage the value is missing lost partitions' contributions;
+        observing it would poison the predictor, so the agent serves it
+        to the caller but learns nothing.
+        """
+        if isinstance(answer, DegradedAnswer):
+            if answer.coverage < 1.0:
+                if self.observer.enabled:
+                    self.observer.inc("sea_degraded_observations_skipped_total")
+                return False, answer.value
+            return True, answer.value
+        return True, answer
 
     def _learn_from(
         self, query: AnalyticsQuery, predictor: DatalessPredictor, answer: Answer

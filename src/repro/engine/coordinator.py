@@ -17,11 +17,13 @@ from typing import Dict, Iterable, List, Optional, Sequence, Tuple
 import numpy as np
 
 from repro.common.accounting import CostMeter, CostReport
+from repro.common.errors import PartitionLostError
 from repro.common.validation import require
 from repro.cluster.storage import DistributedStore, StoredTable, TablePartition
 from repro.data.tabular import Table
 from repro.engine.bdas import BDASStack
 from repro.engine.pruning import prune_row_plan
+from repro.faults.policy import FailoverPolicy
 from repro.obs.observer import NULL_OBSERVER, Observer
 from repro.queries.selections import Selection
 
@@ -38,6 +40,7 @@ class CoordinatorEngine:
         stack: Optional[BDASStack] = None,
         rates: Optional["CostRates"] = None,
         observer: Optional[Observer] = None,
+        failover: Optional[FailoverPolicy] = None,
     ) -> None:
         self.store = store
         self.topology = store.topology
@@ -46,6 +49,7 @@ class CoordinatorEngine:
         self.stack = stack or BDASStack(layers=("client", "coordinator"))
         self.rates = rates
         self.observer = observer or NULL_OBSERVER
+        self.failover = failover or FailoverPolicy()
 
     def attach_observer(self, observer: Observer) -> None:
         """Record traces/metrics/events for subsequent fetches on ``observer``."""
@@ -98,6 +102,8 @@ class CoordinatorEngine:
         meter: Optional[CostMeter] = None,
         charge_stack: bool = True,
         selection: Optional[Selection] = None,
+        on_lost: str = "raise",
+        lost: Optional[List[Tuple[int, int]]] = None,
     ) -> Tuple[Table, CostReport]:
         """Fetch the given ``{partition_index: row_indices}`` to the coordinator.
 
@@ -112,10 +118,25 @@ class CoordinatorEngine:
         against partitions provably disjoint from the selection's bounding
         box are dropped before any cohort is contacted.  Pass it only when
         the fetched rows are filtered by the same selection afterwards.
+
+        Under fault injection, point reads retry and fail over between
+        replicas through :attr:`failover`.  A partition with no live
+        replica raises :class:`PartitionLostError` (``on_lost="raise"``)
+        or — with ``on_lost="skip"`` — drops its rows from the result and
+        appends ``(partition_index, n_rows_lost)`` to ``lost``.
         """
+        require(on_lost in ("raise", "skip"), f"unknown on_lost {on_lost!r}")
         meter, obs = self._meter(meter)
         rows_by_partition = self._pruned(stored, rows_by_partition, selection, obs)
-        return self._fetch_one(stored, rows_by_partition, meter, obs, charge_stack)
+        return self._fetch_one(
+            stored,
+            rows_by_partition,
+            meter,
+            obs,
+            charge_stack,
+            on_lost=on_lost,
+            lost=lost,
+        )
 
     def fetch_rows_many(
         self,
@@ -147,6 +168,15 @@ class CoordinatorEngine:
                 self._pruned(stored, plan, sel, obs)
                 for plan, sel in zip(plans, selections)
             ]
+        faults = self.store.faults
+        if faults is not None and faults.active:
+            # Fault outcomes are drawn per read attempt, so shared-union
+            # charge replay would not match the sequential path; each plan
+            # runs its own failure-aware fetch while faults are active.
+            return [
+                self.fetch_rows(stored, plan, charge_stack=charge_stack)
+                for plan in plans
+            ]
         union: Dict[int, List[np.ndarray]] = {}
         for plan in plans:
             for part_index, rows in plan.items():
@@ -174,8 +204,12 @@ class CoordinatorEngine:
         obs: Observer,
         charge_stack: bool,
         cache: Optional[Dict[int, Tuple[np.ndarray, Table]]] = None,
+        on_lost: str = "raise",
+        lost: Optional[List[Tuple[int, int]]] = None,
     ) -> Tuple[Table, CostReport]:
         """One fetch round; with ``cache`` the rows come from a shared read."""
+        faults = self.store.faults
+        faulty = faults is not None and faults.active
         with obs.span(
             "coordinator_fetch", meter=meter, category="job", table=stored.name
         ):
@@ -195,30 +229,70 @@ class CoordinatorEngine:
                 idx = np.asarray(row_indices, dtype=int)
                 if idx.size == 0:
                     continue
-                # Read from the least-loaded replica (spreads hot partitions).
-                cohort = self.store.pick_replica(partition)
-                seconds = meter.charge_transfer(
-                    self.coordinator,
-                    cohort,
-                    _REQUEST_BYTES,
-                    wan=self.topology.is_wan(self.coordinator, cohort),
-                )
-                if cache is None:
-                    piece = self.store.read_rows(
-                        partition, idx, meter, node_id=cohort
+                if faulty:
+                    try:
+                        piece, cohort, fault_extra = self.failover.read_rows(
+                            self.store,
+                            partition,
+                            idx,
+                            meter,
+                            requester=self.coordinator,
+                            obs=obs,
+                            materialize=cache is None,
+                        )
+                    except PartitionLostError:
+                        if on_lost == "skip":
+                            if lost is not None:
+                                lost.append((part_index, int(idx.size)))
+                            continue
+                        raise
+                    seconds = meter.charge_transfer(
+                        self.coordinator,
+                        cohort,
+                        _REQUEST_BYTES,
+                        wan=self.topology.is_wan(self.coordinator, cohort),
+                    )
+                    seconds += fault_extra
+                    if cache is not None or piece is None:
+                        all_idx, union_table = cache[part_index]
+                        piece = union_table.take(np.searchsorted(all_idx, idx))
+                    seconds += (
+                        idx.size
+                        * partition.data.row_bytes
+                        * meter.rates.point_read_penalty
+                        * self.store.read_slowdown(cohort)
+                        / meter.rates.disk_bytes_per_sec
                     )
                 else:
-                    self.store.read_rows(
-                        partition, idx, meter, node_id=cohort, materialize=False
+                    # Read from the least-loaded replica (spreads hot
+                    # partitions).
+                    cohort = self.store.pick_replica(partition)
+                    seconds = meter.charge_transfer(
+                        self.coordinator,
+                        cohort,
+                        _REQUEST_BYTES,
+                        wan=self.topology.is_wan(self.coordinator, cohort),
                     )
-                    all_idx, union_table = cache[part_index]
-                    piece = union_table.take(np.searchsorted(all_idx, idx))
-                seconds += (
-                    idx.size
-                    * partition.data.row_bytes
-                    * meter.rates.point_read_penalty
-                    / meter.rates.disk_bytes_per_sec
-                )
+                    if cache is None:
+                        piece = self.store.read_rows(
+                            partition, idx, meter, node_id=cohort
+                        )
+                    else:
+                        self.store.read_rows(
+                            partition,
+                            idx,
+                            meter,
+                            node_id=cohort,
+                            materialize=False,
+                        )
+                        all_idx, union_table = cache[part_index]
+                        piece = union_table.take(np.searchsorted(all_idx, idx))
+                    seconds += (
+                        idx.size
+                        * partition.data.row_bytes
+                        * meter.rates.point_read_penalty
+                        / meter.rates.disk_bytes_per_sec
+                    )
                 seconds += meter.charge_transfer(
                     cohort,
                     self.coordinator,

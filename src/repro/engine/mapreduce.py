@@ -19,12 +19,14 @@ from typing import Any, Callable, Dict, Iterable, List, Optional, Tuple
 import numpy as np
 
 from repro.common.accounting import CostMeter, CostReport
+from repro.common.errors import PartitionLostError
 from repro.common.validation import require
 from repro.cluster.storage import DistributedStore, StoredTable
 from repro.data.tabular import Table
 from repro.engine.bdas import BDASStack
 from repro.engine.pruning import SCAN, SKIP, SYNOPSIS, ScanPlan
 from repro.engine.resources import ResourceManager
+from repro.faults.policy import FailoverPolicy
 from repro.obs.observer import NULL_OBSERVER, Observer
 
 MapFn = Callable[[Table], Iterable[Tuple[Any, Any]]]
@@ -69,6 +71,7 @@ class MapReduceEngine:
         stack: Optional[BDASStack] = None,
         rates: Optional["CostRates"] = None,
         observer: Optional[Observer] = None,
+        failover: Optional[FailoverPolicy] = None,
     ) -> None:
         self.store = store
         self.topology = store.topology
@@ -76,6 +79,7 @@ class MapReduceEngine:
         self.stack = stack or BDASStack()
         self.rates = rates
         self.observer = observer or NULL_OBSERVER
+        self.failover = failover or FailoverPolicy()
 
     def attach_observer(self, observer: Observer) -> None:
         """Record traces/metrics/events for subsequent jobs on ``observer``."""
@@ -90,6 +94,8 @@ class MapReduceEngine:
         driver_node: Optional[str] = None,
         meter: Optional[CostMeter] = None,
         plan: Optional[ScanPlan] = None,
+        on_lost: str = "raise",
+        lost: Optional[List[int]] = None,
     ) -> Tuple[Dict[Any, Any], CostReport]:
         """Execute one job; returns (results-by-key, cost report).
 
@@ -98,7 +104,15 @@ class MapReduceEngine:
         charged, and their nodes are never engaged; covered partitions
         emit their precomputed synopsis partials for the price of a
         metadata read.  Without a plan every partition is scanned.
+
+        With a fault injector attached to the store, scans run through
+        the engine's :class:`~repro.faults.FailoverPolicy`.  A partition
+        with no live replica raises :class:`PartitionLostError` when
+        ``on_lost="raise"`` (the default); with ``on_lost="skip"`` the
+        partition contributes nothing and its index is appended to the
+        caller-supplied ``lost`` list (degrade-mode engines reconcile it).
         """
+        require(on_lost in ("raise", "skip"), f"unknown on_lost {on_lost!r}")
         stored = self.store.table(table_name)
         require(len(stored.partitions) >= 1, "table has no partitions")
         if plan is not None:
@@ -129,7 +143,14 @@ class MapReduceEngine:
 
             with obs.span("map", meter=meter, category="phase"):
                 map_outputs, map_elapsed = self._map_phase(
-                    stored, map_fn, meter, obs, plan=plan
+                    stored,
+                    map_fn,
+                    meter,
+                    obs,
+                    plan=plan,
+                    driver=driver,
+                    on_lost=on_lost,
+                    lost=lost,
                 )
                 meter.advance(map_elapsed)
 
@@ -186,6 +207,31 @@ class MapReduceEngine:
                 len(plans) == n_jobs,
                 f"{len(plans)} plans for {n_jobs} jobs",
             )
+        faults = self.store.faults
+        if faults is not None and faults.active:
+            # Fault outcomes are drawn per read attempt from the injector's
+            # seeded stream, so one shared pass cannot replay each job's
+            # charges faithfully; under active faults every job runs its
+            # own failure-aware pass (amortisation resumes when healthy).
+            out = []
+            for j in range(n_jobs):
+
+                def job_map_fn(data, j=j):
+                    if plans is not None:
+                        return multi_map_fn(data, [j])[0]
+                    return multi_map_fn(data)[j]
+
+                out.append(
+                    self.run(
+                        table_name,
+                        job_map_fn,
+                        reduce_fns[j],
+                        n_reducers=n_reducers,
+                        driver_node=driver_node,
+                        plan=plans[j] if plans is not None else None,
+                    )
+                )
+            return out
         # Shared real pass: every job's map outputs from one read of each
         # partition, computed before any charging so the replay below can
         # interleave charges per job in sequential order.  Outputs are
@@ -274,17 +320,30 @@ class MapReduceEngine:
 
         Zone-map-skipped partitions drop out entirely — their nodes never
         see the job, which is the paper's "touch only the data that can
-        matter" at the stack-submission layer too.
+        matter" at the stack-submission layer too.  Under fault
+        injection, a crashed primary is replaced by the partition's
+        preferred live replica, and fully lost partitions engage nobody.
         """
-        if plan is None:
-            mappers = {p.primary_node for p in stored.partitions}
-        else:
-            mappers = {
-                p.primary_node
-                for index, p in enumerate(stored.partitions)
-                if plan.actions[index] != SKIP
-            }
+        mappers = set()
+        for index, partition in enumerate(stored.partitions):
+            if plan is not None and plan.actions[index] == SKIP:
+                continue
+            node = self._mapper_node(partition)
+            if node is not None:
+                mappers.add(node)
         return mappers | set(reducers)
+
+    def _mapper_node(self, partition) -> Optional[str]:
+        """The node a map task over ``partition`` lands on (None if lost)."""
+        faults = self.store.faults
+        if faults is None or not faults.active:
+            return partition.primary_node
+        if not faults.is_down(partition.primary_node):
+            return partition.primary_node
+        live = [n for n in partition.replica_nodes if not faults.is_down(n)]
+        if not live:
+            return None
+        return min(live, key=self.store.served_bytes)
 
     def _map_phase(
         self,
@@ -294,6 +353,9 @@ class MapReduceEngine:
         obs: Observer = NULL_OBSERVER,
         precomputed: Optional[List[Optional[List[Tuple[Any, Any]]]]] = None,
         plan: Optional[ScanPlan] = None,
+        driver: Optional[str] = None,
+        on_lost: str = "raise",
+        lost: Optional[List[int]] = None,
     ) -> Tuple[List[Tuple[str, List[Tuple[Any, Any]]]], float]:
         """Run one map task per partition; returns (per-node outputs, elapsed).
 
@@ -302,7 +364,13 @@ class MapReduceEngine:
         but the map function is not re-run.  With ``plan``, skipped
         partitions charge nothing and synopsis-covered partitions charge
         only the metadata read while emitting the plan's partials.
+        Under fault injection, scans fail over between replicas via
+        :attr:`failover` (probes, retries, and hops charged to ``meter``)
+        and a fully lost partition either raises or — with
+        ``on_lost="skip"`` — is recorded in ``lost`` and skipped.
         """
+        faults = self.store.faults
+        faulty = faults is not None and faults.active
         node_tasks: Dict[str, List[float]] = defaultdict(list)
         outputs: List[Tuple[str, List[Tuple[Any, Any]]]] = []
         tracing = obs.enabled
@@ -332,9 +400,28 @@ class MapReduceEngine:
                     )
                 node_tasks[node].append(seconds)
                 continue
-            seconds = meter.charge_task_startup(node)
-            data = self.store.read_partition(partition, meter)
-            seconds += data.n_bytes / meter.rates.disk_bytes_per_sec
+            if faulty:
+                try:
+                    data, node, fault_seconds = self.failover.read_partition(
+                        self.store, partition, meter, requester=driver, obs=obs
+                    )
+                except PartitionLostError:
+                    if on_lost == "skip":
+                        if lost is not None:
+                            lost.append(index)
+                        continue
+                    raise
+                seconds = meter.charge_task_startup(node)
+                seconds += fault_seconds
+                seconds += (
+                    data.n_bytes
+                    * self.store.read_slowdown(node)
+                    / meter.rates.disk_bytes_per_sec
+                )
+            else:
+                seconds = meter.charge_task_startup(node)
+                data = self.store.read_partition(partition, meter)
+                seconds += data.n_bytes / meter.rates.disk_bytes_per_sec
             seconds += meter.charge_cpu(node, data.n_bytes)
             pairs = (
                 precomputed[index] if precomputed is not None else list(map_fn(data))

@@ -1,0 +1,58 @@
+"""Deterministic fault injection for the simulated SEA cluster.
+
+The paper's availability claim (Sec. III.B) — a data-less agent keeps
+answering when base data is unreachable — needs a failure model to be
+measurable.  This package provides one, threaded through the whole stack:
+
+* :class:`~repro.faults.schedule.FaultSchedule` (alias ``InjectionPlan``)
+  — declarative crash windows, straggler slowdowns, transient-error
+  rates;
+* :class:`~repro.faults.injector.FaultInjector` — the seeded, clocked
+  interpreter a :class:`~repro.cluster.DistributedStore` consults on
+  every metered read (``store.attach_faults(injector)``);
+* :class:`~repro.faults.policy.FailoverPolicy` — retry with capped
+  exponential backoff, then replica failover honoring ``pick_replica``
+  load balancing, every hop charged to the
+  :class:`~repro.common.CostMeter`;
+* :class:`~repro.faults.degraded.DegradedAnswer` — what ``degrade`` mode
+  engines return when partitions are truly lost: survivors' value, an
+  exact coverage fraction, and deterministic error bounds from zone-map
+  synopses.
+
+Typed failures live in :mod:`repro.common.errors` —
+``NodeUnavailableError`` (dead node, nothing charged),
+``TransientReadError`` (failed attempt, bytes charged), and
+``PartitionLostError`` (no replica can serve).
+"""
+
+from repro.common.errors import (
+    FaultError,
+    NodeUnavailableError,
+    PartitionLostError,
+    TransientReadError,
+)
+from repro.faults.degraded import (
+    DegradedAnswer,
+    UnknownChunk,
+    build_degraded_answer,
+    degraded_bounds,
+)
+from repro.faults.injector import FaultInjector
+from repro.faults.policy import FailoverPolicy
+from repro.faults.schedule import CrashWindow, FaultSchedule, InjectionPlan
+
+__all__ = [
+    "FaultError",
+    "NodeUnavailableError",
+    "TransientReadError",
+    "PartitionLostError",
+    "CrashWindow",
+    "FaultSchedule",
+    "InjectionPlan",
+    "FaultInjector",
+    "FailoverPolicy",
+    "DegradedAnswer",
+    "UnknownChunk",
+    "build_degraded_answer",
+    "degraded_bounds",
+]

@@ -1,0 +1,187 @@
+"""Degraded answers: serve from survivors, bound what the dead could add.
+
+When every replica of a partition is down, ``degrade`` mode answers from
+the surviving replicas plus the *zone-map synopses* of the lost
+partitions.  The result is a :class:`DegradedAnswer`:
+
+* ``value`` — the aggregate merged over everything still reachable
+  (surviving partitions, plus lost partitions whose contribution the
+  synopsis recovers *exactly* — provably disjoint from the selection, or
+  fully covered by a box-exact selection with a decomposable aggregate);
+* ``coverage`` — the exact fraction of the table's rows whose
+  contribution is fully accounted for (``1 - unknown_rows / n_rows``);
+* ``lower``/``upper`` — deterministic bounds on the true answer, derived
+  from each unknown partition's row count and per-column min/max clipped
+  to the selection's bounding box.  The bounds are sound, not
+  statistical: the true (no-fault) answer always lies inside them.
+
+Bound derivations per aggregate, with ``v`` the merged survivor value
+and each unknown chunk holding ``n`` rows with aggregate-column values
+in ``[mn, mx]`` (clipped to the selection box — every selected row lies
+inside the box, so the clip is loss-free):
+
+* ``count``  — unknown chunks match between 0 and ``n`` rows each:
+  ``[v, v + Σ n_i]``.
+* ``sum``    — each chunk adds between ``min(0, n·mn)`` and
+  ``max(0, n·mx)``: summed per chunk.  A chunk whose clipped interval is
+  empty cannot contribute (bounds collapse to 0).
+* ``mean``   — the combined mean is a convex mix of ``v`` and unknown
+  values: ``[min(v, min_i mn_i), max(v, max_i mx_i)]``.
+* ``min``/``max`` — unknown rows can only pull the extremum one way:
+  ``[min(v, mn_all), v]`` and ``[v, max(v, mx_all)]``.
+* everything else (std/var, holistic, cross-column) — no sound bound
+  from zone maps alone: ``bounded=False`` with infinite bounds.
+"""
+
+from __future__ import annotations
+
+import math
+from dataclasses import dataclass
+from typing import Any, Dict, Mapping, Optional, Sequence, Tuple
+
+from repro.queries.aggregates import Aggregate, Count, Max, Mean, Min, Sum
+from repro.queries.selections import Selection
+
+_INF = math.inf
+
+
+@dataclass(frozen=True)
+class UnknownChunk:
+    """What is still known about rows whose values are unreachable."""
+
+    n_rows: int
+    #: column -> (min, max) over the chunk's rows (zone-map statistics).
+    stats: Mapping[str, Tuple[float, float]]
+
+    @classmethod
+    def from_synopsis(cls, synopsis) -> "UnknownChunk":
+        return cls(
+            n_rows=synopsis.n_rows,
+            stats={
+                name: (s.minimum, s.maximum)
+                for name, s in synopsis.columns.items()
+            },
+        )
+
+    def column_range(
+        self, column: str, selection: Optional[Selection]
+    ) -> Tuple[float, float]:
+        """The chunk's value range for ``column``, clipped to the box."""
+        mn, mx = self.stats.get(column, (-_INF, _INF))
+        if selection is not None and column in selection.columns:
+            lows, highs = selection.bounding_box()
+            i = selection.columns.index(column)
+            mn = max(mn, float(lows[i]))
+            mx = min(mx, float(highs[i]))
+        return mn, mx
+
+
+@dataclass(frozen=True)
+class DegradedAnswer:
+    """An answer assembled under partition loss, with exact provenance."""
+
+    value: Any
+    coverage: float  # exact fraction of table rows fully accounted for
+    lower: float
+    upper: float
+    bounded: bool  # True iff lower/upper are finite sound bounds
+    lost_partitions: Tuple[int, ...]  # every partition with no live replica
+    unknown_partitions: Tuple[int, ...]  # the subset not recovered exactly
+    unknown_rows: int
+
+    @property
+    def degraded(self) -> bool:
+        return bool(self.lost_partitions)
+
+    @property
+    def margin(self) -> float:
+        """Half-width of the bound interval (inf when unbounded)."""
+        return (self.upper - self.lower) / 2.0
+
+    def contains(self, true_value: float) -> bool:
+        """Whether the no-fault answer lies inside the bounds."""
+        return self.lower <= float(true_value) <= self.upper
+
+    def __repr__(self) -> str:
+        return (
+            f"DegradedAnswer(value={self.value!r}, coverage={self.coverage:.4f}, "
+            f"bounds=[{self.lower:.6g}, {self.upper:.6g}], "
+            f"lost={list(self.lost_partitions)})"
+        )
+
+
+def degraded_bounds(
+    aggregate: Aggregate,
+    selection: Optional[Selection],
+    value: Any,
+    chunks: Sequence[UnknownChunk],
+) -> Tuple[float, float, bool]:
+    """Sound ``(lower, upper, bounded)`` for ``value`` + unknown ``chunks``."""
+    if not chunks:
+        v = _as_float(value)
+        if v is None:
+            return -_INF, _INF, False
+        return v, v, True
+    kind = type(aggregate)
+    v = _as_float(value)
+    if v is None:
+        return -_INF, _INF, False
+    if kind is Count:
+        return v, v + float(sum(c.n_rows for c in chunks)), True
+    column = getattr(aggregate, "column", None)
+    if column is None:
+        return -_INF, _INF, False
+    ranges = [c.column_range(column, selection) for c in chunks]
+    if kind is Sum:
+        lo, hi = v, v
+        for (mn, mx), chunk in zip(ranges, chunks):
+            if mn > mx:  # clipped empty: no row of this chunk can match
+                continue
+            lo += min(0.0, chunk.n_rows * mn)
+            hi += max(0.0, chunk.n_rows * mx)
+        return lo, hi, math.isfinite(lo) and math.isfinite(hi)
+    feasible = [(mn, mx) for mn, mx in ranges if mn <= mx]
+    mn_all = min((mn for mn, _ in feasible), default=_INF)
+    mx_all = max((mx for _, mx in feasible), default=-_INF)
+    if kind is Mean:
+        lo, hi = min(v, mn_all), max(v, mx_all)
+        return lo, hi, math.isfinite(lo) and math.isfinite(hi)
+    if kind is Min:
+        lo = min(v, mn_all)
+        return lo, v, math.isfinite(lo) and math.isfinite(v)
+    if kind is Max:
+        hi = max(v, mx_all)
+        return v, hi, math.isfinite(v) and math.isfinite(hi)
+    return -_INF, _INF, False
+
+
+def build_degraded_answer(
+    aggregate: Aggregate,
+    selection: Optional[Selection],
+    value: Any,
+    chunks: Sequence[UnknownChunk],
+    lost_partitions: Sequence[int],
+    unknown_partitions: Sequence[int],
+    total_rows: int,
+) -> DegradedAnswer:
+    """Assemble a :class:`DegradedAnswer` with exact coverage accounting."""
+    unknown_rows = int(sum(c.n_rows for c in chunks))
+    coverage = 1.0 - (unknown_rows / total_rows if total_rows > 0 else 0.0)
+    lower, upper, bounded = degraded_bounds(aggregate, selection, value, chunks)
+    return DegradedAnswer(
+        value=value,
+        coverage=coverage,
+        lower=lower,
+        upper=upper,
+        bounded=bounded,
+        lost_partitions=tuple(sorted(lost_partitions)),
+        unknown_partitions=tuple(sorted(unknown_partitions)),
+        unknown_rows=unknown_rows,
+    )
+
+
+def _as_float(value: Any) -> Optional[float]:
+    try:
+        return float(value)
+    except (TypeError, ValueError):
+        return None

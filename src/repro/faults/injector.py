@@ -1,0 +1,146 @@
+"""The fault injector: a seeded, clocked interpreter of a fault schedule.
+
+One :class:`FaultInjector` attaches to a
+:class:`~repro.cluster.storage.DistributedStore` via ``attach_faults``.
+From then on every metered read consults it:
+
+* a read routed to a *down* node raises
+  :class:`~repro.common.errors.NodeUnavailableError` **before** any cost
+  is charged (a dead node refuses the connection — it serves no bytes,
+  which is what keeps failover byte-identical to the no-fault run);
+* a read served by a *flaky* node draws from the injector's seeded RNG
+  **after** the charge and raises
+  :class:`~repro.common.errors.TransientReadError` with the node's
+  configured probability (the failed attempt's bytes are the visible
+  retry overhead);
+* a *straggler* node reports a slowdown multiplier engines apply to
+  their disk-time term.
+
+The injector owns its own simulated clock (independent of any one
+query's :class:`~repro.common.CostMeter`, which restarts per execution):
+``advance`` moves time forward and fires crash/recover events for every
+schedule window boundary crossed.  ``crash``/``recover`` override the
+schedule manually — an explicit ``recover`` cancels even an open-ended
+scheduled window.
+"""
+
+from __future__ import annotations
+
+from typing import Dict, List, Optional, Set
+
+from repro.common.errors import NodeUnavailableError, TransientReadError
+from repro.common.rng import SeedLike, make_rng
+from repro.common.validation import require
+from repro.faults.schedule import FaultSchedule
+from repro.obs.observer import NULL_OBSERVER, Observer
+
+
+class FaultInjector:
+    """Deterministic interpreter of one :class:`FaultSchedule`."""
+
+    def __init__(
+        self,
+        schedule: Optional[FaultSchedule] = None,
+        seed: SeedLike = 0,
+        observer: Optional[Observer] = None,
+    ) -> None:
+        self.schedule = schedule or FaultSchedule()
+        self._rng = make_rng(seed)
+        self.observer = observer or NULL_OBSERVER
+        self.now = 0.0
+        # Manual overrides win over the schedule.
+        self._forced_down: Set[str] = set()
+        self._forced_up: Set[str] = set()
+        # Counters (also mirrored to the observer as fault_* metrics).
+        self.n_unavailable = 0
+        self.n_transient = 0
+
+    def attach_observer(self, observer: Observer) -> None:
+        """Emit crash/recover events and fault counters on ``observer``."""
+        self.observer = observer
+
+    # Clock -----------------------------------------------------------------
+    def advance(self, seconds: float) -> float:
+        """Advance the injector clock, firing window-boundary events."""
+        require(seconds >= 0.0, f"cannot advance time by {seconds}")
+        before = self.now
+        self.now = before + seconds
+        if self.observer.enabled:
+            for window in self.schedule.crashes:
+                if before < window.start <= self.now:
+                    self._note_down(window.node_id, at=window.start)
+                if before < window.end <= self.now:
+                    self._note_up(window.node_id, at=window.end)
+        return self.now
+
+    def set_time(self, at: float) -> float:
+        """Jump the clock to ``at`` (forward only)."""
+        require(at >= self.now, f"clock cannot go back ({self.now} -> {at})")
+        return self.advance(at - self.now)
+
+    # Manual control --------------------------------------------------------
+    def crash(self, node_id: str) -> None:
+        """Force ``node_id`` down now, regardless of the schedule."""
+        self._forced_up.discard(node_id)
+        if node_id not in self._forced_down:
+            self._forced_down.add(node_id)
+            self._note_down(node_id, at=self.now)
+
+    def recover(self, node_id: str) -> None:
+        """Force ``node_id`` up now, cancelling any open crash window."""
+        self._forced_down.discard(node_id)
+        if self.is_down(node_id):
+            self._forced_up.add(node_id)
+            self._note_up(node_id, at=self.now)
+        else:
+            self._forced_up.add(node_id)
+
+    # State queries ---------------------------------------------------------
+    def is_down(self, node_id: str) -> bool:
+        if node_id in self._forced_down:
+            return True
+        if node_id in self._forced_up:
+            return False
+        return self.schedule.down_at(node_id, self.now)
+
+    def down_nodes(self, node_ids) -> List[str]:
+        """The subset of ``node_ids`` currently down (input order)."""
+        return [n for n in node_ids if self.is_down(n)]
+
+    def slowdown(self, node_id: str) -> float:
+        """Disk-time multiplier for ``node_id`` (1.0 when healthy)."""
+        return self.schedule.slowdowns.get(node_id, 1.0)
+
+    @property
+    def active(self) -> bool:
+        """True iff the injector can currently affect any read."""
+        return bool(self._forced_down) or self.schedule.touches
+
+    # Read-path hooks (called by DistributedStore) --------------------------
+    def check_available(self, node_id: str, partition_id: str = "") -> None:
+        """Raise :class:`NodeUnavailableError` if ``node_id`` is down."""
+        if self.is_down(node_id):
+            self.n_unavailable += 1
+            if self.observer.enabled:
+                self.observer.inc("fault_unavailable_reads_total", node=node_id)
+            raise NodeUnavailableError(node_id, partition_id)
+
+    def maybe_fail_read(self, node_id: str, partition_id: str = "") -> None:
+        """Draw one seeded transient failure for a served read attempt."""
+        rate = self.schedule.error_rates.get(node_id)
+        if rate and self._rng.random() < rate:
+            self.n_transient += 1
+            if self.observer.enabled:
+                self.observer.inc("fault_transient_errors_total", node=node_id)
+            raise TransientReadError(node_id, partition_id)
+
+    # Internals -------------------------------------------------------------
+    def _note_down(self, node_id: str, at: float) -> None:
+        if self.observer.enabled:
+            self.observer.inc("fault_node_crashes_total", node=node_id)
+            self.observer.event("node_crash", node=node_id, at=at)
+
+    def _note_up(self, node_id: str, at: float) -> None:
+        if self.observer.enabled:
+            self.observer.inc("fault_node_recoveries_total", node=node_id)
+            self.observer.event("node_recover", node=node_id, at=at)

@@ -1,0 +1,114 @@
+"""Declarative fault schedules: *what* goes wrong, *when*, on *which* node.
+
+A :class:`FaultSchedule` (alias :data:`InjectionPlan`) is pure data — no
+clock, no randomness.  It lists:
+
+* :class:`CrashWindow` entries — ``[start, end)`` intervals of the
+  simulated clock during which a node is down (``end=inf`` means the node
+  never recovers on its own);
+* per-node *slowdown multipliers* — stragglers whose disk reads take
+  ``factor`` times longer than the cost model's nominal rate;
+* per-node *transient read-error rates* — the probability that any one
+  read attempt served by the node fails after the bytes were charged.
+
+The schedule is interpreted by a :class:`~repro.faults.injector.FaultInjector`,
+which owns the clock and the seeded randomness; the same schedule + the
+same seed + the same call sequence always reproduces the same faults.
+"""
+
+from __future__ import annotations
+
+import math
+from dataclasses import dataclass, field
+from typing import Dict, List, Sequence
+
+from repro.common.validation import require
+
+INFINITY = math.inf
+
+
+@dataclass(frozen=True)
+class CrashWindow:
+    """One node-down interval ``[start, end)`` on the simulated clock."""
+
+    node_id: str
+    start: float = 0.0
+    end: float = INFINITY
+
+    def __post_init__(self) -> None:
+        require(self.start >= 0.0, f"crash start must be >= 0, got {self.start}")
+        require(
+            self.end > self.start,
+            f"crash window must end after it starts ({self.start} .. {self.end})",
+        )
+
+    def covers(self, at: float) -> bool:
+        return self.start <= at < self.end
+
+
+@dataclass
+class FaultSchedule:
+    """A full injection plan: crash windows, stragglers, flaky readers."""
+
+    crashes: List[CrashWindow] = field(default_factory=list)
+    slowdowns: Dict[str, float] = field(default_factory=dict)
+    error_rates: Dict[str, float] = field(default_factory=dict)
+
+    # Builders --------------------------------------------------------------
+    def crash(
+        self, node_id: str, at: float = 0.0, until: float = INFINITY
+    ) -> "FaultSchedule":
+        """Schedule ``node_id`` down during ``[at, until)``; chainable."""
+        self.crashes.append(CrashWindow(node_id, at, until))
+        return self
+
+    def slow(self, node_id: str, factor: float) -> "FaultSchedule":
+        """Make ``node_id`` a straggler: disk reads take ``factor``× longer."""
+        require(factor >= 1.0, f"slowdown factor must be >= 1, got {factor}")
+        self.slowdowns[node_id] = float(factor)
+        return self
+
+    def flaky(self, node_id: str, rate: float) -> "FaultSchedule":
+        """Give ``node_id`` a per-attempt transient read-error probability."""
+        require(0.0 <= rate < 1.0, f"error rate must be in [0, 1), got {rate}")
+        self.error_rates[node_id] = float(rate)
+        return self
+
+    # Queries ---------------------------------------------------------------
+    def down_at(self, node_id: str, at: float) -> bool:
+        """True iff some crash window of ``node_id`` covers time ``at``."""
+        return any(
+            w.node_id == node_id and w.covers(at) for w in self.crashes
+        )
+
+    def nodes_down_at(self, at: float) -> List[str]:
+        """Distinct node ids down at time ``at`` (schedule order)."""
+        seen: Dict[str, None] = {}
+        for w in self.crashes:
+            if w.covers(at):
+                seen.setdefault(w.node_id, None)
+        return list(seen)
+
+    @property
+    def touches(self) -> bool:
+        """True iff the schedule injects anything at all."""
+        return bool(self.crashes or self.slowdowns or self.error_rates)
+
+    @staticmethod
+    def crash_fraction(
+        node_ids: Sequence[str], fraction: float, at: float = 0.0
+    ) -> "FaultSchedule":
+        """A schedule crashing the first ``floor(fraction * N)`` nodes.
+
+        Deterministic given the node order — benchmark sweeps pass the
+        topology's node list (already shuffled by placement seeds).
+        """
+        require(0.0 <= fraction <= 1.0, f"fraction must be in [0, 1], got {fraction}")
+        schedule = FaultSchedule()
+        for node_id in list(node_ids)[: int(fraction * len(node_ids))]:
+            schedule.crash(node_id, at=at)
+        return schedule
+
+
+#: The name the paper-facing docs use for a fault schedule.
+InjectionPlan = FaultSchedule
