@@ -22,7 +22,6 @@ Scale via ``E03_ROWS`` / ``E03_QUERIES`` (the CI smoke job runs reduced).
 
 import gc
 import os
-import statistics
 
 import numpy as np
 
@@ -32,7 +31,13 @@ from repro.core import AgentConfig, SEAAgent
 from repro.engine import mdc_response_time
 
 from conftest import build_world, standard_workload
-from harness import format_table, record_serving_benchmark, wallclock, write_result
+from harness import (
+    format_table,
+    record_serving_benchmark,
+    trial_stats,
+    wallclock,
+    write_result,
+)
 
 ARRIVAL_RATES = (0.5, 2.0, 8.0, 12.0, 32.0, 128.0)  # queries/s offered
 
@@ -104,8 +109,10 @@ def run_throughput():
         t_sea, u_sea = mdc_response_time(rate, dataless_demand, n_nodes)
         rows.append([rate, u_trad, t_trad, u_sea, t_sea])
 
-    seq_qps = statistics.median(sequential_qps)
-    bat_qps = statistics.median(batched_qps)
+    seq_stats = trial_stats(sequential_qps)
+    bat_stats = trial_stats(batched_qps)
+    seq_qps = seq_stats["median"]
+    bat_qps = bat_stats["median"]
     serve_modes = {}
     for record in history[-N_QUERIES:]:
         serve_modes[record.mode] = serve_modes.get(record.mode, 0) + 1
@@ -116,7 +123,9 @@ def run_throughput():
         "training_budget": TRAINING_BUDGET,
         "trials": N_TRIALS,
         "sequential_qps": seq_qps,
+        "sequential_qps_iqr": seq_stats["iqr"],
         "batched_qps": bat_qps,
+        "batched_qps_iqr": bat_stats["iqr"],
         "speedup": bat_qps / seq_qps,
         "serve_predicted": serve_modes.get("predicted", 0),
         "serve_fallback": serve_modes.get("fallback", 0),

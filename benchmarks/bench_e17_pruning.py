@@ -31,6 +31,7 @@ from repro.queries import AnalyticsQuery, Median, RangeSelection, Sum
 from harness import (
     format_table,
     record_pruning_benchmark,
+    trial_stats,
     wallclock,
     write_result,
 )
@@ -115,36 +116,38 @@ def run_pruning_sweep():
                     "pruned_sim_sec": pruned_report.elapsed_sec,
                 }
             )
-    # Real wall-clock: serve every sweep query REPEATS times per engine,
-    # min-of-runs to damp host noise.  Skipped partitions never compute
-    # masks or partials, so the pruned engine does strictly less work.
+    # Real wall-clock: serve every sweep query REPEATS times per engine;
+    # the median damps host noise and the IQR records the spread.
+    # Skipped partitions never compute masks or partials, so the pruned
+    # engine does strictly less work.
     wave = [q for f in SELECTIVITIES for q in centred_queries(table, f)]
     low = [q for f in SELECTIVITIES if f <= 0.10 for q in centred_queries(table, f)]
     for engine in (pruned_engine, unpruned_engine):  # warm-up
         for query in low:
             engine.execute(query)
-    pruned_wall = min(
-        wallclock(lambda: [pruned_engine.execute(q) for q in low])[1]
-        for _ in range(REPEATS)
-    )
-    unpruned_wall = min(
-        wallclock(lambda: [unpruned_engine.execute(q) for q in low])[1]
-        for _ in range(REPEATS)
-    )
-    wave_pruned_wall = min(
-        wallclock(lambda: pruned_engine.execute_many(wave))[1]
-        for _ in range(REPEATS)
-    )
-    wave_unpruned_wall = min(
-        wallclock(lambda: unpruned_engine.execute_many(wave))[1]
-        for _ in range(REPEATS)
-    )
-    walls = {
-        "pruned_wall_sec_low_sel": pruned_wall,
-        "unpruned_wall_sec_low_sel": unpruned_wall,
-        "pruned_wall_sec_batched": wave_pruned_wall,
-        "unpruned_wall_sec_batched": wave_unpruned_wall,
+    samples = {
+        "pruned_wall_sec_low_sel": [
+            wallclock(lambda: [pruned_engine.execute(q) for q in low])[1]
+            for _ in range(REPEATS)
+        ],
+        "unpruned_wall_sec_low_sel": [
+            wallclock(lambda: [unpruned_engine.execute(q) for q in low])[1]
+            for _ in range(REPEATS)
+        ],
+        "pruned_wall_sec_batched": [
+            wallclock(lambda: pruned_engine.execute_many(wave))[1]
+            for _ in range(REPEATS)
+        ],
+        "unpruned_wall_sec_batched": [
+            wallclock(lambda: unpruned_engine.execute_many(wave))[1]
+            for _ in range(REPEATS)
+        ],
     }
+    walls = {}
+    for name, trials in samples.items():
+        stats = trial_stats(trials)
+        walls[name] = stats["median"]
+        walls[f"{name}_iqr"] = stats["iqr"]
     return rows, sweep, walls
 
 

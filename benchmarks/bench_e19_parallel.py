@@ -1,0 +1,220 @@
+"""E19 — multicore parallel scan executor: speedup without drift.
+
+DESIGN §9: the morsel-style :class:`~repro.parallel.ScanExecutor` fans
+partition-level compute (selection masks, aggregate partials, shared
+batch passes) across a real thread pool while every charge is replayed
+serially in partition order.  This experiment measures both halves of
+that contract on a >=1M-row table:
+
+* **Byte-identity (always asserted):** for every worker count in the
+  sweep, every answer and every field of every cost report — including
+  the float ``node_sec``/``elapsed_sec`` sums — equals the ``workers=1``
+  reference exactly.  Not approximately: ``repr``-equal answers and
+  ``==``-equal report dicts.
+* **Wall-clock speedup (asserted on multicore hosts):** with 4 workers
+  on a >=4-core host, the heavy suite must run >=``E19_MIN_SPEEDUP``
+  times faster than serial.  On smaller hosts (the 1-CPU dev container)
+  the speedup is recorded but not gated — there is nothing to fan out
+  to; set ``E19_REQUIRE_SPEEDUP=1`` to force the gate anyway.
+
+Each worker count runs ``E19_TRIALS`` timed trials; the cumulative
+``BENCH_parallel.json`` trajectory stores the median and IQR per worker
+count plus ``host_cpus``, so cross-commit comparisons know what silicon
+produced each entry.
+
+Scale via ``E19_ROWS`` (the CI smoke job runs the full >=1M rows).
+"""
+
+import gc
+import os
+
+from repro.baselines import ExactEngine
+from repro.cluster import ClusterTopology, DistributedStore
+from repro.data import gaussian_mixture_table
+from repro.parallel import ScanExecutor
+from repro.queries import (
+    AnalyticsQuery,
+    Correlation,
+    Count,
+    Median,
+    RangeSelection,
+    Std,
+)
+
+from harness import (
+    format_table,
+    record_parallel_benchmark,
+    trial_stats,
+    wallclock,
+    write_result,
+)
+
+N_ROWS = int(os.environ.get("E19_ROWS", 1_200_000))
+N_NODES = int(os.environ.get("E19_NODES", 8))
+PARTS_PER_NODE = int(os.environ.get("E19_PARTS_PER_NODE", 4))
+N_TRIALS = int(os.environ.get("E19_TRIALS", 3))
+WORKER_SWEEP = tuple(
+    int(w) for w in os.environ.get("E19_WORKERS", "1,2,4").split(",")
+)
+MIN_SPEEDUP = float(os.environ.get("E19_MIN_SPEEDUP", 1.8))
+HOST_CPUS = os.cpu_count() or 1
+# The >=1.8x gate needs hardware that can actually run 4 morsels at
+# once; on fewer cores the sweep still runs (recording the identity
+# checks and the measured — likely ~1x — speedup).
+REQUIRE_SPEEDUP = (
+    os.environ.get("E19_REQUIRE_SPEEDUP") == "1"
+    or (HOST_CPUS >= 4 and os.environ.get("E19_REQUIRE_SPEEDUP") != "0")
+)
+SEED = 19  # pinned: the trajectory compares identical workloads
+
+
+def build_world():
+    """One >=1M-row table sharded over the cluster (replication=1)."""
+    topo = ClusterTopology.single_datacenter(N_NODES)
+    store = DistributedStore(topo)
+    table = gaussian_mixture_table(
+        N_ROWS, dims=("x0", "x1"), seed=SEED, name="data"
+    )
+    store.put_table(table, partitions_per_node=PARTS_PER_NODE)
+    return store, table
+
+
+def heavy_queries():
+    """Compute-heavy exact jobs where the map phase dominates.
+
+    ``gaussian_mixture_table`` data lives in [0, 100] per dimension.  The
+    ``cut`` box spans all of ``x0`` but only half of ``x1``: it overlaps
+    every partition without covering any, so zone maps cannot skip or
+    synopsis-cover it and every partition pays a real mask + partial —
+    exactly the work the morsel pool parallelises.  The ``narrow`` box
+    exercises the pruning interplay (pruned partitions never enqueue).
+    """
+    cols = ("x0", "x1")
+    cut = RangeSelection(cols, [0.0, 0.0], [100.0, 50.0])
+    narrow = RangeSelection(cols, [10.0, 10.0], [25.0, 25.0])
+    return [
+        AnalyticsQuery("data", cut, Std("x0")),
+        AnalyticsQuery("data", cut, Correlation("x0", "x1")),
+        AnalyticsQuery("data", cut, Median("x1")),
+        AnalyticsQuery("data", narrow, Std("x1")),
+    ]
+
+
+def batch_queries():
+    """A homogeneous range batch for the shared-scan ``execute_many``."""
+    cols = ("x0", "x1")
+    out = []
+    for i in range(8):
+        high = 30.0 + 8.0 * i
+        out.append(
+            AnalyticsQuery(
+                "data",
+                RangeSelection(cols, [0.0, 0.0], [100.0, high]),
+                Count() if i % 2 == 0 else Std("x0"),
+            )
+        )
+    return out
+
+
+def run_suite(engine, singles, batch):
+    """One full pass: sequential executes plus one shared-scan batch."""
+    results = [engine.execute(q) for q in singles]
+    results.extend(engine.execute_many(batch))
+    return results
+
+
+def as_comparable(results):
+    """(answers, report-dicts) in a form supporting exact == comparison."""
+    answers = [repr(answer) for answer, _ in results]
+    reports = [report.as_dict() for _, report in results]
+    return answers, reports
+
+
+def run_parallel_sweep():
+    store, _ = build_world()
+    singles = heavy_queries()
+    batch = batch_queries()
+    reference = None
+    sweep = []
+    for workers in WORKER_SWEEP:
+        executor = ScanExecutor(workers)
+        engine = ExactEngine(store, executor=executor)
+        # Identity pass (also warms caches and the pool).
+        results = run_suite(engine, singles, batch)
+        comparable = as_comparable(results)
+        if reference is None:
+            reference = comparable
+        else:
+            assert comparable[0] == reference[0], (
+                f"answers drifted at workers={workers}"
+            )
+            assert comparable[1] == reference[1], (
+                f"cost reports drifted at workers={workers}"
+            )
+        trials = []
+        for _ in range(N_TRIALS):
+            gc.collect()
+            gc.disable()
+            try:
+                _, seconds = wallclock(
+                    lambda: run_suite(engine, singles, batch)
+                )
+            finally:
+                gc.enable()
+            trials.append(seconds)
+        executor.close()
+        stats = trial_stats(trials)
+        sweep.append(
+            {
+                "workers": workers,
+                "wall_sec_median": stats["median"],
+                "wall_sec_iqr": stats["iqr"],
+                "wall_sec_min": stats["min"],
+                "trials": N_TRIALS,
+            }
+        )
+    serial = next(s for s in sweep if s["workers"] == 1)
+    for entry in sweep:
+        entry["speedup"] = serial["wall_sec_median"] / entry["wall_sec_median"]
+    return sweep
+
+
+def test_e19_parallel(benchmark):
+    sweep = benchmark.pedantic(run_parallel_sweep, rounds=1, iterations=1)
+    headers = ["workers", "wall_sec_median", "wall_sec_iqr", "speedup"]
+    rows = [
+        [s["workers"], s["wall_sec_median"], s["wall_sec_iqr"], s["speedup"]]
+        for s in sweep
+    ]
+    table = format_table(
+        f"E19: parallel scan executor, {N_ROWS} rows x "
+        f"{N_NODES * PARTS_PER_NODE} partitions ({HOST_CPUS} host CPUs)",
+        headers,
+        rows,
+    )
+    write_result(
+        "e19_parallel",
+        table,
+        headers=headers,
+        rows=rows,
+        extra={"host_cpus": HOST_CPUS, "rows": N_ROWS},
+    )
+    record_parallel_benchmark(
+        "e19_parallel",
+        n_rows=N_ROWS,
+        n_nodes=N_NODES,
+        partitions=N_NODES * PARTS_PER_NODE,
+        host_cpus=HOST_CPUS,
+        byte_identical=True,  # asserted inside run_parallel_sweep
+        speedup_gated=REQUIRE_SPEEDUP,
+        sweep=sweep,
+    )
+    best = max(sweep, key=lambda s: s["workers"])
+    benchmark.extra_info["host_cpus"] = HOST_CPUS
+    benchmark.extra_info["speedup_at_max_workers"] = best["speedup"]
+    if REQUIRE_SPEEDUP and best["workers"] >= 4 and N_ROWS >= 1_000_000:
+        assert best["speedup"] >= MIN_SPEEDUP, (
+            f"workers={best['workers']} ran only {best['speedup']:.2f}x "
+            f"faster than serial on {HOST_CPUS} CPUs "
+            f"(gate: >={MIN_SPEEDUP}x)"
+        )

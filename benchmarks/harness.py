@@ -22,6 +22,7 @@ REPO_ROOT = os.path.abspath(os.path.join(os.path.dirname(__file__), ".."))
 BENCH_SERVING_PATH = os.path.join(REPO_ROOT, "BENCH_serving.json")
 BENCH_PRUNING_PATH = os.path.join(REPO_ROOT, "BENCH_pruning.json")
 BENCH_FAULTS_PATH = os.path.join(REPO_ROOT, "BENCH_faults.json")
+BENCH_PARALLEL_PATH = os.path.join(REPO_ROOT, "BENCH_parallel.json")
 
 
 def wallclock(fn: Callable[[], Any]) -> Tuple[Any, float]:
@@ -77,6 +78,44 @@ def record_pruning_benchmark(experiment: str, **fields: Any) -> str:
 def record_faults_benchmark(experiment: str, **fields: Any) -> str:
     """Append one fault-injection measurement to ``BENCH_faults.json``."""
     return record_cumulative_benchmark(BENCH_FAULTS_PATH, experiment, **fields)
+
+
+def record_parallel_benchmark(experiment: str, **fields: Any) -> str:
+    """Append one parallel-executor measurement to ``BENCH_parallel.json``."""
+    return record_cumulative_benchmark(BENCH_PARALLEL_PATH, experiment, **fields)
+
+
+def trial_stats(samples: Sequence[float]) -> Dict[str, float]:
+    """Robust summary of repeated trials: median, IQR, quartiles, extremes.
+
+    The recorders store the median (robust to one slow trial on a shared
+    CI box) with the IQR as the spread, rather than a lone measurement —
+    perf trajectories across commits then compare like with like.
+    """
+    values = sorted(float(s) for s in samples)
+    n = len(values)
+    if n == 0:
+        return {"n": 0}
+
+    def quantile(q: float) -> float:
+        if n == 1:
+            return values[0]
+        pos = q * (n - 1)
+        lo = int(pos)
+        hi = min(lo + 1, n - 1)
+        frac = pos - lo
+        return values[lo] * (1.0 - frac) + values[hi] * frac
+
+    q25, q50, q75 = quantile(0.25), quantile(0.5), quantile(0.75)
+    return {
+        "n": n,
+        "median": q50,
+        "q25": q25,
+        "q75": q75,
+        "iqr": q75 - q25,
+        "min": values[0],
+        "max": values[-1],
+    }
 
 
 def format_table(title: str, headers: Sequence[str], rows: Iterable[Sequence]) -> str:

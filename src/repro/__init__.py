@@ -114,6 +114,7 @@ from repro.faults import (
     TransientReadError,
 )
 from repro.geo import GeoSites, EdgeAgent, CoreCoordinator, GeoRouter
+from repro.parallel import Morsel, ScanExecutor
 from repro.obs import (
     EventLog,
     MetricsRegistry,
@@ -201,6 +202,8 @@ __all__ = [
     "EdgeAgent",
     "CoreCoordinator",
     "GeoRouter",
+    "Morsel",
+    "ScanExecutor",
     "EventLog",
     "MetricsRegistry",
     "NULL_OBSERVER",

@@ -29,6 +29,7 @@ from repro.common.validation import require
 from repro.cluster.storage import DistributedStore
 from repro.engine.coordinator import CoordinatorEngine
 from repro.faults.degraded import UnknownChunk, build_degraded_answer
+from repro.parallel import partition_morsels
 from repro.queries.query import AnalyticsQuery, Answer
 from repro.queries.selections import RangeSelection
 
@@ -46,6 +47,7 @@ class SegmentStatsCache:
         grid_columns: Sequence[str],
         cells_per_dim: int = 32,
         failure_mode: str = "fail",
+        executor=None,
     ) -> None:
         require(cells_per_dim >= 2, "cells_per_dim must be >= 2")
         require(
@@ -57,7 +59,8 @@ class SegmentStatsCache:
         self.failure_mode = failure_mode
         self.grid_columns = tuple(grid_columns)
         self.cells_per_dim = cells_per_dim
-        self.coordinator = CoordinatorEngine(store)
+        self.executor = executor
+        self.coordinator = CoordinatorEngine(store, executor=executor)
         stored = store.table(table_name)
         full = stored.full_table()
         mats = full.matrix(self.grid_columns)
@@ -190,6 +193,17 @@ class SegmentStatsCache:
         stored = self.store.table(self.table_name)
         faults = self.store.faults
         faulty = faults is not None and faults.active
+        precomputed_cells = None
+        if self.executor is not None and self.executor.parallel:
+            # Cell assignment is pure compute over immutable partition
+            # data; fan it out and leave reads/charges to the loop below.
+            morsels = partition_morsels(stored.partitions)
+            precomputed_cells = self.executor.run(
+                morsels,
+                self._cell_of_rows,
+                label="canopy_directory",
+                observer=self.coordinator.observer,
+            )
         for part_idx, partition in enumerate(stored.partitions):
             if faulty:
                 data, node, extra = self.coordinator.failover.read_partition(
@@ -208,7 +222,11 @@ class SegmentStatsCache:
             else:
                 data = self.store.read_partition(partition, meter)
                 meter.advance(data.n_bytes / meter.rates.disk_bytes_per_sec)
-            cells = self._cell_of_rows(data)
+            cells = (
+                precomputed_cells[part_idx]
+                if precomputed_cells is not None
+                else self._cell_of_rows(data)
+            )
             for row_idx, key in enumerate(map(tuple, cells)):
                 self._rows.setdefault(key, []).append((part_idx, row_idx))
         self._directory_built = True

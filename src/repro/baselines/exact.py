@@ -56,6 +56,7 @@ class ExactEngine:
         pruning: bool = True,
         failure_mode: str = "fail",
         failover: Optional[FailoverPolicy] = None,
+        executor=None,
     ) -> None:
         require(
             failure_mode in ("fail", "degrade"),
@@ -71,7 +72,13 @@ class ExactEngine:
             rates=rates,
             observer=observer,
             failover=failover,
+            executor=executor,
         )
+
+    @property
+    def executor(self):
+        """The morsel pool shared with the underlying MapReduce engine."""
+        return self._engine.executor
 
     @property
     def observer(self):
@@ -180,7 +187,7 @@ class ExactEngine:
         if plan is None:
             plan = ScanPlan.scan_everything(len(stored.partitions))
 
-        lows, highs = selection.bounding_box()
+        lows, highs = selection.box()
         columns = selection.columns
         lost: Set[int] = set()
         unknown: Dict[int, UnknownChunk] = {}

@@ -110,7 +110,7 @@ class DistributedGridIndex:
 
     def cells_for_selection(self, selection) -> List[CellKey]:
         """Non-empty cells a range/radius selection may touch."""
-        lows, highs = selection.bounding_box()
+        lows, highs = selection.box()
         keys = self.cells_for_box(lows, highs)
         if isinstance(selection, RadiusSelection):
             keys = [

@@ -15,6 +15,7 @@ dispatch/serialisation per node involved.
 
 from __future__ import annotations
 
+import threading
 from dataclasses import dataclass, field, fields
 from typing import Dict, Iterable
 
@@ -116,6 +117,13 @@ class CostMeter:
     and components downstream of the meter (the BDAS stack, engines) can
     reach the observer through :attr:`observer`.  The default ``None`` keeps
     the hot path to a single identity check — no allocations per charge.
+
+    The meter is thread-safe: every charge mutates the report under one
+    lock, so concurrent charging (e.g. a shared meter touched from
+    worker threads) never loses or tears an update.  Note that while the
+    *totals* are safe under concurrency, float ``node_sec``/``elapsed_sec``
+    sums are only bit-reproducible when the charge order is — which is why
+    :mod:`repro.parallel` keeps all charging on one thread.
     """
 
     def __init__(
@@ -125,6 +133,7 @@ class CostMeter:
         self.observer = observer if (observer is not None and observer.enabled) else None
         self._report = CostReport()
         self._touched: set = set()
+        self._lock = threading.Lock()
 
     @property
     def elapsed_sec(self) -> float:
@@ -133,10 +142,11 @@ class CostMeter:
     def charge_scan(self, node_id: str, num_bytes: int, rows: int = 0) -> float:
         """Charge a sequential disk scan of ``num_bytes`` on one node."""
         seconds = num_bytes / self.rates.disk_bytes_per_sec
-        self._touch(node_id)
-        self._report.bytes_scanned += num_bytes
-        self._report.rows_examined += rows
-        self._report.node_sec += seconds
+        with self._lock:
+            self._touched.add(node_id)
+            self._report.bytes_scanned += num_bytes
+            self._report.rows_examined += rows
+            self._report.node_sec += seconds
         if self.observer is not None:
             self.observer.on_charge("scan", node_id, num_bytes, seconds)
         return seconds
@@ -151,10 +161,11 @@ class CostMeter:
         seconds = (
             num_bytes * self.rates.point_read_penalty / self.rates.disk_bytes_per_sec
         )
-        self._touch(node_id)
-        self._report.bytes_scanned += num_bytes
-        self._report.rows_examined += rows
-        self._report.node_sec += seconds
+        with self._lock:
+            self._touched.add(node_id)
+            self._report.bytes_scanned += num_bytes
+            self._report.rows_examined += rows
+            self._report.node_sec += seconds
         if self.observer is not None:
             self.observer.on_charge("point_read", node_id, num_bytes, seconds)
         return seconds
@@ -162,8 +173,9 @@ class CostMeter:
     def charge_cpu(self, node_id: str, num_bytes: int) -> float:
         """Charge CPU crunching of ``num_bytes`` on one node."""
         seconds = num_bytes / self.rates.cpu_bytes_per_sec
-        self._touch(node_id)
-        self._report.node_sec += seconds
+        with self._lock:
+            self._touched.add(node_id)
+            self._report.node_sec += seconds
         if self.observer is not None:
             self.observer.on_charge("cpu", node_id, num_bytes, seconds)
         return seconds
@@ -174,14 +186,17 @@ class CostMeter:
         """Charge a network transfer between two nodes; returns seconds."""
         if wan:
             seconds = self.rates.wan_rtt_sec + num_bytes / self.rates.wan_bytes_per_sec
-            self._report.bytes_shipped_wan += num_bytes
         else:
             seconds = self.rates.lan_rtt_sec + num_bytes / self.rates.lan_bytes_per_sec
-            self._report.bytes_shipped_lan += num_bytes
-        self._touch(src)
-        self._touch(dst)
-        self._report.messages += 1
-        self._report.node_sec += seconds
+        with self._lock:
+            if wan:
+                self._report.bytes_shipped_wan += num_bytes
+            else:
+                self._report.bytes_shipped_lan += num_bytes
+            self._touched.add(src)
+            self._touched.add(dst)
+            self._report.messages += 1
+            self._report.node_sec += seconds
         if self.observer is not None:
             self.observer.on_charge(
                 "transfer_wan" if wan else "transfer_lan", src, num_bytes, seconds
@@ -191,9 +206,10 @@ class CostMeter:
     def charge_task_startup(self, node_id: str, count: int = 1) -> float:
         """Charge launching ``count`` task containers on one node."""
         seconds = count * self.rates.task_startup_sec
-        self._touch(node_id)
-        self._report.tasks_launched += count
-        self._report.node_sec += seconds
+        with self._lock:
+            self._touched.add(node_id)
+            self._report.tasks_launched += count
+            self._report.node_sec += seconds
         if self.observer is not None:
             self.observer.on_charge("task_startup", node_id, 0, seconds)
         return seconds
@@ -201,9 +217,10 @@ class CostMeter:
     def charge_layers(self, node_id: str, layers: int) -> float:
         """Charge crossing ``layers`` stack layers on one node."""
         seconds = layers * self.rates.layer_overhead_sec
-        self._touch(node_id)
-        self._report.layers_crossed += layers
-        self._report.node_sec += seconds
+        with self._lock:
+            self._touched.add(node_id)
+            self._report.layers_crossed += layers
+            self._report.node_sec += seconds
         if self.observer is not None:
             self.observer.on_charge("layers", node_id, 0, seconds)
         return seconds
@@ -212,16 +229,19 @@ class CostMeter:
         """Advance critical-path (elapsed) time by ``seconds``."""
         if seconds < 0:
             raise ValueError(f"cannot advance time by {seconds}")
-        self._report.elapsed_sec += seconds
+        with self._lock:
+            self._report.elapsed_sec += seconds
 
     def freeze(self) -> CostReport:
         """Snapshot the meter into an independent :class:`CostReport`."""
-        snapshot = CostReport(**self._report.as_dict())
-        snapshot.nodes_touched = len(self._touched)
+        with self._lock:
+            snapshot = CostReport(**self._report.as_dict())
+            snapshot.nodes_touched = len(self._touched)
         return snapshot
 
     def _touch(self, node_id: str) -> None:
-        self._touched.add(node_id)
+        with self._lock:
+            self._touched.add(node_id)
 
     @staticmethod
     def total(reports: Iterable[CostReport], parallel: bool = False) -> CostReport:

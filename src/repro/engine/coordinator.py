@@ -25,6 +25,7 @@ from repro.engine.bdas import BDASStack
 from repro.engine.pruning import prune_row_plan
 from repro.faults.policy import FailoverPolicy
 from repro.obs.observer import NULL_OBSERVER, Observer
+from repro.parallel import Morsel, ScanExecutor
 from repro.queries.selections import Selection
 
 _REQUEST_BYTES = 256
@@ -41,6 +42,7 @@ class CoordinatorEngine:
         rates: Optional["CostRates"] = None,
         observer: Optional[Observer] = None,
         failover: Optional[FailoverPolicy] = None,
+        executor: Optional[ScanExecutor] = None,
     ) -> None:
         self.store = store
         self.topology = store.topology
@@ -50,6 +52,9 @@ class CoordinatorEngine:
         self.rates = rates
         self.observer = observer or NULL_OBSERVER
         self.failover = failover or FailoverPolicy()
+        # Morsel pool for the row materialisation (``take``) work; all
+        # charging and replica choice stays on this thread — see DESIGN §9.
+        self.executor = executor
 
     def attach_observer(self, observer: Observer) -> None:
         """Record traces/metrics/events for subsequent fetches on ``observer``."""
@@ -128,12 +133,19 @@ class CoordinatorEngine:
         require(on_lost in ("raise", "skip"), f"unknown on_lost {on_lost!r}")
         meter, obs = self._meter(meter)
         rows_by_partition = self._pruned(stored, rows_by_partition, selection, obs)
+        cache = None
+        if self.executor is not None and self.executor.parallel:
+            # Materialise each partition's rows on the pool up front; the
+            # serial loop below then only replays charges and slices the
+            # precomputed pieces (identical values to per-partition takes).
+            cache = self._parallel_pieces(stored, [rows_by_partition], obs)
         return self._fetch_one(
             stored,
             rows_by_partition,
             meter,
             obs,
             charge_stack,
+            cache=cache or None,
             on_lost=on_lost,
             lost=lost,
         )
@@ -177,17 +189,7 @@ class CoordinatorEngine:
                 self.fetch_rows(stored, plan, charge_stack=charge_stack)
                 for plan in plans
             ]
-        union: Dict[int, List[np.ndarray]] = {}
-        for plan in plans:
-            for part_index, rows in plan.items():
-                idx = np.asarray(rows, dtype=int)
-                if idx.size:
-                    union.setdefault(part_index, []).append(idx)
-        cache: Dict[int, Tuple[np.ndarray, Table]] = {}
-        for part_index, chunks in union.items():
-            partition = self._partition(stored, part_index)
-            all_idx = np.unique(np.concatenate(chunks))
-            cache[part_index] = (all_idx, partition.data.take(all_idx))
+        cache = self._parallel_pieces(stored, plans, self.observer)
         out: List[Tuple[Table, CostReport]] = []
         for plan in plans:
             meter, obs = self._meter(None)
@@ -195,6 +197,55 @@ class CoordinatorEngine:
                 self._fetch_one(stored, plan, meter, obs, charge_stack, cache)
             )
         return out
+
+    def _parallel_pieces(
+        self,
+        stored: StoredTable,
+        plans: Sequence[Dict[int, Sequence[int]]],
+        obs: Observer,
+    ) -> Dict[int, Tuple[np.ndarray, Table]]:
+        """Materialise each partition's union of requested rows.
+
+        Returns the ``{partition_index: (sorted unique indices, rows)}``
+        cache :meth:`_fetch_one` slices per plan.  The ``take`` calls are
+        pure compute over immutable partition data, so they fan out
+        across the morsel pool when one is attached (weighted by the
+        bytes each partition must materialise); without an executor the
+        same code runs inline.
+        """
+        union: Dict[int, List[np.ndarray]] = {}
+        for plan in plans:
+            for part_index, rows in plan.items():
+                idx = np.asarray(rows, dtype=int)
+                if idx.size:
+                    union.setdefault(part_index, []).append(idx)
+        if not union:
+            return {}
+        morsels: List[Morsel] = []
+        for part_index in sorted(union):
+            partition = self._partition(stored, part_index)
+            chunks = union[part_index]
+            rows_requested = sum(int(c.size) for c in chunks)
+            morsels.append(
+                Morsel(
+                    index=part_index,
+                    payload=(partition.data, chunks),
+                    size_bytes=rows_requested * int(partition.data.row_bytes),
+                )
+            )
+
+        def materialise(payload):
+            data, chunks = payload
+            all_idx = np.unique(np.concatenate(chunks))
+            return all_idx, data.take(all_idx)
+
+        if self.executor is not None:
+            results = self.executor.run(
+                morsels, materialise, label="fetch", observer=obs
+            )
+        else:
+            results = [materialise(m.payload) for m in morsels]
+        return {m.index: r for m, r in zip(morsels, results)}
 
     def _fetch_one(
         self,

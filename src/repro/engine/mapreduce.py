@@ -28,6 +28,7 @@ from repro.engine.pruning import SCAN, SKIP, SYNOPSIS, ScanPlan
 from repro.engine.resources import ResourceManager
 from repro.faults.policy import FailoverPolicy
 from repro.obs.observer import NULL_OBSERVER, Observer
+from repro.parallel import Morsel, ScanExecutor, partition_morsels
 
 MapFn = Callable[[Table], Iterable[Tuple[Any, Any]]]
 ReduceFn = Callable[[Any, List[Any]], Any]
@@ -72,6 +73,7 @@ class MapReduceEngine:
         rates: Optional["CostRates"] = None,
         observer: Optional[Observer] = None,
         failover: Optional[FailoverPolicy] = None,
+        executor: Optional[ScanExecutor] = None,
     ) -> None:
         self.store = store
         self.topology = store.topology
@@ -80,6 +82,12 @@ class MapReduceEngine:
         self.rates = rates
         self.observer = observer or NULL_OBSERVER
         self.failover = failover or FailoverPolicy()
+        # Morsel pool for the real per-partition compute (map functions,
+        # shared batch passes).  All *charging* stays on this thread in
+        # partition order, so results and costs are byte-identical to the
+        # serial path at any worker count.  None (or workers=1) keeps the
+        # historical inline loops.
+        self.executor = executor
 
     def attach_observer(self, observer: Observer) -> None:
         """Record traces/metrics/events for subsequent jobs on ``observer``."""
@@ -147,6 +155,9 @@ class MapReduceEngine:
                     map_fn,
                     meter,
                     obs,
+                    precomputed=self._parallel_map_outputs(
+                        stored, map_fn, plan, obs
+                    ),
                     plan=plan,
                     driver=driver,
                     on_lost=on_lost,
@@ -237,14 +248,19 @@ class MapReduceEngine:
         # interleave charges per job in sequential order.  Outputs are
         # indexed by partition position; entries a job never scans stay
         # None (its plan covers them from the synopsis or skips them).
+        # The per-partition passes are pure compute over immutable data,
+        # so they fan out across the morsel pool when one is attached;
+        # planning (the ``active`` lists) and the scatter stay serial.
+        obs = self.observer
         n_parts = len(stored.partitions)
         outputs_per_job: List[List[Optional[List[Tuple[Any, Any]]]]] = [
             [None] * n_parts for _ in range(n_jobs)
         ]
+        actives: Dict[int, List[int]] = {}
+        morsels: List[Morsel] = []
         for index, partition in enumerate(stored.partitions):
             if plans is None:
                 active = list(range(n_jobs))
-                per_job = multi_map_fn(partition.data)
             else:
                 active = [
                     j
@@ -253,15 +269,36 @@ class MapReduceEngine:
                 ]
                 if not active:
                     continue
-                per_job = multi_map_fn(partition.data, active)
+            actives[index] = active
+            morsels.append(
+                Morsel(
+                    index=index,
+                    payload=(partition.data, active if plans is not None else None),
+                    size_bytes=int(partition.n_bytes),
+                )
+            )
+
+        def shared_pass(payload):
+            data, active = payload
+            if active is None:
+                return multi_map_fn(data)
+            return multi_map_fn(data, active)
+
+        if self.executor is not None:
+            per_part = self.executor.run(
+                morsels, shared_pass, label="map_many", observer=obs
+            )
+        else:
+            per_part = [shared_pass(m.payload) for m in morsels]
+        for morsel, per_job in zip(morsels, per_part):
+            active = actives[morsel.index]
             require(
                 len(per_job) == len(active),
                 f"multi_map_fn returned {len(per_job)} outputs "
                 f"for {len(active)} active jobs",
             )
             for j, pairs in zip(active, per_job):
-                outputs_per_job[j][index] = list(pairs)
-        obs = self.observer
+                outputs_per_job[j][morsel.index] = list(pairs)
         out: List[Tuple[Dict[Any, Any], CostReport]] = []
         for j in range(n_jobs):
             plan = plans[j] if plans is not None else None
@@ -310,6 +347,41 @@ class MapReduceEngine:
         return out
 
     # Phases ----------------------------------------------------------------
+    def _parallel_map_outputs(
+        self,
+        stored: StoredTable,
+        map_fn: Optional[MapFn],
+        plan: Optional[ScanPlan],
+        obs: Observer,
+    ) -> Optional[List[Optional[List[Tuple[Any, Any]]]]]:
+        """Precompute map outputs on the worker pool (None = run inline).
+
+        Only plan-scanned partitions enqueue morsels; skipped and
+        synopsis-covered partitions never reach the pool.  Workers run
+        ``map_fn`` over the immutable partition data and nothing else —
+        every charge, failover retry, and span is replayed serially by
+        :meth:`_map_phase` with these outputs, which is what keeps the
+        parallel run byte-identical to the serial one.
+        """
+        executor = self.executor
+        if executor is None or not executor.parallel or map_fn is None:
+            return None
+        should_scan = None
+        if plan is not None:
+            should_scan = lambda i: plan.actions[i] == SCAN
+        morsels = partition_morsels(stored.partitions, should_scan)
+        if not morsels:
+            return None
+        results = executor.run(
+            morsels, lambda data: list(map_fn(data)), label="map", observer=obs
+        )
+        outputs: List[Optional[List[Tuple[Any, Any]]]] = [None] * len(
+            stored.partitions
+        )
+        for morsel, pairs in zip(morsels, results):
+            outputs[morsel.index] = pairs
+        return outputs
+
     def _engaged_nodes(
         self,
         stored: StoredTable,

@@ -1,7 +1,7 @@
 """Zone-map scan planning: which partitions a query must actually read.
 
 Before an engine fans a job out over a stored table, the query's
-``Selection.bounding_box()`` is intersected with every partition's
+cached ``Selection.box()`` is intersected with every partition's
 :class:`~repro.cluster.synopsis.PartitionSynopsis`:
 
 * **skip** — the box is provably disjoint from the partition's zone map
@@ -119,7 +119,7 @@ def plan_scan(
     With ``aggregate=None`` only skip-vs-scan pruning applies — the mode
     used when the caller needs the matching *rows*, not a partial.
     """
-    lows, highs = selection.bounding_box()
+    lows, highs = selection.box()
     columns = selection.columns
     covering = aggregate is not None and selection.box_is_exact
     actions: List[str] = []
@@ -151,7 +151,7 @@ def prune_row_plan(
     that filter the fetched rows by ``selection`` afterwards — the
     dropped rows provably cannot satisfy it.
     """
-    lows, highs = selection.bounding_box()
+    lows, highs = selection.box()
     columns = selection.columns
     kept: Dict[int, Sequence[int]] = {}
     pruned = 0

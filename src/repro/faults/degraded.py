@@ -69,7 +69,7 @@ class UnknownChunk:
         """The chunk's value range for ``column``, clipped to the box."""
         mn, mx = self.stats.get(column, (-_INF, _INF))
         if selection is not None and column in selection.columns:
-            lows, highs = selection.bounding_box()
+            lows, highs = selection.box()
             i = selection.columns.index(column)
             mn = max(mn, float(lows[i]))
             mx = min(mx, float(highs[i]))

@@ -26,6 +26,7 @@ scheduled window.
 
 from __future__ import annotations
 
+import threading
 from typing import Dict, List, Optional, Set
 
 from repro.common.errors import NodeUnavailableError, TransientReadError
@@ -54,6 +55,13 @@ class FaultInjector:
         # Counters (also mirrored to the observer as fault_* metrics).
         self.n_unavailable = 0
         self.n_transient = 0
+        # Reentrant: advance/crash/recover call is_down/_note_* internally.
+        # Guards the clock, the forced sets, the RNG stream, and the
+        # counters so concurrent readers (repro.parallel keeps injector
+        # hooks on the calling thread, but a shared injector may still be
+        # consulted from several sessions) never tear state or split an
+        # RNG draw.
+        self._lock = threading.RLock()
 
     def attach_observer(self, observer: Observer) -> None:
         """Emit crash/recover events and fault counters on ``observer``."""
@@ -63,45 +71,50 @@ class FaultInjector:
     def advance(self, seconds: float) -> float:
         """Advance the injector clock, firing window-boundary events."""
         require(seconds >= 0.0, f"cannot advance time by {seconds}")
-        before = self.now
-        self.now = before + seconds
-        if self.observer.enabled:
-            for window in self.schedule.crashes:
-                if before < window.start <= self.now:
-                    self._note_down(window.node_id, at=window.start)
-                if before < window.end <= self.now:
-                    self._note_up(window.node_id, at=window.end)
-        return self.now
+        with self._lock:
+            before = self.now
+            self.now = before + seconds
+            if self.observer.enabled:
+                for window in self.schedule.crashes:
+                    if before < window.start <= self.now:
+                        self._note_down(window.node_id, at=window.start)
+                    if before < window.end <= self.now:
+                        self._note_up(window.node_id, at=window.end)
+            return self.now
 
     def set_time(self, at: float) -> float:
         """Jump the clock to ``at`` (forward only)."""
-        require(at >= self.now, f"clock cannot go back ({self.now} -> {at})")
-        return self.advance(at - self.now)
+        with self._lock:
+            require(at >= self.now, f"clock cannot go back ({self.now} -> {at})")
+            return self.advance(at - self.now)
 
     # Manual control --------------------------------------------------------
     def crash(self, node_id: str) -> None:
         """Force ``node_id`` down now, regardless of the schedule."""
-        self._forced_up.discard(node_id)
-        if node_id not in self._forced_down:
-            self._forced_down.add(node_id)
-            self._note_down(node_id, at=self.now)
+        with self._lock:
+            self._forced_up.discard(node_id)
+            if node_id not in self._forced_down:
+                self._forced_down.add(node_id)
+                self._note_down(node_id, at=self.now)
 
     def recover(self, node_id: str) -> None:
         """Force ``node_id`` up now, cancelling any open crash window."""
-        self._forced_down.discard(node_id)
-        if self.is_down(node_id):
-            self._forced_up.add(node_id)
-            self._note_up(node_id, at=self.now)
-        else:
-            self._forced_up.add(node_id)
+        with self._lock:
+            self._forced_down.discard(node_id)
+            if self.is_down(node_id):
+                self._forced_up.add(node_id)
+                self._note_up(node_id, at=self.now)
+            else:
+                self._forced_up.add(node_id)
 
     # State queries ---------------------------------------------------------
     def is_down(self, node_id: str) -> bool:
-        if node_id in self._forced_down:
-            return True
-        if node_id in self._forced_up:
-            return False
-        return self.schedule.down_at(node_id, self.now)
+        with self._lock:
+            if node_id in self._forced_down:
+                return True
+            if node_id in self._forced_up:
+                return False
+            return self.schedule.down_at(node_id, self.now)
 
     def down_nodes(self, node_ids) -> List[str]:
         """The subset of ``node_ids`` currently down (input order)."""
@@ -119,19 +132,28 @@ class FaultInjector:
     # Read-path hooks (called by DistributedStore) --------------------------
     def check_available(self, node_id: str, partition_id: str = "") -> None:
         """Raise :class:`NodeUnavailableError` if ``node_id`` is down."""
-        if self.is_down(node_id):
+        with self._lock:
+            if not self.is_down(node_id):
+                return
             self.n_unavailable += 1
             if self.observer.enabled:
                 self.observer.inc("fault_unavailable_reads_total", node=node_id)
-            raise NodeUnavailableError(node_id, partition_id)
+        raise NodeUnavailableError(node_id, partition_id)
 
     def maybe_fail_read(self, node_id: str, partition_id: str = "") -> None:
         """Draw one seeded transient failure for a served read attempt."""
         rate = self.schedule.error_rates.get(node_id)
-        if rate and self._rng.random() < rate:
-            self.n_transient += 1
-            if self.observer.enabled:
-                self.observer.inc("fault_transient_errors_total", node=node_id)
+        if not rate:
+            return
+        with self._lock:
+            failed = self._rng.random() < rate
+            if failed:
+                self.n_transient += 1
+                if self.observer.enabled:
+                    self.observer.inc(
+                        "fault_transient_errors_total", node=node_id
+                    )
+        if failed:
             raise TransientReadError(node_id, partition_id)
 
     # Internals -------------------------------------------------------------

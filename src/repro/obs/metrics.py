@@ -9,10 +9,16 @@ Latency histograms reuse :class:`repro.ml.sketches.ReservoirSample` for
 bounded-memory quantile estimation (the same primitive the AQP baselines
 use), and expose as Prometheus *summaries*: ``{quantile="0.5"}`` sample
 lines plus ``_sum``/``_count``.
+
+The registry is thread-safe end to end: child creation (family and
+label lookup) and every update (``inc``/``set``/``observe``) are
+lock-protected, so concurrent charging from :mod:`repro.parallel`
+worker threads can never lose an increment or tear a histogram.
 """
 
 from __future__ import annotations
 
+import threading
 from typing import Dict, Iterable, List, Optional, Tuple
 
 import numpy as np
@@ -38,40 +44,52 @@ def _render_labels(key: LabelKey, extra: Optional[Tuple[str, str]] = None) -> st
 
 
 class Counter:
-    """Monotonically increasing value."""
+    """Monotonically increasing value (lock-protected)."""
 
-    __slots__ = ("value",)
+    __slots__ = ("value", "_lock")
 
     def __init__(self) -> None:
         self.value = 0.0
+        self._lock = threading.Lock()
 
     def inc(self, amount: float = 1.0) -> None:
         require(amount >= 0, "counters only go up")
-        self.value += amount
+        with self._lock:
+            self.value += amount
 
 
 class Gauge:
-    """A value that can go up and down."""
+    """A value that can go up and down (lock-protected)."""
 
-    __slots__ = ("value",)
+    __slots__ = ("value", "_lock")
 
     def __init__(self) -> None:
         self.value = 0.0
+        self._lock = threading.Lock()
 
     def set(self, value: float) -> None:
-        self.value = float(value)
+        value = float(value)
+        with self._lock:
+            self.value = value
 
     def inc(self, amount: float = 1.0) -> None:
-        self.value += amount
+        with self._lock:
+            self.value += amount
 
     def dec(self, amount: float = 1.0) -> None:
-        self.value -= amount
+        with self._lock:
+            self.value -= amount
 
 
 class Histogram:
-    """Reservoir-backed distribution: count, sum, and quantiles."""
+    """Reservoir-backed distribution: count, sum, and quantiles.
 
-    __slots__ = ("count", "total", "_min", "_max", "_reservoir")
+    ``observe`` touches several fields plus the reservoir, so updates
+    and quantile reads share one lock — a torn observation would
+    otherwise desynchronise ``count`` from the reservoir state.
+    """
+
+    __slots__ = ("count", "total", "_min", "_max", "_reservoir", "_lock")
 
     def __init__(self, reservoir_size: int = 512, seed: int = 0) -> None:
         self.count = 0
@@ -79,18 +97,21 @@ class Histogram:
         self._min = float("inf")
         self._max = float("-inf")
         self._reservoir = ReservoirSample(reservoir_size, seed=seed)
+        self._lock = threading.Lock()
 
     def observe(self, value: float) -> None:
         value = float(value)
-        self.count += 1
-        self.total += value
-        self._min = min(self._min, value)
-        self._max = max(self._max, value)
-        self._reservoir.add(value)
+        with self._lock:
+            self.count += 1
+            self.total += value
+            self._min = min(self._min, value)
+            self._max = max(self._max, value)
+            self._reservoir.add(value)
 
     def quantile(self, q: float) -> float:
         """Estimated ``q``-quantile from the reservoir (nan when empty)."""
-        sample = self._reservoir.sample
+        with self._lock:
+            sample = list(self._reservoir.sample)
         if not sample:
             return float("nan")
         return float(np.quantile(np.asarray(sample, dtype=float), q))
@@ -110,14 +131,20 @@ class MetricFamily:
         self.help_text = help_text
         self._child_kwargs = child_kwargs
         self._children: Dict[LabelKey, object] = {}
+        self._lock = threading.Lock()
 
     def labels(self, **labels: str):
         """The child metric for this label set (created on first use)."""
         key = _label_key(labels)
         child = self._children.get(key)
         if child is None:
-            child = self._new_child()
-            self._children[key] = child
+            # Check-then-create under the lock: two threads racing on a
+            # fresh label set must agree on one child object.
+            with self._lock:
+                child = self._children.get(key)
+                if child is None:
+                    child = self._new_child()
+                    self._children[key] = child
         return child
 
     def _new_child(self):
@@ -142,7 +169,8 @@ class MetricFamily:
         return self.labels().value
 
     def children(self) -> Iterable[Tuple[LabelKey, object]]:
-        return sorted(self._children.items())
+        with self._lock:
+            return sorted(self._children.items())
 
 
 class MetricsRegistry:
@@ -151,6 +179,7 @@ class MetricsRegistry:
     def __init__(self, quantiles: Tuple[float, ...] = (0.5, 0.9, 0.99)) -> None:
         self.quantiles = quantiles
         self._families: Dict[str, MetricFamily] = {}
+        self._lock = threading.Lock()
 
     # Family constructors ----------------------------------------------------
     def counter(self, name: str, help_text: str = "") -> MetricFamily:
@@ -169,20 +198,24 @@ class MetricsRegistry:
     def _family(self, name: str, kind: str, help_text: str, **kwargs) -> MetricFamily:
         family = self._families.get(name)
         if family is None:
-            family = MetricFamily(name, kind, help_text, **kwargs)
-            self._families[name] = family
-        else:
-            require(
-                family.kind == kind,
-                f"metric {name!r} already registered as {family.kind}",
-            )
-            if help_text and not family.help_text:
-                family.help_text = help_text
+            with self._lock:
+                family = self._families.get(name)
+                if family is None:
+                    family = MetricFamily(name, kind, help_text, **kwargs)
+                    self._families[name] = family
+                    return family
+        require(
+            family.kind == kind,
+            f"metric {name!r} already registered as {family.kind}",
+        )
+        if help_text and not family.help_text:
+            family.help_text = help_text
         return family
 
     # Views ------------------------------------------------------------------
     def families(self) -> List[MetricFamily]:
-        return [self._families[name] for name in sorted(self._families)]
+        with self._lock:
+            return [self._families[name] for name in sorted(self._families)]
 
     def as_dict(self) -> Dict[str, float]:
         """Flat ``{exposition-style name: value}`` snapshot.

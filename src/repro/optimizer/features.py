@@ -35,7 +35,7 @@ def synopsis_estimates(
     """
     if not synopses:
         return 1.0, 1.0
-    lows, highs = selection.bounding_box()
+    lows, highs = selection.box()
     columns = selection.columns
     est = estimate_selectivity(synopses, columns, lows, highs)
     overlapping = sum(

@@ -45,6 +45,20 @@ class Selection:
         """(lows, highs) box enclosing the selected subspace."""
         raise NotImplementedError
 
+    #: Per-instance cache behind :meth:`box` (class attr = unset).
+    _box_cache: Tuple[np.ndarray, np.ndarray] = None
+
+    def box(self) -> Tuple[np.ndarray, np.ndarray]:
+        """Cached :meth:`bounding_box` — hoists the per-query invariant.
+
+        Selections are immutable after construction, so the box is
+        computed once per instance no matter how many partitions a plan
+        consults it for.  Callers must not mutate the returned arrays.
+        """
+        if self._box_cache is None:
+            self._box_cache = self.bounding_box()
+        return self._box_cache
+
     @property
     def dim(self) -> int:
         return len(self.columns)
@@ -144,6 +158,8 @@ def batch_masks(selections: Sequence[Selection], table: Table) -> List[np.ndarra
     every mask is bitwise equal to ``selection.mask(table)``.  Mixed
     batches fall back to the per-selection loop.
     """
+    if not selections:
+        return []
     if len(selections) >= 2 and all(
         type(s) is RangeSelection for s in selections
     ):
@@ -186,12 +202,19 @@ class KNNSelection(Selection):
         self.k = int(k)
 
     def mask(self, table: Table) -> np.ndarray:
+        n = table.n_rows
+        if n == 0:
+            return np.zeros(0, dtype=bool)
+        if self.k >= n:
+            # Fewer rows than neighbours asked for: every row qualifies
+            # (argpartition with kth == n-1 is legal but pointless, and
+            # kth would go negative for an empty partition).
+            return np.ones(n, dtype=bool)
         points = table.matrix(self.columns)
         diff = points - self.point
         dist = np.einsum("ij,ij->i", diff, diff)
-        k = min(self.k, table.n_rows)
-        idx = np.argpartition(dist, k - 1)[:k]
-        out = np.zeros(table.n_rows, dtype=bool)
+        idx = np.argpartition(dist, self.k - 1)[: self.k]
+        out = np.zeros(n, dtype=bool)
         out[idx] = True
         return out
 

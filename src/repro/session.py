@@ -36,6 +36,7 @@ from repro.core.persistence import load_agent_models, save_agent_models
 from repro.data.tabular import Table
 from repro.explain.explanations import Explanation, ExplanationBuilder
 from repro.obs.observer import Observer, StackObserver
+from repro.parallel import ScanExecutor
 from repro.queries.query import AnalyticsQuery
 from repro.queries.sql import parse_query
 
@@ -82,11 +83,18 @@ class SEASession:
         config: Optional[AgentConfig] = None,
         partitions_per_node: int = 2,
         observer: Optional[Observer] = None,
+        workers: int = 1,
     ) -> None:
+        """``workers`` sizes the session's morsel pool (DESIGN §9):
+        ``workers=1`` (the default) is the serial path; higher counts fan
+        partition-level compute across real host threads while every
+        answer, cost report and serving statistic stays byte-identical.
+        """
         require(n_nodes >= 1, "n_nodes must be >= 1")
         self.topology = ClusterTopology.single_datacenter(n_nodes)
         self.store = DistributedStore(self.topology, replication=replication)
-        self.engine = ExactEngine(self.store)
+        self.executor = ScanExecutor(workers)
+        self.engine = ExactEngine(self.store, executor=self.executor)
         self.agent = SEAAgent(self.engine, config or AgentConfig())
         self.partitions_per_node = partitions_per_node
         self._explainer = ExplanationBuilder(n_probes=13, span=(0.6, 1.4))
@@ -108,7 +116,19 @@ class SEASession:
             observer = StackObserver()
         self.observer = observer
         self.agent.attach_observer(observer)
+        self.executor.attach_observer(observer)
         return observer
+
+    def close(self) -> None:
+        """Shut down the session's worker pool (idempotent)."""
+        self.executor.close()
+
+    def __enter__(self) -> "SEASession":
+        return self
+
+    def __exit__(self, *exc) -> bool:
+        self.close()
+        return False
 
     def _require_observer(self) -> Observer:
         if self.observer is None or not self.observer.enabled:
