@@ -23,6 +23,7 @@ BENCH_SERVING_PATH = os.path.join(REPO_ROOT, "BENCH_serving.json")
 BENCH_PRUNING_PATH = os.path.join(REPO_ROOT, "BENCH_pruning.json")
 BENCH_FAULTS_PATH = os.path.join(REPO_ROOT, "BENCH_faults.json")
 BENCH_PARALLEL_PATH = os.path.join(REPO_ROOT, "BENCH_parallel.json")
+BENCH_OBS_PATH = os.path.join(REPO_ROOT, "BENCH_obs.json")
 
 
 def wallclock(fn: Callable[[], Any]) -> Tuple[Any, float]:
@@ -83,6 +84,11 @@ def record_faults_benchmark(experiment: str, **fields: Any) -> str:
 def record_parallel_benchmark(experiment: str, **fields: Any) -> str:
     """Append one parallel-executor measurement to ``BENCH_parallel.json``."""
     return record_cumulative_benchmark(BENCH_PARALLEL_PATH, experiment, **fields)
+
+
+def record_obs_benchmark(experiment: str, **fields: Any) -> str:
+    """Append one observability-overhead measurement to ``BENCH_obs.json``."""
+    return record_cumulative_benchmark(BENCH_OBS_PATH, experiment, **fields)
 
 
 def trial_stats(samples: Sequence[float]) -> Dict[str, float]:

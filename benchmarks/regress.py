@@ -1,0 +1,299 @@
+"""Benchmark regression sentinel over the repo-root BENCH_*.json files.
+
+Every benchmark appends its measurements to a cumulative trajectory file
+(``{"entries": [...]}``; see :func:`harness.record_cumulative_benchmark`).
+This sentinel diffs the **newest** entry of each trajectory group against
+the group's **prior history** and exits nonzero when a headline metric
+regressed beyond tolerance — the cheap tripwire that keeps a perf loss
+from landing silently in a committed trajectory.
+
+Grouping: entries only compare like with like — same experiment and the
+same scale knobs (rows, partitions, ...), so a reduced-scale CI smoke run
+forms its own trajectory and never diffs against a full local run.
+
+Baseline and tolerance: the baseline is the **median** of the prior
+entries' headline values (robust to one lucky or unlucky historical
+run), and the allowed delta is::
+
+    allowed = max(rel_tolerance * |baseline|,
+                  iqr_scale * max(prior IQR, newest entry's own IQR))
+
+The relative term absorbs ambient machine noise; the IQR terms widen the
+band for metrics whose history (or whose own repeated trials — the
+recorders store median + IQR for exactly this reason) was noisy.  Groups
+with fewer than ``min_prior`` prior entries are skipped: one data point
+is not a trend.
+
+Usage::
+
+    python benchmarks/regress.py            # check repo-root BENCH files
+    python benchmarks/regress.py --root DIR --tolerance 0.10 --iqr-scale 1.5
+"""
+
+from __future__ import annotations
+
+import argparse
+import json
+import os
+import sys
+from typing import Any, Dict, List, Optional, Sequence, Tuple
+
+#: One headline measurement: (metric name, value, direction, own-iqr).
+#: ``direction`` is "higher" (bigger is better) or "lower".
+Headline = Tuple[str, float, str, float]
+
+DEFAULT_REL_TOLERANCE = 0.10
+DEFAULT_IQR_SCALE = 1.5
+DEFAULT_MIN_PRIOR = 2
+
+
+def _quartiles(values: Sequence[float]) -> Tuple[float, float, float]:
+    """(q25, median, q75) with linear interpolation (matches trial_stats)."""
+    ordered = sorted(float(v) for v in values)
+    n = len(ordered)
+
+    def quantile(q: float) -> float:
+        if n == 1:
+            return ordered[0]
+        pos = q * (n - 1)
+        lo = int(pos)
+        hi = min(lo + 1, n - 1)
+        frac = pos - lo
+        return ordered[lo] * (1.0 - frac) + ordered[hi] * frac
+
+    return quantile(0.25), quantile(0.5), quantile(0.75)
+
+
+def _median(values: Sequence[float]) -> float:
+    return _quartiles(values)[1]
+
+
+# Per-file headline extractors -----------------------------------------------
+def _serving_headlines(entry: Dict[str, Any]) -> List[Headline]:
+    out: List[Headline] = []
+    for metric in ("batched_qps", "sequential_qps"):
+        value = entry.get(metric)
+        if isinstance(value, (int, float)):
+            iqr = entry.get(f"{metric}_iqr")
+            out.append(
+                (
+                    metric,
+                    float(value),
+                    "higher",
+                    float(iqr) if isinstance(iqr, (int, float)) else 0.0,
+                )
+            )
+    return out
+
+
+def _serving_group(entry: Dict[str, Any]) -> Tuple:
+    return (entry.get("experiment"), entry.get("rows"), entry.get("queries"))
+
+
+def _pruning_headlines(entry: Dict[str, Any]) -> List[Headline]:
+    sweep = entry.get("sweep") or []
+    ratios = [
+        row["bytes_ratio"]
+        for row in sweep
+        if isinstance(row, dict) and isinstance(row.get("bytes_ratio"), (int, float))
+    ]
+    if not ratios:
+        return []
+    return [("bytes_ratio_median", _median(ratios), "higher", 0.0)]
+
+
+def _pruning_group(entry: Dict[str, Any]) -> Tuple:
+    return (
+        entry.get("experiment"),
+        entry.get("n_rows"),
+        entry.get("partitions"),
+        entry.get("value_bytes"),
+    )
+
+
+def _faults_headlines(entry: Dict[str, Any]) -> List[Headline]:
+    scenarios = entry.get("scenarios") or []
+    values = [
+        row["agent_availability"]
+        for row in scenarios
+        if isinstance(row, dict)
+        and isinstance(row.get("agent_availability"), (int, float))
+    ]
+    if not values:
+        return []
+    return [("agent_availability_min", min(float(v) for v in values), "higher", 0.0)]
+
+
+def _faults_group(entry: Dict[str, Any]) -> Tuple:
+    return (
+        entry.get("experiment"),
+        entry.get("n_rows"),
+        entry.get("n_nodes"),
+        entry.get("n_queries"),
+    )
+
+
+def _parallel_headlines(entry: Dict[str, Any]) -> List[Headline]:
+    for row in entry.get("sweep") or []:
+        if isinstance(row, dict) and row.get("workers") == 1:
+            value = row.get("wall_sec_median")
+            if isinstance(value, (int, float)):
+                iqr = row.get("wall_sec_iqr")
+                return [
+                    (
+                        "serial_wall_sec_median",
+                        float(value),
+                        "lower",
+                        float(iqr) if isinstance(iqr, (int, float)) else 0.0,
+                    )
+                ]
+    return []
+
+
+def _parallel_group(entry: Dict[str, Any]) -> Tuple:
+    return (entry.get("experiment"), entry.get("n_rows"), entry.get("partitions"))
+
+
+def _obs_headlines(entry: Dict[str, Any]) -> List[Headline]:
+    value = entry.get("detached_qps")
+    if not isinstance(value, (int, float)):
+        return []
+    iqr = entry.get("detached_qps_iqr")
+    return [
+        (
+            "detached_qps",
+            float(value),
+            "higher",
+            float(iqr) if isinstance(iqr, (int, float)) else 0.0,
+        )
+    ]
+
+
+def _obs_group(entry: Dict[str, Any]) -> Tuple:
+    return (entry.get("experiment"), entry.get("rows"), entry.get("queries"))
+
+
+#: filename -> (group key fn, headline extractor).
+REGISTRY = {
+    "BENCH_serving.json": (_serving_group, _serving_headlines),
+    "BENCH_pruning.json": (_pruning_group, _pruning_headlines),
+    "BENCH_faults.json": (_faults_group, _faults_headlines),
+    "BENCH_parallel.json": (_parallel_group, _parallel_headlines),
+    "BENCH_obs.json": (_obs_group, _obs_headlines),
+}
+
+
+def load_entries(path: str) -> List[Dict[str, Any]]:
+    try:
+        with open(path) as handle:
+            payload = json.load(handle)
+    except (OSError, ValueError):
+        return []
+    entries = payload.get("entries") if isinstance(payload, dict) else None
+    return [e for e in entries or [] if isinstance(e, dict)]
+
+
+def check_file(
+    path: str,
+    rel_tolerance: float = DEFAULT_REL_TOLERANCE,
+    iqr_scale: float = DEFAULT_IQR_SCALE,
+    min_prior: int = DEFAULT_MIN_PRIOR,
+) -> Tuple[List[str], List[str]]:
+    """Diff one trajectory file; returns (regressions, checked lines)."""
+    name = os.path.basename(path)
+    group_fn, headline_fn = REGISTRY[name]
+    entries = load_entries(path)
+    regressions: List[str] = []
+    checked: List[str] = []
+    groups: Dict[Tuple, List[Dict[str, Any]]] = {}
+    for entry in entries:
+        groups.setdefault(group_fn(entry), []).append(entry)
+    for key, group in groups.items():
+        newest = group[-1]
+        prior = group[:-1]
+        if len(prior) < min_prior:
+            continue
+        for metric, value, direction, own_iqr in headline_fn(newest):
+            history = [
+                (v, h_iqr)
+                for p in prior
+                for m, v, d, h_iqr in headline_fn(p)
+                if m == metric and d == direction
+            ]
+            if len(history) < min_prior:
+                continue
+            values = [h[0] for h in history]
+            q25, baseline, q75 = _quartiles(values)
+            prior_iqr = q75 - q25
+            allowed = max(
+                rel_tolerance * abs(baseline),
+                iqr_scale * max(prior_iqr, own_iqr),
+            )
+            if direction == "higher":
+                regressed = value < baseline - allowed
+            else:
+                regressed = value > baseline + allowed
+            line = (
+                f"{name} {key}: {metric}={value:.6g} "
+                f"baseline={baseline:.6g} allowed_delta={allowed:.6g} "
+                f"n_prior={len(values)}"
+            )
+            checked.append(line)
+            if regressed:
+                regressions.append("REGRESSION " + line)
+    return regressions, checked
+
+
+def main(argv: Optional[Sequence[str]] = None) -> int:
+    parser = argparse.ArgumentParser(description=__doc__.split("\n")[0])
+    parser.add_argument(
+        "--root",
+        default=os.path.abspath(os.path.join(os.path.dirname(__file__), "..")),
+        help="directory holding the BENCH_*.json trajectory files",
+    )
+    parser.add_argument(
+        "--tolerance",
+        type=float,
+        default=DEFAULT_REL_TOLERANCE,
+        help="relative headline tolerance (default 0.10 = 10%%)",
+    )
+    parser.add_argument(
+        "--iqr-scale",
+        type=float,
+        default=DEFAULT_IQR_SCALE,
+        help="IQR multiplier widening the tolerance band (default 1.5)",
+    )
+    parser.add_argument(
+        "--min-prior",
+        type=int,
+        default=DEFAULT_MIN_PRIOR,
+        help="prior entries a group needs before it is gated (default 2)",
+    )
+    args = parser.parse_args(argv)
+    all_regressions: List[str] = []
+    n_checked = 0
+    for name in sorted(REGISTRY):
+        path = os.path.join(args.root, name)
+        if not os.path.exists(path):
+            continue
+        regressions, checked = check_file(
+            path,
+            rel_tolerance=args.tolerance,
+            iqr_scale=args.iqr_scale,
+            min_prior=args.min_prior,
+        )
+        n_checked += len(checked)
+        for line in checked:
+            print("checked:", line)
+        all_regressions.extend(regressions)
+    if all_regressions:
+        print(f"\n{len(all_regressions)} benchmark regression(s):", file=sys.stderr)
+        for line in all_regressions:
+            print(" ", line, file=sys.stderr)
+        return 1
+    print(f"\nno regressions across {n_checked} headline comparison(s)")
+    return 0
+
+
+if __name__ == "__main__":
+    raise SystemExit(main())

@@ -71,10 +71,10 @@ def main(out_dir="."):
     for entry in log.entries[:3]:
         selector.choose(entry.features)
 
-    # 5. Export all three artefacts.
-    trace = session.export_trace(f"{out_dir}/trace.json")
-    metrics = session.export_metrics(f"{out_dir}/metrics.prom")
-    events = session.export_events(f"{out_dir}/events.jsonl")
+    # 5. Export all three artefacts (overwrite: the tour is re-runnable).
+    trace = session.export_trace(f"{out_dir}/trace.json", overwrite=True)
+    metrics = session.export_metrics(f"{out_dir}/metrics.prom", overwrite=True)
+    events = session.export_events(f"{out_dir}/events.jsonl", overwrite=True)
     print(f"wrote {trace}, {metrics}, {events}")
 
     # 6. What the observer saw, in numbers.

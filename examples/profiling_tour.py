@@ -1,0 +1,95 @@
+"""Profiling tour: EXPLAIN, EXPLAIN ANALYZE, and session health.
+
+Walks the query flight recorder end to end (DESIGN §10):
+
+1. ``session.explain(sql)`` — plan a query *without executing it*: the
+   zone-map scan plan (skip / synopsis / scan per partition, bytes the
+   pruning saves) plus the serving path the agent would take, with the
+   error estimate driving that decision.
+2. ``answer.profile`` — every answer served under an observer carries an
+   ``EXPLAIN ANALYZE`` profile: the plan plus actuals — per-phase
+   simulated times, cache hits, fault history, and the cost report the
+   meter actually charged.
+3. ``session.health()`` — rolling SLO burn rates per query class plus
+   the accuracy-drift anomaly counters.
+4. ``session.export_observability(dir)`` — one-shot dump of every
+   surface: trace, metrics, events, profiles, health.
+
+Run:  python examples/profiling_tour.py [--out DIR]
+"""
+
+import argparse
+import json
+
+from repro import (
+    AgentConfig,
+    Count,
+    InterestProfile,
+    SEASession,
+    SLOPolicy,
+    SLOTarget,
+    WorkloadGenerator,
+    gaussian_mixture_table,
+)
+
+
+def main(out_dir):
+    session = SEASession(
+        n_nodes=8,
+        config=AgentConfig(training_budget=300, error_threshold=0.15),
+    )
+    session.attach_observer()
+    table = gaussian_mixture_table(
+        60_000, dims=("x0", "x1"), seed=1, name="sensors"
+    )
+    session.load_table(table)
+
+    # 1. EXPLAIN: plan only, nothing executed, nothing charged.
+    statement = (
+        "SELECT COUNT(*) FROM sensors "
+        "WHERE x0 BETWEEN 20 AND 45 AND x1 BETWEEN 55 AND 80"
+    )
+    print("=" * 72)
+    print(session.explain(statement).render())
+
+    # 2. Serve a mixed workload, then EXPLAIN ANALYZE a served answer.
+    profile = InterestProfile.from_table(table, ("x0", "x1"), 4, seed=2)
+    workload = WorkloadGenerator(
+        "sensors", ("x0", "x1"), profile, aggregate=Count(), seed=3
+    )
+    session.attach_slo(
+        SLOPolicy(default=SLOTarget(latency_sec=2.0, objective=0.9))
+    )
+    answers = [session.submit(q) for q in workload.batch(900)]
+    modes = [a.mode for a in answers]
+    print("=" * 72)
+    print("serve modes:", {m: modes.count(m) for m in sorted(set(modes))})
+
+    exact = next(a for a in reversed(answers) if a.mode != "predicted")
+    print("=" * 72)
+    print(exact.profile.render())
+    predicted = next(
+        (a for a in reversed(answers) if a.mode == "predicted"), None
+    )
+    if predicted is not None:
+        print("=" * 72)
+        print(predicted.profile.render())
+
+    # 3. Health: SLO burn rates + accuracy-drift counters.
+    health = session.health()
+    print("=" * 72)
+    print(json.dumps(health, indent=2, sort_keys=True))
+
+    # 4. One-shot export of every observability surface.
+    paths = session.export_observability(out_dir, overwrite=True)
+    print("=" * 72)
+    for surface, path in sorted(paths.items()):
+        print(f"wrote {surface:<9} -> {path}")
+
+
+if __name__ == "__main__":
+    parser = argparse.ArgumentParser(description=__doc__.split("\n")[0])
+    parser.add_argument(
+        "--out", default="profiling_tour_out", help="export directory"
+    )
+    main(parser.parse_args().out)

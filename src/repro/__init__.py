@@ -116,10 +116,16 @@ from repro.faults import (
 from repro.geo import GeoSites, EdgeAgent, CoreCoordinator, GeoRouter
 from repro.parallel import Morsel, ScanExecutor
 from repro.obs import (
+    AccuracyDriftMonitor,
     EventLog,
+    FlightRecorder,
     MetricsRegistry,
     NULL_OBSERVER,
     Observer,
+    QueryProfile,
+    SLOMonitor,
+    SLOPolicy,
+    SLOTarget,
     StackObserver,
     TraceRecorder,
 )
@@ -204,10 +210,16 @@ __all__ = [
     "GeoRouter",
     "Morsel",
     "ScanExecutor",
+    "AccuracyDriftMonitor",
     "EventLog",
+    "FlightRecorder",
     "MetricsRegistry",
     "NULL_OBSERVER",
     "Observer",
+    "QueryProfile",
+    "SLOMonitor",
+    "SLOPolicy",
+    "SLOTarget",
     "StackObserver",
     "TraceRecorder",
     "SEASession",

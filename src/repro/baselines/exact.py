@@ -104,19 +104,66 @@ class ExactEngine:
 
     def _note_plan(self, query: AnalyticsQuery, plan: Optional[ScanPlan]) -> None:
         obs = self._engine.observer
-        if plan is None or not obs.enabled:
+        if not obs.enabled:
             return
-        labels = {"table": query.table_name}
-        obs.inc("prune_partitions_scanned_total", plan.n_scanned, **labels)
-        obs.inc("prune_partitions_skipped_total", plan.n_skipped, **labels)
-        obs.inc("prune_partitions_covered_total", plan.n_covered, **labels)
-        obs.event(
-            "pruning",
-            table=query.table_name,
-            aggregate=type(query.aggregate).__name__,
-            scanned=plan.n_scanned,
-            skipped=plan.n_skipped,
-            covered=plan.n_covered,
+        if plan is not None:
+            labels = {"table": query.table_name}
+            obs.inc("prune_partitions_scanned_total", plan.n_scanned, **labels)
+            obs.inc("prune_partitions_skipped_total", plan.n_skipped, **labels)
+            obs.inc("prune_partitions_covered_total", plan.n_covered, **labels)
+            obs.event(
+                "pruning",
+                table=query.table_name,
+                aggregate=type(query.aggregate).__name__,
+                scanned=plan.n_scanned,
+                skipped=plan.n_skipped,
+                covered=plan.n_covered,
+            )
+        self._profile_plan(query, plan)
+
+    def _profile_plan(
+        self,
+        query: AnalyticsQuery,
+        plan: Optional[ScanPlan],
+        lost: Optional[Set[int]] = None,
+        pruned: Optional[bool] = None,
+    ) -> None:
+        """Fold the per-partition plan tree into the query's flight record.
+
+        ``plan=None`` profiles as an unpruned scan-everything plan.
+        ``lost`` (degrade mode) re-labels partitions the fault layer
+        could not read — unless the synopsis recovered them exactly —
+        so a profile's per-partition ``read_bytes`` always reconcile
+        with what the CostMeter actually charged.
+        """
+        obs = self._engine.observer
+        if not obs.enabled:
+            return
+        try:
+            stored = self.store.table(query.table_name)
+        except StorageError:
+            return
+        if plan is not None and len(plan.actions) != len(stored.partitions):
+            return
+        partitions = []
+        for index, partition in enumerate(stored.partitions):
+            action = SCAN if plan is None else plan.actions[index]
+            if action == SYNOPSIS:
+                read_bytes = int(plan.synopsis_bytes.get(index, 0))
+            elif action == SCAN and (lost is None or index not in lost):
+                read_bytes = int(partition.n_bytes)
+            else:
+                read_bytes = 0
+                if lost is not None and index in lost:
+                    action = "lost"
+            partitions.append(
+                (action, int(partition.n_rows), int(partition.n_bytes), read_bytes)
+            )
+        obs.profile_note(
+            "plan",
+            query=query,
+            pruned=plan is not None if pruned is None else pruned,
+            partitions=partitions,
         )
 
     def _job_fns(self, query: AnalyticsQuery):
@@ -148,9 +195,10 @@ class ExactEngine:
         map_fn, reduce_fn = self._job_fns(query)
         plan = self.plan_for(query)
         self._note_plan(query, plan)
-        results, report = self._engine.run(
-            query.table_name, map_fn, reduce_fn, n_reducers=1, plan=plan
-        )
+        with self._engine.observer.profile_activate(query):
+            results, report = self._engine.run(
+                query.table_name, map_fn, reduce_fn, n_reducers=1, plan=plan
+            )
         # Every partition pruned -> no map output reached the reducer; the
         # merge of zero partials is the same neutral answer the unpruned
         # job assembles from its all-empty selections.
@@ -231,17 +279,23 @@ class ExactEngine:
 
         map_fn, reduce_fn = self._job_fns(query)
         lost_mid_job: List[int] = []
-        results, report = self._engine.run(
-            query.table_name,
-            map_fn,
-            reduce_fn,
-            n_reducers=1,
-            plan=plan,
-            on_lost="skip",
-            lost=lost_mid_job,
-        )
+        obs = self._engine.observer
+        with obs.profile_activate(query):
+            results, report = self._engine.run(
+                query.table_name,
+                map_fn,
+                reduce_fn,
+                n_reducers=1,
+                plan=plan,
+                on_lost="skip",
+                lost=lost_mid_job,
+            )
         for index in lost_mid_job:
             absorb(index, statically=False)
+        # absorb() rewrote plan.actions for lost partitions; re-note so the
+        # profile's per-partition tree reflects what was actually read.
+        if lost:
+            self._profile_plan(query, plan, lost=lost, pruned=self.pruning)
         value = results[0] if 0 in results else aggregate.merge([])
         if not lost:
             return value, report
@@ -254,7 +308,6 @@ class ExactEngine:
             unknown_partitions=sorted(unknown),
             total_rows=stored.n_rows,
         )
-        obs = self._engine.observer
         if obs.enabled:
             obs.inc("fault_degraded_answers_total", table=stored.name)
             obs.event(
@@ -262,6 +315,16 @@ class ExactEngine:
                 table=stored.name,
                 aggregate=type(aggregate).__name__,
                 coverage=answer.coverage,
+                bounded=answer.bounded,
+                lost=list(answer.lost_partitions),
+                unknown=list(answer.unknown_partitions),
+            )
+            obs.profile_note(
+                "degraded",
+                query=query,
+                coverage=answer.coverage,
+                lower=answer.lower,
+                upper=answer.upper,
                 bounded=answer.bounded,
                 lost=list(answer.lost_partitions),
                 unknown=list(answer.unknown_partitions),
@@ -319,7 +382,12 @@ class ExactEngine:
                 for aggregate in aggregates
             ]
             job_results = self._engine.run_many(
-                table_name, multi_map_fn, reduce_fns, n_reducers=1, plans=plans
+                table_name,
+                multi_map_fn,
+                reduce_fns,
+                n_reducers=1,
+                plans=plans,
+                profile_targets=group,
             )
             for position, (index, (results, report)) in enumerate(
                 zip(indices, job_results)

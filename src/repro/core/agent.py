@@ -39,7 +39,9 @@ from repro.core.maintenance import DriftDetector, DataUpdateMonitor
 from repro.core.predictor import DatalessPredictor, Prediction
 from repro.core.quantization import QuerySpaceQuantizer
 from repro.faults.degraded import DegradedAnswer
+from repro.obs.anomaly import AccuracyDriftMonitor
 from repro.obs.observer import NULL_OBSERVER, Observer
+from repro.obs.profile import QueryProfile
 from repro.queries.query import AnalyticsQuery, Answer
 
 AGENT_NODE = "sea-agent"
@@ -70,13 +72,18 @@ class AgentConfig:
 
 @dataclass
 class ServedQuery:
-    """Record of how one query was served."""
+    """Record of how one query was served.
+
+    ``profile`` is the query's flight record (EXPLAIN ANALYZE tree);
+    populated only while an observer is attached.
+    """
 
     query: AnalyticsQuery
     answer: Answer
     mode: str  # "train" | "predicted" | "fallback"
     cost: CostReport
     prediction: Optional[Prediction] = None
+    profile: Optional[QueryProfile] = None
 
     @property
     def used_base_data(self) -> bool:
@@ -97,6 +104,7 @@ class SEAAgent:
         self.observer = observer or NULL_OBSERVER
         self._predictors: Dict[str, DatalessPredictor] = {}
         self._drift: Dict[str, DriftDetector] = {}
+        self.anomaly = AccuracyDriftMonitor()
         self.updates = DataUpdateMonitor()
         self.history: List[ServedQuery] = []
         self.n_queries = 0
@@ -119,6 +127,7 @@ class SEAAgent:
         self.n_queries += 1
         obs = self.observer
         if obs.enabled:
+            obs.profile_begin(query)
             with obs.span(
                 "query", category="query", signature=query.signature()
             ):
@@ -137,6 +146,14 @@ class SEAAgent:
                 elapsed_sec=record.cost.elapsed_sec,
                 bytes_scanned=record.cost.bytes_scanned,
                 nodes_touched=record.cost.nodes_touched,
+            )
+            record.profile = obs.profile_end(
+                query,
+                mode=record.mode,
+                cost=record.cost,
+                answer=record.answer,
+                prediction=record.prediction,
+                error_threshold=self.config.error_threshold,
             )
         else:
             record = self._serve(query)
@@ -161,6 +178,8 @@ class SEAAgent:
         queries = list(queries)
         obs = self.observer
         if obs.enabled:
+            for query in queries:
+                obs.profile_begin(query)
             with obs.span("batch", category="batch", n=len(queries)):
                 records = self._submit_batch_inner(queries)
             obs.observe("sea_batch_size", float(len(queries)))
@@ -184,6 +203,14 @@ class SEAAgent:
                     elapsed_sec=record.cost.elapsed_sec,
                     bytes_scanned=record.cost.bytes_scanned,
                     nodes_touched=record.cost.nodes_touched,
+                )
+                record.profile = obs.profile_end(
+                    record.query,
+                    mode=record.mode,
+                    cost=record.cost,
+                    answer=record.answer,
+                    prediction=record.prediction,
+                    error_threshold=self.config.error_threshold,
                 )
             self.history.append(record)
         return records
@@ -254,6 +281,9 @@ class SEAAgent:
                         "sea_answer_cache_hits_total"
                         if entry is not None
                         else "sea_answer_cache_misses_total"
+                    )
+                    obs.profile_note(
+                        "cache", query=query, hit=entry is not None
                     )
                 if entry is not None:
                     records[i] = ServedQuery(
@@ -377,6 +407,9 @@ class SEAAgent:
                     if entry is not None
                     else "sea_answer_cache_misses_total"
                 )
+                self.observer.profile_note(
+                    "cache", query=query, hit=entry is not None
+                )
             if entry is not None:
                 return ServedQuery(
                     query=query,
@@ -434,10 +467,56 @@ class SEAAgent:
         if learn:
             learn, target = self._learn_target(answer)
             if learn:
+                if prediction is not None:
+                    self._observe_residual(query, prediction, target)
                 self._learn_from(query, predictor, target)
         return ServedQuery(
             query=query, answer=answer, mode=mode, cost=cost, prediction=prediction
         )
+
+    def _observe_residual(
+        self,
+        query: AnalyticsQuery,
+        prediction: Prediction,
+        target: Answer,
+    ) -> None:
+        """Feed one predicted-vs-exact residual to the drift monitor.
+
+        A learning fallback is the one place both sides exist: the
+        prediction the agent declined to serve and the exact answer that
+        replaced it.  Residuals are relative (scaled by the exact
+        answer's magnitude) so the z-score window is comparable across
+        query extents; anomalies surface on the decision log.
+        """
+        try:
+            predicted = np.asarray(prediction.value, dtype=float).ravel()
+            actual = np.asarray(target, dtype=float).ravel()
+        except (TypeError, ValueError):
+            return
+        if predicted.shape != actual.shape or predicted.size == 0:
+            return
+        scale = max(float(np.linalg.norm(actual)), 1e-9)
+        if predicted.size == 1:
+            residual = float(predicted[0] - actual[0]) / scale
+        else:
+            residual = float(np.linalg.norm(predicted - actual)) / scale
+        if not np.isfinite(residual):
+            return
+        event = self.anomaly.observe(
+            query.signature(), prediction.quantum_id, residual
+        )
+        if event is not None and self.observer.enabled:
+            self.observer.inc("sea_accuracy_anomalies_total")
+            self.observer.event(
+                "accuracy_anomaly",
+                signature=event.signature,
+                quantum_id=event.quantum_id,
+                residual=round(event.residual, 9),
+                zscore=round(event.zscore, 9),
+                window_mean=round(event.mean, 9),
+                window_std=round(event.std, 9),
+                window_n=event.n,
+            )
 
     def _predicted_despite_loss(
         self,
@@ -455,6 +534,7 @@ class SEAAgent:
                 signature=query.signature(),
                 partition=error.partition_id,
             )
+            self.observer.profile_note("served_despite_loss", query=query)
         answer = prediction.scalar if query.answer_dim == 1 else prediction.value
         return ServedQuery(
             query=query,
@@ -520,6 +600,38 @@ class SEAAgent:
         return invalidated
 
     # Introspection ---------------------------------------------------------
+    def preview(self, query: AnalyticsQuery):
+        """``(expected_mode, prediction, cache_hit)`` without serving.
+
+        The plan-only half of ``EXPLAIN``: reproduces the serving
+        decision the next :meth:`submit` of this query would make, while
+        mutating *nothing* — no counters move, the cache is peeked (not
+        promoted), and no predictor is created for an unseen signature.
+        ``cache_hit`` is None when the cache is disabled.
+        """
+        if self.n_queries < self.config.training_budget:
+            return "train", None, None
+        cache_hit = None
+        if self.cache is not None:
+            entry = self.cache.peek(query)
+            if entry is not None:
+                return "predicted", entry.prediction, True
+            cache_hit = False
+        predictor = self._predictors.get(query.signature())
+        if predictor is None:
+            return "fallback", None, cache_hit
+        try:
+            prediction = predictor.predict(query.vector())
+        except NotTrainedError:
+            return "fallback", None, cache_hit
+        acceptable = (
+            prediction.reliable
+            and prediction.error_estimate <= self.config.error_threshold
+            and not self._quantum_flagged(query, prediction.quantum_id)
+        )
+        mode = "predicted" if acceptable else "fallback"
+        return mode, prediction, cache_hit
+
     def state_bytes(self) -> int:
         """Total learned-state footprint across predictors (experiment E4)."""
         return sum(p.state_bytes() for p in self._predictors.values())
@@ -556,6 +668,7 @@ class SEAAgent:
         }
         if self.cache is not None:
             stats.update(self.cache.stats())
+        stats.update(self.anomaly.summary())
         return stats
 
     # Internals ---------------------------------------------------------------

@@ -91,6 +91,15 @@ class AnswerCache:
         self.hits += 1
         return entry
 
+    def peek(self, query: AnalyticsQuery) -> Optional[CachedAnswer]:
+        """Non-mutating :meth:`lookup`: no counters, no LRU promotion.
+
+        Plan-only inspection (``EXPLAIN``) uses this so asking "would
+        this hit?" never perturbs the hit/miss statistics or the
+        eviction order a later real lookup would see.
+        """
+        return self._entries.get(cache_key(query))
+
     def store(
         self, query: AnalyticsQuery, prediction: Prediction, answer
     ) -> None:

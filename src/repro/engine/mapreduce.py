@@ -14,6 +14,7 @@ from __future__ import annotations
 import heapq
 import zlib
 from collections import defaultdict
+from contextlib import contextmanager
 from typing import Any, Callable, Dict, Iterable, List, Optional, Tuple
 
 import numpy as np
@@ -93,6 +94,22 @@ class MapReduceEngine:
         """Record traces/metrics/events for subsequent jobs on ``observer``."""
         self.observer = observer
 
+    @contextmanager
+    def _phase(self, obs: Observer, name: str, meter: CostMeter):
+        """One engine phase: a trace span plus a flight-recorder note.
+
+        The note carries the phase's *simulated* elapsed seconds (a
+        meter delta), never host seconds, so profiles stay byte-identical
+        at any morsel-pool worker count.
+        """
+        before = meter.elapsed_sec
+        with obs.span(name, meter=meter, category="phase"):
+            yield
+        if obs.enabled:
+            obs.profile_note(
+                "phase", name=name, seconds=meter.elapsed_sec - before
+            )
+
     def run(
         self,
         table_name: str,
@@ -146,10 +163,10 @@ class MapReduceEngine:
         with obs.span(
             "mapreduce", meter=meter, category="job", table=table_name
         ):
-            with obs.span("submit", meter=meter, category="phase"):
+            with self._phase(obs, "submit", meter):
                 meter.advance(self.stack.charge_submission(meter, driver, engaged))
 
-            with obs.span("map", meter=meter, category="phase"):
+            with self._phase(obs, "map", meter):
                 map_outputs, map_elapsed = self._map_phase(
                     stored,
                     map_fn,
@@ -165,19 +182,19 @@ class MapReduceEngine:
                 )
                 meter.advance(map_elapsed)
 
-            with obs.span("shuffle", meter=meter, category="phase"):
+            with self._phase(obs, "shuffle", meter):
                 grouped, ingest_bytes, shuffle_elapsed = self._shuffle_phase(
                     map_outputs, reducers, meter
                 )
                 meter.advance(shuffle_elapsed)
 
-            with obs.span("reduce", meter=meter, category="phase"):
+            with self._phase(obs, "reduce", meter):
                 results, reduce_elapsed = self._reduce_phase(
                     grouped, reduce_fn, reducers, meter, obs, ingest_bytes
                 )
                 meter.advance(reduce_elapsed)
 
-            with obs.span("collect", meter=meter, category="phase"):
+            with self._phase(obs, "collect", meter):
                 meter.advance(self._collect_phase(results, reducers, driver, meter))
                 meter.advance(self.stack.charge_result_return(meter, driver))
         return results, meter.freeze()
@@ -190,6 +207,7 @@ class MapReduceEngine:
         n_reducers: int = 0,
         driver_node: Optional[str] = None,
         plans: Optional[List[Optional[ScanPlan]]] = None,
+        profile_targets: Optional[List[Any]] = None,
     ) -> List[Tuple[Dict[Any, Any], CostReport]]:
         """Execute many jobs over one table, sharing the real partition pass.
 
@@ -207,6 +225,10 @@ class MapReduceEngine:
         called with the indices of those jobs, returning their outputs
         only; skipped and synopsis-covered partitions never touch the
         real data.
+
+        ``profile_targets`` (one query-like object per job, or None)
+        routes each job's phase notes to that object's open flight
+        record during the per-job charge replay.
         """
         stored = self.store.table(table_name)
         require(len(stored.partitions) >= 1, "table has no partitions")
@@ -217,6 +239,11 @@ class MapReduceEngine:
             require(
                 len(plans) == n_jobs,
                 f"{len(plans)} plans for {n_jobs} jobs",
+            )
+        if profile_targets is not None:
+            require(
+                len(profile_targets) == n_jobs,
+                f"{len(profile_targets)} profile targets for {n_jobs} jobs",
             )
         faults = self.store.faults
         if faults is not None and faults.active:
@@ -232,16 +259,20 @@ class MapReduceEngine:
                         return multi_map_fn(data, [j])[0]
                     return multi_map_fn(data)[j]
 
-                out.append(
-                    self.run(
-                        table_name,
-                        job_map_fn,
-                        reduce_fns[j],
-                        n_reducers=n_reducers,
-                        driver_node=driver_node,
-                        plan=plans[j] if plans is not None else None,
-                    )
+                target = (
+                    profile_targets[j] if profile_targets is not None else None
                 )
+                with self.observer.profile_activate(target):
+                    out.append(
+                        self.run(
+                            table_name,
+                            job_map_fn,
+                            reduce_fns[j],
+                            n_reducers=n_reducers,
+                            driver_node=driver_node,
+                            plan=plans[j] if plans is not None else None,
+                        )
+                    )
             return out
         # Shared real pass: every job's map outputs from one read of each
         # partition, computed before any charging so the replay below can
@@ -311,14 +342,15 @@ class MapReduceEngine:
             driver = driver_node or self.topology.pick_coordinator()
             reducers = self._reducer_nodes(stored, n_reducers)
             engaged = self._engaged_nodes(stored, reducers, plan)
-            with obs.span(
+            target = profile_targets[j] if profile_targets is not None else None
+            with obs.profile_activate(target), obs.span(
                 "mapreduce", meter=meter, category="job", table=table_name
             ):
-                with obs.span("submit", meter=meter, category="phase"):
+                with self._phase(obs, "submit", meter):
                     meter.advance(
                         self.stack.charge_submission(meter, driver, engaged)
                     )
-                with obs.span("map", meter=meter, category="phase"):
+                with self._phase(obs, "map", meter):
                     map_outputs, map_elapsed = self._map_phase(
                         stored,
                         None,
@@ -328,17 +360,17 @@ class MapReduceEngine:
                         plan=plan,
                     )
                     meter.advance(map_elapsed)
-                with obs.span("shuffle", meter=meter, category="phase"):
+                with self._phase(obs, "shuffle", meter):
                     grouped, ingest_bytes, shuffle_elapsed = self._shuffle_phase(
                         map_outputs, reducers, meter
                     )
                     meter.advance(shuffle_elapsed)
-                with obs.span("reduce", meter=meter, category="phase"):
+                with self._phase(obs, "reduce", meter):
                     results, reduce_elapsed = self._reduce_phase(
                         grouped, reduce_fns[j], reducers, meter, obs, ingest_bytes
                     )
                     meter.advance(reduce_elapsed)
-                with obs.span("collect", meter=meter, category="phase"):
+                with self._phase(obs, "collect", meter):
                     meter.advance(
                         self._collect_phase(results, reducers, driver, meter)
                     )

@@ -185,6 +185,7 @@ class FailoverPolicy:
                     extra += wait
                     if obs.enabled:
                         obs.inc("fault_retries_total", node=node)
+                        obs.profile_note("retry", node=node)
                         obs.record_span(
                             f"retry:{partition.partition_id}",
                             obs.now,
@@ -200,6 +201,7 @@ class FailoverPolicy:
                     break
                 if node != order[0] and obs.enabled:
                     obs.inc("fault_failovers_total", node=node)
+                    obs.profile_note("failover", serving=node)
                     obs.event(
                         "failover",
                         partition=partition.partition_id,
@@ -223,12 +225,14 @@ class FailoverPolicy:
             )
         if obs.enabled:
             obs.inc("fault_probes_total", node=node)
+            obs.profile_note("probe", node=node)
         return seconds
 
     @staticmethod
     def _note_lost(obs: Observer, partition, order) -> None:
         if obs.enabled:
             obs.inc("fault_partitions_lost_total")
+            obs.profile_note("lost", partition=partition.partition_id)
             obs.event(
                 "partition_lost",
                 partition=partition.partition_id,

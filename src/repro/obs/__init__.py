@@ -10,13 +10,24 @@ Three surfaces, all on the *simulated* clock of the cost model:
   stack makes (train/predict/fallback, drift, optimizer choices,
   geo routing).
 
+Layered on top of those (DESIGN §10):
+
+* :mod:`repro.obs.profile` — the query flight recorder: per-query
+  ``EXPLAIN`` / ``EXPLAIN ANALYZE`` :class:`QueryProfile` trees;
+* :mod:`repro.obs.slo` — rolling per-class SLO windows with burn-rate
+  health statuses;
+* :mod:`repro.obs.anomaly` — accuracy-drift anomaly detection on
+  predicted-vs-exact residuals.
+
 :class:`~repro.obs.observer.Observer` is the null default every
 instrumented component carries — attaching a
 :class:`~repro.obs.observer.StackObserver` turns recording on; leaving
 the default keeps the hot paths allocation-free.
 """
 
-from repro.obs.events import Event, EventLog
+from repro.obs.anomaly import AccuracyDriftMonitor, AnomalyEvent
+from repro.obs.events import DEFAULT_EVENT_CAPACITY, Event, EventLog
+from repro.obs.export import prepare_export_path
 from repro.obs.metrics import (
     Counter,
     Gauge,
@@ -30,11 +41,29 @@ from repro.obs.observer import (
     StackObserver,
     attach_observer,
 )
+from repro.obs.profile import (
+    FlightRecorder,
+    PartitionProfile,
+    QueryProfile,
+    build_plan_profile,
+)
+from repro.obs.slo import SLOMonitor, SLOPolicy, SLOTarget
 from repro.obs.trace import Span, TraceRecorder
 
 __all__ = [
+    "AccuracyDriftMonitor",
+    "AnomalyEvent",
+    "DEFAULT_EVENT_CAPACITY",
     "Event",
     "EventLog",
+    "FlightRecorder",
+    "PartitionProfile",
+    "QueryProfile",
+    "SLOMonitor",
+    "SLOPolicy",
+    "SLOTarget",
+    "build_plan_profile",
+    "prepare_export_path",
     "Counter",
     "Gauge",
     "Histogram",

@@ -1,0 +1,130 @@
+"""Accuracy-drift anomaly detection on predicted-vs-exact residuals.
+
+Every learning fallback gives the stack a free labelled sample: the
+prediction that was *about* to be served and the exact answer that
+replaced it.  The :class:`AccuracyDriftMonitor` keeps a rolling window of
+those relative residuals per ``(signature, quantum)`` and fires when a
+new residual is a z-score outlier against the window — typically several
+observations *before* the prequential error estimator's quantile crosses
+the serving threshold, so the decision log shows drift starting, not
+just drift confirmed (the E13 failure mode).
+
+The monitor is deterministic (order-of-arrival windows, O(1) rolling
+moments) and allocation-light; the agent feeds it regardless of observer
+state but only emits ``accuracy_anomaly`` events / metrics when one is
+attached.
+"""
+
+from __future__ import annotations
+
+import math
+from collections import deque
+from dataclasses import dataclass
+from typing import Deque, Dict, Optional, Set, Tuple
+
+from repro.common.validation import require
+
+
+@dataclass(frozen=True)
+class AnomalyEvent:
+    """One fired anomaly: the residual and the window it defied."""
+
+    signature: str
+    quantum_id: int
+    residual: float
+    zscore: float
+    mean: float
+    std: float
+    n: int  # window size the z-score was computed against
+
+
+class _Rolling:
+    """Bounded window with O(1) rolling mean/std (population moments)."""
+
+    __slots__ = ("window", "values", "total", "total_sq")
+
+    def __init__(self, window: int) -> None:
+        self.window = window
+        self.values: Deque[float] = deque()
+        self.total = 0.0
+        self.total_sq = 0.0
+
+    def push(self, value: float) -> None:
+        self.values.append(value)
+        self.total += value
+        self.total_sq += value * value
+        if len(self.values) > self.window:
+            old = self.values.popleft()
+            self.total -= old
+            self.total_sq -= old * old
+
+    def stats(self) -> Tuple[int, float, float]:
+        n = len(self.values)
+        if n == 0:
+            return 0, 0.0, 0.0
+        mean = self.total / n
+        variance = max(0.0, self.total_sq / n - mean * mean)
+        return n, mean, math.sqrt(variance)
+
+
+class AccuracyDriftMonitor:
+    """Rolling z-score detector over per-quantum relative residuals."""
+
+    def __init__(
+        self,
+        window: int = 64,
+        z_threshold: float = 3.5,
+        min_samples: int = 12,
+    ) -> None:
+        require(window >= 2, "window must be >= 2")
+        require(z_threshold > 0.0, "z_threshold must be positive")
+        require(min_samples >= 2, "min_samples must be >= 2")
+        self.window = window
+        self.z_threshold = z_threshold
+        self.min_samples = min_samples
+        self.n_observed = 0
+        self.n_anomalies = 0
+        self._state: Dict[Tuple[str, int], _Rolling] = {}
+        self._flagged: Set[Tuple[str, int]] = set()
+
+    def observe(
+        self, signature: str, quantum_id: int, residual: float
+    ) -> Optional[AnomalyEvent]:
+        """Fold one residual in; returns an event iff it is an outlier.
+
+        The z-score is computed against the window *before* the new
+        residual joins it, so a drift burst is judged by the stable
+        regime it breaks, not a window it already contaminated.
+        """
+        key = (signature, int(quantum_id))
+        state = self._state.get(key)
+        if state is None:
+            state = self._state[key] = _Rolling(self.window)
+        n, mean, std = state.stats()
+        event: Optional[AnomalyEvent] = None
+        if n >= self.min_samples and std > 1e-12:
+            zscore = (residual - mean) / std
+            if abs(zscore) > self.z_threshold:
+                event = AnomalyEvent(
+                    signature=signature,
+                    quantum_id=int(quantum_id),
+                    residual=float(residual),
+                    zscore=float(zscore),
+                    mean=mean,
+                    std=std,
+                    n=n,
+                )
+                self.n_anomalies += 1
+                self._flagged.add(key)
+        state.push(float(residual))
+        self.n_observed += 1
+        return event
+
+    def summary(self) -> Dict[str, float]:
+        """Flat counters for stats()/health() merging."""
+        return {
+            "accuracy_residuals_observed": float(self.n_observed),
+            "accuracy_anomalies": float(self.n_anomalies),
+            "accuracy_quanta_flagged": float(len(self._flagged)),
+            "accuracy_quanta_tracked": float(len(self._state)),
+        }

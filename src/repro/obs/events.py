@@ -10,6 +10,14 @@ up with trace spans.
 
 Export is JSON Lines — one event per line — which greps, tails and loads
 into any dataframe tool without a schema registry.
+
+The in-memory log is bounded: past ``capacity`` events, :meth:`emit`
+drops (counting drops in ``n_dropped``) instead of growing without
+bound, so a long-running session's decision log is a fixed-size budget
+rather than a leak.  :class:`~repro.obs.observer.StackObserver` applies
+:data:`DEFAULT_EVENT_CAPACITY` unless told otherwise; pass
+``capacity=None`` for the unbounded behaviour when a short experiment
+needs every event.
 """
 
 from __future__ import annotations
@@ -18,7 +26,13 @@ import json
 from dataclasses import dataclass, field
 from typing import Any, Dict, Iterator, List, Optional
 
+from repro.obs.export import prepare_export_path
 from repro.obs.trace import _jsonable
+
+#: Default decision-log bound applied by ``StackObserver``.  At the
+#: typical few-hundred-bytes-per-event this is a ~30 MB ceiling; raise
+#: it for long soak runs, or lower it when only the tail matters.
+DEFAULT_EVENT_CAPACITY = 100_000
 
 
 @dataclass
@@ -68,8 +82,13 @@ class EventLog:
             "\n" if self.events else ""
         )
 
-    def export(self, path: str) -> str:
-        """Write the log as JSON Lines to ``path``; returns the path."""
+    def export(self, path: str, overwrite: bool = False) -> str:
+        """Write the log as JSON Lines to ``path``; returns the path.
+
+        Parent directories are created; an existing file is refused
+        unless ``overwrite=True``.
+        """
+        path = prepare_export_path(path, overwrite=overwrite)
         with open(path, "w") as handle:
             handle.write(self.to_jsonl())
         return path

@@ -1,0 +1,35 @@
+"""Export-path ergonomics shared by every obs artefact writer.
+
+All observability exports (trace JSON, metrics exposition, events JSONL,
+query-profile JSONL, one-shot session dumps) funnel their target path
+through :func:`prepare_export_path`, which gives them a uniform contract:
+
+* parent directories are created on demand, so ``export_trace(
+  "results/run-7/trace.json")`` just works;
+* an existing file is never silently clobbered — callers must pass
+  ``overwrite=True`` to replace it, which keeps benchmark trajectories
+  and archived runs safe from accidental re-exports.
+"""
+
+from __future__ import annotations
+
+import os
+
+from repro.common.errors import ConfigurationError
+
+
+def prepare_export_path(path: str, overwrite: bool = False) -> str:
+    """Validate and prepare ``path`` for an export write.
+
+    Creates missing parent directories and refuses to overwrite an
+    existing file unless ``overwrite=True``.  Returns the path.
+    """
+    path = os.fspath(path)
+    directory = os.path.dirname(os.path.abspath(path))
+    os.makedirs(directory, exist_ok=True)
+    if not overwrite and os.path.exists(path):
+        raise ConfigurationError(
+            f"refusing to overwrite existing export {path!r}; "
+            "pass overwrite=True to replace it"
+        )
+    return path

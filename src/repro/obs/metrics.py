@@ -10,6 +10,16 @@ bounded-memory quantile estimation (the same primitive the AQP baselines
 use), and expose as Prometheus *summaries*: ``{quantile="0.5"}`` sample
 lines plus ``_sum``/``_count``.
 
+**Reservoir sizing.**  Each labelled histogram child holds at most
+``reservoir_size`` float samples (default 512 ≈ 4 KB), so histogram
+memory is bounded no matter how many observations stream in — the
+knob trades memory for tail fidelity, not correctness.  512 resolves
+p99 to roughly ±1 percentile on stationary streams; quadruple it (2048)
+when p99.9 matters or the stream is strongly bimodal, and drop to 128
+for high-cardinality label sets where per-child memory dominates.  Pass
+it per family: ``registry.histogram(name, reservoir_size=2048)`` — the
+first registration wins, matching Prometheus client semantics.
+
 The registry is thread-safe end to end: child creation (family and
 label lookup) and every update (``inc``/``set``/``observe``) are
 lock-protected, so concurrent charging from :mod:`repro.parallel`
@@ -266,8 +276,15 @@ class MetricsRegistry:
                     )
         return "\n".join(lines) + "\n"
 
-    def export(self, path: str) -> str:
-        """Write the exposition text to ``path``; returns the path."""
+    def export(self, path: str, overwrite: bool = False) -> str:
+        """Write the exposition text to ``path``; returns the path.
+
+        Parent directories are created; an existing file is refused
+        unless ``overwrite=True``.
+        """
+        from repro.obs.export import prepare_export_path
+
+        path = prepare_export_path(path, overwrite=overwrite)
         with open(path, "w") as handle:
             handle.write(self.exposition())
         return path

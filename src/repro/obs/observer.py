@@ -25,8 +25,9 @@ from __future__ import annotations
 
 from typing import Any, Dict, Optional
 
-from repro.obs.events import EventLog
+from repro.obs.events import DEFAULT_EVENT_CAPACITY, EventLog
 from repro.obs.metrics import MetricsRegistry
+from repro.obs.profile import FlightRecorder, QueryProfile
 from repro.obs.trace import Span, TraceRecorder
 
 
@@ -100,6 +101,20 @@ class Observer:
     def event(self, type: str, **fields: Any) -> None:
         pass
 
+    # Query profiles (the flight recorder; see repro.obs.profile) ------------
+    def profile_begin(self, query: Any) -> None:
+        pass
+
+    def profile_note(self, kind: str, query: Any = None, **fields: Any) -> None:
+        pass
+
+    def profile_end(self, query: Any, **outcome: Any) -> Optional["QueryProfile"]:
+        return None
+
+    def profile_activate(self, query: Any):
+        """No-op activation context (shared instance, no allocation)."""
+        return _NULL_SPAN
+
 
 NULL_OBSERVER = Observer()
 
@@ -114,11 +129,19 @@ class StackObserver(Observer):
         trace: Optional[TraceRecorder] = None,
         metrics: Optional[MetricsRegistry] = None,
         events: Optional[EventLog] = None,
-        event_capacity: Optional[int] = None,
+        event_capacity: Optional[int] = DEFAULT_EVENT_CAPACITY,
+        profiles: Optional[FlightRecorder] = None,
+        profile_capacity: int = 4096,
     ) -> None:
+        """Both in-memory logs are bounded by default so long-running
+        sessions cannot grow without bound: ``event_capacity`` caps the
+        decision log (None = unbounded) and ``profile_capacity`` caps the
+        completed-profile buffer; drops are counted, never silent (see
+        :meth:`snapshot`)."""
         self.trace = trace or TraceRecorder()
         self.metrics = metrics or MetricsRegistry()
         self.events = events or EventLog(capacity=event_capacity)
+        self.profiles = profiles or FlightRecorder(capacity=profile_capacity)
 
     @property
     def now(self) -> float:
@@ -180,24 +203,45 @@ class StackObserver(Observer):
     def event(self, type: str, **fields: Any) -> None:
         self.events.emit(type, ts=self.now, **fields)
 
+    # Query profiles ---------------------------------------------------------
+    def profile_begin(self, query: Any) -> None:
+        self.profiles.begin(query)
+
+    def profile_note(self, kind: str, query: Any = None, **fields: Any) -> None:
+        self.profiles.note(kind, query=query, **fields)
+
+    def profile_end(self, query: Any, **outcome: Any) -> Optional[QueryProfile]:
+        return self.profiles.end(query, **outcome)
+
+    def profile_activate(self, query: Any):
+        return self.profiles.activate(query)
+
     # Exports ----------------------------------------------------------------
-    def export_trace(self, path: str) -> str:
-        return self.trace.export(path)
+    def export_trace(self, path: str, overwrite: bool = False) -> str:
+        return self.trace.export(path, overwrite=overwrite)
 
-    def export_metrics(self, path: str) -> str:
-        return self.metrics.export(path)
+    def export_metrics(self, path: str, overwrite: bool = False) -> str:
+        return self.metrics.export(path, overwrite=overwrite)
 
-    def export_events(self, path: str) -> str:
-        return self.events.export(path)
+    def export_events(self, path: str, overwrite: bool = False) -> str:
+        return self.events.export(path, overwrite=overwrite)
+
+    def export_profiles(self, path: str, overwrite: bool = False) -> str:
+        return self.profiles.export(path, overwrite=overwrite)
 
     def snapshot(self) -> Dict[str, float]:
-        """Flat metrics snapshot plus trace/event volumes.
+        """Flat metrics snapshot plus trace/event/profile volumes.
 
-        The shape benchmarks attach to ``benchmark.extra_info``.
+        The shape benchmarks attach to ``benchmark.extra_info``.  Drop
+        counters surface capacity pressure: nonzero values mean the
+        bounded logs shed data and their capacities need raising.
         """
         out = self.metrics.as_dict()
         out["obs_spans_recorded"] = float(len(self.trace.spans))
         out["obs_events_recorded"] = float(len(self.events))
+        out["obs_events_dropped"] = float(self.events.n_dropped)
+        out["obs_profiles_recorded"] = float(len(self.profiles))
+        out["obs_profiles_dropped"] = float(self.profiles.n_dropped)
         out["obs_simulated_seconds"] = float(self.trace.now)
         return out
 

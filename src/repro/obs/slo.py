@@ -1,0 +1,230 @@
+"""Rolling SLO monitor on the simulated clock.
+
+An :class:`SLOPolicy` declares per-query-class targets (latency, bytes
+scanned, reported error estimate) with an availability *objective* — the
+fraction of queries in the rolling window that must meet their targets.
+The :class:`SLOMonitor` folds every served query in, keeps a bounded
+window per class on the *simulated* clock (each record advances it by the
+record's ``elapsed_sec``), computes windowed quantiles and the classic
+error-budget **burn rate**::
+
+    burn_rate = violation_rate / (1 - objective)
+
+``burn_rate == 1`` means the class is consuming its error budget exactly
+as fast as the objective allows; ``>= warn_burn_rate`` turns the class
+``warn``, ``>= breach_burn_rate`` turns it ``breach``.  Status
+transitions are emitted to the decision log (``slo_status`` events), and
+:meth:`SLOMonitor.health` returns the snapshot ``session.health()``
+exposes.
+
+Everything is deterministic: the clock is simulated, windows are
+order-of-arrival, quantiles are exact over the bounded window.
+"""
+
+from __future__ import annotations
+
+import math
+from collections import deque
+from dataclasses import dataclass, field
+from typing import Any, Deque, Dict, List, Optional, Tuple
+
+from repro.common.validation import require, require_in_range
+
+#: Status ranking, worst last.
+_STATUS_ORDER = ("ok", "warn", "breach")
+
+
+@dataclass(frozen=True)
+class SLOTarget:
+    """Targets one query class is held to (None disables a dimension)."""
+
+    latency_sec: Optional[float] = 0.5  # per-query simulated latency
+    max_bytes_scanned: Optional[float] = None
+    max_error_estimate: Optional[float] = None  # predicted-mode answers
+    objective: float = 0.95  # fraction of queries that must meet targets
+    latency_quantile: float = 0.95  # reported in health snapshots
+    warn_burn_rate: float = 1.0
+    breach_burn_rate: float = 2.0
+
+    def __post_init__(self) -> None:
+        require_in_range(self.objective, "objective", 0.0, 0.999999)
+        require_in_range(
+            self.latency_quantile, "latency_quantile", 0.0, 1.0
+        )
+        require(
+            self.breach_burn_rate >= self.warn_burn_rate,
+            "breach_burn_rate must be >= warn_burn_rate",
+        )
+
+    def violated_by(self, record: Any) -> bool:
+        """Whether one served query blows any of this target's dimensions."""
+        cost = record.cost
+        if self.latency_sec is not None and cost.elapsed_sec > self.latency_sec:
+            return True
+        if (
+            self.max_bytes_scanned is not None
+            and cost.bytes_scanned > self.max_bytes_scanned
+        ):
+            return True
+        if self.max_error_estimate is not None and record.mode == "predicted":
+            prediction = record.prediction
+            error = (
+                prediction.error_estimate if prediction is not None else None
+            )
+            if error is not None and error > self.max_error_estimate:
+                return True
+        return False
+
+
+@dataclass
+class SLOPolicy:
+    """Per-class SLO targets with a default, plus window sizing.
+
+    The default classifier groups queries by aggregate name (``count``,
+    ``mean``, ...) — the axis along which cost and accuracy profiles
+    differ most in this stack; subclass and override :meth:`classify`
+    for workload-specific classes (per table, per dashboard, ...).
+    """
+
+    targets: Dict[str, SLOTarget] = field(default_factory=dict)
+    default: SLOTarget = field(default_factory=SLOTarget)
+    window_sec: float = 3600.0  # simulated seconds of history per class
+    max_samples: int = 4096  # hard per-class memory bound
+
+    def __post_init__(self) -> None:
+        require(self.window_sec > 0.0, "window_sec must be positive")
+        require(self.max_samples >= 1, "max_samples must be >= 1")
+
+    def classify(self, record: Any) -> str:
+        """The query class one served record falls in."""
+        return record.query.aggregate.name
+
+    def target_for(self, query_class: str) -> SLOTarget:
+        return self.targets.get(query_class, self.default)
+
+
+#: One window sample: (arrival clock, latency, bytes, violated).
+_Sample = Tuple[float, float, float, bool]
+
+
+class SLOMonitor:
+    """Folds served queries into rolling per-class SLO windows."""
+
+    def __init__(self, policy: Optional[SLOPolicy] = None) -> None:
+        self.policy = policy or SLOPolicy()
+        self.clock = 0.0  # simulated seconds of serving folded in
+        self.n_recorded = 0
+        self._windows: Dict[str, Deque[_Sample]] = {}
+        self._status: Dict[str, str] = {}
+
+    # Folding ----------------------------------------------------------------
+    def record(self, record: Any, observer: Any = None) -> str:
+        """Fold one served query in; returns the class's new status.
+
+        ``record`` is anything shaped like
+        :class:`~repro.core.agent.ServedQuery` (query, mode, cost,
+        prediction).  Status *transitions* are emitted as ``slo_status``
+        events when an enabled observer is passed.
+        """
+        cost = record.cost
+        self.clock += float(cost.elapsed_sec)
+        self.n_recorded += 1
+        query_class = self.policy.classify(record)
+        target = self.policy.target_for(query_class)
+        violated = target.violated_by(record)
+        window = self._windows.setdefault(query_class, deque())
+        window.append(
+            (
+                self.clock,
+                float(cost.elapsed_sec),
+                float(cost.bytes_scanned),
+                violated,
+            )
+        )
+        self._trim(window)
+        status = self._class_status(target, window)
+        previous = self._status.get(query_class)
+        self._status[query_class] = status
+        if (
+            observer is not None
+            and observer.enabled
+            and status != previous
+        ):
+            observer.event(
+                "slo_status",
+                query_class=query_class,
+                status=status,
+                previous=previous if previous is not None else "none",
+                burn_rate=round(self._burn_rate(target, window), 9),
+                window_n=len(window),
+            )
+        return status
+
+    def _trim(self, window: Deque[_Sample]) -> None:
+        horizon = self.clock - self.policy.window_sec
+        while window and (
+            window[0][0] < horizon or len(window) > self.policy.max_samples
+        ):
+            window.popleft()
+
+    # Evaluation -------------------------------------------------------------
+    @staticmethod
+    def _violation_rate(window: Deque[_Sample]) -> float:
+        if not window:
+            return 0.0
+        return sum(1 for s in window if s[3]) / len(window)
+
+    def _burn_rate(
+        self, target: SLOTarget, window: Deque[_Sample]
+    ) -> float:
+        budget = 1.0 - target.objective
+        return self._violation_rate(window) / budget
+
+    def _class_status(
+        self, target: SLOTarget, window: Deque[_Sample]
+    ) -> str:
+        burn = self._burn_rate(target, window)
+        if burn >= target.breach_burn_rate:
+            return "breach"
+        if burn >= target.warn_burn_rate:
+            return "warn"
+        return "ok"
+
+    def health(self) -> Dict[str, Any]:
+        """The deterministic health snapshot ``session.health()`` returns."""
+        classes: Dict[str, Dict[str, Any]] = {}
+        worst = "ok"
+        for query_class in sorted(self._windows):
+            window = self._windows[query_class]
+            target = self.policy.target_for(query_class)
+            status = self._status.get(query_class, "ok")
+            latencies = [s[1] for s in window]
+            classes[query_class] = {
+                "status": status,
+                "n": len(window),
+                "violation_rate": round(self._violation_rate(window), 9),
+                "burn_rate": round(self._burn_rate(target, window), 9),
+                "objective": target.objective,
+                "latency_target_sec": target.latency_sec,
+                "latency_p50_sec": round(_quantile(latencies, 0.5), 9),
+                f"latency_p{int(target.latency_quantile * 100)}_sec": round(
+                    _quantile(latencies, target.latency_quantile), 9
+                ),
+            }
+            if _STATUS_ORDER.index(status) > _STATUS_ORDER.index(worst):
+                worst = status
+        return {
+            "status": worst,
+            "clock_sec": round(self.clock, 9),
+            "queries_recorded": self.n_recorded,
+            "classes": classes,
+        }
+
+
+def _quantile(values: List[float], q: float) -> float:
+    """Exact order-statistic quantile (deterministic, no interpolation)."""
+    if not values:
+        return 0.0
+    ordered = sorted(values)
+    index = max(0, min(len(ordered) - 1, math.ceil(q * len(ordered)) - 1))
+    return ordered[index]

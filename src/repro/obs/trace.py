@@ -220,8 +220,15 @@ class TraceRecorder:
             )
         return {"traceEvents": events, "displayTimeUnit": "ms"}
 
-    def export(self, path: str) -> str:
-        """Write the Chrome trace JSON to ``path``; returns the path."""
+    def export(self, path: str, overwrite: bool = False) -> str:
+        """Write the Chrome trace JSON to ``path``; returns the path.
+
+        Parent directories are created; an existing file is refused
+        unless ``overwrite=True``.
+        """
+        from repro.obs.export import prepare_export_path
+
+        path = prepare_export_path(path, overwrite=overwrite)
         with open(path, "w") as handle:
             json.dump(self.to_chrome_trace(), handle, indent=None)
         return path

@@ -12,16 +12,21 @@ subsystems by hand::
     answer.value        # the analytical answer
     answer.mode         # "train" | "predicted" | "fallback"
     answer.explanation  # lazily built piecewise-linear explanation
+    answer.profile      # EXPLAIN ANALYZE flight record (observer attached)
 
 The session owns a simulated cluster, a store, the exact engine and one
 SEA agent; it exposes SQL in, answers out, with per-query provenance and
-cumulative savings statistics.
+cumulative savings statistics.  ``session.explain(sql)`` plans a query
+without executing it; ``session.health()`` summarises SLO burn rates and
+accuracy-drift anomalies over everything served so far.
 """
 
 from __future__ import annotations
 
+import json
+import os
 from dataclasses import dataclass
-from typing import Dict, List, Optional, Sequence
+from typing import Dict, List, Optional, Sequence, Union
 
 import numpy as np
 
@@ -36,6 +41,8 @@ from repro.core.persistence import load_agent_models, save_agent_models
 from repro.data.tabular import Table
 from repro.explain.explanations import Explanation, ExplanationBuilder
 from repro.obs.observer import Observer, StackObserver
+from repro.obs.profile import QueryProfile, build_plan_profile
+from repro.obs.slo import SLOMonitor, SLOPolicy
 from repro.parallel import ScanExecutor
 from repro.queries.query import AnalyticsQuery
 from repro.queries.sql import parse_query
@@ -50,6 +57,7 @@ class SessionAnswer:
     mode: str
     cost: CostReport
     _session: Optional["SEASession"] = None
+    _profile: Optional[QueryProfile] = None
 
     @property
     def explanation(self) -> Explanation:
@@ -61,10 +69,25 @@ class SessionAnswer:
         if self._session is None:
             raise ConfigurationError(
                 "this SessionAnswer is detached from its SEASession "
-                "(e.g. it was unpickled); call session.explain(answer.query) "
+                "(e.g. it was unpickled); call session.explanation(answer.query) "
                 "on a live session instead"
             )
-        return self._session.explain(self.query)
+        return self._session.explanation(self.query)
+
+    @property
+    def profile(self) -> QueryProfile:
+        """The query's EXPLAIN ANALYZE flight record (plan + actuals).
+
+        Recorded only while an observer is attached — profiling rides the
+        same null-observer contract as spans and metrics, so detached
+        sessions pay nothing and have nothing to show.
+        """
+        if self._profile is None:
+            raise ConfigurationError(
+                "no profile was recorded for this answer; attach an "
+                "observer (session.attach_observer()) before submitting"
+            )
+        return self._profile
 
     def __repr__(self) -> str:
         return (
@@ -99,6 +122,7 @@ class SEASession:
         self.partitions_per_node = partitions_per_node
         self._explainer = ExplanationBuilder(n_probes=13, span=(0.6, 1.4))
         self.observer: Optional[Observer] = None
+        self.slo: Optional[SLOMonitor] = None
         if observer is not None:
             self.attach_observer(observer)
 
@@ -138,17 +162,54 @@ class SEASession:
             )
         return self.observer
 
-    def export_trace(self, path: str) -> str:
+    def export_trace(self, path: str, overwrite: bool = False) -> str:
         """Write the Chrome-trace JSON (Perfetto-viewable) to ``path``."""
-        return self._require_observer().export_trace(path)
+        return self._require_observer().export_trace(path, overwrite=overwrite)
 
-    def export_metrics(self, path: str) -> str:
+    def export_metrics(self, path: str, overwrite: bool = False) -> str:
         """Write the Prometheus-style metrics exposition to ``path``."""
-        return self._require_observer().export_metrics(path)
+        return self._require_observer().export_metrics(path, overwrite=overwrite)
 
-    def export_events(self, path: str) -> str:
+    def export_events(self, path: str, overwrite: bool = False) -> str:
         """Write the structured decision log as JSON Lines to ``path``."""
-        return self._require_observer().export_events(path)
+        return self._require_observer().export_events(path, overwrite=overwrite)
+
+    def export_profiles(self, path: str, overwrite: bool = False) -> str:
+        """Write every recorded :class:`QueryProfile` as JSON Lines."""
+        return self._require_observer().export_profiles(path, overwrite=overwrite)
+
+    def export_observability(
+        self, directory: str, overwrite: bool = False
+    ) -> Dict[str, str]:
+        """One-shot dump of every observability surface into ``directory``.
+
+        Writes ``trace.json``, ``metrics.prom``, ``events.jsonl``,
+        ``profiles.jsonl`` and ``health.json``; returns the written paths
+        keyed by surface name.  Parent directories are created; existing
+        files are refused unless ``overwrite=True``.
+        """
+        observer = self._require_observer()
+        join = lambda name: os.path.join(directory, name)
+        paths = {
+            "trace": observer.export_trace(join("trace.json"), overwrite=overwrite),
+            "metrics": observer.export_metrics(
+                join("metrics.prom"), overwrite=overwrite
+            ),
+            "events": observer.export_events(
+                join("events.jsonl"), overwrite=overwrite
+            ),
+            "profiles": observer.export_profiles(
+                join("profiles.jsonl"), overwrite=overwrite
+            ),
+        }
+        from repro.obs.export import prepare_export_path
+
+        health_path = prepare_export_path(join("health.json"), overwrite=overwrite)
+        with open(health_path, "w") as handle:
+            json.dump(self.health(), handle, sort_keys=True, indent=2)
+            handle.write("\n")
+        paths["health"] = health_path
+        return paths
 
     # Data management -------------------------------------------------------
     def load_table(self, table: Table) -> None:
@@ -175,12 +236,15 @@ class SEASession:
     def submit(self, query: AnalyticsQuery) -> SessionAnswer:
         """Run one already-built query through the agent."""
         record: ServedQuery = self.agent.submit(query)
+        if self.slo is not None:
+            self.slo.record(record, self.observer)
         return SessionAnswer(
             query=query,
             value=record.answer,
             mode=record.mode,
             cost=record.cost,
             _session=self,
+            _profile=record.profile,
         )
 
     def sql_many(self, statements: Sequence[str]) -> List[SessionAnswer]:
@@ -197,6 +261,9 @@ class SEASession:
     ) -> List[SessionAnswer]:
         """Run many already-built queries through the agent's batch path."""
         records = self.agent.submit_batch(queries)
+        if self.slo is not None:
+            for record in records:
+                self.slo.record(record, self.observer)
         return [
             SessionAnswer(
                 query=record.query,
@@ -204,11 +271,31 @@ class SEASession:
                 mode=record.mode,
                 cost=record.cost,
                 _session=self,
+                _profile=record.profile,
             )
             for record in records
         ]
 
-    def explain(self, query: AnalyticsQuery) -> Explanation:
+    def explain(
+        self, statement_or_query: Union[str, AnalyticsQuery]
+    ) -> QueryProfile:
+        """Plan a query without executing it (``EXPLAIN``).
+
+        Returns a :class:`~repro.obs.QueryProfile` holding the zone-map
+        scan plan (per-partition skip/synopsis/scan with bytes saved) and
+        the agent's predicted serving decision — which path *would* run,
+        with the driving error estimate and answer-cache status.  Nothing
+        is read, nothing is charged, and no serving statistic moves.
+        Works with or without an observer attached.
+        """
+        query = (
+            parse_query(statement_or_query)
+            if isinstance(statement_or_query, str)
+            else statement_or_query
+        )
+        return build_plan_profile(query, self.engine, agent=self.agent)
+
+    def explanation(self, query: AnalyticsQuery) -> Explanation:
         """An explanation for ``query`` (data-less when models cover it)."""
         predictor = self.agent.predictor(query)
         try:
@@ -218,6 +305,44 @@ class SEASession:
         if prediction is not None and prediction.reliable:
             return self._explainer.from_predictor(query, predictor)
         return self._explainer.from_engine(query, self.engine)
+
+    # Health -----------------------------------------------------------------
+    def attach_slo(self, policy: Optional[SLOPolicy] = None) -> SLOMonitor:
+        """Start (or replace) SLO monitoring for this session.
+
+        Everything already served replays into the fresh monitor in
+        submission order on the same simulated clock, so attaching late
+        loses no history.
+        """
+        self.slo = SLOMonitor(policy or SLOPolicy())
+        for record in self.agent.history:
+            self.slo.record(record)
+        return self.slo
+
+    def health(self) -> Dict[str, object]:
+        """Rolling SLO + accuracy-drift health for everything served.
+
+        Lazily attaches a default :class:`SLOPolicy` when none is
+        configured.  The snapshot carries per-class burn rates and
+        latency quantiles plus the accuracy anomaly counters, and is
+        logged as a ``slo_health`` decision event when an observer is
+        attached.
+        """
+        if self.slo is None:
+            self.attach_slo()
+        snapshot = self.slo.health()
+        snapshot["anomaly"] = self.agent.anomaly.summary()
+        if self.observer is not None and self.observer.enabled:
+            self.observer.event(
+                "slo_health",
+                status=snapshot["status"],
+                queries_recorded=snapshot["queries_recorded"],
+                classes={
+                    name: info["status"]
+                    for name, info in snapshot["classes"].items()
+                },
+            )
+        return snapshot
 
     # Persistence ------------------------------------------------------------
     def save_models(self, path: str) -> int:

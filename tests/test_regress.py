@@ -1,0 +1,117 @@
+"""The benchmark regression sentinel (``benchmarks/regress.py``).
+
+Drives :func:`regress.main` against synthetic trajectory files in a tmp
+directory: a 20% slowdown in the newest entry must flag (exit 1), stable
+or improved trajectories must pass, thin histories are skipped, noisy
+histories widen the tolerance band, and lower-is-better metrics flag in
+the opposite direction.
+"""
+
+import json
+import os
+import sys
+
+import pytest
+
+sys.path.insert(0, os.path.join(os.path.dirname(__file__), "..", "benchmarks"))
+
+import regress  # noqa: E402
+
+
+def _write_serving(root, batched_values, sequential=2000.0):
+    entries = [
+        {
+            "experiment": "e03_throughput",
+            "recorded_at": f"2026-08-0{i + 1}T00:00:00",
+            "rows": 50000,
+            "queries": 1000,
+            "batched_qps": value,
+            "batched_qps_iqr": 0.0,
+            "sequential_qps": sequential,
+            "sequential_qps_iqr": 0.0,
+        }
+        for i, value in enumerate(batched_values)
+    ]
+    path = os.path.join(root, "BENCH_serving.json")
+    with open(path, "w") as handle:
+        json.dump({"entries": entries}, handle)
+    return path
+
+
+def _write_parallel(root, wall_values):
+    entries = [
+        {
+            "experiment": "e19_parallel",
+            "n_rows": 60000,
+            "partitions": 16,
+            "sweep": [
+                {"workers": 1, "wall_sec_median": value, "wall_sec_iqr": 0.0},
+                {"workers": 4, "wall_sec_median": value / 2},
+            ],
+        }
+        for value in wall_values
+    ]
+    path = os.path.join(root, "BENCH_parallel.json")
+    with open(path, "w") as handle:
+        json.dump({"entries": entries}, handle)
+    return path
+
+
+class TestRegressionSentinel:
+    def test_flags_synthetic_20pct_slowdown(self, tmp_path, capsys):
+        _write_serving(str(tmp_path), [1000.0, 1000.0, 800.0])
+        assert regress.main(["--root", str(tmp_path)]) == 1
+        err = capsys.readouterr().err
+        assert "REGRESSION" in err
+        assert "batched_qps=800" in err
+
+    def test_passes_on_stable_and_improved_trajectories(self, tmp_path):
+        _write_serving(str(tmp_path), [1000.0, 1000.0, 1000.0])
+        assert regress.main(["--root", str(tmp_path)]) == 0
+        _write_serving(str(tmp_path), [1000.0, 1000.0, 1300.0])
+        assert regress.main(["--root", str(tmp_path)]) == 0
+
+    def test_small_dip_within_tolerance_passes(self, tmp_path):
+        _write_serving(str(tmp_path), [1000.0, 1000.0, 950.0])
+        assert regress.main(["--root", str(tmp_path)]) == 0
+
+    def test_thin_history_is_skipped_not_gated(self, tmp_path, capsys):
+        # One prior entry is not a trend: even a 50% drop passes.
+        _write_serving(str(tmp_path), [1000.0, 500.0])
+        assert regress.main(["--root", str(tmp_path)]) == 0
+        assert "checked" not in capsys.readouterr().out
+
+    def test_noisy_history_widens_the_band(self, tmp_path):
+        # Prior IQR ~300: a drop that the flat-history gate would flag
+        # stays within 1.5x IQR of this noisy trajectory.
+        _write_serving(str(tmp_path), [700.0, 1000.0, 1300.0, 800.0])
+        assert regress.main(["--root", str(tmp_path)]) == 0
+
+    def test_lower_is_better_flags_slowdowns_only(self, tmp_path):
+        _write_parallel(str(tmp_path), [10.0, 10.0, 12.5])
+        assert regress.main(["--root", str(tmp_path)]) == 1
+        _write_parallel(str(tmp_path), [10.0, 10.0, 8.0])
+        assert regress.main(["--root", str(tmp_path)]) == 0
+
+    def test_groups_never_mix_scales(self, tmp_path):
+        # A reduced-scale smoke entry trails full-scale history: its
+        # different (rows, queries) key forms a separate (thin) group.
+        path = _write_serving(str(tmp_path), [1000.0, 1000.0, 1000.0])
+        payload = json.load(open(path))
+        smoke = dict(payload["entries"][-1])
+        smoke.update({"rows": 10000, "queries": 300, "batched_qps": 100.0})
+        payload["entries"].append(smoke)
+        json.dump(payload, open(path, "w"))
+        assert regress.main(["--root", str(tmp_path)]) == 0
+
+    def test_missing_and_corrupt_files_are_tolerated(self, tmp_path):
+        assert regress.main(["--root", str(tmp_path)]) == 0
+        with open(os.path.join(str(tmp_path), "BENCH_serving.json"), "w") as f:
+            f.write("not json")
+        assert regress.main(["--root", str(tmp_path)]) == 0
+
+    def test_committed_repo_trajectories_pass(self):
+        repo_root = os.path.abspath(
+            os.path.join(os.path.dirname(__file__), "..")
+        )
+        assert regress.main(["--root", repo_root]) == 0
