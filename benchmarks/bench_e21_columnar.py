@@ -1,0 +1,258 @@
+"""E21 — columnar compressed partitions: bytes scanned and wall-clock vs row layout.
+
+The table is deliberately *unclustered* on the predicate column (a
+low-cardinality category drawn uniformly at random), so every partition
+spans the full category domain and zone maps cannot skip anything —
+the regime where row-major scans have to read every byte.  The columnar
+layout wins twice there:
+
+* **column pruning** — a scan reads only the predicate + aggregate
+  columns' encoded bytes, not the whole wide record;
+* **encoding** — the category column dictionary-encodes to ~1 byte per
+  row and the timestamp column run-length-encodes, shrinking even the
+  columns that are read.
+
+For each target selectivity a category range runs through two otherwise
+identical exact engines over two stores holding the same logical table —
+``layout="row"`` vs ``layout="column"`` — and we record simulated bytes
+scanned and elapsed time, real wall-clock of serving the low-selectivity
+wave, and per-query answer equality (the columnar layout must be
+*invisible* in the answers; byte-identical reprs are asserted every run).
+
+Scale via env vars (reduced in CI): ``E21_ROWS``, ``E21_NODES``,
+``E21_PARTS_PER_NODE``, ``E21_REPEATS``.
+"""
+
+import os
+
+import numpy as np
+
+from repro.baselines import ExactEngine
+from repro.cluster import (
+    LAYOUT_COLUMN,
+    LAYOUT_ROW,
+    ClusterTopology,
+    DistributedStore,
+    columnar_consistent,
+)
+from repro.data import Table
+from repro.queries import AnalyticsQuery, Count, RangeSelection, Sum
+
+from harness import (
+    format_table,
+    record_columnar_benchmark,
+    trial_stats,
+    wallclock,
+    write_result,
+)
+
+N_ROWS = int(os.environ.get("E21_ROWS", 60_000))
+N_NODES = int(os.environ.get("E21_NODES", 8))
+# Many region-sized partitions per node is the realistic serving-store
+# geometry (HBase-style regions); it is also where per-partition work
+# dominates, so layout differences show up in host wall-clock clearly.
+PARTS_PER_NODE = int(os.environ.get("E21_PARTS_PER_NODE", 8))
+REPEATS = int(os.environ.get("E21_REPEATS", 7))
+VALUE_BYTES = 1024  # realistic wide analytical records
+N_CATEGORIES = 100  # selectivity granularity: cat <= k-1 selects ~k%
+SELECTIVITIES = (0.01, 0.05, 0.10, 0.25, 0.50, 1.00)
+
+
+def build_wide_table():
+    """Wide unclustered table: dictionary, RLE and raw columns."""
+    rng = np.random.default_rng(21)
+    columns = {
+        # Uniform unsorted categories: no zone map can prune on this.
+        "cat": rng.integers(0, N_CATEGORIES, N_ROWS).astype(float),
+        # Arrival-ordered timestamps: long runs, run-length encodes.
+        "ts": np.repeat(
+            np.arange(max(1, N_ROWS // 32), dtype=float), 32
+        )[:N_ROWS],
+        "x1": rng.normal(size=N_ROWS),
+        "x2": rng.normal(size=N_ROWS),
+        "x3": rng.normal(size=N_ROWS),
+        "x4": rng.normal(size=N_ROWS),
+        "x5": rng.normal(size=N_ROWS),
+    }
+    if columns["ts"].shape[0] < N_ROWS:
+        pad = np.full(N_ROWS - columns["ts"].shape[0], float(N_ROWS // 32))
+        columns["ts"] = np.concatenate([columns["ts"], pad])
+    return Table(columns, name="data", value_bytes=VALUE_BYTES)
+
+
+def build_stores():
+    table = build_wide_table()
+    stores = {}
+    for layout in (LAYOUT_ROW, LAYOUT_COLUMN):
+        store = DistributedStore(
+            ClusterTopology.single_datacenter(N_NODES), layout=layout
+        )
+        store.put_table(table, partitions_per_node=PARTS_PER_NODE)
+        stores[layout] = store
+    return stores
+
+
+def selectivity_queries(fraction):
+    """Sum + Count over the lowest ``fraction`` of the category domain.
+
+    The predicate is the classic dashboard shape — a time window plus a
+    category filter.  The window covers the whole table so the category
+    range alone sets the selectivity, but the engines still have to
+    evaluate it: per run on the run-length-encoded ``ts`` column versus
+    per row on the row-major float column.
+    """
+    hi = float(max(0, round(fraction * N_CATEGORIES) - 1))
+    selection = RangeSelection(
+        ("ts", "cat"), [0.0, 0.0], [float(N_ROWS), hi]
+    )
+    return [
+        AnalyticsQuery("data", selection, Sum("x1")),
+        AnalyticsQuery("data", selection, Count()),
+    ]
+
+
+def run_columnar_sweep():
+    stores = build_stores()
+    row_engine = ExactEngine(stores[LAYOUT_ROW])
+    col_engine = ExactEngine(stores[LAYOUT_COLUMN])
+    row_stored = stores[LAYOUT_ROW].table("data")
+    col_stored = stores[LAYOUT_COLUMN].table("data")
+    assert columnar_consistent(
+        [p.columnar for p in col_stored.partitions],
+        [p.data for p in col_stored.partitions],
+    )
+    rows = []
+    sweep = []
+    for fraction in SELECTIVITIES:
+        for query in selectivity_queries(fraction):
+            row_answer, row_report = row_engine.execute(query)
+            col_answer, col_report = col_engine.execute(query)
+            # The layout must be invisible in the answer — byte identity.
+            assert repr(row_answer) == repr(col_answer), (
+                f"answer drift at selectivity {fraction}: "
+                f"{row_answer!r} != {col_answer!r}"
+            )
+            # The batched path must agree with the sequential one too.
+            (batched_answer, batched_report), = col_engine.execute_many(
+                [query]
+            )
+            assert repr(batched_answer) == repr(col_answer)
+            assert batched_report.bytes_scanned == col_report.bytes_scanned
+            ratio = row_report.bytes_scanned / max(1, col_report.bytes_scanned)
+            rows.append(
+                [
+                    fraction,
+                    query.aggregate.name,
+                    row_report.bytes_scanned,
+                    col_report.bytes_scanned,
+                    ratio,
+                    row_report.elapsed_sec,
+                    col_report.elapsed_sec,
+                ]
+            )
+            sweep.append(
+                {
+                    "selectivity": fraction,
+                    "aggregate": query.aggregate.name,
+                    "row_bytes": row_report.bytes_scanned,
+                    "col_bytes": col_report.bytes_scanned,
+                    "bytes_ratio": ratio,
+                    "row_sim_sec": row_report.elapsed_sec,
+                    "col_sim_sec": col_report.elapsed_sec,
+                }
+            )
+    # Real wall-clock: serve the low-selectivity wave REPEATS times per
+    # engine; the median damps host noise and the IQR records the spread.
+    low = [
+        q
+        for f in SELECTIVITIES
+        if f <= 0.10
+        for q in selectivity_queries(f)
+    ]
+    wave = low * 10
+    for engine in (row_engine, col_engine):  # warm-up
+        engine.execute_many(wave)
+    # Interleave the trials (row, col, row, col, ...) so slow host
+    # drift — another process, thermal throttling — lands on both
+    # engines equally instead of biasing whichever ran last.
+    samples = {"row_wall_sec_low_sel": [], "col_wall_sec_low_sel": []}
+    for _ in range(REPEATS):
+        samples["row_wall_sec_low_sel"].append(
+            wallclock(lambda: row_engine.execute_many(wave))[1]
+        )
+        samples["col_wall_sec_low_sel"].append(
+            wallclock(lambda: col_engine.execute_many(wave))[1]
+        )
+    walls = {}
+    for name, trials in samples.items():
+        stats = trial_stats(trials)
+        walls[name] = stats["median"]
+        walls[f"{name}_iqr"] = stats["iqr"]
+        # Best-of-trials approximates the unloaded cost: host noise only
+        # ever inflates a trial, so min-vs-min is the robust comparison
+        # (the median still tracks the perf trajectory across commits).
+        walls[f"{name}_min"] = stats["min"]
+    storage = {
+        "row_stored_bytes": row_stored.stored_bytes,
+        "col_stored_bytes": col_stored.stored_bytes,
+        "compression_ratio": row_stored.stored_bytes
+        / max(1, col_stored.stored_bytes),
+    }
+    return rows, sweep, walls, storage
+
+
+def test_e21_columnar(benchmark):
+    rows, sweep, walls, storage = benchmark.pedantic(
+        run_columnar_sweep, rounds=1, iterations=1
+    )
+    table = format_table(
+        "E21: columnar layout, bytes scanned & time vs selectivity",
+        [
+            "selectivity",
+            "aggregate",
+            "row_bytes",
+            "col_bytes",
+            "ratio",
+            "row_sim_s",
+            "col_sim_s",
+        ],
+        rows,
+    )
+    write_result(
+        "e21_columnar",
+        table,
+        extra={"sweep": sweep, "walls": walls, "storage": storage},
+    )
+    # Columnar never scans more than row-major, at any selectivity.
+    for entry in sweep:
+        assert entry["col_bytes"] <= entry["row_bytes"], entry
+    # At <=10% selectivity the encoded column scan reads >=3x fewer
+    # bytes and the simulated elapsed time improves with it (CI gate).
+    for entry in sweep:
+        if entry["selectivity"] <= 0.10:
+            assert entry["bytes_ratio"] >= 3.0, entry
+            assert entry["col_sim_sec"] < entry["row_sim_sec"], entry
+    # Real wall-clock improves too: encoded-domain predicates and late
+    # materialization do strictly less host work per low-sel query.
+    # Compared on best-of-trials — noise only inflates a trial, so the
+    # mins are the two costs with the least host interference in them.
+    assert (
+        walls["col_wall_sec_low_sel_min"] < walls["row_wall_sec_low_sel_min"]
+    ), walls
+    # Encoding must shrink the stored footprint as well.
+    assert storage["compression_ratio"] > 1.0, storage
+    record_columnar_benchmark(
+        "e21_columnar",
+        n_rows=N_ROWS,
+        n_nodes=N_NODES,
+        partitions=N_NODES * PARTS_PER_NODE,
+        value_bytes=VALUE_BYTES,
+        sweep=sweep,
+        **walls,
+        **storage,
+    )
+    low_sum = [
+        e for e in sweep if e["selectivity"] <= 0.10 and e["aggregate"] == "sum(x1)"
+    ]
+    if low_sum:
+        benchmark.extra_info["bytes_ratio_at_10pct"] = low_sum[-1]["bytes_ratio"]

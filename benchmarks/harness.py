@@ -24,6 +24,7 @@ BENCH_PRUNING_PATH = os.path.join(REPO_ROOT, "BENCH_pruning.json")
 BENCH_FAULTS_PATH = os.path.join(REPO_ROOT, "BENCH_faults.json")
 BENCH_PARALLEL_PATH = os.path.join(REPO_ROOT, "BENCH_parallel.json")
 BENCH_OBS_PATH = os.path.join(REPO_ROOT, "BENCH_obs.json")
+BENCH_COLUMNAR_PATH = os.path.join(REPO_ROOT, "BENCH_columnar.json")
 
 
 def wallclock(fn: Callable[[], Any]) -> Tuple[Any, float]:
@@ -89,6 +90,11 @@ def record_parallel_benchmark(experiment: str, **fields: Any) -> str:
 def record_obs_benchmark(experiment: str, **fields: Any) -> str:
     """Append one observability-overhead measurement to ``BENCH_obs.json``."""
     return record_cumulative_benchmark(BENCH_OBS_PATH, experiment, **fields)
+
+
+def record_columnar_benchmark(experiment: str, **fields: Any) -> str:
+    """Append one columnar-layout measurement to ``BENCH_columnar.json``."""
+    return record_cumulative_benchmark(BENCH_COLUMNAR_PATH, experiment, **fields)
 
 
 def trial_stats(samples: Sequence[float]) -> Dict[str, float]:

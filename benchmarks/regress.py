@@ -173,6 +173,49 @@ def _obs_group(entry: Dict[str, Any]) -> Tuple:
     return (entry.get("experiment"), entry.get("rows"), entry.get("queries"))
 
 
+def _columnar_headlines(entry: Dict[str, Any]) -> List[Headline]:
+    out: List[Headline] = []
+    sweep = entry.get("sweep") or []
+    # Low-selectivity entries only, and only where the row layout read
+    # anything at all: at selectivity 1.0 both layouts answer from the
+    # synopsis (0 bytes each), which would drag a naive median to zero.
+    ratios = [
+        row["bytes_ratio"]
+        for row in sweep
+        if isinstance(row, dict)
+        and isinstance(row.get("bytes_ratio"), (int, float))
+        and isinstance(row.get("selectivity"), (int, float))
+        and row["selectivity"] <= 0.10
+        and row.get("row_bytes", 0) > 0
+    ]
+    if ratios:
+        out.append(("bytes_ratio_low_sel_median", _median(ratios), "higher", 0.0))
+    wall = entry.get("col_wall_sec_low_sel")
+    if isinstance(wall, (int, float)):
+        iqr = entry.get("col_wall_sec_low_sel_iqr")
+        out.append(
+            (
+                "col_wall_sec_low_sel",
+                float(wall),
+                "lower",
+                float(iqr) if isinstance(iqr, (int, float)) else 0.0,
+            )
+        )
+    compression = entry.get("compression_ratio")
+    if isinstance(compression, (int, float)):
+        out.append(("compression_ratio", float(compression), "higher", 0.0))
+    return out
+
+
+def _columnar_group(entry: Dict[str, Any]) -> Tuple:
+    return (
+        entry.get("experiment"),
+        entry.get("n_rows"),
+        entry.get("partitions"),
+        entry.get("value_bytes"),
+    )
+
+
 #: filename -> (group key fn, headline extractor).
 REGISTRY = {
     "BENCH_serving.json": (_serving_group, _serving_headlines),
@@ -180,6 +223,7 @@ REGISTRY = {
     "BENCH_faults.json": (_faults_group, _faults_headlines),
     "BENCH_parallel.json": (_parallel_group, _parallel_headlines),
     "BENCH_obs.json": (_obs_group, _obs_headlines),
+    "BENCH_columnar.json": (_columnar_group, _columnar_headlines),
 }
 
 

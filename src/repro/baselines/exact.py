@@ -28,12 +28,22 @@ from __future__ import annotations
 
 from typing import Dict, List, Optional, Sequence, Set, Tuple
 
+import numpy as np
+
 from repro.common.accounting import CostReport
 from repro.common.errors import StorageError
 from repro.common.validation import require
+from repro.cluster.columnar import ColumnarPartition
 from repro.cluster.storage import DistributedStore
 from repro.data.tabular import Table
 from repro.engine.bdas import BDASStack
+from repro.engine.colscan import (
+    ColumnScan,
+    aggregate_columns,
+    columnar_partial,
+    encoded_batch_masks,
+    scan_columns,
+)
 from repro.engine.mapreduce import MapReduceEngine
 from repro.engine.pruning import SCAN, SKIP, SYNOPSIS, ScanPlan, plan_scan, synopsis_partial
 from repro.engine.resources import ResourceManager
@@ -102,7 +112,28 @@ class ExactEngine:
             return None
         return plan_scan(synopses, query.selection, query.aggregate, emit_key=0)
 
-    def _note_plan(self, query: AnalyticsQuery, plan: Optional[ScanPlan]) -> None:
+    def scan_for(self, query: AnalyticsQuery) -> Optional[ColumnScan]:
+        """Column-pruned scan for one query, or None (read full rows).
+
+        Pushdown engages only when every partition of the table carries a
+        columnar layout and the query's selection/aggregate column sets
+        are statically known (:func:`scan_columns`); anything else falls
+        back to the bit-identical row path.
+        """
+        try:
+            stored = self.store.table(query.table_name)
+        except StorageError:
+            return None
+        if not stored.columnar:
+            return None
+        return scan_columns(query.selection, query.aggregate)
+
+    def _note_plan(
+        self,
+        query: AnalyticsQuery,
+        plan: Optional[ScanPlan],
+        scan: Optional[ColumnScan] = None,
+    ) -> None:
         obs = self._engine.observer
         if not obs.enabled:
             return
@@ -119,7 +150,7 @@ class ExactEngine:
                 skipped=plan.n_skipped,
                 covered=plan.n_covered,
             )
-        self._profile_plan(query, plan)
+        self._profile_plan(query, plan, scan=scan)
 
     def _profile_plan(
         self,
@@ -127,6 +158,7 @@ class ExactEngine:
         plan: Optional[ScanPlan],
         lost: Optional[Set[int]] = None,
         pruned: Optional[bool] = None,
+        scan: Optional[ColumnScan] = None,
     ) -> None:
         """Fold the per-partition plan tree into the query's flight record.
 
@@ -151,13 +183,24 @@ class ExactEngine:
             if action == SYNOPSIS:
                 read_bytes = int(plan.synopsis_bytes.get(index, 0))
             elif action == SCAN and (lost is None or index not in lost):
-                read_bytes = int(partition.n_bytes)
+                if scan is not None and partition.columnar is not None:
+                    # Column-pruned encoded scan: the projected columns'
+                    # encoded bytes — exactly what read_columns charges.
+                    read_bytes = int(partition.columnar.column_bytes(scan.columns))
+                else:
+                    read_bytes = int(partition.stored_bytes)
             else:
                 read_bytes = 0
                 if lost is not None and index in lost:
                     action = "lost"
             partitions.append(
-                (action, int(partition.n_rows), int(partition.n_bytes), read_bytes)
+                (
+                    action,
+                    int(partition.n_rows),
+                    int(partition.n_bytes),
+                    read_bytes,
+                    int(partition.stored_bytes),
+                )
             )
         obs.profile_note(
             "plan",
@@ -170,9 +213,16 @@ class ExactEngine:
         aggregate = query.aggregate
         selection = query.selection
 
-        def map_fn(partition: Table):
-            selected = partition.select(selection.mask(partition))
-            return [(0, aggregate.partial(selected))]
+        def map_fn(partition):
+            if isinstance(partition, ColumnarPartition):
+                # Encoded predicate + late materialization: bitwise equal
+                # to the row path below by colscan's contract.
+                return [(0, columnar_partial(partition, selection, aggregate))]
+            # Row path: mask + partial in fused numpy passes —
+            # partial_from_mask is documented to equal
+            # partial(partition.select(mask)) without materializing the
+            # selected rows.
+            return [(0, aggregate.partial_from_mask(partition, selection.mask(partition)))]
 
         def reduce_fn(key, partials):
             return aggregate.merge(partials)
@@ -194,10 +244,16 @@ class ExactEngine:
             return self._execute_degraded(query)
         map_fn, reduce_fn = self._job_fns(query)
         plan = self.plan_for(query)
-        self._note_plan(query, plan)
+        scan = self.scan_for(query)
+        self._note_plan(query, plan, scan=scan)
         with self._engine.observer.profile_activate(query):
             results, report = self._engine.run(
-                query.table_name, map_fn, reduce_fn, n_reducers=1, plan=plan
+                query.table_name,
+                map_fn,
+                reduce_fn,
+                n_reducers=1,
+                plan=plan,
+                scan=scan,
             )
         # Every partition pruned -> no map output reached the reducer; the
         # merge of zero partials is the same neutral answer the unpruned
@@ -231,7 +287,8 @@ class ExactEngine:
         stored = self.store.table(query.table_name)
         synopses = self._aligned_synopses(stored)
         plan = self.plan_for(query)
-        self._note_plan(query, plan)
+        scan = self.scan_for(query)
+        self._note_plan(query, plan, scan=scan)
         if plan is None:
             plan = ScanPlan.scan_everything(len(stored.partitions))
 
@@ -289,13 +346,16 @@ class ExactEngine:
                 plan=plan,
                 on_lost="skip",
                 lost=lost_mid_job,
+                scan=scan,
             )
         for index in lost_mid_job:
             absorb(index, statically=False)
         # absorb() rewrote plan.actions for lost partitions; re-note so the
         # profile's per-partition tree reflects what was actually read.
         if lost:
-            self._profile_plan(query, plan, lost=lost, pruned=self.pruning)
+            self._profile_plan(
+                query, plan, lost=lost, pruned=self.pruning, scan=scan
+            )
         value = results[0] if 0 in results else aggregate.merge([])
         if not lost:
             return value, report
@@ -358,19 +418,59 @@ class ExactEngine:
             selections = [q.selection for q in group]
             aggregates = [q.aggregate for q in group]
             plans = [self.plan_for(q) for q in group]
-            for query, plan in zip(group, plans):
-                self._note_plan(query, plan)
+            scans: Optional[List[Optional[ColumnScan]]] = [
+                self.scan_for(q) for q in group
+            ]
+            for query, plan, scan in zip(group, plans, scans):
+                self._note_plan(query, plan, scan=scan)
             if all(p is None for p in plans):
                 plans = None
+            if all(s is None for s in scans):
+                scans = None
+
+            # Per-job late-materialized partial functions, specialised
+            # once per group: the aggregate's column set decides its
+            # decode target up front (cached scratch of its own columns,
+            # the full decode, or — for column-less Count — the mask
+            # itself), so the per-(job, partition) hot loop below is one
+            # closure call, mirroring the row path's listcomp shape.
+            # See :func:`partial_from_encoded` for why each variant is
+            # bitwise equal to the row partial.
+            def encoded_partial_fn(aggregate, cols):
+                if cols is None:
+                    return lambda part, mask: aggregate.partial_from_mask(
+                        part.to_table(), mask
+                    )
+                if not cols:  # column-less (Count): mask cardinality
+                    return lambda part, mask: float(np.count_nonzero(mask))
+                return lambda part, mask: aggregate.partial_from_mask(
+                    part.scratch_table(cols), mask
+                )
+
+            partial_fns = [
+                encoded_partial_fn(a, aggregate_columns(a)) for a in aggregates
+            ]
 
             def multi_map_fn(
-                partition: Table,
+                partition,
                 active=None,
                 selections=selections,
                 aggregates=aggregates,
+                partial_fns=partial_fns,
             ):
                 if active is None:
                     active = range(len(selections))
+                if isinstance(partition, ColumnarPartition):
+                    # Encoded shared pass: one broadcast comparison per
+                    # column over the encoded domain, then each job's
+                    # late-materialized partial.
+                    masks = encoded_batch_masks(
+                        [selections[j] for j in active], partition
+                    )
+                    return [
+                        [(0, partial_fns[j](partition, mask))]
+                        for j, mask in zip(active, masks)
+                    ]
                 masks = batch_masks([selections[j] for j in active], partition)
                 return [
                     [(0, aggregates[j].partial_from_mask(partition, mask))]
@@ -388,6 +488,7 @@ class ExactEngine:
                 n_reducers=1,
                 plans=plans,
                 profile_targets=group,
+                scans=scans,
             )
             for position, (index, (results, report)) in enumerate(
                 zip(indices, job_results)
@@ -405,6 +506,6 @@ class ExactEngine:
         stored = self.store.table(query.table_name)
         partials = []
         for partition in stored.partitions:
-            selected = partition.data.select(query.selection.mask(partition.data))
-            partials.append(query.aggregate.partial(selected))
+            mask = query.selection.mask(partition.data)
+            partials.append(query.aggregate.partial_from_mask(partition.data, mask))
         return query.aggregate.merge(partials)

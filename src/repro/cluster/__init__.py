@@ -19,7 +19,22 @@ results reflect the metered architecture rather than host-Python speed.
 
 from repro.cluster.node import DataNode
 from repro.cluster.topology import ClusterTopology
-from repro.cluster.storage import DistributedStore, TablePartition, StoredTable
+from repro.cluster.columnar import (
+    BIT_PACKED,
+    DICTIONARY,
+    RAW,
+    RUN_LENGTH,
+    ColumnarPartition,
+    columnar_consistent,
+    encode_column,
+)
+from repro.cluster.storage import (
+    LAYOUT_COLUMN,
+    LAYOUT_ROW,
+    DistributedStore,
+    TablePartition,
+    StoredTable,
+)
 from repro.cluster.synopsis import (
     ColumnStats,
     PartitionSynopsis,
@@ -37,4 +52,13 @@ __all__ = [
     "PartitionSynopsis",
     "estimate_selectivity",
     "synopses_consistent",
+    "ColumnarPartition",
+    "columnar_consistent",
+    "encode_column",
+    "RAW",
+    "DICTIONARY",
+    "RUN_LENGTH",
+    "BIT_PACKED",
+    "LAYOUT_ROW",
+    "LAYOUT_COLUMN",
 ]

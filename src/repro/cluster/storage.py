@@ -11,7 +11,7 @@ is metered.
 from __future__ import annotations
 
 from dataclasses import dataclass
-from typing import Dict, Iterable, List, Optional
+from typing import Dict, Iterable, List, Optional, Sequence
 
 import numpy as np
 
@@ -19,14 +19,28 @@ from repro.common.accounting import CostMeter
 from repro.common.errors import PartitionLostError, StorageError
 from repro.common.rng import SeedLike, make_rng
 from repro.common.validation import require
+from repro.cluster.columnar import ColumnarPartition
 from repro.cluster.synopsis import PartitionSynopsis
 from repro.cluster.topology import ClusterTopology
 from repro.data.tabular import Table
 
+#: Storage layouts: row-major partitions (the seed behaviour) or
+#: per-column encodings chosen at ingest (see repro.cluster.columnar).
+LAYOUT_ROW = "row"
+LAYOUT_COLUMN = "column"
+
 
 @dataclass
 class TablePartition:
-    """One horizontal shard of a stored table."""
+    """One horizontal shard of a stored table.
+
+    ``columnar`` is the partition's encoded image when the table was
+    stored with ``layout="column"`` (None for row-major tables).  The
+    decoded ``data`` stays the logical source of truth — ``n_bytes`` is
+    the row-major serialized size the cost model's *logical* accounting
+    uses, while ``stored_bytes`` is what actually sits on disk (and what
+    a full scan of a columnar partition reads).
+    """
 
     partition_id: str
     table_name: str
@@ -34,6 +48,7 @@ class TablePartition:
     data: Table
     primary_node: str
     replica_nodes: List[str]
+    columnar: Optional[ColumnarPartition] = None
 
     @property
     def n_rows(self) -> int:
@@ -42,6 +57,31 @@ class TablePartition:
     @property
     def n_bytes(self) -> int:
         return self.data.n_bytes
+
+    @property
+    def stored_bytes(self) -> int:
+        """On-disk footprint: encoded bytes for columnar partitions."""
+        if self.columnar is not None:
+            return self.columnar.encoded_bytes
+        return self.data.n_bytes
+
+    @property
+    def row_bytes(self) -> int:
+        """Average serialized bytes one full row costs to point-read."""
+        if self.columnar is not None and self.n_rows > 0:
+            return max(1, self.columnar.encoded_bytes // self.n_rows)
+        return self.data.row_bytes
+
+    def take(self, indices) -> Table:
+        """Materialise full rows at the given positions.
+
+        Columnar partitions gather through the encoded columns (late
+        materialization: only the requested rows are decoded), bitwise
+        equal to ``data.take``.
+        """
+        if self.columnar is not None:
+            return self.columnar.take(indices)
+        return self.data.take(indices)
 
     @property
     def all_nodes(self) -> List[str]:
@@ -62,6 +102,18 @@ class StoredTable:
     @property
     def n_bytes(self) -> int:
         return sum(p.n_bytes for p in self.partitions)
+
+    @property
+    def stored_bytes(self) -> int:
+        """On-disk footprint over all partitions (encoded when columnar)."""
+        return sum(p.stored_bytes for p in self.partitions)
+
+    @property
+    def columnar(self) -> bool:
+        """True iff every partition carries a columnar image."""
+        return bool(self.partitions) and all(
+            p.columnar is not None for p in self.partitions
+        )
 
     def _require_partitions(self) -> None:
         if not self.partitions:
@@ -90,14 +142,27 @@ class StoredTable:
 class DistributedStore:
     """The cluster's storage engine: placement, catalog, metered reads."""
 
-    def __init__(self, topology: ClusterTopology, replication: int = 1) -> None:
+    def __init__(
+        self,
+        topology: ClusterTopology,
+        replication: int = 1,
+        layout: str = LAYOUT_ROW,
+    ) -> None:
         require(replication >= 1, "replication must be >= 1")
         require(
             replication <= len(topology),
             f"replication {replication} exceeds cluster size {len(topology)}",
         )
+        require(
+            layout in (LAYOUT_ROW, LAYOUT_COLUMN),
+            f"unknown layout {layout!r} (expected 'row' or 'column')",
+        )
         self.topology = topology
         self.replication = replication
+        # Default partition layout for put_table (per-table override there).
+        # "row" preserves the seed path byte-for-byte; "column" stores the
+        # encoded image alongside and lets engines scan it instead.
+        self.layout = layout
         self._catalog: Dict[str, StoredTable] = {}
         # Per-table zone-map synopses, index-aligned with the partitions.
         self._synopses: Dict[str, List[PartitionSynopsis]] = {}
@@ -157,14 +222,26 @@ class DistributedStore:
         partitions_per_node: int = 1,
         nodes: Optional[List[str]] = None,
         seed: SeedLike = 0,
+        layout: Optional[str] = None,
     ) -> StoredTable:
         """Shard ``table`` row-wise across nodes and register it.
 
         Partitions are placed round-robin over ``nodes`` (default: every
         node of the topology); replicas go to the next nodes in the ring.
+
+        ``layout`` overrides the store default per table: ``"column"``
+        additionally builds each partition's encoded columnar image at
+        ingest (encodings chosen per column from cheap statistics and
+        recorded in the partition synopsis), which engines scan instead
+        of the row image while answers stay byte-identical.
         """
         if table.name in self._catalog:
             raise StorageError(f"table {table.name!r} already stored")
+        layout = layout if layout is not None else self.layout
+        require(
+            layout in (LAYOUT_ROW, LAYOUT_COLUMN),
+            f"unknown layout {layout!r} (expected 'row' or 'column')",
+        )
         target_nodes = list(nodes) if nodes is not None else self.topology.node_ids
         require(len(target_nodes) >= 1, "need at least one target node")
         for node_id in target_nodes:
@@ -192,19 +269,29 @@ class DistributedStore:
                 data=shard,
                 primary_node=primary,
                 replica_nodes=replicas,
+                columnar=(
+                    ColumnarPartition.from_table(shard)
+                    if layout == LAYOUT_COLUMN
+                    else None
+                ),
             )
             for node_id in partition.all_nodes:
                 self.topology.node(node_id).add_partition(
-                    partition.partition_id, shard.n_bytes
+                    partition.partition_id, partition.stored_bytes
                 )
             partitions.append(partition)
         stored = StoredTable(name=table.name, partitions=partitions)
         self._catalog[table.name] = stored
         # Zone maps are written at ingest (like ORC/Parquet block footers),
         # so building them here is storage-side work, not query-time cost.
-        self._synopses[table.name] = [
-            PartitionSynopsis.from_table(p.data) for p in partitions
-        ]
+        # Columnar tables also record their encoding decisions there.
+        synopses = []
+        for p in partitions:
+            synopsis = PartitionSynopsis.from_table(p.data)
+            if p.columnar is not None:
+                synopsis.encodings = dict(p.columnar.encodings)
+            synopses.append(synopsis)
+        self._synopses[table.name] = synopses
         return stored
 
     def drop_table(self, name: str) -> None:
@@ -212,7 +299,7 @@ class DistributedStore:
         for partition in stored.partitions:
             for node_id in partition.all_nodes:
                 self.topology.node(node_id).drop_partition(
-                    partition.partition_id, partition.n_bytes
+                    partition.partition_id, partition.stored_bytes
                 )
         del self._catalog[name]
         self._synopses.pop(name, None)
@@ -261,15 +348,55 @@ class DistributedStore:
             # A dead node refuses the connection: nothing is charged, so
             # failover to a live replica stays byte-identical to no-fault.
             faults.check_available(serving, partition.partition_id)
-        meter.charge_scan(serving, partition.n_bytes, rows=partition.n_rows)
+        num_bytes = partition.stored_bytes
+        meter.charge_scan(serving, num_bytes, rows=partition.n_rows)
         self._served_bytes[serving] = (
-            self._served_bytes.get(serving, 0) + partition.n_bytes
+            self._served_bytes.get(serving, 0) + num_bytes
         )
         if faults is not None:
             # Transient failures strike after the bytes were served: the
             # wasted attempt's charge is the retry overhead made visible.
             faults.maybe_fail_read(serving, partition.partition_id)
         return partition.data
+
+    def read_columns(
+        self,
+        partition: TablePartition,
+        columns: Optional[Sequence[str]],
+        meter: CostMeter,
+        node_id: Optional[str] = None,
+    ) -> ColumnarPartition:
+        """Column-pruned scan of a columnar partition, charged to ``meter``.
+
+        Reads (and charges) only the named columns' *encoded* bytes —
+        the storage-side half of late materialization.  Fault-injection
+        semantics mirror :meth:`read_partition` exactly (availability
+        checked before any charge, transient failures strike after the
+        bytes were served), so failover replays are byte-identical
+        between the row and columnar paths.
+        """
+        if partition.columnar is None:
+            raise StorageError(
+                f"partition {partition.partition_id} has no columnar image "
+                "(stored with layout='row')"
+            )
+        serving = node_id if node_id is not None else partition.primary_node
+        if serving not in partition.all_nodes:
+            raise StorageError(
+                f"node {serving} holds no replica of {partition.partition_id}"
+            )
+        faults = self._faults
+        if faults is not None:
+            faults.check_available(serving, partition.partition_id)
+        projected = partition.columnar.project(columns)
+        num_bytes = projected.encoded_bytes
+        meter.charge_scan(serving, num_bytes, rows=partition.n_rows)
+        self._served_bytes[serving] = (
+            self._served_bytes.get(serving, 0) + num_bytes
+        )
+        if faults is not None:
+            faults.maybe_fail_read(serving, partition.partition_id)
+        return projected
 
     def read_rows(
         self,
@@ -298,7 +425,10 @@ class DistributedStore:
         if faults is not None:
             faults.check_available(serving, partition.partition_id)
         idx = np.asarray(row_indices, dtype=int)
-        num_bytes = idx.shape[0] * partition.data.row_bytes
+        # Columnar partitions price a row at its average *encoded* width
+        # (partition.row_bytes); row-major partitions keep the exact
+        # row-major width, so the seed accounting is unchanged.
+        num_bytes = idx.shape[0] * partition.row_bytes
         meter.charge_point_read(serving, num_bytes, rows=idx.shape[0])
         self._served_bytes[serving] = (
             self._served_bytes.get(serving, 0) + num_bytes
@@ -307,7 +437,7 @@ class DistributedStore:
             faults.maybe_fail_read(serving, partition.partition_id)
         if not materialize:
             return None
-        return partition.data.take(idx)
+        return partition.take(idx)
 
     # Mutation (model-maintenance experiments) ------------------------------
     def append_rows(self, name: str, rows: Table, seed: SeedLike = 0) -> None:
@@ -333,6 +463,7 @@ class DistributedStore:
             grown = Table.concat([partition.data, piece], name=name)
             synopses[index] = synopses[index].appended(piece, grown)
             self._replace_partition_data(partition, grown)
+            self._record_encodings(synopses[index], partition)
 
     def delete_rows(self, name: str, predicate) -> int:
         """Delete rows matching ``predicate(table) -> bool mask``; returns count.
@@ -360,15 +491,33 @@ class DistributedStore:
             deleted += hit
             synopses[index] = PartitionSynopsis.from_table(keep)
             self._replace_partition_data(partition, keep)
+            self._record_encodings(synopses[index], partition)
         return deleted
 
     def _replace_partition_data(
         self, partition: TablePartition, new_data: Table
     ) -> None:
-        """Swap a partition's data, keeping every replica's bytes exact."""
-        delta = new_data.n_bytes - partition.n_bytes
+        """Swap a partition's data, keeping every replica's bytes exact.
+
+        Columnar partitions re-encode from the new rows (this *is* the
+        compaction moment: encoding decisions are re-taken from fresh
+        column statistics), and the per-node byte deltas use the encoded
+        footprints so node accounting tracks what is actually stored.
+        """
+        old_stored = partition.stored_bytes
         partition.data = new_data
+        if partition.columnar is not None:
+            partition.columnar = ColumnarPartition.from_table(new_data)
+        delta = partition.stored_bytes - old_stored
         if delta == 0:
             return
         for node_id in partition.all_nodes:
             self.topology.node(node_id).stored_bytes += delta
+
+    @staticmethod
+    def _record_encodings(
+        synopsis: PartitionSynopsis, partition: TablePartition
+    ) -> None:
+        """Mirror a partition's (re-)encoding decisions into its synopsis."""
+        if partition.columnar is not None:
+            synopsis.encodings = dict(partition.columnar.encodings)

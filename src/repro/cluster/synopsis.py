@@ -79,13 +79,21 @@ class ColumnStats:
 
 
 class PartitionSynopsis:
-    """Per-column exact statistics of one stored partition."""
+    """Per-column exact statistics of one stored partition.
 
-    __slots__ = ("n_rows", "columns")
+    ``encodings`` records the partition's columnar encoding decisions
+    (``{column: kind}``, see :mod:`repro.cluster.columnar`) when the
+    table is stored with ``layout="column"``; row-major partitions leave
+    it None.  The store keeps it in sync on ingest and on
+    ``append_rows``/``delete_rows`` re-encodes.
+    """
+
+    __slots__ = ("n_rows", "columns", "encodings")
 
     def __init__(self, n_rows: int, columns: Dict[str, ColumnStats]) -> None:
         self.n_rows = int(n_rows)
         self.columns = columns
+        self.encodings = None
 
     @classmethod
     def from_table(cls, table: Table) -> "PartitionSynopsis":

@@ -46,12 +46,48 @@ class Table:
         )
         for key, arr in arrays.items():
             require(arr.ndim == 1, f"column {key!r} must be 1-dimensional")
+            # Columns are immutable after construction (the zero-copy
+            # paths — column()/engine kernels — hand out these arrays
+            # directly), so store read-only views: an engine that tries
+            # to mutate partition data in place fails loudly instead of
+            # silently corrupting every later query.  Callers keep their
+            # own writable reference to the original buffer.
+            view = arr.view()
+            view.flags.writeable = False
+            arrays[key] = view
         self.name = name
         self._columns = arrays
         # Columns never change after construction, so the shape-derived
         # sizes are fixed; the cost model queries them on every charge.
         self._n_rows = lengths.pop()
         self._n_columns = len(arrays)
+
+    @classmethod
+    def from_arrays(
+        cls,
+        columns: Dict[str, np.ndarray],
+        name: str = "table",
+        value_bytes: int = _BYTES_PER_VALUE,
+    ) -> "Table":
+        """Trusted zero-validation construction from equal-length 1-D arrays.
+
+        Internal fast path for hot materialization loops (the columnar
+        store builds thousands of small tables per batched wave, where
+        ``__init__``'s validation dominates).  Callers must hand over
+        fresh arrays they will not touch again — they are marked
+        read-only in place rather than defensively re-viewed.
+        """
+        self = cls.__new__(cls)
+        self.value_bytes = value_bytes
+        self.name = name
+        n_rows = 0
+        for arr in columns.values():
+            arr.flags.writeable = False
+            n_rows = arr.shape[0]
+        self._columns = columns
+        self._n_rows = n_rows
+        self._n_columns = len(columns)
+        return self
 
     # Basic properties ----------------------------------------------------
     @property

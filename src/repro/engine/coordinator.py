@@ -229,15 +229,17 @@ class CoordinatorEngine:
             morsels.append(
                 Morsel(
                     index=part_index,
-                    payload=(partition.data, chunks),
-                    size_bytes=rows_requested * int(partition.data.row_bytes),
+                    payload=(partition, chunks),
+                    size_bytes=rows_requested * int(partition.row_bytes),
                 )
             )
 
         def materialise(payload):
-            data, chunks = payload
+            partition, chunks = payload
             all_idx = np.unique(np.concatenate(chunks))
-            return all_idx, data.take(all_idx)
+            # TablePartition.take gathers straight from the encoded
+            # columns on columnar layouts, from the row store otherwise.
+            return all_idx, partition.take(all_idx)
 
         if self.executor is not None:
             results = self.executor.run(
@@ -309,7 +311,7 @@ class CoordinatorEngine:
                         piece = union_table.take(np.searchsorted(all_idx, idx))
                     seconds += (
                         idx.size
-                        * partition.data.row_bytes
+                        * partition.row_bytes
                         * meter.rates.point_read_penalty
                         * self.store.read_slowdown(cohort)
                         / meter.rates.disk_bytes_per_sec
@@ -340,7 +342,7 @@ class CoordinatorEngine:
                         piece = union_table.take(np.searchsorted(all_idx, idx))
                     seconds += (
                         idx.size
-                        * partition.data.row_bytes
+                        * partition.row_bytes
                         * meter.rates.point_read_penalty
                         / meter.rates.disk_bytes_per_sec
                     )

@@ -15,7 +15,16 @@ import heapq
 import zlib
 from collections import defaultdict
 from contextlib import contextmanager
-from typing import Any, Callable, Dict, Iterable, List, Optional, Tuple
+from typing import (
+    TYPE_CHECKING,
+    Any,
+    Callable,
+    Dict,
+    Iterable,
+    List,
+    Optional,
+    Tuple,
+)
 
 import numpy as np
 
@@ -30,6 +39,9 @@ from repro.engine.resources import ResourceManager
 from repro.faults.policy import FailoverPolicy
 from repro.obs.observer import NULL_OBSERVER, Observer
 from repro.parallel import Morsel, ScanExecutor, partition_morsels
+
+if TYPE_CHECKING:  # pragma: no cover - typing only
+    from repro.engine.colscan import ColumnScan
 
 MapFn = Callable[[Table], Iterable[Tuple[Any, Any]]]
 ReduceFn = Callable[[Any, List[Any]], Any]
@@ -121,6 +133,7 @@ class MapReduceEngine:
         plan: Optional[ScanPlan] = None,
         on_lost: str = "raise",
         lost: Optional[List[int]] = None,
+        scan: Optional["ColumnScan"] = None,
     ) -> Tuple[Dict[Any, Any], CostReport]:
         """Execute one job; returns (results-by-key, cost report).
 
@@ -129,6 +142,13 @@ class MapReduceEngine:
         charged, and their nodes are never engaged; covered partitions
         emit their precomputed synopsis partials for the price of a
         metadata read.  Without a plan every partition is scanned.
+
+        ``scan`` (a :class:`~repro.engine.colscan.ColumnScan`) enables
+        column pruning on columnar-layout partitions: map tasks read only
+        the scan's columns in encoded form (``map_fn`` then receives a
+        :class:`~repro.cluster.columnar.ColumnarPartition` instead of a
+        :class:`Table` and must handle both), and the meter charges the
+        encoded bytes actually read.  Row-major partitions ignore it.
 
         With a fault injector attached to the store, scans run through
         the engine's :class:`~repro.faults.FailoverPolicy`.  A partition
@@ -173,12 +193,13 @@ class MapReduceEngine:
                     meter,
                     obs,
                     precomputed=self._parallel_map_outputs(
-                        stored, map_fn, plan, obs
+                        stored, map_fn, plan, obs, scan=scan
                     ),
                     plan=plan,
                     driver=driver,
                     on_lost=on_lost,
                     lost=lost,
+                    scan=scan,
                 )
                 meter.advance(map_elapsed)
 
@@ -208,6 +229,7 @@ class MapReduceEngine:
         driver_node: Optional[str] = None,
         plans: Optional[List[Optional[ScanPlan]]] = None,
         profile_targets: Optional[List[Any]] = None,
+        scans: Optional[List[Optional["ColumnScan"]]] = None,
     ) -> List[Tuple[Dict[Any, Any], CostReport]]:
         """Execute many jobs over one table, sharing the real partition pass.
 
@@ -229,6 +251,14 @@ class MapReduceEngine:
         ``profile_targets`` (one query-like object per job, or None)
         routes each job's phase notes to that object's open flight
         record during the per-job charge replay.
+
+        ``scans`` (one :class:`ColumnScan` or None per job) enables
+        column pruning per job, exactly as :meth:`run`'s ``scan``.  A
+        columnar partition's shared pass reads the *union* of the active
+        jobs' scan columns (only when every active job pushed one down —
+        a single row-path job forces the full row payload so its map
+        function sees what it expects); each job's charge replay still
+        pays for its own columns only.
         """
         stored = self.store.table(table_name)
         require(len(stored.partitions) >= 1, "table has no partitions")
@@ -244,6 +274,10 @@ class MapReduceEngine:
             require(
                 len(profile_targets) == n_jobs,
                 f"{len(profile_targets)} profile targets for {n_jobs} jobs",
+            )
+        if scans is not None:
+            require(
+                len(scans) == n_jobs, f"{len(scans)} scans for {n_jobs} jobs"
             )
         faults = self.store.faults
         if faults is not None and faults.active:
@@ -271,6 +305,7 @@ class MapReduceEngine:
                             n_reducers=n_reducers,
                             driver_node=driver_node,
                             plan=plans[j] if plans is not None else None,
+                            scan=scans[j] if scans is not None else None,
                         )
                     )
             return out
@@ -289,6 +324,16 @@ class MapReduceEngine:
         ]
         actives: Dict[int, List[int]] = {}
         morsels: List[Morsel] = []
+        # The all-jobs column union recurs for every fully active
+        # partition (the common case — unclustered data defeats the zone
+        # maps job by job together); compute it once, not per partition.
+        all_pushed = scans is not None and all(s is not None for s in scans)
+        full_union: Optional[tuple] = None
+        if all_pushed:
+            merged: Dict[str, None] = {}
+            for s in scans:
+                merged.update(dict.fromkeys(s.columns))
+            full_union = tuple(merged)
         for index, partition in enumerate(stored.partitions):
             if plans is None:
                 active = list(range(n_jobs))
@@ -301,11 +346,31 @@ class MapReduceEngine:
                 if not active:
                     continue
             actives[index] = active
+            # Column pruning for the shared pass: read the union of the
+            # active jobs' scan columns iff every active job pushed one
+            # down (a row-path job needs the full Table payload).
+            if (
+                scans is not None
+                and partition.columnar is not None
+                and all(scans[j] is not None for j in active)
+            ):
+                if full_union is not None and len(active) == n_jobs:
+                    columns = full_union
+                else:
+                    union: Dict[str, None] = {}
+                    for j in active:
+                        union.update(dict.fromkeys(scans[j].columns))
+                    columns = tuple(union)
+                payload_data = partition.columnar.project(columns)
+                size = payload_data.encoded_bytes
+            else:
+                payload_data = partition.data
+                size = int(partition.n_bytes)
             morsels.append(
                 Morsel(
                     index=index,
-                    payload=(partition.data, active if plans is not None else None),
-                    size_bytes=int(partition.n_bytes),
+                    payload=(payload_data, active if plans is not None else None),
+                    size_bytes=size,
                 )
             )
 
@@ -358,6 +423,7 @@ class MapReduceEngine:
                         obs,
                         precomputed=outputs_per_job[j],
                         plan=plan,
+                        scan=scans[j] if scans is not None else None,
                     )
                     meter.advance(map_elapsed)
                 with self._phase(obs, "shuffle", meter):
@@ -385,6 +451,7 @@ class MapReduceEngine:
         map_fn: Optional[MapFn],
         plan: Optional[ScanPlan],
         obs: Observer,
+        scan: Optional["ColumnScan"] = None,
     ) -> Optional[List[Optional[List[Tuple[Any, Any]]]]]:
         """Precompute map outputs on the worker pool (None = run inline).
 
@@ -393,7 +460,9 @@ class MapReduceEngine:
         ``map_fn`` over the immutable partition data and nothing else —
         every charge, failover retry, and span is replayed serially by
         :meth:`_map_phase` with these outputs, which is what keeps the
-        parallel run byte-identical to the serial one.
+        parallel run byte-identical to the serial one.  With ``scan``,
+        columnar partitions carry column-pruned encoded payloads, exactly
+        the payloads the inline path would hand ``map_fn``.
         """
         executor = self.executor
         if executor is None or not executor.parallel or map_fn is None:
@@ -401,7 +470,11 @@ class MapReduceEngine:
         should_scan = None
         if plan is not None:
             should_scan = lambda i: plan.actions[i] == SCAN
-        morsels = partition_morsels(stored.partitions, should_scan)
+        morsels = partition_morsels(
+            stored.partitions,
+            should_scan,
+            columns=scan.columns if scan is not None else None,
+        )
         if not morsels:
             return None
         results = executor.run(
@@ -460,6 +533,7 @@ class MapReduceEngine:
         driver: Optional[str] = None,
         on_lost: str = "raise",
         lost: Optional[List[int]] = None,
+        scan: Optional["ColumnScan"] = None,
     ) -> Tuple[List[Tuple[str, List[Tuple[Any, Any]]]], float]:
         """Run one map task per partition; returns (per-node outputs, elapsed).
 
@@ -504,10 +578,22 @@ class MapReduceEngine:
                     )
                 node_tasks[node].append(seconds)
                 continue
+            # Columnar fast path: with a pushed-down scan over a columnar
+            # partition, the task reads only the scan's columns in encoded
+            # form.  read_bytes — what the disk/CPU formulas and spans see
+            # — is then the projected encoded footprint; otherwise it is
+            # the partition's stored footprint (== row bytes for row
+            # layout, so the historical charges are bit-identical).
+            use_cols = scan is not None and partition.columnar is not None
             if faulty:
                 try:
                     data, node, fault_seconds = self.failover.read_partition(
-                        self.store, partition, meter, requester=driver, obs=obs
+                        self.store,
+                        partition,
+                        meter,
+                        requester=driver,
+                        obs=obs,
+                        columns=scan.columns if use_cols else None,
                     )
                 except PartitionLostError:
                     if on_lost == "skip":
@@ -515,18 +601,23 @@ class MapReduceEngine:
                             lost.append(index)
                         continue
                     raise
+                read_bytes = data.encoded_bytes if use_cols else partition.stored_bytes
                 seconds = meter.charge_task_startup(node)
                 seconds += fault_seconds
                 seconds += (
-                    data.n_bytes
+                    read_bytes
                     * self.store.read_slowdown(node)
                     / meter.rates.disk_bytes_per_sec
                 )
             else:
                 seconds = meter.charge_task_startup(node)
-                data = self.store.read_partition(partition, meter)
-                seconds += data.n_bytes / meter.rates.disk_bytes_per_sec
-            seconds += meter.charge_cpu(node, data.n_bytes)
+                if use_cols:
+                    data = self.store.read_columns(partition, scan.columns, meter)
+                else:
+                    data = self.store.read_partition(partition, meter)
+                read_bytes = data.encoded_bytes if use_cols else partition.stored_bytes
+                seconds += read_bytes / meter.rates.disk_bytes_per_sec
+            seconds += meter.charge_cpu(node, read_bytes)
             pairs = (
                 precomputed[index] if precomputed is not None else list(map_fn(data))
             )
@@ -537,7 +628,7 @@ class MapReduceEngine:
                         f"map:{partition.partition_id}",
                         node,
                         seconds,
-                        {"rows": data.n_rows, "bytes": data.n_bytes},
+                        {"rows": data.n_rows, "bytes": read_bytes},
                     )
                 )
             node_tasks[node].append(seconds)

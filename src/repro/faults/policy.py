@@ -98,6 +98,7 @@ class FailoverPolicy:
         requester: Optional[str] = None,
         obs: Observer = NULL_OBSERVER,
         prefer: str = PREFER_PRIMARY,
+        columns=None,
     ):
         """Scan ``partition`` from the best live replica.
 
@@ -105,16 +106,21 @@ class FailoverPolicy:
         ``extra_seconds`` is the fault-handling latency (probe timeouts,
         backoff waits, re-dispatch transfers) the caller adds to the
         task's critical-path time.  Raises :class:`PartitionLostError`
-        when no replica can serve.
+        when no replica can serve.  With ``columns`` the read is a
+        column-pruned encoded scan (``store.read_columns``) instead of a
+        full partition read — same probe/retry/failover protocol, only
+        the projected columns' encoded bytes are charged.
         """
+        if columns is not None:
+            attempt_fn = lambda node: store.read_columns(  # noqa: E731
+                partition, columns, meter, node_id=node
+            )
+        else:
+            attempt_fn = lambda node: store.read_partition(  # noqa: E731
+                partition, meter, node_id=node
+            )
         return self._read(
-            store,
-            partition,
-            meter,
-            requester,
-            obs,
-            prefer,
-            lambda node: store.read_partition(partition, meter, node_id=node),
+            store, partition, meter, requester, obs, prefer, attempt_fn
         )
 
     def read_rows(

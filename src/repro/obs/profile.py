@@ -55,9 +55,13 @@ class PartitionProfile:
     """How the plan treated one stored partition.
 
     ``read_bytes`` is what execution actually read there (the full
-    partition for a scan, the synopsis footprint for a short-circuit,
-    zero for a skip or a lost partition), so per-partition rows always
-    reconcile with the job's CostMeter charges.
+    stored partition for a scan, the projected columns' encoded bytes
+    for a column-pruned scan, the synopsis footprint for a
+    short-circuit, zero for a skip or a lost partition), so
+    per-partition rows always reconcile with the job's CostMeter
+    charges.  ``n_bytes`` stays the decoded row-major footprint;
+    ``stored_bytes`` is the on-disk footprint (== ``n_bytes`` for row
+    layout, the encoded bytes for columnar layout).
     """
 
     index: int
@@ -65,12 +69,20 @@ class PartitionProfile:
     n_rows: int
     n_bytes: int
     read_bytes: int
+    stored_bytes: int = -1  # -1 -> defaults to n_bytes (row layout)
+
+    def __post_init__(self) -> None:
+        if self.stored_bytes < 0:
+            self.stored_bytes = self.n_bytes
 
     @property
     def bytes_saved(self) -> int:
-        """Bytes pruning avoided reading here (0 for a plain scan)."""
-        if self.action == P_SCAN:
-            return 0
+        """Decoded bytes the plan + layout avoided reading here.
+
+        Zero for a plain row-major scan; positive when pruning skipped
+        or short-circuited the partition *or* when encoding/column
+        projection shrank what the scan had to read.
+        """
         return self.n_bytes - self.read_bytes
 
     def as_dict(self) -> Dict[str, Any]:
@@ -80,6 +92,7 @@ class PartitionProfile:
             "n_rows": self.n_rows,
             "n_bytes": self.n_bytes,
             "read_bytes": self.read_bytes,
+            "stored_bytes": self.stored_bytes,
         }
 
 
@@ -249,8 +262,12 @@ class QueryProfile:
             )
             for p in self.partitions[:max_partitions]:
                 extra = ""
+                if p.stored_bytes != p.n_bytes:
+                    extra = f" enc={p.stored_bytes}"
                 if p.action == P_SYNOPSIS:
-                    extra = f" read={p.read_bytes}"
+                    extra += f" read={p.read_bytes}"
+                elif p.action == P_SCAN and p.read_bytes != p.stored_bytes:
+                    extra += f" read={p.read_bytes}"
                 if p.bytes_saved:
                     extra += f" saved={p.bytes_saved}"
                 lines.append(
@@ -378,18 +395,26 @@ class FlightRecorder:
             return
         if kind == "plan":
             profile.pruning = bool(fields.get("pruned", False))
-            profile.partitions = [
-                PartitionProfile(
-                    index=index,
-                    action=action,
-                    n_rows=n_rows,
-                    n_bytes=n_bytes,
-                    read_bytes=read_bytes,
+            partitions = []
+            for index, entry in enumerate(fields["partitions"]):
+                # 4-tuples predate columnar layouts (stored == decoded);
+                # 5-tuples carry the encoded on-disk footprint too.
+                if len(entry) == 5:
+                    action, n_rows, n_bytes, read_bytes, stored_bytes = entry
+                else:
+                    action, n_rows, n_bytes, read_bytes = entry
+                    stored_bytes = n_bytes
+                partitions.append(
+                    PartitionProfile(
+                        index=index,
+                        action=action,
+                        n_rows=n_rows,
+                        n_bytes=n_bytes,
+                        read_bytes=read_bytes,
+                        stored_bytes=stored_bytes,
+                    )
                 )
-                for index, (action, n_rows, n_bytes, read_bytes) in enumerate(
-                    fields["partitions"]
-                )
-            ]
+            profile.partitions = partitions
         elif kind == "phase":
             name = fields["name"]
             profile.phases[name] = round(
@@ -469,12 +494,21 @@ def build_plan_profile(query: Any, engine: Any, agent: Any = None) -> QueryProfi
         kind=EXPLAIN,
     )
     plan = engine.plan_for(query)
+    scan_for = getattr(engine, "scan_for", None)
+    scan = scan_for(query) if scan_for is not None else None
     stored = engine.store.table(query.table_name)
     profile.pruning = plan is not None
     for index, partition in enumerate(stored.partitions):
         action = P_SCAN if plan is None else plan.actions[index]
+        columnar = getattr(partition, "columnar", None)
+        stored_bytes = int(
+            getattr(partition, "stored_bytes", partition.n_bytes)
+        )
         if action == P_SCAN:
-            read_bytes = int(partition.n_bytes)
+            if scan is not None and columnar is not None:
+                read_bytes = int(columnar.column_bytes(scan.columns))
+            else:
+                read_bytes = stored_bytes
         elif action == P_SYNOPSIS:
             read_bytes = int(plan.synopsis_bytes.get(index, 0))
         else:
@@ -486,6 +520,7 @@ def build_plan_profile(query: Any, engine: Any, agent: Any = None) -> QueryProfi
                 n_rows=int(partition.n_rows),
                 n_bytes=int(partition.n_bytes),
                 read_bytes=read_bytes,
+                stored_bytes=stored_bytes,
             )
         )
     if agent is not None:

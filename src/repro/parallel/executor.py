@@ -189,22 +189,26 @@ class ScanExecutor:
         )
 
 
-def partition_morsels(partitions, should_scan=None) -> List[Morsel]:
+def partition_morsels(partitions, should_scan=None, columns=None) -> List[Morsel]:
     """Morsels over a stored table's partitions (payload = the data).
 
     ``should_scan(index)`` filters (default: every partition); sizes come
     from the partitions' serialized bytes so the morsel queue starts the
-    heaviest scans first.
+    heaviest scans first.  With ``columns``, columnar partitions carry a
+    column-pruned :class:`ColumnarPartition` payload sized by its encoded
+    bytes (the late-materialization fast path); row-major partitions fall
+    back to the full row payload.
     """
     morsels: List[Morsel] = []
     for index, partition in enumerate(partitions):
         if should_scan is not None and not should_scan(index):
             continue
-        morsels.append(
-            Morsel(
-                index=index,
-                payload=partition.data,
-                size_bytes=int(partition.n_bytes),
-            )
-        )
+        columnar = getattr(partition, "columnar", None)
+        if columns is not None and columnar is not None:
+            payload = columnar.project(columns)
+            size = int(payload.encoded_bytes)
+        else:
+            payload = partition.data
+            size = int(partition.n_bytes)
+        morsels.append(Morsel(index=index, payload=payload, size_bytes=size))
     return morsels

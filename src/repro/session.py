@@ -107,15 +107,22 @@ class SEASession:
         partitions_per_node: int = 2,
         observer: Optional[Observer] = None,
         workers: int = 1,
+        layout: str = "row",
     ) -> None:
         """``workers`` sizes the session's morsel pool (DESIGN §9):
         ``workers=1`` (the default) is the serial path; higher counts fan
         partition-level compute across real host threads while every
         answer, cost report and serving statistic stays byte-identical.
+        ``layout`` picks the default partition storage layout (DESIGN
+        §11): ``"row"`` keeps the historical row-major matrices,
+        ``"column"`` stores encoded columns and unlocks column-pruned
+        scans — answers are byte-identical either way.
         """
         require(n_nodes >= 1, "n_nodes must be >= 1")
         self.topology = ClusterTopology.single_datacenter(n_nodes)
-        self.store = DistributedStore(self.topology, replication=replication)
+        self.store = DistributedStore(
+            self.topology, replication=replication, layout=layout
+        )
         self.executor = ScanExecutor(workers)
         self.engine = ExactEngine(self.store, executor=self.executor)
         self.agent = SEAAgent(self.engine, config or AgentConfig())

@@ -25,7 +25,12 @@ from hypothesis import strategies as st
 
 from repro.baselines import ExactEngine, SegmentStatsCache
 from repro.baselines.sketch import SketchAQPEngine
-from repro.cluster import ClusterTopology, DistributedStore
+from repro.cluster import (
+    LAYOUT_COLUMN,
+    ClusterTopology,
+    DistributedStore,
+    columnar_consistent,
+)
 from repro.cluster.node import DataNode
 from repro.cluster.storage import StoredTable
 from repro.common import CostMeter
@@ -839,3 +844,60 @@ class TestChaos:
                 except PartitionLostError:
                     pass  # legal only when the fallback had no prediction
             store.clear_faults()
+
+    def test_columnar_chaos_consistent(self):
+        """Columnar layout under chaos: only ``PartitionLostError`` may
+        surface, and after every round of faulted queries plus
+        append/delete maintenance the stored encodings still decode to
+        exactly the row data (the ``columnar_consistent`` invariant)."""
+        for round_index in range(self.N_ROUNDS):
+            rng = np.random.default_rng(3000 + round_index)
+            topo = ClusterTopology.single_datacenter(int(rng.integers(3, 6)))
+            store = DistributedStore(
+                topo,
+                replication=int(rng.integers(1, 3)),
+                layout=LAYOUT_COLUMN,
+            )
+            table = uniform_table(
+                800, dims=("x0", "x1"), seed=round_index, name="data"
+            )
+            store.put_table(table, partitions_per_node=2)
+            injector = FaultInjector(
+                random_schedule(rng, store.topology.node_ids),
+                seed=round_index,
+            )
+            store.attach_faults(injector)
+            engine = ExactEngine(store)
+            for step in range(6):
+                injector.advance(float(rng.uniform(0.0, 1.0)))
+                lo = float(rng.uniform(0.0, 50.0))
+                hi = lo + float(rng.uniform(5.0, 50.0))
+                aggregate = [Count(), Sum("x1"), Mean("x1")][step % 3]
+                try:
+                    engine.execute(range_query(lo, hi, aggregate))
+                except PartitionLostError:
+                    pass
+                if step == 3:  # maintenance runs on the healthy store
+                    store.clear_faults()
+                    store.append_rows(
+                        "data",
+                        uniform_table(
+                            60, dims=("x0", "x1"), seed=step, name="data"
+                        ),
+                        seed=step,
+                    )
+                    store.delete_rows(
+                        "data", lambda t: t.column("x0") < 5.0
+                    )
+                    store.attach_faults(injector)
+            store.clear_faults()
+            stored = store.table("data")
+            assert columnar_consistent(
+                [p.columnar for p in stored.partitions],
+                [p.data for p in stored.partitions],
+            )
+            for synopsis, partition in zip(
+                store.synopses("data"), stored.partitions
+            ):
+                assert synopsis.encodings == partition.columnar.encodings
+                assert synopsis.n_rows == partition.n_rows
