@@ -25,6 +25,7 @@ BENCH_FAULTS_PATH = os.path.join(REPO_ROOT, "BENCH_faults.json")
 BENCH_PARALLEL_PATH = os.path.join(REPO_ROOT, "BENCH_parallel.json")
 BENCH_OBS_PATH = os.path.join(REPO_ROOT, "BENCH_obs.json")
 BENCH_COLUMNAR_PATH = os.path.join(REPO_ROOT, "BENCH_columnar.json")
+BENCH_PROCPOOL_PATH = os.path.join(REPO_ROOT, "BENCH_procpool.json")
 
 
 def wallclock(fn: Callable[[], Any]) -> Tuple[Any, float]:
@@ -58,6 +59,10 @@ def record_cumulative_benchmark(path: str, experiment: str, **fields: Any) -> st
     entry: Dict[str, Any] = {
         "experiment": experiment,
         "recorded_at": time.strftime("%Y-%m-%dT%H:%M:%S"),
+        # Speedup-style metrics only compare like with like when the
+        # recording host's core count rides along (regress.py groups
+        # parallel trajectories by it).
+        "host_cpus": os.cpu_count() or 1,
     }
     entry.update({key: _plain(value) for key, value in fields.items()})
     payload["entries"].append(entry)
@@ -95,6 +100,11 @@ def record_obs_benchmark(experiment: str, **fields: Any) -> str:
 def record_columnar_benchmark(experiment: str, **fields: Any) -> str:
     """Append one columnar-layout measurement to ``BENCH_columnar.json``."""
     return record_cumulative_benchmark(BENCH_COLUMNAR_PATH, experiment, **fields)
+
+
+def record_procpool_benchmark(experiment: str, **fields: Any) -> str:
+    """Append one process-executor measurement to ``BENCH_procpool.json``."""
+    return record_cumulative_benchmark(BENCH_PROCPOOL_PATH, experiment, **fields)
 
 
 def trial_stats(samples: Sequence[float]) -> Dict[str, float]:

@@ -26,8 +26,10 @@ import numpy as np
 from repro.common.accounting import CostMeter, CostReport
 from repro.common.errors import StorageError
 from repro.common.validation import require
+from repro.bigdataless.index import group_rows_by_cell
 from repro.cluster.storage import DistributedStore
 from repro.engine.coordinator import CoordinatorEngine
+from repro.engine.specs import GridAssignSpec
 from repro.faults.degraded import UnknownChunk, build_degraded_answer
 from repro.parallel import partition_morsels
 from repro.queries.query import AnalyticsQuery, Answer
@@ -71,8 +73,9 @@ class SegmentStatsCache:
         self._span = span
         # cell key -> {column: (count, sum, sum_sq)}
         self._stats: Dict[Tuple[int, ...], Dict[str, Tuple[float, float, float]]] = {}
-        # cell key -> [(partition_index, row_index), ...]
-        self._rows: Dict[Tuple[int, ...], List[Tuple[int, int]]] = {}
+        # cell key -> [(partition_index, row-index array), ...] with one
+        # ascending run per partition that has rows in the cell.
+        self._rows: Dict[Tuple[int, ...], List[Tuple[int, np.ndarray]]] = {}
         self._directory_built = False
         self.hits = 0
         self.misses = 0
@@ -83,7 +86,11 @@ class SegmentStatsCache:
         stats = sum(
             len(cols) * _STAT_BYTES_PER_COLUMN for cols in self._stats.values()
         )
-        rows = sum(len(refs) * _ROWREF_BYTES for refs in self._rows.values())
+        rows = sum(
+            int(run.size) * _ROWREF_BYTES
+            for refs in self._rows.values()
+            for _, run in refs
+        )
         return stats + rows
 
     @property
@@ -145,10 +152,7 @@ class SegmentStatsCache:
                 self.hits += 1
             partials.append(self._stats_to_partial(query, stats))
         # Boundary cells: surgical reads of their rows, filter exactly.
-        rows_by_partition: Dict[int, List[int]] = {}
-        for key in boundary:
-            for part_idx, row_idx in self._rows.get(key, ()):
-                rows_by_partition.setdefault(part_idx, []).append(row_idx)
+        rows_by_partition = self._fetch_plan(boundary)
         if rows_by_partition:
             stored = self.store.table(self.table_name)
             # The fetched rows are filtered by the selection below, so
@@ -193,14 +197,19 @@ class SegmentStatsCache:
         stored = self.store.table(self.table_name)
         faults = self.store.faults
         faulty = faults is not None and faults.active
+        assign = GridAssignSpec(
+            self.grid_columns, self._lows, self._span, self.cells_per_dim
+        )
         precomputed_cells = None
         if self.executor is not None and self.executor.parallel:
             # Cell assignment is pure compute over immutable partition
             # data; fan it out and leave reads/charges to the loop below.
-            morsels = partition_morsels(stored.partitions)
+            # The spec doubles as the map function so thread and process
+            # executors run the exact same code object.
+            morsels = partition_morsels(stored.partitions, spec=assign)
             precomputed_cells = self.executor.run(
                 morsels,
-                self._cell_of_rows,
+                assign,
                 label="canopy_directory",
                 observer=self.coordinator.observer,
             )
@@ -225,16 +234,28 @@ class SegmentStatsCache:
             cells = (
                 precomputed_cells[part_idx]
                 if precomputed_cells is not None
-                else self._cell_of_rows(data)
+                else assign(data)
             )
-            for row_idx, key in enumerate(map(tuple, cells)):
-                self._rows.setdefault(key, []).append((part_idx, row_idx))
+            keys, segments, _ = group_rows_by_cell(cells, self.cells_per_dim)
+            for key, run in zip(keys, segments):
+                self._rows.setdefault(key, []).append((part_idx, run))
         self._directory_built = True
 
-    def _cell_of_rows(self, data) -> np.ndarray:
-        mats = data.matrix(self.grid_columns)
-        scaled = (mats - self._lows) / self._span * self.cells_per_dim
-        return np.clip(scaled.astype(int), 0, self.cells_per_dim - 1)
+    def _fetch_plan(self, keys) -> Dict[int, np.ndarray]:
+        """Row-fetch plan for ``keys``: partition -> row-index array.
+
+        Runs are concatenated in key order (each run is ascending within
+        its partition), matching the order the old per-row directory
+        produced so fetches stay byte-identical.
+        """
+        parts: Dict[int, List[np.ndarray]] = {}
+        for key in keys:
+            for part_idx, run in self._rows.get(key, ()):
+                parts.setdefault(part_idx, []).append(run)
+        return {
+            part_idx: (runs[0] if len(runs) == 1 else np.concatenate(runs))
+            for part_idx, runs in parts.items()
+        }
 
     def _classify_cells(self, selection: RangeSelection):
         """Cell keys fully inside vs partially overlapping the query box."""
@@ -273,9 +294,7 @@ class SegmentStatsCache:
         returned for this answer but never cached — the cache only ever
         holds complete cells.
         """
-        rows_by_partition: Dict[int, List[int]] = {}
-        for part_idx, row_idx in self._rows.get(key, ()):
-            rows_by_partition.setdefault(part_idx, []).append(row_idx)
+        rows_by_partition = self._fetch_plan((key,))
         stats: Dict[str, Tuple[float, float, float]] = {}
         if rows_by_partition:
             stored = self.store.table(self.table_name)

@@ -28,29 +28,20 @@ from __future__ import annotations
 
 from typing import Dict, List, Optional, Sequence, Set, Tuple
 
-import numpy as np
-
 from repro.common.accounting import CostReport
 from repro.common.errors import StorageError
 from repro.common.validation import require
-from repro.cluster.columnar import ColumnarPartition
 from repro.cluster.storage import DistributedStore
 from repro.data.tabular import Table
 from repro.engine.bdas import BDASStack
-from repro.engine.colscan import (
-    ColumnScan,
-    aggregate_columns,
-    columnar_partial,
-    encoded_batch_masks,
-    scan_columns,
-)
+from repro.engine.colscan import ColumnScan, scan_columns
 from repro.engine.mapreduce import MapReduceEngine
 from repro.engine.pruning import SCAN, SKIP, SYNOPSIS, ScanPlan, plan_scan, synopsis_partial
 from repro.engine.resources import ResourceManager
+from repro.engine.specs import BatchPartialSpec, QueryPartialSpec
 from repro.faults.degraded import UnknownChunk, build_degraded_answer
 from repro.faults.policy import FailoverPolicy
 from repro.queries.query import AnalyticsQuery, Answer
-from repro.queries.selections import batch_masks
 
 
 class ExactEngine:
@@ -211,18 +202,11 @@ class ExactEngine:
 
     def _job_fns(self, query: AnalyticsQuery):
         aggregate = query.aggregate
-        selection = query.selection
 
-        def map_fn(partition):
-            if isinstance(partition, ColumnarPartition):
-                # Encoded predicate + late materialization: bitwise equal
-                # to the row path below by colscan's contract.
-                return [(0, columnar_partial(partition, selection, aggregate))]
-            # Row path: mask + partial in fused numpy passes —
-            # partial_from_mask is documented to equal
-            # partial(partition.select(mask)) without materializing the
-            # selected rows.
-            return [(0, aggregate.partial_from_mask(partition, selection.mask(partition)))]
+        # The map kernel is a picklable spec (one code object shared by
+        # the serial, thread, and process paths — see repro.engine.specs
+        # for the encoded/row dispatch it preserves verbatim).
+        map_fn = QueryPartialSpec(query.selection, aggregate)
 
         def reduce_fn(key, partials):
             return aggregate.merge(partials)
@@ -428,54 +412,13 @@ class ExactEngine:
             if all(s is None for s in scans):
                 scans = None
 
-            # Per-job late-materialized partial functions, specialised
-            # once per group: the aggregate's column set decides its
-            # decode target up front (cached scratch of its own columns,
-            # the full decode, or — for column-less Count — the mask
-            # itself), so the per-(job, partition) hot loop below is one
-            # closure call, mirroring the row path's listcomp shape.
-            # See :func:`partial_from_encoded` for why each variant is
-            # bitwise equal to the row partial.
-            def encoded_partial_fn(aggregate, cols):
-                if cols is None:
-                    return lambda part, mask: aggregate.partial_from_mask(
-                        part.to_table(), mask
-                    )
-                if not cols:  # column-less (Count): mask cardinality
-                    return lambda part, mask: float(np.count_nonzero(mask))
-                return lambda part, mask: aggregate.partial_from_mask(
-                    part.scratch_table(cols), mask
-                )
-
-            partial_fns = [
-                encoded_partial_fn(a, aggregate_columns(a)) for a in aggregates
-            ]
-
-            def multi_map_fn(
-                partition,
-                active=None,
-                selections=selections,
-                aggregates=aggregates,
-                partial_fns=partial_fns,
-            ):
-                if active is None:
-                    active = range(len(selections))
-                if isinstance(partition, ColumnarPartition):
-                    # Encoded shared pass: one broadcast comparison per
-                    # column over the encoded domain, then each job's
-                    # late-materialized partial.
-                    masks = encoded_batch_masks(
-                        [selections[j] for j in active], partition
-                    )
-                    return [
-                        [(0, partial_fns[j](partition, mask))]
-                        for j, mask in zip(active, masks)
-                    ]
-                masks = batch_masks([selections[j] for j in active], partition)
-                return [
-                    [(0, aggregates[j].partial_from_mask(partition, mask))]
-                    for j, mask in zip(active, masks)
-                ]
+            # The shared batch-pass kernel is a picklable spec holding
+            # the group's selections/aggregates and their precomputed
+            # column sets; its encoded/row dispatch (broadcast masks +
+            # per-job late-materialized partials) is the historical
+            # ``multi_map_fn`` closure verbatim — see
+            # :class:`repro.engine.specs.BatchPartialSpec`.
+            multi_map_fn = BatchPartialSpec(selections, aggregates)
 
             reduce_fns = [
                 (lambda key, partials, agg=aggregate: agg.merge(partials))

@@ -43,6 +43,55 @@ class CellStats:
         self.sums = total if self.sums is None else self.sums + total
 
 
+def group_rows_by_cell(
+    cells: np.ndarray, cells_per_dim: int
+) -> Tuple[List[CellKey], List[np.ndarray], np.ndarray]:
+    """Group row indices by grid cell in one vectorized pass.
+
+    Returns ``(keys, segments, group_of)``: cell keys in first-appearance
+    order (matching the historical per-row ``setdefault`` loop), the
+    ascending row indices of each key, and the per-row group index into
+    ``keys``.  Key elements are the cell array's scalars, exactly what
+    ``map(tuple, cells)`` produced row by row.
+    """
+    n = int(cells.shape[0])
+    d = int(cells.shape[1])
+    if n == 0:
+        return [], [], np.empty(0, dtype=np.int64)
+    ids = np.ravel_multi_index(tuple(cells.T), dims=(cells_per_dim,) * d)
+    _, first, inverse = np.unique(ids, return_index=True, return_inverse=True)
+    # np.unique orders groups by id value; re-rank them by first
+    # appearance so iteration order matches the old insertion order.
+    order = np.argsort(first, kind="stable")
+    rank = np.empty(order.shape[0], dtype=np.int64)
+    rank[order] = np.arange(order.shape[0], dtype=np.int64)
+    group_of = rank[np.asarray(inverse).ravel()]
+    counts = np.bincount(group_of, minlength=order.shape[0])
+    # Stable sort by group keeps rows ascending within each group.
+    row_order = np.argsort(group_of, kind="stable")
+    segments = np.split(row_order, np.cumsum(counts)[:-1])
+    keys = [tuple(cells[first[g]]) for g in order]
+    return keys, segments, group_of
+
+
+def split_rows_by_partition(
+    rows: np.ndarray, starts: np.ndarray
+) -> List[Tuple[int, np.ndarray]]:
+    """Split ascending global row indices into (partition, local rows) runs.
+
+    ``starts`` holds each partition's first global row (cumulative row
+    counts, length ``n_partitions + 1``).  Ascending input means each
+    partition's rows form one contiguous run, preserved in order.
+    """
+    part_of = np.searchsorted(starts, rows, side="right") - 1
+    cuts = np.flatnonzero(part_of[1:] != part_of[:-1]) + 1
+    heads = np.concatenate(([0], cuts))
+    return [
+        (int(part_of[head]), piece - starts[part_of[head]])
+        for head, piece in zip(heads, np.split(rows, cuts))
+    ]
+
+
 class DistributedGridIndex:
     """Uniform grid index over selected dimensions of a stored table."""
 
@@ -59,36 +108,87 @@ class DistributedGridIndex:
         self.columns = tuple(columns)
         self.cells_per_dim = cells_per_dim
         self._stats: Dict[CellKey, CellStats] = {}
-        self._rows: Dict[CellKey, List[Tuple[int, int]]] = {}
+        #: Per cell: (partition, ascending local row indices) runs, in
+        #: partition order — the vectorized image of the historical
+        #: per-row (partition, row) tuple list.
+        self._rows: Dict[CellKey, List[Tuple[int, np.ndarray]]] = {}
         self._lows: Optional[np.ndarray] = None
         self._span: Optional[np.ndarray] = None
         self.build_report: Optional[CostReport] = None
 
     # Construction -----------------------------------------------------------
     def build(self) -> CostReport:
-        """Scan the table once, populating cell stats and row directories."""
+        """Scan the table once, populating cell stats and row directories.
+
+        The charging loop stays per-partition (reads, CPU, index-byte
+        placement — in partition order, exactly as before); the cell
+        fold itself is one global vectorized pass, bitwise equal to the
+        historical per-row loop (see :meth:`_ingest`).
+        """
         meter = CostMeter()
         stored = self.store.table(self.table_name)
         bounds = self._compute_bounds(stored)
         self._lows, self._span = bounds
         slowest = 0.0
-        for part_idx, partition in enumerate(stored.partitions):
+        per_part_points: List[np.ndarray] = []
+        per_part_cells: List[np.ndarray] = []
+        for partition in stored.partitions:
             data = self.store.read_partition(partition, meter)
             seconds = data.n_bytes / meter.rates.disk_bytes_per_sec
             seconds += meter.charge_cpu(partition.primary_node, data.n_bytes)
             slowest = max(slowest, seconds)
             points = data.matrix(self.columns)
-            cells = self._cell_of(points)
-            for row_idx, key in enumerate(map(tuple, cells)):
-                self._rows.setdefault(key, []).append((part_idx, row_idx))
-                stats = self._stats.setdefault(key, CellStats())
-                stats.add(points[row_idx : row_idx + 1])
+            per_part_points.append(points)
+            per_part_cells.append(self._cell_of(points))
             # The node keeps its share of the row directory.
             node = self.store.topology.node(partition.primary_node)
             node.add_index_bytes(data.n_rows * _ROWREF_BYTES)
         meter.advance(slowest)
+        self._ingest(per_part_points, per_part_cells)
         self.build_report = meter.freeze()
         return self.build_report
+
+    def _ingest(
+        self,
+        per_part_points: List[np.ndarray],
+        per_part_cells: List[np.ndarray],
+    ) -> None:
+        """Vectorized cell fold over all partitions in global row order.
+
+        Bitwise equality with the old per-row ``CellStats.add`` fold
+        needs two properties: the accumulation must run over rows in
+        the *global* (partition-major) order the loop used — so the
+        grouping spans all partitions at once, never per-partition
+        partials — and the accumulator must start at ``-0.0``, the
+        additive identity under IEEE-754 (``-0.0 + x == x`` bitwise,
+        including ``x = +0.0``; a ``0.0`` start would flip the sign of
+        a cell whose rows sum to ``-0.0``).  ``np.add.at`` is unbuffered
+        and applies in
+        index order, i.e. it *is* the sequential left fold.
+        """
+        d = len(self.columns)
+        all_points = (
+            np.concatenate(per_part_points)
+            if per_part_points
+            else np.empty((0, d))
+        )
+        all_cells = (
+            np.concatenate(per_part_cells)
+            if per_part_cells
+            else np.empty((0, d), dtype=int)
+        )
+        keys, segments, group_of = group_rows_by_cell(
+            all_cells, self.cells_per_dim
+        )
+        if not keys:
+            return
+        sums = np.full((len(keys), d), -0.0, dtype=all_points.dtype)
+        np.add.at(sums, group_of, all_points)
+        starts = np.zeros(len(per_part_points) + 1, dtype=np.int64)
+        np.cumsum([p.shape[0] for p in per_part_points], out=starts[1:])
+        for g, (key, rows) in enumerate(zip(keys, segments)):
+            self._stats[key] = CellStats(count=int(rows.size), sums=sums[g].copy())
+            self._rows[key] = split_rows_by_partition(rows, starts)
 
     @property
     def is_built(self) -> bool:
@@ -126,13 +226,21 @@ class DistributedGridIndex:
 
     def rows_for_cells(
         self, keys: Iterable[CellKey]
-    ) -> Dict[int, List[int]]:
-        """{partition_index: row_indices} for the given cells."""
-        rows: Dict[int, List[int]] = {}
+    ) -> Dict[int, np.ndarray]:
+        """{partition_index: row_indices} for the given cells.
+
+        Row arrays concatenate per-cell runs in key order (ascending
+        within each cell) — the exact order the historical per-row
+        append produced, which downstream fetches materialise verbatim.
+        """
+        chunks: Dict[int, List[np.ndarray]] = {}
         for key in keys:
-            for part_idx, row_idx in self._rows.get(key, ()):
-                rows.setdefault(part_idx, []).append(row_idx)
-        return rows
+            for part_idx, rows in self._rows.get(key, ()):
+                chunks.setdefault(part_idx, []).append(rows)
+        return {
+            part_idx: parts[0] if len(parts) == 1 else np.concatenate(parts)
+            for part_idx, parts in chunks.items()
+        }
 
     def density_histogram(self) -> Dict[CellKey, int]:
         """Cell -> count view (the statistical summary operators consult)."""
@@ -174,7 +282,14 @@ class DistributedGridIndex:
         return len(self._stats) * per_cell
 
     def total_state_bytes(self) -> int:
-        rows = sum(len(v) for v in self._rows.values()) * _ROWREF_BYTES
+        rows = (
+            sum(
+                int(run.size)
+                for refs in self._rows.values()
+                for _, run in refs
+            )
+            * _ROWREF_BYTES
+        )
         return self.coordinator_state_bytes() + rows
 
     # Internals ---------------------------------------------------------------

@@ -49,6 +49,10 @@ class TablePartition:
     primary_node: str
     replica_nodes: List[str]
     columnar: Optional[ColumnarPartition] = None
+    #: Bumped on every data swap (append/delete); the shared-memory
+    #: partition store keys its published segments on it so only mutated
+    #: partitions are republished to process-pool workers.
+    generation: int = 0
 
     @property
     def n_rows(self) -> int:
@@ -506,6 +510,7 @@ class DistributedStore:
         """
         old_stored = partition.stored_bytes
         partition.data = new_data
+        partition.generation += 1
         if partition.columnar is not None:
             partition.columnar = ColumnarPartition.from_table(new_data)
         delta = partition.stored_bytes - old_stored

@@ -39,6 +39,7 @@ from repro.engine.resources import ResourceManager
 from repro.faults.policy import FailoverPolicy
 from repro.obs.observer import NULL_OBSERVER, Observer
 from repro.parallel import Morsel, ScanExecutor, partition_morsels
+from repro.parallel.spec import BoundSpec, TaskSpec
 
 if TYPE_CHECKING:  # pragma: no cover - typing only
     from repro.engine.colscan import ColumnScan
@@ -366,11 +367,29 @@ class MapReduceEngine:
             else:
                 payload_data = partition.data
                 size = int(partition.n_bytes)
+            payload_active = active if plans is not None else None
+            # Ship a picklable spec alongside the in-memory payload so a
+            # process executor can run this morsel out-of-process; the
+            # thread/serial paths keep using ``payload`` directly.
+            spec = None
+            if isinstance(multi_map_fn, TaskSpec):
+                spec = (
+                    multi_map_fn
+                    if payload_active is None
+                    else BoundSpec(multi_map_fn, (payload_active,))
+                )
             morsels.append(
                 Morsel(
                     index=index,
-                    payload=(payload_data, active if plans is not None else None),
+                    payload=(payload_data, payload_active),
                     size_bytes=size,
+                    spec=spec,
+                    partition=partition,
+                    columns=(
+                        columns
+                        if payload_data is not partition.data
+                        else None
+                    ),
                 )
             )
 
@@ -474,6 +493,7 @@ class MapReduceEngine:
             stored.partitions,
             should_scan,
             columns=scan.columns if scan is not None else None,
+            spec=map_fn if isinstance(map_fn, TaskSpec) else None,
         )
         if not morsels:
             return None

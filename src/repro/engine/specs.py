@@ -1,0 +1,155 @@
+"""Concrete :class:`~repro.parallel.spec.TaskSpec` kernels for the engines.
+
+Each spec is the *single* code object for its kernel: the engines call
+the same instance inline on the serial and thread paths that the
+process executor pickles out to workers, so the three execution modes
+cannot drift apart.  Every body is pure compute over the partition
+payload — charging, fault draws, and tracing stay on the caller (see
+DESIGN §9/§12, the "workers compute, the caller charges" contract).
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import Any, List, Optional, Sequence, Tuple
+
+import numpy as np
+
+from repro.cluster.columnar import ColumnarPartition
+from repro.engine.colscan import (
+    aggregate_columns,
+    columnar_partial,
+    encoded_batch_masks,
+)
+from repro.parallel.spec import TaskSpec
+from repro.queries.selections import batch_masks
+
+__all__ = [
+    "QueryPartialSpec",
+    "BatchPartialSpec",
+    "RowTakeSpec",
+    "GridAssignSpec",
+]
+
+
+@dataclass(frozen=True)
+class QueryPartialSpec(TaskSpec):
+    """Single-query map kernel: selection mask + aggregate partial.
+
+    Mirrors ``ExactEngine._job_fns``'s historical closure exactly: the
+    encoded path on columnar partitions, the fused mask/partial row path
+    otherwise.  Returns the map-output pair list the reducer expects.
+    """
+
+    selection: Any
+    aggregate: Any
+
+    def __call__(self, partition) -> List[Tuple[int, Any]]:
+        if isinstance(partition, ColumnarPartition):
+            # Encoded predicate + late materialization: bitwise equal
+            # to the row path below by colscan's contract.
+            return [(0, columnar_partial(partition, self.selection, self.aggregate))]
+        # Row path: mask + partial in fused numpy passes —
+        # partial_from_mask is documented to equal
+        # partial(partition.select(mask)) without materializing the
+        # selected rows.
+        return [
+            (
+                0,
+                self.aggregate.partial_from_mask(
+                    partition, self.selection.mask(partition)
+                ),
+            )
+        ]
+
+
+class BatchPartialSpec(TaskSpec):
+    """Shared batch-pass kernel: broadcast masks, per-job partials.
+
+    Picklable replacement for ``ExactEngine.execute_many``'s
+    ``multi_map_fn`` closure.  The per-aggregate decode target (full
+    decode, cached scratch of the aggregate's own columns, or — for the
+    column-less Count — the mask itself) is resolved once per call from
+    the precomputed column sets instead of captured lambdas, which do
+    not pickle.
+    """
+
+    def __init__(self, selections: Sequence[Any], aggregates: Sequence[Any]) -> None:
+        self.selections = tuple(selections)
+        self.aggregates = tuple(aggregates)
+        self.aggregate_cols = tuple(aggregate_columns(a) for a in aggregates)
+
+    def _encoded_partial(self, job: int, partition, mask) -> Any:
+        cols = self.aggregate_cols[job]
+        aggregate = self.aggregates[job]
+        if cols is None:
+            return aggregate.partial_from_mask(partition.to_table(), mask)
+        if not cols:  # column-less (Count): mask cardinality
+            return float(np.count_nonzero(mask))
+        return aggregate.partial_from_mask(partition.scratch_table(cols), mask)
+
+    def __call__(self, partition, active=None) -> List[List[Tuple[int, Any]]]:
+        if active is None:
+            active = range(len(self.selections))
+        if isinstance(partition, ColumnarPartition):
+            # Encoded shared pass: one broadcast comparison per column
+            # over the encoded domain, then each job's late-materialized
+            # partial.
+            masks = encoded_batch_masks(
+                [self.selections[j] for j in active], partition
+            )
+            return [
+                [(0, self._encoded_partial(j, partition, mask))]
+                for j, mask in zip(active, masks)
+            ]
+        masks = batch_masks([self.selections[j] for j in active], partition)
+        return [
+            [(0, self.aggregates[j].partial_from_mask(partition, mask))]
+            for j, mask in zip(active, masks)
+        ]
+
+
+@dataclass(frozen=True)
+class RowTakeSpec(TaskSpec):
+    """Row-materialisation kernel for the coordinator's fetch cache.
+
+    ``chunks`` are the per-plan index arrays requesting rows of one
+    partition; the kernel unions them and gathers the rows —
+    ``TablePartition.take`` semantics (encoded columns first, row store
+    otherwise), exposed worker-side through the same ``take`` method on
+    the shared-memory partition wrapper.
+    """
+
+    payload_kind = "partition"
+
+    chunks: Tuple[np.ndarray, ...]
+
+    def __call__(self, partition) -> Tuple[np.ndarray, Any]:
+        all_idx = np.unique(np.concatenate(self.chunks))
+        return all_idx, partition.take(all_idx)
+
+
+@dataclass(frozen=True, eq=False)
+class GridAssignSpec(TaskSpec):
+    """Grid-cell assignment kernel for canopy/grid directory builds.
+
+    Picklable replacement for the bound-method cell assigner: scales
+    each row's grid columns into cell coordinates, clipped to the grid.
+    """
+
+    grid_columns: Tuple[str, ...]
+    lows: np.ndarray
+    span: np.ndarray
+    cells_per_dim: int
+
+    def __call__(self, data) -> np.ndarray:
+        mats = data.matrix(list(self.grid_columns))
+        scaled = (mats - self.lows) / self.span * self.cells_per_dim
+        return np.clip(scaled.astype(int), 0, self.cells_per_dim - 1)
+
+
+def _optional_tuple(columns: Optional[Sequence[str]]) -> Optional[Tuple[str, ...]]:
+    """Normalise a column union for shipping on a morsel (None = no projection)."""
+    if columns is None:
+        return None
+    return tuple(columns)

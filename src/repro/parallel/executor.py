@@ -56,11 +56,22 @@ class Morsel:
     ``index`` is the merge key (partition position for engine scans);
     ``payload`` is what the batch function receives; ``size_bytes``
     orders the morsel queue (largest first).
+
+    The last three fields exist for the process executor, which cannot
+    ship in-memory payloads: ``spec`` is a picklable
+    :class:`~repro.parallel.spec.TaskSpec` equivalent to the batch
+    function, ``partition`` the source :class:`TablePartition` whose
+    data workers re-attach from shared memory, and ``columns`` the
+    column union applied to the payload (None = unprojected).  Thread
+    and serial paths ignore all three and use ``payload`` directly.
     """
 
     index: int
     payload: Any
     size_bytes: int = 0
+    spec: Any = None
+    partition: Any = None
+    columns: Optional[tuple] = None
 
 
 class ScanExecutor:
@@ -72,6 +83,9 @@ class ScanExecutor:
     functions it runs must be pure compute over immutable inputs — see
     the module docstring for the full thread-safety contract.
     """
+
+    #: Value of the ``executor`` label on ``parallel_*`` metrics/spans.
+    name = "thread"
 
     def __init__(
         self, workers: int = 1, observer: Optional[Observer] = None
@@ -170,11 +184,11 @@ class ScanExecutor:
         label: str,
         host_seconds: float,
     ) -> None:
-        obs.inc("parallel_batches_total", label=label)
-        obs.inc("parallel_morsels_total", len(morsels), label=label)
+        obs.inc("parallel_batches_total", label=label, executor=self.name)
+        obs.inc("parallel_morsels_total", len(morsels), label=label, executor=self.name)
         total_bytes = sum(m.size_bytes for m in morsels)
         if total_bytes:
-            obs.inc("parallel_bytes_total", total_bytes, label=label)
+            obs.inc("parallel_bytes_total", total_bytes, label=label, executor=self.name)
         obs.set_gauge("parallel_workers", self.workers)
         obs.observe("parallel_batch_host_seconds", host_seconds, label=label)
         obs.record_span(
@@ -185,11 +199,14 @@ class ScanExecutor:
             track="parallel-pool",
             morsels=len(morsels),
             workers=self.workers,
+            executor=self.name,
             bytes=total_bytes,
         )
 
 
-def partition_morsels(partitions, should_scan=None, columns=None) -> List[Morsel]:
+def partition_morsels(
+    partitions, should_scan=None, columns=None, spec=None
+) -> List[Morsel]:
     """Morsels over a stored table's partitions (payload = the data).
 
     ``should_scan(index)`` filters (default: every partition); sizes come
@@ -197,7 +214,9 @@ def partition_morsels(partitions, should_scan=None, columns=None) -> List[Morsel
     heaviest scans first.  With ``columns``, columnar partitions carry a
     column-pruned :class:`ColumnarPartition` payload sized by its encoded
     bytes (the late-materialization fast path); row-major partitions fall
-    back to the full row payload.
+    back to the full row payload.  ``spec`` (a picklable
+    :class:`~repro.parallel.spec.TaskSpec`) rides along so the process
+    executor can ship the kernel without the in-memory payload.
     """
     morsels: List[Morsel] = []
     for index, partition in enumerate(partitions):
@@ -207,8 +226,19 @@ def partition_morsels(partitions, should_scan=None, columns=None) -> List[Morsel
         if columns is not None and columnar is not None:
             payload = columnar.project(columns)
             size = int(payload.encoded_bytes)
+            shipped_columns = tuple(columns)
         else:
             payload = partition.data
             size = int(partition.n_bytes)
-        morsels.append(Morsel(index=index, payload=payload, size_bytes=size))
+            shipped_columns = None
+        morsels.append(
+            Morsel(
+                index=index,
+                payload=payload,
+                size_bytes=size,
+                spec=spec,
+                partition=partition,
+                columns=shipped_columns,
+            )
+        )
     return morsels

@@ -1,0 +1,599 @@
+"""Process-parallel scan execution over shared-memory partition views.
+
+The thread executor (:mod:`repro.parallel.executor`) is GIL-bound for
+the pure-python slices of partition kernels; on a multi-core host a
+scan-heavy workload tops out near 1× regardless of worker count.  This
+module breaks that ceiling with an *opt-in* process pool behind the
+exact same :class:`ScanExecutor` interface:
+
+* :class:`SharedPartitionStore` publishes each partition's payload —
+  the row arrays and, on columnar layouts, the encoded
+  ``EncodedColumn`` buffers — **once** into a
+  :mod:`multiprocessing.shared_memory` segment.  Workers attach
+  zero-copy read-only numpy views keyed by ``(table, partition,
+  generation)``; ``append_rows``/``delete_rows`` bump the partition
+  generation, so only mutated partitions are lazily republished.
+* Morsel tasks ship as picklable :class:`~repro.parallel.spec.TaskSpec`
+  recipes (query signature, aggregate, pruning classification, column
+  union) instead of closures.  Workers run only pure compute and return
+  partials; every CostMeter charge, fault-RNG draw, trace span, and
+  flight-recorder fold stays on the caller ("workers compute, the
+  caller charges"), so answers and all pre-existing observability are
+  byte-identical to the serial and thread paths at any worker count.
+* Pool lifecycle lives here: warm fork-context spawn (spawn fallback
+  where fork is unavailable), idle reaping after
+  ``idle_ttl`` seconds, and crash recovery — a dead worker surfaces as
+  a recorded :class:`~repro.common.errors.WorkerCrashError`, the batch
+  is recomputed inline from the in-memory payloads, and the pool is
+  rebuilt for the next batch.
+
+Morsels without a spec (ad-hoc lambdas, fault-mode fallbacks) are
+computed inline on the caller: correct, just not process-parallel.
+"""
+
+from __future__ import annotations
+
+import threading
+import time
+import weakref
+from concurrent.futures import Future, ProcessPoolExecutor
+from concurrent.futures.process import BrokenProcessPool
+from dataclasses import dataclass
+from multiprocessing import get_all_start_methods, get_context
+from multiprocessing.shared_memory import SharedMemory
+from typing import Any, Dict, List, Optional, Sequence, Tuple
+
+import numpy as np
+
+from repro.cluster.columnar import (
+    BIT_PACKED,
+    DICTIONARY,
+    RAW,
+    RUN_LENGTH,
+    BitPackedColumn,
+    ColumnarPartition,
+    DictionaryColumn,
+    RawColumn,
+    RunLengthColumn,
+)
+from repro.common.errors import WorkerCrashError
+from repro.data.tabular import Table
+from repro.obs.observer import Observer
+from repro.parallel.executor import Morsel, ScanExecutor
+
+__all__ = [
+    "ProcessScanExecutor",
+    "SharedPartitionStore",
+    "WorkerPartition",
+]
+
+#: Buffer alignment inside a segment; generous so any dtype's views are
+#: aligned and vector loads never straddle a cache line for no reason.
+_ALIGN = 64
+
+
+def _aligned(offset: int) -> int:
+    return (offset + _ALIGN - 1) & ~(_ALIGN - 1)
+
+
+# ---------------------------------------------------------------------------
+# Parent side: publishing partitions into shared memory
+# ---------------------------------------------------------------------------
+@dataclass
+class _Published:
+    """Parent-side record of one partition's live shared segment."""
+
+    shm: SharedMemory
+    header: Dict[str, Any]
+    generation: int
+    nbytes: int
+
+
+class SharedPartitionStore:
+    """Publishes partition payloads into shared memory, once per generation.
+
+    One segment per ``(table, partition index)``; the picklable *header*
+    catalogs every buffer inside it (offset, dtype, shape) plus the
+    columnar encoding parameters, so a worker can rebuild zero-copy
+    ``Table``/:class:`ColumnarPartition` views without touching the
+    parent.  ``ensure`` is idempotent per generation: a mutated
+    partition (its ``generation`` bumped by ``append_rows``/
+    ``delete_rows``) is republished lazily on its next scan, and only
+    that partition — ``republish_bytes`` is bounded by the mutated
+    partition's footprint, which E22's microbenchmark asserts.
+    """
+
+    def __init__(self) -> None:
+        self._segments: Dict[Tuple[str, int], _Published] = {}
+        self._lock = threading.Lock()
+        #: Cumulative bytes of first-time publishes / generation republishes.
+        self.publish_bytes = 0
+        self.republish_bytes = 0
+
+    def __len__(self) -> int:
+        return len(self._segments)
+
+    def segment_names(self) -> List[str]:
+        return [entry.shm.name for entry in self._segments.values()]
+
+    def ensure(self, partition) -> Dict[str, Any]:
+        """Header of ``partition``'s live segment, publishing if needed."""
+        key = (partition.table_name, partition.index)
+        generation = int(getattr(partition, "generation", 0))
+        with self._lock:
+            entry = self._segments.get(key)
+            if entry is not None and entry.generation == generation:
+                return entry.header
+            republish = entry is not None
+            if entry is not None:
+                self._release(entry)
+            entry = self._publish(partition, generation)
+            self._segments[key] = entry
+            if republish:
+                self.republish_bytes += entry.nbytes
+            else:
+                self.publish_bytes += entry.nbytes
+            return entry.header
+
+    def close(self) -> None:
+        """Unlink every live segment (idempotent)."""
+        with self._lock:
+            segments, self._segments = self._segments, {}
+        for entry in segments.values():
+            self._release(entry)
+
+    # Internals -------------------------------------------------------------
+    @staticmethod
+    def _release(entry: _Published) -> None:
+        try:
+            entry.shm.close()
+        except BufferError:
+            pass
+        try:
+            entry.shm.unlink()
+        except FileNotFoundError:
+            pass
+
+    def _publish(self, partition, generation: int) -> _Published:
+        data = partition.data
+        columnar = getattr(partition, "columnar", None)
+        placements: List[Tuple[np.ndarray, int]] = []
+        cursor = 0
+
+        def reserve(arr: np.ndarray) -> Tuple[int, str, Tuple[int, ...]]:
+            nonlocal cursor
+            arr = np.ascontiguousarray(arr)
+            offset = _aligned(cursor)
+            cursor = offset + arr.nbytes
+            placements.append((arr, offset))
+            return offset, arr.dtype.str, tuple(arr.shape)
+
+        row_columns = []
+        for name in data.column_names:
+            offset, dtype, shape = reserve(data.column(name))
+            row_columns.append((name, offset, dtype, shape))
+
+        columnar_meta: Optional[Dict[str, Any]] = None
+        if columnar is not None:
+            encoded_columns = []
+            for name, enc in columnar.columns.items():
+                extra: Dict[str, Any] = {}
+                if enc.kind == RAW:
+                    arrays = [reserve(enc.values)]
+                elif enc.kind == DICTIONARY:
+                    arrays = [reserve(enc.values), reserve(enc.codes)]
+                elif enc.kind == RUN_LENGTH:
+                    arrays = [reserve(enc.run_values), reserve(enc.run_lengths)]
+                elif enc.kind == BIT_PACKED:
+                    arrays = [reserve(enc.packed)]
+                    extra = {
+                        "n_rows": enc.n_rows,
+                        "width": enc.width,
+                        "offset": enc.offset,
+                        "dtype": enc.dtype.str,
+                    }
+                else:  # pragma: no cover - new encodings must be added here
+                    raise TypeError(f"unshippable encoding {enc.kind!r}")
+                encoded_columns.append((name, enc.kind, arrays, extra))
+            columnar_meta = {
+                "name": columnar.name,
+                "value_bytes": columnar.value_bytes,
+                "n_rows": columnar.n_rows,
+                "columns": encoded_columns,
+            }
+
+        total = max(cursor, 1)
+        shm = SharedMemory(create=True, size=total)
+        for arr, offset in placements:
+            if arr.nbytes:
+                dest = np.ndarray(
+                    arr.shape, dtype=arr.dtype, buffer=shm.buf, offset=offset
+                )
+                np.copyto(dest, arr, casting="no")
+
+        header = {
+            "segment": shm.name,
+            "table": partition.table_name,
+            "index": int(partition.index),
+            "generation": generation,
+            "data_name": data.name,
+            "value_bytes": int(data.value_bytes),
+            "row_columns": row_columns,
+            "columnar": columnar_meta,
+        }
+        return _Published(
+            shm=shm, header=header, generation=generation, nbytes=total
+        )
+
+
+# ---------------------------------------------------------------------------
+# Worker side: attaching and rebuilding zero-copy views
+# ---------------------------------------------------------------------------
+class WorkerPartition:
+    """Worker-side stand-in for ``TablePartition`` (take semantics only)."""
+
+    __slots__ = ("data", "columnar")
+
+    def __init__(self, data: Table, columnar: Optional[ColumnarPartition]) -> None:
+        self.data = data
+        self.columnar = columnar
+
+    def take(self, indices) -> Table:
+        if self.columnar is not None:
+            return self.columnar.take(indices)
+        return self.data.take(indices)
+
+
+#: Process-global caches: attached segments by name, rebuilt views keyed
+#: (table, partition index) with their generation + segment for staleness.
+_ATTACHED: Dict[str, SharedMemory] = {}
+_REBUILT: Dict[Tuple[str, int], Tuple[int, str, Table, Optional[ColumnarPartition]]] = {}
+
+
+def _shm_view(shm: SharedMemory, offset: int, dtype: str, shape) -> np.ndarray:
+    view = np.ndarray(tuple(shape), dtype=np.dtype(dtype), buffer=shm.buf, offset=offset)
+    view.flags.writeable = False
+    return view
+
+
+def _attach_segment(name: str) -> SharedMemory:
+    shm = _ATTACHED.get(name)
+    if shm is None:
+        shm = SharedMemory(name=name)
+        # SharedMemory.__init__ registers even pure *attachments* with the
+        # resource tracker on 3.11 (track=False is 3.13+).  Pool workers
+        # share the parent's tracker process, where the segment is already
+        # registered, so the extra register is a set no-op — do NOT
+        # unregister here or the parent's entry vanishes and its eventual
+        # unlink() trips a KeyError inside the tracker.
+        _ATTACHED[name] = shm
+    return shm
+
+
+def _drop_stale(key: Tuple[str, int], segment: str) -> None:
+    _REBUILT.pop(key, None)
+    shm = _ATTACHED.pop(segment, None)
+    if shm is not None:
+        try:
+            shm.close()
+        except BufferError:
+            # Some view still references the buffer; the mapping is
+            # reclaimed at worker exit instead.
+            pass
+
+
+def _rebuild_columnar(shm: SharedMemory, meta: Dict[str, Any]) -> ColumnarPartition:
+    columns: Dict[str, Any] = {}
+    value_bytes = meta["value_bytes"]
+    for name, kind, arrays, extra in meta["columns"]:
+        views = [_shm_view(shm, off, dtype, shape) for off, dtype, shape in arrays]
+        if kind == RAW:
+            enc = RawColumn(views[0], value_bytes)
+        elif kind == DICTIONARY:
+            enc = DictionaryColumn(views[0], views[1], value_bytes)
+        elif kind == RUN_LENGTH:
+            enc = RunLengthColumn(views[0], views[1], value_bytes)
+        elif kind == BIT_PACKED:
+            enc = BitPackedColumn(
+                views[0],
+                extra["n_rows"],
+                extra["width"],
+                extra["offset"],
+                np.dtype(extra["dtype"]),
+            )
+        else:  # pragma: no cover - kinds are closed over at publish time
+            raise TypeError(f"unknown encoding kind {kind!r}")
+        columns[name] = enc
+    return ColumnarPartition(
+        name=meta["name"],
+        value_bytes=value_bytes,
+        n_rows=meta["n_rows"],
+        columns=columns,
+    )
+
+
+def _attach_partition(
+    header: Dict[str, Any]
+) -> Tuple[Table, Optional[ColumnarPartition]]:
+    key = (header["table"], header["index"])
+    cached = _REBUILT.get(key)
+    if cached is not None:
+        generation, segment, table, columnar = cached
+        if generation == header["generation"] and segment == header["segment"]:
+            return table, columnar
+        _drop_stale(key, segment)
+    shm = _attach_segment(header["segment"])
+    # from_arrays marks arrays read-only in place, so views must be fresh
+    # per rebuild — _shm_view already hands over new objects each call.
+    columns = {
+        name: _shm_view(shm, offset, dtype, shape)
+        for name, offset, dtype, shape in header["row_columns"]
+    }
+    table = Table.from_arrays(
+        columns, name=header["data_name"], value_bytes=header["value_bytes"]
+    )
+    columnar = (
+        _rebuild_columnar(shm, header["columnar"])
+        if header["columnar"] is not None
+        else None
+    )
+    _REBUILT[key] = (header["generation"], header["segment"], table, columnar)
+    return table, columnar
+
+
+def _run_task(header: Dict[str, Any], columns, spec) -> Any:
+    """Worker entrypoint: rebuild the payload, run the pure-compute spec."""
+    table, columnar = _attach_partition(header)
+    if getattr(spec, "payload_kind", "data") == "partition":
+        data: Any = WorkerPartition(table, columnar)
+    elif columns is not None and columnar is not None:
+        data = columnar.project(columns)
+    else:
+        data = table
+    return spec(data)
+
+
+def _warm_noop() -> None:
+    return None
+
+
+# ---------------------------------------------------------------------------
+# The executor
+# ---------------------------------------------------------------------------
+class _Resources:
+    """Mutable holder the finalizer can tear down without resurrecting
+    the executor: the live process pool, reaper timer, and shared store."""
+
+    __slots__ = ("pool", "timer", "store")
+
+    def __init__(self, store: SharedPartitionStore) -> None:
+        self.pool: Optional[ProcessPoolExecutor] = None
+        self.timer: Optional[threading.Timer] = None
+        self.store = store
+
+
+def _reap_weak(ref: "weakref.ref") -> None:
+    """Timer target holding only a weakref, so a pending reaper never
+    keeps a dropped executor (and its shared segments) alive."""
+    executor = ref()
+    if executor is not None:
+        executor._reap()
+
+
+def _release_resources(resources: _Resources, wait: bool = False) -> None:
+    """Tear down pool + timer + shared segments (idempotent, finalizer-safe)."""
+    timer, resources.timer = resources.timer, None
+    if timer is not None:
+        timer.cancel()
+    pool, resources.pool = resources.pool, None
+    if pool is not None:
+        try:
+            pool.shutdown(wait=wait, cancel_futures=True)
+        except Exception:
+            pass
+    resources.store.close()
+
+
+class ProcessScanExecutor(ScanExecutor):
+    """Morsel executor over a process pool + shared-memory partitions.
+
+    Drop-in for :class:`ScanExecutor` (same ``run``/``close``/observer
+    surface, selected via ``SEASession(executor="process")``):
+
+    * spec-carrying morsels ship as ``(header, columns, spec)`` tasks —
+      the worker attaches the partition's shared segment and runs pure
+      compute; results merge in input order exactly like the thread pool;
+    * morsels without a spec are computed inline on the caller from
+      their in-memory payload (correct, just not parallel across cores);
+    * a crashed worker is recorded as :class:`WorkerCrashError` on
+      :attr:`crashes`, the whole batch is recomputed inline, and the
+      pool is rebuilt — callers never see a difference in results;
+    * the pool is reaped after :attr:`idle_ttl` idle seconds and lazily
+      re-spawned; dropping the executor (or its session) without
+      ``close()`` triggers a finalizer that shuts the pool down and
+      unlinks every shared segment.
+    """
+
+    name = "process"
+
+    def __init__(
+        self,
+        workers: int = 1,
+        observer: Optional[Observer] = None,
+        start_method: Optional[str] = None,
+        idle_ttl: float = 30.0,
+    ) -> None:
+        super().__init__(workers, observer)
+        if start_method is None:
+            # Fork keeps spawn-per-worker cost near zero and inherits the
+            # imported modules; fall back to the platform default where
+            # fork does not exist (Windows / some macOS configs).
+            start_method = (
+                "fork" if "fork" in get_all_start_methods() else None
+            )
+        self._start_method = start_method
+        self.idle_ttl = float(idle_ttl)
+        self.store = SharedPartitionStore()
+        #: Typed records of worker crashes (newest last).
+        self.crashes: List[WorkerCrashError] = []
+        self._resources = _Resources(self.store)
+        self._finalizer = weakref.finalize(
+            self, _release_resources, self._resources
+        )
+        self._last_used = time.monotonic()
+
+    # Pool lifecycle --------------------------------------------------------
+    def _ensure_pool(self) -> ProcessPoolExecutor:  # type: ignore[override]
+        with self._lock:
+            if self._resources.pool is None:
+                context = (
+                    get_context(self._start_method)
+                    if self._start_method is not None
+                    else None
+                )
+                self._resources.pool = ProcessPoolExecutor(
+                    max_workers=self.workers, mp_context=context
+                )
+            return self._resources.pool
+
+    def warm(self) -> None:
+        """Spin up every worker process ahead of the first real batch."""
+        pool = self._ensure_pool()
+        futures = [pool.submit(_warm_noop) for _ in range(self.workers)]
+        for future in futures:
+            future.result()
+        self._touch()
+
+    def _touch(self) -> None:
+        """Record pool use and (re)arm the idle reaper."""
+        self._last_used = time.monotonic()
+        with self._lock:
+            if self._resources.timer is None and self._resources.pool is not None:
+                self._arm_reaper()
+
+    def _arm_reaper(self) -> None:
+        # Caller holds self._lock.
+        timer = threading.Timer(self.idle_ttl, _reap_weak, (weakref.ref(self),))
+        timer.daemon = True
+        self._resources.timer = timer
+        timer.start()
+
+    def _reap(self) -> None:
+        with self._lock:
+            self._resources.timer = None
+            idle = time.monotonic() - self._last_used
+            if self._resources.pool is None:
+                return
+            if idle + 1e-9 < self.idle_ttl:
+                self._arm_reaper()
+                return
+            pool, self._resources.pool = self._resources.pool, None
+        pool.shutdown(wait=False, cancel_futures=True)
+
+    def _dispose_pool(self) -> None:
+        with self._lock:
+            pool, self._resources.pool = self._resources.pool, None
+        if pool is not None:
+            try:
+                pool.shutdown(wait=False, cancel_futures=True)
+            except Exception:
+                pass
+
+    def close(self) -> None:
+        """Shut the pool down and unlink all shared segments (idempotent)."""
+        _release_resources(self._resources, wait=True)
+
+    def __repr__(self) -> str:
+        return f"ProcessScanExecutor(workers={self.workers})"
+
+    # Batch execution -------------------------------------------------------
+    def run(
+        self,
+        morsels: Sequence[Morsel],
+        fn,
+        label: str = "scan",
+        observer: Optional[Observer] = None,
+    ) -> List[Any]:
+        if not morsels:
+            return []
+        if not self.parallel:
+            return [fn(m.payload) for m in morsels]
+        obs = observer if observer is not None else self.observer
+        started = time.perf_counter()
+        publish_before = self.store.publish_bytes
+        republish_before = self.store.republish_bytes
+        shippable = all(
+            m.spec is not None and m.partition is not None for m in morsels
+        )
+        if shippable:
+            results = self._run_shipped(morsels, fn, label)
+        else:
+            # No portable spec for this batch (ad-hoc callable or
+            # fault-mode fallback): compute inline on the caller —
+            # bitwise the serial path.
+            results = [fn(m.payload) for m in morsels]
+        if obs.enabled:
+            self._note_batch(obs, morsels, label, time.perf_counter() - started)
+            publish_delta = self.store.publish_bytes - publish_before
+            republish_delta = self.store.republish_bytes - republish_before
+            if publish_delta:
+                obs.inc(
+                    "parallel_shm_publish_bytes_total",
+                    publish_delta,
+                    label=label,
+                    executor=self.name,
+                )
+            if republish_delta:
+                obs.inc(
+                    "parallel_shm_republish_bytes_total",
+                    republish_delta,
+                    label=label,
+                    executor=self.name,
+                )
+        return results
+
+    def _run_shipped(
+        self, morsels: Sequence[Morsel], fn, label: str
+    ) -> List[Any]:
+        try:
+            headers = [self.store.ensure(m.partition) for m in morsels]
+            pool = self._ensure_pool()
+            order = sorted(
+                range(len(morsels)),
+                key=lambda i: (-morsels[i].size_bytes, morsels[i].index),
+            )
+            futures: List[Optional[Future]] = [None] * len(morsels)
+            for i in order:
+                futures[i] = pool.submit(
+                    _run_task, headers[i], morsels[i].columns, morsels[i].spec
+                )
+            results: List[Any] = [None] * len(morsels)
+            error: Optional[BaseException] = None
+            for i, future in enumerate(futures):
+                try:
+                    results[i] = future.result()
+                except BrokenProcessPool:
+                    raise
+                except BaseException as exc:
+                    if error is None:
+                        error = exc
+            if error is not None:
+                raise error
+        except BrokenProcessPool as exc:
+            return self._recover_from_crash(morsels, fn, label, exc)
+        self._touch()
+        return results
+
+    def _recover_from_crash(
+        self, morsels: Sequence[Morsel], fn, label: str, exc: BaseException
+    ) -> List[Any]:
+        crash = WorkerCrashError(label=label, detail=str(exc))
+        self.crashes.append(crash)
+        self._dispose_pool()
+        obs = self.observer
+        if obs.enabled:
+            obs.inc("parallel_worker_crashes_total", label=label, executor=self.name)
+            obs.event("worker_crash", label=label, detail=str(crash))
+        # Serial fallback: the in-memory payloads are still right here —
+        # recompute the whole batch inline, bitwise the serial path.
+        return [fn(m.payload) for m in morsels]

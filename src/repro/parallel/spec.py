@@ -1,0 +1,62 @@
+"""Picklable task specs for the process-parallel scan executor.
+
+The thread executor (PR 5) ships closures to worker threads — cheap,
+because threads share the interpreter.  A process pool cannot: closures
+over engine state (meters, stores, fault injectors) do not pickle, and
+shipping them would also violate the "workers compute, the caller
+charges" contract by smuggling stateful objects across the fork.
+
+A :class:`TaskSpec` is the portable alternative: a small picklable
+object capturing *only* the pure-compute recipe of a morsel — query
+signature, aggregate, pruning classification, column union — with the
+partition payload itself resolved worker-side from shared memory.  The
+same spec instance doubles as the inline callable on the serial and
+thread paths, so there is exactly one code object per kernel and no
+drift between executors.
+
+Concrete specs live next to the engines that own their kernels (see
+``repro.engine.specs``); this module only defines the protocol.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import Any, Tuple
+
+
+class TaskSpec:
+    """Marker base class for picklable morsel task specs.
+
+    Subclasses implement ``__call__(data)`` as a *pure function* of the
+    partition payload: no charging, no RNG, no engine state.  Two class
+    attributes shape how the process executor feeds them:
+
+    ``payload_kind``
+        ``"data"`` (default): the worker passes the rebuilt ``Table``
+        — or, when the morsel names a column union and the partition
+        was published columnar, the projected ``ColumnarPartition``.
+        ``"partition"``: the worker passes a partition-like wrapper
+        exposing ``take`` (used by row materialisation).
+    """
+
+    payload_kind = "data"
+
+
+@dataclass(frozen=True)
+class BoundSpec(TaskSpec):
+    """A spec with extra positional arguments bound for the worker.
+
+    ``BoundSpec(spec, (active,))`` calls ``spec(data, active)`` — used
+    by the shared batch pass to ship the per-partition active-job list
+    alongside the batch spec without a closure.
+    """
+
+    spec: TaskSpec
+    args: Tuple[Any, ...] = ()
+
+    @property
+    def payload_kind(self) -> str:  # type: ignore[override]
+        return getattr(self.spec, "payload_kind", "data")
+
+    def __call__(self, data: Any) -> Any:
+        return self.spec(data, *self.args)

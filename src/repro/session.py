@@ -43,7 +43,7 @@ from repro.explain.explanations import Explanation, ExplanationBuilder
 from repro.obs.observer import Observer, StackObserver
 from repro.obs.profile import QueryProfile, build_plan_profile
 from repro.obs.slo import SLOMonitor, SLOPolicy
-from repro.parallel import ScanExecutor
+from repro.parallel import ProcessScanExecutor, ScanExecutor
 from repro.queries.query import AnalyticsQuery
 from repro.queries.sql import parse_query
 
@@ -108,22 +108,36 @@ class SEASession:
         observer: Optional[Observer] = None,
         workers: int = 1,
         layout: str = "row",
+        executor: str = "thread",
     ) -> None:
         """``workers`` sizes the session's morsel pool (DESIGN §9):
         ``workers=1`` (the default) is the serial path; higher counts fan
         partition-level compute across real host threads while every
         answer, cost report and serving statistic stays byte-identical.
-        ``layout`` picks the default partition storage layout (DESIGN
-        §11): ``"row"`` keeps the historical row-major matrices,
-        ``"column"`` stores encoded columns and unlocks column-pruned
-        scans — answers are byte-identical either way.
+        ``executor`` picks the pool flavour (DESIGN §12): ``"thread"``
+        (default) shares the caller's address space but contends on the
+        GIL; ``"process"`` fans morsels across worker processes over
+        shared-memory partition views, breaking the GIL ceiling with the
+        same byte-identical answers. ``layout`` picks the default
+        partition storage layout (DESIGN §11): ``"row"`` keeps the
+        historical row-major matrices, ``"column"`` stores encoded
+        columns and unlocks column-pruned scans — answers are
+        byte-identical either way.
         """
         require(n_nodes >= 1, "n_nodes must be >= 1")
+        require(
+            executor in ("thread", "process"),
+            f"executor must be 'thread' or 'process', not {executor!r}",
+        )
         self.topology = ClusterTopology.single_datacenter(n_nodes)
         self.store = DistributedStore(
             self.topology, replication=replication, layout=layout
         )
-        self.executor = ScanExecutor(workers)
+        self.executor = (
+            ProcessScanExecutor(workers)
+            if executor == "process"
+            else ScanExecutor(workers)
+        )
         self.engine = ExactEngine(self.store, executor=self.executor)
         self.agent = SEAAgent(self.engine, config or AgentConfig())
         self.partitions_per_node = partitions_per_node

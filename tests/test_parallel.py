@@ -141,9 +141,10 @@ class TestScanExecutor:
         ]
         parallel_snapshot = parallel_obs.metrics.as_dict()
         assert serial_keys == []
-        assert parallel_snapshot['parallel_batches_total{label="unit"}'] == 1.0
-        assert parallel_snapshot['parallel_morsels_total{label="unit"}'] == 3.0
-        assert parallel_snapshot['parallel_bytes_total{label="unit"}'] == 30.0
+        key = '{executor="thread",label="unit"}'
+        assert parallel_snapshot[f"parallel_batches_total{key}"] == 1.0
+        assert parallel_snapshot[f"parallel_morsels_total{key}"] == 3.0
+        assert parallel_snapshot[f"parallel_bytes_total{key}"] == 30.0
         assert parallel_snapshot["parallel_workers"] == 2.0
 
 

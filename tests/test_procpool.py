@@ -1,0 +1,381 @@
+"""Process-pool scan execution over shared-memory partition views (DESIGN §12).
+
+Four families of guarantees:
+
+* **Shipping** — every engine task spec pickles, and a published
+  partition (row and columnar layouts) rebuilds bitwise-identical
+  zero-copy views from its shared segment.
+* **Generations** — republish traffic after a mutation is bounded to
+  the mutated partitions' footprints; untouched partitions keep their
+  segments.
+* **Byte-identity** — a hypothesis property drives the full engine
+  stack through serial, thread, and process executors and requires
+  identical answers and cost reports; session-level metrics agree
+  modulo the ``parallel_*`` family.
+* **Lifecycle** — a SIGKILLed worker surfaces as a recorded
+  :class:`WorkerCrashError` with a clean inline fallback (same
+  results), and a session dropped without ``close()`` unlinks its
+  segments via the executor finalizer.
+"""
+
+import gc
+import os
+import pickle
+import signal
+import time
+from multiprocessing.shared_memory import SharedMemory
+
+import numpy as np
+import pytest
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from repro.baselines import ExactEngine
+from repro.cluster import ClusterTopology, DistributedStore
+from repro.common.errors import WorkerCrashError
+from repro.data import gaussian_mixture_table
+from repro.engine import CoordinatorEngine
+from repro.engine.specs import (
+    BatchPartialSpec,
+    GridAssignSpec,
+    QueryPartialSpec,
+    RowTakeSpec,
+)
+from repro.faults import FaultInjector, FaultSchedule
+from repro.obs import StackObserver
+from repro.parallel import (
+    BoundSpec,
+    ProcessScanExecutor,
+    ScanExecutor,
+    SharedPartitionStore,
+    partition_morsels,
+)
+from repro.parallel import procpool
+from repro.queries import (
+    AnalyticsQuery,
+    Count,
+    Mean,
+    Median,
+    RangeSelection,
+    Std,
+)
+from repro.session import SEASession
+from tests.test_parallel import _drive
+
+
+def make_store(n_rows=2000, seed=3, layout="row", n_nodes=3, parts_per_node=2):
+    topo = ClusterTopology.single_datacenter(n_nodes)
+    store = DistributedStore(topo, layout=layout)
+    table = gaussian_mixture_table(
+        n_rows, dims=("x0", "x1"), seed=seed, name="data"
+    )
+    store.put_table(table, partitions_per_node=parts_per_node)
+    return store
+
+
+def selection(lo=(5.0, 5.0), hi=(60.0, 70.0)):
+    return RangeSelection(("x0", "x1"), np.asarray(lo), np.asarray(hi))
+
+
+@pytest.fixture
+def worker_caches():
+    """Isolate the worker-side module caches when attaching in-process."""
+    yield
+    for name, shm in list(procpool._ATTACHED.items()):
+        try:
+            shm.close()
+        except BufferError:
+            pass
+        procpool._ATTACHED.pop(name, None)
+    procpool._REBUILT.clear()
+
+
+# --------------------------------------------------------------------------
+# Specs pickle and survive the trip
+# --------------------------------------------------------------------------
+class TestSpecPicklability:
+    def test_engine_specs_pickle_and_compute_identically(self):
+        store = make_store()
+        partition = store.table("data").partitions[0]
+        specs = [
+            QueryPartialSpec(selection(), Mean("x0")),
+            BatchPartialSpec([selection()], [Count(), Std("x1")]),
+            BoundSpec(BatchPartialSpec([selection()], [Count()]), ((0,),)),
+            RowTakeSpec((np.arange(4), np.array([9, 2]))),
+            GridAssignSpec(
+                ("x0", "x1"), np.zeros(2), np.ones(2) * 100.0, 8
+            ),
+        ]
+        for spec in specs:
+            clone = pickle.loads(pickle.dumps(spec))
+            if isinstance(spec, RowTakeSpec):
+                got, want = clone(partition), spec(partition)
+                assert np.array_equal(got[0], want[0])
+                assert repr(got[1].matrix(("x0", "x1"))) == repr(
+                    want[1].matrix(("x0", "x1"))
+                )
+            else:
+                assert repr(clone(partition.data)) == repr(spec(partition.data))
+
+    def test_row_take_spec_payload_kind(self):
+        spec = RowTakeSpec((np.arange(3),))
+        assert spec.payload_kind == "partition"
+        assert BoundSpec(spec).payload_kind == "partition"
+
+
+# --------------------------------------------------------------------------
+# Shared segments: publish, attach, republish accounting
+# --------------------------------------------------------------------------
+class TestSharedPartitionStore:
+    @pytest.mark.parametrize("layout", ["row", "column"])
+    def test_round_trip_is_bitwise(self, layout, worker_caches):
+        store = make_store(layout=layout)
+        shared = SharedPartitionStore()
+        try:
+            for partition in store.table("data").partitions:
+                header = shared.ensure(partition)
+                table, columnar = procpool._attach_partition(header)
+                for name in partition.data.column_names:
+                    assert (
+                        table.column(name).tobytes()
+                        == partition.data.column(name).tobytes()
+                    )
+                    assert not table.column(name).flags.writeable
+                if layout == "column":
+                    assert columnar is not None
+                    decoded = columnar.to_table()
+                    want = partition.columnar.to_table()
+                    for name in want.column_names:
+                        assert (
+                            decoded.column(name).tobytes()
+                            == want.column(name).tobytes()
+                        )
+                else:
+                    assert columnar is None
+        finally:
+            shared.close()
+
+    def test_ensure_is_idempotent_per_generation(self):
+        store = make_store()
+        shared = SharedPartitionStore()
+        try:
+            partitions = store.table("data").partitions
+            first = [shared.ensure(p) for p in partitions]
+            published = shared.publish_bytes
+            second = [shared.ensure(p) for p in partitions]
+            assert first == second
+            assert shared.publish_bytes == published
+            assert shared.republish_bytes == 0
+        finally:
+            shared.close()
+
+    def test_republish_bounded_to_mutated_partitions(self):
+        store = make_store(n_rows=3000)
+        shared = SharedPartitionStore()
+        try:
+            stored = store.table("data")
+            before = {
+                p.index: shared.ensure(p)["segment"] for p in stored.partitions
+            }
+            assert shared.republish_bytes == 0
+            store.append_rows(
+                "data",
+                gaussian_mixture_table(
+                    40, dims=("x0", "x1"), seed=9, name="data"
+                ),
+            )
+            stored = store.table("data")
+            mutated = {
+                p.index for p in stored.partitions if p.generation > 0
+            }
+            assert mutated  # the append touched at least one partition
+            for p in stored.partitions:
+                shared.ensure(p)
+            expected = sum(
+                entry.nbytes
+                for (table, index), entry in shared._segments.items()
+                if index in mutated
+            )
+            assert shared.republish_bytes == expected
+            for p in stored.partitions:
+                if p.index not in mutated and p.index in before:
+                    # Untouched partitions keep their original segment.
+                    assert shared.ensure(p)["segment"] == before[p.index]
+        finally:
+            shared.close()
+
+
+# --------------------------------------------------------------------------
+# Byte-identity: serial vs thread vs process across the whole stack
+# --------------------------------------------------------------------------
+def _build_world(seed, parts_per_node, pruning, faulty, make_executor):
+    topo = ClusterTopology.single_datacenter(4)
+    store = DistributedStore(topo, replication=2 if faulty else 1)
+    table = gaussian_mixture_table(
+        900, dims=("x0", "x1"), seed=seed, name="data"
+    )
+    store.put_table(table, partitions_per_node=parts_per_node)
+    if faulty:
+        schedule = (
+            FaultSchedule().crash("node-1").flaky("node-2", 0.3).slow("node-3", 2.0)
+        )
+        store.attach_faults(FaultInjector(schedule, seed=seed + 1))
+    executor = make_executor()
+    engine = ExactEngine(
+        store,
+        pruning=pruning,
+        executor=executor,
+        failure_mode="degrade" if faulty else "fail",
+    )
+    coordinator = CoordinatorEngine(store, executor=executor)
+    return store, engine, coordinator, executor
+
+
+class TestByteIdentityAcrossExecutors:
+    @given(
+        seed=st.integers(0, 30),
+        parts_per_node=st.sampled_from([1, 3]),
+        pruning=st.booleans(),
+        faulty=st.booleans(),
+    )
+    @settings(max_examples=5, deadline=None)
+    def test_serial_thread_process_agree(
+        self, seed, parts_per_node, pruning, faulty
+    ):
+        outputs = []
+        for make_executor in (
+            lambda: ScanExecutor(1),
+            lambda: ScanExecutor(3),
+            lambda: ProcessScanExecutor(3),
+        ):
+            store, engine, coordinator, executor = _build_world(
+                seed, parts_per_node, pruning, faulty, make_executor
+            )
+            try:
+                outputs.append(_drive(store, engine, coordinator, seed))
+            finally:
+                executor.close()
+        assert outputs[0] == outputs[1]
+        assert outputs[0] == outputs[2]
+
+    @pytest.mark.parametrize("layout", ["row", "column"])
+    def test_session_metrics_agree_modulo_parallel(self, layout):
+        def drive(executor):
+            session = SEASession(
+                n_nodes=3, workers=2, layout=layout, executor=executor
+            )
+            obs = session.attach_observer(StackObserver())
+            table = gaussian_mixture_table(
+                1500, dims=("x0", "x1"), seed=4, name="data"
+            )
+            session.store.put_table(table, partitions_per_node=2)
+            answers = []
+            for aggregate in (Count(), Mean("x0"), Median("x1")):
+                query = AnalyticsQuery("data", selection(), aggregate)
+                answer, report = session.engine.execute(query)
+                answers.append((repr(answer), report.as_dict()))
+            metrics = {
+                key: value
+                for key, value in obs.metrics.as_dict().items()
+                if not key.startswith("parallel_")
+            }
+            session.close()
+            return answers, metrics
+
+        thread_out = drive("thread")
+        process_out = drive("process")
+        assert thread_out == process_out
+
+
+# --------------------------------------------------------------------------
+# Lifecycle: crash recovery, idle reaping, finalizer teardown
+# --------------------------------------------------------------------------
+class TestLifecycle:
+    def test_killed_worker_records_typed_error_and_falls_back(self):
+        store = make_store(n_rows=1200)
+        stored = store.table("data")
+        spec = QueryPartialSpec(selection(), Mean("x0"))
+        expected = [spec(p.data) for p in stored.partitions]
+        executor = ProcessScanExecutor(workers=2)
+        try:
+            executor.warm()
+            victim = next(iter(executor._resources.pool._processes))
+            os.kill(victim, signal.SIGKILL)
+            time.sleep(0.3)  # let the pool notice the corpse
+            morsels = partition_morsels(stored.partitions, spec=spec)
+            results = executor.run(morsels, spec, label="crash_test")
+            assert results == expected
+            assert executor.crashes
+            assert all(
+                isinstance(c, WorkerCrashError) for c in executor.crashes
+            )
+            assert "crash_test" in str(executor.crashes[-1])
+            # The pool was rebuilt: the next batch runs in processes again.
+            n_crashes = len(executor.crashes)
+            again = executor.run(morsels, spec, label="after_crash")
+            assert again == expected
+            assert len(executor.crashes) == n_crashes
+        finally:
+            executor.close()
+
+    def test_morsels_without_spec_compute_inline(self):
+        store = make_store(n_rows=600)
+        stored = store.table("data")
+        executor = ProcessScanExecutor(workers=2)
+        try:
+            morsels = partition_morsels(stored.partitions)  # no spec
+            fn = lambda data: float(data.column("x0").sum())  # unpicklable
+            assert executor.run(morsels, fn) == [
+                fn(p.data) for p in stored.partitions
+            ]
+            assert len(executor.store) == 0  # nothing was shipped
+        finally:
+            executor.close()
+
+    def test_idle_pool_is_reaped_and_respawns(self):
+        store = make_store(n_rows=400)
+        stored = store.table("data")
+        spec = QueryPartialSpec(selection(), Count())
+        executor = ProcessScanExecutor(workers=2, idle_ttl=0.2)
+        try:
+            morsels = partition_morsels(stored.partitions, spec=spec)
+            expected = executor.run(morsels, spec)
+            deadline = time.monotonic() + 5.0
+            while executor._resources.pool is not None:
+                assert time.monotonic() < deadline, "idle pool never reaped"
+                time.sleep(0.05)
+            # Segments survive the reap; the pool respawns on demand.
+            assert len(executor.store) == len(stored.partitions)
+            assert executor.run(morsels, spec) == expected
+        finally:
+            executor.close()
+
+    def test_close_unlinks_segments_and_is_idempotent(self):
+        store = make_store(n_rows=500)
+        stored = store.table("data")
+        spec = QueryPartialSpec(selection(), Count())
+        executor = ProcessScanExecutor(workers=2)
+        executor.run(partition_morsels(stored.partitions, spec=spec), spec)
+        names = executor.store.segment_names()
+        assert names
+        executor.close()
+        executor.close()
+        for name in names:
+            with pytest.raises(FileNotFoundError):
+                SharedMemory(name=name)
+
+    def test_dropped_session_finalizer_unlinks_segments(self):
+        session = SEASession(n_nodes=2, workers=2, executor="process")
+        table = gaussian_mixture_table(
+            800, dims=("x0", "x1"), seed=6, name="data"
+        )
+        session.store.put_table(table, partitions_per_node=2)
+        query = AnalyticsQuery("data", selection(), Mean("x0"))
+        session.engine.execute(query)
+        names = session.executor.store.segment_names()
+        assert names
+        del session  # no close(): the finalizer must tear everything down
+        gc.collect()
+        for name in names:
+            with pytest.raises(FileNotFoundError):
+                SharedMemory(name=name)
