@@ -26,6 +26,7 @@ BENCH_PARALLEL_PATH = os.path.join(REPO_ROOT, "BENCH_parallel.json")
 BENCH_OBS_PATH = os.path.join(REPO_ROOT, "BENCH_obs.json")
 BENCH_COLUMNAR_PATH = os.path.join(REPO_ROOT, "BENCH_columnar.json")
 BENCH_PROCPOOL_PATH = os.path.join(REPO_ROOT, "BENCH_procpool.json")
+BENCH_INGEST_PATH = os.path.join(REPO_ROOT, "BENCH_ingest.json")
 
 
 def wallclock(fn: Callable[[], Any]) -> Tuple[Any, float]:
@@ -105,6 +106,11 @@ def record_columnar_benchmark(experiment: str, **fields: Any) -> str:
 def record_procpool_benchmark(experiment: str, **fields: Any) -> str:
     """Append one process-executor measurement to ``BENCH_procpool.json``."""
     return record_cumulative_benchmark(BENCH_PROCPOOL_PATH, experiment, **fields)
+
+
+def record_ingest_benchmark(experiment: str, **fields: Any) -> str:
+    """Append one streaming-ingestion measurement to ``BENCH_ingest.json``."""
+    return record_cumulative_benchmark(BENCH_INGEST_PATH, experiment, **fields)
 
 
 def trial_stats(samples: Sequence[float]) -> Dict[str, float]:

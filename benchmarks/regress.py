@@ -258,6 +258,41 @@ def _columnar_group(entry: Dict[str, Any]) -> Tuple:
     )
 
 
+def _ingest_headlines(entry: Dict[str, Any]) -> List[Headline]:
+    out: List[Headline] = []
+    for row in entry.get("sweep") or []:
+        if not isinstance(row, dict):
+            continue
+        value = row.get("write_rows_per_sec")
+        if not isinstance(value, (int, float)):
+            continue
+        iqr = row.get("write_rows_per_sec_iqr")
+        label = f"write_rows_per_sec_e{row.get('epoch_seconds')}"
+        out.append(
+            (
+                label,
+                float(value),
+                "higher",
+                float(iqr) if isinstance(iqr, (int, float)) else 0.0,
+            )
+        )
+    return out
+
+
+def _ingest_group(entry: Dict[str, Any]) -> Tuple:
+    # Keyed by every scale knob plus host core count: a reduced-scale CI
+    # smoke run forms its own trajectory and never diffs a full run.
+    return (
+        entry.get("experiment"),
+        entry.get("n_rows"),
+        entry.get("partitions"),
+        entry.get("epochs"),
+        entry.get("batch_rows"),
+        entry.get("reads_per_epoch"),
+        entry.get("host_cpus"),
+    )
+
+
 #: filename -> (group key fn, headline extractor).
 REGISTRY = {
     "BENCH_serving.json": (_serving_group, _serving_headlines),
@@ -267,6 +302,7 @@ REGISTRY = {
     "BENCH_obs.json": (_obs_group, _obs_headlines),
     "BENCH_columnar.json": (_columnar_group, _columnar_headlines),
     "BENCH_procpool.json": (_procpool_group, _procpool_headlines),
+    "BENCH_ingest.json": (_ingest_group, _ingest_headlines),
 }
 
 

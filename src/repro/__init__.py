@@ -113,7 +113,9 @@ from repro.faults import (
     PartitionLostError,
     TransientReadError,
 )
+from repro.common.errors import RecoveryError, WriteCrashError, WriteError
 from repro.geo import GeoSites, EdgeAgent, CoreCoordinator, GeoRouter
+from repro.ingest import IngestConfig, IngestPipeline, RecoveryReport
 from repro.parallel import Morsel, ScanExecutor
 from repro.obs import (
     AccuracyDriftMonitor,
@@ -204,6 +206,12 @@ __all__ = [
     "NodeUnavailableError",
     "PartitionLostError",
     "TransientReadError",
+    "IngestConfig",
+    "IngestPipeline",
+    "RecoveryError",
+    "RecoveryReport",
+    "WriteCrashError",
+    "WriteError",
     "GeoSites",
     "EdgeAgent",
     "CoreCoordinator",

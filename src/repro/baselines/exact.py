@@ -101,7 +101,38 @@ class ExactEngine:
             return None
         if len(synopses) != len(stored.partitions):
             return None
-        return plan_scan(synopses, query.selection, query.aggregate, emit_key=0)
+        plan = plan_scan(synopses, query.selection, query.aggregate, emit_key=0)
+        return self._downgrade_dirty(stored, plan, query)
+
+    @staticmethod
+    def _downgrade_dirty(stored, plan: ScanPlan, query: AnalyticsQuery) -> ScanPlan:
+        """Re-verify zone-map shortcuts against staged delta writes.
+
+        Base synopses describe base images only, so for a dirty
+        partition a SYNOPSIS short-circuit is never sound (pending
+        deletes or delta rows change the partial) and a SKIP survives
+        only if the delta memtable is *also* disjoint from the query box
+        (tombstones alone cannot un-skip: deletes only remove rows).
+        """
+        lows = highs = None
+        for index, partition in enumerate(stored.partitions):
+            delta = partition.delta
+            if delta is None or not delta.dirty:
+                continue
+            action = plan.actions[index]
+            if action == SYNOPSIS:
+                plan.actions[index] = SCAN
+                plan.pairs.pop(index, None)
+                plan.synopsis_bytes.pop(index, None)
+            elif action == SKIP and delta.n_rows:
+                if lows is None:
+                    lows, highs = query.selection.box()
+                delta_synopsis = delta.synopsis()
+                if delta_synopsis is None or not delta_synopsis.disjoint(
+                    query.selection.columns, lows, highs
+                ):
+                    plan.actions[index] = SCAN
+        return plan
 
     def scan_for(self, query: AnalyticsQuery) -> Optional[ColumnScan]:
         """Column-pruned scan for one query, or None (read full rows).
@@ -116,6 +147,10 @@ class ExactEngine:
         except StorageError:
             return None
         if not stored.columnar:
+            return None
+        if any(p.dirty for p in stored.partitions):
+            # Encoded images cover base rows only; staged delta writes
+            # force the row path until the next compaction re-encodes.
             return None
         return scan_columns(query.selection, query.aggregate)
 
@@ -184,6 +219,7 @@ class ExactEngine:
                 read_bytes = 0
                 if lost is not None and index in lost:
                     action = "lost"
+            delta = getattr(partition, "delta", None)
             partitions.append(
                 (
                     action,
@@ -191,6 +227,7 @@ class ExactEngine:
                     int(partition.n_bytes),
                     read_bytes,
                     int(partition.stored_bytes),
+                    int(delta.n_rows) if delta is not None else 0,
                 )
             )
         obs.profile_note(
@@ -285,6 +322,11 @@ class ExactEngine:
             """Reclassify one lost partition; exact where provable."""
             lost.add(index)
             synopsis = synopses[index] if synopses is not None else None
+            if stored.partitions[index].dirty:
+                # The base synopsis does not describe the staged delta
+                # writes, so nothing about the lost partition is provable
+                # — absorb it as a fully unknown chunk.
+                synopsis = None
             if synopsis is not None:
                 if synopsis.disjoint(columns, lows, highs):
                     # No selected row lives there: the skip is exact.
@@ -449,6 +491,7 @@ class ExactEngine:
         stored = self.store.table(query.table_name)
         partials = []
         for partition in stored.partitions:
-            mask = query.selection.mask(partition.data)
-            partials.append(query.aggregate.partial_from_mask(partition.data, mask))
+            view = partition.read_view()
+            mask = query.selection.mask(view)
+            partials.append(query.aggregate.partial_from_mask(view, mask))
         return query.aggregate.merge(partials)

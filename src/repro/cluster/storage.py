@@ -10,13 +10,18 @@ is metered.
 
 from __future__ import annotations
 
-from dataclasses import dataclass
-from typing import Dict, Iterable, List, Optional, Sequence
+from dataclasses import dataclass, field
+from typing import Dict, Iterable, List, Optional, Sequence, Tuple
 
 import numpy as np
 
 from repro.common.accounting import CostMeter
-from repro.common.errors import PartitionLostError, StorageError
+from repro.common.errors import (
+    PartitionLostError,
+    RecoveryError,
+    StorageError,
+    WriteError,
+)
 from repro.common.rng import SeedLike, make_rng
 from repro.common.validation import require
 from repro.cluster.columnar import ColumnarPartition
@@ -49,40 +54,89 @@ class TablePartition:
     primary_node: str
     replica_nodes: List[str]
     columnar: Optional[ColumnarPartition] = None
-    #: Bumped on every data swap (append/delete); the shared-memory
-    #: partition store keys its published segments on it so only mutated
-    #: partitions are republished to process-pool workers.
+    #: Bumped on every *base-image* swap (synchronous append/delete, or
+    #: compaction when durable ingest is on); the shared-memory partition
+    #: store keys its published segments on it so only mutated partitions
+    #: are republished to process-pool workers.  Staged delta writes do
+    #: NOT bump it — that is what keeps republish traffic bounded by the
+    #: compaction cadence instead of the write rate.
     generation: int = 0
+    #: Pending writes while durable ingest is enabled (a
+    #: :class:`~repro.ingest.delta.DeltaPartition`); None otherwise.
+    delta: Optional[object] = field(default=None, repr=False, compare=False)
+    #: Cache of the materialized base+delta view, keyed by delta version.
+    _view: Optional[Tuple[int, Table]] = field(
+        default=None, repr=False, compare=False
+    )
+
+    @property
+    def dirty(self) -> bool:
+        """True iff staged delta writes make the view differ from base."""
+        return self.delta is not None and self.delta.dirty
+
+    def read_view(self) -> Table:
+        """The partition's effective content: ``base[~deleted] ++ delta``.
+
+        Element-identical to having applied the staged writes
+        synchronously, so every aggregate over the view is bitwise equal
+        to the post-compaction answer.  Clean partitions return ``data``
+        itself (zero cost); dirty views are cached per delta version.
+        """
+        delta = self.delta
+        if delta is None or not delta.dirty:
+            return self.data
+        if self._view is not None and self._view[0] == delta.version:
+            return self._view[1]
+        base = self.data
+        if delta.n_deleted:
+            base = base.select(~delta.deleted_base)
+        if delta.rows is not None:
+            view = Table.concat([base, delta.rows], name=self.data.name)
+        else:
+            view = base
+        self._view = (delta.version, view)
+        return view
 
     @property
     def n_rows(self) -> int:
-        return self.data.n_rows
+        return self.read_view().n_rows
 
     @property
     def n_bytes(self) -> int:
-        return self.data.n_bytes
+        return self.read_view().n_bytes
 
     @property
-    def stored_bytes(self) -> int:
-        """On-disk footprint: encoded bytes for columnar partitions."""
+    def base_stored_bytes(self) -> int:
+        """On-disk footprint of the base image alone (encoded if columnar)."""
         if self.columnar is not None:
             return self.columnar.encoded_bytes
         return self.data.n_bytes
 
     @property
+    def stored_bytes(self) -> int:
+        """Total footprint: base image plus any staged delta memtable."""
+        total = self.base_stored_bytes
+        if self.delta is not None:
+            total += self.delta.n_bytes
+        return total
+
+    @property
     def row_bytes(self) -> int:
         """Average serialized bytes one full row costs to point-read."""
-        if self.columnar is not None and self.n_rows > 0:
+        if self.columnar is not None and self.n_rows > 0 and not self.dirty:
             return max(1, self.columnar.encoded_bytes // self.n_rows)
-        return self.data.row_bytes
+        return self.read_view().row_bytes
 
     def take(self, indices) -> Table:
         """Materialise full rows at the given positions.
 
         Columnar partitions gather through the encoded columns (late
         materialization: only the requested rows are decoded), bitwise
-        equal to ``data.take``.
+        equal to ``data.take``.  Dirty partitions gather from the
+        base+delta view — the encoded image does not cover staged rows.
         """
+        if self.dirty:
+            return self.read_view().take(indices)
         if self.columnar is not None:
             return self.columnar.take(indices)
         return self.data.take(indices)
@@ -138,9 +192,15 @@ class StoredTable:
         return list(seen)
 
     def full_table(self) -> Table:
-        """Materialise the whole table (test/verification use only)."""
+        """Materialise the whole table (test/verification use only).
+
+        Uses each partition's effective base+delta view, so staged
+        (not-yet-compacted) writes are included.
+        """
         self._require_partitions()
-        return Table.concat([p.data for p in self.partitions], name=self.name)
+        return Table.concat(
+            [p.read_view() for p in self.partitions], name=self.name
+        )
 
 
 class DistributedStore:
@@ -174,6 +234,9 @@ class DistributedStore:
         self._served_bytes: Dict[str, int] = {}
         # Optional fault injector (see repro.faults); None = healthy cluster.
         self._faults = None
+        # Optional durable ingest pipeline (see repro.ingest); when set,
+        # append_rows/delete_rows route through the WAL + delta path.
+        self._ingest = None
 
     # Fault injection -------------------------------------------------------
     @property
@@ -188,6 +251,116 @@ class DistributedStore:
     def clear_faults(self) -> None:
         """Detach the injector: the cluster is healthy again."""
         self._faults = None
+
+    # Durable ingest --------------------------------------------------------
+    @property
+    def ingest(self):
+        """The attached :class:`~repro.ingest.IngestPipeline`, or ``None``."""
+        return self._ingest
+
+    def enable_ingest(self, config=None, observer=None):
+        """Switch writes to the durable WAL + delta-partition path.
+
+        Idempotent: returns the existing pipeline if already enabled
+        (``config`` is only honoured on the first call).  Already-stored
+        tables are adopted (deltas attached, initial checkpoints
+        written); tables stored later register automatically.
+        """
+        if self._ingest is None:
+            from repro.ingest.pipeline import IngestPipeline
+
+            self._ingest = IngestPipeline(self, config, observer=observer)
+        return self._ingest
+
+    def recover(self):
+        """Crash-consistent recovery: replay the WAL onto checkpoints.
+
+        Returns a :class:`~repro.ingest.RecoveryReport`; raises
+        :class:`RecoveryError` if durable ingest was never enabled or
+        the rebuilt image fails its consistency verification.
+        """
+        if self._ingest is None:
+            raise RecoveryError(
+                "durable ingest is not enabled on this store; "
+                "call enable_ingest() first"
+            )
+        return self._ingest.recover()
+
+    def account_delta_bytes(self, partition: TablePartition, n_bytes: int) -> None:
+        """Adjust replica byte accounting for a delta memtable change."""
+        if n_bytes == 0:
+            return
+        for node_id in partition.all_nodes:
+            self.topology.node(node_id).stored_bytes += n_bytes
+
+    def reset_served_bytes(self) -> None:
+        """Forget per-node served-byte load counters (process restart)."""
+        self._served_bytes.clear()
+
+    def compact_partition(self, name: str, index: int) -> Optional[Dict]:
+        """Merge one partition's delta into a new base image.
+
+        This is the compaction moment: the effective base+delta view
+        becomes the new base (bumping ``generation`` exactly once per
+        merge, which is what keeps shared-memory republish bounded), the
+        columnar image is re-encoded from fresh statistics, and the
+        synopsis is rebuilt.  Returns merge stats, or ``None`` if the
+        partition was clean.
+        """
+        stored = self.table(name)
+        partition = stored.partitions[index]
+        delta = partition.delta
+        if delta is None or not delta.dirty:
+            return None
+        merged = partition.read_view()
+        info = {
+            "partition": partition.partition_id,
+            "appended_rows": delta.n_rows,
+            "deleted_rows": delta.n_deleted,
+            "applied_lsn": delta.last_lsn,
+            "merged_rows": merged.n_rows,
+        }
+        old_stored = partition.stored_bytes  # base image + delta memtable
+        delta.rebase(merged.n_rows)
+        partition._view = None
+        partition.data = merged
+        partition.generation += 1
+        if partition.columnar is not None:
+            partition.columnar = ColumnarPartition.from_table(merged)
+        synopsis = PartitionSynopsis.from_table(merged)
+        self._record_encodings(synopsis, partition)
+        self._synopses[name][index] = synopsis
+        diff = partition.stored_bytes - old_stored
+        if diff:
+            for node_id in partition.all_nodes:
+                self.topology.node(node_id).stored_bytes += diff
+        info["stored_bytes"] = partition.stored_bytes
+        return info
+
+    def restore_partition(
+        self, partition: TablePartition, data: Table, columnar: bool
+    ) -> PartitionSynopsis:
+        """Reset a partition's base image from a checkpoint (recovery).
+
+        The caller must have detached the delta (and retracted its byte
+        accounting) first.  The generation is bumped rather than
+        restored so a recovered image can never alias a shared-memory
+        segment published before the crash.
+        """
+        old_stored = partition.stored_bytes
+        partition.data = data
+        partition.generation += 1
+        partition.columnar = (
+            ColumnarPartition.from_table(data) if columnar else None
+        )
+        partition._view = None
+        synopsis = PartitionSynopsis.from_table(data)
+        self._record_encodings(synopsis, partition)
+        diff = partition.stored_bytes - old_stored
+        if diff:
+            for node_id in partition.all_nodes:
+                self.topology.node(node_id).stored_bytes += diff
+        return synopsis
 
     def read_slowdown(self, node_id: str) -> float:
         """Straggler multiplier for disk time on ``node_id`` (1.0 healthy)."""
@@ -296,6 +469,8 @@ class DistributedStore:
                 synopsis.encodings = dict(p.columnar.encodings)
             synopses.append(synopsis)
         self._synopses[table.name] = synopses
+        if self._ingest is not None:
+            self._ingest.register_table(stored)
         return stored
 
     def drop_table(self, name: str) -> None:
@@ -307,6 +482,8 @@ class DistributedStore:
                 )
         del self._catalog[name]
         self._synopses.pop(name, None)
+        if self._ingest is not None:
+            self._ingest.deregister_table(name)
 
     # Catalog -------------------------------------------------------------
     def table(self, name: str) -> StoredTable:
@@ -361,7 +538,7 @@ class DistributedStore:
             # Transient failures strike after the bytes were served: the
             # wasted attempt's charge is the retry overhead made visible.
             faults.maybe_fail_read(serving, partition.partition_id)
-        return partition.data
+        return partition.read_view()
 
     def read_columns(
         self,
@@ -383,6 +560,13 @@ class DistributedStore:
             raise StorageError(
                 f"partition {partition.partition_id} has no columnar image "
                 "(stored with layout='row')"
+            )
+        if partition.dirty:
+            # The encoded image covers only the base rows; engines must
+            # fall back to read_partition for dirty partitions.
+            raise StorageError(
+                f"partition {partition.partition_id} has staged delta "
+                "writes; its columnar image does not cover them"
             )
         serving = node_id if node_id is not None else partition.primary_node
         if serving not in partition.all_nodes:
@@ -451,8 +635,19 @@ class DistributedStore:
         partition — data, node byte accounting, and synopsis — untouched;
         grown partitions update all three together so the bookkeeping
         cannot diverge on degenerate shapes.
+
+        With durable ingest enabled (:meth:`enable_ingest`) the write is
+        WAL-logged and staged into delta partitions instead of mutating
+        base images; reads see it immediately through the base+delta
+        view and the background compactor merges it at the next epoch.
         """
-        stored = self.table(name)
+        if self._ingest is not None:
+            self._ingest.append(name, rows)
+            return
+        try:
+            stored = self.table(name)
+        except StorageError as exc:
+            raise WriteError("append", str(exc)) from None
         require(
             rows.column_names == stored.column_names,
             f"schema mismatch: {rows.column_names} vs {stored.column_names}",
@@ -477,8 +672,18 @@ class DistributedStore:
         accounting (zero stored bytes, an always-prunable synopsis).
         Minima/maxima are not decrementable, so a shrunk partition's
         synopsis is rebuilt from the surviving rows.
+
+        With durable ingest enabled the delete is WAL-logged as
+        evaluated per-partition masks and staged as tombstones; base
+        rows disappear from the view immediately and physically at the
+        next compaction.
         """
-        stored = self.table(name)
+        if self._ingest is not None:
+            return self._ingest.delete(name, predicate)
+        try:
+            stored = self.table(name)
+        except StorageError as exc:
+            raise WriteError("delete", str(exc)) from None
         synopses = self._synopses[name]
         deleted = 0
         for index, partition in enumerate(stored.partitions):

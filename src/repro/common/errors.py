@@ -69,6 +69,50 @@ class PartitionLostError(FaultError):
         super().__init__(f"all replicas of {partition_id} unavailable{detail}")
 
 
+class WriteError(FaultError):
+    """A write-path operation failed (WAL sync, delta apply, compaction).
+
+    Carries the fault ``point`` that struck (``"wal_sync"``,
+    ``"checkpoint"``, ...).  Transient: the compactor retries these with
+    capped backoff; an exhausted retry budget re-raises the last one.
+    """
+
+    def __init__(self, point: str = "", detail: str = "") -> None:
+        self.point = point
+        self.detail = detail
+        where = f" at {point!r}" if point else ""
+        extra = f": {detail}" if detail else ""
+        super().__init__(f"write-path fault{where}{extra}")
+
+
+class WriteCrashError(WriteError):
+    """An injected crash struck mid-write and killed the simulated process.
+
+    Not retryable: volatile state (delta partitions, unsynced WAL tail)
+    is lost and only the durable image survives.  The store refuses
+    further writes until :meth:`DistributedStore.recover` replays the
+    WAL back to a verified state.
+    """
+
+    def __init__(self, point: str = "", detail: str = "") -> None:
+        WriteError.__init__(self, point, detail)
+        where = f" at {point!r}" if point else ""
+        extra = f" ({detail})" if detail else ""
+        self.args = (
+            f"simulated process crash mid-write{where}{extra}; "
+            "recover() required before further writes",
+        )
+
+
+class RecoveryError(FaultError):
+    """Crash-consistent recovery could not restore a verified state.
+
+    Raised when :meth:`DistributedStore.recover` is called without
+    durable ingest enabled, or when the rebuilt state fails the
+    ``synopses_consistent``/``columnar_consistent`` verification.
+    """
+
+
 class WorkerCrashError(ReproError):
     """A process-pool scan worker died mid-batch.
 

@@ -94,7 +94,14 @@ class CoordinatorEngine:
         synopses = self.store.synopses(stored.name)
         if len(synopses) != len(stored.partitions):
             return rows_by_partition
-        kept, pruned = prune_row_plan(synopses, rows_by_partition, selection)
+        dirty = {
+            index
+            for index, partition in enumerate(stored.partitions)
+            if getattr(partition, "dirty", False)
+        }
+        kept, pruned = prune_row_plan(
+            synopses, rows_by_partition, selection, dirty=dirty or None
+        )
         if pruned and obs.enabled:
             obs.inc(
                 "prune_fetch_partitions_skipped_total", pruned, table=stored.name
@@ -239,7 +246,14 @@ class CoordinatorEngine:
                     payload=(spec, partition),
                     size_bytes=rows_requested * int(partition.row_bytes),
                     spec=spec,
-                    partition=partition,
+                    # A dirty partition's take() gathers from the
+                    # base+delta view, which shared memory does not
+                    # cover — keep its morsel inline.
+                    partition=(
+                        None
+                        if getattr(partition, "dirty", False)
+                        else partition
+                    ),
                 )
             )
 

@@ -350,9 +350,15 @@ class MapReduceEngine:
             # Column pruning for the shared pass: read the union of the
             # active jobs' scan columns iff every active job pushed one
             # down (a row-path job needs the full Table payload).
+            # Dirty partitions (staged delta writes) carry the base+delta
+            # view and never ship spec/partition: shared-memory segments
+            # hold published base generations only.
+            dirty = bool(getattr(partition, "dirty", False))
+            shipped_columns = None
             if (
                 scans is not None
                 and partition.columnar is not None
+                and not dirty
                 and all(scans[j] is not None for j in active)
             ):
                 if full_union is not None and len(active) == n_jobs:
@@ -364,15 +370,16 @@ class MapReduceEngine:
                     columns = tuple(union)
                 payload_data = partition.columnar.project(columns)
                 size = payload_data.encoded_bytes
+                shipped_columns = columns
             else:
-                payload_data = partition.data
+                payload_data = partition.read_view()
                 size = int(partition.n_bytes)
             payload_active = active if plans is not None else None
             # Ship a picklable spec alongside the in-memory payload so a
             # process executor can run this morsel out-of-process; the
             # thread/serial paths keep using ``payload`` directly.
             spec = None
-            if isinstance(multi_map_fn, TaskSpec):
+            if isinstance(multi_map_fn, TaskSpec) and not dirty:
                 spec = (
                     multi_map_fn
                     if payload_active is None
@@ -384,12 +391,8 @@ class MapReduceEngine:
                     payload=(payload_data, payload_active),
                     size_bytes=size,
                     spec=spec,
-                    partition=partition,
-                    columns=(
-                        columns
-                        if payload_data is not partition.data
-                        else None
-                    ),
+                    partition=None if dirty else partition,
+                    columns=shipped_columns,
                 )
             )
 

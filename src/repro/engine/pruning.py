@@ -24,7 +24,7 @@ spells out the invariants).
 from __future__ import annotations
 
 from dataclasses import dataclass, field
-from typing import Any, Dict, List, Optional, Sequence, Tuple
+from typing import AbstractSet, Any, Dict, List, Optional, Sequence, Tuple
 
 from repro.cluster.synopsis import PartitionSynopsis
 from repro.queries.aggregates import (
@@ -144,12 +144,15 @@ def prune_row_plan(
     synopses: Sequence[PartitionSynopsis],
     rows_by_partition: Dict[int, Sequence[int]],
     selection: Selection,
+    dirty: Optional[AbstractSet[int]] = None,
 ) -> Tuple[Dict[int, Sequence[int]], int]:
     """Drop row-fetch requests against partitions disjoint from the box.
 
     Returns ``(kept_plan, n_pruned_partitions)``.  Safe only for callers
     that filter the fetched rows by ``selection`` afterwards — the
-    dropped rows provably cannot satisfy it.
+    dropped rows provably cannot satisfy it.  ``dirty`` partitions
+    (staged delta writes the base synopsis does not describe) are never
+    pruned.
     """
     lows, highs = selection.box()
     columns = selection.columns
@@ -157,7 +160,11 @@ def prune_row_plan(
     pruned = 0
     for index, rows in rows_by_partition.items():
         synopsis = synopses[index] if 0 <= index < len(synopses) else None
-        if synopsis is not None and synopsis.disjoint(columns, lows, highs):
+        if (
+            synopsis is not None
+            and (dirty is None or index not in dirty)
+            and synopsis.disjoint(columns, lows, highs)
+        ):
             pruned += 1
             continue
         kept[index] = rows

@@ -29,7 +29,12 @@ from __future__ import annotations
 import threading
 from typing import Dict, List, Optional, Set
 
-from repro.common.errors import NodeUnavailableError, TransientReadError
+from repro.common.errors import (
+    NodeUnavailableError,
+    TransientReadError,
+    WriteCrashError,
+    WriteError,
+)
 from repro.common.rng import SeedLike, make_rng
 from repro.common.validation import require
 from repro.faults.schedule import FaultSchedule
@@ -55,6 +60,13 @@ class FaultInjector:
         # Counters (also mirrored to the observer as fault_* metrics).
         self.n_unavailable = 0
         self.n_transient = 0
+        # Write-path fault arming: crash windows fire once at the Nth
+        # hit of a named point; transient write faults fail the next
+        # ``count`` hits of a point and then clear.
+        self._write_crashes: Dict[str, int] = {}
+        self._write_faults: Dict[str, int] = {}
+        self.n_write_faults = 0
+        self.n_write_crashes = 0
         # Reentrant: advance/crash/recover call is_down/_note_* internally.
         # Guards the clock, the forced sets, the RNG stream, and the
         # counters so concurrent readers (repro.parallel keeps injector
@@ -155,6 +167,71 @@ class FaultInjector:
                     )
         if failed:
             raise TransientReadError(node_id, partition_id)
+
+    # Write-path hooks (called by the ingest pipeline) ----------------------
+    def arm_write_crash(self, point: str, hits: int = 1) -> None:
+        """Crash the simulated process at the ``hits``-th hit of ``point``.
+
+        Known points: ``"wal_record"`` (mid-WAL-record), ``"delta_append"``
+        (mid-append, after logging but before the delta apply completes)
+        and ``"compaction"`` (mid-compaction, between per-partition
+        checkpoint writes).  One-shot: the window disarms when it fires.
+        """
+        require(hits >= 1, f"crash window needs hits >= 1, got {hits}")
+        with self._lock:
+            self._write_crashes[point] = hits
+
+    def inject_write_faults(self, point: str, count: int = 1) -> None:
+        """Fail the next ``count`` hits of ``point`` with a transient
+        :class:`WriteError` (the compactor's retry loop absorbs these)."""
+        require(count >= 1, f"fault count must be >= 1, got {count}")
+        with self._lock:
+            self._write_faults[point] = count
+
+    def check_write(self, point: str, detail: str = "") -> None:
+        """One write-path fault-point hit: crash, fail transiently, or pass."""
+        with self._lock:
+            hits = self._write_crashes.get(point)
+            if hits is not None:
+                if hits <= 1:
+                    del self._write_crashes[point]
+                    self.n_write_crashes += 1
+                    if self.observer.enabled:
+                        self.observer.inc(
+                            "fault_write_crashes_total", point=point
+                        )
+                        self.observer.event(
+                            "write_crash", point=point, at=self.now
+                        )
+                    raise WriteCrashError(point, detail)
+                self._write_crashes[point] = hits - 1
+            remaining = self._write_faults.get(point, 0)
+            if remaining > 0:
+                if remaining == 1:
+                    del self._write_faults[point]
+                else:
+                    self._write_faults[point] = remaining - 1
+                self.n_write_faults += 1
+                if self.observer.enabled:
+                    self.observer.inc("fault_write_faults_total", point=point)
+                raise WriteError(point, detail)
+
+    def torn_cut(self, n_bytes: int) -> int:
+        """Seeded length of the torn fragment of an in-flight WAL record.
+
+        Strictly inside ``[1, n_bytes - 1]`` so a crash mid-record always
+        leaves a detectable partial frame (never a clean boundary, never
+        nothing) — the shape torn-tail detection exists to discard.
+        """
+        require(n_bytes >= 2, f"record too small to tear ({n_bytes} bytes)")
+        with self._lock:
+            return int(self._rng.integers(1, n_bytes))
+
+    @property
+    def write_faults_armed(self) -> bool:
+        """True iff any write-path crash window or transient fault is armed."""
+        with self._lock:
+            return bool(self._write_crashes) or bool(self._write_faults)
 
     # Internals -------------------------------------------------------------
     def _note_down(self, node_id: str, at: float) -> None:

@@ -1,0 +1,34 @@
+"""Durable streaming ingestion: WAL, delta partitions, compaction.
+
+The write path is an LSM-flavoured split of every table partition into
+an immutable *base* image plus a small in-memory *delta*
+(:class:`~repro.ingest.delta.DeltaPartition`).  Writes are framed and
+checksummed into a :class:`~repro.ingest.wal.WriteAheadLog` first, then
+staged into deltas; a background compactor
+(:class:`~repro.ingest.pipeline.IngestPipeline`) driven off the
+simulated clock merges deltas into bases once per epoch and writes
+per-partition checkpoints, giving crash-consistent recovery with
+bounded staleness (one epoch).
+"""
+
+from repro.ingest.delta import DeltaPartition
+from repro.ingest.wal import (
+    WAL_APPEND,
+    WAL_DELETE,
+    WAL_EPOCH,
+    WalRecord,
+    WriteAheadLog,
+)
+from repro.ingest.pipeline import IngestConfig, IngestPipeline, RecoveryReport
+
+__all__ = [
+    "DeltaPartition",
+    "IngestConfig",
+    "IngestPipeline",
+    "RecoveryReport",
+    "WAL_APPEND",
+    "WAL_DELETE",
+    "WAL_EPOCH",
+    "WalRecord",
+    "WriteAheadLog",
+]

@@ -1,0 +1,175 @@
+"""In-memory delta partitions: the volatile half of base+delta storage.
+
+A :class:`DeltaPartition` hangs off one
+:class:`~repro.cluster.storage.TablePartition` while durable ingest is
+enabled and accumulates the writes staged since that partition's last
+compaction:
+
+* ``rows`` — appended rows, concatenated in arrival order (the
+  memtable).  Kept as a plain row-major :class:`Table`: deltas are
+  small and short-lived, so encoding them would cost more than it
+  saves.
+* ``deleted_base`` — a boolean tombstone mask over the *base* image's
+  rows.  Deletes against rows still in the delta are applied eagerly
+  (the memtable is mutable-by-replacement); deletes against the base
+  are deferred to compaction.
+
+The effective content of a partition is
+``base[~deleted_base] ++ rows`` — element-identical to applying the
+same writes synchronously, which is what makes compaction invisible to
+query answers (numpy aggregates over element-equal arrays are bitwise
+equal).
+
+``version`` bumps on every mutation and keys the caches above this
+layer (the partition's materialized view, the delta synopsis).
+``last_lsn`` records the newest WAL record folded in, which becomes the
+partition's ``applied_lsn`` checkpoint at compaction — the cursor that
+makes WAL replay idempotent.
+"""
+
+from __future__ import annotations
+
+from typing import Optional
+
+import numpy as np
+
+from repro.common.validation import require
+from repro.data.tabular import Table
+
+
+class DeltaPartition:
+    """Pending writes for one table partition (see module docstring)."""
+
+    __slots__ = (
+        "base_rows",
+        "rows",
+        "deleted_base",
+        "version",
+        "first_lsn",
+        "last_lsn",
+        "_synopsis",
+        "_synopsis_version",
+    )
+
+    def __init__(self, base_rows: int) -> None:
+        require(base_rows >= 0, f"base_rows must be >= 0, got {base_rows}")
+        self.base_rows = base_rows
+        self.rows: Optional[Table] = None
+        self.deleted_base: Optional[np.ndarray] = None
+        self.version = 0
+        self.first_lsn = 0
+        self.last_lsn = 0
+        self._synopsis = None
+        self._synopsis_version = -1
+
+    # State -----------------------------------------------------------------
+    @property
+    def dirty(self) -> bool:
+        """True iff the partition's effective content differs from base."""
+        return self.n_rows > 0 or self.n_deleted > 0
+
+    @property
+    def n_rows(self) -> int:
+        """Appended rows pending merge."""
+        return self.rows.n_rows if self.rows is not None else 0
+
+    @property
+    def n_deleted(self) -> int:
+        """Base rows tombstoned for deletion at the next compaction."""
+        if self.deleted_base is None:
+            return 0
+        return int(np.count_nonzero(self.deleted_base))
+
+    @property
+    def n_bytes(self) -> int:
+        """Memtable footprint (tombstones are free: one bit of intent)."""
+        return self.rows.n_bytes if self.rows is not None else 0
+
+    @property
+    def live_base_rows(self) -> int:
+        return self.base_rows - self.n_deleted
+
+    # Mutation --------------------------------------------------------------
+    def append(self, piece: Table, lsn: int) -> None:
+        """Fold ``piece`` onto the memtable tail."""
+        if piece.n_rows == 0:
+            return
+        if self.rows is None:
+            self.rows = piece
+        else:
+            self.rows = Table.concat([self.rows, piece], name=piece.name)
+        self._stamp(lsn)
+
+    def delete(self, effective_mask: np.ndarray, lsn: int) -> int:
+        """Apply one delete mask expressed over the *effective* rows.
+
+        The first ``live_base_rows`` entries address surviving base rows
+        (tombstoned lazily); the remainder address the memtable
+        (dropped eagerly).  Returns the number of rows deleted.
+        """
+        mask = np.asarray(effective_mask, dtype=bool)
+        expected = self.live_base_rows + self.n_rows
+        require(
+            mask.shape == (expected,),
+            f"delete mask covers {mask.shape} rows, partition has {expected}",
+        )
+        deleted = int(np.count_nonzero(mask))
+        if deleted == 0:
+            return 0
+        base_part = mask[: self.live_base_rows]
+        delta_part = mask[self.live_base_rows :]
+        if base_part.any():
+            if self.deleted_base is None:
+                self.deleted_base = np.zeros(self.base_rows, dtype=bool)
+            live_positions = np.flatnonzero(~self.deleted_base)
+            self.deleted_base[live_positions[base_part]] = True
+        if self.rows is not None and delta_part.any():
+            self.rows = self.rows.select(~delta_part)
+            if self.rows.n_rows == 0:
+                self.rows = None
+        self._stamp(lsn)
+        return deleted
+
+    def clear(self) -> None:
+        """Reset after compaction folded this delta into a new base."""
+        self.rows = None
+        self.deleted_base = None
+        self.first_lsn = 0
+        self.last_lsn = 0
+        self.version += 1
+        self._synopsis = None
+        self._synopsis_version = -1
+
+    def rebase(self, base_rows: int) -> None:
+        """Point at a freshly merged base of ``base_rows`` rows."""
+        self.base_rows = base_rows
+        self.clear()
+
+    # Pruning support -------------------------------------------------------
+    def synopsis(self):
+        """Zone-map stats over the *appended* rows only (cached).
+
+        A base-synopsis SKIP verdict stays sound for a dirty partition
+        iff the memtable is also disjoint from the query box — this is
+        the delta side of that check.  Deletes never un-skip.
+        """
+        if self.rows is None:
+            return None
+        if self._synopsis_version != self.version:
+            from repro.cluster.synopsis import PartitionSynopsis
+
+            self._synopsis = PartitionSynopsis.from_table(self.rows)
+            self._synopsis_version = self.version
+        return self._synopsis
+
+    def _stamp(self, lsn: int) -> None:
+        if self.first_lsn == 0:
+            self.first_lsn = lsn
+        self.last_lsn = max(self.last_lsn, lsn)
+        self.version += 1
+
+    def __repr__(self) -> str:  # pragma: no cover - debugging aid
+        return (
+            f"DeltaPartition(+{self.n_rows} rows, -{self.n_deleted} base, "
+            f"lsn {self.first_lsn}..{self.last_lsn})"
+        )

@@ -1,0 +1,215 @@
+"""A checksummed, generation-stamped write-ahead log over a simulated disk.
+
+The log models fsync-free durability the same way the fault layer models
+node crashes: no real I/O, but the *semantics* of real I/O.  Two byte
+regions exist:
+
+* ``_disk`` — bytes a successful :meth:`sync` has flushed.  These are
+  durable: they survive :meth:`crash` verbatim.
+* ``_pending`` — framed records appended since the last sync.  These
+  are volatile: a crash loses them, except that a seeded *torn prefix*
+  of the oldest unsynced record may land on disk (the partial page
+  write every real WAL has to detect and discard).
+
+Each record is framed as::
+
+    MAGIC(2) | type(1) | lsn(8) | epoch(8) | payload_len(4) | crc32(4) | payload
+
+with the CRC taken over ``type..payload``.  :meth:`scan` walks the
+durable image, stops at the first incomplete or checksum-failing frame,
+and reports how many torn tail bytes it discarded — recovery truncates
+there, so replay sees exactly the synced prefix.
+
+LSNs are the log's generation stamps: monotonically increasing across
+every record, independent of epochs, and the unit per-partition
+compaction checkpoints are expressed in (``applied_lsn``).
+"""
+
+from __future__ import annotations
+
+import pickle
+import struct
+import zlib
+from dataclasses import dataclass
+from typing import Any, Callable, List, Optional, Tuple
+
+from repro.common.errors import WriteCrashError
+from repro.common.validation import require
+
+WAL_APPEND = 1
+WAL_DELETE = 2
+WAL_EPOCH = 3
+
+_MAGIC = b"WL"
+_HEADER = struct.Struct("<2sBQQLL")
+
+
+@dataclass(frozen=True)
+class WalRecord:
+    """One decoded WAL record."""
+
+    rtype: int
+    lsn: int
+    epoch: int
+    payload: Any
+
+
+def frame_record(rtype: int, lsn: int, epoch: int, payload: Any) -> bytes:
+    """Serialize one record into its on-disk frame."""
+    body = pickle.dumps((rtype, lsn, epoch, payload), protocol=4)
+    crc = zlib.crc32(body)
+    return _HEADER.pack(_MAGIC, rtype, lsn, epoch, len(body), crc) + body
+
+
+class WriteAheadLog:
+    """The simulated durable log (see module docstring for the model)."""
+
+    def __init__(self) -> None:
+        self._disk = bytearray()
+        self._pending: List[bytes] = []
+        self._inflight: Optional[bytes] = None
+        self.next_lsn = 1
+        self.synced_lsn = 0  # highest LSN a successful sync() has flushed
+        self.n_syncs = 0
+        self.high_water_bytes = 0  # peak durable size ever reached
+
+    # Introspection ---------------------------------------------------------
+    @property
+    def disk_bytes(self) -> int:
+        return len(self._disk)
+
+    @property
+    def pending_records(self) -> int:
+        return len(self._pending)
+
+    @property
+    def pending_bytes(self) -> int:
+        return sum(len(f) for f in self._pending)
+
+    # Write path ------------------------------------------------------------
+    def append(
+        self,
+        rtype: int,
+        payload: Any,
+        epoch: int,
+        fault_hook: Optional[Callable[[str, str], None]] = None,
+    ) -> int:
+        """Frame ``payload`` as the next record and stage it (unsynced).
+
+        ``fault_hook`` is consulted *mid-record* — after framing, before
+        the frame joins the unsynced tail.  If it raises
+        :class:`WriteCrashError` the half-written frame is remembered as
+        in-flight so :meth:`crash` can tear exactly this record.
+        """
+        lsn = self.next_lsn
+        self.next_lsn += 1
+        frame = frame_record(rtype, lsn, epoch, payload)
+        if fault_hook is not None:
+            try:
+                fault_hook("wal_record", f"lsn={lsn}")
+            except WriteCrashError:
+                self._inflight = frame
+                raise
+        self._pending.append(frame)
+        return lsn
+
+    def sync(self) -> int:
+        """Flush every pending frame to the durable image.
+
+        Returns the number of bytes made durable.  The caller owns the
+        injectable ``"wal_sync"`` fault point (the compactor wraps this
+        in its retry loop); a sync either happens entirely or not at all
+        — partial flushes only ever come from :meth:`crash`.
+        """
+        flushed = 0
+        if self._pending:
+            for frame in self._pending:
+                self._disk.extend(frame)
+                flushed += len(frame)
+            self._pending.clear()
+            self.synced_lsn = self.next_lsn - 1
+            self.high_water_bytes = max(self.high_water_bytes, len(self._disk))
+        self.n_syncs += 1
+        return flushed
+
+    def crash(self, cut: Optional[Callable[[int], int]] = None) -> int:
+        """Lose all volatile state, optionally tearing one record.
+
+        The in-flight frame (crash mid-record), or failing that the
+        oldest pending frame, may leave a torn prefix on disk: ``cut``
+        maps the frame length to a strictly-partial fragment length
+        (:meth:`FaultInjector.torn_cut` provides the seeded draw).
+        Returns the number of torn bytes that landed.
+        """
+        victim = self._inflight
+        if victim is None and self._pending:
+            victim = self._pending[0]
+        torn = 0
+        if victim is not None and cut is not None and len(victim) >= 2:
+            torn = cut(len(victim))
+            require(
+                0 < torn < len(victim),
+                f"torn cut must be strictly partial, got {torn}/{len(victim)}",
+            )
+            self._disk.extend(victim[:torn])
+        self._pending.clear()
+        self._inflight = None
+        return torn
+
+    # Recovery --------------------------------------------------------------
+    def scan(self) -> Tuple[List[WalRecord], int]:
+        """Decode the durable image; truncate at the first bad frame.
+
+        Returns ``(records, torn_bytes)`` where ``torn_bytes`` counts the
+        discarded tail (incomplete frame, bad magic, or CRC mismatch).
+        Truncation is physical: after a scan the durable image ends at
+        the last verified record, so repeated recoveries are idempotent.
+        """
+        records: List[WalRecord] = []
+        image = bytes(self._disk)
+        offset = 0
+        header_size = _HEADER.size
+        while offset < len(image):
+            start = offset
+            if offset + header_size > len(image):
+                break
+            magic, rtype, lsn, epoch, length, crc = _HEADER.unpack(
+                image[offset : offset + header_size]
+            )
+            if magic != _MAGIC:
+                break
+            offset += header_size
+            if offset + length > len(image):
+                offset = start
+                break
+            body = image[offset : offset + length]
+            if zlib.crc32(body) != crc:
+                offset = start
+                break
+            decoded_rtype, decoded_lsn, decoded_epoch, payload = pickle.loads(body)
+            if (decoded_rtype, decoded_lsn, decoded_epoch) != (rtype, lsn, epoch):
+                offset = start
+                break
+            records.append(WalRecord(rtype, lsn, epoch, payload))
+            offset += length
+        torn = len(image) - offset
+        if torn:
+            del self._disk[offset:]
+        if records:
+            last = records[-1].lsn
+            self.synced_lsn = last
+            self.next_lsn = max(self.next_lsn, last + 1)
+        return records, torn
+
+    def prune_through(self, lsn: int) -> int:
+        """Drop durable records with ``lsn <= lsn`` (all partitions have
+        compacted past them).  Returns the number of bytes reclaimed."""
+        records, _ = self.scan()
+        kept = [r for r in records if r.lsn > lsn]
+        before = len(self._disk)
+        self._disk = bytearray()
+        for record in kept:
+            self._disk.extend(
+                frame_record(record.rtype, record.lsn, record.epoch, record.payload)
+            )
+        return before - len(self._disk)

@@ -61,7 +61,11 @@ class PartitionProfile:
     per-partition rows always reconcile with the job's CostMeter
     charges.  ``n_bytes`` stays the decoded row-major footprint;
     ``stored_bytes`` is the on-disk footprint (== ``n_bytes`` for row
-    layout, the encoded bytes for columnar layout).
+    layout, the encoded bytes for columnar layout).  ``delta_rows``
+    counts staged ingest rows not yet compacted into the base image
+    (nonzero only between a durable write and its epoch close); a
+    nonzero value explains why this partition scanned instead of using
+    its synopsis or column pruning.
     """
 
     index: int
@@ -70,6 +74,7 @@ class PartitionProfile:
     n_bytes: int
     read_bytes: int
     stored_bytes: int = -1  # -1 -> defaults to n_bytes (row layout)
+    delta_rows: int = 0  # staged (uncompacted) ingest rows in the view
 
     def __post_init__(self) -> None:
         if self.stored_bytes < 0:
@@ -93,6 +98,7 @@ class PartitionProfile:
             "n_bytes": self.n_bytes,
             "read_bytes": self.read_bytes,
             "stored_bytes": self.stored_bytes,
+            "delta_rows": self.delta_rows,
         }
 
 
@@ -270,6 +276,8 @@ class QueryProfile:
                     extra += f" read={p.read_bytes}"
                 if p.bytes_saved:
                     extra += f" saved={p.bytes_saved}"
+                if p.delta_rows:
+                    extra += f" delta={p.delta_rows}"
                 lines.append(
                     f"    [{p.index}] {p.action:<8} "
                     f"rows={p.n_rows} bytes={p.n_bytes}{extra}"
@@ -398,8 +406,19 @@ class FlightRecorder:
             partitions = []
             for index, entry in enumerate(fields["partitions"]):
                 # 4-tuples predate columnar layouts (stored == decoded);
-                # 5-tuples carry the encoded on-disk footprint too.
-                if len(entry) == 5:
+                # 5-tuples add the encoded on-disk footprint; 6-tuples
+                # add staged ingest delta rows.
+                delta_rows = 0
+                if len(entry) == 6:
+                    (
+                        action,
+                        n_rows,
+                        n_bytes,
+                        read_bytes,
+                        stored_bytes,
+                        delta_rows,
+                    ) = entry
+                elif len(entry) == 5:
                     action, n_rows, n_bytes, read_bytes, stored_bytes = entry
                 else:
                     action, n_rows, n_bytes, read_bytes = entry
@@ -412,6 +431,7 @@ class FlightRecorder:
                         n_bytes=n_bytes,
                         read_bytes=read_bytes,
                         stored_bytes=stored_bytes,
+                        delta_rows=delta_rows,
                     )
                 )
             profile.partitions = partitions
@@ -513,6 +533,7 @@ def build_plan_profile(query: Any, engine: Any, agent: Any = None) -> QueryProfi
             read_bytes = int(plan.synopsis_bytes.get(index, 0))
         else:
             read_bytes = 0
+        delta = getattr(partition, "delta", None)
         profile.partitions.append(
             PartitionProfile(
                 index=index,
@@ -521,6 +542,7 @@ def build_plan_profile(query: Any, engine: Any, agent: Any = None) -> QueryProfi
                 n_bytes=int(partition.n_bytes),
                 read_bytes=read_bytes,
                 stored_bytes=stored_bytes,
+                delta_rows=int(delta.n_rows) if delta is not None else 0,
             )
         )
     if agent is not None:

@@ -222,13 +222,18 @@ def partition_morsels(
     for index, partition in enumerate(partitions):
         if should_scan is not None and not should_scan(index):
             continue
+        # Dirty partitions (staged delta writes) compute over the
+        # base+delta view and never ship spec/partition: the process
+        # pool's shared-memory segments hold only published base
+        # generations, so out-of-process compute would miss the delta.
+        dirty = bool(getattr(partition, "dirty", False))
         columnar = getattr(partition, "columnar", None)
-        if columns is not None and columnar is not None:
+        if columns is not None and columnar is not None and not dirty:
             payload = columnar.project(columns)
             size = int(payload.encoded_bytes)
             shipped_columns = tuple(columns)
         else:
-            payload = partition.data
+            payload = partition.read_view() if dirty else partition.data
             size = int(partition.n_bytes)
             shipped_columns = None
         morsels.append(
@@ -236,8 +241,8 @@ def partition_morsels(
                 index=index,
                 payload=payload,
                 size_bytes=size,
-                spec=spec,
-                partition=partition,
+                spec=None if dirty else spec,
+                partition=None if dirty else partition,
                 columns=shipped_columns,
             )
         )

@@ -109,6 +109,8 @@ class SEASession:
         workers: int = 1,
         layout: str = "row",
         executor: str = "thread",
+        ingest: bool = False,
+        epoch_seconds: float = 1.0,
     ) -> None:
         """``workers`` sizes the session's morsel pool (DESIGN §9):
         ``workers=1`` (the default) is the serial path; higher counts fan
@@ -122,7 +124,12 @@ class SEASession:
         partition storage layout (DESIGN §11): ``"row"`` keeps the
         historical row-major matrices, ``"column"`` stores encoded
         columns and unlocks column-pruned scans — answers are
-        byte-identical either way.
+        byte-identical either way.  ``ingest=True`` turns on the durable
+        streaming write path (DESIGN §13): ``append_rows``/``delete_rows``
+        land in a write-ahead log plus per-partition deltas, readable
+        immediately, and are folded into base partitions by the epoch
+        compactor every ``epoch_seconds`` of simulated time
+        (``session.advance(...)``/``session.flush()``).
         """
         require(n_nodes >= 1, "n_nodes must be >= 1")
         require(
@@ -144,6 +151,13 @@ class SEASession:
         self._explainer = ExplanationBuilder(n_probes=13, span=(0.6, 1.4))
         self.observer: Optional[Observer] = None
         self.slo: Optional[SLOMonitor] = None
+        if ingest:
+            from repro.ingest import IngestConfig
+
+            pipeline = self.store.enable_ingest(
+                IngestConfig(epoch_seconds=epoch_seconds)
+            )
+            pipeline.on_epoch(self._on_ingest_epoch)
         if observer is not None:
             self.attach_observer(observer)
 
@@ -162,6 +176,8 @@ class SEASession:
         self.observer = observer
         self.agent.attach_observer(observer)
         self.executor.attach_observer(observer)
+        if self.store.ingest is not None:
+            self.store.ingest.attach_observer(observer)
         return observer
 
     def close(self) -> None:
@@ -248,6 +264,74 @@ class SEASession:
     def notify_update(self, table_name: str, lows, highs) -> int:
         """Tell the agent base data changed inside the box (RT1.4-ii)."""
         return self.agent.notify_data_update(table_name, lows, highs)
+
+    # Streaming ingestion (DESIGN §13) --------------------------------------
+    @property
+    def ingest(self):
+        """The session's :class:`~repro.ingest.IngestPipeline`, or None."""
+        return self.store.ingest
+
+    def _require_ingest(self):
+        pipeline = self.store.ingest
+        if pipeline is None:
+            raise ConfigurationError(
+                "streaming ingestion is off; build the session with "
+                "SEASession(..., ingest=True)"
+            )
+        return pipeline
+
+    def append_rows(self, table_name: str, rows: Table) -> int:
+        """Durably append ``rows``; visible to queries immediately.
+
+        Returns the WAL log-sequence-number of the append (0 for an
+        empty batch) — writes with lsn <= a later
+        :class:`~repro.ingest.RecoveryReport`'s ``durable_lsn`` survive
+        any crash.
+        """
+        return self._require_ingest().append(table_name, rows)
+
+    def delete_rows(self, table_name: str, predicate) -> int:
+        """Durably delete rows matching ``predicate(view) -> mask``."""
+        return self._require_ingest().delete(table_name, predicate)
+
+    def advance(self, seconds: float) -> float:
+        """Advance simulated time; closes every epoch boundary crossed.
+
+        The fault injector's clock (when one is attached) moves in step,
+        so scheduled node outages and write-path faults share one
+        timeline with the compactor.
+        """
+        pipeline = self._require_ingest()
+        if self.store.faults is not None:
+            self.store.faults.advance(seconds)
+        return pipeline.advance(seconds)
+
+    def flush(self) -> Dict[str, object]:
+        """Force an epoch close now: compact deltas, sync + prune the WAL."""
+        return self._require_ingest().flush()
+
+    def recover(self):
+        """Replay the durable WAL after a simulated crash (DESIGN §13)."""
+        return self.store.recover()
+
+    @property
+    def staleness_bound(self) -> float:
+        """Max simulated seconds a staged write waits before compaction."""
+        return self._require_ingest().staleness_bound
+
+    def _on_ingest_epoch(self, summary: Dict[str, object]) -> None:
+        """Per-epoch maintenance: one drift notification per mutated table.
+
+        Folding the epoch's writes into a single bounding-box
+        invalidation (instead of one per write) is what keeps the E13
+        retrain machinery epoch-rate rather than write-rate.
+        """
+        tables = summary.get("tables") or {}
+        for name, info in tables.items():
+            if info.get("rows"):
+                self.agent.notify_data_update(
+                    name, info["lows"], info["highs"]
+                )
 
     # Querying ---------------------------------------------------------------
     def sql(self, statement: str) -> SessionAnswer:

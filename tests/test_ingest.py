@@ -1,0 +1,677 @@
+"""Durable streaming ingestion: WAL, deltas, compaction, recovery (DESIGN §13)."""
+
+import numpy as np
+import pytest
+
+from repro.cluster import ClusterTopology, DistributedStore
+from repro.cluster.columnar import columnar_consistent
+from repro.cluster.synopsis import synopses_consistent
+from repro.common.errors import (
+    ConfigurationError,
+    FaultError,
+    RecoveryError,
+    StorageError,
+    WriteCrashError,
+    WriteError,
+)
+from repro.data import gaussian_mixture_table
+from repro.data.tabular import Table
+from repro.faults import FaultInjector
+from repro.ingest import (
+    DeltaPartition,
+    IngestConfig,
+    WAL_APPEND,
+    WAL_EPOCH,
+    WriteAheadLog,
+)
+from repro.queries import AnalyticsQuery, Count, RangeSelection, Sum
+from repro.session import SEASession
+
+
+def make_table(n=400, seed=3, name="data"):
+    return gaussian_mixture_table(n, dims=("x0", "x1"), seed=seed, name=name)
+
+
+def make_batch(n, seed, name="data", lo=0.0, hi=100.0):
+    rng = np.random.default_rng(seed)
+    return Table(
+        {
+            "x0": rng.uniform(lo, hi, n),
+            "x1": rng.uniform(lo, hi, n),
+            "value": rng.uniform(0.0, 1.0, n),
+        },
+        name=name,
+    )
+
+
+def ingest_store(layout="row", n_nodes=4, epoch_seconds=1.0, table=None):
+    store = DistributedStore(
+        ClusterTopology.single_datacenter(n_nodes), layout=layout
+    )
+    if table is not None:
+        store.put_table(table, partitions_per_node=2)
+    pipeline = store.enable_ingest(IngestConfig(epoch_seconds=epoch_seconds))
+    return store, pipeline
+
+def tables_equal(a: Table, b: Table) -> bool:
+    if a.column_names != b.column_names or a.n_rows != b.n_rows:
+        return False
+    return all(
+        np.array_equal(a.column(c), b.column(c), equal_nan=True)
+        for c in a.column_names
+    )
+
+
+def store_image(store, name="data"):
+    return store.table(name).full_table()
+
+
+def node_stored_bytes(store):
+    return {node.node_id: node.stored_bytes for node in store.topology.nodes}
+
+
+def verify_store(store, name="data"):
+    stored = store.table(name)
+    views = [p.read_view() for p in stored.partitions]
+    assert synopses_consistent(store.synopses(name), [p.data for p in stored.partitions])
+    if all(p.columnar is not None for p in stored.partitions):
+        assert columnar_consistent(
+            [p.columnar for p in stored.partitions],
+            [p.data for p in stored.partitions],
+        )
+    return views
+
+
+# ---------------------------------------------------------------------------
+# WAL unit behaviour
+# ---------------------------------------------------------------------------
+class TestWriteAheadLog:
+    def test_append_sync_scan_roundtrip(self):
+        wal = WriteAheadLog()
+        lsns = [
+            wal.append(WAL_APPEND, {"table": "data", "i": i}, epoch=0)
+            for i in range(5)
+        ]
+        assert lsns == [1, 2, 3, 4, 5]
+        assert wal.pending_records == 5 and wal.disk_bytes == 0
+        flushed = wal.sync()
+        assert flushed == wal.disk_bytes > 0
+        assert wal.synced_lsn == 5 and wal.pending_records == 0
+        records, torn = wal.scan()
+        assert torn == 0
+        assert [r.lsn for r in records] == lsns
+        assert [r.payload["i"] for r in records] == list(range(5))
+
+    def test_empty_wal_scans_clean(self):
+        records, torn = WriteAheadLog().scan()
+        assert records == [] and torn == 0
+
+    def test_unsynced_records_do_not_survive_crash(self):
+        wal = WriteAheadLog()
+        wal.append(WAL_APPEND, {"i": 0}, epoch=0)
+        wal.sync()
+        wal.append(WAL_APPEND, {"i": 1}, epoch=0)
+        wal.crash(cut=None)
+        records, torn = wal.scan()
+        assert torn == 0
+        assert [r.payload["i"] for r in records] == [0]
+
+    def test_torn_tail_is_detected_and_physically_truncated(self):
+        wal = WriteAheadLog()
+        wal.append(WAL_APPEND, {"i": 0}, epoch=0)
+        wal.sync()
+        wal.append(WAL_APPEND, {"i": 1}, epoch=0)
+        torn_written = wal.crash(cut=lambda n: n // 2)
+        assert torn_written > 0
+        before = wal.disk_bytes
+        records, torn = wal.scan()
+        assert torn == torn_written
+        assert [r.payload["i"] for r in records] == [0]
+        assert wal.disk_bytes == before - torn_written
+        # Idempotent: the tail is gone from the durable image.
+        records2, torn2 = wal.scan()
+        assert torn2 == 0 and len(records2) == 1
+
+    def test_checksum_mismatch_truncates_from_corruption(self):
+        wal = WriteAheadLog()
+        for i in range(3):
+            wal.append(WAL_APPEND, {"i": i}, epoch=0)
+        wal.sync()
+        clean, _ = WriteAheadLog().scan()
+        # Flip one byte inside the *last* record's payload region.
+        wal._disk[-1] ^= 0xFF
+        records, torn = wal.scan()
+        assert torn > 0
+        assert [r.payload["i"] for r in records] == [0, 1]
+
+    def test_lsn_continues_after_recovery_scan(self):
+        wal = WriteAheadLog()
+        wal.append(WAL_APPEND, {}, epoch=0)
+        wal.sync()
+        fresh = WriteAheadLog()
+        fresh._disk = bytearray(wal._disk)
+        fresh.scan()
+        assert fresh.next_lsn == 2 and fresh.synced_lsn == 1
+
+    def test_prune_through_reclaims_only_applied_records(self):
+        wal = WriteAheadLog()
+        for i in range(4):
+            wal.append(WAL_APPEND, {"i": i}, epoch=0)
+        wal.sync()
+        reclaimed = wal.prune_through(2)
+        assert reclaimed > 0
+        records, _ = wal.scan()
+        assert [r.lsn for r in records] == [3, 4]
+
+
+# ---------------------------------------------------------------------------
+# Delta partitions
+# ---------------------------------------------------------------------------
+class TestDeltaPartition:
+    def test_append_stamps_lsns_and_counts(self):
+        delta = DeltaPartition(10)
+        assert not delta.dirty
+        delta.append(make_batch(4, 1), lsn=7)
+        delta.append(make_batch(2, 2), lsn=9)
+        assert delta.dirty and delta.n_rows == 6
+        assert (delta.first_lsn, delta.last_lsn) == (7, 9)
+        assert delta.n_bytes > 0
+
+    def test_delete_splits_mask_between_base_and_memtable(self):
+        delta = DeltaPartition(3)
+        delta.append(make_batch(2, 5), lsn=1)
+        mask = np.array([True, False, False, False, True])
+        assert delta.delete(mask, lsn=2) == 2
+        assert delta.n_deleted == 1 and delta.n_rows == 1
+        assert delta.live_base_rows == 2
+
+    def test_no_hit_delete_does_not_stamp(self):
+        delta = DeltaPartition(3)
+        assert delta.delete(np.zeros(3, dtype=bool), lsn=5) == 0
+        assert not delta.dirty and delta.last_lsn == 0
+
+    def test_synopsis_is_cached_per_version(self):
+        delta = DeltaPartition(0)
+        delta.append(make_batch(8, 3), lsn=1)
+        first = delta.synopsis()
+        assert first is delta.synopsis()
+        delta.append(make_batch(1, 4), lsn=2)
+        assert delta.synopsis() is not first
+
+
+# ---------------------------------------------------------------------------
+# Write path: immediate visibility, byte-identity, typed errors
+# ---------------------------------------------------------------------------
+class TestIngestWritePath:
+    @pytest.mark.parametrize("layout", ["row", "column"])
+    def test_staged_writes_match_legacy_synchronous_store(self, layout):
+        table = make_table(500)
+        batches = [make_batch(37, s) for s in (11, 12)]
+
+        legacy = DistributedStore(
+            ClusterTopology.single_datacenter(4), layout=layout
+        )
+        legacy.put_table(table, partitions_per_node=2)
+        store, pipeline = ingest_store(layout=layout, table=table)
+        for batch in batches:
+            legacy.append_rows("data", batch)
+            store.append_rows("data", batch)
+        predicate = lambda t: t.column("x0") > 80.0
+        legacy.delete_rows("data", predicate)
+        store.delete_rows("data", predicate)
+
+        # Pre-compaction: the base+delta view is element-identical.
+        assert tables_equal(store_image(store), store_image(legacy))
+        assert pipeline.pending_delta_rows > 0
+        pipeline.flush()
+        assert pipeline.pending_delta_rows == 0
+        assert tables_equal(store_image(store), store_image(legacy))
+        verify_store(store)
+
+    def test_append_visible_before_any_epoch_close(self):
+        store, pipeline = ingest_store(table=make_table(200))
+        before = store.table("data").n_rows
+        lsn = store.ingest.append("data", make_batch(30, 9))
+        assert lsn > 0
+        assert store.table("data").n_rows == before + 30
+        assert pipeline.n_epochs_closed == 0
+
+    def test_staged_writes_do_not_bump_generation(self):
+        store, pipeline = ingest_store(table=make_table(200))
+        generations = [p.generation for p in store.table("data").partitions]
+        store.append_rows("data", make_batch(40, 1))
+        assert [
+            p.generation for p in store.table("data").partitions
+        ] == generations
+        pipeline.flush()
+        after = [p.generation for p in store.table("data").partitions]
+        assert all(b >= a for a, b in zip(generations, after))
+        assert any(b == a + 1 for a, b in zip(generations, after))
+
+    def test_node_accounting_tracks_delta_then_compaction(self):
+        table = make_table(300)
+        store, pipeline = ingest_store(table=table)
+        base = node_stored_bytes(store)
+        store.append_rows("data", make_batch(50, 2))
+        staged = node_stored_bytes(store)
+        assert sum(staged.values()) > sum(base.values())
+        pipeline.flush()
+        compacted = node_stored_bytes(store)
+        expected = {
+            node.node_id: sum(
+                p.stored_bytes
+                for p in store.table("data").partitions
+                if node.node_id in ([p.primary_node] + list(p.replica_nodes))
+            )
+            for node in store.topology.nodes
+        }
+        assert compacted == expected
+
+    def test_unknown_table_raises_write_error(self):
+        store, _ = ingest_store(table=make_table(100))
+        with pytest.raises(WriteError) as excinfo:
+            store.append_rows("ghost", make_batch(5, 1, name="ghost"))
+        assert isinstance(excinfo.value, FaultError)
+        assert excinfo.value.point == "append"
+        with pytest.raises(WriteError):
+            store.delete_rows("ghost", lambda t: t.column("x0") > 0)
+
+    def test_schema_mismatch_raises_configuration_error(self):
+        store, _ = ingest_store(table=make_table(100))
+        bad = Table({"x0": np.arange(3.0)}, name="data")
+        with pytest.raises(ConfigurationError):
+            store.append_rows("data", bad)
+
+    def test_empty_append_is_a_noop(self):
+        store, pipeline = ingest_store(table=make_table(100))
+        lsn = store.ingest.append("data", make_batch(0, 1))
+        assert lsn == 0
+        assert pipeline.wal.pending_records == 0
+        assert pipeline.pending_delta_rows == 0
+
+
+# ---------------------------------------------------------------------------
+# Reads over dirty partitions: engines, pruning, degraded mode
+# ---------------------------------------------------------------------------
+class TestDirtyReads:
+    @pytest.mark.parametrize("layout", ["row", "column"])
+    def test_exact_engine_answers_include_staged_rows(self, layout):
+        from repro.baselines.exact import ExactEngine
+
+        table = make_table(600)
+        store, pipeline = ingest_store(layout=layout, table=table)
+        engine = ExactEngine(store)
+        query = AnalyticsQuery(
+            "data",
+            RangeSelection(("x0", "x1"), (10.0, 10.0), (70.0, 70.0)),
+            Count(),
+        )
+        before, _ = engine.execute(query)
+        store.append_rows(
+            "data", make_batch(25, 21, lo=20.0, hi=60.0)
+        )
+        staged, _ = engine.execute(query)
+        assert staged == before + 25
+        assert staged == engine.ground_truth(query)
+        pipeline.flush()
+        compacted, _ = engine.execute(query)
+        assert compacted == staged
+
+    def test_dirty_partitions_downgrade_synopsis_to_scan(self):
+        from repro.baselines.exact import ExactEngine
+        from repro.engine.pruning import SCAN, SYNOPSIS
+
+        table = make_table(600)
+        store, pipeline = ingest_store(table=table)
+        engine = ExactEngine(store)
+        query = AnalyticsQuery(
+            "data",
+            RangeSelection(("x0", "x1"), (-1e9, -1e9), (1e9, 1e9)),
+            Count(),
+        )
+        plan = engine.plan_for(query)
+        assert plan is not None and plan.n_covered == len(plan.actions)
+        store.append_rows("data", make_batch(16, 5))
+        dirty_plan = engine.plan_for(query)
+        dirty = [p.dirty for p in store.table("data").partitions]
+        assert any(dirty)
+        for flag, action in zip(dirty, dirty_plan.actions):
+            assert action == (SCAN if flag else SYNOPSIS)
+        value, _ = engine.execute(query)
+        assert value == engine.ground_truth(query)
+        pipeline.flush()
+        assert engine.plan_for(query).n_covered == len(plan.actions)
+
+    def test_skip_survives_only_when_delta_is_also_disjoint(self):
+        from repro.baselines.exact import ExactEngine
+        from repro.engine.pruning import SCAN, SKIP
+
+        table = make_batch(200, 7, lo=0.0, hi=10.0)
+        store, pipeline = ingest_store(table=table)
+        engine = ExactEngine(store)
+        query = AnalyticsQuery(
+            "data",
+            RangeSelection(("x0", "x1"), (500.0, 500.0), (600.0, 600.0)),
+            Count(),
+        )
+        plan = engine.plan_for(query)
+        assert plan.n_skipped == len(plan.actions)
+        # Disjoint delta (values 0..10): SKIP is still provably safe.
+        store.append_rows("data", make_batch(12, 8, lo=0.0, hi=10.0))
+        assert engine.plan_for(query).n_skipped == len(plan.actions)
+        # Overlapping delta: the skip must downgrade to a scan.
+        store.append_rows("data", make_batch(12, 9, lo=550.0, hi=560.0))
+        downgraded = engine.plan_for(query)
+        assert SCAN in downgraded.actions
+        value, _ = engine.execute(query)
+        assert value == 12.0
+        pipeline.flush()
+        verify_store(store)
+
+    def test_columnar_fast_path_disabled_while_dirty(self):
+        from repro.common.accounting import CostMeter
+
+        table = make_table(400)
+        store, pipeline = ingest_store(layout="column", table=table)
+        store.append_rows("data", make_batch(10, 3))
+        dirty = [p for p in store.table("data").partitions if p.dirty]
+        assert dirty
+        with pytest.raises(StorageError):
+            store.read_columns(dirty[0], ("x0",), CostMeter())
+        pipeline.flush()
+        assert store.read_columns(dirty[0], ("x0",), CostMeter()) is not None
+
+    def test_parallel_scan_matches_serial_on_dirty_store(self):
+        from repro.baselines.exact import ExactEngine
+        from repro.parallel import ScanExecutor
+
+        table = make_table(600)
+        store, _ = ingest_store(table=table)
+        store.append_rows("data", make_batch(31, 13))
+        store.delete_rows("data", lambda t: t.column("x1") > 90.0)
+        query = AnalyticsQuery(
+            "data",
+            RangeSelection(("x0", "x1"), (0.0, 0.0), (80.0, 80.0)),
+            Sum("x0"),
+        )
+        serial, _ = ExactEngine(store).execute(query)
+        with ScanExecutor(workers=4) as executor:
+            parallel, _ = ExactEngine(store, executor=executor).execute(query)
+        assert parallel == serial
+
+
+# ---------------------------------------------------------------------------
+# Crash consistency and recovery
+# ---------------------------------------------------------------------------
+class TestRecovery:
+    def test_recovery_replays_synced_prefix_only(self):
+        table = make_table(300)
+        store, pipeline = ingest_store(table=table)
+        reference = DistributedStore(ClusterTopology.single_datacenter(4))
+        reference.put_table(table, partitions_per_node=2)
+
+        durable = make_batch(20, 31)
+        store.append_rows("data", durable)
+        reference.append_rows("data", durable)
+        pipeline.flush()  # synced + compacted: survives any crash
+        volatile = make_batch(15, 32)
+        store.append_rows("data", volatile)  # never synced: must be lost
+
+        pipeline.crash()
+        report = store.recover()
+        assert report.synopses_ok and report.columnar_ok
+        assert tables_equal(store_image(store), store_image(reference))
+        verify_store(store)
+
+    def test_crash_blocks_writes_until_recovered(self):
+        store, pipeline = ingest_store(table=make_table(100))
+        pipeline.crash()
+        with pytest.raises(WriteError):
+            store.append_rows("data", make_batch(5, 1))
+        with pytest.raises(WriteError):
+            pipeline.advance(1.0)
+        store.recover()
+        assert store.ingest.append("data", make_batch(5, 1)) > 0
+
+    def test_recover_without_ingest_raises_recovery_error(self):
+        store = DistributedStore(ClusterTopology.single_datacenter(2))
+        with pytest.raises(RecoveryError):
+            store.recover()
+
+    def test_torn_wal_tail_is_discarded_on_recovery(self):
+        store, pipeline = ingest_store(table=make_table(200))
+        injector = FaultInjector(seed=5)
+        store.attach_faults(injector)
+        store.append_rows("data", make_batch(10, 41))
+        pipeline.flush()
+        durable_image = store_image(store)
+        store.append_rows("data", make_batch(10, 42))
+        torn = pipeline.crash()
+        assert torn > 0  # the seeded cut wrote a partial frame
+        report = store.recover()
+        assert report.torn_bytes == torn
+        assert tables_equal(store_image(store), durable_image)
+
+    def test_corrupted_wal_record_truncates_replay(self):
+        store, pipeline = ingest_store(
+            table=make_table(200), epoch_seconds=100.0
+        )
+        store.ingest.append("data", make_batch(10, 1))
+        pipeline.wal.sync()  # durable but not compacted
+        store.ingest.append("data", make_batch(10, 2))
+        pipeline.wal.sync()
+        pipeline.crash()
+        # Corrupt the second record's tail byte: CRC must reject it and
+        # every record after the corruption point.
+        pipeline.wal._disk[-1] ^= 0x01
+        report = store.recover()
+        assert report.torn_bytes > 0
+        assert report.records_replayed == 1
+        base = 200
+        assert store.table("data").n_rows == base + 10
+        verify_store(store)
+
+    def test_empty_wal_recovery_restores_checkpoints(self):
+        table = make_table(150)
+        store, pipeline = ingest_store(table=table)
+        image = store_image(store)
+        pipeline.crash()
+        report = store.recover()
+        assert report.records_scanned == 0
+        assert report.records_replayed == 0
+        assert tables_equal(store_image(store), image)
+
+    def test_crash_mid_compaction_leaves_recoverable_half_merge(self):
+        table = make_table(400)
+        store, pipeline = ingest_store(table=table)
+        injector = FaultInjector(seed=11)
+        store.attach_faults(injector)
+        store.append_rows("data", make_batch(60, 51))
+
+        # First partition compacts, then the process dies: the WAL is
+        # synced, one partition is merged+checkpointed, the rest are not.
+        injector.arm_write_crash("compaction", hits=2)
+        with pytest.raises(WriteCrashError):
+            pipeline.flush()
+        assert pipeline.crashed
+
+        report = store.recover()
+        assert report.records_replayed >= 1
+        # Everything logged before the epoch close was synced by it, so
+        # the half-merged epoch recovers completely.
+        reference = DistributedStore(ClusterTopology.single_datacenter(4))
+        reference.put_table(table, partitions_per_node=2)
+        reference.append_rows("data", make_batch(60, 51))
+        assert tables_equal(store_image(store), store_image(reference))
+        verify_store(store)
+        # And the next epoch close finishes the merge cleanly.
+        pipeline.flush()
+        assert tables_equal(store_image(store), store_image(reference))
+
+    def test_double_recover_is_idempotent(self):
+        store, pipeline = ingest_store(table=make_table(250))
+        store.append_rows("data", make_batch(20, 61))
+        pipeline.flush()
+        store.append_rows("data", make_batch(20, 62))
+        pipeline.crash()
+        first = store.recover()
+        image = store_image(store)
+        second = store.recover()
+        assert tables_equal(store_image(store), image)
+        assert second.durable_lsn == first.durable_lsn
+        assert second.torn_bytes == 0
+
+    def test_transient_sync_faults_retry_with_backoff(self):
+        store, pipeline = ingest_store(table=make_table(100))
+        injector = FaultInjector(seed=3)
+        store.attach_faults(injector)
+        store.append_rows("data", make_batch(10, 71))
+        injector.inject_write_faults("wal_sync", count=2)
+        clock_before = pipeline.clock
+        pipeline.flush()
+        assert pipeline.n_retries == 2
+        assert pipeline.clock > clock_before  # backoff advanced the clock
+        assert injector.n_write_faults == 2
+        assert pipeline.pending_delta_rows == 0
+
+    def test_retry_exhaustion_surfaces_write_error_and_preserves_deltas(self):
+        store, pipeline = ingest_store(table=make_table(100))
+        injector = FaultInjector(seed=3)
+        store.attach_faults(injector)
+        store.append_rows("data", make_batch(10, 72))
+        injector.inject_write_faults(
+            "wal_sync", count=pipeline.config.retry_limit + 5
+        )
+        with pytest.raises(WriteError):
+            pipeline.flush()
+        # Nothing lost: the staged writes survive for the next attempt.
+        assert pipeline.pending_delta_rows == 10
+        pipeline.flush()  # remaining armed faults fit the retry budget
+        assert pipeline.pending_delta_rows == 0
+
+
+# ---------------------------------------------------------------------------
+# Satellite 2: bounded shared-memory republish after compaction
+# ---------------------------------------------------------------------------
+class TestRepublishBound:
+    def test_republish_bytes_bounded_by_mutated_partitions(self):
+        from repro.parallel.procpool import SharedPartitionStore
+
+        table = make_table(800)
+        store, pipeline = ingest_store(table=table)
+        partitions = store.table("data").partitions
+        shm = SharedPartitionStore()
+        try:
+            for partition in partitions:
+                shm.ensure(partition)
+            assert shm.republish_bytes == 0
+
+            # A small batch spreads over a strict subset of the 8
+            # partitions, so compaction must leave the rest untouched.
+            store.append_rows("data", make_batch(3, 19))
+            pipeline.flush()
+            mutated = [p for p in partitions if p.generation > 0]
+            untouched = [p for p in partitions if p.generation == 0]
+            assert mutated and untouched
+
+            # Staged-writes-never-bump-generation + compaction's single
+            # bump mean the lazy republish touches exactly the mutated
+            # partitions — never the whole table.
+            for partition in partitions:
+                shm.ensure(partition)
+            mutated_footprint = sum(
+                shm._segments[(p.table_name, p.index)].nbytes
+                for p in mutated
+            )
+            assert shm.republish_bytes > 0
+            assert shm.republish_bytes <= mutated_footprint
+            # The untouched partitions kept their original segments.
+            shm.republish_bytes = 0
+            for partition in untouched:
+                shm.ensure(partition)
+            assert shm.republish_bytes == 0
+        finally:
+            shm.close()
+
+
+# ---------------------------------------------------------------------------
+# Session facade + per-epoch maintenance
+# ---------------------------------------------------------------------------
+class TestSessionIngest:
+    def test_session_requires_opt_in(self):
+        session = SEASession(n_nodes=2)
+        assert session.ingest is None
+        with pytest.raises(ConfigurationError):
+            session.append_rows("data", make_batch(1, 1))
+        with pytest.raises(ConfigurationError):
+            session.flush()
+
+    def test_append_advance_flush_roundtrip(self):
+        session = SEASession(n_nodes=4, ingest=True, epoch_seconds=0.5)
+        session.load_table(make_table(300))
+        lsn = session.append_rows("data", make_batch(40, 81))
+        assert lsn > 0
+        answer = session.sql(
+            "SELECT COUNT(*) FROM data "
+            "WHERE x0 BETWEEN -1e9 AND 1e9 AND x1 BETWEEN -1e9 AND 1e9"
+        )
+        assert answer.value == 340.0
+        assert session.staleness_bound == 0.5
+        session.advance(1.0)
+        assert session.ingest.pending_delta_rows == 0
+        deleted = session.delete_rows("data", lambda t: t.column("x0") > 1e8)
+        assert deleted == 0
+        session.flush()
+
+    def test_epoch_close_invalidates_overlapping_quanta(self):
+        session = SEASession(n_nodes=4, ingest=True, epoch_seconds=1.0)
+        session.load_table(make_table(2000, seed=5))
+        invalidations = []
+        original = session.agent.notify_data_update
+        session.agent.notify_data_update = lambda *a, **k: (
+            invalidations.append(a) or original(*a, **k)
+        )
+        session.append_rows("data", make_batch(10, 91, lo=40.0, hi=50.0))
+        assert invalidations == []  # staged, not yet epoch-closed
+        session.flush()
+        assert len(invalidations) == 1
+        name, lows, highs = invalidations[0]
+        assert name == "data"
+        # x0/x1 dims carry the write range; the value dim is [0, 1].
+        assert len(lows) == 3 and len(highs) == 3
+        assert all(40.0 <= v <= 50.0 for v in (lows[0], lows[1], highs[0], highs[1]))
+
+    def test_profile_reports_delta_rows(self):
+        session = SEASession(n_nodes=2, ingest=True)
+        session.attach_observer()
+        session.load_table(make_table(200))
+        session.append_rows("data", make_batch(12, 95))
+        answer = session.sql(
+            "SELECT COUNT(*) FROM data "
+            "WHERE x0 BETWEEN -1e9 AND 1e9 AND x1 BETWEEN -1e9 AND 1e9"
+        )
+        profile = answer.profile
+        assert sum(p.delta_rows for p in profile.partitions) == 12
+        rendered = profile.render()
+        assert "delta=" in rendered
+        session.flush()
+        answer2 = session.sql(
+            "SELECT COUNT(*) FROM data "
+            "WHERE x0 BETWEEN -1e9 AND 1e9 AND x1 BETWEEN -1e9 AND 1e9"
+        )
+        assert sum(p.delta_rows for p in answer2.profile.partitions) == 0
+
+    def test_session_crash_recover_roundtrip(self):
+        session = SEASession(n_nodes=4, ingest=True)
+        session.load_table(make_table(300))
+        session.append_rows("data", make_batch(25, 97))
+        session.flush()
+        session.append_rows("data", make_batch(99, 98))
+        session.ingest.crash()
+        report = session.recover()
+        assert report.synopses_ok and report.columnar_ok
+        answer = session.sql(
+            "SELECT COUNT(*) FROM data "
+            "WHERE x0 BETWEEN -1e9 AND 1e9 AND x1 BETWEEN -1e9 AND 1e9"
+        )
+        assert answer.value == 325.0
