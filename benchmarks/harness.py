@@ -27,6 +27,9 @@ BENCH_OBS_PATH = os.path.join(REPO_ROOT, "BENCH_obs.json")
 BENCH_COLUMNAR_PATH = os.path.join(REPO_ROOT, "BENCH_columnar.json")
 BENCH_PROCPOOL_PATH = os.path.join(REPO_ROOT, "BENCH_procpool.json")
 BENCH_INGEST_PATH = os.path.join(REPO_ROOT, "BENCH_ingest.json")
+BENCH_SERVING_GATEWAY_PATH = os.path.join(
+    REPO_ROOT, "BENCH_serving_gateway.json"
+)
 
 
 def wallclock(fn: Callable[[], Any]) -> Tuple[Any, float]:
@@ -111,6 +114,13 @@ def record_procpool_benchmark(experiment: str, **fields: Any) -> str:
 def record_ingest_benchmark(experiment: str, **fields: Any) -> str:
     """Append one streaming-ingestion measurement to ``BENCH_ingest.json``."""
     return record_cumulative_benchmark(BENCH_INGEST_PATH, experiment, **fields)
+
+
+def record_serving_gateway_benchmark(experiment: str, **fields: Any) -> str:
+    """Append one gateway open-loop measurement to ``BENCH_serving_gateway.json``."""
+    return record_cumulative_benchmark(
+        BENCH_SERVING_GATEWAY_PATH, experiment, **fields
+    )
 
 
 def trial_stats(samples: Sequence[float]) -> Dict[str, float]:

@@ -1,0 +1,153 @@
+"""Reusable open-loop load generation for serving benchmarks.
+
+Closed-loop benchmarks (issue a query, wait, issue the next) hide
+queueing: the system under test throttles its own offered load, so tail
+latency looks flat right up to the cliff.  Open-loop load fixes the
+*arrival schedule* in advance — requests arrive when the schedule says,
+whether or not earlier ones finished — which is how real multi-client
+serving behaves and the only way to measure goodput and p99 honestly.
+
+This module is deliberately framework-free: schedules are plain lists
+of :class:`ScheduledRequest` (arrival offset + deadline), and
+:class:`LatencyRecorder` turns completion observations into the
+percentile/IQR summary shape the benchmark harness records.  E24 drives
+the gateway with it; anything else that serves queries can reuse it.
+"""
+
+from __future__ import annotations
+
+import math
+from dataclasses import dataclass, field
+from typing import Dict, List, Optional, Sequence
+
+import numpy as np
+
+
+@dataclass
+class ScheduledRequest:
+    """One planned arrival: when it lands and when its answer is due."""
+
+    index: int
+    arrival: float  # seconds from schedule start
+    deadline: float  # absolute, seconds from schedule start
+    payload: object = None
+
+
+def poisson_schedule(
+    n: int,
+    rate: float,
+    deadline: float,
+    seed: int = 0,
+    payloads: Optional[Sequence] = None,
+) -> List[ScheduledRequest]:
+    """``n`` Poisson arrivals at ``rate``/s, each due ``deadline``s later.
+
+    Exponential inter-arrival gaps from a seeded generator: the same
+    (n, rate, seed) always yields the same schedule, so trials are
+    reproducible and baselines comparable.
+    """
+    if n <= 0:
+        return []
+    if rate <= 0:
+        raise ValueError("rate must be positive")
+    rng = np.random.default_rng(seed)
+    gaps = rng.exponential(1.0 / rate, size=n)
+    arrivals = np.cumsum(gaps)
+    return _build(arrivals, deadline, payloads)
+
+
+def uniform_schedule(
+    n: int,
+    rate: float,
+    deadline: float,
+    payloads: Optional[Sequence] = None,
+) -> List[ScheduledRequest]:
+    """``n`` evenly spaced arrivals at ``rate``/s (deterministic pacing)."""
+    if n <= 0:
+        return []
+    if rate <= 0:
+        raise ValueError("rate must be positive")
+    arrivals = (np.arange(n, dtype=float) + 1.0) / rate
+    return _build(arrivals, deadline, payloads)
+
+
+def _build(
+    arrivals: np.ndarray, deadline: float, payloads: Optional[Sequence]
+) -> List[ScheduledRequest]:
+    if payloads is not None and len(payloads) != len(arrivals):
+        raise ValueError(
+            f"{len(payloads)} payloads for {len(arrivals)} arrivals"
+        )
+    return [
+        ScheduledRequest(
+            index=i,
+            arrival=float(t),
+            deadline=float(t) + deadline,
+            payload=None if payloads is None else payloads[i],
+        )
+        for i, t in enumerate(arrivals)
+    ]
+
+
+def percentile(samples: Sequence[float], q: float) -> float:
+    """Linear-interpolation percentile (0.0 on an empty sample set)."""
+    if not samples:
+        return 0.0
+    return float(np.percentile(np.asarray(samples, dtype=float), q))
+
+
+@dataclass
+class LatencyRecorder:
+    """Accumulates per-request outcomes into the summary E24 records.
+
+    ``ok`` completions carry their end-to-end latency and whether the
+    answer beat its deadline; rejections carry their typed reason.
+    *Goodput* is within-deadline completions per second of makespan —
+    the honest open-loop throughput number (late answers and rejections
+    both count against it).
+    """
+
+    latencies: List[float] = field(default_factory=list)
+    in_deadline: int = 0
+    completed: int = 0
+    rejections: Dict[str, int] = field(default_factory=dict)
+
+    def ok(self, latency_sec: float, within_deadline: bool) -> None:
+        self.latencies.append(float(latency_sec))
+        self.completed += 1
+        if within_deadline:
+            self.in_deadline += 1
+
+    def rejected(self, reason: str) -> None:
+        self.rejections[reason] = self.rejections.get(reason, 0) + 1
+
+    @property
+    def offered(self) -> int:
+        return self.completed + sum(self.rejections.values())
+
+    def rejection_rate(self) -> float:
+        offered = self.offered
+        return sum(self.rejections.values()) / offered if offered else 0.0
+
+    def goodput(self, makespan_sec: float) -> float:
+        if makespan_sec <= 0:
+            return 0.0
+        return self.in_deadline / makespan_sec
+
+    def summary(self, makespan_sec: float) -> Dict[str, float]:
+        lat = sorted(self.latencies)
+        q25 = percentile(lat, 25.0)
+        q75 = percentile(lat, 75.0)
+        return {
+            "offered": float(self.offered),
+            "completed": float(self.completed),
+            "in_deadline": float(self.in_deadline),
+            "rejected": float(sum(self.rejections.values())),
+            "rejection_rate": self.rejection_rate(),
+            "goodput_qps": self.goodput(makespan_sec),
+            "makespan_sec": float(makespan_sec),
+            "p50_ms": percentile(lat, 50.0) * 1e3,
+            "p90_ms": percentile(lat, 90.0) * 1e3,
+            "p99_ms": percentile(lat, 99.0) * 1e3,
+            "latency_iqr_ms": (q75 - q25) * 1e3,
+        }

@@ -293,6 +293,38 @@ def _ingest_group(entry: Dict[str, Any]) -> Tuple:
     )
 
 
+def _gateway_headlines(entry: Dict[str, Any]) -> List[Headline]:
+    out: List[Headline] = []
+    goodput = entry.get("high_rate_goodput_qps")
+    if isinstance(goodput, (int, float)):
+        iqr = entry.get("high_rate_goodput_iqr")
+        out.append(
+            (
+                "high_rate_goodput_qps",
+                float(goodput),
+                "higher",
+                float(iqr) if isinstance(iqr, (int, float)) else 0.0,
+            )
+        )
+    ratio = entry.get("passthrough_p50_ratio")
+    if isinstance(ratio, (int, float)):
+        out.append(("passthrough_p50_ratio", float(ratio), "lower", 0.0))
+    return out
+
+
+def _gateway_group(entry: Dict[str, Any]) -> Tuple:
+    # Open-loop rates are calibrated to the recording host's direct
+    # throughput, so the trajectory is keyed by scale and core count: a
+    # reduced-scale CI smoke run never diffs against a full local run.
+    return (
+        entry.get("experiment"),
+        entry.get("rows"),
+        entry.get("requests"),
+        entry.get("tenants"),
+        entry.get("host_cpus"),
+    )
+
+
 #: filename -> (group key fn, headline extractor).
 REGISTRY = {
     "BENCH_serving.json": (_serving_group, _serving_headlines),
@@ -303,6 +335,7 @@ REGISTRY = {
     "BENCH_columnar.json": (_columnar_group, _columnar_headlines),
     "BENCH_procpool.json": (_procpool_group, _procpool_headlines),
     "BENCH_ingest.json": (_ingest_group, _ingest_headlines),
+    "BENCH_serving_gateway.json": (_gateway_group, _gateway_headlines),
 }
 
 

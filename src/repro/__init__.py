@@ -131,6 +131,14 @@ from repro.obs import (
     StackObserver,
     TraceRecorder,
 )
+from repro.serve import (
+    AdmissionRejectedError,
+    GatewayAnswer,
+    GatewayClosedError,
+    GatewayConfig,
+    ServingGateway,
+    TenantHandle,
+)
 from repro.session import SEASession, SessionAnswer
 
 __version__ = "1.0.0"
@@ -230,6 +238,12 @@ __all__ = [
     "SLOTarget",
     "StackObserver",
     "TraceRecorder",
+    "AdmissionRejectedError",
+    "GatewayAnswer",
+    "GatewayClosedError",
+    "GatewayConfig",
+    "ServingGateway",
+    "TenantHandle",
     "SEASession",
     "SessionAnswer",
     "__version__",

@@ -131,6 +131,42 @@ class WorkerCrashError(ReproError):
         )
 
 
+class AdmissionRejectedError(ReproError):
+    """The serving gateway refused to admit (or shed) a request.
+
+    Typed backpressure: ``reason`` says which control fired —
+    ``"queue_full"`` (the bounded admission queue is at capacity and no
+    expired request could be shed), ``"tenant_quota"`` (the tenant's
+    per-handle pending budget is exhausted), ``"deadline"`` (the request
+    was shed because its deadline passed while it waited), or
+    ``"closed"`` (the gateway is draining and admits nothing new).
+    Clients are expected to back off and retry; the gateway never
+    silently drops a request.
+    """
+
+    def __init__(
+        self,
+        reason: str,
+        tenant: str = "",
+        detail: str = "",
+        queue_depth: int = 0,
+    ) -> None:
+        self.reason = reason
+        self.tenant = tenant
+        self.detail = detail
+        self.queue_depth = queue_depth
+        who = f" for tenant {tenant!r}" if tenant else ""
+        extra = f": {detail}" if detail else ""
+        super().__init__(f"admission rejected ({reason}){who}{extra}")
+
+
+class GatewayClosedError(AdmissionRejectedError):
+    """A request reached a gateway that has been closed (or is draining)."""
+
+    def __init__(self, tenant: str = "", detail: str = "") -> None:
+        AdmissionRejectedError.__init__(self, "closed", tenant, detail)
+
+
 class RoutingError(ReproError):
     """A geo-distributed query could not be routed to any capable node."""
 

@@ -275,16 +275,7 @@ class SEAAgent:
             self.n_queries += 1
             predictor = self._predictor_for(query)
             if self.cache is not None:
-                entry = self.cache.lookup(query)
-                if obs.enabled:
-                    obs.inc(
-                        "sea_answer_cache_hits_total"
-                        if entry is not None
-                        else "sea_answer_cache_misses_total"
-                    )
-                    obs.profile_note(
-                        "cache", query=query, hit=entry is not None
-                    )
+                entry = self._cache_lookup(query, predictor)
                 if entry is not None:
                     records[i] = ServedQuery(
                         query=query,
@@ -326,7 +317,12 @@ class SEAAgent:
                         else prediction.value
                     )
                     if self.cache is not None:
-                        self.cache.store(query, prediction, answer)
+                        self.cache.store(
+                            query,
+                            prediction,
+                            answer,
+                            version=predictor.version_of(prediction.quantum_id),
+                        )
                     records[i] = ServedQuery(
                         query=query,
                         answer=answer,
@@ -376,6 +372,42 @@ class SEAAgent:
                 records[i].answer = answer
                 records[i].cost = cost
 
+    def _cache_lookup(self, query: AnalyticsQuery, predictor: DatalessPredictor):
+        """Version-validated answer-cache lookup (both serving paths).
+
+        A hit is served only when the producing quantum's live version
+        still matches the version stamped at store time.  A mismatch
+        means a learning step, drift reset, or data-update invalidation
+        mutated the quantum without its cache entries being evicted —
+        the entry is dropped, ``cache_stale_served_total`` counts what
+        *would* have been served stale, and the query falls through to a
+        fresh prediction.  The invalidation discipline is supposed to
+        make this branch dead code; tests pin the counter at zero.
+        """
+        entry = self.cache.lookup(query)
+        if entry is not None and entry.version != predictor.version_of(
+            entry.quantum_id
+        ):
+            self.cache.reject_stale(query, entry)
+            if self.observer.enabled:
+                self.observer.inc("cache_stale_served_total")
+                self.observer.event(
+                    "cache_stale_rejected",
+                    signature=query.signature(),
+                    quantum_id=entry.quantum_id,
+                    cached_version=entry.version,
+                    live_version=predictor.version_of(entry.quantum_id),
+                )
+            entry = None
+        if self.observer.enabled:
+            self.observer.inc(
+                "sea_answer_cache_hits_total"
+                if entry is not None
+                else "sea_answer_cache_misses_total"
+            )
+            self.observer.profile_note("cache", query=query, hit=entry is not None)
+        return entry
+
     def _try_execute(self, query: AnalyticsQuery):
         """One exact execution; a lost partition is returned, not raised."""
         try:
@@ -400,16 +432,7 @@ class SEAAgent:
         self, query: AnalyticsQuery, predictor: DatalessPredictor
     ) -> ServedQuery:
         if self.cache is not None:
-            entry = self.cache.lookup(query)
-            if self.observer.enabled:
-                self.observer.inc(
-                    "sea_answer_cache_hits_total"
-                    if entry is not None
-                    else "sea_answer_cache_misses_total"
-                )
-                self.observer.profile_note(
-                    "cache", query=query, hit=entry is not None
-                )
+            entry = self._cache_lookup(query, predictor)
             if entry is not None:
                 return ServedQuery(
                     query=query,
@@ -437,7 +460,12 @@ class SEAAgent:
             prediction.scalar if query.answer_dim == 1 else prediction.value
         )
         if self.cache is not None:
-            self.cache.store(query, prediction, answer)
+            self.cache.store(
+                query,
+                prediction,
+                answer,
+                version=predictor.version_of(prediction.quantum_id),
+            )
         return ServedQuery(
             query=query,
             answer=answer,

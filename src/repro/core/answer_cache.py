@@ -37,11 +37,18 @@ CacheKey = Tuple[str, str, bytes]
 
 @dataclass
 class CachedAnswer:
-    """One remembered predicted answer and its provenance."""
+    """One remembered predicted answer and its provenance.
+
+    ``version`` is the producing quantum's
+    :meth:`~repro.core.predictor.DatalessPredictor.version_of` at store
+    time; a serve-time mismatch proves the quantum mutated after this
+    entry was cached without the invalidation discipline evicting it.
+    """
 
     answer: object
     prediction: Prediction
     quantum_id: int
+    version: int = 0
 
 
 def cache_key(query: AnalyticsQuery) -> CacheKey:
@@ -71,6 +78,12 @@ class AnswerCache:
         self.misses = 0
         self.evictions = 0
         self.invalidations = 0
+        # Version-mismatched hits caught at serve time.  The invalidation
+        # discipline (learning steps + per-epoch data-update evictions) is
+        # supposed to make this impossible, so the counter's invariant is
+        # "stays 0" — a nonzero value means a stale answer *would have*
+        # been served and a cache-maintenance path has a hole.
+        self.stale_rejected = 0
 
     def __len__(self) -> int:
         return len(self._entries)
@@ -100,8 +113,31 @@ class AnswerCache:
         """
         return self._entries.get(cache_key(query))
 
+    def reject_stale(self, query: AnalyticsQuery, entry: CachedAnswer) -> None:
+        """Drop one version-mismatched entry a lookup just surfaced.
+
+        Called by the agent when :class:`CachedAnswer.version` no longer
+        matches the producing quantum's live version: the entry is
+        removed (so the query falls through to a fresh prediction) and
+        the miss counted in ``stale_rejected`` — the counter tests pin
+        at zero.
+        """
+        key = cache_key(query)
+        if self._entries.get(key) is entry:
+            del self._entries[key]
+            self._unindex(key)
+        self.stale_rejected += 1
+        # The lookup already counted a hit; correct it to a miss so the
+        # hit rate reflects what was actually served from cache.
+        self.hits -= 1
+        self.misses += 1
+
     def store(
-        self, query: AnalyticsQuery, prediction: Prediction, answer
+        self,
+        query: AnalyticsQuery,
+        prediction: Prediction,
+        answer,
+        version: int = 0,
     ) -> None:
         """Remember a predicted-mode answer under the query's extent."""
         key = cache_key(query)
@@ -111,6 +147,7 @@ class AnswerCache:
             answer=answer,
             prediction=prediction,
             quantum_id=prediction.quantum_id,
+            version=version,
         )
         self._by_signature.setdefault(key[0], set()).add(key)
         while len(self._entries) > self.capacity:
@@ -157,6 +194,7 @@ class AnswerCache:
             "answer_cache_hit_rate": self.hit_rate,
             "answer_cache_evictions": float(self.evictions),
             "answer_cache_invalidations": float(self.invalidations),
+            "answer_cache_stale_rejected": float(self.stale_rejected),
         }
 
     def _unindex(self, key: CacheKey) -> None:

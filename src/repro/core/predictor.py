@@ -59,6 +59,11 @@ class DatalessPredictor:
         self.novelty_limit = novelty_limit
         self._models: Dict[int, QuantumModel] = {}
         self.n_observed = 0
+        # Per-quantum mutation counter: bumped whenever a quantum's model
+        # state changes (observe, drift reset, data-update invalidation).
+        # Cached answers stamp the version they were predicted under, so
+        # a serve-time comparison can prove an entry is not stale.
+        self._versions: Dict[int, int] = {}
 
     # Training ----------------------------------------------------------
     def observe(self, vector, answer) -> int:
@@ -77,6 +82,7 @@ class DatalessPredictor:
             self.errors.record(quantum_id, model.predict(v), answer)
         model.add(v, answer)
         self.n_observed += 1
+        self._versions[quantum_id] = self._versions.get(quantum_id, 0) + 1
         return quantum_id
 
     # Inference -----------------------------------------------------------
@@ -208,6 +214,11 @@ class DatalessPredictor:
         if model is not None:
             model.reset()
         self.errors.forget(quantum_id)
+        self._versions[quantum_id] = self._versions.get(quantum_id, 0) + 1
+
+    def version_of(self, quantum_id: int) -> int:
+        """Monotonic mutation counter for one quantum's learned state."""
+        return self._versions.get(quantum_id, 0)
 
     def reset_all(self) -> None:
         for quantum_id in list(self._models):

@@ -1,0 +1,255 @@
+"""Bounded, deadline-ordered admission control for the serving gateway.
+
+The gateway's front door is a :class:`AdmissionQueue`: a bounded buffer
+of pending :class:`Request`\\ s with per-tenant sub-queues.  Admission is
+where backpressure becomes *typed* instead of implicit latency:
+
+* the queue holds at most ``capacity`` requests across all tenants and
+  at most ``tenant_quota`` per tenant — before refusing a live arrival
+  at capacity, the gateway sheds queued requests that are already past
+  their deadline (they cannot be served usefully anyway; shedding them
+  is strictly better than refusing live work), so ``queue_full`` means
+  genuinely full of serveable work;
+* every refusal raises
+  :class:`~repro.common.errors.AdmissionRejectedError` with a machine
+  -readable ``reason`` so clients can distinguish "back off" from "your
+  deadline already passed";
+* within a tenant, requests are served in *effective-deadline* order:
+  ``min(deadline, arrival + starvation_guard)`` — the aging term bounds
+  how long a no-deadline (or far-deadline) request can be overtaken by
+  urgent arrivals, so deadline scheduling cannot starve patient clients;
+* dispatches are *feasibility-checked* against the batcher's measured
+  per-query service time (see :meth:`AdmissionQueue.take`): the
+  tightest-deadline members are dropped — as fast typed rejections —
+  until the batch's projected completion fits every survivor, so the
+  gateway never spends serving capacity on answers that would arrive
+  past their deadline anyway.
+
+The queue is a plain single-threaded structure: the gateway mutates it
+only from its event loop, so there is no locking here by design.
+"""
+
+from __future__ import annotations
+
+import heapq
+import itertools
+from dataclasses import dataclass
+from typing import Any, Dict, List, Optional
+
+from repro.common.errors import AdmissionRejectedError
+from repro.common.validation import require
+
+
+@dataclass
+class Request:
+    """One admitted (or about-to-be-admitted) gateway request."""
+
+    tenant: str
+    query: Any
+    arrival: float
+    deadline: float
+    future: Any = None
+    seq: int = 0
+    #: Set by the queue when the request is shed/cancelled so a lazily
+    #: popped heap entry can be skipped without an O(n) removal.
+    dead: bool = False
+
+    def effective_deadline(self, starvation_guard: float) -> float:
+        """Scheduling key: deadline, capped by the anti-starvation age."""
+        return min(self.deadline, self.arrival + starvation_guard)
+
+
+class AdmissionQueue:
+    """Bounded deadline-ordered pending set with per-tenant sub-queues."""
+
+    def __init__(
+        self,
+        capacity: int = 256,
+        tenant_quota: int = 0,
+        starvation_guard: float = 0.25,
+    ) -> None:
+        require(capacity >= 1, "capacity must be >= 1")
+        require(tenant_quota >= 0, "tenant_quota must be >= 0 (0 = unlimited)")
+        require(starvation_guard > 0, "starvation_guard must be positive")
+        self.capacity = capacity
+        self.tenant_quota = tenant_quota
+        self.starvation_guard = starvation_guard
+        self._heaps: Dict[str, List] = {}
+        self._pending: Dict[str, int] = {}
+        self._seq = itertools.count()
+        self.admitted_total = 0
+        self.shed_total = 0
+        self.rejected_total = 0
+
+    def __len__(self) -> int:
+        return sum(self._pending.values())
+
+    def pending(self, tenant: str) -> int:
+        return self._pending.get(tenant, 0)
+
+    def tenants_with_work(self) -> List[str]:
+        """Tenants holding at least one live request (insertion order)."""
+        return [t for t, n in self._pending.items() if n > 0]
+
+    # Admission --------------------------------------------------------------
+    def offer(self, request: Request, now: float) -> Request:
+        """Admit ``request`` or raise a typed rejection.
+
+        Admission order of defence: tenant quota first (a greedy tenant
+        is rejected even when the shared queue has room — its quota is
+        the fairness boundary), then total capacity.  The queue never
+        sheds internally here — every shed request carries a waiting
+        future the *caller* must fail, so the gateway runs its shed
+        pass (which does exactly that) before offering when the queue
+        looks full.
+        """
+        if self.tenant_quota and self.pending(request.tenant) >= self.tenant_quota:
+            self.rejected_total += 1
+            raise AdmissionRejectedError(
+                "tenant_quota",
+                tenant=request.tenant,
+                detail=f"{self.pending(request.tenant)} pending >= quota "
+                f"{self.tenant_quota}",
+                queue_depth=len(self),
+            )
+        if len(self) >= self.capacity:
+            self.rejected_total += 1
+            raise AdmissionRejectedError(
+                "queue_full",
+                tenant=request.tenant,
+                detail=f"{len(self)} pending >= capacity {self.capacity}",
+                queue_depth=len(self),
+            )
+        request.seq = next(self._seq)
+        heap = self._heaps.setdefault(request.tenant, [])
+        heapq.heappush(
+            heap,
+            (request.effective_deadline(self.starvation_guard), request.seq, request),
+        )
+        self._pending[request.tenant] = self._pending.get(request.tenant, 0) + 1
+        self.admitted_total += 1
+        return request
+
+    # Shedding ---------------------------------------------------------------
+    def shed_expired(self, now: float) -> List[Request]:
+        """Remove every queued request whose deadline has passed.
+
+        Returns the shed requests (oldest-deadline first per tenant);
+        the caller is responsible for failing their futures with a
+        ``reason="deadline"`` rejection.  Marking entries ``dead`` keeps
+        this O(shed log n) — survivors are never re-heapified.
+        """
+        shed: List[Request] = []
+        for tenant, heap in self._heaps.items():
+            while heap and (heap[0][2].dead or heap[0][2].deadline <= now):
+                _, _, request = heapq.heappop(heap)
+                if request.dead:
+                    continue
+                request.dead = True
+                self._pending[tenant] -= 1
+                shed.append(request)
+        self.shed_total += len(shed)
+        return shed
+
+    def drain(self) -> List[Request]:
+        """Remove and return every live request (gateway shutdown path)."""
+        drained: List[Request] = []
+        for tenant, heap in self._heaps.items():
+            while heap:
+                _, _, request = heapq.heappop(heap)
+                if request.dead:
+                    continue
+                request.dead = True
+                drained.append(request)
+            self._pending[tenant] = 0
+        return drained
+
+    # Dispatch ---------------------------------------------------------------
+    def take(
+        self, tenant: str, limit: int, now: float, service: float = 0.0
+    ) -> List[Request]:
+        """Pop up to ``limit`` live requests of ``tenant``, deadline order.
+
+        Requests already past their deadline are shed (returned
+        separately by a prior :meth:`shed_expired`; here they are simply
+        skipped and marked) rather than dispatched — serving a dead
+        request wastes a batch slot the goodput metric would count
+        against us.
+
+        When a per-query ``service`` estimate is supplied, the dispatch
+        is also *feasibility-checked*.  Members of one ``submit_batch``
+        call all finish together, at roughly ``now + n * service`` for a
+        batch of ``n`` — so with uniform service times the on-time-
+        maximal subset is found Moore–Hodgson style: drop the tightest-
+        deadline member until the projected completion fits every
+        survivor.  Dropped members become fast typed rejections the
+        client can act on; serving them could only produce late answers
+        (zero goodput, inflated tail) while delaying the rest of the
+        batch.  Crucially the *backlog depth* does not shrink the batch:
+        a doomed head never caps amortisation for the roomy requests
+        behind it — shedding it is what keeps batches large under
+        sustained overload.
+        """
+        require(limit >= 1, "limit must be >= 1")
+        heap = self._heaps.get(tenant)
+        taken: List[Request] = []
+        if not heap:
+            return taken
+        while heap and len(taken) < limit:
+            _, _, request = heapq.heappop(heap)
+            if request.dead:
+                continue
+            request.dead = True  # no longer queued; owned by the caller
+            self._pending[tenant] -= 1
+            if request.deadline <= now:
+                self.shed_total += 1
+                self._reject_deadline(request, now)
+                continue
+            taken.append(request)
+        if service > 0.0 and taken:
+            taken.sort(key=lambda r: (r.deadline, r.seq))
+            while taken and now + len(taken) * service > taken[0].deadline:
+                doomed = taken.pop(0)
+                self.shed_total += 1
+                self._reject_infeasible(
+                    doomed, now, now + (len(taken) + 1) * service
+                )
+        return taken
+
+    def oldest_wait(self, now: float) -> float:
+        """Age of the oldest live queued request (0.0 when empty)."""
+        oldest: Optional[float] = None
+        for heap in self._heaps.values():
+            for _, _, request in heap:
+                if not request.dead:
+                    arrival = request.arrival
+                    oldest = arrival if oldest is None else min(oldest, arrival)
+        return 0.0 if oldest is None else max(0.0, now - oldest)
+
+    @staticmethod
+    def _reject_deadline(request: Request, now: float) -> None:
+        future = request.future
+        if future is not None and not future.done():
+            future.set_exception(
+                AdmissionRejectedError(
+                    "deadline",
+                    tenant=request.tenant,
+                    detail=f"deadline {request.deadline:.4f} passed at "
+                    f"{now:.4f} while queued",
+                )
+            )
+
+    @staticmethod
+    def _reject_infeasible(
+        request: Request, now: float, projected: float
+    ) -> None:
+        future = request.future
+        if future is not None and not future.done():
+            future.set_exception(
+                AdmissionRejectedError(
+                    "deadline",
+                    tenant=request.tenant,
+                    detail=f"projected completion {projected:.4f} past "
+                    f"deadline {request.deadline:.4f} at {now:.4f}",
+                )
+            )

@@ -149,6 +149,7 @@ class SEASession:
         self.agent = SEAAgent(self.engine, config or AgentConfig())
         self.partitions_per_node = partitions_per_node
         self._explainer = ExplanationBuilder(n_probes=13, span=(0.6, 1.4))
+        self._closed = False
         self.observer: Optional[Observer] = None
         self.slo: Optional[SLOMonitor] = None
         if ingest:
@@ -181,8 +182,26 @@ class SEASession:
         return observer
 
     def close(self) -> None:
-        """Shut down the session's worker pool (idempotent)."""
+        """Shut down the session's worker pool (idempotent).
+
+        Safe to call more than once and safe to race with a close
+        already in progress: the first call through wins, later calls
+        are no-ops, and a query that is *mid-flight* when close() is
+        entered finishes against resources the executor releases only
+        after its in-progress work drains (both pool flavours wait for
+        outstanding morsels before tearing down shared state).
+        """
+        if self._closed:
+            return
+        self._closed = True
         self.executor.close()
+
+    @property
+    def closed(self) -> bool:
+        """True once :meth:`close` has run (queries may still be served
+        through the serial fallback paths, but the worker pools and any
+        shared-memory segments are gone)."""
+        return self._closed
 
     def __enter__(self) -> "SEASession":
         return self

@@ -1,11 +1,29 @@
 """Shared fixtures: a small cluster, stored tables, and workloads."""
 
+import asyncio
+
 import numpy as np
 import pytest
 
 from repro.cluster import ClusterTopology, DistributedStore
 from repro.data import gaussian_mixture_table, InterestProfile, WorkloadGenerator
 from repro.queries import Count
+
+
+@pytest.fixture
+def event_loop():
+    """A fresh asyncio loop per test, closed afterwards.
+
+    pytest-asyncio is deliberately not a dependency; async tests drive
+    their coroutines explicitly via ``event_loop.run_until_complete``,
+    which also keeps the loop's lifetime (and any tasks leaked onto it)
+    visible in the test body.
+    """
+    loop = asyncio.new_event_loop()
+    try:
+        yield loop
+    finally:
+        loop.close()
 
 
 @pytest.fixture

@@ -1,0 +1,158 @@
+"""Serve-time answer-cache version validation (the stale-read tripwire).
+
+The invalidation discipline (learning steps evict signatures, epoch
+closes evict overlapping quanta) is supposed to make a stale cache hit
+impossible.  These tests pin that from both sides: a *manufactured* hole
+must be caught by the serve-time version check and counted, and the real
+gateway-over-ingest interleaving must keep the counters at zero.
+"""
+
+import numpy as np
+import pytest
+
+from repro.core import AgentConfig, SEAAgent
+from repro.data import gaussian_mixture_table, InterestProfile, WorkloadGenerator
+from repro.queries import Count
+from repro.serve import GatewayConfig, ServingGateway
+from repro.session import SEASession
+
+
+def make_workload(table, seed=13):
+    profile = InterestProfile.from_table(
+        table, ("x0", "x1"), 3, seed=11, hotspot_scale=2.5,
+        extent_range=(3.0, 8.0),
+    )
+    return WorkloadGenerator(
+        "data", ("x0", "x1"), profile, aggregate=Count(), seed=seed
+    )
+
+
+def warm_to_cached_hit(agent, workload, attempts=400):
+    """Serve until some query has a cached predicted answer; return it."""
+    for query in workload.batch(attempts):
+        record = agent.submit(query)
+        if record.mode == "predicted" and agent.cache.peek(query) is not None:
+            return query
+    pytest.fail("no query reached the answer cache within the budget")
+
+
+class TestManufacturedStaleEntry:
+    def test_version_mismatch_is_rejected_and_counted(self):
+        session = SEASession(n_nodes=4)
+        session.load_table(
+            gaussian_mixture_table(3000, dims=("x0", "x1"), seed=7, name="data")
+        )
+        observer = session.attach_observer()
+        agent = session.agent
+        agent.config.training_budget = 12
+        agent.config.error_threshold = 0.3
+        workload = make_workload(
+            gaussian_mixture_table(3000, dims=("x0", "x1"), seed=7, name="data")
+        )
+        query = warm_to_cached_hit(agent, workload)
+        entry = agent.cache.peek(query)
+        predictor = agent.predictor(query)
+        # Manufacture the hole the discipline is supposed to prevent:
+        # mutate the producing quantum's learned state *without* evicting
+        # its cache entries (reset_quantum bumps the version; a correct
+        # maintenance path would also evict).
+        predictor.reset_quantum(entry.quantum_id)
+        assert predictor.version_of(entry.quantum_id) != entry.version
+        before = agent.cache.stale_rejected
+        record = agent.submit(query)
+        # The stale entry was surfaced by lookup, caught by the version
+        # check, dropped, and counted — never served.
+        assert agent.cache.stale_rejected == before + 1
+        assert agent.cache.peek(query) is None or (
+            agent.cache.peek(query).version
+            == predictor.version_of(entry.quantum_id)
+        )
+        assert observer.snapshot().get("cache_stale_served_total") == 1.0
+        # The query itself still got a live answer (fresh prediction or
+        # exact fallback — the reset quantum has no reliable model).
+        assert record.mode in ("predicted", "fallback", "train")
+        session.close()
+
+    def test_stats_expose_the_invariant_counter(self):
+        session = SEASession(n_nodes=2)
+        session.load_table(
+            gaussian_mixture_table(500, dims=("x0", "x1"), seed=3, name="data")
+        )
+        stats = session.agent.cache.stats()
+        assert stats["answer_cache_stale_rejected"] == 0.0
+        session.close()
+
+
+class TestGatewayNeverServesStaleDuringIngest:
+    def test_interleaved_epoch_closes_keep_counters_at_zero(self, event_loop):
+        from tests.test_ingest import make_batch
+
+        session = SEASession(n_nodes=4, ingest=True, epoch_seconds=0.5)
+        table = gaussian_mixture_table(
+            3000, dims=("x0", "x1"), seed=7, name="data"
+        )
+        session.load_table(table)
+        observer = session.attach_observer()
+        workload = make_workload(table)
+        gateway = ServingGateway(
+            session,
+            GatewayConfig(),
+            agent_config=AgentConfig(training_budget=60, error_threshold=0.35),
+            own_session=False,
+        )
+
+        # A dashboard-style hot set: the same queries repeat every
+        # round, which is exactly what populates (and re-hits) the
+        # answer cache between invalidations.
+        hot = workload.batch(20)
+
+        async def run():
+            async with gateway:
+                # Warm both tenants into the predicted/cached regime,
+                # then freeze learning: a learning step on fallback
+                # would invalidate the whole signature (evicting the
+                # cache for the *right* reason), and this test needs
+                # entries that survive between epoch closes so the
+                # data-update eviction path is the one being exercised.
+                for query in workload.batch(300):
+                    await gateway.submit(query, tenant="alice", timeout=30.0)
+                    await gateway.submit(query, tenant="bob", timeout=30.0)
+                for name in ("alice", "bob"):
+                    handle = gateway.tenant(name)
+                    handle.config.keep_learning_on_fallback = False
+                for query in hot:
+                    await gateway.submit(query, tenant="alice", timeout=30.0)
+                    await gateway.submit(query, tenant="bob", timeout=30.0)
+                # Now interleave gateway reads with ingest epoch closes:
+                # every flush() compacts deltas and fires the data-update
+                # invalidation that must evict overlapping cache entries
+                # in *every* tenant's cache before the next read.
+                for round_no in range(6):
+                    session.append_rows(
+                        "data",
+                        make_batch(25, 100 + round_no, lo=10.0, hi=90.0),
+                    )
+                    session.flush()
+                    for query in hot + hot:
+                        await gateway.submit(query, tenant="alice", timeout=30.0)
+                        await gateway.submit(query, tenant="bob", timeout=30.0)
+
+        event_loop.run_until_complete(run())
+        # The serve-time version check found nothing to reject, in any
+        # tenant's cache partition: no stale answer was ever served.
+        for name in ("alice", "bob"):
+            cache = gateway.tenant(name).agent.cache
+            assert cache.stale_rejected == 0
+        assert observer.snapshot().get("cache_stale_served_total", 0.0) == 0.0
+        # Sanity: the runs actually exercised the cache and the deltas.
+        hits = sum(
+            gateway.tenant(name).agent.cache.hits for name in ("alice", "bob")
+        )
+        assert hits > 0
+        # And a post-compaction count is exactly the base + appended rows.
+        answer = session.sql(
+            "SELECT COUNT(*) FROM data "
+            "WHERE x0 BETWEEN -1e9 AND 1e9 AND x1 BETWEEN -1e9 AND 1e9"
+        )
+        assert answer.value == 3000.0 + 6 * 25
+        session.close()

@@ -1,0 +1,666 @@
+"""The async serving gateway: admission, batching control, fairness,
+lifecycle, and the byte-identity contract (DESIGN §14).
+
+Async tests drive a fresh ``event_loop`` fixture explicitly (no
+pytest-asyncio).  Where the adaptive batcher's online estimates would
+make scheduling nondeterministic, tests swap in a ``FakeBatcher`` with a
+pinned window/target so queueing vs pass-through is forced, not raced.
+"""
+
+import asyncio
+import time
+
+import numpy as np
+import pytest
+
+from repro.common.errors import ConfigurationError
+from repro.core import AgentConfig, SEAAgent
+from repro.data import gaussian_mixture_table, InterestProfile, WorkloadGenerator
+from repro.queries import Count
+from repro.serve import (
+    AdaptiveBatcher,
+    AdmissionQueue,
+    AdmissionRejectedError,
+    DeficitRoundRobin,
+    GatewayClosedError,
+    GatewayConfig,
+    Request,
+    ServingGateway,
+)
+from repro.session import SEASession
+
+
+def make_session(n_rows=3000, seed=7):
+    session = SEASession(n_nodes=4)
+    table = gaussian_mixture_table(
+        n_rows, dims=("x0", "x1"), seed=seed, name="data"
+    )
+    session.load_table(table)
+    return session
+
+
+def make_workload(n_rows=3000, seed=7):
+    table = gaussian_mixture_table(
+        n_rows, dims=("x0", "x1"), seed=seed, name="data"
+    )
+    profile = InterestProfile.from_table(
+        table, ("x0", "x1"), 3, seed=11, hotspot_scale=2.5,
+        extent_range=(3.0, 8.0),
+    )
+    return WorkloadGenerator(
+        "data", ("x0", "x1"), profile, aggregate=Count(), seed=13
+    )
+
+
+def agent_config(**overrides):
+    defaults = dict(training_budget=8, error_threshold=0.3)
+    defaults.update(overrides)
+    return AgentConfig(**defaults)
+
+
+class FakeBatcher:
+    """Deterministic stand-in: a pinned window and target batch."""
+
+    def __init__(self, window=0.0, target=1, service_seconds=0.0):
+        self._window = window
+        self._target = target
+        self.service_seconds = service_seconds
+        self.n_arrivals = 0
+        self.n_batches = 0
+
+    def note_arrival(self, now):
+        self.n_arrivals += 1
+
+    def note_batch(self, size, host):
+        self.n_batches += 1
+
+    def window(self):
+        return self._window
+
+    def target_batch(self):
+        return self._target
+
+    def snapshot(self):
+        return {"window": self._window, "target_batch": self._target}
+
+
+def assert_records_identical(answers, reference_records):
+    """Gateway answers == a sequential replay's records, byte for byte."""
+    assert len(answers) == len(reference_records)
+    for answer, record in zip(answers, reference_records):
+        assert answer.mode == record.mode
+        assert np.array_equal(
+            np.asarray(answer.value), np.asarray(record.answer)
+        )
+        assert answer.cost.__dict__ == record.cost.__dict__
+
+
+# ---------------------------------------------------------------------------
+# Admission queue (pure unit tests on a fake clock)
+# ---------------------------------------------------------------------------
+class TestAdmissionQueue:
+    def _request(self, tenant="a", arrival=0.0, deadline=10.0):
+        return Request(
+            tenant=tenant, query=object(), arrival=arrival, deadline=deadline
+        )
+
+    def test_tenant_quota_rejects_before_capacity(self):
+        queue = AdmissionQueue(capacity=8, tenant_quota=1)
+        queue.offer(self._request("greedy"), now=0.0)
+        with pytest.raises(AdmissionRejectedError) as exc:
+            queue.offer(self._request("greedy"), now=0.0)
+        assert exc.value.reason == "tenant_quota"
+        # The shared queue still has room for everyone else.
+        queue.offer(self._request("other"), now=0.0)
+        assert len(queue) == 2
+
+    def test_queue_full_is_typed_and_never_sheds_internally(self):
+        queue = AdmissionQueue(capacity=2, starvation_guard=0.25)
+        expired = self._request("a", arrival=0.0, deadline=1.0)
+        queue.offer(expired, now=0.0)
+        queue.offer(self._request("b"), now=0.0)
+        # At capacity with an already-expired entry: offer must refuse
+        # rather than shed it — the expired request carries a future only
+        # the gateway can fail (the gateway runs _shed before offering).
+        with pytest.raises(AdmissionRejectedError) as exc:
+            queue.offer(self._request("c"), now=5.0)
+        assert exc.value.reason == "queue_full"
+        assert not expired.dead
+        assert len(queue) == 2
+
+    def test_shed_expired_returns_them_for_the_caller_to_fail(self):
+        queue = AdmissionQueue(capacity=8)
+        dead = self._request("a", arrival=0.0, deadline=1.0)
+        live = self._request("a", arrival=0.0, deadline=100.0)
+        queue.offer(dead, now=0.0)
+        queue.offer(live, now=0.0)
+        shed = queue.shed_expired(now=2.0)
+        assert shed == [dead]
+        assert dead.dead and not live.dead
+        assert len(queue) == 1
+        assert queue.shed_total == 1
+
+    def test_take_orders_by_effective_deadline(self):
+        # The starvation guard caps the scheduling key: an early patient
+        # arrival (far deadline) outranks a later urgent one.
+        queue = AdmissionQueue(capacity=8, starvation_guard=0.25)
+        patient = self._request("a", arrival=0.0, deadline=100.0)
+        urgent = self._request("a", arrival=1.0, deadline=1.5)
+        queue.offer(urgent, now=1.0)
+        queue.offer(patient, now=1.0)
+        taken = queue.take("a", limit=2, now=1.0)
+        assert taken == [patient, urgent]
+
+    def test_take_sheds_expired_instead_of_dispatching(self):
+        loop = asyncio.new_event_loop()
+        try:
+            queue = AdmissionQueue(capacity=8)
+            expired = self._request("a", arrival=0.0, deadline=1.0)
+            expired.future = loop.create_future()
+            live = self._request("a", arrival=0.0, deadline=100.0)
+            queue.offer(expired, now=0.0)
+            queue.offer(live, now=0.0)
+            taken = queue.take("a", limit=2, now=2.0)
+            assert taken == [live]
+            assert expired.future.done()
+            with pytest.raises(AdmissionRejectedError) as exc:
+                expired.future.result()
+            assert exc.value.reason == "deadline"
+        finally:
+            loop.close()
+
+    def test_take_sheds_infeasible_requests_early(self):
+        # A live request whose deadline precedes even its own projected
+        # completion is a doomed late answer: take() converts it into a
+        # fast typed rejection instead of wasting a batch slot on it.
+        loop = asyncio.new_event_loop()
+        try:
+            queue = AdmissionQueue(capacity=8)
+            doomed = self._request("a", arrival=0.0, deadline=0.02)
+            doomed.future = loop.create_future()
+            roomy = self._request("a", arrival=0.0, deadline=100.0)
+            queue.offer(doomed, now=0.0)
+            queue.offer(roomy, now=0.0)
+            taken = queue.take("a", limit=4, now=0.0, service=0.05)
+            assert taken == [roomy]
+            assert queue.shed_total == 1
+            with pytest.raises(AdmissionRejectedError) as exc:
+                doomed.future.result()
+            assert exc.value.reason == "deadline"
+            assert "projected" in exc.value.detail
+        finally:
+            loop.close()
+
+    def test_take_drops_tightest_members_until_the_batch_is_feasible(self):
+        # Batch members all finish together at ~now + n*service.  A
+        # tight-deadline head must not be served late *and* must not cap
+        # the batch for the roomy requests behind it: Moore–Hodgson with
+        # uniform service drops the tightest member until the projected
+        # completion fits every survivor.
+        loop = asyncio.new_event_loop()
+        try:
+            queue = AdmissionQueue(capacity=8, starvation_guard=100.0)
+            tight = self._request("a", arrival=0.0, deadline=0.12)
+            tight.future = loop.create_future()
+            roomy = [
+                self._request("a", arrival=0.0, deadline=100.0 + i)
+                for i in range(3)
+            ]
+            queue.offer(tight, now=0.0)
+            for request in roomy:
+                queue.offer(request, now=0.0)
+            # service=0.1: all four would finish at 0.4 > tight's 0.12;
+            # dropping tight leaves three finishing at 0.3 <= 100.
+            taken = queue.take("a", limit=4, now=0.0, service=0.1)
+            assert taken == roomy
+            assert queue.shed_total == 1
+            assert queue.pending("a") == 0
+            with pytest.raises(AdmissionRejectedError) as exc:
+                tight.future.result()
+            assert exc.value.reason == "deadline"
+            assert "projected" in exc.value.detail
+        finally:
+            loop.close()
+
+
+# ---------------------------------------------------------------------------
+# Adaptive batcher (pure unit tests on synthetic timestamps)
+# ---------------------------------------------------------------------------
+class TestAdaptiveBatcher:
+    def test_low_load_collapses_to_passthrough(self):
+        batcher = AdaptiveBatcher(max_window=0.02, passthrough_rho=0.75)
+        for i in range(16):
+            batcher.note_arrival(i * 0.01)  # 100/s
+            batcher.note_batch(1, 1e-4)  # 100us each -> rho = 0.01
+        assert batcher.target_batch() == 1
+        assert batcher.window() == 0.0
+
+    def test_overload_grows_batch_and_window(self):
+        batcher = AdaptiveBatcher(
+            max_window=0.02, passthrough_rho=0.75, headroom=2.0
+        )
+        for i in range(32):
+            batcher.note_arrival(i * 1e-4)  # 10k/s
+            batcher.note_batch(1, 1e-3)  # 1ms each -> rho = 10
+        assert batcher.rho > 1.0
+        assert batcher.target_batch() >= 2
+        assert 0.0 < batcher.window() <= 0.02
+
+    def test_clustered_wakeups_do_not_explode_the_rate(self):
+        # Event-loop stalls deliver pending arrivals bunched with
+        # microsecond gaps.  The span-based estimator must read the true
+        # ~40/s, not the millions/s a gap-based estimate would see.
+        batcher = AdaptiveBatcher(history=32)
+        for burst in range(4):
+            base = burst * 0.25
+            for i in range(8):
+                batcher.note_arrival(base + i * 1e-6)
+        snapshot = batcher.snapshot()
+        assert 10.0 < snapshot["arrival_rate"] < 100.0
+
+    def test_median_service_shrugs_off_fallback_spikes(self):
+        batcher = AdaptiveBatcher(history=32)
+        for _ in range(31):
+            batcher.note_batch(1, 1e-4)
+        batcher.note_batch(1, 5e-2)  # one 50ms exact-fallback spike
+        assert batcher.snapshot()["service_seconds"] == pytest.approx(1e-4)
+
+    def test_idle_gap_resets_the_rate_window(self):
+        batcher = AdaptiveBatcher(history=32, max_gap=1.0)
+        for i in range(16):
+            batcher.note_arrival(i * 1e-3)  # an old 1k/s burst
+        # 5s of silence, then a new 1k/s burst: the rate must reflect
+        # the new episode, not be diluted by the idle span.
+        for i in range(8):
+            batcher.note_arrival(5.0 + i * 1e-3)
+        assert batcher.snapshot()["arrival_rate"] == pytest.approx(
+            1000.0, rel=0.05
+        )
+
+
+# ---------------------------------------------------------------------------
+# Deficit round-robin (pure unit tests)
+# ---------------------------------------------------------------------------
+class TestDeficitRoundRobin:
+    def test_visits_alternate_between_backlogged_tenants(self):
+        drr = DeficitRoundRobin(quantum=4)
+        drr.observe("a")
+        drr.observe("b")
+        pending = {"a": 100, "b": 100}
+        order = []
+        for _ in range(4):
+            tenant, budget = drr.select(pending)
+            assert budget == 4
+            drr.charge(tenant, budget)
+            order.append(tenant)
+        assert sorted(order[:2]) == ["a", "b"]
+        assert order[:2] != order[2:4][::-1] or order[0] != order[1]
+        assert order.count("a") == 2 and order.count("b") == 2
+
+    def test_budget_capped_by_backlog_and_deficit(self):
+        drr = DeficitRoundRobin(quantum=8)
+        drr.observe("a")
+        tenant, budget = drr.select({"a": 3})
+        assert (tenant, budget) == ("a", 3)
+        drr.charge("a", 3)
+        assert drr.deficits()["a"] == 5.0  # unused credit carries over
+
+    def test_drained_tenant_loses_carryover(self):
+        drr = DeficitRoundRobin(quantum=8)
+        drr.observe("a")
+        drr.observe("b")
+        drr.select({"a": 2, "b": 2})
+        # Next pass sees "a" empty: classic DRR zeroes its deficit.
+        for _ in range(2):
+            drr.select({"a": 0, "b": 2})
+        assert drr.deficits()["a"] == 0.0
+
+    def test_flood_gets_share_of_visits_not_of_arrivals(self):
+        drr = DeficitRoundRobin(quantum=4)
+        drr.observe("flood")
+        drr.observe("quiet")
+        served = {"flood": 0, "quiet": 0}
+        pending = {"flood": 1000, "quiet": 8}
+        while pending["quiet"] > 0:
+            tenant, budget = drr.select(pending)
+            took = min(budget, pending[tenant])
+            pending[tenant] -= took
+            drr.charge(tenant, took)
+            served[tenant] += took
+        # By the time the quiet tenant drains, the flood got no more
+        # than its alternating-visit share (+1 quantum of slack).
+        assert served["flood"] <= served["quiet"] + drr.quantum
+
+
+# ---------------------------------------------------------------------------
+# The gateway itself (driven on the explicit event_loop fixture)
+# ---------------------------------------------------------------------------
+class TestServingGateway:
+    def _gateway(self, session, **config_overrides):
+        config = GatewayConfig(**config_overrides)
+        return ServingGateway(
+            session, config, agent_config=agent_config(), own_session=False
+        )
+
+    def test_passthrough_answers_are_byte_identical_to_replay(
+        self, event_loop
+    ):
+        session = make_session()
+        workload = make_workload()
+        queries = workload.batch(40)
+        gateway = self._gateway(session)
+        # Closed-loop back-to-back awaits measure rho ~= 1 by
+        # construction (arrival rate == 1/service), so the adaptive
+        # batcher may legitimately engage; pin it to the pass-through
+        # regime to assert the inline path specifically.
+        gateway.batcher = FakeBatcher(window=0.0, target=1)
+
+        async def run():
+            async with gateway:
+                return [
+                    await gateway.submit(q, tenant="alice") for q in queries
+                ]
+
+        answers = event_loop.run_until_complete(run())
+        stats = gateway.stats()
+        assert stats["served_total"] == 40
+        assert stats["inline_total"] == 40  # sequential awaits never queue
+        handle = gateway.tenant("alice")
+        reference = SEAAgent(session.engine, agent_config())
+        records = [reference.submit(q) for q in handle.served_queries]
+        assert_records_identical(answers, records)
+        session.close()
+
+    def test_coalesced_batches_stay_byte_identical(self, event_loop):
+        session = make_session()
+        workload = make_workload()
+        queries = workload.batch(32)
+        gateway = self._gateway(session, max_batch=8)
+        # Pin the batcher into the batching regime: every request
+        # queues, the loop coalesces up to 8 per dispatch.
+        gateway.batcher = FakeBatcher(window=0.002, target=8)
+
+        answers = event_loop.run_until_complete(
+            gateway.submit_many(queries, tenant="alice", timeout=30.0)
+        )
+        event_loop.run_until_complete(gateway.close())
+        stats = gateway.stats()
+        assert stats["served_total"] == 32
+        assert stats["coalesced_total"] > 0
+        assert stats["batches_total"] < 32
+        handle = gateway.tenant("alice")
+        reference = SEAAgent(session.engine, agent_config())
+        by_query = {}
+        position = {id(q): i for i, q in enumerate(handle.served_queries)}
+        records = reference.submit_batch(handle.served_queries)
+        # submit_many returns answers in input order; replay in the
+        # gateway's actual serving order, then realign.
+        realigned = [records[position[id(a.query)]] for a in answers]
+        assert_records_identical(answers, realigned)
+        session.close()
+
+    def test_deadline_shed_while_queued_uses_injected_clock(
+        self, event_loop
+    ):
+        session = make_session()
+        workload = make_workload()
+        clock = [100.0]
+        gateway = ServingGateway(
+            session,
+            GatewayConfig(max_batch=8),
+            agent_config=agent_config(),
+            time_fn=lambda: clock[0],
+            own_session=False,
+        )
+        gateway.batcher = FakeBatcher(window=0.01, target=100)
+
+        async def run():
+            await gateway.start()
+            tasks = [
+                asyncio.ensure_future(
+                    gateway.submit(q, tenant="alice", timeout=0.5)
+                )
+                for q in workload.batch(3)
+            ]
+            await asyncio.sleep(0)  # let the submits enqueue
+            clock[0] += 1.0  # every queued deadline is now past
+            return await asyncio.gather(*tasks, return_exceptions=True)
+
+        results = event_loop.run_until_complete(run())
+        event_loop.run_until_complete(gateway.close())
+        assert len(results) == 3
+        for result in results:
+            assert isinstance(result, AdmissionRejectedError)
+            assert result.reason == "deadline"
+        assert gateway.counters.rejected["deadline"] == 3
+        session.close()
+
+    def test_dead_on_arrival_is_rejected_without_queueing(self, event_loop):
+        session = make_session()
+        workload = make_workload()
+        clock = [50.0]
+        gateway = ServingGateway(
+            session,
+            GatewayConfig(),
+            agent_config=agent_config(),
+            time_fn=lambda: clock[0],
+            own_session=False,
+        )
+
+        async def run():
+            async with gateway:
+                with pytest.raises(AdmissionRejectedError) as exc:
+                    await gateway.submit(
+                        workload.next_query(), tenant="alice", deadline=49.0
+                    )
+                return exc.value
+
+        error = event_loop.run_until_complete(run())
+        assert error.reason == "deadline"
+        assert len(gateway.queue) == 0
+        session.close()
+
+    def test_tenant_quota_and_queue_full_rejections(self, event_loop):
+        session = make_session()
+        workload = make_workload()
+        gateway = self._gateway(session, queue_capacity=2, tenant_quota=1)
+        gateway.batcher = FakeBatcher(window=0.05, target=100)
+
+        async def run():
+            await gateway.start()
+            first = asyncio.ensure_future(
+                gateway.submit(
+                    workload.next_query(), tenant="greedy", timeout=30.0
+                )
+            )
+            await asyncio.sleep(0)
+            with pytest.raises(AdmissionRejectedError) as quota_exc:
+                await gateway.submit(
+                    workload.next_query(), tenant="greedy", timeout=30.0
+                )
+            second = asyncio.ensure_future(
+                gateway.submit(
+                    workload.next_query(), tenant="other", timeout=30.0
+                )
+            )
+            await asyncio.sleep(0)
+            with pytest.raises(AdmissionRejectedError) as full_exc:
+                await gateway.submit(
+                    workload.next_query(), tenant="third", timeout=30.0
+                )
+            answers = await asyncio.gather(first, second)
+            return quota_exc.value, full_exc.value, answers
+
+        quota_error, full_error, answers = event_loop.run_until_complete(run())
+        event_loop.run_until_complete(gateway.close())
+        assert quota_error.reason == "tenant_quota"
+        assert quota_error.tenant == "greedy"
+        assert full_error.reason == "queue_full"
+        assert len(answers) == 2  # admitted requests still served
+        session.close()
+
+    def test_drain_close_serves_everything_queued(self, event_loop):
+        session = make_session()
+        workload = make_workload()
+        gateway = self._gateway(session, max_batch=8)
+        gateway.batcher = FakeBatcher(window=0.05, target=100)
+
+        async def run():
+            await gateway.start()
+            tasks = [
+                asyncio.ensure_future(
+                    gateway.submit(q, tenant="alice", timeout=30.0)
+                )
+                for q in workload.batch(5)
+            ]
+            await asyncio.sleep(0)
+            await gateway.close()  # drain=True: everything queued serves
+            return await asyncio.gather(*tasks)
+
+        answers = event_loop.run_until_complete(run())
+        assert len(answers) == 5
+        assert gateway.closed
+        # Idempotent, and new submissions are refused with a typed error.
+        event_loop.run_until_complete(gateway.close())
+        with pytest.raises(GatewayClosedError):
+            event_loop.run_until_complete(
+                gateway.submit(workload.next_query(), tenant="alice")
+            )
+        session.close()
+
+    def test_no_drain_close_fails_queued_requests(self, event_loop):
+        session = make_session()
+        workload = make_workload()
+        gateway = self._gateway(session)
+        gateway.batcher = FakeBatcher(window=0.05, target=100)
+
+        async def run():
+            await gateway.start()
+            tasks = [
+                asyncio.ensure_future(
+                    gateway.submit(q, tenant="alice", timeout=30.0)
+                )
+                for q in workload.batch(4)
+            ]
+            await asyncio.sleep(0)
+            await gateway.close(drain=False)
+            return await asyncio.gather(*tasks, return_exceptions=True)
+
+        results = event_loop.run_until_complete(run())
+        assert all(isinstance(r, GatewayClosedError) for r in results)
+        assert gateway.counters.rejected["closed"] >= 4
+        session.close()
+
+    def test_serving_fault_fails_the_batch_with_the_engine_error(
+        self, event_loop
+    ):
+        session = make_session()
+        workload = make_workload()
+        gateway = self._gateway(session, max_batch=4)
+        gateway.batcher = FakeBatcher(window=0.002, target=4)
+        handle = gateway.tenant("alice")
+        original_serve = handle.serve
+        boom = {"armed": True}
+
+        def failing_serve(requests):
+            if boom["armed"]:
+                boom["armed"] = False
+                raise RuntimeError("node exploded mid-batch")
+            return original_serve(requests)
+
+        handle.serve = failing_serve
+        queries = workload.batch(4)
+
+        async def run():
+            async with gateway:
+                first = await asyncio.gather(
+                    *(
+                        gateway.submit(q, tenant="alice", timeout=30.0)
+                        for q in queries
+                    ),
+                    return_exceptions=True,
+                )
+                second = await asyncio.gather(
+                    *(
+                        gateway.submit(q, tenant="alice", timeout=30.0)
+                        for q in queries
+                    ),
+                    return_exceptions=True,
+                )
+                return first, second
+
+        first, second = event_loop.run_until_complete(run())
+        # The failing batch surfaced the engine error to every waiter...
+        assert any(isinstance(r, RuntimeError) for r in first)
+        # ...and the gateway kept serving: the retry round all succeeded
+        # and stayed byte-identical to a sequential replay.
+        assert all(not isinstance(r, Exception) for r in second)
+        reference = SEAAgent(session.engine, agent_config())
+        position = {id(q): i for i, q in enumerate(handle.served_queries)}
+        records = reference.submit_batch(handle.served_queries)
+        realigned = [records[position[id(a.query)]] for a in second]
+        assert_records_identical(second, realigned)
+        session.close()
+
+    def test_rebinding_to_a_different_loop_is_refused(self, event_loop):
+        session = make_session()
+        workload = make_workload()
+        gateway = self._gateway(session)
+        event_loop.run_until_complete(gateway.start())
+        other = asyncio.new_event_loop()
+        try:
+            with pytest.raises(ConfigurationError):
+                other.run_until_complete(
+                    gateway.submit(workload.next_query(), tenant="alice")
+                )
+        finally:
+            other.close()
+        event_loop.run_until_complete(gateway.close())
+        session.close()
+
+    def test_tenants_are_isolated_handles_over_one_engine(self, event_loop):
+        session = make_session()
+        workload = make_workload()
+        gateway = self._gateway(session)
+
+        async def run():
+            async with gateway:
+                for query in workload.batch(6):
+                    await gateway.submit(query, tenant="alice")
+                    await gateway.submit(query, tenant="bob")
+
+        event_loop.run_until_complete(run())
+        alice, bob = gateway.tenant("alice"), gateway.tenant("bob")
+        assert alice.agent is not bob.agent
+        assert alice.agent.cache is not bob.agent.cache
+        assert alice.agent.engine is bob.agent.engine
+        # Freezing one tenant's config must not leak into the other.
+        alice.config.keep_learning_on_fallback = False
+        assert bob.config.keep_learning_on_fallback
+        stats = gateway.stats()
+        assert set(stats["tenants"]) == {"alice", "bob"}
+        assert stats["tenants"]["alice"]["served"] == 6.0
+        session.close()
+
+    def test_stats_surface_counters_and_batcher_snapshot(self, event_loop):
+        session = make_session()
+        workload = make_workload()
+        gateway = self._gateway(session)
+
+        async def run():
+            async with gateway:
+                await gateway.submit(workload.next_query(), tenant="alice")
+
+        event_loop.run_until_complete(run())
+        stats = gateway.stats()
+        for key in (
+            "served_total",
+            "inline_total",
+            "rejected",
+            "queue_depth",
+            "batcher",
+            "drr_deficits",
+        ):
+            assert key in stats
+        assert stats["batcher"]["n_arrivals"] == 1
+        session.close()

@@ -57,6 +57,27 @@ def _write_parallel(root, wall_values):
     return path
 
 
+def _write_gateway(root, goodput_values, ratios=None):
+    ratios = ratios or [1.0] * len(goodput_values)
+    entries = [
+        {
+            "experiment": "e24_gateway",
+            "rows": 20000,
+            "requests": 400,
+            "tenants": 2,
+            "host_cpus": 1,
+            "high_rate_goodput_qps": goodput,
+            "high_rate_goodput_iqr": 0.0,
+            "passthrough_p50_ratio": ratio,
+        }
+        for goodput, ratio in zip(goodput_values, ratios)
+    ]
+    path = os.path.join(root, "BENCH_serving_gateway.json")
+    with open(path, "w") as handle:
+        json.dump({"entries": entries}, handle)
+    return path
+
+
 class TestRegressionSentinel:
     def test_flags_synthetic_20pct_slowdown(self, tmp_path, capsys):
         _write_serving(str(tmp_path), [1000.0, 1000.0, 800.0])
@@ -91,6 +112,27 @@ class TestRegressionSentinel:
         _write_parallel(str(tmp_path), [10.0, 10.0, 12.5])
         assert regress.main(["--root", str(tmp_path)]) == 1
         _write_parallel(str(tmp_path), [10.0, 10.0, 8.0])
+        assert regress.main(["--root", str(tmp_path)]) == 0
+
+    def test_gateway_goodput_and_p50_ratio_directions(self, tmp_path, capsys):
+        # Goodput is higher-is-better: a 20% drop flags.
+        _write_gateway(str(tmp_path), [2800.0, 2800.0, 2240.0])
+        assert regress.main(["--root", str(tmp_path)]) == 1
+        assert "high_rate_goodput_qps" in capsys.readouterr().err
+        # The pass-through p50 ratio is lower-is-better: creeping past
+        # the historical band flags even while goodput holds.
+        _write_gateway(
+            str(tmp_path),
+            [2800.0, 2800.0, 2800.0],
+            ratios=[0.97, 0.99, 1.25],
+        )
+        assert regress.main(["--root", str(tmp_path)]) == 1
+        assert "passthrough_p50_ratio" in capsys.readouterr().err
+        _write_gateway(
+            str(tmp_path),
+            [2800.0, 2800.0, 2900.0],
+            ratios=[0.97, 0.99, 1.00],
+        )
         assert regress.main(["--root", str(tmp_path)]) == 0
 
     def test_groups_never_mix_scales(self, tmp_path):

@@ -95,3 +95,50 @@ class TestSession:
         session, _ = session_world
         # Outside every queried region: nothing to invalidate.
         assert session.notify_update("data", [1e6, 1e6], [2e6, 2e6]) == 0
+
+
+class TestSessionClose:
+    def _query(self):
+        return (
+            "SELECT COUNT(*) FROM data WHERE x0 BETWEEN 0 AND 100 "
+            "AND x1 BETWEEN 0 AND 100"
+        )
+
+    def test_close_is_idempotent(self):
+        session = SEASession(n_nodes=2)
+        session.load_table(gaussian_mixture_table(500, seed=5, name="data"))
+        session.close()
+        assert session.closed
+        session.close()  # second close is a no-op, not an error
+        assert session.closed
+
+    def test_double_close_with_process_executor(self):
+        # Regression: the process pool owns shared-memory segments; a
+        # second close must not try to release them again.
+        session = SEASession(n_nodes=2, workers=2, executor="process")
+        session.load_table(gaussian_mixture_table(800, seed=5, name="data"))
+        answer = session.sql(self._query())
+        assert answer.value == 800.0
+        session.close()
+        session.close()
+        assert session.closed
+
+    def test_queries_survive_a_closed_pool(self):
+        # close() tears down the worker pool, not the engine: serving
+        # falls back to the serial path with identical answers.
+        session = SEASession(n_nodes=2, workers=2, executor="process")
+        session.load_table(gaussian_mixture_table(800, seed=5, name="data"))
+        before = session.sql(self._query())
+        session.close()
+        after = session.sql(self._query())
+        assert after.value == before.value
+        session.close()
+
+    def test_context_manager_closes_once(self):
+        with SEASession(n_nodes=2, workers=2, executor="process") as session:
+            session.load_table(
+                gaussian_mixture_table(500, seed=5, name="data")
+            )
+            assert session.sql(self._query()).value == 500.0
+        assert session.closed
+        session.close()  # still safe after the context exit
